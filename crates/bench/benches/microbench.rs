@@ -1,0 +1,172 @@
+//! Criterion microbenchmarks of the real data-structure and kernel hot
+//! paths: attention-state merging, BSR gathering, Algorithm 1 planning,
+//! the numeric flash kernel, variant dispatch, paged-cache append and
+//! radix-tree matching.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fi_core::config::HeadConfig;
+use fi_core::jit::{LogitsOp, VariantSpec};
+use fi_core::kernel::{AttentionProblem, FlashKernel};
+use fi_core::state::AttentionState;
+use fi_core::tiles::TileConfig;
+use fi_core::variant::{AttentionVariant, LogitCtx, VanillaAttention, VariantParams};
+use fi_kvcache::paged::{PagedKvCache, PagedKvConfig};
+use fi_kvcache::RadixTree;
+use fi_sched::plan::{balanced_plan, CostModel};
+use fi_serving::costlayout::{cost_layout, decode_items};
+use fi_sparse::bsr::{BlockEntry, BlockSparseMatrix};
+use fi_tensor::{RaggedTensor, Tensor};
+
+fn bench_state_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state_merge");
+    for dim in [64usize, 128, 256] {
+        let a = AttentionState { o: vec![0.5; dim], lse: 1.0 };
+        let b = AttentionState { o: vec![-0.25; dim], lse: 0.3 };
+        g.throughput(Throughput::Elements(dim as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bench, _| {
+            bench.iter(|| std::hint::black_box(a.merge(&b)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_plan(c: &mut Criterion) {
+    let mut g = c.benchmark_group("balanced_plan");
+    for n_tiles in [128usize, 1024, 8192] {
+        let lens: Vec<usize> = (0..n_tiles).map(|i| 256 + (i * 37) % 2048).collect();
+        let items = decode_items(&lens, 1);
+        let layout = cost_layout(&items, 64);
+        g.throughput(Throughput::Elements(n_tiles as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n_tiles), &n_tiles, |bench, _| {
+            bench.iter(|| {
+                std::hint::black_box(
+                    balanced_plan(&layout, 132, CostModel::default()).unwrap().num_items(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_flash_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flash_kernel_decode");
+    let heads = HeadConfig::new(8, 2, 64).unwrap();
+    for kv in [256usize, 1024, 4096] {
+        let mut q = RaggedTensor::<f32>::from_seq_lens(&[1], heads.qo_width());
+        for (i, x) in q.as_tensor_mut().as_mut_slice().iter_mut().enumerate() {
+            *x = (i as f32 * 0.01).sin();
+        }
+        let k = Tensor::<f32>::from_fn(vec![kv, heads.kv_width()], |i| (i as f32 * 0.001).cos());
+        let v = Tensor::<f32>::from_fn(vec![kv, heads.kv_width()], |i| (i as f32 * 0.002).sin());
+        let layout = BlockSparseMatrix::new(
+            1,
+            kv,
+            16,
+            vec![(0, 1, (0..kv / 16).map(|b| BlockEntry { col_block: b, len: 16 }).collect())],
+        )
+        .unwrap();
+        let problem =
+            AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[kv]).unwrap();
+        let kern = FlashKernel { tile: TileConfig { tq: 1, tkv: 64 }, head_fusion: true };
+        let variant = VanillaAttention { causal: true };
+        let params = VariantParams::for_head_dim(64);
+        g.throughput(Throughput::Elements((kv * heads.num_qo_heads * heads.head_dim) as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(kv), &kv, |bench, _| {
+            bench.iter(|| std::hint::black_box(kern.run(&problem, &variant, &params).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+fn bench_variant_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("variant_dispatch");
+    let params = VariantParams::for_head_dim(128).with_extra("bias", -0.5);
+    let ctx = LogitCtx {
+        batch_idx: 0,
+        qo_pos: 0,
+        kv_pos: 10,
+        qo_head_idx: 0,
+        kv_head_idx: 0,
+        qo_len: 1,
+        kv_len: 64,
+    };
+    let builtin = VanillaAttention { causal: true };
+    g.bench_function("builtin_static", |b| {
+        b.iter(|| std::hint::black_box(builtin.logits_transform(&params, 1.5, ctx)))
+    });
+    let jit = VariantSpec::new("sig")
+        .softmax(false)
+        .extra_param("bias")
+        .logits_op(LogitsOp::Scale)
+        .logits_op(LogitsOp::AddParam("bias".into()))
+        .logits_op(LogitsOp::Sigmoid)
+        .build()
+        .unwrap();
+    g.bench_function("jit_interpreted", |b| {
+        b.iter(|| std::hint::black_box(jit.logits_transform(&params, 1.5, ctx)))
+    });
+    g.finish();
+}
+
+fn bench_paged_append(c: &mut Criterion) {
+    let cfg = PagedKvConfig { page_size: 16, num_pages: 8192, num_kv_heads: 8, head_dim: 128 };
+    let row = vec![0.5f32; cfg.row_width()];
+    c.bench_function("paged_append_64_tokens", |b| {
+        b.iter_batched(
+            || {
+                let mut cache = PagedKvCache::<f32>::new(cfg).unwrap();
+                cache.add_request(1).unwrap();
+                cache
+            },
+            |mut cache| {
+                for _ in 0..64 {
+                    cache.append(1, &row, &row).unwrap();
+                }
+                std::hint::black_box(cache.seq_len(1).unwrap())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_radix_match(c: &mut Criterion) {
+    let mut t = RadixTree::new();
+    let mut slot = 0usize;
+    for i in 0..256u32 {
+        let tokens: Vec<u32> = (0..64).map(|j| (i * 7 + j * 13) % 64).collect();
+        let m = t.match_prefix(&tokens);
+        let mut slots = m.slots.clone();
+        for _ in m.matched_tokens..tokens.len() {
+            slots.push(slot);
+            slot += 1;
+        }
+        t.insert(&tokens, &slots).unwrap();
+    }
+    let probe: Vec<u32> = (0..64).map(|j| (7 + j * 13) % 64).collect();
+    c.bench_function("radix_match_prefix", |b| {
+        b.iter(|| std::hint::black_box(t.match_prefix(&probe).matched_tokens))
+    });
+}
+
+fn bench_bsr_gather(c: &mut Criterion) {
+    let n_pages = 1024usize;
+    let entries: Vec<BlockEntry> = (0..n_pages)
+        .map(|p| BlockEntry { col_block: (p * 2654435761) % n_pages, len: 16 })
+        .collect();
+    let m = BlockSparseMatrix::new(1, n_pages * 16, 16, vec![(0, 1, entries)]).unwrap();
+    c.bench_function("bsr_gather_columns_16k", |b| {
+        b.iter(|| std::hint::black_box(m.gather_columns(0).len()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_state_merge,
+    bench_plan,
+    bench_flash_kernel,
+    bench_variant_dispatch,
+    bench_paged_append,
+    bench_radix_match,
+    bench_bsr_gather,
+);
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Ablation (Appendix E): attention under an SM budget. Nanoflow-style
+//! horizontal fusion runs GEMM, attention and communication on disjoint SM
+//! slices; FlashInfer's plan function takes the attention slice's CTA
+//! count and balances within it. This sweep shows attention latency vs
+//! budget — near-linear until the per-item floor — plus the chunked
+//! prefill ablation (Sarathi piggybacking).
+
+use fi_bench::Experiment;
+use fi_core::tiles::select_tile;
+use fi_gpusim::GpuSpec;
+use fi_serving::backend::{attention_kernel_time_with_ctas, FlashInferBackend};
+use fi_serving::costlayout::decode_items;
+use fi_serving::engine::{Engine, EngineConfig, Request};
+use fi_serving::model::ModelConfig;
+use fi_serving::workload::RequestSpec;
+
+fn main() {
+    let model = ModelConfig::LLAMA3_8B;
+    let heads = model.heads();
+    let spec = GpuSpec::H100_80G;
+    let tile = select_tile(heads.group_size() as f64, heads.head_dim, spec.sm);
+    let items = decode_items(&vec![2048usize; 32], heads.num_kv_heads);
+
+    let mut e = Experiment::new("ablation_sm_budget", "decode attention time (us) vs SM budget");
+    let budgets = [132usize, 96, 64, 32, 16, 8];
+    let pts: Vec<(String, f64)> = budgets
+        .iter()
+        .map(|&b| {
+            let t = attention_kernel_time_with_ctas(&items, &model, &spec, tile, true, 1.0, 64, b);
+            (format!("{b}sm"), t * 1e6)
+        })
+        .collect();
+    // Efficiency of the slice: work/(budget * time), normalized to full.
+    let full_t = pts[0].1;
+    let eff: Vec<(String, f64)> = budgets
+        .iter()
+        .zip(&pts)
+        .map(|(&b, (tag, t))| (tag.clone(), (full_t * 132.0) / (t * b as f64)))
+        .collect();
+    e.push("attention_time", pts);
+    e.push("slice_efficiency", eff);
+    e.print();
+    e.save();
+
+    // Chunked prefill: ITL tail vs chunk budget under a mixed workload.
+    let mut cp = Experiment::new(
+        "ablation_chunked_prefill",
+        "p99 ITL (ms) and median TTFT (ms) vs prefill chunk budget",
+    );
+    let reqs: Vec<Request> = (0..48)
+        .map(|i| Request {
+            id: i,
+            spec: RequestSpec {
+                prompt_len: if i % 6 == 0 { 6144 } else { 128 },
+                output_len: 48,
+                arrival: i as f64 * 0.05,
+                n_parallel: 1,
+            },
+        })
+        .collect();
+    let mut itl_pts = Vec::new();
+    let mut ttft_pts = Vec::new();
+    for budget in [None, Some(4096), Some(1024), Some(512), Some(256)] {
+        let mut cfg = EngineConfig::for_gpu(&spec, &model);
+        cfg.chunked_prefill_budget = budget;
+        let m = Engine::new(FlashInferBackend::default(), model, spec, cfg).serve(&reqs);
+        let tag = budget.map_or("whole".to_string(), |b| format!("{b}"));
+        itl_pts.push((tag.clone(), fi_serving::metrics::percentile(&m.itl, 99.0) * 1e3));
+        ttft_pts.push((tag, m.median_ttft() * 1e3));
+    }
+    cp.push("p99_itl", itl_pts);
+    cp.push("median_ttft", ttft_pts);
+    cp.print();
+    cp.save();
+
+    // Nanoflow-style layer pipeline: two nano-batches, attention (HBM) and
+    // all-reduce (NVLink) hiding behind the other nano-batch's GEMMs
+    // (tensor cores). Attention is priced at its SM slice.
+    use fi_gpusim::overlap::{layer_pipeline, simulate_overlap};
+    let mut ov = Experiment::new(
+        "ablation_nanoflow_overlap",
+        "layer-pipeline makespan (ms, 32 layers x 2 nano-batches) vs attention SM slice",
+    );
+    // Per-nano-batch costs (half the tokens).
+    let t_gemm = model.nonattn_step_time(&spec, 128) / model.num_layers as f64;
+    let half_items = decode_items(&[2048usize; 16], heads.num_kv_heads);
+    let mut pts = Vec::new();
+    for slice in [132usize, 64, 32, 16] {
+        let t_attn =
+            attention_kernel_time_with_ctas(&half_items, &model, &spec, tile, true, 1.0, 64, slice);
+        let t_comm = 0.2 * t_gemm;
+        let r = simulate_overlap(&layer_pipeline(32, (t_gemm, t_attn, t_comm)));
+        pts.push((format!("{slice}sm"), r.makespan * 1e3));
+    }
+    let t_attn_full =
+        attention_kernel_time_with_ctas(&half_items, &model, &spec, tile, true, 1.0, 64, 132);
+    let serial = 2.0 * 32.0 * (t_gemm + t_attn_full + 0.2 * t_gemm) * 1e3;
+    pts.push(("serial".into(), serial));
+    ov.push("makespan", pts);
+    ov.print();
+    ov.save();
+    println!("\nExpected shape: attention time ~ 1/budget until the per-item floor; chunked prefill trades a little TTFT for a much lower ITL tail; the overlapped pipeline beats full-width serialization at moderate attention shares.");
+}

@@ -1,0 +1,118 @@
+//! Ablation (§5.4): Quest-style query-aware KV sparsity through the
+//! block-sparse kernel. Sweeps the top-k page budget and reports (a)
+//! numeric recall — how close sparse attention is to full attention on
+//! the real kernel — and (b) the decode latency the sparsity buys on the
+//! cost model. The paper's claim: "FlashInfer's block sparse kernel
+//! remains effective" for dynamic KV sparsity — no kernel change needed.
+
+use fi_bench::Experiment;
+use fi_core::config::HeadConfig;
+use fi_core::kernel::{AttentionProblem, FlashKernel};
+use fi_core::quest::{quest_layout, PageSummaries};
+use fi_core::tiles::{select_tile, TileConfig};
+use fi_core::variant::{VanillaAttention, VariantParams};
+use fi_gpusim::exec::{execute_plan, ExecContext};
+use fi_gpusim::GpuSpec;
+use fi_sched::plan::{balanced_plan, CostModel};
+use fi_serving::costlayout::{cost_layout, CostItem};
+use fi_serving::model::ModelConfig;
+use fi_sparse::page::PageTable;
+use fi_tensor::{RaggedTensor, Tensor};
+
+fn mix(i: usize, s: u64) -> f32 {
+    let x = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(s);
+    ((x >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+}
+
+fn main() {
+    // --- Numeric recall on the real kernel.
+    let heads = HeadConfig::new(2, 1, 32).unwrap();
+    let params = VariantParams::for_head_dim(heads.head_dim);
+    let variant = VanillaAttention { causal: false };
+    let page_size = 16usize;
+    let n_pages = 64usize; // 1024 tokens of context
+    let kv_len = n_pages * page_size;
+
+    // Keys with a few "hot" pages aligned to the query (attention mass is
+    // concentrated, the regime Quest exploits).
+    let mut k = Tensor::<f32>::from_fn(vec![kv_len, heads.kv_width()], |i| mix(i, 1) * 0.05);
+    let v = Tensor::<f32>::from_fn(vec![kv_len, heads.kv_width()], |i| mix(i, 2) * 0.5);
+    let mut q = RaggedTensor::<f32>::from_seq_lens(&[1], heads.qo_width());
+    for (i, x) in q.as_tensor_mut().as_mut_slice().iter_mut().enumerate() {
+        *x = mix(i, 3);
+    }
+    // Hot pages carry keys strongly aligned with BOTH query heads, so the
+    // softmax mass concentrates there (the regime Quest exploits).
+    let d_head = heads.head_dim;
+    let hot_dir: Vec<f32> = (0..d_head)
+        .map(|d| (q.seq(0)[d] + q.seq(0)[d_head + d]) * 8.0)
+        .collect();
+    for hot in [5usize, 23, 40, 61] {
+        for s in 0..page_size {
+            let slot = hot * page_size + s;
+            for (d, x) in k.row_mut(slot).iter_mut().enumerate() {
+                *x = hot_dir[d % d_head] + mix(slot * 31 + d, 4) * 0.05;
+            }
+        }
+    }
+
+    let pt = PageTable::new(
+        page_size,
+        n_pages,
+        vec![(0..n_pages).collect()],
+        vec![page_size],
+    )
+    .unwrap();
+    let summaries = PageSummaries::build(&k, page_size);
+    let kern = FlashKernel { tile: TileConfig { tq: 1, tkv: 32 }, head_fusion: true };
+
+    let full_layout = pt.to_bsr(&[1], 1).unwrap();
+    let full_problem =
+        AttentionProblem::standard_batch(&q, &k, &v, &full_layout, heads, &[kv_len]).unwrap();
+    let full = kern.run(&full_problem, &variant, &params).unwrap();
+
+    let mut recall = Experiment::new("ablation_quest_recall", "cosine similarity to full attention");
+    let mut pts = Vec::new();
+    for top_k in [2usize, 4, 8, 16, 32, 64] {
+        let layout = quest_layout(&pt, &q, heads, &summaries, top_k).unwrap();
+        let sparse_kv = layout.block_row_kv_len(0);
+        let problem =
+            AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[sparse_kv]).unwrap();
+        let out = kern.run(&problem, &variant, &params).unwrap();
+        let a = out.o.seq(0);
+        let b = full.o.seq(0);
+        let dot: f32 = a.iter().zip(b).map(|(&x, &y)| x * y).sum();
+        let na = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        pts.push((format!("k={top_k}"), (dot / (na * nb)) as f64));
+    }
+    recall.push("cosine", pts);
+    recall.print();
+    recall.save();
+
+    // --- Latency side on the cost model: long-context decode, batch 16.
+    let model = ModelConfig::LLAMA3_8B;
+    let spec = GpuSpec::H100_80G;
+    let mheads = model.heads();
+    let tile = select_tile(mheads.group_size() as f64, mheads.head_dim, spec.sm);
+    let context = 64 * 1024usize;
+    let mut lat = Experiment::new("ablation_quest_latency", "decode attention time (us), 64k context");
+    let mut pts = Vec::new();
+    for keep_pages in [4096usize, 1024, 256, 64] {
+        let kept_tokens = (keep_pages * 16).min(context);
+        let items: Vec<CostItem> = (0..16 * mheads.num_kv_heads)
+            .map(|_| CostItem { rows: 1, kv: kept_tokens })
+            .collect();
+        let layout = cost_layout(&items, 64);
+        let plan = balanced_plan(&layout, spec.num_sms, CostModel::default()).unwrap();
+        let mut ctx = ExecContext::new(spec, mheads, tile);
+        ctx.heads_per_item = 1;
+        ctx.sparse_gather_penalty = 0.01;
+        let r = execute_plan(&plan, &layout, &ctx);
+        pts.push((format!("{kept_tokens}tok"), r.makespan * 1e6));
+    }
+    lat.push("flashinfer-block-sparse", pts);
+    lat.print();
+    lat.save();
+    println!("\nExpected shape: recall ~1.0 once the hot pages are inside the budget (k >= 8 here); latency scales with kept tokens — the same kernel, sparser layout.");
+}

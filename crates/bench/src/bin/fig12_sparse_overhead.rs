@@ -1,0 +1,132 @@
+//! Figure 12 (Appendix B): the overhead of sparse gathering — prefill
+//! TFLOPs/s and decode bandwidth for dense (contiguous) vs sparse
+//! (page-size-1 / vector-sparse) KV-cache, over a batch × sequence-length
+//! sweep. 32 query heads, 32 KV heads, head dim 128, causal prefill.
+//!
+//! Template dispatch follows `fi_core::arch`: the FA3 template (Hopper)
+//! loses TMA on sparse gathers — a calibrated ≈10% penalty and a smaller
+//! KV tile — while the FA2 template (Ampere) uses async copies either way
+//! (≈2%). Decode tiles see only index traffic (≈1%), which the harness
+//! additionally derives from the real gather module's run accounting.
+
+use fi_bench::Experiment;
+use fi_core::arch::{select_kernel, Arch};
+use fi_core::gather::Stager;
+use fi_gpusim::exec::{execute_plan, ExecContext};
+use fi_gpusim::GpuSpec;
+use fi_sched::plan::{balanced_plan, CostModel};
+use fi_serving::costlayout::{cost_layout, decode_items, prefill_items};
+use fi_serving::model::ModelConfig;
+use fi_tensor::Tensor;
+
+fn model_32h() -> ModelConfig {
+    // The Appendix B configuration: 32 qo heads, 32 kv heads, d=128.
+    ModelConfig {
+        name: "bench-32h",
+        num_layers: 1,
+        hidden: 4096,
+        intermediate: 11008,
+        num_qo_heads: 32,
+        num_kv_heads: 32,
+        head_dim: 128,
+        vocab: 32000,
+        tensor_parallel: 1,
+    }
+}
+
+fn main() {
+    let model = model_32h();
+    let heads = model.heads();
+    let sweep: [(usize, usize); 6] =
+        [(1, 4096), (4, 4096), (16, 2048), (16, 4096), (64, 1024), (128, 512)];
+
+    for (arch, spec, gpu_name) in [
+        (Arch::Hopper, GpuSpec::H100_80G, "h100_fa3"),
+        (Arch::Ampere, GpuSpec::A100_40G, "a100_fa2"),
+    ] {
+        // Prefill: achieved TFLOPs/s, dense vs sparse.
+        let mut pre = Experiment::new(
+            &format!("fig12_prefill_tflops_{gpu_name}"),
+            "achieved TFLOPs/s (causal prefill)",
+        );
+        let mut dense_pts = Vec::new();
+        let mut sparse_pts = Vec::new();
+        for &(batch, len) in &sweep {
+            let lens = vec![len; batch];
+            let dense_sel = select_kernel(len as f64, heads.head_dim, arch, false);
+            let sparse_sel = select_kernel(len as f64, heads.head_dim, arch, true);
+            let tag = format!("{batch}x{len}");
+            for (sel, pts, penalty) in [
+                (dense_sel, &mut dense_pts, 0.0),
+                (sparse_sel, &mut sparse_pts, sparse_sel.sparse_gather_penalty()),
+            ] {
+                let items = prefill_items(&lens, &lens, sel.tile.tq, heads.num_kv_heads);
+                let layout = cost_layout(&items, 64);
+                let plan = balanced_plan(&layout, spec.num_sms, CostModel::default()).unwrap();
+                let mut ctx = ExecContext::new(spec, heads, sel.tile);
+                ctx.heads_per_item = 1;
+                ctx.sparse_gather_penalty = penalty;
+                let r = execute_plan(&plan, &layout, &ctx);
+                pts.push((tag.clone(), r.total_flops / r.makespan / 1e12));
+            }
+        }
+        pre.push("dense", dense_pts);
+        pre.push("sparse-page1", sparse_pts);
+        pre.print();
+        pre.save();
+
+        // Decode: achieved bandwidth, dense vs sparse.
+        let mut dec = Experiment::new(
+            &format!("fig12_decode_bandwidth_{gpu_name}"),
+            "achieved bandwidth (TB/s, decode)",
+        );
+        let mut dense_pts = Vec::new();
+        let mut sparse_pts = Vec::new();
+        for &(batch, len) in &sweep {
+            let items = decode_items(&vec![len; batch], heads.num_kv_heads);
+            let layout = cost_layout(&items, 64);
+            let plan = balanced_plan(&layout, spec.num_sms, CostModel::default()).unwrap();
+            let dense_sel = select_kernel(1.0, heads.head_dim, arch, false);
+            let sparse_sel = select_kernel(1.0, heads.head_dim, arch, true);
+            let tag = format!("{batch}x{len}");
+            for (sel, pts, penalty) in [
+                (dense_sel, &mut dense_pts, 0.0),
+                (sparse_sel, &mut sparse_pts, sparse_sel.sparse_gather_penalty()),
+            ] {
+                let mut ctx = ExecContext::new(spec, heads, sel.tile);
+                ctx.heads_per_item = 1;
+                ctx.sparse_gather_penalty = penalty;
+                let r = execute_plan(&plan, &layout, &ctx);
+                pts.push((tag.clone(), r.total_bytes / r.makespan / 1e12));
+            }
+        }
+        dec.push("dense", dense_pts);
+        dec.push("sparse-page1", sparse_pts);
+        dec.print();
+        dec.save();
+    }
+
+    // Runtime-derived index overhead from the real gather module: stage a
+    // page-size-1 scattered layout and a contiguous one, compare bytes.
+    let d = 128usize;
+    let n = 4096usize;
+    let k = Tensor::<f32>::zeros(vec![n, d]);
+    let v = Tensor::<f32>::zeros(vec![n, d]);
+    let mut stager = Stager::new();
+    let contiguous: Vec<usize> = (0..n).collect();
+    stager.stage(&k, &v, &contiguous, 0, d);
+    let dense_stats = stager.stats();
+    let mut stager = Stager::new();
+    let scattered: Vec<usize> = (0..n).map(|i| (i * 2654435761) % n).collect();
+    stager.stage(&k, &v, &scattered, 0, d);
+    let sparse_stats = stager.stats();
+    println!(
+        "\nGather accounting (fi-core): contiguous runs {} vs scattered runs {}; index traffic = {} B per {} B of KV ({:.2}%)",
+        dense_stats.contiguous_runs,
+        sparse_stats.scattered_runs,
+        sparse_stats.scattered_runs * 8,
+        sparse_stats.global_bytes,
+        sparse_stats.scattered_runs as f64 * 8.0 / sparse_stats.global_bytes as f64 * 100.0
+    );
+    println!("\nExpected shape (paper): ~10% prefill TFLOPs gap on the FA3 template, smaller (~2%) on FA2, <=1% decode bandwidth gap, constant across the sweep.");
+}

@@ -1,0 +1,141 @@
+//! Consolidated experiment report: loads every JSON under
+//! `target/experiments/` (produced by the figure/ablation binaries) and
+//! prints one summary, flagging the paper's headline relationships.
+//!
+//! Run all experiments first, e.g.:
+//! `for b in fig7_serving fig8_kernels fig9_streaming fig10_parallel \
+//!  fig12_sparse_overhead ablation_scheduler ablation_gqa_fusion \
+//!  ablation_overlap ablation_quest ablation_spec_decode throughput_sweep; \
+//!  do cargo run --release -p fi-bench --bin $b; done`
+
+use std::fs;
+use std::path::Path;
+
+#[derive(Debug, serde::Deserialize)]
+struct Series {
+    name: String,
+    points: Vec<(String, f64)>,
+}
+
+#[derive(Debug, serde::Deserialize)]
+struct Experiment {
+    id: String,
+    metric: String,
+    series: Vec<Series>,
+}
+
+fn find(series: &[Series], name: &str) -> Option<Vec<f64>> {
+    series
+        .iter()
+        .find(|s| s.name == name)
+        .map(|s| s.points.iter().map(|(_, v)| *v).collect())
+}
+
+fn main() {
+    let dir = Path::new("target/experiments");
+    let mut experiments: Vec<Experiment> = Vec::new();
+    if let Ok(entries) = fs::read_dir(dir) {
+        for e in entries.flatten() {
+            if e.path().extension().is_some_and(|x| x == "json") {
+                match fs::read_to_string(e.path())
+                    .map_err(|e| e.to_string())
+                    .and_then(|s| serde_json::from_str::<Experiment>(&s).map_err(|e| e.to_string()))
+                {
+                    Ok(exp) => experiments.push(exp),
+                    Err(err) => eprintln!("skipping {}: {err}", e.path().display()),
+                }
+            }
+        }
+    }
+    if experiments.is_empty() {
+        eprintln!("no experiments found under target/experiments/ — run the figure binaries first");
+        std::process::exit(1);
+    }
+    experiments.sort_by(|a, b| a.id.cmp(&b.id));
+
+    println!("{} experiment files loaded\n", experiments.len());
+    for e in &experiments {
+        println!("{:<36} [{}] — {} series x {} points", e.id, e.metric, e.series.len(),
+            e.series.first().map_or(0, |s| s.points.len()));
+    }
+
+    println!("\n== headline checks ==");
+    let mut checks: Vec<(String, bool)> = Vec::new();
+    for e in &experiments {
+        match e.id.as_str() {
+            id if id.starts_with("fig7_median_itl") => {
+                if let (Some(fi), Some(tr)) =
+                    (find(&e.series, "flashinfer"), find(&e.series, "triton-like"))
+                {
+                    let ok = fi.iter().zip(&tr).all(|(a, b)| a < b);
+                    let max_red = fi
+                        .iter()
+                        .zip(&tr)
+                        .map(|(a, b)| (1.0 - a / b) * 100.0)
+                        .fold(f64::MIN, f64::max);
+                    checks.push((
+                        format!("Fig 7: FlashInfer ITL < Triton everywhere (best {max_red:.0}% reduction)"),
+                        ok,
+                    ));
+                }
+            }
+            id if id.starts_with("fig8_decode_bandwidth") => {
+                if let (Some(fi), Some(fa)) =
+                    (find(&e.series, "flashinfer"), find(&e.series, "flashattention"))
+                {
+                    // zipf is the last column: dramatic gap expected.
+                    let ok = fi.last().copied().unwrap_or(0.0)
+                        > 3.0 * fa.last().copied().unwrap_or(1.0);
+                    checks.push((format!("{id}: >3x bandwidth on zipf"), ok));
+                }
+            }
+            "fig9_fused_rope_bandwidth" => {
+                if let Some(ratio) = find(&e.series, "ratio") {
+                    let ok = ratio.iter().all(|&r| (1.6..=3.7).contains(&r));
+                    checks.push(("Fig 9: fused/unfused ratio within the paper's 1.6-3.7x band".into(), ok));
+                }
+            }
+            id if id.starts_with("fig10_parallel_itl") => {
+                if let (Some(on), Some(off)) =
+                    (find(&e.series, "composable"), find(&e.series, "single-format"))
+                {
+                    // n=4..n=32 are indices 2..=5.
+                    let ok = (2..=5).all(|i| on[i] <= off[i]);
+                    checks.push((format!("{id}: composable wins for 4<=n<=32"), ok));
+                }
+            }
+            id if id.starts_with("fig12_prefill_tflops") => {
+                if let (Some(d), Some(s)) =
+                    (find(&e.series, "dense"), find(&e.series, "sparse-page1"))
+                {
+                    let gaps: Vec<f64> =
+                        d.iter().zip(&s).map(|(a, b)| (1.0 - b / a) * 100.0).collect();
+                    let max = gaps.iter().copied().fold(f64::MIN, f64::max);
+                    let ok = max <= 12.0;
+                    checks.push((format!("{id}: sparse-gather gap <= 12% (max {max:.1}%)"), ok));
+                }
+            }
+            "ablation_scheduler_makespan" => {
+                if let (Some(b), Some(n)) = (find(&e.series, "balanced"), find(&e.series, "naive")) {
+                    let ok = b.last().copied().unwrap_or(1.0) * 4.0 < n.last().copied().unwrap_or(0.0);
+                    checks.push(("Alg.1: >4x faster than naive on extreme skew".into(), ok));
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut failed = 0;
+    for (desc, ok) in &checks {
+        println!("  [{}] {}", if *ok { "ok" } else { "FAIL" }, desc);
+        if !ok {
+            failed += 1;
+        }
+    }
+    if checks.is_empty() {
+        println!("  (no recognizable experiment ids — run the figure binaries)");
+    }
+    println!("\n{} checks, {} failed", checks.len(), failed);
+    if failed > 0 {
+        std::process::exit(2);
+    }
+}

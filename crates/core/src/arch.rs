@@ -1,0 +1,172 @@
+//! GPU architecture dispatch (§3.2): which kernel template serves which
+//! generation.
+//!
+//! FlashInfer compiles the FlashAttention-2 template for Turing through
+//! Ada (sm75–sm89) and the FlashAttention-3 template for Hopper (sm90a).
+//! The templates differ in ways that matter to both tiling and the sparse
+//! path:
+//!
+//! * **FA3 / Hopper**: WGMMA requires row tiles in multiples of 64; dense
+//!   K/V loads use TMA. TMA only supports affine (fixed-stride) access, so
+//!   *sparse* gathering falls back to Ampere-style async copies with
+//!   manual pointer arithmetic, costing extra registers and a smaller KV
+//!   tile — the ≈10% prefill gap measured in Appendix B.
+//! * **FA2 / Ampere-class**: async copies everywhere; sparse and dense use
+//!   the same tile, so the sparse gap is small (≈2%).
+
+use crate::tiles::{select_tile, SmResources, TileConfig};
+
+/// NVIDIA GPU generations FlashInfer targets (sm75–sm90a).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum Arch {
+    /// sm75.
+    Turing,
+    /// sm80/sm86 (A100-class).
+    Ampere,
+    /// sm89 (limited shared memory).
+    Ada,
+    /// sm90a (H100-class).
+    Hopper,
+}
+
+impl Arch {
+    /// Per-SM resources of a representative part.
+    pub fn sm_resources(self) -> SmResources {
+        match self {
+            Arch::Turing => SmResources { shared_mem_bytes: 64 * 1024, registers: 65536, max_threads: 1024 },
+            Arch::Ampere => SmResources::A100,
+            Arch::Ada => SmResources::ADA,
+            Arch::Hopper => SmResources::H100,
+        }
+    }
+}
+
+/// Which FlashAttention template generation the kernel uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum KernelAlgo {
+    /// FlashAttention-2: async-copy pipeline, any tile size.
+    Fa2,
+    /// FlashAttention-3: warp-specialized WGMMA pipeline, row tiles in
+    /// multiples of 64, TMA for dense loads.
+    Fa3,
+}
+
+/// A fully-resolved kernel selection: template + tile + data-movement
+/// capability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct KernelSelection {
+    /// Template generation.
+    pub algo: KernelAlgo,
+    /// Tile configuration.
+    pub tile: TileConfig,
+    /// Whether TMA can drive the K/V loads (FA3 + dense only).
+    pub tma_eligible: bool,
+}
+
+impl KernelSelection {
+    /// The fractional bandwidth penalty of sparse gathering under this
+    /// selection (Appendix B): FA3 loses TMA and registers (≈10% on
+    /// prefill); FA2's async-copy path is nearly indifferent (≈2%);
+    /// single-row (CUDA-core) decode tiles see only the index traffic
+    /// (≈1%).
+    pub fn sparse_gather_penalty(&self) -> f64 {
+        if self.tile.tq == 1 {
+            0.01
+        } else {
+            match self.algo {
+                KernelAlgo::Fa3 => 0.10,
+                KernelAlgo::Fa2 => 0.02,
+            }
+        }
+    }
+}
+
+/// Pick the template for an architecture: FA3 on Hopper (when the tile can
+/// honor WGMMA's 64-row requirement), FA2 everywhere else (§3.2, "FA2 ...
+/// for architectures up to Ada, FA3 ... for Hopper").
+pub fn algo_for(arch: Arch, tq: usize) -> KernelAlgo {
+    if arch == Arch::Hopper && tq >= 64 && tq.is_multiple_of(64) {
+        KernelAlgo::Fa3
+    } else {
+        KernelAlgo::Fa2
+    }
+}
+
+/// Arch-aware tile + template selection: run the §3.2.2 heuristic, then
+/// round FA3-eligible prefill tiles to WGMMA multiples and resolve TMA
+/// eligibility from the layout's density.
+pub fn select_kernel(
+    avg_fused_qo_len: f64,
+    head_dim: usize,
+    arch: Arch,
+    sparse_layout: bool,
+) -> KernelSelection {
+    let mut tile = select_tile(avg_fused_qo_len, head_dim, arch.sm_resources());
+    if arch == Arch::Hopper && tile.tq >= 64 {
+        // FA3 wants multiples of 64 rows; the heuristic's menu already is,
+        // but guard against future menu changes.
+        tile.tq = (tile.tq / 64).max(1) * 64;
+    }
+    let algo = algo_for(arch, tile.tq);
+    let mut sel = KernelSelection { algo, tile, tma_eligible: algo == KernelAlgo::Fa3 && !sparse_layout };
+    if sel.algo == KernelAlgo::Fa3 && sparse_layout {
+        // TMA unavailable: the fallback async-copy path costs registers,
+        // forcing a one-notch smaller KV tile (Appendix B).
+        sel.tile.tkv = (sel.tile.tkv / 2).max(32);
+    }
+    sel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hopper_prefill_uses_fa3_with_tma() {
+        let s = select_kernel(1024.0, 128, Arch::Hopper, false);
+        assert_eq!(s.algo, KernelAlgo::Fa3);
+        assert!(s.tma_eligible);
+        assert_eq!(s.tile.tq % 64, 0);
+    }
+
+    #[test]
+    fn hopper_sparse_prefill_loses_tma_and_shrinks_kv_tile() {
+        let dense = select_kernel(1024.0, 128, Arch::Hopper, false);
+        let sparse = select_kernel(1024.0, 128, Arch::Hopper, true);
+        assert_eq!(sparse.algo, KernelAlgo::Fa3);
+        assert!(!sparse.tma_eligible);
+        assert!(sparse.tile.tkv <= dense.tile.tkv / 2 || sparse.tile.tkv == 32);
+        assert!(sparse.sparse_gather_penalty() > dense.sparse_gather_penalty() * 0.99);
+    }
+
+    #[test]
+    fn ampere_always_fa2() {
+        for sparse in [false, true] {
+            let s = select_kernel(1024.0, 128, Arch::Ampere, sparse);
+            assert_eq!(s.algo, KernelAlgo::Fa2);
+            assert!(!s.tma_eligible);
+        }
+        assert!(select_kernel(1024.0, 128, Arch::Ampere, true).sparse_gather_penalty() < 0.05);
+    }
+
+    #[test]
+    fn hopper_decode_falls_back_to_fa2_template() {
+        // Decode tiles are far below WGMMA's 64-row minimum.
+        let s = select_kernel(4.0, 128, Arch::Hopper, true);
+        assert_eq!(s.algo, KernelAlgo::Fa2);
+        assert_eq!(s.tile.tq, 16);
+    }
+
+    #[test]
+    fn unit_tile_decode_penalty_is_index_only() {
+        let s = select_kernel(1.0, 128, Arch::Ampere, true);
+        assert_eq!(s.tile.tq, 1);
+        assert!((s.sparse_gather_penalty() - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn turing_resources_are_smallest() {
+        assert!(Arch::Turing.sm_resources().shared_mem_bytes < Arch::Ada.sm_resources().shared_mem_bytes);
+        assert!(Arch::Hopper.sm_resources().shared_mem_bytes > Arch::Ampere.sm_resources().shared_mem_bytes);
+    }
+}

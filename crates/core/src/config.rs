@@ -1,0 +1,95 @@
+//! Shared head-layout configuration.
+
+use crate::error::AttentionError;
+
+/// Head layout of an attention problem: `H_qo` query heads sharing `H_kv`
+/// KV heads in groups of `g = H_qo / H_kv` (GQA; `g = 1` is MHA, `H_kv = 1`
+/// is MQA).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct HeadConfig {
+    /// Number of query/output heads.
+    pub num_qo_heads: usize,
+    /// Number of key/value heads.
+    pub num_kv_heads: usize,
+    /// Head dimension `D`.
+    pub head_dim: usize,
+}
+
+impl HeadConfig {
+    /// Create and validate a head configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::InvalidProblem`] if any count is zero or
+    /// `num_qo_heads` is not a multiple of `num_kv_heads`.
+    pub fn new(
+        num_qo_heads: usize,
+        num_kv_heads: usize,
+        head_dim: usize,
+    ) -> Result<HeadConfig, AttentionError> {
+        if num_qo_heads == 0 || num_kv_heads == 0 || head_dim == 0 {
+            return Err(AttentionError::InvalidProblem(
+                "head counts and head_dim must be positive".into(),
+            ));
+        }
+        if !num_qo_heads.is_multiple_of(num_kv_heads) {
+            return Err(AttentionError::InvalidProblem(format!(
+                "num_qo_heads {num_qo_heads} not divisible by num_kv_heads {num_kv_heads}"
+            )));
+        }
+        Ok(HeadConfig { num_qo_heads, num_kv_heads, head_dim })
+    }
+
+    /// GQA group size `g = H_qo / H_kv` (§2.1).
+    pub fn group_size(&self) -> usize {
+        self.num_qo_heads / self.num_kv_heads
+    }
+
+    /// The KV head shared by a query head.
+    pub fn kv_head_of(&self, qo_head: usize) -> usize {
+        qo_head / self.group_size()
+    }
+
+    /// Width of one query/output row: `H_qo * D`.
+    pub fn qo_width(&self) -> usize {
+        self.num_qo_heads * self.head_dim
+    }
+
+    /// Width of one KV row: `H_kv * D`.
+    pub fn kv_width(&self) -> usize {
+        self.num_kv_heads * self.head_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gqa_mapping() {
+        let h = HeadConfig::new(8, 2, 64).unwrap();
+        assert_eq!(h.group_size(), 4);
+        assert_eq!(h.kv_head_of(0), 0);
+        assert_eq!(h.kv_head_of(3), 0);
+        assert_eq!(h.kv_head_of(4), 1);
+        assert_eq!(h.qo_width(), 512);
+        assert_eq!(h.kv_width(), 128);
+    }
+
+    #[test]
+    fn mha_and_mqa() {
+        let mha = HeadConfig::new(4, 4, 8).unwrap();
+        assert_eq!(mha.group_size(), 1);
+        let mqa = HeadConfig::new(4, 1, 8).unwrap();
+        assert_eq!(mqa.group_size(), 4);
+        assert_eq!(mqa.kv_head_of(3), 0);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(HeadConfig::new(0, 1, 8).is_err());
+        assert!(HeadConfig::new(4, 3, 8).is_err());
+        assert!(HeadConfig::new(4, 8, 8).is_err());
+        assert!(HeadConfig::new(4, 2, 0).is_err());
+    }
+}

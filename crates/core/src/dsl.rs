@@ -1,0 +1,213 @@
+//! A small attention DSL compiled to [`VariantSpec`]s — the §6 future-work
+//! direction ("we plan to explore compiling higher-level DSLs ... to
+//! attention specifications in FlashInfer").
+//!
+//! The language is line-oriented; `#` starts a comment:
+//!
+//! ```text
+//! variant flash_sigmoid
+//! softmax off
+//! param bias
+//! logits scale
+//! logits add bias
+//! logits sigmoid
+//! mask causal
+//! ```
+//!
+//! Statements:
+//!
+//! | statement | meaning |
+//! |---|---|
+//! | `variant <name>` | names the spec (must come first) |
+//! | `softmax on\|off` | softmax vs direct-weight composition |
+//! | `param <name>` | declare an extra runtime scalar |
+//! | `logits scale` | multiply by `sm_scale` |
+//! | `logits add <param>` / `mul <param>` | arithmetic with a parameter |
+//! | `logits softcap <param>` | `cap * tanh(x / cap)` |
+//! | `logits sigmoid` / `tanh` | nonlinearities |
+//! | `mask none\|causal` | visibility clause |
+//! | `mask window <w> <sinks>` | sliding window with attention sinks |
+//! | `rope <theta>` | fuse RoPE on Q/K |
+//!
+//! [`parse`] validates eagerly and reports the offending line.
+
+use crate::error::AttentionError;
+use crate::jit::{LogitsOp, MaskSpec, VariantSpec};
+
+fn err(line_no: usize, msg: impl std::fmt::Display) -> AttentionError {
+    AttentionError::InvalidVariant(format!("line {line_no}: {msg}"))
+}
+
+/// Parse DSL source into a validated [`VariantSpec`].
+///
+/// # Errors
+///
+/// Returns [`AttentionError::InvalidVariant`] with the line number of the
+/// first problem (unknown statement, missing `variant` header, undeclared
+/// parameter, malformed number).
+pub fn parse(source: &str) -> Result<VariantSpec, AttentionError> {
+    let mut spec: Option<VariantSpec> = None;
+    let mut declared: Vec<String> = Vec::new();
+
+    for (i, raw) in source.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut words = line.split_whitespace();
+        let head = words.next().expect("non-empty line");
+        let rest: Vec<&str> = words.collect();
+
+        if head == "variant" {
+            if spec.is_some() {
+                return Err(err(line_no, "duplicate `variant` statement"));
+            }
+            let [name] = rest[..] else {
+                return Err(err(line_no, "expected `variant <name>`"));
+            };
+            spec = Some(VariantSpec::new(name));
+            continue;
+        }
+        let current = spec
+            .take()
+            .ok_or_else(|| err(line_no, "`variant <name>` must come first"))?;
+
+        let next = match (head, &rest[..]) {
+            ("softmax", ["on"]) => current.softmax(true),
+            ("softmax", ["off"]) => current.softmax(false),
+            ("param", [name]) => {
+                declared.push((*name).to_owned());
+                current.extra_param(name)
+            }
+            ("logits", ["scale"]) => current.logits_op(LogitsOp::Scale),
+            ("logits", ["sigmoid"]) => current.logits_op(LogitsOp::Sigmoid),
+            ("logits", ["tanh"]) => current.logits_op(LogitsOp::Tanh),
+            ("logits", [op @ ("add" | "mul" | "softcap"), p]) => {
+                if !declared.iter().any(|d| d == p) {
+                    return Err(err(line_no, format!("parameter `{p}` not declared")));
+                }
+                let op = match *op {
+                    "add" => LogitsOp::AddParam((*p).into()),
+                    "mul" => LogitsOp::MulParam((*p).into()),
+                    _ => LogitsOp::SoftCap((*p).into()),
+                };
+                current.logits_op(op)
+            }
+            ("mask", ["none"]) => current.mask(MaskSpec::None),
+            ("mask", ["causal"]) => current.mask(MaskSpec::Causal),
+            ("mask", ["window", w, s]) => {
+                let window = w
+                    .parse::<usize>()
+                    .map_err(|_| err(line_no, format!("bad window size `{w}`")))?;
+                let sink_tokens = s
+                    .parse::<usize>()
+                    .map_err(|_| err(line_no, format!("bad sink count `{s}`")))?;
+                current.mask(MaskSpec::SlidingWindow { window, sink_tokens })
+            }
+            ("rope", [theta]) => {
+                let theta = theta
+                    .parse::<f32>()
+                    .map_err(|_| err(line_no, format!("bad theta `{theta}`")))?;
+                current.fused_rope(theta)
+            }
+            _ => return Err(err(line_no, format!("unknown statement `{line}`"))),
+        };
+        spec = Some(next);
+    }
+
+    let spec = spec.ok_or_else(|| {
+        AttentionError::InvalidVariant("empty source: missing `variant <name>`".into())
+    })?;
+    // Surface build errors (e.g. op referencing undeclared param) eagerly.
+    spec.build()?;
+    Ok(spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variant::{AttentionVariant, LogitCtx, SigmoidAttention, VariantParams};
+    use fi_tensor::DType;
+
+    const SIGMOID_SRC: &str = "
+        # FlashSigmoid, straight from Figure 5
+        variant flash_sigmoid
+        softmax off
+        param bias
+        logits scale
+        logits add bias
+        logits sigmoid
+        mask causal
+    ";
+
+    fn lctx(qo_pos: usize, kv_pos: usize, qo_len: usize, kv_len: usize) -> LogitCtx {
+        LogitCtx { batch_idx: 0, qo_pos, kv_pos, qo_head_idx: 0, kv_head_idx: 0, qo_len, kv_len }
+    }
+
+    #[test]
+    fn parses_flash_sigmoid_and_matches_builtin() {
+        let spec = parse(SIGMOID_SRC).unwrap();
+        assert_eq!(spec.name(), "flash_sigmoid");
+        let jit = spec.build().unwrap();
+        let builtin = SigmoidAttention;
+        let p = VariantParams::for_head_dim(32).with_extra("bias", 0.7);
+        assert!(!jit.use_softmax());
+        for raw in [-4.0f32, 0.0, 2.0] {
+            let a = jit.logits_transform(&p, raw, lctx(0, 0, 1, 2));
+            let b = builtin.logits_transform(&p, raw, lctx(0, 0, 1, 2));
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn parses_streaming_rope_window() {
+        let spec = parse(
+            "variant streaming\nlogits scale\nmask window 1024 4\nrope 10000",
+        )
+        .unwrap();
+        let src = spec.render_cuda(DType::F16, 128);
+        assert!(src.contains("apply_llama_rope"));
+        assert!(src.contains("kv_idx < 4"));
+        let jit = spec.build().unwrap();
+        let p = VariantParams::for_head_dim(128);
+        // Decode at kv_len 2000: sink visible, middle evicted.
+        assert!(jit.logits_mask(&p, lctx(0, 2, 1, 2000)));
+        assert!(!jit.logits_mask(&p, lctx(0, 500, 1, 2000)));
+        assert!(jit.logits_mask(&p, lctx(0, 1999, 1, 2000)));
+    }
+
+    #[test]
+    fn gemma_softcap_roundtrip() {
+        let spec = parse(
+            "variant gemma\nparam cap\nlogits scale\nlogits softcap cap\nmask causal",
+        )
+        .unwrap();
+        let jit = spec.build().unwrap();
+        let p = VariantParams { sm_scale: 1.0, extra: Default::default() }.with_extra("cap", 30.0);
+        let big = jit.logits_transform(&p, 1e6, lctx(0, 0, 1, 1));
+        assert!((big - 30.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn error_reporting_with_line_numbers() {
+        let e = parse("softmax off").unwrap_err().to_string();
+        assert!(e.contains("line 1") && e.contains("variant"), "{e}");
+        let e = parse("variant a\nlogits add missing").unwrap_err().to_string();
+        assert!(e.contains("line 2") && e.contains("missing"), "{e}");
+        let e = parse("variant a\nmask window x 4").unwrap_err().to_string();
+        assert!(e.contains("bad window"), "{e}");
+        let e = parse("variant a\nfrobnicate").unwrap_err().to_string();
+        assert!(e.contains("unknown statement"), "{e}");
+        let e = parse("# only comments\n").unwrap_err().to_string();
+        assert!(e.contains("empty source"), "{e}");
+        let e = parse("variant a\nvariant b").unwrap_err().to_string();
+        assert!(e.contains("duplicate"), "{e}");
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let spec = parse("\n  # header\nvariant v # trailing\n\nlogits scale\n").unwrap();
+        assert_eq!(spec.name(), "v");
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for the attention engine.
+
+use std::fmt;
+
+/// Errors produced by kernel setup and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttentionError {
+    /// Problem dimensions are inconsistent (heads not divisible, widths
+    /// mismatched, layout rows differ from query rows, ...).
+    InvalidProblem(String),
+    /// A tile or chunk index is out of range for the layout.
+    InvalidChunk(String),
+    /// The variant specification is malformed (unknown parameter, bad
+    /// expression, ...).
+    InvalidVariant(String),
+    /// Propagated sparse-format error.
+    Sparse(fi_sparse::SparseError),
+    /// Propagated tensor error.
+    Tensor(fi_tensor::TensorError),
+}
+
+impl fmt::Display for AttentionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttentionError::InvalidProblem(m) => write!(f, "invalid problem: {m}"),
+            AttentionError::InvalidChunk(m) => write!(f, "invalid chunk: {m}"),
+            AttentionError::InvalidVariant(m) => write!(f, "invalid variant: {m}"),
+            AttentionError::Sparse(e) => write!(f, "sparse format error: {e}"),
+            AttentionError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AttentionError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AttentionError::Sparse(e) => Some(e),
+            AttentionError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fi_sparse::SparseError> for AttentionError {
+    fn from(e: fi_sparse::SparseError) -> Self {
+        AttentionError::Sparse(e)
+    }
+}
+
+impl From<fi_tensor::TensorError> for AttentionError {
+    fn from(e: fi_tensor::TensorError) -> Self {
+        AttentionError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = AttentionError::Sparse(fi_sparse::SparseError::InvalidIndptr("x".into()));
+        assert!(e.to_string().contains("sparse"));
+        assert!(e.source().is_some());
+        assert!(AttentionError::InvalidProblem("p".into()).source().is_none());
+    }
+}

@@ -1,0 +1,166 @@
+//! Sparse-to-contiguous KV staging (§3.2.1, Figure 4).
+//!
+//! Tensor cores need contiguous operands, but block-sparse KV rows are
+//! scattered through the pool. FlashInfer first copies the tile's rows from
+//! global memory into contiguous shared memory (LDGSTS, 128B lanes), after
+//! which the sparse and dense kernels are identical. [`Stager`] is that
+//! staging step: it widens storage-precision rows into a reused f32 buffer
+//! (the "shared memory" tile) and accounts the bytes moved, which feeds the
+//! GPU cost model and the Appendix B overhead experiment.
+
+use fi_tensor::{Scalar, Tensor};
+
+/// Byte-level accounting of staged copies.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct GatherStats {
+    /// Bytes read from "global memory" (the pool, at storage precision).
+    pub global_bytes: usize,
+    /// Rows staged.
+    pub rows: usize,
+    /// Staged copies that were contiguous in the source (dense fast path,
+    /// TMA-eligible on Hopper).
+    pub contiguous_runs: usize,
+    /// Total scattered runs (each needs its own address computation).
+    pub scattered_runs: usize,
+}
+
+/// A reusable staging buffer: the software analog of a shared-memory KV
+/// tile.
+#[derive(Debug, Default)]
+pub struct Stager {
+    buf_k: Vec<f32>,
+    buf_v: Vec<f32>,
+    stats: GatherStats,
+}
+
+impl Stager {
+    /// Create an empty stager.
+    pub fn new() -> Stager {
+        Stager::default()
+    }
+
+    /// Stage the K and V rows at `slots` (head-sliced: `head * d .. (head+1) * d`
+    /// within each pool row) into contiguous f32 buffers. Returns `(k, v)`
+    /// tiles of shape `[slots.len(), d]` flattened.
+    ///
+    /// Contiguity of the slot list is detected and recorded: a run of
+    /// consecutive slots models a dense (affine) copy, anything else a
+    /// scattered gather (Figure 4 left vs right).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot or the head slice is out of range for the pools.
+    pub fn stage<'a, T: Scalar>(
+        &'a mut self,
+        k_pool: &Tensor<T>,
+        v_pool: &Tensor<T>,
+        slots: &[usize],
+        head: usize,
+        d: usize,
+    ) -> (&'a [f32], &'a [f32]) {
+        let n = slots.len();
+        self.buf_k.clear();
+        self.buf_v.clear();
+        self.buf_k.reserve(n * d);
+        self.buf_v.reserve(n * d);
+        for &s in slots {
+            let kr = &k_pool.row(s)[head * d..(head + 1) * d];
+            let vr = &v_pool.row(s)[head * d..(head + 1) * d];
+            self.buf_k.extend(kr.iter().map(|&x| x.to_f32()));
+            self.buf_v.extend(vr.iter().map(|&x| x.to_f32()));
+        }
+        // Accounting.
+        self.stats.rows += n;
+        self.stats.global_bytes += 2 * n * d * T::DTYPE.size_bytes();
+        let mut runs = 0usize;
+        let mut contiguous = 0usize;
+        let mut i = 0;
+        while i < n {
+            let mut j = i + 1;
+            while j < n && slots[j] == slots[j - 1] + 1 {
+                j += 1;
+            }
+            runs += 1;
+            if j - i > 1 {
+                contiguous += 1;
+            }
+            i = j;
+        }
+        self.stats.scattered_runs += runs - contiguous;
+        self.stats.contiguous_runs += contiguous;
+        (&self.buf_k, &self.buf_v)
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> GatherStats {
+        self.stats
+    }
+
+    /// Reset statistics (buffers are reused regardless).
+    pub fn reset_stats(&mut self) {
+        self.stats = GatherStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fi_tensor::F16;
+
+    fn pools() -> (Tensor<f32>, Tensor<f32>) {
+        let k = Tensor::from_fn(vec![8, 4], |i| i as f32);
+        let v = Tensor::from_fn(vec![8, 4], |i| -(i as f32));
+        (k, v)
+    }
+
+    #[test]
+    fn stages_rows_in_gather_order() {
+        let (k, v) = pools();
+        let mut s = Stager::new();
+        let (tk, tv) = s.stage(&k, &v, &[3, 1], 0, 4);
+        assert_eq!(tk, &[12.0, 13.0, 14.0, 15.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(tv[0], -12.0);
+    }
+
+    #[test]
+    fn head_slicing() {
+        let (k, v) = pools();
+        let mut s = Stager::new();
+        // 2 heads of d=2: head 1 takes columns 2..4.
+        let (tk, _) = s.stage(&k, &v, &[0, 1], 1, 2);
+        assert_eq!(tk, &[2.0, 3.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_dtype() {
+        let (k32, v32) = pools();
+        let k16 = k32.cast::<F16>();
+        let v16 = v32.cast::<F16>();
+        let mut s = Stager::new();
+        s.stage(&k32, &v32, &[0, 1], 0, 4);
+        assert_eq!(s.stats().global_bytes, 2 * 2 * 4 * 4);
+        s.reset_stats();
+        s.stage(&k16, &v16, &[0, 1], 0, 4);
+        assert_eq!(s.stats().global_bytes, 2 * 2 * 4 * 2);
+    }
+
+    #[test]
+    fn run_detection() {
+        let (k, v) = pools();
+        let mut s = Stager::new();
+        // [0,1,2] contiguous; [5] scattered; [7] scattered.
+        s.stage(&k, &v, &[0, 1, 2, 5, 7], 0, 4);
+        assert_eq!(s.stats().contiguous_runs, 1);
+        assert_eq!(s.stats().scattered_runs, 2);
+        assert_eq!(s.stats().rows, 5);
+    }
+
+    #[test]
+    fn empty_gather() {
+        let (k, v) = pools();
+        let mut s = Stager::new();
+        let (tk, tv) = s.stage(&k, &v, &[], 0, 4);
+        assert!(tk.is_empty() && tv.is_empty());
+        assert_eq!(s.stats().rows, 0);
+    }
+}

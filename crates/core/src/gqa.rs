@@ -1,0 +1,145 @@
+//! GQA head-group fusion (Appendix A, Figure 11).
+//!
+//! With grouped-query attention, `g = H_qo / H_kv` query heads share each
+//! KV head. Mapping each query head to its own threadblock wastes the
+//! potential KV reuse when queries are short (decode: one row per block).
+//! FlashInfer instead *fuses the query-head dimension into the row
+//! dimension*: the tile over KV head `h_kv` has `l_qo × g` rows — one per
+//! (token, head-in-group) pair — so a single staged KV tile serves the
+//! whole group.
+//!
+//! [`FusedLayout`] is that index arithmetic: fused row `r = qo_pos * g +
+//! head_offset` (token-major, matching Figure 11), plus the effective
+//! query length the tile-size heuristic consumes (§3.2.2 step 1).
+
+use crate::config::HeadConfig;
+
+/// Index mapping for head-group fusion over one KV head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct FusedLayout {
+    group_size: usize,
+}
+
+impl FusedLayout {
+    /// Build the layout for a head configuration.
+    pub fn new(heads: HeadConfig) -> FusedLayout {
+        FusedLayout { group_size: heads.group_size() }
+    }
+
+    /// Group size `g`.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Fused row count for a request: `l_qo * g`.
+    pub fn fused_len(&self, qo_len: usize) -> usize {
+        qo_len * self.group_size
+    }
+
+    /// Fused row of `(qo_pos, head_offset)` where `head_offset ∈ 0..g`.
+    pub fn fused_row(&self, qo_pos: usize, head_offset: usize) -> usize {
+        debug_assert!(head_offset < self.group_size);
+        qo_pos * self.group_size + head_offset
+    }
+
+    /// Inverse: `(qo_pos, head_offset)` of a fused row.
+    pub fn unfuse(&self, fused_row: usize) -> (usize, usize) {
+        (fused_row / self.group_size, fused_row % self.group_size)
+    }
+
+    /// The query head index of `(kv_head, head_offset)`.
+    pub fn qo_head(&self, kv_head: usize, head_offset: usize) -> usize {
+        kv_head * self.group_size + head_offset
+    }
+
+    /// Average fused query length of a batch — the quantity fed to
+    /// [`crate::tiles::select_tile`].
+    pub fn avg_fused_qo_len(&self, qo_lens: &[usize]) -> f64 {
+        if qo_lens.is_empty() {
+            return 0.0;
+        }
+        let total: usize = qo_lens.iter().map(|&l| self.fused_len(l)).sum();
+        total as f64 / qo_lens.len() as f64
+    }
+}
+
+/// KV bytes a request's attention must load from global memory, with and
+/// without fusion — the quantity Figure 11's design improves. Without
+/// fusion every query head's threadblock loads the KV tile separately
+/// (`H_qo` loads of the per-kv-head slice); with fusion each KV head's tile
+/// is loaded once (`H_kv` loads).
+pub fn kv_load_bytes(
+    heads: HeadConfig,
+    kv_len: usize,
+    elem_bytes: usize,
+    fused: bool,
+) -> usize {
+    let per_head = 2 * kv_len * heads.head_dim * elem_bytes; // K + V
+    if fused {
+        heads.num_kv_heads * per_head
+    } else {
+        heads.num_qo_heads * per_head
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heads() -> HeadConfig {
+        HeadConfig::new(8, 2, 64).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_fuse_unfuse() {
+        let l = FusedLayout::new(heads());
+        assert_eq!(l.group_size(), 4);
+        for qo in 0..5 {
+            for off in 0..4 {
+                let r = l.fused_row(qo, off);
+                assert_eq!(l.unfuse(r), (qo, off));
+            }
+        }
+        assert_eq!(l.fused_len(5), 20);
+    }
+
+    #[test]
+    fn fused_rows_are_token_major() {
+        let l = FusedLayout::new(heads());
+        // Figure 11: consecutive rows are the heads of one token.
+        assert_eq!(l.fused_row(0, 0), 0);
+        assert_eq!(l.fused_row(0, 3), 3);
+        assert_eq!(l.fused_row(1, 0), 4);
+    }
+
+    #[test]
+    fn qo_head_mapping_is_inverse_of_kv_head_of() {
+        let h = heads();
+        let l = FusedLayout::new(h);
+        for kv in 0..h.num_kv_heads {
+            for off in 0..l.group_size() {
+                let qo = l.qo_head(kv, off);
+                assert_eq!(h.kv_head_of(qo), kv);
+            }
+        }
+    }
+
+    #[test]
+    fn avg_fused_len() {
+        let l = FusedLayout::new(heads());
+        assert_eq!(l.avg_fused_qo_len(&[1, 1, 1]), 4.0);
+        assert_eq!(l.avg_fused_qo_len(&[1, 3]), 8.0);
+        assert_eq!(l.avg_fused_qo_len(&[]), 0.0);
+    }
+
+    #[test]
+    fn fusion_cuts_kv_traffic_by_group_size() {
+        let h = heads();
+        let unfused = kv_load_bytes(h, 1000, 2, false);
+        let fused = kv_load_bytes(h, 1000, 2, true);
+        assert_eq!(unfused / fused, h.group_size());
+        // MHA: no difference.
+        let mha = HeadConfig::new(4, 4, 64).unwrap();
+        assert_eq!(kv_load_bytes(mha, 10, 2, true), kv_load_bytes(mha, 10, 2, false));
+    }
+}

@@ -1,0 +1,954 @@
+//! The FA2-style tiled attention kernel over dense or block-sparse KV
+//! (§3.2).
+//!
+//! One kernel skeleton serves every configuration, exactly as in the paper:
+//!
+//! * the **layout** (a `fi_sparse::BlockSparseMatrix`) decides which KV
+//!   slots each query tile touches — contiguous KV, paged KV, composable
+//!   parts and tree masks all arrive through the same structure;
+//! * the **variant** hooks specialize the math at the defined points
+//!   (§3.2.3);
+//! * the **tile configuration** fixes the chunking of the KV axis
+//!   (§3.2.2) — numerics are tile-size independent (online softmax), only
+//!   the cost accounting changes;
+//! * execution either produces final outputs ([`FlashKernel::run`]) or
+//!   mergeable partial [`AttentionState`]s for one KV chunk of one tile
+//!   ([`FlashKernel::run_block_row_chunk`]) — the scheduler's split-KV
+//!   unit of work (§3.3.1).
+//!
+//! The inner loop is the FlashAttention-2 online-softmax update: running
+//! max `m`, running denominator `l`, and unnormalized accumulator, all in
+//! f32 regardless of storage precision (Appendix F).
+
+use fi_sparse::BlockSparseMatrix;
+use fi_tensor::{RaggedTensor, Scalar, Tensor};
+
+use crate::config::HeadConfig;
+use crate::error::AttentionError;
+use crate::gather::{GatherStats, Stager};
+use crate::state::AttentionState;
+use crate::tiles::TileConfig;
+use crate::variant::{AttentionVariant, KeyCtx, LogitCtx, QueryCtx, VariantParams};
+
+/// Per-query-row metadata the variant contexts need: which request the row
+/// belongs to and the request's logical lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RowMeta {
+    /// Request index in the batch.
+    pub batch_idx: usize,
+    /// The row's query position within its request (`0..qo_len`).
+    pub qo_pos: usize,
+    /// Request query length.
+    pub qo_len: usize,
+    /// Request **full** KV length (across all composable parts).
+    pub kv_len: usize,
+}
+
+/// A fully-specified attention computation: tensors + layout + head config.
+///
+/// `kv_pos_offsets[i]` is the timeline position (within the owning
+/// request's KV sequence) of block row `i`'s first gathered slot — 0 for
+/// single-format layouts, the shared-prefix length for the suffix part of a
+/// composable format.
+#[derive(Debug)]
+pub struct AttentionProblem<'a, TQ, TKV> {
+    q: &'a RaggedTensor<TQ>,
+    k: &'a Tensor<TKV>,
+    v: &'a Tensor<TKV>,
+    layout: &'a BlockSparseMatrix,
+    heads: HeadConfig,
+    row_meta: Vec<RowMeta>,
+    kv_pos_offsets: Vec<usize>,
+}
+
+impl<'a, TQ: Scalar, TKV: Scalar> AttentionProblem<'a, TQ, TKV> {
+    /// Assemble and validate a problem.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::InvalidProblem`] when shapes disagree:
+    /// `layout.rows() != q.total_rows()`, pool row count != `layout.cols()`,
+    /// widths not matching the head config, or metadata lengths wrong.
+    pub fn new(
+        q: &'a RaggedTensor<TQ>,
+        k: &'a Tensor<TKV>,
+        v: &'a Tensor<TKV>,
+        layout: &'a BlockSparseMatrix,
+        heads: HeadConfig,
+        row_meta: Vec<RowMeta>,
+        kv_pos_offsets: Vec<usize>,
+    ) -> Result<Self, AttentionError> {
+        if layout.rows() != q.total_rows() {
+            return Err(AttentionError::InvalidProblem(format!(
+                "layout rows {} != query rows {}",
+                layout.rows(),
+                q.total_rows()
+            )));
+        }
+        if q.dim() != heads.qo_width() {
+            return Err(AttentionError::InvalidProblem(format!(
+                "query width {} != H_qo*D {}",
+                q.dim(),
+                heads.qo_width()
+            )));
+        }
+        for (name, t) in [("k", k), ("v", v)] {
+            if t.shape().len() != 2
+                || t.shape()[0] != layout.cols()
+                || t.shape()[1] != heads.kv_width()
+            {
+                return Err(AttentionError::InvalidProblem(format!(
+                    "{name} pool shape {:?} != [{}, {}]",
+                    t.shape(),
+                    layout.cols(),
+                    heads.kv_width()
+                )));
+            }
+        }
+        if row_meta.len() != layout.rows() {
+            return Err(AttentionError::InvalidProblem(format!(
+                "row_meta length {} != rows {}",
+                row_meta.len(),
+                layout.rows()
+            )));
+        }
+        if kv_pos_offsets.len() != layout.n_block_rows() {
+            return Err(AttentionError::InvalidProblem(format!(
+                "kv_pos_offsets length {} != block rows {}",
+                kv_pos_offsets.len(),
+                layout.n_block_rows()
+            )));
+        }
+        Ok(AttentionProblem { q, k, v, layout, heads, row_meta, kv_pos_offsets })
+    }
+
+    /// Convenience constructor for the common single-format batch: request
+    /// `i` owns the rows `q.indptr()[i]..q.indptr()[i+1]` and every block
+    /// row of request `i` sees its full KV from position 0. `kv_lens[i]` is
+    /// request `i`'s KV length (must equal each of its block rows' gather
+    /// length).
+    ///
+    /// # Errors
+    ///
+    /// As [`AttentionProblem::new`], plus a length check on `kv_lens`.
+    pub fn standard_batch(
+        q: &'a RaggedTensor<TQ>,
+        k: &'a Tensor<TKV>,
+        v: &'a Tensor<TKV>,
+        layout: &'a BlockSparseMatrix,
+        heads: HeadConfig,
+        kv_lens: &[usize],
+    ) -> Result<Self, AttentionError> {
+        if kv_lens.len() != q.batch_size() {
+            return Err(AttentionError::InvalidProblem(format!(
+                "kv_lens length {} != batch size {}",
+                kv_lens.len(),
+                q.batch_size()
+            )));
+        }
+        let mut row_meta = Vec::with_capacity(q.total_rows());
+        #[allow(clippy::needless_range_loop)]
+        for b in 0..q.batch_size() {
+            let qo_len = q.seq_len(b);
+            for qo_pos in 0..qo_len {
+                row_meta.push(RowMeta { batch_idx: b, qo_pos, qo_len, kv_len: kv_lens[b] });
+            }
+        }
+        let kv_pos_offsets = vec![0; layout.n_block_rows()];
+        AttentionProblem::new(q, k, v, layout, heads, row_meta, kv_pos_offsets)
+    }
+
+    /// Build the layout for a *ragged* (contiguous per-request) KV cache —
+    /// the `BatchPrefillWithRaggedKVCacheWrapper` convention (Appendix B):
+    /// request `i`'s KV occupies rows `kv_indptr[i]..kv_indptr[i+1]` of the
+    /// pool. Returns the dense-run layout to pass to
+    /// [`AttentionProblem::standard_batch`] (one block row per query tile
+    /// of height `tq`, each covering the request's whole contiguous span).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::InvalidProblem`] on malformed indptr or
+    /// `tq == 0`.
+    pub fn ragged_kv_layout(
+        qo_lens: &[usize],
+        kv_indptr: &[usize],
+        tq: usize,
+    ) -> Result<BlockSparseMatrix, AttentionError> {
+        if tq == 0 {
+            return Err(AttentionError::InvalidProblem("tq must be positive".into()));
+        }
+        if kv_indptr.len() != qo_lens.len() + 1 {
+            return Err(AttentionError::InvalidProblem(format!(
+                "kv_indptr length {} != batch + 1 = {}",
+                kv_indptr.len(),
+                qo_lens.len() + 1
+            )));
+        }
+        fi_tensor::ragged::validate_indptr(kv_indptr).map_err(AttentionError::Tensor)?;
+        let cols = *kv_indptr.last().expect("validated non-empty");
+        let rows: usize = qo_lens.iter().sum();
+        let mut block_rows = Vec::new();
+        let mut row = 0usize;
+        for (i, &lq) in qo_lens.iter().enumerate() {
+            let (s, e) = (kv_indptr[i], kv_indptr[i + 1]);
+            if lq == 0 {
+                continue;
+            }
+            if s == e {
+                return Err(AttentionError::InvalidProblem(format!(
+                    "request {i} has {lq} queries but no KV"
+                )));
+            }
+            // One contiguous run per tile: a single full-width block with
+            // bc = the request's span would violate uniform bc, so use a
+            // maximal uniform bc and a partial tail.
+            let mut r = 0usize;
+            while r < lq {
+                let re = (r + tq).min(lq);
+                block_rows.push((row + r, row + re, ragged_span_entries(s, e, cols)));
+                r = re;
+            }
+            row += lq;
+        }
+        // bc = 1 keeps spans exact; gather detects contiguity for TMA-style
+        // fast paths (see fi-core::gather run accounting).
+        BlockSparseMatrix::new(rows, cols.max(1), 1, block_rows)
+            .map_err(AttentionError::Sparse)
+    }
+
+    /// The head configuration.
+    pub fn heads(&self) -> HeadConfig {
+        self.heads
+    }
+
+    /// The block-sparse layout.
+    pub fn layout(&self) -> &BlockSparseMatrix {
+        self.layout
+    }
+
+    /// Per-row metadata.
+    pub fn row_meta(&self) -> &[RowMeta] {
+        &self.row_meta
+    }
+
+    /// The query batch.
+    pub fn queries(&self) -> &RaggedTensor<TQ> {
+        self.q
+    }
+}
+
+/// Entries covering the contiguous slot span `[s, e)` at `bc = 1`.
+pub(crate) fn ragged_span_entries(
+    s: usize,
+    e: usize,
+    _cols: usize,
+) -> Vec<fi_sparse::bsr::BlockEntry> {
+    (s..e).map(|c| fi_sparse::bsr::BlockEntry { col_block: c, len: 1 }).collect()
+}
+
+/// Execution statistics, the kernel-side inputs to the GPU cost model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct KernelStats {
+    /// Multiply-add FLOPs executed (QK^T and PV GEMMs).
+    pub flops: u64,
+    /// Bytes moved from "global memory": staged KV plus Q reads and O
+    /// writes. Reflects head-group fusion (unfused multiplies KV traffic by
+    /// the group size — Appendix A).
+    pub global_bytes: u64,
+    /// KV tiles staged.
+    pub kv_tiles: u64,
+    /// Tiles executed on the tensor-core path (`Tq >= 16`).
+    pub tensor_core_tiles: u64,
+    /// Tiles executed on the CUDA-core path (`Tq == 1`).
+    pub cuda_core_tiles: u64,
+    /// Gather-level detail.
+    pub gather: GatherStats,
+}
+
+impl KernelStats {
+    fn absorb(&mut self, other: &KernelStats) {
+        self.flops += other.flops;
+        self.global_bytes += other.global_bytes;
+        self.kv_tiles += other.kv_tiles;
+        self.tensor_core_tiles += other.tensor_core_tiles;
+        self.cuda_core_tiles += other.cuda_core_tiles;
+        self.gather.global_bytes += other.gather.global_bytes;
+        self.gather.rows += other.gather.rows;
+        self.gather.contiguous_runs += other.gather.contiguous_runs;
+        self.gather.scattered_runs += other.gather.scattered_runs;
+    }
+}
+
+/// Final outputs of a full kernel run.
+#[derive(Debug, Clone)]
+pub struct KernelOutput {
+    /// Attention outputs, same indptr as the queries, width `H_qo * D`.
+    pub o: RaggedTensor<f32>,
+    /// Log-sum-exp per (row, qo_head), row-major `[rows, H_qo]`.
+    /// `-inf` where a query's visible set is empty; meaningless for
+    /// non-softmax variants.
+    pub lse: Vec<f32>,
+    /// Execution statistics.
+    pub stats: KernelStats,
+}
+
+/// Partial states for one (block row × KV chunk) work item.
+#[derive(Debug, Clone)]
+pub struct ChunkOutput {
+    /// States laid out `[rows_in_tile, H_qo]` row-major, each of dim `D`.
+    pub states: Vec<AttentionState>,
+    /// First query row of the tile.
+    pub row_start: usize,
+    /// One past the last query row.
+    pub row_end: usize,
+    /// Execution statistics for this chunk.
+    pub stats: KernelStats,
+}
+
+/// The FA2-style kernel, configured with a tile size and the head-fusion
+/// switch (Appendix A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashKernel {
+    /// Tile configuration (`Tq` must equal the layout's block-row heights
+    /// only in spirit — numerics never depend on it; stats do).
+    pub tile: TileConfig,
+    /// Whether query heads are fused into tile rows (shared KV staging).
+    pub head_fusion: bool,
+}
+
+impl FlashKernel {
+    /// Kernel with the tile selected for this problem shape by the §3.2.2
+    /// heuristic, head fusion on.
+    pub fn auto(avg_fused_qo_len: f64, head_dim: usize) -> FlashKernel {
+        FlashKernel {
+            tile: crate::tiles::select_tile(
+                avg_fused_qo_len,
+                head_dim,
+                crate::tiles::SmResources::A100,
+            ),
+            head_fusion: true,
+        }
+    }
+
+    /// Run the whole problem to final outputs.
+    ///
+    /// Rows not covered by any block row produce zero output and `-inf`
+    /// LSE (they have an empty visible set).
+    ///
+    /// # Errors
+    ///
+    /// Propagates chunk-execution errors (none in practice once the
+    /// problem validated; kept for API stability).
+    pub fn run<TQ: Scalar, TKV: Scalar>(
+        &self,
+        problem: &AttentionProblem<'_, TQ, TKV>,
+        variant: &dyn AttentionVariant,
+        params: &VariantParams,
+    ) -> Result<KernelOutput, AttentionError> {
+        let heads = problem.heads;
+        let rows = problem.layout.rows();
+        let mut o = RaggedTensor::<f32>::zeros(problem.q.indptr().to_vec(), heads.qo_width())?;
+        let mut lse = vec![f32::NEG_INFINITY; rows * heads.num_qo_heads];
+        let mut stats = KernelStats::default();
+
+        for br in 0..problem.layout.n_block_rows() {
+            let n_blocks = problem.layout.block_row(br).len();
+            let chunk = self.run_block_row_chunk(problem, variant, params, br, 0..n_blocks)?;
+            stats.absorb(&chunk.stats);
+            // Write through: full-KV states are final.
+            for (i, st) in chunk.states.iter().enumerate() {
+                let row = chunk.row_start + i / heads.num_qo_heads;
+                let head = i % heads.num_qo_heads;
+                let meta = problem.row_meta[row];
+                let mut orow = st.o.clone();
+                if variant.use_softmax() {
+                    lse[row * heads.num_qo_heads + head] = st.lse;
+                }
+                variant.output_transform(
+                    params,
+                    &mut orow,
+                    QueryCtx {
+                        batch_idx: meta.batch_idx,
+                        qo_pos: meta.qo_pos,
+                        qo_head_idx: head,
+                        qo_len: meta.qo_len,
+                        kv_len: meta.kv_len,
+                    },
+                );
+                let d = heads.head_dim;
+                o.global_row_mut(row)[head * d..(head + 1) * d].copy_from_slice(&orow);
+            }
+        }
+        // Q read + O write traffic.
+        stats.global_bytes +=
+            (rows * heads.qo_width()) as u64 * (TQ::DTYPE.size_bytes() as u64 + 4);
+        Ok(KernelOutput { o, lse, stats })
+    }
+
+    /// Execute one split-KV work item: block row `block_row`, KV blocks
+    /// `kv_blocks` (indices into the block row's nonzero list). Returns
+    /// *unfinalized* attention states — `output_transform` is NOT applied;
+    /// the contraction step applies it after merging all chunks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::InvalidChunk`] if indices are out of range.
+    pub fn run_block_row_chunk<TQ: Scalar, TKV: Scalar>(
+        &self,
+        problem: &AttentionProblem<'_, TQ, TKV>,
+        variant: &dyn AttentionVariant,
+        params: &VariantParams,
+        block_row: usize,
+        kv_blocks: std::ops::Range<usize>,
+    ) -> Result<ChunkOutput, AttentionError> {
+        let heads = problem.heads;
+        let d = heads.head_dim;
+        let layout = problem.layout;
+        if block_row >= layout.n_block_rows() {
+            return Err(AttentionError::InvalidChunk(format!(
+                "block row {block_row} out of range {}",
+                layout.n_block_rows()
+            )));
+        }
+        let blocks = layout.block_row(block_row);
+        if kv_blocks.end > blocks.len() {
+            return Err(AttentionError::InvalidChunk(format!(
+                "kv blocks {:?} out of range {}",
+                kv_blocks,
+                blocks.len()
+            )));
+        }
+        let (rs, re) = layout.block_row_range(block_row);
+        let n_rows = re - rs;
+        let softmax = variant.use_softmax();
+
+        // Timeline position of the chunk's first slot = block row offset +
+        // slots of the skipped leading blocks.
+        let lead: usize = blocks[..kv_blocks.start].iter().map(|b| b.len).sum();
+        let base_pos = problem.kv_pos_offsets[block_row] + lead;
+
+        // Gather list for the chunk.
+        let mut slots = Vec::new();
+        for b in &blocks[kv_blocks.clone()] {
+            let base = b.col_block * layout.bc();
+            slots.extend(base..base + b.len);
+        }
+
+        // Pre-transform all query rows once per (row, qo_head).
+        let mut q_rows: Vec<f32> = Vec::with_capacity(n_rows * heads.num_qo_heads * d);
+        for row in rs..re {
+            let meta = problem.row_meta[row];
+            let qsrc = problem.q.global_row(row);
+            for h in 0..heads.num_qo_heads {
+                let mut qv: Vec<f32> = qsrc[h * d..(h + 1) * d].iter().map(|&x| x.to_f32()).collect();
+                variant.query_transform(
+                    params,
+                    &mut qv,
+                    QueryCtx {
+                        batch_idx: meta.batch_idx,
+                        qo_pos: meta.qo_pos,
+                        qo_head_idx: h,
+                        qo_len: meta.qo_len,
+                        kv_len: meta.kv_len,
+                    },
+                );
+                q_rows.extend_from_slice(&qv);
+            }
+        }
+
+        // Online-softmax accumulators per (row, qo_head).
+        let n_states = n_rows * heads.num_qo_heads;
+        let mut m = vec![f32::NEG_INFINITY; n_states];
+        let mut l = vec![0.0f32; n_states];
+        let mut acc = vec![0.0f32; n_states * d];
+        let mut stats = KernelStats::default();
+        let mut stager = Stager::new();
+
+        // KeyCtx batch/kv_len come from the first row's request; key/value
+        // transforms must not depend on batch identity when a tall prefix
+        // block row spans requests (they never do for the built-in variants).
+        let key_meta = problem.row_meta[rs];
+
+        let tkv = self.tile.tkv.max(1);
+        for kv_head in 0..heads.num_kv_heads {
+            let mut chunk_start = 0usize;
+            while chunk_start < slots.len() {
+                let chunk_end = (chunk_start + tkv).min(slots.len());
+                let chunk_slots = &slots[chunk_start..chunk_end];
+                let (k_tile, v_tile) =
+                    stager.stage(problem.k, problem.v, chunk_slots, kv_head, d);
+                let mut k_tile = k_tile.to_vec();
+                let mut v_tile = v_tile.to_vec();
+                // Key/value transforms with cache positions.
+                for (j, _) in chunk_slots.iter().enumerate() {
+                    let kv_pos = base_pos + chunk_start + j;
+                    let kctx = KeyCtx {
+                        batch_idx: key_meta.batch_idx,
+                        kv_pos,
+                        kv_head_idx: kv_head,
+                        kv_len: key_meta.kv_len,
+                    };
+                    variant.key_transform(params, &mut k_tile[j * d..(j + 1) * d], kctx);
+                    variant.value_transform(params, &mut v_tile[j * d..(j + 1) * d], kctx);
+                }
+
+                // Logits + online update for every (row, head-in-group).
+                for row_i in 0..n_rows {
+                    let meta = problem.row_meta[rs + row_i];
+                    for g in 0..heads.group_size() {
+                        let qo_head = kv_head * heads.group_size() + g;
+                        let si = row_i * heads.num_qo_heads + qo_head;
+                        let qv = &q_rows[si * d..(si + 1) * d];
+
+                        // Chunk-local max for the update.
+                        let mut new_m = m[si];
+                        let mut logits = Vec::with_capacity(chunk_slots.len());
+                        for j in 0..chunk_slots.len() {
+                            let kv_pos = base_pos + chunk_start + j;
+                            let lctx = LogitCtx {
+                                batch_idx: meta.batch_idx,
+                                qo_pos: meta.qo_pos,
+                                kv_pos,
+                                qo_head_idx: qo_head,
+                                kv_head_idx: kv_head,
+                                qo_len: meta.qo_len,
+                                kv_len: meta.kv_len,
+                            };
+                            if !variant.logits_mask(params, lctx) {
+                                logits.push(f32::NEG_INFINITY);
+                                continue;
+                            }
+                            let raw = fi_tensor::numerics::dot(qv, &k_tile[j * d..(j + 1) * d]);
+                            let t = variant.logits_transform(params, raw, lctx);
+                            if softmax {
+                                new_m = new_m.max(t);
+                            }
+                            logits.push(t);
+                        }
+
+                        if softmax {
+                            if new_m == f32::NEG_INFINITY {
+                                continue; // fully masked chunk
+                            }
+                            // Rescale old accumulator.
+                            let scale = if m[si] == f32::NEG_INFINITY {
+                                0.0
+                            } else {
+                                (m[si] - new_m).exp()
+                            };
+                            l[si] *= scale;
+                            for x in &mut acc[si * d..(si + 1) * d] {
+                                *x *= scale;
+                            }
+                            m[si] = new_m;
+                            for (j, &t) in logits.iter().enumerate() {
+                                if t == f32::NEG_INFINITY {
+                                    continue;
+                                }
+                                let p = (t - new_m).exp();
+                                l[si] += p;
+                                let vv = &v_tile[j * d..(j + 1) * d];
+                                let a = &mut acc[si * d..(si + 1) * d];
+                                for (aa, &x) in a.iter_mut().zip(vv) {
+                                    *aa += p * x;
+                                }
+                            }
+                        } else {
+                            for (j, &w) in logits.iter().enumerate() {
+                                if w == f32::NEG_INFINITY || w == 0.0 {
+                                    continue;
+                                }
+                                let vv = &v_tile[j * d..(j + 1) * d];
+                                let a = &mut acc[si * d..(si + 1) * d];
+                                for (aa, &x) in a.iter_mut().zip(vv) {
+                                    *aa += w * x;
+                                }
+                            }
+                        }
+                    }
+                }
+
+                // Tile accounting: QK^T + PV, 2 FLOPs per MAC.
+                let tile_rows = n_rows * heads.group_size();
+                let tile_kv = chunk_slots.len();
+                stats.flops += 2 * 2 * (tile_rows * tile_kv * d) as u64;
+                stats.kv_tiles += 1;
+                if self.tile.uses_tensor_cores() {
+                    stats.tensor_core_tiles += 1;
+                } else {
+                    stats.cuda_core_tiles += 1;
+                }
+                chunk_start = chunk_end;
+            }
+        }
+
+        // Gather traffic: staged bytes; without head fusion each query head
+        // would re-stage its group's KV (group_size x traffic).
+        let mut g = stager.stats();
+        if !self.head_fusion {
+            let gs = heads.group_size();
+            g.global_bytes *= gs;
+            g.rows *= gs;
+            g.contiguous_runs *= gs;
+            g.scattered_runs *= gs;
+        }
+        stats.gather = g;
+        stats.global_bytes += g.global_bytes as u64;
+
+        // Finalize chunk states.
+        let mut states = Vec::with_capacity(n_states);
+        for si in 0..n_states {
+            if softmax {
+                if l[si] > 0.0 {
+                    let inv = 1.0 / l[si];
+                    let o = acc[si * d..(si + 1) * d].iter().map(|&x| x * inv).collect();
+                    states.push(AttentionState { o, lse: m[si] + l[si].ln() });
+                } else {
+                    states.push(AttentionState::identity(d));
+                }
+            } else {
+                states.push(AttentionState {
+                    o: acc[si * d..(si + 1) * d].to_vec(),
+                    lse: f32::NEG_INFINITY,
+                });
+            }
+        }
+        Ok(ChunkOutput { states, row_start: rs, row_end: re, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::reference_attention;
+    use crate::variant::{SigmoidAttention, VanillaAttention};
+    use fi_sparse::bsr::{BlockEntry, BlockSparseMatrix};
+    use fi_tensor::numerics::allclose;
+
+    /// Build a dense single-request problem: l_qo queries, l_kv kv slots.
+    fn dense_layout(l_qo: usize, l_kv: usize, tq: usize) -> BlockSparseMatrix {
+        let mut rows = Vec::new();
+        let mut s = 0;
+        while s < l_qo {
+            let e = (s + tq).min(l_qo);
+            rows.push((s, e, vec![BlockEntry { col_block: 0, len: l_kv }]));
+            s = e;
+        }
+        BlockSparseMatrix::new(l_qo, l_kv, l_kv, rows).unwrap()
+    }
+
+    fn filled_ragged(lens: &[usize], dim: usize, f: impl Fn(usize) -> f32) -> RaggedTensor<f32> {
+        let mut r = RaggedTensor::<f32>::from_seq_lens(lens, dim);
+        for (i, x) in r.as_tensor_mut().as_mut_slice().iter_mut().enumerate() {
+            *x = f(i);
+        }
+        r
+    }
+
+    fn check_against_reference(
+        l_qo: usize,
+        l_kv: usize,
+        heads: HeadConfig,
+        variant: &dyn AttentionVariant,
+        params: &VariantParams,
+        tile: TileConfig,
+    ) {
+        let q = filled_ragged(&[l_qo], heads.qo_width(), |i| ((i * 37 % 19) as f32 - 9.0) * 0.13);
+        let k = Tensor::<f32>::from_fn(vec![l_kv, heads.kv_width()], |i| {
+            ((i * 53 % 23) as f32 - 11.0) * 0.11
+        });
+        let v = Tensor::<f32>::from_fn(vec![l_kv, heads.kv_width()], |i| {
+            ((i * 29 % 17) as f32 - 8.0) * 0.17
+        });
+        let layout = dense_layout(l_qo, l_kv, tile.tq);
+        let problem =
+            AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[l_kv]).unwrap();
+        let kern = FlashKernel { tile, head_fusion: true };
+        let out = kern.run(&problem, variant, params).unwrap();
+        let r = reference_attention(variant, params, heads, 0, q.seq(0), k.as_slice(), v.as_slice());
+        assert!(
+            allclose(out.o.seq(0), &r.o, 2e-4, 2e-5),
+            "kernel != reference for {} (tq={}, tkv={})",
+            variant.name(),
+            tile.tq,
+            tile.tkv
+        );
+        if variant.use_softmax() {
+            for (a, b) in out.lse.iter().zip(&r.lse) {
+                if *b == f32::NEG_INFINITY {
+                    assert_eq!(*a, f32::NEG_INFINITY);
+                } else {
+                    assert!((a - b).abs() < 1e-3, "lse {a} vs {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_vanilla_causal() {
+        let heads = HeadConfig::new(2, 1, 8).unwrap();
+        let params = VariantParams::for_head_dim(8);
+        for tkv in [2usize, 7, 64] {
+            check_against_reference(
+                5,
+                13,
+                heads,
+                &VanillaAttention { causal: true },
+                &params,
+                TileConfig { tq: 2, tkv },
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_noncausal_and_gqa() {
+        let heads = HeadConfig::new(4, 2, 4).unwrap();
+        let params = VariantParams::for_head_dim(4);
+        check_against_reference(
+            3,
+            9,
+            heads,
+            &VanillaAttention { causal: false },
+            &params,
+            TileConfig { tq: 16, tkv: 4 },
+        );
+    }
+
+    #[test]
+    fn matches_reference_sigmoid() {
+        let heads = HeadConfig::new(1, 1, 4).unwrap();
+        let params = VariantParams::for_head_dim(4).with_extra("bias", -0.3);
+        check_against_reference(4, 6, heads, &SigmoidAttention, &params, TileConfig { tq: 1, tkv: 3 });
+    }
+
+    #[test]
+    fn chunked_states_merge_to_full_run() {
+        let heads = HeadConfig::new(2, 1, 4).unwrap();
+        let params = VariantParams::for_head_dim(4);
+        let variant = VanillaAttention { causal: false };
+        let l_kv = 12;
+        let q = filled_ragged(&[1], heads.qo_width(), |i| i as f32 * 0.1);
+        let k = Tensor::<f32>::from_fn(vec![l_kv, 4], |i| (i as f32 * 0.7).sin());
+        let v = Tensor::<f32>::from_fn(vec![l_kv, 4], |i| (i as f32 * 0.3).cos());
+        // Layout with 4 blocks of 3 slots each.
+        let layout = BlockSparseMatrix::new(
+            1,
+            l_kv,
+            3,
+            vec![(0, 1, (0..4).map(|c| BlockEntry { col_block: c, len: 3 }).collect())],
+        )
+        .unwrap();
+        let problem =
+            AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[l_kv]).unwrap();
+        let kern = FlashKernel { tile: TileConfig { tq: 1, tkv: 3 }, head_fusion: true };
+
+        let full = kern.run(&problem, &variant, &params).unwrap();
+        // Split: blocks 0..2 and 2..4, merged with the ⊕ operator.
+        let a = kern.run_block_row_chunk(&problem, &variant, &params, 0, 0..2).unwrap();
+        let b = kern.run_block_row_chunk(&problem, &variant, &params, 0, 2..4).unwrap();
+        for h in 0..heads.num_qo_heads {
+            let merged = a.states[h].merge(&b.states[h]);
+            let d = heads.head_dim;
+            assert!(allclose(&merged.o, &full.o.seq(0)[h * d..(h + 1) * d], 1e-5, 1e-6));
+            assert!((merged.lse - full.lse[h]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn paged_kv_matches_contiguous() {
+        // Same KV content, one layout contiguous and one scattered through a
+        // page pool: outputs must match exactly (order of slots preserved).
+        let heads = HeadConfig::new(1, 1, 4).unwrap();
+        let params = VariantParams::for_head_dim(4);
+        let variant = VanillaAttention { causal: true };
+        let l_kv = 6;
+        let q = filled_ragged(&[2], 4, |i| (i as f32 * 0.9).sin());
+
+        // Contiguous pools.
+        let k_c = Tensor::<f32>::from_fn(vec![l_kv, 4], |i| (i as f32 * 0.21).cos());
+        let v_c = Tensor::<f32>::from_fn(vec![l_kv, 4], |i| (i as f32 * 0.43).sin());
+        let layout_c = dense_layout(2, l_kv, 2);
+        let p_c =
+            AttentionProblem::standard_batch(&q, &k_c, &v_c, &layout_c, heads, &[l_kv]).unwrap();
+
+        // Paged: pool of 5 pages of 2 slots; request holds pages [3, 0, 4].
+        let pages = [3usize, 0, 4];
+        let mut k_p = Tensor::<f32>::zeros(vec![10, 4]);
+        let mut v_p = Tensor::<f32>::zeros(vec![10, 4]);
+        for pos in 0..l_kv {
+            let slot = pages[pos / 2] * 2 + pos % 2;
+            k_p.row_mut(slot).copy_from_slice(k_c.row(pos));
+            v_p.row_mut(slot).copy_from_slice(v_c.row(pos));
+        }
+        let layout_p = BlockSparseMatrix::new(
+            2,
+            10,
+            2,
+            vec![(
+                0,
+                2,
+                pages.iter().map(|&p| BlockEntry { col_block: p, len: 2 }).collect(),
+            )],
+        )
+        .unwrap();
+        let p_p =
+            AttentionProblem::standard_batch(&q, &k_p, &v_p, &layout_p, heads, &[l_kv]).unwrap();
+
+        let kern = FlashKernel { tile: TileConfig { tq: 2, tkv: 2 }, head_fusion: true };
+        let out_c = kern.run(&p_c, &variant, &params).unwrap();
+        let out_p = kern.run(&p_p, &variant, &params).unwrap();
+        assert!(allclose(out_p.o.seq(0), out_c.o.seq(0), 1e-6, 1e-7));
+    }
+
+    #[test]
+    fn empty_block_row_outputs_zero() {
+        let heads = HeadConfig::new(1, 1, 2).unwrap();
+        let params = VariantParams::for_head_dim(2);
+        let q = filled_ragged(&[1], 2, |_| 1.0);
+        let k = Tensor::<f32>::zeros(vec![4, 2]);
+        let v = Tensor::<f32>::zeros(vec![4, 2]);
+        let layout = BlockSparseMatrix::new(1, 4, 2, vec![(0, 1, vec![])]).unwrap();
+        let problem = AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[0]).unwrap();
+        let kern = FlashKernel { tile: TileConfig { tq: 1, tkv: 32 }, head_fusion: true };
+        let out = kern.run(&problem, &VanillaAttention { causal: false }, &params).unwrap();
+        assert_eq!(out.o.seq(0), &[0.0, 0.0]);
+        assert_eq!(out.lse[0], f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn ragged_kv_layout_matches_paged_result() {
+        // Same KV content stored contiguously (ragged API) and checked
+        // against the dense layout path.
+        let heads = HeadConfig::new(1, 1, 4).unwrap();
+        let params = VariantParams::for_head_dim(4);
+        let variant = VanillaAttention { causal: true };
+        let qo_lens = [2usize, 1];
+        let kv_indptr = [0usize, 5, 9];
+        let layout =
+            AttentionProblem::<f32, f32>::ragged_kv_layout(&qo_lens, &kv_indptr, 2).unwrap();
+        assert_eq!(layout.rows(), 3);
+        assert_eq!(layout.cols(), 9);
+        assert_eq!(layout.gather_columns(0), (0..5).collect::<Vec<_>>());
+        assert_eq!(layout.gather_columns(1), (5..9).collect::<Vec<_>>());
+
+        let q = filled_ragged(&qo_lens, 4, |i| (i as f32 * 0.31).sin());
+        let k = Tensor::<f32>::from_fn(vec![9, 4], |i| (i as f32 * 0.17).cos());
+        let v = Tensor::<f32>::from_fn(vec![9, 4], |i| (i as f32 * 0.13).sin());
+        let problem =
+            AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[5, 4]).unwrap();
+        let kern = FlashKernel { tile: TileConfig { tq: 2, tkv: 4 }, head_fusion: true };
+        let out = kern.run(&problem, &variant, &params).unwrap();
+        // Reference per request over its contiguous span.
+        for b in 0..2 {
+            let (s, e) = (kv_indptr[b], kv_indptr[b + 1]);
+            let r = crate::reference::reference_attention(
+                &variant,
+                &params,
+                heads,
+                b,
+                q.seq(b),
+                &k.as_slice()[s * 4..e * 4],
+                &v.as_slice()[s * 4..e * 4],
+            );
+            assert!(fi_tensor::numerics::allclose(out.o.seq(b), &r.o, 1e-5, 1e-6));
+        }
+        // Ragged spans are contiguous: gathers are dominated by contiguous
+        // runs (the TMA-eligible case); only single-slot chunk tails count
+        // as scattered.
+        assert!(out.stats.gather.contiguous_runs >= out.stats.gather.scattered_runs);
+        assert!(out.stats.gather.contiguous_runs > 0);
+    }
+
+    #[test]
+    fn ragged_kv_layout_validation() {
+        type P<'a> = AttentionProblem<'a, f32, f32>;
+        assert!(P::ragged_kv_layout(&[1], &[0, 4], 0).is_err());
+        assert!(P::ragged_kv_layout(&[1, 1], &[0, 4], 2).is_err());
+        assert!(P::ragged_kv_layout(&[1], &[1, 4], 2).is_err());
+        assert!(P::ragged_kv_layout(&[1], &[0, 0], 2).is_err(), "queries without kv");
+        assert!(P::ragged_kv_layout(&[0], &[0, 0], 2).is_ok(), "empty request fine");
+    }
+
+    #[test]
+    fn problem_validation() {
+        let heads = HeadConfig::new(1, 1, 2).unwrap();
+        let q = filled_ragged(&[1], 2, |_| 0.0);
+        let k = Tensor::<f32>::zeros(vec![4, 2]);
+        let v = Tensor::<f32>::zeros(vec![4, 2]);
+        let layout = dense_layout(1, 4, 1);
+        // Wrong kv_lens length.
+        assert!(AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[4, 4]).is_err());
+        // Wrong pool shape.
+        let bad = Tensor::<f32>::zeros(vec![3, 2]);
+        assert!(AttentionProblem::standard_batch(&q, &bad, &v, &layout, heads, &[4]).is_err());
+        // Wrong head width.
+        let wide_heads = HeadConfig::new(2, 1, 2).unwrap();
+        assert!(
+            AttentionProblem::standard_batch(&q, &k, &v, &layout, wide_heads, &[4]).is_err()
+        );
+    }
+
+    #[test]
+    fn chunk_range_validation() {
+        let heads = HeadConfig::new(1, 1, 2).unwrap();
+        let params = VariantParams::for_head_dim(2);
+        let q = filled_ragged(&[1], 2, |_| 0.0);
+        let k = Tensor::<f32>::zeros(vec![4, 2]);
+        let v = Tensor::<f32>::zeros(vec![4, 2]);
+        let layout = dense_layout(1, 4, 1);
+        let problem = AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[4]).unwrap();
+        let kern = FlashKernel { tile: TileConfig { tq: 1, tkv: 32 }, head_fusion: true };
+        let v1 = VanillaAttention { causal: false };
+        assert!(kern.run_block_row_chunk(&problem, &v1, &params, 1, 0..1).is_err());
+        assert!(kern.run_block_row_chunk(&problem, &v1, &params, 0, 0..2).is_err());
+    }
+
+    #[test]
+    fn stats_reflect_head_fusion() {
+        let heads = HeadConfig::new(4, 1, 4).unwrap();
+        let params = VariantParams::for_head_dim(4);
+        let variant = VanillaAttention { causal: false };
+        let q = filled_ragged(&[1], heads.qo_width(), |i| i as f32 * 0.01);
+        let k = Tensor::<f32>::from_fn(vec![8, 4], |i| i as f32 * 0.1);
+        let v = k.clone();
+        let layout = dense_layout(1, 8, 1);
+        let problem =
+            AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[8]).unwrap();
+        let fused = FlashKernel { tile: TileConfig { tq: 1, tkv: 8 }, head_fusion: true }
+            .run(&problem, &variant, &params)
+            .unwrap();
+        let unfused = FlashKernel { tile: TileConfig { tq: 1, tkv: 8 }, head_fusion: false }
+            .run(&problem, &variant, &params)
+            .unwrap();
+        assert_eq!(
+            unfused.stats.gather.global_bytes,
+            fused.stats.gather.global_bytes * heads.group_size()
+        );
+        // Numerics identical.
+        assert!(allclose(unfused.o.seq(0), fused.o.seq(0), 0.0, 0.0));
+    }
+
+    #[test]
+    fn fp16_kv_storage_close_to_f32() {
+        use fi_tensor::F16;
+        let heads = HeadConfig::new(1, 1, 8).unwrap();
+        let params = VariantParams::for_head_dim(8);
+        let variant = VanillaAttention { causal: true };
+        let q = filled_ragged(&[3], 8, |i| ((i % 7) as f32 - 3.0) * 0.2);
+        let k32 = Tensor::<f32>::from_fn(vec![6, 8], |i| ((i % 11) as f32 - 5.0) * 0.15);
+        let v32 = Tensor::<f32>::from_fn(vec![6, 8], |i| ((i % 5) as f32 - 2.0) * 0.3);
+        let k16 = k32.cast::<F16>();
+        let v16 = v32.cast::<F16>();
+        let layout = dense_layout(3, 6, 3);
+        let p32 =
+            AttentionProblem::standard_batch(&q, &k32, &v32, &layout, heads, &[6]).unwrap();
+        let p16 =
+            AttentionProblem::standard_batch(&q, &k16, &v16, &layout, heads, &[6]).unwrap();
+        let kern = FlashKernel { tile: TileConfig { tq: 3, tkv: 4 }, head_fusion: true };
+        let o32 = kern.run(&p32, &variant, &params).unwrap();
+        let o16 = kern.run(&p16, &variant, &params).unwrap();
+        assert!(allclose(o16.o.seq(0), o32.o.seq(0), 2e-2, 2e-3));
+        // And f16 traffic is half.
+        assert_eq!(o16.stats.gather.global_bytes * 2, o32.stats.gather.global_bytes);
+    }
+}

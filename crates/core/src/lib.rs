@@ -1,0 +1,56 @@
+//! # fi-core
+//!
+//! The attention engine: FlashInfer's primary contribution, reimplemented in
+//! Rust over the block-sparse substrate of `fi-sparse`.
+//!
+//! Layer map (paper section → module):
+//!
+//! * §2.2 attention composition — [`state`]: the `(O, LSE)` attention state
+//!   and the associative/commutative ⊕ merge operator that makes split-KV
+//!   and composable formats possible.
+//! * §3.2.3 customizable variants — [`variant`]: the functor hooks
+//!   (`QueryTransform`, `KeyTransform`, `LogitsTransform`, `LogitsMask`,
+//!   `OutputTransform`, softmax on/off) as a trait, with the paper's menu of
+//!   variants built in (causal, sliding window, soft-cap, sigmoid, fused
+//!   RoPE, custom masks); [`rope`] holds the rotary embedding math.
+//! * §3.2.3 JIT compilation — [`jit`]: a runtime `VariantSpec` that builds a
+//!   dynamic variant *and* renders the CUDA-like kernel source the real
+//!   system would compile (Figure 5), plus a compile cache with the same
+//!   init-once / reuse semantics as the PyTorch JIT path.
+//! * §3.2.1 sparse gathering — [`gather`]: staging scattered KV rows into a
+//!   contiguous buffer before the dense inner loop, with byte accounting
+//!   used by the GPU model (Appendix B measures its overhead).
+//! * §3.2.2 microkernels and tile heuristics — [`tiles`]: the
+//!   `(1,16,32,64,128) × (32,64,128)` tile menu and the two-step selection
+//!   heuristic (query-length fit, then occupancy).
+//! * Appendix A head-group fusion — [`gqa`]: fusing the query-head dimension
+//!   into tile rows so one staged KV tile serves the whole group.
+//! * §3.2 the kernel itself — [`kernel`]: an FA2-style online-softmax tiled
+//!   kernel over dense or block-sparse KV, producing either final outputs
+//!   or mergeable partial states for the scheduler's split-KV path.
+//! * [`mod@reference`]: naive full-materialization attention, the oracle for
+//!   every equivalence test in the workspace.
+
+pub mod arch;
+pub mod config;
+pub mod dsl;
+pub mod error;
+pub mod fusion;
+pub mod gather;
+pub mod gqa;
+pub mod jit;
+pub mod kernel;
+pub mod quant;
+pub mod quest;
+pub mod reference;
+pub mod rope;
+pub mod state;
+pub mod tiles;
+pub mod variant;
+
+pub use config::HeadConfig;
+pub use error::AttentionError;
+pub use kernel::{AttentionProblem, FlashKernel, KernelOutput, KernelStats};
+pub use state::AttentionState;
+pub use tiles::TileConfig;
+pub use variant::{AttentionVariant, VariantParams};

@@ -1,0 +1,267 @@
+//! Query-aware KV sparsity (Quest, §5.4): dynamic page selection.
+//!
+//! Quest keeps per-page metadata — the elementwise min and max of the keys
+//! in each page — and, per query, scores every page by an *upper bound* on
+//! the attention logits it could contribute:
+//! `U(page) = Σ_d max(q_d · min_d, q_d · max_d) ≥ max_{k ∈ page} q · k`.
+//! Only the top-k pages are attended. The paper's point (§5.4) is that
+//! FlashInfer's block-sparse kernel serves this "dynamic KV-cache
+//! sparsity" unchanged: selection just produces a sparser
+//! [`BlockSparseMatrix`], which is exactly what [`quest_layout`] does.
+
+use fi_sparse::bsr::{BlockEntry, BlockSparseMatrix};
+use fi_sparse::page::PageTable;
+use fi_sparse::SparseError;
+use fi_tensor::{RaggedTensor, Scalar, Tensor};
+
+use crate::config::HeadConfig;
+
+/// Per-page min/max key summaries for one KV pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageSummaries {
+    page_size: usize,
+    kv_width: usize,
+    /// `[num_pages, kv_width]` elementwise minima.
+    mins: Tensor<f32>,
+    /// `[num_pages, kv_width]` elementwise maxima.
+    maxs: Tensor<f32>,
+}
+
+impl PageSummaries {
+    /// Build summaries over a K pool of shape `[pages * page_size, kv_width]`.
+    /// Unwritten slots contribute like zeros did in the pool (the engine
+    /// only selects among a request's *valid* pages, so tail noise from a
+    /// partially-filled page only loosens the bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool's row count is not a multiple of `page_size`.
+    pub fn build<T: Scalar>(k_pool: &Tensor<T>, page_size: usize) -> PageSummaries {
+        let slots = k_pool.shape()[0];
+        let kv_width = k_pool.shape()[1];
+        assert_eq!(slots % page_size, 0, "pool not page aligned");
+        let num_pages = slots / page_size;
+        let mut mins = Tensor::<f32>::from_fn(vec![num_pages, kv_width], |_| f32::INFINITY);
+        let mut maxs = Tensor::<f32>::from_fn(vec![num_pages, kv_width], |_| f32::NEG_INFINITY);
+        for p in 0..num_pages {
+            for s in 0..page_size {
+                let row = k_pool.row(p * page_size + s);
+                let mn = mins.row_mut(p);
+                for (m, &x) in mn.iter_mut().zip(row) {
+                    *m = m.min(x.to_f32());
+                }
+                let mx = maxs.row_mut(p);
+                for (m, &x) in mx.iter_mut().zip(row) {
+                    *m = m.max(x.to_f32());
+                }
+            }
+        }
+        PageSummaries { page_size, kv_width, mins, maxs }
+    }
+
+    /// Update the summaries of one page after appends (incremental path).
+    pub fn refresh_page<T: Scalar>(&mut self, k_pool: &Tensor<T>, page: usize) {
+        let mn = self.mins.row_mut(page);
+        mn.fill(f32::INFINITY);
+        let mx = self.maxs.row_mut(page);
+        mx.fill(f32::NEG_INFINITY);
+        for s in 0..self.page_size {
+            let row = k_pool.row(page * self.page_size + s);
+            let mn = self.mins.row_mut(page);
+            for (m, &x) in mn.iter_mut().zip(row) {
+                *m = m.min(x.to_f32());
+            }
+            let mx = self.maxs.row_mut(page);
+            for (m, &x) in mx.iter_mut().zip(row) {
+                *m = m.max(x.to_f32());
+            }
+        }
+    }
+
+    /// Upper bound on `q · k` over the keys of `page`, for one head slice
+    /// of the query (`head * d .. (head+1) * d` within `kv_width`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slice exceeds `kv_width`.
+    pub fn upper_bound(&self, q_head: &[f32], page: usize, kv_head: usize) -> f32 {
+        let d = q_head.len();
+        let off = kv_head * d;
+        assert!(off + d <= self.kv_width, "head slice out of range");
+        let mn = &self.mins.row(page)[off..off + d];
+        let mx = &self.maxs.row(page)[off..off + d];
+        let mut acc = 0.0f32;
+        for i in 0..d {
+            acc += (q_head[i] * mn[i]).max(q_head[i] * mx[i]);
+        }
+        acc
+    }
+}
+
+/// Select the `top_k` most promising pages of one request for a decode
+/// query, keeping sequence order. The bound is maximized over all query
+/// heads (a page survives if *any* head may need it) — conservative, like
+/// Quest's per-head union.
+pub fn select_topk_pages(
+    summaries: &PageSummaries,
+    q_row: &[f32],
+    heads: HeadConfig,
+    pages: &[usize],
+    top_k: usize,
+) -> Vec<usize> {
+    if pages.len() <= top_k {
+        return pages.to_vec();
+    }
+    let d = heads.head_dim;
+    let mut scored: Vec<(f32, usize)> = pages
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| {
+            let mut best = f32::NEG_INFINITY;
+            for h in 0..heads.num_qo_heads {
+                let q_head = &q_row[h * d..(h + 1) * d];
+                let u = summaries.upper_bound(q_head, p, heads.kv_head_of(h));
+                best = best.max(u);
+            }
+            (best, i)
+        })
+        .collect();
+    // Top-k by score, then restore sequence order.
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut keep: Vec<usize> = scored[..top_k].iter().map(|&(_, i)| i).collect();
+    keep.sort_unstable();
+    keep.into_iter().map(|i| pages[i]).collect()
+}
+
+/// Build a Quest-sparsified decode layout: like `PageTable::to_bsr` for
+/// one-token queries, but each request keeps only its top-k pages (the
+/// most recent page is always kept — the current token's page).
+///
+/// # Errors
+///
+/// Propagates BSR geometry errors.
+pub fn quest_layout(
+    pt: &PageTable,
+    q: &RaggedTensor<f32>,
+    heads: HeadConfig,
+    summaries: &PageSummaries,
+    top_k: usize,
+) -> Result<BlockSparseMatrix, SparseError> {
+    let batch = pt.batch_size();
+    assert_eq!(q.batch_size(), batch, "query batch mismatch");
+    let mut block_rows = Vec::with_capacity(batch);
+    for b in 0..batch {
+        assert_eq!(q.seq_len(b), 1, "quest_layout is a decode path");
+        let pages = pt.request_pages(b);
+        if pages.is_empty() {
+            block_rows.push((b, b + 1, Vec::new()));
+            continue;
+        }
+        let last = *pages.last().expect("non-empty");
+        let mut selected =
+            select_topk_pages(summaries, q.seq(b), heads, &pages[..pages.len() - 1], top_k.saturating_sub(1));
+        selected.push(last);
+        let kv_len = pt.kv_len(b);
+        let entries: Vec<BlockEntry> = selected
+            .iter()
+            .map(|&p| {
+                let is_tail = p == last;
+                BlockEntry {
+                    col_block: p,
+                    len: if is_tail {
+                        kv_len - (pages.len() - 1) * pt.page_size()
+                    } else {
+                        pt.page_size()
+                    },
+                }
+            })
+            .collect();
+        block_rows.push((b, b + 1, entries));
+    }
+    BlockSparseMatrix::new(q.total_rows(), pt.num_pages() * pt.page_size(), pt.page_size(), block_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fi_tensor::numerics::dot;
+
+    fn mix(i: usize, s: u64) -> f32 {
+        let x = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(s);
+        ((x >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+    }
+
+    #[test]
+    fn upper_bound_dominates_true_scores() {
+        let page_size = 4;
+        let d = 8;
+        let k = Tensor::<f32>::from_fn(vec![16, d], |i| mix(i, 1));
+        let s = PageSummaries::build(&k, page_size);
+        let q: Vec<f32> = (0..d).map(|i| mix(i, 2) * 2.0).collect();
+        for page in 0..4 {
+            let ub = s.upper_bound(&q, page, 0);
+            for slot in 0..page_size {
+                let truth = dot(&q, k.row(page * page_size + slot));
+                assert!(truth <= ub + 1e-5, "page {page} slot {slot}: {truth} > {ub}");
+            }
+        }
+    }
+
+    #[test]
+    fn selection_keeps_the_hot_page() {
+        let page_size = 2;
+        let d = 4;
+        let heads = HeadConfig::new(1, 1, d).unwrap();
+        // Page 2 holds a key aligned with the query; others are noise.
+        let mut k = Tensor::<f32>::from_fn(vec![10, d], |i| mix(i, 3) * 0.1);
+        let q_dir = [1.0f32, -1.0, 0.5, 2.0];
+        k.row_mut(2 * page_size).copy_from_slice(&q_dir);
+        let s = PageSummaries::build(&k, page_size);
+        let selected = select_topk_pages(&s, &q_dir, heads, &[0, 1, 2, 3, 4], 2);
+        assert!(selected.contains(&2), "hot page must survive: {selected:?}");
+        assert_eq!(selected.len(), 2);
+        // Order preserved.
+        assert!(selected.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn small_page_lists_pass_through() {
+        let s = PageSummaries::build(&Tensor::<f32>::zeros(vec![8, 4]), 2);
+        let heads = HeadConfig::new(1, 1, 4).unwrap();
+        assert_eq!(select_topk_pages(&s, &[0.0; 4], heads, &[3, 1], 5), vec![3, 1]);
+    }
+
+    #[test]
+    fn quest_layout_keeps_tail_page_and_topk() {
+        let page_size = 2;
+        let d = 4;
+        let heads = HeadConfig::new(1, 1, d).unwrap();
+        let mut k = Tensor::<f32>::from_fn(vec![16, d], |i| mix(i, 5) * 0.05);
+        let q_dir = [2.0f32, 0.0, -1.0, 1.0];
+        // Request pages [0, 3, 5, 6], hot page 5, tail page 6 (1 valid slot).
+        k.row_mut(5 * page_size + 1).copy_from_slice(&q_dir);
+        let pt = PageTable::new(page_size, 8, vec![vec![0, 3, 5, 6]], vec![1]).unwrap();
+        let mut q = RaggedTensor::<f32>::from_seq_lens(&[1], d);
+        q.seq_mut(0).copy_from_slice(&q_dir);
+        let s = PageSummaries::build(&k, page_size);
+        let layout = quest_layout(&pt, &q, heads, &s, 2).unwrap();
+        let blocks = layout.block_row(0);
+        assert_eq!(blocks.len(), 2);
+        assert_eq!(blocks[0].col_block, 5, "hot page kept");
+        assert_eq!(blocks[1].col_block, 6, "tail page always kept");
+        assert_eq!(blocks[1].len, 1, "tail partial length respected");
+    }
+
+    #[test]
+    fn refresh_page_tracks_updates() {
+        let page_size = 2;
+        let d = 2;
+        let mut k = Tensor::<f32>::zeros(vec![4, d]);
+        let mut s = PageSummaries::build(&k, page_size);
+        assert_eq!(s.upper_bound(&[1.0, 1.0], 0, 0), 0.0);
+        k.row_mut(0).copy_from_slice(&[5.0, -3.0]);
+        s.refresh_page(&k, 0);
+        // ub = max(5*1, 0*1) + max(-3*1, 0*1) = 5 + 0 = 5.
+        assert_eq!(s.upper_bound(&[1.0, 1.0], 0, 0), 5.0);
+    }
+}

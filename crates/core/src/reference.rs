@@ -1,0 +1,265 @@
+//! Naive reference attention — the correctness oracle.
+//!
+//! Computes exact attention by materializing the full logits matrix, with
+//! every variant hook applied in the same order as the tiled kernel:
+//! `query_transform` → `key_transform` → `q·k` → `logits_transform` →
+//! `logits_mask` → softmax (or direct weights) → `value_transform` →
+//! accumulate → `output_transform`. Every equivalence test in the workspace
+//! compares the FA2-style kernel and the scheduler pipeline against this.
+
+use fi_tensor::Scalar;
+
+use crate::config::HeadConfig;
+use crate::variant::{AttentionVariant, KeyCtx, LogitCtx, QueryCtx, VariantParams};
+
+/// Output of the reference computation for one request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReferenceOutput {
+    /// `[l_qo, H_qo * D]` row-major outputs.
+    pub o: Vec<f32>,
+    /// `[l_qo, H_qo]` log-sum-exp scales (NaN-free; `-inf` when a query has
+    /// an empty visible set). Meaningless for non-softmax variants.
+    pub lse: Vec<f32>,
+}
+
+/// Compute exact attention for one request.
+///
+/// * `q`: `[l_qo, H_qo * D]` flattened queries.
+/// * `k`, `v`: `[l_kv, H_kv * D]` flattened keys/values (storage precision
+///   `T`; widened to f32 on load like the real mixed-precision kernels).
+/// * `batch_idx`: the request's index, passed through to variant contexts.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with `heads` and the implied
+/// `l_qo`/`l_kv`.
+pub fn reference_attention<T: Scalar>(
+    variant: &dyn AttentionVariant,
+    params: &VariantParams,
+    heads: HeadConfig,
+    batch_idx: usize,
+    q: &[f32],
+    k: &[T],
+    v: &[T],
+) -> ReferenceOutput {
+    let qw = heads.qo_width();
+    let kw = heads.kv_width();
+    assert_eq!(q.len() % qw, 0, "query length not a multiple of qo width");
+    assert_eq!(k.len() % kw, 0, "key length not a multiple of kv width");
+    assert_eq!(k.len(), v.len(), "k/v length mismatch");
+    let l_qo = q.len() / qw;
+    let l_kv = k.len() / kw;
+    let d = heads.head_dim;
+
+    let mut o = vec![0.0f32; l_qo * qw];
+    let mut lse = vec![f32::NEG_INFINITY; l_qo * heads.num_qo_heads];
+
+    for qo_pos in 0..l_qo {
+        for qo_head in 0..heads.num_qo_heads {
+            let kv_head = heads.kv_head_of(qo_head);
+            let qctx = QueryCtx { batch_idx, qo_pos, qo_head_idx: qo_head, qo_len: l_qo, kv_len: l_kv };
+
+            let mut qrow: Vec<f32> =
+                q[qo_pos * qw + qo_head * d..qo_pos * qw + (qo_head + 1) * d].to_vec();
+            variant.query_transform(params, &mut qrow, qctx);
+
+            // Materialize transformed logits and visibility.
+            let mut logits = Vec::with_capacity(l_kv);
+            let mut visible = Vec::with_capacity(l_kv);
+            for kv_pos in 0..l_kv {
+                let kctx = KeyCtx { batch_idx, kv_pos, kv_head_idx: kv_head, kv_len: l_kv };
+                let mut krow: Vec<f32> = k[kv_pos * kw + kv_head * d..kv_pos * kw + (kv_head + 1) * d]
+                    .iter()
+                    .map(|&x| x.to_f32())
+                    .collect();
+                variant.key_transform(params, &mut krow, kctx);
+                let raw = fi_tensor::numerics::dot(&qrow, &krow);
+                let lctx = LogitCtx {
+                    batch_idx,
+                    qo_pos,
+                    kv_pos,
+                    qo_head_idx: qo_head,
+                    kv_head_idx: kv_head,
+                    qo_len: l_qo,
+                    kv_len: l_kv,
+                };
+                let vis = variant.logits_mask(params, lctx);
+                logits.push(if vis { variant.logits_transform(params, raw, lctx) } else { 0.0 });
+                visible.push(vis);
+            }
+
+            // Weights: softmax over visible logits, or the transformed
+            // logits directly for non-softmax variants.
+            let mut weights = vec![0.0f32; l_kv];
+            if variant.use_softmax() {
+                let vis_logits: Vec<f32> = logits
+                    .iter()
+                    .zip(&visible)
+                    .map(|(&l, &vi)| if vi { l } else { f32::NEG_INFINITY })
+                    .collect();
+                let l = fi_tensor::numerics::log_sum_exp(&vis_logits);
+                lse[qo_pos * heads.num_qo_heads + qo_head] = l;
+                if l > f32::NEG_INFINITY {
+                    for (w, &x) in weights.iter_mut().zip(&vis_logits) {
+                        *w = if x == f32::NEG_INFINITY { 0.0 } else { (x - l).exp() };
+                    }
+                }
+            } else {
+                for kv_pos in 0..l_kv {
+                    if visible[kv_pos] {
+                        weights[kv_pos] = logits[kv_pos];
+                    }
+                }
+            }
+
+            // Accumulate values.
+            let orow = &mut o[qo_pos * qw + qo_head * d..qo_pos * qw + (qo_head + 1) * d];
+            for kv_pos in 0..l_kv {
+                if weights[kv_pos] == 0.0 {
+                    continue;
+                }
+                let kctx = KeyCtx { batch_idx, kv_pos, kv_head_idx: kv_head, kv_len: l_kv };
+                let mut vrow: Vec<f32> = v[kv_pos * kw + kv_head * d..kv_pos * kw + (kv_head + 1) * d]
+                    .iter()
+                    .map(|&x| x.to_f32())
+                    .collect();
+                variant.value_transform(params, &mut vrow, kctx);
+                for (oo, &vv) in orow.iter_mut().zip(&vrow) {
+                    *oo += weights[kv_pos] * vv;
+                }
+            }
+            variant.output_transform(params, orow, qctx);
+        }
+    }
+    ReferenceOutput { o, lse }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variant::{SigmoidAttention, VanillaAttention};
+    use fi_tensor::numerics::allclose;
+
+    fn heads() -> HeadConfig {
+        HeadConfig::new(2, 1, 4).unwrap()
+    }
+
+    fn params() -> VariantParams {
+        VariantParams::for_head_dim(4)
+    }
+
+    fn seq(n: usize, w: usize, f: impl Fn(usize) -> f32) -> Vec<f32> {
+        (0..n * w).map(f).collect()
+    }
+
+    #[test]
+    fn single_kv_attends_fully() {
+        // With one KV position, softmax weight is 1 and O = V.
+        let h = heads();
+        let q = seq(1, h.qo_width(), |i| i as f32 * 0.1);
+        let k = seq(1, h.kv_width(), |i| i as f32);
+        let v = seq(1, h.kv_width(), |i| 3.0 + i as f32);
+        let out = reference_attention(
+            &VanillaAttention { causal: true },
+            &params(),
+            h,
+            0,
+            &q,
+            &k,
+            &v,
+        );
+        // Both query heads share the single kv head's values.
+        assert!(allclose(&out.o[..4], &v, 1e-5, 1e-6));
+        assert!(allclose(&out.o[4..], &v, 1e-5, 1e-6));
+    }
+
+    #[test]
+    fn uniform_logits_average_values() {
+        // Zero queries -> all logits 0 -> uniform weights -> O = mean(V).
+        let h = HeadConfig::new(1, 1, 2).unwrap();
+        let q = vec![0.0; 2];
+        let k: Vec<f32> = vec![1.0, 0.0, 0.0, 1.0, -1.0, 0.5];
+        let v: Vec<f32> = vec![3.0, 0.0, 0.0, 6.0, 3.0, 3.0];
+        let out = reference_attention(
+            &VanillaAttention { causal: false },
+            &params(),
+            h,
+            0,
+            &q,
+            &k,
+            &v,
+        );
+        assert!(allclose(&out.o, &[2.0, 3.0], 1e-5, 1e-6));
+        // LSE of three zero logits is ln(3).
+        assert!((out.lse[0] - 3f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn causal_prefill_first_query_sees_only_first_kv() {
+        let h = HeadConfig::new(1, 1, 2).unwrap();
+        // 3 queries, 3 kv (self-attention prefill).
+        let q = seq(3, 2, |i| (i as f32).sin());
+        let k = seq(3, 2, |i| (i as f32).cos());
+        let v: Vec<f32> = vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0];
+        let out =
+            reference_attention(&VanillaAttention { causal: true }, &params(), h, 0, &q, &k, &v);
+        // Query 0 sees only kv 0 -> output exactly v0.
+        assert!(allclose(&out.o[..2], &[1.0, 10.0], 1e-5, 1e-6));
+    }
+
+    #[test]
+    fn sigmoid_output_is_weighted_sum() {
+        let h = HeadConfig::new(1, 1, 2).unwrap();
+        let q = vec![0.0, 0.0]; // raw logits all 0
+        let k = seq(2, 2, |i| i as f32);
+        let v: Vec<f32> = vec![2.0, 4.0, 6.0, 8.0];
+        let p = params().with_extra("bias", 0.0);
+        let out = reference_attention(&SigmoidAttention, &p, h, 0, &q, &k, &v);
+        // sigmoid(0) = 0.5 for both positions -> O = 0.5*v0 + 0.5*v1.
+        assert!(allclose(&out.o, &[4.0, 6.0], 1e-5, 1e-6));
+    }
+
+    #[test]
+    fn empty_visible_set_yields_zero_output() {
+        // Custom setup: sliding window 0 with no sinks masks everything
+        // except... window 0 masks even self? q - kv < 0 is false for self.
+        let h = HeadConfig::new(1, 1, 2).unwrap();
+        let q = vec![1.0, 1.0];
+        let k = vec![1.0, 1.0];
+        let v = vec![5.0, 5.0];
+        let var = crate::variant::SlidingWindowAttention { window: 0, sink_tokens: 0 };
+        let out = reference_attention(&var, &params(), h, 0, &q, &k, &v);
+        assert_eq!(out.o, vec![0.0, 0.0]);
+        assert_eq!(out.lse[0], f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn gqa_heads_share_kv() {
+        let h = HeadConfig::new(4, 2, 2).unwrap();
+        let q = seq(1, h.qo_width(), |i| (i as f32 * 0.3).cos());
+        let k = seq(2, h.kv_width(), |i| (i as f32 * 0.7).sin());
+        let v = seq(2, h.kv_width(), |i| i as f32);
+        let out =
+            reference_attention(&VanillaAttention { causal: true }, &params(), h, 0, &q, &k, &v);
+        assert_eq!(out.o.len(), 8);
+        assert_eq!(out.lse.len(), 4);
+        // Heads 0,1 use kv head 0; heads 2,3 use kv head 1: with equal q
+        // rows per head pair they'd differ unless q is equal — here q rows
+        // differ so outputs generally differ across heads; just sanity-check
+        // no NaN and nonzero.
+        assert!(out.o.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn fp16_storage_rounds_kv() {
+        use fi_tensor::F16;
+        let h = HeadConfig::new(1, 1, 2).unwrap();
+        let q = vec![0.0, 0.0];
+        let kf: Vec<F16> = [1.0f32, 2049.0, 0.5, -0.5].iter().map(|&x| F16::from_f32(x)).collect();
+        let vf = kf.clone();
+        let out =
+            reference_attention(&VanillaAttention { causal: false }, &params(), h, 0, &q, &kf, &vf);
+        // 2049 rounds to 2048 in f16; uniform weights average (1, 2048) and (0.5, -0.5).
+        assert!(allclose(&out.o, &[(1.0 + 0.5) / 2.0, (2048.0 - 0.5) / 2.0], 1e-4, 1e-5));
+    }
+}

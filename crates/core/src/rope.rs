@@ -1,0 +1,122 @@
+//! Rotary position embeddings (RoPE), used by the fused-kernel variants.
+//!
+//! Streaming-LLM (§4.3) needs RoPE applied *inside* the attention kernel:
+//! after the sink/window eviction, keys must be rotated by their position in
+//! the cache, not their original token index, so the rotation cannot be
+//! precomputed at append time. FlashInfer generates such fused kernels from
+//! ~20 lines of query/key-transform code; here the same hook applies
+//! [`RotaryEmbedding::apply`] in `query_transform`/`key_transform`.
+//!
+//! The layout is the GPT-NeoX convention: the head dimension is split in
+//! halves `(x1, x2)` and rotated as `(x1 cos − x2 sin, x2 cos + x1 sin)`,
+//! with frequencies `theta^{-2i/d}`.
+
+/// Rotary embedding configuration for one head dimension.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RotaryEmbedding {
+    head_dim: usize,
+    /// Inverse frequencies, length `head_dim / 2`.
+    inv_freq: Vec<f32>,
+}
+
+impl RotaryEmbedding {
+    /// Create a rotary embedding for `head_dim` (must be even) with the
+    /// standard frequency base `theta` (10000.0 in most models).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head_dim` is odd or zero.
+    pub fn new(head_dim: usize, theta: f32) -> RotaryEmbedding {
+        assert!(head_dim > 0 && head_dim.is_multiple_of(2), "head_dim must be positive and even");
+        let half = head_dim / 2;
+        let inv_freq =
+            (0..half).map(|i| theta.powf(-2.0 * i as f32 / head_dim as f32)).collect();
+        RotaryEmbedding { head_dim, inv_freq }
+    }
+
+    /// The head dimension this embedding was built for.
+    pub fn head_dim(&self) -> usize {
+        self.head_dim
+    }
+
+    /// Rotate `x` (one head vector, length `head_dim`) in place by `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != head_dim`.
+    pub fn apply(&self, x: &mut [f32], pos: usize) {
+        assert_eq!(x.len(), self.head_dim, "vector length mismatch");
+        let half = self.head_dim / 2;
+        for i in 0..half {
+            let angle = pos as f32 * self.inv_freq[i];
+            let (sin, cos) = angle.sin_cos();
+            let a = x[i];
+            let b = x[i + half];
+            x[i] = a * cos - b * sin;
+            x[i + half] = b * cos + a * sin;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fi_tensor::numerics::{allclose, dot};
+
+    #[test]
+    fn position_zero_is_identity() {
+        let rope = RotaryEmbedding::new(8, 10_000.0);
+        let orig: Vec<f32> = (0..8).map(|i| i as f32 - 3.5).collect();
+        let mut x = orig.clone();
+        rope.apply(&mut x, 0);
+        assert!(allclose(&x, &orig, 1e-6, 1e-7));
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let rope = RotaryEmbedding::new(16, 10_000.0);
+        let orig: Vec<f32> = (0..16).map(|i| (i as f32).sin()).collect();
+        let n0 = dot(&orig, &orig);
+        for pos in [1usize, 7, 100, 5000] {
+            let mut x = orig.clone();
+            rope.apply(&mut x, pos);
+            let n = dot(&x, &x);
+            assert!((n - n0).abs() / n0 < 1e-5, "pos {pos}: {n} vs {n0}");
+        }
+    }
+
+    #[test]
+    fn dot_depends_only_on_relative_position() {
+        // The RoPE property: <R_m q, R_n k> == <R_{m+t} q, R_{n+t} k>.
+        let rope = RotaryEmbedding::new(8, 10_000.0);
+        let q: Vec<f32> = (0..8).map(|i| (i as f32 * 0.7).cos()).collect();
+        let k: Vec<f32> = (0..8).map(|i| (i as f32 * 1.3).sin()).collect();
+        let at = |m: usize, n: usize| {
+            let mut qq = q.clone();
+            let mut kk = k.clone();
+            rope.apply(&mut qq, m);
+            rope.apply(&mut kk, n);
+            dot(&qq, &kk)
+        };
+        let base = at(5, 2);
+        for t in [1usize, 10, 321] {
+            assert!((at(5 + t, 2 + t) - base).abs() < 1e-3, "shift {t}");
+        }
+    }
+
+    #[test]
+    fn first_pair_rotates_at_unit_frequency() {
+        let rope = RotaryEmbedding::new(4, 10_000.0);
+        let mut x = vec![1.0, 0.0, 0.0, 0.0];
+        rope.apply(&mut x, 1);
+        // Pair (x[0], x[2]) rotates by 1 radian.
+        assert!((x[0] - 1f32.cos()).abs() < 1e-6);
+        assert!((x[2] - 1f32.sin()).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_dim_rejected() {
+        RotaryEmbedding::new(7, 10_000.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Attention states and the ⊕ composition operator (§2.2).
+//!
+//! For a query `q` and an index set `I` of KV positions, the *attention
+//! state* is the pair `(O(I), LSE(I))` of attention output and attention
+//! scale (Eq. 1–2 of the paper). States over disjoint index sets compose
+//! with the associative, commutative operator ⊕:
+//!
+//! ```text
+//! O(I ∪ J)   = (e^{LSE(I)} O(I) + e^{LSE(J)} O(J)) / (e^{LSE(I)} + e^{LSE(J)})
+//! LSE(I ∪ J) = log(e^{LSE(I)} + e^{LSE(J)})
+//! ```
+//!
+//! FlashInfer treats the state as *the* canonical output of an attention
+//! kernel — the analog of a partial sum in GEMM split-K — which is what
+//! makes load-balanced KV chunking (§3.3.1) and composable formats (§3.1.2)
+//! deterministic and order-flexible.
+//!
+//! Variants that disable softmax (e.g. FlashSigmoid) compose with plain
+//! summation instead; [`AttentionState::merge_sum`] covers that path.
+
+/// The attention state of one (query row, head): output vector + log-sum-exp
+/// scale.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct AttentionState {
+    /// Attention output `O(I)`, length = head dimension.
+    pub o: Vec<f32>,
+    /// Attention scale `LSE(I)` in natural log units.
+    pub lse: f32,
+}
+
+impl AttentionState {
+    /// The identity of ⊕: the state of the empty index set
+    /// (`O = 0`, `LSE = -inf`).
+    pub fn identity(dim: usize) -> AttentionState {
+        AttentionState { o: vec![0.0; dim], lse: f32::NEG_INFINITY }
+    }
+
+    /// True if this is (numerically) the empty-set state.
+    pub fn is_identity(&self) -> bool {
+        self.lse == f32::NEG_INFINITY
+    }
+
+    /// Compose with another state over a disjoint index set (softmax
+    /// semantics). The scale-aware formulation below never exponentiates
+    /// anything positive, so it is stable for large `lse`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn merge(&self, other: &AttentionState) -> AttentionState {
+        assert_eq!(self.o.len(), other.o.len(), "state dimension mismatch");
+        if self.is_identity() {
+            return other.clone();
+        }
+        if other.is_identity() {
+            return self.clone();
+        }
+        let m = self.lse.max(other.lse);
+        let wa = (self.lse - m).exp();
+        let wb = (other.lse - m).exp();
+        let denom = wa + wb;
+        let o = self
+            .o
+            .iter()
+            .zip(&other.o)
+            .map(|(&a, &b)| (wa * a + wb * b) / denom)
+            .collect();
+        AttentionState { o, lse: m + denom.ln() }
+    }
+
+    /// In-place variant of [`AttentionState::merge`].
+    pub fn merge_in_place(&mut self, other: &AttentionState) {
+        *self = self.merge(other);
+    }
+
+    /// Compose with summation semantics (non-softmax variants): outputs
+    /// add, the scale field is ignored and kept at `-inf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn merge_sum(&self, other: &AttentionState) -> AttentionState {
+        assert_eq!(self.o.len(), other.o.len(), "state dimension mismatch");
+        AttentionState {
+            o: self.o.iter().zip(&other.o).map(|(&a, &b)| a + b).collect(),
+            lse: f32::NEG_INFINITY,
+        }
+    }
+
+    /// Merge a sequence of states (softmax semantics) in the given order.
+    /// Because ⊕ is associative and commutative the result is
+    /// order-independent up to floating-point rounding; the *deterministic*
+    /// order used by the contraction kernel is "workspace index ascending".
+    pub fn merge_all<'a>(dim: usize, states: impl IntoIterator<Item = &'a AttentionState>) -> AttentionState {
+        let mut acc = AttentionState::identity(dim);
+        for s in states {
+            acc.merge_in_place(s);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fi_tensor::numerics::allclose;
+
+    fn state(o: &[f32], lse: f32) -> AttentionState {
+        AttentionState { o: o.to_vec(), lse }
+    }
+
+    /// Compute a state directly from logits and values.
+    fn from_logits(logits: &[f32], values: &[Vec<f32>]) -> AttentionState {
+        let dim = values[0].len();
+        let lse = fi_tensor::numerics::log_sum_exp(logits);
+        let mut o = vec![0.0; dim];
+        for (l, v) in logits.iter().zip(values) {
+            let w = (l - lse).exp();
+            for (oo, &vv) in o.iter_mut().zip(v) {
+                *oo += w * vv;
+            }
+        }
+        AttentionState { o, lse }
+    }
+
+    #[test]
+    fn merge_equals_direct_computation() {
+        let logits = [0.3f32, -1.2, 2.5, 0.9];
+        let values: Vec<Vec<f32>> =
+            vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![2.0, -1.0], vec![0.5, 0.5]];
+        let whole = from_logits(&logits, &values);
+        let a = from_logits(&logits[..2], &values[..2]);
+        let b = from_logits(&logits[2..], &values[2..]);
+        let merged = a.merge(&b);
+        assert!(allclose(&merged.o, &whole.o, 1e-5, 1e-6));
+        assert!((merged.lse - whole.lse).abs() < 1e-5);
+    }
+
+    #[test]
+    fn identity_laws() {
+        let id = AttentionState::identity(3);
+        let s = state(&[1.0, 2.0, 3.0], 0.7);
+        assert_eq!(id.merge(&s), s);
+        assert_eq!(s.merge(&id), s);
+        assert!(id.merge(&id).is_identity());
+    }
+
+    #[test]
+    fn commutativity() {
+        let a = state(&[1.0, -2.0], 1.3);
+        let b = state(&[0.5, 4.0], -0.2);
+        let ab = a.merge(&b);
+        let ba = b.merge(&a);
+        assert!(allclose(&ab.o, &ba.o, 1e-6, 1e-7));
+        assert!((ab.lse - ba.lse).abs() < 1e-6);
+    }
+
+    #[test]
+    fn associativity() {
+        let a = state(&[1.0], 0.0);
+        let b = state(&[2.0], 1.0);
+        let c = state(&[3.0], -1.0);
+        let l = a.merge(&b).merge(&c);
+        let r = a.merge(&b.merge(&c));
+        assert!(allclose(&l.o, &r.o, 1e-5, 1e-6));
+        assert!((l.lse - r.lse).abs() < 1e-5);
+    }
+
+    #[test]
+    fn stability_for_huge_scales() {
+        // Naive exp(lse) would overflow.
+        let a = state(&[1.0], 10_000.0);
+        let b = state(&[3.0], 10_000.0);
+        let m = a.merge(&b);
+        assert!((m.o[0] - 2.0).abs() < 1e-6);
+        assert!((m.lse - (10_000.0 + 2f32.ln())).abs() < 1e-2);
+    }
+
+    #[test]
+    fn merge_sum_semantics() {
+        let a = state(&[1.0, 2.0], f32::NEG_INFINITY);
+        let b = state(&[0.5, -1.0], f32::NEG_INFINITY);
+        let s = a.merge_sum(&b);
+        assert_eq!(s.o, vec![1.5, 1.0]);
+        assert!(s.is_identity());
+    }
+
+    #[test]
+    fn merge_all_matches_pairwise() {
+        let states: Vec<AttentionState> =
+            (0..5).map(|i| state(&[i as f32, 1.0], i as f32 * 0.3 - 1.0)).collect();
+        let all = AttentionState::merge_all(2, &states);
+        let mut acc = AttentionState::identity(2);
+        for s in &states {
+            acc = acc.merge(s);
+        }
+        assert!(allclose(&all.o, &acc.o, 1e-6, 1e-7));
+    }
+}

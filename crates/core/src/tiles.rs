@@ -1,0 +1,166 @@
+//! Microkernel tile sizes and the selection heuristic (§3.2.2).
+//!
+//! Traditional FlashAttention2 ships a handful of tile sizes tuned for
+//! prefill (e.g. `(128, 64)`), which wastes compute when the query length
+//! is short (decode). FlashInfer compiles the FA2 template at every size in
+//! `Tq ∈ {1, 16, 32, 64, 128} × Tkv ∈ {32, 64, 128}` and picks one per
+//! batch with a two-step heuristic:
+//!
+//! 1. take the smallest `Tq` that covers the batch's average query length
+//!    (after GQA head-group fusion multiplies it by the group size), and
+//! 2. pick the `Tkv` that maximizes SM occupancy under the shared-memory
+//!    and register budget of the target architecture.
+//!
+//! `Tq = 1` selects the CUDA-cores microkernel (tensor-core `mma` needs at
+//! least 16 rows); larger `Tq` use tensor cores.
+
+/// Shared-memory / register budget of one streaming multiprocessor, the
+/// inputs to the occupancy side of the heuristic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct SmResources {
+    /// Usable shared memory per SM in bytes.
+    pub shared_mem_bytes: usize,
+    /// 32-bit registers per SM.
+    pub registers: usize,
+    /// Maximum resident threads per SM.
+    pub max_threads: usize,
+}
+
+impl SmResources {
+    /// NVIDIA A100 (sm80): 164 KiB usable smem.
+    pub const A100: SmResources =
+        SmResources { shared_mem_bytes: 164 * 1024, registers: 65536, max_threads: 2048 };
+    /// NVIDIA H100 (sm90): 228 KiB usable smem.
+    pub const H100: SmResources =
+        SmResources { shared_mem_bytes: 228 * 1024, registers: 65536, max_threads: 2048 };
+    /// NVIDIA Ada (sm89): 100 KiB usable smem — the constrained case the
+    /// paper calls out ("Ada has limited shared memory, affecting SM
+    /// occupancy with large tiles").
+    pub const ADA: SmResources =
+        SmResources { shared_mem_bytes: 100 * 1024, registers: 65536, max_threads: 1536 };
+}
+
+/// The tile-size menu.
+pub const QUERY_TILE_SIZES: [usize; 5] = [1, 16, 32, 64, 128];
+/// KV tile sizes.
+pub const KV_TILE_SIZES: [usize; 3] = [32, 64, 128];
+
+/// One microkernel configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct TileConfig {
+    /// Query tile height `Tq` (also the BSR block-row height `Br`).
+    pub tq: usize,
+    /// KV tile width `Tkv`.
+    pub tkv: usize,
+}
+
+impl TileConfig {
+    /// Whether this tile maps to tensor cores (`Tq >= 16`) or the CUDA-core
+    /// microkernel (`Tq = 1`).
+    pub fn uses_tensor_cores(&self) -> bool {
+        self.tq >= 16
+    }
+
+    /// Shared-memory bytes one CTA needs with this tile: the Q tile plus
+    /// the K and V tiles, at f16 staging precision (2 bytes) — the
+    /// configuration the paper evaluates.
+    pub fn shared_mem_bytes(&self, head_dim: usize) -> usize {
+        let elem = 2usize; // f16 staging
+        (self.tq * head_dim + 2 * self.tkv * head_dim) * elem
+    }
+
+    /// How many CTAs of this tile fit on one SM, shared-memory bound.
+    pub fn ctas_per_sm(&self, head_dim: usize, sm: SmResources) -> usize {
+        let need = self.shared_mem_bytes(head_dim).max(1);
+        sm.shared_mem_bytes / need
+    }
+}
+
+/// The fixed tile configuration FlashAttention-style libraries use — the
+/// baseline in Figure 8 ("FlashAttention use suboptimal tile size for
+/// decoding").
+pub const FA2_FIXED_TILE: TileConfig = TileConfig { tq: 128, tkv: 64 };
+
+/// Select a tile size for a batch (§3.2.2).
+///
+/// `avg_fused_qo_len` is the batch's average query length *after* GQA
+/// head-group fusion (`avg_qo_len * group_size`, Appendix A); `head_dim`
+/// and `sm` feed the occupancy step.
+pub fn select_tile(avg_fused_qo_len: f64, head_dim: usize, sm: SmResources) -> TileConfig {
+    // Step 1: minimal query tile covering the average query length.
+    let tq = QUERY_TILE_SIZES
+        .iter()
+        .copied()
+        .find(|&t| t as f64 >= avg_fused_qo_len)
+        .unwrap_or(*QUERY_TILE_SIZES.last().expect("menu non-empty"));
+
+    // Step 2: largest KV tile that still keeps at least 2 CTAs resident per
+    // SM (so memory latency can be hidden by the other CTA); if even the
+    // smallest tile can't, take the smallest.
+    let mut best = TileConfig { tq, tkv: KV_TILE_SIZES[0] };
+    for &tkv in &KV_TILE_SIZES {
+        let cfg = TileConfig { tq, tkv };
+        if cfg.ctas_per_sm(head_dim, sm) >= 2 {
+            best = cfg;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_selects_unit_query_tile() {
+        // Pure decode, MHA (group 1): avg fused length 1.
+        let t = select_tile(1.0, 128, SmResources::A100);
+        assert_eq!(t.tq, 1);
+        assert!(!t.uses_tensor_cores());
+    }
+
+    #[test]
+    fn gqa_decode_selects_tensor_core_tile() {
+        // Decode with group size 8 (e.g. Llama-3 70B GQA): fused length 8
+        // still fits Tq=16.
+        let t = select_tile(8.0, 128, SmResources::A100);
+        assert_eq!(t.tq, 16);
+        assert!(t.uses_tensor_cores());
+    }
+
+    #[test]
+    fn prefill_selects_large_tiles() {
+        let t = select_tile(1024.0, 128, SmResources::A100);
+        assert_eq!(t.tq, 128);
+        assert!(t.tkv >= 64);
+    }
+
+    #[test]
+    fn ada_prefers_smaller_kv_tiles_than_h100() {
+        let ada = select_tile(1024.0, 256, SmResources::ADA);
+        let h100 = select_tile(1024.0, 256, SmResources::H100);
+        assert!(ada.tkv <= h100.tkv, "Ada {:?} vs H100 {:?}", ada, h100);
+        assert!(ada.tkv < 128);
+    }
+
+    #[test]
+    fn tile_boundaries() {
+        assert_eq!(select_tile(16.0, 128, SmResources::A100).tq, 16);
+        assert_eq!(select_tile(16.1, 128, SmResources::A100).tq, 32);
+        assert_eq!(select_tile(10_000.0, 128, SmResources::A100).tq, 128);
+    }
+
+    #[test]
+    fn shared_mem_model_monotone() {
+        let small = TileConfig { tq: 16, tkv: 32 };
+        let large = TileConfig { tq: 128, tkv: 128 };
+        assert!(small.shared_mem_bytes(128) < large.shared_mem_bytes(128));
+        assert!(small.ctas_per_sm(128, SmResources::A100) > large.ctas_per_sm(128, SmResources::A100));
+    }
+
+    #[test]
+    fn fixed_baseline_is_prefill_shaped() {
+        assert_eq!(FA2_FIXED_TILE.tq, 128);
+        assert!(FA2_FIXED_TILE.uses_tensor_cores());
+    }
+}

@@ -1,0 +1,389 @@
+//! Persistent-kernel execution model: plans → time.
+//!
+//! Each CTA of the persistent attention kernel drains its work queue
+//! sequentially (§3.3.1); a work item's cost is its roofline time against
+//! the *per-SM share* of memory bandwidth and compute, plus a fixed
+//! dequeue/setup overhead. The makespan is the slowest CTA — which is
+//! exactly where load imbalance (Figure 8) and composable-format traffic
+//! savings (Figure 10) become visible.
+//!
+//! **Head-dimension convention**: FlashInfer's grid parallelizes over KV
+//! heads as well as tiles. A work item here costs whatever geometry
+//! [`ExecContext::heads_per_item`] declares: pass `num_kv_heads` to model a
+//! kernel whose items each loop over all heads (small-batch decode
+//! fallback), or build the layout with one block row per (request, head)
+//! and pass 1 — the standard evaluation setup, matching the real grid.
+
+use fi_core::config::HeadConfig;
+use fi_core::tiles::TileConfig;
+use fi_sched::plan::Plan;
+use fi_sparse::BlockSparseMatrix;
+
+use crate::spec::GpuSpec;
+
+/// Geometry and precision context for costing one plan.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct ExecContext {
+    /// Target GPU.
+    pub spec: GpuSpec,
+    /// Head configuration of the problem.
+    pub heads: HeadConfig,
+    /// KV heads covered by one work item (see module docs).
+    pub heads_per_item: usize,
+    /// Bytes per KV element (2 for f16, 1 for fp8).
+    pub kv_elem_bytes: usize,
+    /// Bytes per Q/O element.
+    pub q_elem_bytes: usize,
+    /// Tile configuration (selects tensor vs CUDA cores and tile count).
+    pub tile: TileConfig,
+    /// Head-group fusion (Appendix A): unfused multiplies KV traffic by the
+    /// GQA group size.
+    pub head_fusion: bool,
+    /// Fixed per-work-item overhead in seconds (queue pop + pipeline fill).
+    pub item_overhead: f64,
+    /// Extra per-row gather cost for scattered (non-contiguous) KV, as a
+    /// fractional bandwidth penalty (Appendix B measures ~10% on prefill
+    /// FA3). 0.0 = dense.
+    pub sparse_gather_penalty: f64,
+}
+
+impl ExecContext {
+    /// Reasonable defaults: f16 everywhere, fused heads, dense KV.
+    pub fn new(spec: GpuSpec, heads: HeadConfig, tile: TileConfig) -> ExecContext {
+        ExecContext {
+            spec,
+            heads,
+            heads_per_item: heads.num_kv_heads,
+            kv_elem_bytes: 2,
+            q_elem_bytes: 2,
+            tile,
+            head_fusion: true,
+            item_overhead: 1e-6,
+            sparse_gather_penalty: 0.0,
+        }
+    }
+
+    /// Roofline time for one work item: `rows` query rows × `kv_slots` KV.
+    pub fn item_time(&self, rows: usize, kv_slots: usize) -> f64 {
+        if kv_slots == 0 {
+            return self.item_overhead;
+        }
+        let d = self.heads.head_dim;
+        let g = self.heads.group_size();
+        let fused_rows = rows * g;
+        // K + V traffic per covered kv head.
+        let kv_factor = if self.head_fusion { 1.0 } else { g as f64 };
+        let kv_bytes = (2 * kv_slots * d * self.heads_per_item * self.kv_elem_bytes) as f64
+            * kv_factor
+            * (1.0 + self.sparse_gather_penalty);
+        // Static tiles stage the full Tq×D Q tile (predicated loads still
+        // occupy issue slots) and size the O accumulator to the tile — the
+        // "suboptimal tile size for decoding" penalty of §3.2.2: a (128,·)
+        // prefill tile serving a 4-row fused decode pays 128 rows of Q/O
+        // pipeline traffic. Utilization reports count only useful bytes.
+        let padded_rows = if self.tile.uses_tensor_cores() {
+            fused_rows.div_ceil(self.tile.tq).max(1) * self.tile.tq
+        } else {
+            fused_rows
+        };
+        let qo_bytes = (padded_rows * self.heads_per_item * d * (self.q_elem_bytes + 4)) as f64;
+        let bytes = kv_bytes + qo_bytes;
+        let flops = (4 * fused_rows * kv_slots * d * self.heads_per_item) as f64;
+        let flop_rate = if self.tile.uses_tensor_cores() {
+            self.spec.tensor_flops_per_sm()
+        } else {
+            self.spec.cuda_core_flops_per_sm()
+        };
+        let mem_time = bytes / self.spec.bw_per_sm();
+        let compute_time = flops / flop_rate;
+        mem_time.max(compute_time) + self.item_overhead
+    }
+}
+
+/// Result of simulating one plan.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ExecReport {
+    /// Wall-clock of the attention kernel (slowest CTA) plus contraction.
+    pub makespan: f64,
+    /// Busy time per CTA.
+    pub cta_busy: Vec<f64>,
+    /// Total FLOPs across items.
+    pub total_flops: f64,
+    /// Total bytes moved across items.
+    pub total_bytes: f64,
+    /// Achieved / peak HBM bandwidth over the makespan.
+    pub bandwidth_util: f64,
+    /// Achieved / peak FLOPs over the makespan.
+    pub flops_util: f64,
+    /// Mean CTA idle fraction (1 − busy/makespan).
+    pub idle_frac: f64,
+    /// Contraction (merge) kernel time included in the makespan.
+    pub contraction_time: f64,
+}
+
+/// One executed work item on the simulated timeline (for Gantt-style
+/// inspection of load balance).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct TimelineEvent {
+    /// Simulated CTA.
+    pub cta: usize,
+    /// Start time (seconds from kernel start).
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+    /// The query tile being processed.
+    pub block_row: usize,
+    /// KV slots in this chunk.
+    pub kv_slots: usize,
+}
+
+/// Simulate a plan and additionally return the per-item execution
+/// timeline. Events of one CTA are contiguous and non-overlapping; the
+/// makespan equals the latest `end` plus contraction/launch overheads.
+///
+/// # Panics
+///
+/// As [`execute_plan`].
+pub fn execute_plan_with_timeline(
+    plan: &Plan,
+    layout: &BlockSparseMatrix,
+    ctx: &ExecContext,
+) -> (ExecReport, Vec<TimelineEvent>) {
+    let mut events = Vec::with_capacity(plan.num_items());
+    for (cta, queue) in plan.cta_queues.iter().enumerate() {
+        let mut t = 0.0f64;
+        for item in queue {
+            let (rs, re) = layout.block_row_range(item.block_row);
+            let dt = ctx.item_time(re - rs, item.kv_slots);
+            events.push(TimelineEvent {
+                cta,
+                start: t,
+                end: t + dt,
+                block_row: item.block_row,
+                kv_slots: item.kv_slots,
+            });
+            t += dt;
+        }
+    }
+    (execute_plan(plan, layout, ctx), events)
+}
+
+/// Simulate a plan.
+///
+/// # Panics
+///
+/// Panics if the plan references block rows outside `layout` (plans are
+/// always built from the same layout in practice).
+pub fn execute_plan(plan: &Plan, layout: &BlockSparseMatrix, ctx: &ExecContext) -> ExecReport {
+    let d = ctx.heads.head_dim;
+    let g = ctx.heads.group_size();
+    let mut cta_busy = vec![0.0f64; plan.cta_queues.len()];
+    let mut total_flops = 0.0;
+    let mut total_bytes = 0.0;
+    for (cta, queue) in plan.cta_queues.iter().enumerate() {
+        for item in queue {
+            let (rs, re) = layout.block_row_range(item.block_row);
+            let rows = re - rs;
+            let t = ctx.item_time(rows, item.kv_slots);
+            cta_busy[cta] += t;
+            // Useful bytes only: no gather penalty, no tile padding — the
+            // numerator of "achieved bandwidth" in the paper's figures.
+            let kv_factor = if ctx.head_fusion { 1.0 } else { g as f64 };
+            total_bytes += (2 * item.kv_slots * d * ctx.heads_per_item * ctx.kv_elem_bytes)
+                as f64
+                * kv_factor
+                + (rows * g * ctx.heads_per_item * d * (ctx.q_elem_bytes + 4)) as f64;
+            total_flops += (4 * rows * g * item.kv_slots * d * ctx.heads_per_item) as f64;
+        }
+    }
+    let kernel_makespan = cta_busy.iter().copied().fold(0.0, f64::max);
+
+    // Contraction: read every partial twice (load + merge) and write the
+    // final rows; executes at full-device bandwidth (it is tiny and
+    // embarrassingly parallel). Each partial holds one state per
+    // (row, query head covered by the item).
+    let heads_per_state = g * ctx.heads_per_item;
+    let partial_bytes =
+        (plan.num_partials * plan.max_tile_rows * heads_per_state * (d + 1) * 4) as f64;
+    let contraction_time = if plan.num_partials > 0 {
+        2.0 * partial_bytes / ctx.spec.hbm_bandwidth + ctx.item_overhead
+    } else {
+        0.0
+    };
+
+    let makespan = kernel_makespan + contraction_time + ctx.spec.launch_overhead;
+    let peak_flops = if ctx.tile.uses_tensor_cores() {
+        ctx.spec.tensor_flops
+    } else {
+        ctx.spec.cuda_core_flops
+    };
+    let idle_frac = if kernel_makespan > 0.0 {
+        1.0 - cta_busy.iter().sum::<f64>() / (kernel_makespan * cta_busy.len() as f64)
+    } else {
+        0.0
+    };
+    ExecReport {
+        makespan,
+        bandwidth_util: total_bytes / (makespan * ctx.spec.hbm_bandwidth),
+        flops_util: total_flops / (makespan * peak_flops),
+        total_flops,
+        total_bytes,
+        idle_frac,
+        contraction_time,
+        cta_busy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fi_sched::plan::{balanced_plan, naive_plan, CostModel};
+    use fi_sparse::bsr::{BlockEntry, BlockSparseMatrix};
+
+    fn layout_for(kv_lens: &[usize]) -> BlockSparseMatrix {
+        let cols: usize = kv_lens.iter().sum::<usize>().max(1);
+        let mut rows = Vec::new();
+        let mut col = 0;
+        for (i, &l) in kv_lens.iter().enumerate() {
+            let entries: Vec<BlockEntry> =
+                (0..l).map(|k| BlockEntry { col_block: col + k, len: 1 }).collect();
+            rows.push((i, i + 1, entries));
+            col += l;
+        }
+        BlockSparseMatrix::new(kv_lens.len(), cols, 1, rows).unwrap()
+    }
+
+    fn ctx() -> ExecContext {
+        let heads = HeadConfig::new(32, 8, 128).unwrap();
+        ExecContext::new(GpuSpec::A100_40G, heads, TileConfig { tq: 16, tkv: 64 })
+    }
+
+    #[test]
+    fn decode_is_memory_bound() {
+        let c = ctx();
+        let kv = 1024;
+        let t = c.item_time(1, kv);
+        // Memory time should dominate: intensity ~ 2*rows*g flops/byte << ridge.
+        let d = 128;
+        let bytes = (2 * kv * d * 8 * 2) as f64 + (4 * 8 * d * 6) as f64;
+        let mem_t = bytes / c.spec.bw_per_sm();
+        assert!((t - c.item_overhead - mem_t).abs() / mem_t < 0.05, "t={t} mem={mem_t}");
+    }
+
+    #[test]
+    fn balanced_beats_naive_on_skewed_makespan() {
+        // One 8192-KV request + 15 short ones on 108 CTAs.
+        let mut lens = vec![8192usize];
+        lens.extend(std::iter::repeat_n(128, 15));
+        let layout = layout_for(&lens);
+        let cost = CostModel { alpha: 0.0, beta: 1.0, gamma: 64.0 };
+        let c = ctx();
+        let bal = execute_plan(&balanced_plan(&layout, 108, cost).unwrap(), &layout, &c);
+        let naive = execute_plan(&naive_plan(&layout, 108, cost).unwrap(), &layout, &c);
+        assert!(
+            bal.makespan < naive.makespan * 0.5,
+            "balanced {} vs naive {}",
+            bal.makespan,
+            naive.makespan
+        );
+        assert!(bal.bandwidth_util > naive.bandwidth_util * 1.5);
+        assert!(bal.idle_frac < naive.idle_frac);
+    }
+
+    #[test]
+    fn utilization_bounded_by_one() {
+        let lens: Vec<usize> = (0..108).map(|i| 512 + (i % 7) * 64).collect();
+        let layout = layout_for(&lens);
+        let c = ctx();
+        let r = execute_plan(
+            &balanced_plan(&layout, 108, CostModel::default()).unwrap(),
+            &layout,
+            &c,
+        );
+        assert!(r.bandwidth_util > 0.0 && r.bandwidth_util <= 1.0, "{}", r.bandwidth_util);
+        assert!(r.flops_util > 0.0 && r.flops_util <= 1.0);
+    }
+
+    #[test]
+    fn unfused_heads_cost_more() {
+        let mut c = ctx();
+        let layout = layout_for(&[1024; 16]);
+        let plan = balanced_plan(&layout, 108, CostModel::default()).unwrap();
+        let fused = execute_plan(&plan, &layout, &c);
+        c.head_fusion = false;
+        let unfused = execute_plan(&plan, &layout, &c);
+        assert!(unfused.makespan > fused.makespan * 2.0);
+    }
+
+    #[test]
+    fn fp8_kv_halves_memory_time() {
+        let mut c = ctx();
+        let t16 = c.item_time(1, 4096);
+        c.kv_elem_bytes = 1;
+        let t8 = c.item_time(1, 4096);
+        // KV dominates decode traffic: close to 2x.
+        assert!(t16 / t8 > 1.7, "{} vs {}", t16, t8);
+    }
+
+    #[test]
+    fn sparse_penalty_increases_time() {
+        let mut c = ctx();
+        let base = c.item_time(128, 1024);
+        c.sparse_gather_penalty = 0.10;
+        // Prefill tiles are compute bound on A100 at these sizes, so a 10%
+        // gather penalty may be partially hidden; decode is not.
+        let dec_base = ExecContext { sparse_gather_penalty: 0.0, ..c }.item_time(1, 1024);
+        let dec_pen = c.item_time(1, 1024);
+        assert!(dec_pen > dec_base);
+        let _ = base;
+    }
+
+    #[test]
+    fn contraction_time_only_when_split() {
+        let layout = layout_for(&[64, 64]);
+        let c = ctx();
+        let no_split = naive_plan(&layout, 4, CostModel::default()).unwrap();
+        let r = execute_plan(&no_split, &layout, &c);
+        assert_eq!(r.contraction_time, 0.0);
+        let split = balanced_plan(&layout_for(&[10_000]), 64, CostModel::default()).unwrap();
+        let r2 = execute_plan(&split, &layout_for(&[10_000]), &c);
+        assert!(r2.contraction_time > 0.0);
+    }
+
+    #[test]
+    fn empty_item_costs_only_overhead() {
+        let c = ctx();
+        assert_eq!(c.item_time(1, 0), c.item_overhead);
+    }
+
+    #[test]
+    fn timeline_is_consistent_with_report() {
+        let lens: Vec<usize> = (0..24).map(|i| 256 + i * 100).collect();
+        let layout = layout_for(&lens);
+        let c = ctx();
+        let plan = balanced_plan(&layout, 16, CostModel::default()).unwrap();
+        let (report, events) = execute_plan_with_timeline(&plan, &layout, &c);
+        assert_eq!(events.len(), plan.num_items());
+        // Per-CTA events are contiguous and non-overlapping.
+        for cta in 0..16 {
+            let mut t = 0.0;
+            for e in events.iter().filter(|e| e.cta == cta) {
+                assert!((e.start - t).abs() < 1e-12, "gap at cta {cta}");
+                assert!(e.end >= e.start);
+                t = e.end;
+            }
+            // The CTA's busy time matches the report.
+            assert!((t - report.cta_busy[cta]).abs() < 1e-9);
+        }
+        // Makespan = max end + contraction + launch.
+        let max_end = events.iter().map(|e| e.end).fold(0.0, f64::max);
+        assert!(
+            (report.makespan - (max_end + report.contraction_time + c.spec.launch_overhead))
+                .abs()
+                < 1e-9
+        );
+        // Every (block_row, kv chunk) appears exactly once.
+        let total_slots: usize = events.iter().map(|e| e.kv_slots).sum();
+        assert_eq!(total_slots, lens.iter().sum::<usize>());
+    }
+}

@@ -1,0 +1,229 @@
+//! CUDAGraph emulation (§3.3.1, Appendix D.1).
+//!
+//! A captured CUDA graph freezes every kernel's launch configuration —
+//! grid size, pointer arguments, scalar parameters. FlashInfer stays
+//! replay-compatible by (a) using persistent kernels whose grid never
+//! changes and (b) pinning each workspace section at a fixed offset so
+//! pointers never change even as sequence lengths do. [`CudaGraph`]
+//! enforces exactly those rules: capture records the frozen arguments,
+//! replay validates them, and any drift is a [`GraphError`] — the bug the
+//! real system would hit as a silent wrong-result or crash.
+
+use std::fmt;
+
+/// One kernel launch recorded in a graph.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct GraphOp {
+    /// Kernel identity (name + variant + dtype key).
+    pub kernel: String,
+    /// Grid size (CTA count) — fixed for persistent kernels.
+    pub grid: usize,
+    /// Pointer arguments as workspace offsets (must be step-invariant).
+    pub pointer_args: Vec<usize>,
+}
+
+/// Errors raised when replay-time state differs from capture-time state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Replayed op count differs from the captured sequence.
+    LengthMismatch {
+        /// Captured op count.
+        captured: usize,
+        /// Replayed op count.
+        replayed: usize,
+    },
+    /// An op's frozen arguments changed.
+    FrozenArgMismatch {
+        /// Index of the differing op.
+        index: usize,
+        /// Description of the difference.
+        detail: String,
+    },
+    /// Replay before capture.
+    NotCaptured,
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::LengthMismatch { captured, replayed } => {
+                write!(f, "graph length mismatch: captured {captured} ops, replayed {replayed}")
+            }
+            GraphError::FrozenArgMismatch { index, detail } => {
+                write!(f, "frozen argument mismatch at op {index}: {detail}")
+            }
+            GraphError::NotCaptured => write!(f, "graph replayed before capture"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// A capture-once, replay-many kernel sequence.
+#[derive(Debug, Clone, Default)]
+pub struct CudaGraph {
+    ops: Vec<GraphOp>,
+    captured: bool,
+    replays: u64,
+}
+
+impl CudaGraph {
+    /// Create an uncaptured graph.
+    pub fn new() -> CudaGraph {
+        CudaGraph::default()
+    }
+
+    /// Capture a launch sequence (the first generation step under
+    /// `torch.cuda.graph(g)` in Listing 1).
+    pub fn capture(&mut self, ops: Vec<GraphOp>) {
+        self.ops = ops;
+        self.captured = true;
+    }
+
+    /// True once captured.
+    pub fn is_captured(&self) -> bool {
+        self.captured
+    }
+
+    /// Replay: validate this step's would-be launches against the frozen
+    /// sequence. Sequence lengths may differ — only grid sizes, kernels
+    /// and pointers are frozen.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GraphError`] describing the first divergence.
+    pub fn replay(&mut self, step_ops: &[GraphOp]) -> Result<(), GraphError> {
+        if !self.captured {
+            return Err(GraphError::NotCaptured);
+        }
+        if step_ops.len() != self.ops.len() {
+            return Err(GraphError::LengthMismatch {
+                captured: self.ops.len(),
+                replayed: step_ops.len(),
+            });
+        }
+        for (i, (a, b)) in self.ops.iter().zip(step_ops).enumerate() {
+            if a.kernel != b.kernel {
+                return Err(GraphError::FrozenArgMismatch {
+                    index: i,
+                    detail: format!("kernel `{}` != captured `{}`", b.kernel, a.kernel),
+                });
+            }
+            if a.grid != b.grid {
+                return Err(GraphError::FrozenArgMismatch {
+                    index: i,
+                    detail: format!("grid {} != captured {}", b.grid, a.grid),
+                });
+            }
+            if a.pointer_args != b.pointer_args {
+                return Err(GraphError::FrozenArgMismatch {
+                    index: i,
+                    detail: format!("pointers {:?} != captured {:?}", b.pointer_args, a.pointer_args),
+                });
+            }
+        }
+        self.replays += 1;
+        Ok(())
+    }
+
+    /// Successful replays so far.
+    pub fn replay_count(&self) -> u64 {
+        self.replays
+    }
+
+    /// The captured ops.
+    pub fn ops(&self) -> &[GraphOp] {
+        &self.ops
+    }
+}
+
+/// Build the launch sequence of one generation step: per layer one
+/// persistent attention kernel + one contraction kernel, all pointing at
+/// the fixed workspace sections.
+pub fn step_ops(
+    num_layers: usize,
+    grid: usize,
+    metadata_offset: usize,
+    partials_offset: usize,
+    kernel_key: &str,
+) -> Vec<GraphOp> {
+    (0..num_layers)
+        .flat_map(|l| {
+            [
+                GraphOp {
+                    kernel: format!("{kernel_key}/attention/layer{l}"),
+                    grid,
+                    pointer_args: vec![metadata_offset, partials_offset],
+                },
+                GraphOp {
+                    kernel: format!("{kernel_key}/contraction/layer{l}"),
+                    grid,
+                    pointer_args: vec![partials_offset],
+                },
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fi_sched::workspace::WorkspaceLayout;
+
+    #[test]
+    fn replay_accepts_changed_seqlens_with_fixed_layout() {
+        // The workspace layout (and thus pointer args) is computed from
+        // upper bounds once; per-step plans differ but offsets don't.
+        let layout = WorkspaceLayout::compute(16, 32, 128, 108, 4096);
+        let mut g = CudaGraph::new();
+        let step1 = step_ops(32, 108, layout.metadata_offset, layout.partials_offset, "fa2_f16");
+        g.capture(step1.clone());
+        // Next step: different sequence lengths — same launch sequence.
+        let step2 = step_ops(32, 108, layout.metadata_offset, layout.partials_offset, "fa2_f16");
+        g.replay(&step2).unwrap();
+        g.replay(&step2).unwrap();
+        assert_eq!(g.replay_count(), 2);
+    }
+
+    #[test]
+    fn grid_change_is_rejected() {
+        let mut g = CudaGraph::new();
+        g.capture(step_ops(2, 108, 0, 100, "k"));
+        let bad = step_ops(2, 64, 0, 100, "k");
+        assert!(matches!(
+            g.replay(&bad),
+            Err(GraphError::FrozenArgMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn pointer_change_is_rejected() {
+        // A workspace reallocated at a different size moves the partials
+        // section: replay must fail (the real bug D.1 prevents).
+        let mut g = CudaGraph::new();
+        g.capture(step_ops(1, 108, 0, 100, "k"));
+        let moved = step_ops(1, 108, 0, 228, "k");
+        let err = g.replay(&moved).unwrap_err();
+        assert!(err.to_string().contains("pointers"));
+    }
+
+    #[test]
+    fn kernel_and_length_changes_rejected() {
+        let mut g = CudaGraph::new();
+        g.capture(step_ops(2, 108, 0, 100, "k"));
+        assert!(matches!(
+            g.replay(&step_ops(3, 108, 0, 100, "k")),
+            Err(GraphError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            g.replay(&step_ops(2, 108, 0, 100, "other")),
+            Err(GraphError::FrozenArgMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn replay_before_capture() {
+        let mut g = CudaGraph::new();
+        assert_eq!(g.replay(&[]), Err(GraphError::NotCaptured));
+    }
+}

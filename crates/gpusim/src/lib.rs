@@ -1,0 +1,35 @@
+//! # fi-gpusim
+//!
+//! The analytical GPU execution model that stands in for the A100/H100
+//! hardware of the paper's evaluation (see DESIGN.md, substitution table).
+//!
+//! The paper's performance results are functions of two things: the
+//! *schedule* (which CTA does how much work — load balance, wave
+//! quantization, split-KV) and the *per-tile cost* (memory bytes vs FLOPs
+//! against a roofline). This crate computes both:
+//!
+//! * [`spec`] — published datasheet numbers for A100-SXM-40G, H100-SXM-80G
+//!   and an Ada-class part (SM count, HBM bandwidth, tensor-core and
+//!   CUDA-core throughput, per-SM resources).
+//! * [`exec`] — executes an `fi-sched` [`fi_sched::Plan`] on a simulated
+//!   persistent kernel: each CTA runs its queue sequentially, each work
+//!   item costs `max(bytes / bw_per_sm, flops / flops_per_sm)` plus a
+//!   fixed tile overhead, and the report gives makespan, achieved
+//!   bandwidth/FLOPs utilization, and per-CTA idle time — the metrics of
+//!   Figures 8 and 12.
+//! * [`graph`] — CUDAGraph emulation: capture freezes grid sizes and
+//!   workspace pointers; replay validates that per-step dynamism never
+//!   requires re-capture (the §3.3.1 compatibility claim).
+//! * [`ops`] — roofline costs for the non-attention operators of a
+//!   transformer layer (GEMMs, all-reduce), used by `fi-serving` for
+//!   end-to-end latency.
+
+pub mod exec;
+pub mod graph;
+pub mod ops;
+pub mod overlap;
+pub mod spec;
+
+pub use exec::{ExecContext, ExecReport};
+pub use graph::{CudaGraph, GraphError};
+pub use spec::GpuSpec;

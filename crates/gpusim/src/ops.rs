@@ -1,0 +1,84 @@
+//! Roofline costs for the non-attention operators of a transformer layer.
+//!
+//! End-to-end latency (Figures 7, 9, 10) is attention time plus GEMMs
+//! (QKV/O projections, MLP), normalization, and — for tensor-parallel
+//! multi-GPU serving — all-reduce. These are modeled with the same
+//! roofline the attention items use, at full-device rates (dense GEMMs
+//! saturate the whole GPU).
+
+use crate::spec::GpuSpec;
+
+/// Time for a dense `m × k · k × n` GEMM at f16 with f32 accumulate.
+pub fn gemm_time(spec: &GpuSpec, m: usize, n: usize, k: usize) -> f64 {
+    if m == 0 || n == 0 || k == 0 {
+        return 0.0;
+    }
+    let flops = 2.0 * m as f64 * n as f64 * k as f64;
+    // Weights dominate traffic in serving GEMMs (activations are small);
+    // count A, B and C once each at 2 bytes.
+    let bytes = 2.0 * (m as f64 * k as f64 + k as f64 * n as f64 + m as f64 * n as f64);
+    (flops / spec.tensor_flops).max(bytes / spec.hbm_bandwidth) + spec.launch_overhead
+}
+
+/// Time for an elementwise/normalization pass over `n` f16 elements
+/// (read + write).
+pub fn elementwise_time(spec: &GpuSpec, n: usize) -> f64 {
+    if n == 0 {
+        return 0.0;
+    }
+    (4.0 * n as f64) / spec.hbm_bandwidth + spec.launch_overhead
+}
+
+/// Ring all-reduce time across `n_gpus` for `bytes` per GPU over NVLink.
+///
+/// `link_bandwidth` is the per-GPU NVLink bandwidth in bytes/s (A100/H100
+/// SXM: 600/900 GB/s aggregate; effective all-reduce BW is lower; we use
+/// the standard `2 (n-1)/n × bytes / bw` ring formula plus a latency term).
+pub fn allreduce_time(n_gpus: usize, bytes: usize, link_bandwidth: f64) -> f64 {
+    if n_gpus <= 1 || bytes == 0 {
+        return 0.0;
+    }
+    let n = n_gpus as f64;
+    2.0 * (n - 1.0) / n * bytes as f64 / link_bandwidth + 10e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_gemm_is_compute_bound() {
+        let s = GpuSpec::A100_40G;
+        let t = gemm_time(&s, 4096, 4096, 4096);
+        let flops = 2.0 * 4096f64.powi(3);
+        assert!((t - s.launch_overhead - flops / s.tensor_flops).abs() < 1e-6);
+    }
+
+    #[test]
+    fn skinny_gemm_is_memory_bound() {
+        // Decode projection: m=1 token.
+        let s = GpuSpec::A100_40G;
+        let t = gemm_time(&s, 1, 4096, 4096);
+        let bytes = 2.0 * (4096.0 + 4096.0 * 4096.0 + 4096.0);
+        assert!((t - s.launch_overhead - bytes / s.hbm_bandwidth).abs() / t < 0.05);
+    }
+
+    #[test]
+    fn zero_sizes_cost_nothing() {
+        let s = GpuSpec::H100_80G;
+        assert_eq!(gemm_time(&s, 0, 10, 10), 0.0);
+        assert_eq!(elementwise_time(&s, 0), 0.0);
+        assert_eq!(allreduce_time(1, 1000, 450e9), 0.0);
+        assert_eq!(allreduce_time(4, 0, 450e9), 0.0);
+    }
+
+    #[test]
+    fn allreduce_scales_with_group() {
+        let t2 = allreduce_time(2, 1 << 20, 450e9);
+        let t8 = allreduce_time(8, 1 << 20, 450e9);
+        assert!(t8 > t2);
+        // Asymptote: 2x bytes/bw.
+        let t_inf = allreduce_time(1000, 1 << 20, 450e9);
+        assert!(t_inf < 2.0 * (1 << 20) as f64 / 450e9 + 11e-6);
+    }
+}

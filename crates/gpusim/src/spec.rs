@@ -1,0 +1,121 @@
+//! GPU hardware specifications (datasheet values).
+
+use fi_core::tiles::SmResources;
+
+/// Published characteristics of one GPU model.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+pub struct GpuSpec {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Streaming multiprocessors.
+    pub num_sms: usize,
+    /// HBM bandwidth in bytes/second.
+    pub hbm_bandwidth: f64,
+    /// Dense f16 tensor-core throughput in FLOP/s.
+    pub tensor_flops: f64,
+    /// f32 CUDA-core throughput in FLOP/s (the `Tq = 1` microkernel path).
+    pub cuda_core_flops: f64,
+    /// Per-SM resource budget (drives tile-size occupancy).
+    pub sm: SmResources,
+    /// Kernel launch overhead in seconds (per launch when not using
+    /// CUDAGraph; one graph replay amortizes all launches in the graph).
+    pub launch_overhead: f64,
+    /// HBM capacity in bytes (bounds KV-cache pools in serving).
+    pub hbm_capacity: usize,
+    /// Host-device PCIe bandwidth in bytes/s (drives swap preemption).
+    pub pcie_bandwidth: f64,
+}
+
+impl GpuSpec {
+    /// NVIDIA A100-SXM4-40GB: 108 SMs, 1.56 TB/s, 312 TFLOPS f16 TC.
+    pub const A100_40G: GpuSpec = GpuSpec {
+        name: "A100-SXM4-40GB",
+        num_sms: 108,
+        hbm_bandwidth: 1.555e12,
+        tensor_flops: 312e12,
+        cuda_core_flops: 19.5e12,
+        sm: SmResources::A100,
+        launch_overhead: 4e-6,
+        hbm_capacity: 40 * (1 << 30),
+        pcie_bandwidth: 32e9, // PCIe 4.0 x16
+    };
+
+    /// NVIDIA H100-SXM5-80GB: 132 SMs, 3.35 TB/s, 989 TFLOPS dense f16 TC.
+    pub const H100_80G: GpuSpec = GpuSpec {
+        name: "H100-SXM5-80GB",
+        num_sms: 132,
+        hbm_bandwidth: 3.35e12,
+        tensor_flops: 989e12,
+        cuda_core_flops: 66.9e12,
+        sm: SmResources::H100,
+        launch_overhead: 4e-6,
+        hbm_capacity: 80 * (1 << 30),
+        pcie_bandwidth: 64e9, // PCIe 5.0 x16
+    };
+
+    /// An Ada-class part (RTX 4090-ish): limited shared memory, strong
+    /// compute, weaker memory system — the §3.2.2 occupancy example.
+    pub const ADA: GpuSpec = GpuSpec {
+        name: "Ada",
+        num_sms: 128,
+        hbm_bandwidth: 1.008e12,
+        tensor_flops: 330e12,
+        cuda_core_flops: 82.6e12,
+        sm: SmResources::ADA,
+        launch_overhead: 4e-6,
+        hbm_capacity: 24 * (1 << 30),
+        pcie_bandwidth: 32e9,
+    };
+
+    /// Per-SM memory bandwidth share (bytes/s) when all SMs are active.
+    pub fn bw_per_sm(&self) -> f64 {
+        self.hbm_bandwidth / self.num_sms as f64
+    }
+
+    /// Per-SM tensor-core throughput (FLOP/s).
+    pub fn tensor_flops_per_sm(&self) -> f64 {
+        self.tensor_flops / self.num_sms as f64
+    }
+
+    /// Per-SM CUDA-core throughput (FLOP/s).
+    pub fn cuda_core_flops_per_sm(&self) -> f64 {
+        self.cuda_core_flops / self.num_sms as f64
+    }
+
+    /// Ridge point of the f16 tensor-core roofline in FLOPs/byte:
+    /// workloads below this operational intensity are memory-bound.
+    pub fn ridge_intensity(&self) -> f64 {
+        self.tensor_flops / self.hbm_bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn datasheet_sanity() {
+        assert_eq!(GpuSpec::A100_40G.num_sms, 108);
+        assert_eq!(GpuSpec::H100_80G.num_sms, 132);
+        assert!(GpuSpec::H100_80G.hbm_bandwidth > GpuSpec::A100_40G.hbm_bandwidth);
+        assert!(GpuSpec::H100_80G.tensor_flops > GpuSpec::A100_40G.tensor_flops);
+    }
+
+    #[test]
+    #[allow(clippy::assertions_on_constants)]
+    fn ridge_points_are_hundreds_of_flops_per_byte() {
+        // A100: 312e12/1.555e12 ~ 200; H100: ~295. Decode attention
+        // (intensity ~ O(1)) is therefore deeply memory-bound on both.
+        let a = GpuSpec::A100_40G.ridge_intensity();
+        let h = GpuSpec::H100_80G.ridge_intensity();
+        assert!((150.0..250.0).contains(&a), "{a}");
+        assert!((250.0..350.0).contains(&h), "{h}");
+    }
+
+    #[test]
+    fn per_sm_shares_sum_back() {
+        let s = GpuSpec::A100_40G;
+        assert!((s.bw_per_sm() * s.num_sms as f64 - s.hbm_bandwidth).abs() < 1.0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Page allocator for the global KV pool.
+//!
+//! Deliberately simple — a LIFO free list, like vLLM's block allocator.
+//! LIFO reuse maximizes the chance that a freshly freed (still cache-warm)
+//! page is reused next, and makes allocation O(1).
+
+use crate::error::KvCacheError;
+
+/// Fixed-capacity page allocator over page ids `0..num_pages`.
+///
+/// ```
+/// use fi_kvcache::PageAllocator;
+///
+/// # fn main() -> Result<(), fi_kvcache::KvCacheError> {
+/// let mut a = PageAllocator::new(4);
+/// let pages = a.alloc(3)?;
+/// assert_eq!(pages.len(), 3);
+/// assert_eq!(a.free_pages(), 1);
+/// a.free(&pages);
+/// assert_eq!(a.free_pages(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PageAllocator {
+    num_pages: usize,
+    free_list: Vec<usize>,
+    allocated: Vec<bool>,
+    /// High-water mark of simultaneously allocated pages.
+    peak_in_use: usize,
+}
+
+impl PageAllocator {
+    /// Create an allocator managing `num_pages` pages.
+    pub fn new(num_pages: usize) -> PageAllocator {
+        PageAllocator {
+            num_pages,
+            // Reverse so page 0 is handed out first (cosmetic determinism).
+            free_list: (0..num_pages).rev().collect(),
+            allocated: vec![false; num_pages],
+            peak_in_use: 0,
+        }
+    }
+
+    /// Total pages managed.
+    pub fn num_pages(&self) -> usize {
+        self.num_pages
+    }
+
+    /// Currently free pages.
+    pub fn free_pages(&self) -> usize {
+        self.free_list.len()
+    }
+
+    /// Currently allocated pages.
+    pub fn used_pages(&self) -> usize {
+        self.num_pages - self.free_list.len()
+    }
+
+    /// High-water mark of allocated pages.
+    pub fn peak_in_use(&self) -> usize {
+        self.peak_in_use
+    }
+
+    /// Allocate `n` pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::OutOfPages`] (allocating nothing) when fewer
+    /// than `n` pages are free.
+    pub fn alloc(&mut self, n: usize) -> Result<Vec<usize>, KvCacheError> {
+        if n > self.free_list.len() {
+            return Err(KvCacheError::OutOfPages { requested: n, available: self.free_list.len() });
+        }
+        let at = self.free_list.len() - n;
+        let pages = self.free_list.split_off(at);
+        for &p in &pages {
+            self.allocated[p] = true;
+        }
+        self.peak_in_use = self.peak_in_use.max(self.used_pages());
+        Ok(pages)
+    }
+
+    /// Return pages to the pool. Double frees and unknown ids are ignored
+    /// after a debug assertion — freeing must never fail (C-DTOR-FAIL).
+    pub fn free(&mut self, pages: &[usize]) {
+        for &p in pages {
+            debug_assert!(p < self.num_pages, "freeing page {p} outside pool");
+            debug_assert!(self.allocated.get(p).copied().unwrap_or(false), "double free of page {p}");
+            if p < self.num_pages && self.allocated[p] {
+                self.allocated[p] = false;
+                self.free_list.push(p);
+            }
+        }
+    }
+
+    /// True if `page` is currently allocated.
+    pub fn is_allocated(&self, page: usize) -> bool {
+        self.allocated.get(page).copied().unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut a = PageAllocator::new(8);
+        let x = a.alloc(5).unwrap();
+        assert_eq!(a.used_pages(), 5);
+        assert!(x.iter().all(|&p| a.is_allocated(p)));
+        a.free(&x[..2]);
+        assert_eq!(a.free_pages(), 5);
+        let y = a.alloc(5).unwrap();
+        assert_eq!(a.used_pages(), 8);
+        // No overlap between live allocations.
+        for p in &y {
+            assert!(!x[2..].contains(p));
+        }
+    }
+
+    #[test]
+    fn exhaustion_is_atomic() {
+        let mut a = PageAllocator::new(3);
+        let _x = a.alloc(2).unwrap();
+        let err = a.alloc(2).unwrap_err();
+        assert_eq!(err, KvCacheError::OutOfPages { requested: 2, available: 1 });
+        // Failed alloc must not consume pages.
+        assert_eq!(a.free_pages(), 1);
+    }
+
+    #[test]
+    fn peak_tracking() {
+        let mut a = PageAllocator::new(4);
+        let x = a.alloc(3).unwrap();
+        a.free(&x);
+        let _ = a.alloc(1).unwrap();
+        assert_eq!(a.peak_in_use(), 3);
+    }
+
+    #[test]
+    fn zero_alloc_ok() {
+        let mut a = PageAllocator::new(0);
+        assert!(a.alloc(0).unwrap().is_empty());
+        assert!(a.alloc(1).is_err());
+    }
+
+    #[test]
+    fn lifo_reuse() {
+        let mut a = PageAllocator::new(4);
+        let x = a.alloc(2).unwrap();
+        a.free(&x);
+        let y = a.alloc(2).unwrap();
+        // LIFO: the most recently freed pages come back first.
+        assert_eq!(y, vec![x[1], x[0]].into_iter().rev().collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,68 @@
+//! Error type for KV-cache management.
+
+use std::fmt;
+
+/// Errors produced by the KV-cache managers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvCacheError {
+    /// The page pool is exhausted.
+    OutOfPages {
+        /// Pages requested.
+        requested: usize,
+        /// Pages currently free.
+        available: usize,
+    },
+    /// The request id is not registered in the cache.
+    UnknownRequest(u64),
+    /// A request id was registered twice.
+    DuplicateRequest(u64),
+    /// Configuration is invalid (zero page size, zero heads, ...).
+    InvalidConfig(String),
+    /// Input shape does not match the cache configuration.
+    ShapeMismatch {
+        /// Expected flattened length.
+        expected: usize,
+        /// Provided flattened length.
+        actual: usize,
+    },
+    /// Radix-tree token/slot arrays disagree in length.
+    TokenSlotMismatch {
+        /// Token count.
+        tokens: usize,
+        /// Slot count.
+        slots: usize,
+    },
+}
+
+impl fmt::Display for KvCacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvCacheError::OutOfPages { requested, available } => {
+                write!(f, "out of pages: requested {requested}, available {available}")
+            }
+            KvCacheError::UnknownRequest(id) => write!(f, "unknown request id {id}"),
+            KvCacheError::DuplicateRequest(id) => write!(f, "duplicate request id {id}"),
+            KvCacheError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            KvCacheError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected} elements, got {actual}")
+            }
+            KvCacheError::TokenSlotMismatch { tokens, slots } => {
+                write!(f, "token/slot length mismatch: {tokens} tokens vs {slots} slots")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvCacheError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = KvCacheError::OutOfPages { requested: 3, available: 1 };
+        assert!(e.to_string().contains("requested 3"));
+        assert!(KvCacheError::UnknownRequest(42).to_string().contains("42"));
+    }
+}

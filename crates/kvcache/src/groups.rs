@@ -1,0 +1,142 @@
+//! Deriving composable-format prefix groups from a live batch.
+//!
+//! The composable decomposition (§3.1.2) needs to know *which requests
+//! share which KV*. Under prefix caching / COW forking that information is
+//! physical: requests sharing a prefix reference the **same pool slots**
+//! for it. This module groups a decode batch by longest common slot
+//! prefix and emits the `PrefixGroup`s that
+//! `fi_sparse::ComposableFormat::decompose_shared_prefix` consumes —
+//! "enabling seamless integration into LLM serving frameworks without
+//! modifying memory management modules" (§5.1).
+
+use fi_sparse::bsr::BlockEntry;
+use fi_sparse::composable::PrefixGroup;
+
+/// Longest common prefix length of two slices.
+fn lcp(a: &[usize], b: &[usize]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+/// Group a decode batch (one query row per request, in batch order) by
+/// shared slot prefixes. `slot_seqs[i]` is request `i`'s KV slots in
+/// sequence order. Adjacent requests whose common slot prefix is at least
+/// `min_prefix` form a group; the group's shared prefix is the common
+/// prefix of *all* members. Requests with no partner become singleton
+/// groups (prefix empty, everything unique).
+///
+/// Returned groups are disjoint, cover every row, and use `bc = 1`
+/// (vector-sparse) blocks, ready for
+/// `ComposableFormat::decompose_shared_prefix(rows, pool_slots, 1, ..)`.
+pub fn build_prefix_groups(slot_seqs: &[Vec<usize>], min_prefix: usize) -> Vec<PrefixGroup> {
+    let n = slot_seqs.len();
+    let mut groups = Vec::new();
+    let mut i = 0usize;
+    while i < n {
+        // Grow the group while the *group-wide* common prefix stays long.
+        let mut prefix_len = slot_seqs[i].len();
+        let mut j = i + 1;
+        while j < n {
+            let candidate = lcp(&slot_seqs[i][..prefix_len], &slot_seqs[j]);
+            if candidate < min_prefix.max(1) {
+                break;
+            }
+            prefix_len = candidate;
+            j += 1;
+        }
+        if j == i + 1 {
+            // Singleton: no sharing to exploit.
+            let unique: Vec<BlockEntry> =
+                slot_seqs[i].iter().map(|&s| BlockEntry { col_block: s, len: 1 }).collect();
+            groups.push(PrefixGroup {
+                row_start: i,
+                row_end: i + 1,
+                prefix_blocks: Vec::new(),
+                unique: vec![(i, i + 1, unique)],
+            });
+        } else {
+            let prefix_blocks: Vec<BlockEntry> = slot_seqs[i][..prefix_len]
+                .iter()
+                .map(|&s| BlockEntry { col_block: s, len: 1 })
+                .collect();
+            let unique = (i..j)
+                .map(|r| {
+                    let blocks: Vec<BlockEntry> = slot_seqs[r][prefix_len..]
+                        .iter()
+                        .map(|&s| BlockEntry { col_block: s, len: 1 })
+                        .collect();
+                    (r, r + 1, blocks)
+                })
+                .collect();
+            groups.push(PrefixGroup { row_start: i, row_end: j, prefix_blocks, unique });
+        }
+        i = j;
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fi_sparse::ComposableFormat;
+
+    #[test]
+    fn forked_branches_group_together() {
+        // Three branches sharing slots 0..8, unique tails; one unrelated.
+        let shared: Vec<usize> = (0..8).collect();
+        let seqs: Vec<Vec<usize>> = vec![
+            shared.iter().copied().chain([100, 101]).collect(),
+            shared.iter().copied().chain([110, 111]).collect(),
+            shared.iter().copied().chain([120]).collect(),
+            vec![200, 201, 202],
+        ];
+        let groups = build_prefix_groups(&seqs, 4);
+        assert_eq!(groups.len(), 2);
+        assert_eq!((groups[0].row_start, groups[0].row_end), (0, 3));
+        assert_eq!(groups[0].prefix_blocks.len(), 8);
+        assert_eq!(groups[0].unique.len(), 3);
+        assert!(groups[1].prefix_blocks.is_empty());
+
+        // The decomposition must be valid and compute-preserving.
+        let f = ComposableFormat::decompose_shared_prefix(4, 256, 1, &groups).unwrap();
+        f.verify_disjoint().unwrap();
+        let expected_pairs: usize = seqs.iter().map(Vec::len).sum();
+        assert_eq!(f.compute_pairs(), expected_pairs);
+        // Gathers: 8 (shared once) + 2+2+1 + 3 = 16 vs 10+10+9+3 = 32 single.
+        assert_eq!(f.gather_slots(), 16);
+    }
+
+    #[test]
+    fn min_prefix_gates_grouping() {
+        let seqs: Vec<Vec<usize>> = vec![vec![0, 1, 9], vec![0, 1, 8]];
+        // Common prefix of 2 below threshold 4: singletons.
+        let g = build_prefix_groups(&seqs, 4);
+        assert_eq!(g.len(), 2);
+        // Threshold 2: grouped with prefix 2.
+        let g = build_prefix_groups(&seqs, 2);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].prefix_blocks.len(), 2);
+    }
+
+    #[test]
+    fn group_prefix_shrinks_to_common_core() {
+        // Request 2 shares only 4 slots with the first two (which share 6).
+        let seqs: Vec<Vec<usize>> = vec![
+            (0..6).chain([50]).collect(),
+            (0..6).chain([60]).collect(),
+            (0..4).chain([70, 71, 72]).collect(),
+        ];
+        let g = build_prefix_groups(&seqs, 3);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].prefix_blocks.len(), 4, "prefix shrinks to the 3-way core");
+        // Members' uniques start after the common core.
+        assert_eq!(g[0].unique[0].2.len(), 3); // slots 4,5,50
+    }
+
+    #[test]
+    fn empty_and_single_batches() {
+        assert!(build_prefix_groups(&[], 1).is_empty());
+        let g = build_prefix_groups(&[vec![1, 2, 3]], 1);
+        assert_eq!(g.len(), 1);
+        assert!(g[0].prefix_blocks.is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! # fi-kvcache
+//!
+//! KV-cache management substrates for LLM serving.
+//!
+//! The paper's attention engine sits on top of two storage managers that it
+//! unifies through the block-sparse view (`fi-sparse`):
+//!
+//! * [`paged::PagedKvCache`] — PagedAttention-style storage (Kwon et al.,
+//!   SOSP '23): KV entries live in fixed-size pages drawn from a global
+//!   pool by a [`alloc::PageAllocator`]; a request's logical sequence is a
+//!   scattered list of pages plus the fill of its last page.
+//! * [`radix::RadixTree`] — RadixAttention-style prefix cache (SGLang):
+//!   a compressed trie over token ids whose edges carry the KV slot ids of
+//!   the cached prefix, with LRU eviction and reference counting for
+//!   in-flight requests. Prefix hits let new requests skip prefill for the
+//!   matched tokens and enable the shared-prefix decomposition of
+//!   `fi-sparse::composable`.
+//!
+//! Both managers expose their layout as a [`fi_sparse::PageTable`], which is
+//! the single input format the attention kernels consume (Figure 2 of the
+//! paper).
+
+pub mod alloc;
+pub mod error;
+pub mod groups;
+pub mod paged;
+pub mod radix;
+pub mod swap;
+
+pub use alloc::PageAllocator;
+pub use error::KvCacheError;
+pub use paged::PagedKvCache;
+pub use radix::RadixTree;

@@ -1,0 +1,624 @@
+//! Paged KV-cache storage (the PagedAttention substrate).
+//!
+//! Keys and values for every request live in a global pool of fixed-size
+//! pages. Logical position `p` of a request maps to pool slot
+//! `pages[p / page_size] * page_size + p % page_size`. The pool itself is a
+//! pair of dense tensors of shape `[num_pages * page_size, num_kv_heads *
+//! head_dim]`; attention kernels address it through the gather lists of the
+//! BSR view ([`PagedKvCache::page_table`] → `fi_sparse::PageTable::to_bsr`).
+
+use std::collections::HashMap;
+
+use fi_sparse::page::PageTable;
+use fi_tensor::{Scalar, Tensor};
+
+use crate::alloc::PageAllocator;
+use crate::error::KvCacheError;
+
+/// Static configuration of a paged KV-cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PagedKvConfig {
+    /// Slots (tokens) per page.
+    pub page_size: usize,
+    /// Total pages in the pool.
+    pub num_pages: usize,
+    /// KV heads (`H_kv`).
+    pub num_kv_heads: usize,
+    /// Head dimension (`D`).
+    pub head_dim: usize,
+}
+
+impl PagedKvConfig {
+    fn validate(&self) -> Result<(), KvCacheError> {
+        if self.page_size == 0 || self.num_kv_heads == 0 || self.head_dim == 0 {
+            return Err(KvCacheError::InvalidConfig(
+                "page_size, num_kv_heads and head_dim must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Width of one slot row: `num_kv_heads * head_dim`.
+    pub fn row_width(&self) -> usize {
+        self.num_kv_heads * self.head_dim
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RequestState {
+    pages: Vec<usize>,
+    len: usize,
+}
+
+/// A paged KV-cache over element type `T` (f16 or fp8 in the paper's setups).
+///
+/// ```
+/// use fi_kvcache::paged::{PagedKvCache, PagedKvConfig};
+///
+/// # fn main() -> Result<(), fi_kvcache::KvCacheError> {
+/// let cfg = PagedKvConfig { page_size: 4, num_pages: 16, num_kv_heads: 2, head_dim: 8 };
+/// let mut cache = PagedKvCache::<f32>::new(cfg)?;
+/// cache.add_request(7)?;
+/// let kv_row = vec![0.5f32; cfg.row_width()];
+/// cache.append(7, &kv_row, &kv_row)?;
+/// assert_eq!(cache.seq_len(7)?, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PagedKvCache<T> {
+    cfg: PagedKvConfig,
+    allocator: PageAllocator,
+    k_pool: Tensor<T>,
+    v_pool: Tensor<T>,
+    requests: HashMap<u64, RequestState>,
+    /// Per-page reference counts: a live request holds one reference to
+    /// each of its pages; prefix caches and forked branches hold more.
+    /// Pages return to the allocator when the count reaches zero, and
+    /// writes to shared pages (count > 1) copy-on-write.
+    ref_counts: Vec<u32>,
+}
+
+impl<T: Scalar> PagedKvCache<T> {
+    /// Create an empty cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::InvalidConfig`] for degenerate configs.
+    pub fn new(cfg: PagedKvConfig) -> Result<PagedKvCache<T>, KvCacheError> {
+        cfg.validate()?;
+        let slots = cfg.num_pages * cfg.page_size;
+        Ok(PagedKvCache {
+            cfg,
+            allocator: PageAllocator::new(cfg.num_pages),
+            k_pool: Tensor::zeros(vec![slots, cfg.row_width()]),
+            v_pool: Tensor::zeros(vec![slots, cfg.row_width()]),
+            requests: HashMap::new(),
+            ref_counts: vec![0; cfg.num_pages],
+        })
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> PagedKvConfig {
+        self.cfg
+    }
+
+    /// Register a new, empty request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::DuplicateRequest`] if the id is live.
+    pub fn add_request(&mut self, id: u64) -> Result<(), KvCacheError> {
+        if self.requests.contains_key(&id) {
+            return Err(KvCacheError::DuplicateRequest(id));
+        }
+        self.requests.insert(id, RequestState { pages: Vec::new(), len: 0 });
+        Ok(())
+    }
+
+    /// Register a request that adopts existing pages (prefix-cache hit):
+    /// the request starts at `len = shared_len` using `pages` without
+    /// copying, and takes a reference on each adopted page. Writes into a
+    /// shared tail page copy-on-write, so the donor's data is never
+    /// mutated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::DuplicateRequest`] if the id is live, or
+    /// [`KvCacheError::InvalidConfig`] if `shared_len` exceeds the capacity
+    /// of `pages`.
+    pub fn add_request_with_prefix(
+        &mut self,
+        id: u64,
+        pages: Vec<usize>,
+        shared_len: usize,
+    ) -> Result<(), KvCacheError> {
+        if self.requests.contains_key(&id) {
+            return Err(KvCacheError::DuplicateRequest(id));
+        }
+        if shared_len > pages.len() * self.cfg.page_size {
+            return Err(KvCacheError::InvalidConfig(format!(
+                "shared_len {shared_len} exceeds {} pages capacity",
+                pages.len()
+            )));
+        }
+        self.retain_pages(&pages);
+        self.requests.insert(id, RequestState { pages, len: shared_len });
+        Ok(())
+    }
+
+    /// Fork a request (parallel generation): the new branch shares every
+    /// page of the source by reference; divergence happens lazily through
+    /// copy-on-write on append. O(pages), no data copied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::UnknownRequest`] / [`KvCacheError::DuplicateRequest`].
+    pub fn fork_request(&mut self, src: u64, new_id: u64) -> Result<(), KvCacheError> {
+        if self.requests.contains_key(&new_id) {
+            return Err(KvCacheError::DuplicateRequest(new_id));
+        }
+        let state = self.requests.get(&src).ok_or(KvCacheError::UnknownRequest(src))?;
+        let pages = state.pages.clone();
+        let len = state.len;
+        self.retain_pages(&pages);
+        self.requests.insert(new_id, RequestState { pages, len });
+        Ok(())
+    }
+
+    /// Take an extra reference on pages (prefix-cache registration).
+    pub fn retain_pages(&mut self, pages: &[usize]) {
+        for &p in pages {
+            self.ref_counts[p] += 1;
+        }
+    }
+
+    /// Current reference count of a page (0 = free).
+    pub fn page_ref_count(&self, page: usize) -> u32 {
+        self.ref_counts[page]
+    }
+
+    /// Current sequence length of a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::UnknownRequest`] for unregistered ids.
+    pub fn seq_len(&self, id: u64) -> Result<usize, KvCacheError> {
+        Ok(self.requests.get(&id).ok_or(KvCacheError::UnknownRequest(id))?.len)
+    }
+
+    /// Append one token's K and V rows (`num_kv_heads * head_dim` each),
+    /// allocating a page when the current tail page is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::UnknownRequest`], [`KvCacheError::ShapeMismatch`]
+    /// or [`KvCacheError::OutOfPages`]. On error nothing is written.
+    pub fn append(&mut self, id: u64, k_row: &[T], v_row: &[T]) -> Result<(), KvCacheError> {
+        let w = self.cfg.row_width();
+        if k_row.len() != w {
+            return Err(KvCacheError::ShapeMismatch { expected: w, actual: k_row.len() });
+        }
+        if v_row.len() != w {
+            return Err(KvCacheError::ShapeMismatch { expected: w, actual: v_row.len() });
+        }
+        let page_size = self.cfg.page_size;
+        let state = self.requests.get_mut(&id).ok_or(KvCacheError::UnknownRequest(id))?;
+        if state.len == state.pages.len() * page_size {
+            let new = self.allocator.alloc(1)?;
+            for &p in &new {
+                self.ref_counts[p] = 1;
+            }
+            state.pages.extend(new);
+        }
+        let pos = state.len;
+        let page_idx = pos / page_size;
+        let page = state.pages[page_idx];
+        // Copy-on-write: never mutate a page other holders can see.
+        if self.ref_counts[page] > 1 {
+            let fresh = self.allocator.alloc(1)?[0];
+            self.ref_counts[fresh] = 1;
+            let valid = pos % page_size; // slots of this page filled so far
+            for s in 0..valid {
+                let (src, dst) = (page * page_size + s, fresh * page_size + s);
+                let row = self.k_pool.row(src).to_vec();
+                self.k_pool.row_mut(dst).copy_from_slice(&row);
+                let row = self.v_pool.row(src).to_vec();
+                self.v_pool.row_mut(dst).copy_from_slice(&row);
+            }
+            let state = self.requests.get_mut(&id).expect("checked above");
+            state.pages[page_idx] = fresh;
+            self.ref_counts[page] -= 1;
+        }
+        let state = self.requests.get_mut(&id).expect("checked above");
+        let slot = state.pages[page_idx] * page_size + pos % page_size;
+        state.len += 1;
+        self.k_pool.row_mut(slot).copy_from_slice(k_row);
+        self.v_pool.row_mut(slot).copy_from_slice(v_row);
+        Ok(())
+    }
+
+    /// Append many tokens at once (prefill). `k`/`v` are `[n, row_width]`
+    /// flattened.
+    ///
+    /// # Errors
+    ///
+    /// As [`PagedKvCache::append`]; a mid-way page exhaustion leaves the
+    /// tokens appended so far in place and reports the error.
+    pub fn append_many(&mut self, id: u64, k: &[T], v: &[T]) -> Result<(), KvCacheError> {
+        let w = self.cfg.row_width();
+        if k.len() != v.len() || !k.len().is_multiple_of(w) {
+            return Err(KvCacheError::ShapeMismatch { expected: v.len(), actual: k.len() });
+        }
+        for (kr, vr) in k.chunks(w).zip(v.chunks(w)) {
+            self.append(id, kr, vr)?;
+        }
+        Ok(())
+    }
+
+    /// Release a request: drop its reference on every page; pages reaching
+    /// zero references return to the allocator. Pages still referenced by
+    /// a prefix cache or forked branches survive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::UnknownRequest`] for unregistered ids.
+    pub fn remove_request(&mut self, id: u64) -> Result<(), KvCacheError> {
+        let state = self.requests.remove(&id).ok_or(KvCacheError::UnknownRequest(id))?;
+        let pages = state.pages;
+        self.release_pages(&pages);
+        Ok(())
+    }
+
+    /// Drop one reference on each page (radix-tree eviction path); pages
+    /// reaching zero references return to the allocator.
+    pub fn release_pages(&mut self, pages: &[usize]) {
+        let mut to_free = Vec::new();
+        for &p in pages {
+            debug_assert!(self.ref_counts[p] > 0, "release of unreferenced page {p}");
+            self.ref_counts[p] = self.ref_counts[p].saturating_sub(1);
+            if self.ref_counts[p] == 0 {
+                to_free.push(p);
+            }
+        }
+        self.allocator.free(&to_free);
+    }
+
+    /// Allocate pages directly (each with one reference, owned by the
+    /// caller).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::OutOfPages`] without allocating anything.
+    pub fn alloc_pages(&mut self, n: usize) -> Result<Vec<usize>, KvCacheError> {
+        let pages = self.allocator.alloc(n)?;
+        for &p in &pages {
+            self.ref_counts[p] = 1;
+        }
+        Ok(pages)
+    }
+
+    /// The K pool row for a global slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` exceeds the pool.
+    pub fn k_slot(&self, slot: usize) -> &[T] {
+        self.k_pool.row(slot)
+    }
+
+    /// The V pool row for a global slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` exceeds the pool.
+    pub fn v_slot(&self, slot: usize) -> &[T] {
+        self.v_pool.row(slot)
+    }
+
+    /// Full K pool tensor (`[num_pages * page_size, row_width]`).
+    pub fn k_pool(&self) -> &Tensor<T> {
+        &self.k_pool
+    }
+
+    /// Full V pool tensor.
+    pub fn v_pool(&self) -> &Tensor<T> {
+        &self.v_pool
+    }
+
+    /// Build the [`PageTable`] descriptor for a batch of live requests, in
+    /// the given order (the order queries are packed in the ragged batch).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::UnknownRequest`] if any id is unknown.
+    pub fn page_table(&self, ids: &[u64]) -> Result<PageTable, KvCacheError> {
+        let mut pages = Vec::with_capacity(ids.len());
+        let mut last_lens = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let st = self.requests.get(&id).ok_or(KvCacheError::UnknownRequest(id))?;
+            pages.push(st.pages.clone());
+            last_lens.push(if st.pages.is_empty() {
+                0
+            } else {
+                let rem = st.len % self.cfg.page_size;
+                // A full tail page reports page_size, not 0. An
+                // adopted-prefix request whose shared pages extend past
+                // `len` still reports its true tail fill.
+                let full_pages_cap = st.pages.len() * self.cfg.page_size;
+                if st.len == 0 {
+                    // Pages adopted but nothing valid yet: caller should not
+                    // schedule attention over it; report minimal fill.
+                    1
+                } else if rem == 0 && st.len <= full_pages_cap {
+                    self.cfg.page_size
+                } else {
+                    rem
+                }
+            });
+        }
+        PageTable::new(self.cfg.page_size, self.cfg.num_pages, pages, last_lens)
+            .map_err(|e| KvCacheError::InvalidConfig(e.to_string()))
+    }
+
+    /// Pages of a live request (for prefix-cache registration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::UnknownRequest`] for unregistered ids.
+    pub fn request_pages(&self, id: u64) -> Result<&[usize], KvCacheError> {
+        Ok(&self.requests.get(&id).ok_or(KvCacheError::UnknownRequest(id))?.pages)
+    }
+
+    /// Number of live requests.
+    pub fn num_requests(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Pool utilization: valid slots / allocated slots. 1.0 when nothing is
+    /// allocated. The complement of internal fragmentation.
+    pub fn utilization(&self) -> f64 {
+        let allocated_slots = self.allocator.used_pages() * self.cfg.page_size;
+        if allocated_slots == 0 {
+            return 1.0;
+        }
+        let valid: usize = self.requests.values().map(|s| s.len).sum();
+        valid as f64 / allocated_slots as f64
+    }
+
+    /// Free pages remaining in the pool.
+    pub fn free_page_count(&self) -> usize {
+        self.allocator.free_pages()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PagedKvConfig {
+        PagedKvConfig { page_size: 4, num_pages: 8, num_kv_heads: 2, head_dim: 3 }
+    }
+
+    fn row(tag: f32, w: usize) -> Vec<f32> {
+        vec![tag; w]
+    }
+
+    #[test]
+    fn append_allocates_pages_lazily() {
+        let mut c = PagedKvCache::<f32>::new(cfg()).unwrap();
+        c.add_request(1).unwrap();
+        assert_eq!(c.free_page_count(), 8);
+        let w = c.config().row_width();
+        for i in 0..5 {
+            c.append(1, &row(i as f32, w), &row(-(i as f32), w)).unwrap();
+        }
+        // 5 tokens over page_size 4 -> 2 pages.
+        assert_eq!(c.free_page_count(), 6);
+        assert_eq!(c.seq_len(1).unwrap(), 5);
+    }
+
+    #[test]
+    fn slots_hold_written_values() {
+        let mut c = PagedKvCache::<f32>::new(cfg()).unwrap();
+        c.add_request(1).unwrap();
+        let w = c.config().row_width();
+        for i in 0..6 {
+            c.append(1, &row(i as f32, w), &row(10.0 + i as f32, w)).unwrap();
+        }
+        let pt = c.page_table(&[1]).unwrap();
+        for pos in 0..6 {
+            let slot = pt.slot_of(0, pos);
+            assert!(c.k_slot(slot).iter().all(|&x| x == pos as f32));
+            assert!(c.v_slot(slot).iter().all(|&x| x == 10.0 + pos as f32));
+        }
+    }
+
+    #[test]
+    fn page_table_last_page_len() {
+        let mut c = PagedKvCache::<f32>::new(cfg()).unwrap();
+        c.add_request(1).unwrap();
+        c.add_request(2).unwrap();
+        let w = c.config().row_width();
+        for _ in 0..4 {
+            c.append(1, &row(0.0, w), &row(0.0, w)).unwrap();
+        }
+        for _ in 0..3 {
+            c.append(2, &row(0.0, w), &row(0.0, w)).unwrap();
+        }
+        let pt = c.page_table(&[1, 2]).unwrap();
+        assert_eq!(pt.kv_len(0), 4); // full page reports page_size
+        assert_eq!(pt.kv_len(1), 3);
+    }
+
+    #[test]
+    fn remove_releases_references() {
+        let mut c = PagedKvCache::<f32>::new(cfg()).unwrap();
+        c.add_request(1).unwrap();
+        let w = c.config().row_width();
+        for _ in 0..8 {
+            c.append(1, &row(0.0, w), &row(0.0, w)).unwrap();
+        }
+        let pages = c.request_pages(1).unwrap().to_vec();
+        assert_eq!(pages.len(), 2);
+        // A prefix cache pins the first page with its own reference.
+        c.retain_pages(&pages[..1]);
+        assert_eq!(c.page_ref_count(pages[0]), 2);
+        c.remove_request(1).unwrap();
+        // Second page freed; pinned page survives with one reference.
+        assert_eq!(c.free_page_count(), 7);
+        assert_eq!(c.page_ref_count(pages[0]), 1);
+        c.release_pages(&pages[..1]);
+        assert_eq!(c.free_page_count(), 8);
+        assert_eq!(c.page_ref_count(pages[0]), 0);
+    }
+
+    #[test]
+    fn prefix_adoption() {
+        let mut c = PagedKvCache::<f32>::new(cfg()).unwrap();
+        c.add_request(1).unwrap();
+        let w = c.config().row_width();
+        for i in 0..8 {
+            c.append(1, &row(i as f32, w), &row(0.0, w)).unwrap();
+        }
+        let pages = c.request_pages(1).unwrap().to_vec();
+        // New request adopts both pages as a shared 8-token prefix.
+        c.add_request_with_prefix(2, pages.clone(), 8).unwrap();
+        assert_eq!(c.seq_len(2).unwrap(), 8);
+        assert_eq!(c.page_ref_count(pages[0]), 2);
+        // Appending takes a fresh page; shared pages are untouched.
+        c.append(2, &row(99.0, w), &row(0.0, w)).unwrap();
+        assert_eq!(c.request_pages(2).unwrap().len(), 3);
+        let pt = c.page_table(&[1, 2]).unwrap();
+        assert_eq!(pt.slot_of(1, 0), pt.slot_of(0, 0)); // shared slot
+        assert_ne!(pt.slot_of(1, 8) / 4, pages[1]); // fresh page
+        // Removing the donor keeps the adopted pages alive.
+        c.remove_request(1).unwrap();
+        assert_eq!(c.page_ref_count(pages[0]), 1);
+        assert!(c.k_slot(pt.slot_of(1, 3)).iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn fork_is_copy_on_write() {
+        let mut c = PagedKvCache::<f32>::new(cfg()).unwrap();
+        c.add_request(1).unwrap();
+        let w = c.config().row_width();
+        // 6 tokens: page 0 full (4), page 1 half (2).
+        for i in 0..6 {
+            c.append(1, &row(i as f32, w), &row(-(i as f32), w)).unwrap();
+        }
+        c.fork_request(1, 2).unwrap();
+        assert_eq!(c.seq_len(2).unwrap(), 6);
+        let shared = c.request_pages(1).unwrap().to_vec();
+        assert_eq!(c.page_ref_count(shared[1]), 2);
+
+        // Branch 2 appends: the half-full tail page must be COW'd.
+        c.append(2, &row(100.0, w), &row(0.0, w)).unwrap();
+        let p2 = c.request_pages(2).unwrap().to_vec();
+        assert_eq!(p2[0], shared[0], "full page still shared");
+        assert_ne!(p2[1], shared[1], "tail page copied");
+        assert_eq!(c.page_ref_count(shared[1]), 1);
+
+        // Donor's data untouched; branch sees its own history + new token.
+        let pt = c.page_table(&[1, 2]).unwrap();
+        assert!(c.k_slot(pt.slot_of(0, 5)).iter().all(|&x| x == 5.0));
+        assert!(c.k_slot(pt.slot_of(1, 4)).iter().all(|&x| x == 4.0)); // copied
+        assert!(c.k_slot(pt.slot_of(1, 6)).iter().all(|&x| x == 100.0));
+        // Donor appending now does NOT copy (its tail is exclusive again).
+        c.append(1, &row(50.0, w), &row(0.0, w)).unwrap();
+        assert_eq!(c.request_pages(1).unwrap()[1], shared[1]);
+    }
+
+    #[test]
+    fn diverged_branches_are_independent() {
+        let mut c = PagedKvCache::<f32>::new(cfg()).unwrap();
+        c.add_request(1).unwrap();
+        let w = c.config().row_width();
+        for i in 0..4 {
+            c.append(1, &row(i as f32, w), &row(0.0, w)).unwrap();
+        }
+        for b in 2..5u64 {
+            c.fork_request(1, b).unwrap();
+        }
+        // Every branch appends distinct tokens.
+        for b in 1..5u64 {
+            for t in 0..3 {
+                c.append(b, &row(1000.0 + b as f32 * 10.0 + t as f32, w), &row(0.0, w)).unwrap();
+            }
+        }
+        let ids: Vec<u64> = (1..5).collect();
+        let pt = c.page_table(&ids).unwrap();
+        for (i, &b) in ids.iter().enumerate() {
+            assert_eq!(pt.kv_len(i), 7);
+            // Shared prompt identical slots, suffix distinct values.
+            assert_eq!(pt.slot_of(i, 0), pt.slot_of(0, 0));
+            assert!(c
+                .k_slot(pt.slot_of(i, 5))
+                .iter()
+                .all(|&x| x == 1000.0 + b as f32 * 10.0 + 1.0));
+        }
+        // Cleanup conserves pages.
+        for &b in &ids {
+            c.remove_request(b).unwrap();
+        }
+        assert_eq!(c.free_page_count(), c.config().num_pages);
+    }
+
+    #[test]
+    fn errors() {
+        let mut c = PagedKvCache::<f32>::new(cfg()).unwrap();
+        assert_eq!(c.seq_len(9).unwrap_err(), KvCacheError::UnknownRequest(9));
+        c.add_request(1).unwrap();
+        assert_eq!(c.add_request(1).unwrap_err(), KvCacheError::DuplicateRequest(1));
+        let bad = vec![0.0f32; 3];
+        assert!(matches!(
+            c.append(1, &bad, &bad).unwrap_err(),
+            KvCacheError::ShapeMismatch { .. }
+        ));
+        assert!(PagedKvCache::<f32>::new(PagedKvConfig {
+            page_size: 0,
+            num_pages: 1,
+            num_kv_heads: 1,
+            head_dim: 1
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn pool_exhaustion_reported() {
+        let small = PagedKvConfig { page_size: 2, num_pages: 1, num_kv_heads: 1, head_dim: 1 };
+        let mut c = PagedKvCache::<f32>::new(small).unwrap();
+        c.add_request(1).unwrap();
+        c.append(1, &[0.0], &[0.0]).unwrap();
+        c.append(1, &[0.0], &[0.0]).unwrap();
+        assert!(matches!(
+            c.append(1, &[0.0], &[0.0]).unwrap_err(),
+            KvCacheError::OutOfPages { .. }
+        ));
+        assert_eq!(c.seq_len(1).unwrap(), 2);
+    }
+
+    #[test]
+    fn utilization_reflects_fragmentation() {
+        let mut c = PagedKvCache::<f32>::new(cfg()).unwrap();
+        assert_eq!(c.utilization(), 1.0);
+        c.add_request(1).unwrap();
+        let w = c.config().row_width();
+        c.append(1, &row(0.0, w), &row(0.0, w)).unwrap();
+        // 1 valid slot of 4 allocated.
+        assert!((c.utilization() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn append_many_prefill() {
+        let mut c = PagedKvCache::<f32>::new(cfg()).unwrap();
+        c.add_request(1).unwrap();
+        let w = c.config().row_width();
+        let k: Vec<f32> = (0..6 * w).map(|x| x as f32).collect();
+        let v = k.clone();
+        c.append_many(1, &k, &v).unwrap();
+        assert_eq!(c.seq_len(1).unwrap(), 6);
+        let pt = c.page_table(&[1]).unwrap();
+        assert_eq!(c.k_slot(pt.slot_of(0, 5))[0], (5 * w) as f32);
+    }
+}

@@ -1,0 +1,427 @@
+//! Radix-tree prefix cache (the RadixAttention substrate).
+//!
+//! A compressed trie over token ids. Each edge carries the KV slot ids of
+//! its token span, so matching a new request's prompt against the tree
+//! yields (a) how many prompt tokens are already cached and (b) the exact
+//! pool slots holding them. Serving engines use this to skip prefill on
+//! shared prefixes and to form the prefix groups consumed by composable
+//! formats (§3.1.2).
+//!
+//! The tree supports:
+//!
+//! * [`RadixTree::insert`] — register a token sequence with its slots,
+//!   splitting edges at divergence points,
+//! * [`RadixTree::match_prefix`] — longest cached prefix of a sequence,
+//! * reference counting ([`RadixTree::lock_prefix`] /
+//!   [`RadixTree::unlock_prefix`]) to pin prefixes used by in-flight
+//!   requests, and
+//! * [`RadixTree::evict_lru`] — free least-recently-used unpinned leaves,
+//!   returning their slots to the pool allocator.
+
+use std::collections::HashMap;
+
+use crate::error::KvCacheError;
+
+/// Node id inside the tree arena.
+type NodeId = usize;
+
+#[derive(Debug, Clone)]
+struct Node {
+    /// Token span on the edge from the parent to this node.
+    tokens: Vec<u32>,
+    /// KV slot per token on this edge (same length as `tokens`).
+    slots: Vec<usize>,
+    children: HashMap<u32, NodeId>,
+    parent: Option<NodeId>,
+    /// In-flight requests currently using this node's span.
+    ref_count: usize,
+    /// Logical timestamp of last access (for LRU).
+    last_access: u64,
+}
+
+/// Result of a prefix match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefixMatch {
+    /// Number of leading tokens found in the cache.
+    pub matched_tokens: usize,
+    /// The pool slots holding those tokens, in order.
+    pub slots: Vec<usize>,
+    /// Internal handle for [`RadixTree::lock_prefix`].
+    node: NodeId,
+    /// Tokens matched within the final node's edge (for partial locks).
+    edge_offset: usize,
+}
+
+/// A compressed prefix trie over token sequences.
+///
+/// ```
+/// use fi_kvcache::RadixTree;
+///
+/// let mut t = RadixTree::new();
+/// t.insert(&[1, 2, 3, 4], &[100, 101, 102, 103]).unwrap();
+/// let m = t.match_prefix(&[1, 2, 3, 9]);
+/// assert_eq!(m.matched_tokens, 3);
+/// assert_eq!(m.slots, vec![100, 101, 102]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RadixTree {
+    nodes: Vec<Node>,
+    clock: u64,
+    /// Total tokens stored (sum of edge lengths).
+    cached_tokens: usize,
+}
+
+impl Default for RadixTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RadixTree {
+    /// Create an empty tree.
+    pub fn new() -> RadixTree {
+        RadixTree {
+            nodes: vec![Node {
+                tokens: Vec::new(),
+                slots: Vec::new(),
+                children: HashMap::new(),
+                parent: None,
+                ref_count: 0,
+                last_access: 0,
+            }],
+            clock: 0,
+            cached_tokens: 0,
+        }
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Total tokens currently cached.
+    pub fn cached_tokens(&self) -> usize {
+        self.cached_tokens
+    }
+
+    /// Number of nodes (including the root).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Insert a token sequence with its KV slots. Existing prefixes are
+    /// reused; only the novel suffix adds nodes. Slots for already-cached
+    /// tokens are *not* replaced (first writer wins, as in SGLang).
+    ///
+    /// Returns the number of novel tokens added.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::TokenSlotMismatch`] if the arrays disagree.
+    pub fn insert(&mut self, tokens: &[u32], slots: &[usize]) -> Result<usize, KvCacheError> {
+        if tokens.len() != slots.len() {
+            return Err(KvCacheError::TokenSlotMismatch {
+                tokens: tokens.len(),
+                slots: slots.len(),
+            });
+        }
+        let now = self.tick();
+        let mut node = 0usize;
+        let mut i = 0usize;
+        while i < tokens.len() {
+            self.nodes[node].last_access = now;
+            let next = self.nodes[node].children.get(&tokens[i]).copied();
+            match next {
+                None => {
+                    // Append the whole remainder as a new leaf.
+                    let leaf = self.nodes.len();
+                    self.nodes.push(Node {
+                        tokens: tokens[i..].to_vec(),
+                        slots: slots[i..].to_vec(),
+                        children: HashMap::new(),
+                        parent: Some(node),
+                        ref_count: 0,
+                        last_access: now,
+                    });
+                    self.nodes[node].children.insert(tokens[i], leaf);
+                    let added = tokens.len() - i;
+                    self.cached_tokens += added;
+                    return Ok(added);
+                }
+                Some(child) => {
+                    // Walk the child's edge.
+                    let common = {
+                        let edge = &self.nodes[child].tokens;
+                        edge.iter().zip(&tokens[i..]).take_while(|(a, b)| a == b).count()
+                    };
+                    if common < self.nodes[child].tokens.len() {
+                        // Split the edge at `common`.
+                        self.split(child, common);
+                    }
+                    i += common;
+                    node = child;
+                    self.nodes[node].last_access = now;
+                    if common == 0 {
+                        // Defensive: cannot happen (child keyed by first token).
+                        return Ok(0);
+                    }
+                }
+            }
+        }
+        Ok(0)
+    }
+
+    /// Split `node`'s edge after `at` tokens: the node keeps the first `at`
+    /// tokens; a new child takes the rest along with the children.
+    fn split(&mut self, node: NodeId, at: usize) {
+        debug_assert!(at > 0 && at < self.nodes[node].tokens.len());
+        let tail_tokens = self.nodes[node].tokens.split_off(at);
+        let tail_slots = self.nodes[node].slots.split_off(at);
+        let moved_children = std::mem::take(&mut self.nodes[node].children);
+        let tail_id = self.nodes.len();
+        let (rc, la) = (self.nodes[node].ref_count, self.nodes[node].last_access);
+        self.nodes.push(Node {
+            tokens: tail_tokens,
+            slots: tail_slots,
+            children: moved_children,
+            parent: Some(node),
+            ref_count: rc,
+            last_access: la,
+        });
+        for (_, c) in self.nodes[tail_id].children.clone() {
+            self.nodes[c].parent = Some(tail_id);
+        }
+        let first = self.nodes[tail_id].tokens[0];
+        self.nodes[node].children.insert(first, tail_id);
+    }
+
+    /// Longest cached prefix of `tokens`, refreshing LRU clocks on the path.
+    pub fn match_prefix(&mut self, tokens: &[u32]) -> PrefixMatch {
+        let now = self.tick();
+        let mut node = 0usize;
+        let mut matched = 0usize;
+        let mut slots = Vec::new();
+        let mut edge_offset = 0usize;
+        loop {
+            self.nodes[node].last_access = now;
+            let Some(&child) = tokens.get(matched).and_then(|t| self.nodes[node].children.get(t))
+            else {
+                break;
+            };
+            let common = {
+                let edge = &self.nodes[child].tokens;
+                edge.iter().zip(&tokens[matched..]).take_while(|(a, b)| a == b).count()
+            };
+            slots.extend_from_slice(&self.nodes[child].slots[..common]);
+            matched += common;
+            self.nodes[child].last_access = now;
+            if common < self.nodes[child].tokens.len() {
+                node = child;
+                edge_offset = common;
+                break;
+            }
+            node = child;
+            edge_offset = self.nodes[child].tokens.len();
+        }
+        PrefixMatch { matched_tokens: matched, slots, node, edge_offset }
+    }
+
+    /// Pin the path of a match so eviction cannot free it while a request
+    /// is using the prefix.
+    pub fn lock_prefix(&mut self, m: &PrefixMatch) {
+        let mut n = Some(m.node);
+        while let Some(id) = n {
+            self.nodes[id].ref_count += 1;
+            n = self.nodes[id].parent;
+        }
+    }
+
+    /// Release a pin taken by [`RadixTree::lock_prefix`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the path was not locked.
+    pub fn unlock_prefix(&mut self, m: &PrefixMatch) {
+        let mut n = Some(m.node);
+        while let Some(id) = n {
+            debug_assert!(self.nodes[id].ref_count > 0, "unlock without lock at node {id}");
+            self.nodes[id].ref_count = self.nodes[id].ref_count.saturating_sub(1);
+            n = self.nodes[id].parent;
+        }
+    }
+
+    /// Evict least-recently-used unpinned leaves until at least
+    /// `min_tokens` tokens are freed (or nothing evictable remains).
+    /// Returns the freed KV slots for the caller to return to the pool.
+    pub fn evict_lru(&mut self, min_tokens: usize) -> Vec<usize> {
+        let mut freed = Vec::new();
+        while freed.len() < min_tokens {
+            // Find the LRU leaf with ref_count 0 (root excluded).
+            let victim = (1..self.nodes.len())
+                .filter(|&i| {
+                    !self.nodes[i].tokens.is_empty()
+                        && self.nodes[i].children.is_empty()
+                        && self.nodes[i].ref_count == 0
+                        && self.is_attached(i)
+                })
+                .min_by_key(|&i| self.nodes[i].last_access);
+            let Some(v) = victim else { break };
+            freed.extend_from_slice(&self.nodes[v].slots);
+            self.cached_tokens -= self.nodes[v].tokens.len();
+            let parent = self.nodes[v].parent.expect("non-root has parent");
+            let first = self.nodes[v].tokens[0];
+            self.nodes[parent].children.remove(&first);
+            // Node v stays in the arena as a detached tombstone; ids remain
+            // stable, which keeps PrefixMatch handles harmless.
+            self.nodes[v].tokens.clear();
+            self.nodes[v].slots.clear();
+            self.nodes[v].parent = None;
+        }
+        freed
+    }
+
+    fn is_attached(&self, mut id: NodeId) -> bool {
+        while let Some(p) = self.nodes[id].parent {
+            id = p;
+        }
+        id == 0
+    }
+
+    /// Total cached tokens reachable and evictable (unpinned leaves only —
+    /// an underestimate of eventually evictable data, used for sizing).
+    pub fn evictable_tokens(&self) -> usize {
+        (1..self.nodes.len())
+            .filter(|&i| {
+                !self.nodes[i].tokens.is_empty()
+                    && self.nodes[i].children.is_empty()
+                    && self.nodes[i].ref_count == 0
+                    && self.is_attached(i)
+            })
+            .map(|i| self.nodes[i].tokens.len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_exact_match() {
+        let mut t = RadixTree::new();
+        assert_eq!(t.insert(&[1, 2, 3], &[10, 11, 12]).unwrap(), 3);
+        let m = t.match_prefix(&[1, 2, 3]);
+        assert_eq!(m.matched_tokens, 3);
+        assert_eq!(m.slots, vec![10, 11, 12]);
+        assert_eq!(t.cached_tokens(), 3);
+    }
+
+    #[test]
+    fn divergence_splits_edge() {
+        let mut t = RadixTree::new();
+        t.insert(&[1, 2, 3, 4], &[10, 11, 12, 13]).unwrap();
+        let added = t.insert(&[1, 2, 9], &[10, 11, 99]).unwrap();
+        assert_eq!(added, 1);
+        assert_eq!(t.cached_tokens(), 5);
+        // Both branches match their own paths.
+        assert_eq!(t.match_prefix(&[1, 2, 3, 4]).slots, vec![10, 11, 12, 13]);
+        assert_eq!(t.match_prefix(&[1, 2, 9]).slots, vec![10, 11, 99]);
+        // Common prefix matches 2.
+        assert_eq!(t.match_prefix(&[1, 2, 7]).matched_tokens, 2);
+    }
+
+    #[test]
+    fn reinsert_is_noop() {
+        let mut t = RadixTree::new();
+        t.insert(&[5, 6], &[0, 1]).unwrap();
+        assert_eq!(t.insert(&[5, 6], &[7, 8]).unwrap(), 0);
+        // First writer wins.
+        assert_eq!(t.match_prefix(&[5, 6]).slots, vec![0, 1]);
+    }
+
+    #[test]
+    fn no_match_for_unknown_root() {
+        let mut t = RadixTree::new();
+        t.insert(&[1], &[0]).unwrap();
+        let m = t.match_prefix(&[2, 3]);
+        assert_eq!(m.matched_tokens, 0);
+        assert!(m.slots.is_empty());
+    }
+
+    #[test]
+    fn extension_adds_suffix_only() {
+        let mut t = RadixTree::new();
+        t.insert(&[1, 2], &[0, 1]).unwrap();
+        assert_eq!(t.insert(&[1, 2, 3, 4], &[0, 1, 2, 3]).unwrap(), 2);
+        assert_eq!(t.match_prefix(&[1, 2, 3, 4, 5]).matched_tokens, 4);
+    }
+
+    #[test]
+    fn evict_lru_frees_oldest_leaf_first() {
+        let mut t = RadixTree::new();
+        t.insert(&[1, 2], &[0, 1]).unwrap();
+        t.insert(&[3, 4], &[2, 3]).unwrap();
+        // Touch the first branch so the second is LRU.
+        t.match_prefix(&[1, 2]);
+        let freed = t.evict_lru(1);
+        assert_eq!(freed, vec![2, 3]);
+        assert_eq!(t.match_prefix(&[3, 4]).matched_tokens, 0);
+        assert_eq!(t.match_prefix(&[1, 2]).matched_tokens, 2);
+        assert_eq!(t.cached_tokens(), 2);
+    }
+
+    #[test]
+    fn locked_prefixes_survive_eviction() {
+        let mut t = RadixTree::new();
+        t.insert(&[1, 2], &[0, 1]).unwrap();
+        let m = t.match_prefix(&[1, 2]);
+        t.lock_prefix(&m);
+        assert!(t.evict_lru(10).is_empty());
+        t.unlock_prefix(&m);
+        assert_eq!(t.evict_lru(10), vec![0, 1]);
+    }
+
+    #[test]
+    fn eviction_cascades_through_split_nodes() {
+        let mut t = RadixTree::new();
+        t.insert(&[1, 2, 3], &[0, 1, 2]).unwrap();
+        t.insert(&[1, 2, 9], &[0, 1, 9]).unwrap();
+        // Evict everything: leaves first, then the shared [1,2] edge becomes
+        // a leaf and is evictable on the next sweep.
+        let freed = t.evict_lru(100);
+        assert_eq!(freed.len(), 4);
+        assert_eq!(t.cached_tokens(), 0);
+        assert_eq!(t.match_prefix(&[1, 2]).matched_tokens, 0);
+    }
+
+    #[test]
+    fn token_slot_mismatch_rejected() {
+        let mut t = RadixTree::new();
+        assert!(matches!(
+            t.insert(&[1, 2], &[0]).unwrap_err(),
+            KvCacheError::TokenSlotMismatch { tokens: 2, slots: 1 }
+        ));
+    }
+
+    #[test]
+    fn partial_edge_match_reports_offset_path() {
+        let mut t = RadixTree::new();
+        t.insert(&[1, 2, 3, 4, 5], &[0, 1, 2, 3, 4]).unwrap();
+        let m = t.match_prefix(&[1, 2, 3]);
+        assert_eq!(m.matched_tokens, 3);
+        assert_eq!(m.slots, vec![0, 1, 2]);
+        // Locking a partial match still protects the whole edge's path.
+        t.lock_prefix(&m);
+        assert!(t.evict_lru(10).is_empty());
+        t.unlock_prefix(&m);
+    }
+
+    #[test]
+    fn evictable_tokens_counts_unpinned_leaves() {
+        let mut t = RadixTree::new();
+        t.insert(&[1, 2, 3], &[0, 1, 2]).unwrap();
+        t.insert(&[1, 2, 9], &[0, 1, 9]).unwrap();
+        // Two leaves of 1 token each ([3] and [9]); the [1,2] edge is interior.
+        assert_eq!(t.evictable_tokens(), 2);
+    }
+}

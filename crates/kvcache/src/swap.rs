@@ -1,0 +1,170 @@
+//! Host-memory swap tier for the paged KV-cache.
+//!
+//! vLLM offers two preemption policies under memory pressure: *recompute*
+//! (drop the KV, re-prefill later — see `fi-serving::engine`) and *swap*
+//! (copy the KV to host memory over PCIe, restore it later). This module
+//! is the swap side: [`swap_out`] drains a request's valid K/V rows into a
+//! host-side [`SwappedKv`] blob and releases its device pages;
+//! [`swap_in`] re-registers the request and restores the rows into fresh
+//! pages. Data round-trips exactly; the byte counts feed the PCIe cost
+//! model.
+
+use fi_tensor::Scalar;
+
+use crate::error::KvCacheError;
+use crate::paged::PagedKvCache;
+
+/// A request's KV, staged in host memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SwappedKv<T> {
+    /// Flattened K rows `[len, row_width]`.
+    pub k: Vec<T>,
+    /// Flattened V rows.
+    pub v: Vec<T>,
+    /// Token count.
+    pub len: usize,
+}
+
+impl<T: Scalar> SwappedKv<T> {
+    /// Bytes transferred per direction when moving this blob over PCIe.
+    pub fn transfer_bytes(&self) -> usize {
+        (self.k.len() + self.v.len()) * T::DTYPE.size_bytes()
+    }
+}
+
+/// Copy a request's KV to host and release its device pages. Pages shared
+/// with other holders (prefix caches, forked branches) survive; the blob
+/// always contains a private copy, so swap-in never aliases.
+///
+/// # Errors
+///
+/// Returns [`KvCacheError::UnknownRequest`] for unregistered ids.
+pub fn swap_out<T: Scalar>(
+    cache: &mut PagedKvCache<T>,
+    id: u64,
+) -> Result<SwappedKv<T>, KvCacheError> {
+    let len = cache.seq_len(id)?;
+    let pt = cache.page_table(&[id])?;
+    let w = cache.config().row_width();
+    let mut k = Vec::with_capacity(len * w);
+    let mut v = Vec::with_capacity(len * w);
+    for pos in 0..len {
+        let slot = pt.slot_of(0, pos);
+        k.extend_from_slice(cache.k_slot(slot));
+        v.extend_from_slice(cache.v_slot(slot));
+    }
+    cache.remove_request(id)?;
+    Ok(SwappedKv { k, v, len })
+}
+
+/// Restore a swapped request into fresh pages.
+///
+/// # Errors
+///
+/// Returns [`KvCacheError::DuplicateRequest`] if the id is live again, or
+/// [`KvCacheError::OutOfPages`] if the pool cannot hold the blob (the
+/// request stays swapped out; already-restored tokens are rolled back).
+pub fn swap_in<T: Scalar>(
+    cache: &mut PagedKvCache<T>,
+    id: u64,
+    blob: &SwappedKv<T>,
+) -> Result<(), KvCacheError> {
+    cache.add_request(id)?;
+    let w = cache.config().row_width();
+    for pos in 0..blob.len {
+        if let Err(e) = cache.append(id, &blob.k[pos * w..(pos + 1) * w], &blob.v[pos * w..(pos + 1) * w])
+        {
+            // Roll back the partial restore.
+            let _ = cache.remove_request(id);
+            return Err(e);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paged::PagedKvConfig;
+
+    fn cache() -> PagedKvCache<f32> {
+        PagedKvCache::new(PagedKvConfig {
+            page_size: 4,
+            num_pages: 16,
+            num_kv_heads: 1,
+            head_dim: 2,
+        })
+        .unwrap()
+    }
+
+    fn fill(c: &mut PagedKvCache<f32>, id: u64, n: usize) {
+        c.add_request(id).unwrap();
+        for p in 0..n {
+            let row = vec![(id * 1000 + p as u64) as f32; 2];
+            c.append(id, &row, &row).unwrap();
+        }
+    }
+
+    #[test]
+    fn swap_roundtrip_preserves_data_and_frees_pages() {
+        let mut c = cache();
+        fill(&mut c, 1, 10);
+        let free_before = c.free_page_count();
+        let blob = swap_out(&mut c, 1).unwrap();
+        assert_eq!(blob.len, 10);
+        assert_eq!(blob.transfer_bytes(), 2 * 10 * 2 * 4);
+        assert!(c.free_page_count() > free_before, "pages released");
+        assert!(c.seq_len(1).is_err(), "request gone while swapped");
+
+        swap_in(&mut c, 1, &blob).unwrap();
+        assert_eq!(c.seq_len(1).unwrap(), 10);
+        let pt = c.page_table(&[1]).unwrap();
+        for pos in 0..10 {
+            assert_eq!(c.k_slot(pt.slot_of(0, pos))[0], (1000 + pos) as f32);
+        }
+        // Decoding continues seamlessly.
+        c.append(1, &[7.0, 7.0], &[7.0, 7.0]).unwrap();
+        assert_eq!(c.seq_len(1).unwrap(), 11);
+    }
+
+    #[test]
+    fn swap_out_of_forked_request_keeps_shared_pages() {
+        let mut c = cache();
+        fill(&mut c, 1, 8);
+        c.fork_request(1, 2).unwrap();
+        let blob = swap_out(&mut c, 2).unwrap();
+        // Donor unaffected.
+        assert_eq!(c.seq_len(1).unwrap(), 8);
+        let pt = c.page_table(&[1]).unwrap();
+        assert_eq!(c.k_slot(pt.slot_of(0, 3))[0], 1003.0);
+        // Restored copy is private.
+        swap_in(&mut c, 2, &blob).unwrap();
+        let pt2 = c.page_table(&[1, 2]).unwrap();
+        assert_ne!(pt2.slot_of(0, 0), pt2.slot_of(1, 0), "fresh pages, no aliasing");
+        assert_eq!(c.k_slot(pt2.slot_of(1, 3))[0], 1003.0);
+    }
+
+    #[test]
+    fn swap_in_rolls_back_on_pool_exhaustion() {
+        let mut c = cache();
+        fill(&mut c, 1, 12);
+        let blob = swap_out(&mut c, 1).unwrap();
+        // Fill the pool so the blob no longer fits.
+        fill(&mut c, 9, 16 * 4 - 4);
+        let before = c.free_page_count();
+        let err = swap_in(&mut c, 1, &blob).unwrap_err();
+        assert!(matches!(err, KvCacheError::OutOfPages { .. }));
+        assert_eq!(c.free_page_count(), before, "rollback releases partial pages");
+        assert!(c.seq_len(1).is_err());
+    }
+
+    #[test]
+    fn errors() {
+        let mut c = cache();
+        assert!(swap_out(&mut c, 5).is_err());
+        fill(&mut c, 1, 2);
+        let blob = swap_out(&mut c, 1).unwrap();
+        fill(&mut c, 1, 1); // id reused while swapped
+        assert!(matches!(swap_in(&mut c, 1, &blob), Err(KvCacheError::DuplicateRequest(1))));
+    }
+}

@@ -1,0 +1,117 @@
+//! Mini-LLM shape configuration.
+
+use fi_core::config::HeadConfig;
+
+/// Shape of the toy decoder-only transformer.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MiniLlmConfig {
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Hidden size (`num_qo_heads * head_dim`).
+    pub hidden: usize,
+    /// Gated-MLP intermediate size.
+    pub intermediate: usize,
+    /// Decoder layers.
+    pub num_layers: usize,
+    /// Query heads.
+    pub num_qo_heads: usize,
+    /// KV heads (GQA when < `num_qo_heads`).
+    pub num_kv_heads: usize,
+    /// Head dimension.
+    pub head_dim: usize,
+    /// RoPE frequency base.
+    pub rope_theta: f32,
+    /// RMSNorm epsilon.
+    pub rms_eps: f32,
+}
+
+impl MiniLlmConfig {
+    /// A tiny but structurally complete model: 2 layers, GQA 4:2, d=8.
+    pub fn tiny() -> MiniLlmConfig {
+        MiniLlmConfig {
+            vocab: 97,
+            hidden: 32,
+            intermediate: 64,
+            num_layers: 2,
+            num_qo_heads: 4,
+            num_kv_heads: 2,
+            head_dim: 8,
+            rope_theta: 10_000.0,
+            rms_eps: 1e-5,
+        }
+    }
+
+    /// A slightly larger config for stress tests: 4 layers, GQA 8:2, d=16.
+    pub fn small() -> MiniLlmConfig {
+        MiniLlmConfig {
+            vocab: 251,
+            hidden: 128,
+            intermediate: 256,
+            num_layers: 4,
+            num_qo_heads: 8,
+            num_kv_heads: 2,
+            head_dim: 16,
+            rope_theta: 10_000.0,
+            rms_eps: 1e-5,
+        }
+    }
+
+    /// The attention head configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is inconsistent (see [`MiniLlmConfig::validate`]).
+    pub fn heads(&self) -> HeadConfig {
+        self.validate().expect("invalid config");
+        HeadConfig::new(self.num_qo_heads, self.num_kv_heads, self.head_dim).expect("validated")
+    }
+
+    /// Check internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first inconsistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.hidden != self.num_qo_heads * self.head_dim {
+            return Err(format!(
+                "hidden {} != num_qo_heads {} * head_dim {}",
+                self.hidden, self.num_qo_heads, self.head_dim
+            ));
+        }
+        if !self.num_qo_heads.is_multiple_of(self.num_kv_heads.max(1)) {
+            return Err("qo heads not divisible by kv heads".into());
+        }
+        if !self.head_dim.is_multiple_of(2) {
+            return Err("head_dim must be even for RoPE".into());
+        }
+        if self.vocab == 0 || self.num_layers == 0 {
+            return Err("vocab and num_layers must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        assert!(MiniLlmConfig::tiny().validate().is_ok());
+        assert!(MiniLlmConfig::small().validate().is_ok());
+        assert_eq!(MiniLlmConfig::tiny().heads().group_size(), 2);
+    }
+
+    #[test]
+    fn inconsistencies_detected() {
+        let mut c = MiniLlmConfig::tiny();
+        c.hidden = 33;
+        assert!(c.validate().is_err());
+        let mut c = MiniLlmConfig::tiny();
+        c.num_kv_heads = 3;
+        assert!(c.validate().is_err());
+        let mut c = MiniLlmConfig::tiny();
+        c.head_dim = 7;
+        assert!(c.validate().is_err());
+    }
+}

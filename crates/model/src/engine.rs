@@ -1,0 +1,554 @@
+//! The mini-LLM inference engine: the integration of every substrate.
+//!
+//! One [`fi_kvcache::PagedKvCache`] per layer, one
+//! [`fi_sched::BatchAttentionHandler`] shared across layers (so the
+//! per-step plan is computed once and cache-hit by every layer — exactly
+//! the amortization §3.3.1 describes), fused-RoPE causal attention as the
+//! variant, and a greedy decode loop on top.
+
+use fi_core::kernel::{AttentionProblem, FlashKernel};
+use fi_core::rope::RotaryEmbedding;
+use fi_core::tiles::TileConfig;
+use fi_core::variant::{FusedRopeAttention, VariantParams};
+use fi_kvcache::paged::{PagedKvCache, PagedKvConfig};
+use fi_kvcache::groups::build_prefix_groups;
+use fi_sched::cascade::{CascadeAttention, PrefixNode, PrefixTree};
+use fi_sched::plan::CostModel;
+use fi_sched::workspace::{Workspace, WorkspaceLayout};
+use fi_sched::wrapper::{BatchAttentionHandler, SchedulePolicy};
+use fi_tensor::RaggedTensor;
+
+use crate::config::MiniLlmConfig;
+use crate::linear::{argmax, rms_norm, silu};
+use crate::model::MiniLlm;
+
+/// Errors from the inference engine.
+#[derive(Debug)]
+pub enum EngineError {
+    /// KV-cache failure (pool exhausted, unknown sequence, ...).
+    Cache(fi_kvcache::KvCacheError),
+    /// Scheduler/kernel failure.
+    Sched(fi_sched::SchedError),
+    /// Sparse-layout failure.
+    Sparse(fi_sparse::SparseError),
+    /// Token out of vocabulary.
+    BadToken(u32),
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Cache(e) => write!(f, "cache error: {e}"),
+            EngineError::Sched(e) => write!(f, "scheduler error: {e}"),
+            EngineError::Sparse(e) => write!(f, "sparse error: {e}"),
+            EngineError::BadToken(t) => write!(f, "token {t} out of vocabulary"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<fi_kvcache::KvCacheError> for EngineError {
+    fn from(e: fi_kvcache::KvCacheError) -> Self {
+        EngineError::Cache(e)
+    }
+}
+
+impl From<fi_sched::SchedError> for EngineError {
+    fn from(e: fi_sched::SchedError) -> Self {
+        EngineError::Sched(e)
+    }
+}
+
+impl From<fi_sparse::SparseError> for EngineError {
+    fn from(e: fi_sparse::SparseError) -> Self {
+        EngineError::Sparse(e)
+    }
+}
+
+/// The inference engine over one [`MiniLlm`].
+#[derive(Debug)]
+pub struct MiniLlmEngine {
+    model: MiniLlm,
+    caches: Vec<PagedKvCache<f32>>,
+    handler: BatchAttentionHandler,
+    variant: FusedRopeAttention,
+    params: VariantParams,
+    tile: TileConfig,
+    /// Use composable-format (cascade) decode for forked branches sharing
+    /// a slot prefix: the shared prefix becomes one tall block row per
+    /// group, suffixes stay per-branch, and per-part states merge with ⊕.
+    cascade_decode: bool,
+}
+
+impl MiniLlmEngine {
+    /// Create an engine with `num_pages` KV pages of `page_size` tokens
+    /// per layer.
+    pub fn new(model: MiniLlm, page_size: usize, num_pages: usize) -> MiniLlmEngine {
+        let cfg = model.cfg;
+        let heads = cfg.heads();
+        let kv_cfg = PagedKvConfig {
+            page_size,
+            num_pages,
+            num_kv_heads: cfg.num_kv_heads,
+            head_dim: cfg.head_dim,
+        };
+        let caches = (0..cfg.num_layers)
+            .map(|_| PagedKvCache::new(kv_cfg).expect("valid kv config"))
+            .collect();
+        let tile = TileConfig { tq: 4, tkv: 16 };
+        let num_ctas = 8;
+        let workspace = Workspace::allocate(WorkspaceLayout::compute(
+            tile.tq,
+            heads.num_qo_heads,
+            heads.head_dim,
+            num_ctas,
+            1 << 14,
+        ));
+        let handler = BatchAttentionHandler::new(
+            FlashKernel { tile, head_fusion: true },
+            num_ctas,
+            CostModel::default(),
+            SchedulePolicy::Balanced,
+            workspace,
+        )
+        .expect("positive CTAs");
+        let variant =
+            FusedRopeAttention { rope: RotaryEmbedding::new(cfg.head_dim, cfg.rope_theta) };
+        let params = VariantParams::for_head_dim(cfg.head_dim);
+        MiniLlmEngine { model, caches, handler, variant, params, tile, cascade_decode: false }
+    }
+
+    /// Enable/disable composable-format decode (§3.1.2) for shared-prefix
+    /// branches. Numerics are identical either way (tested); the composed
+    /// path gathers each shared prefix once per group.
+    pub fn set_cascade_decode(&mut self, on: bool) {
+        self.cascade_decode = on;
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> MiniLlmConfig {
+        self.model.cfg
+    }
+
+    /// Register a new sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Cache`] on duplicate ids.
+    pub fn add_sequence(&mut self, id: u64) -> Result<(), EngineError> {
+        for c in &mut self.caches {
+            c.add_request(id)?;
+        }
+        Ok(())
+    }
+
+    /// Remove a sequence, releasing its KV pages in every layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Cache`] for unknown ids.
+    pub fn remove_sequence(&mut self, id: u64) -> Result<(), EngineError> {
+        for c in &mut self.caches {
+            c.remove_request(id)?;
+        }
+        Ok(())
+    }
+
+    /// Fork a sequence copy-on-write in every layer (parallel sampling).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Cache`] on unknown/duplicate ids.
+    pub fn fork_sequence(&mut self, src: u64, new_id: u64) -> Result<(), EngineError> {
+        for c in &mut self.caches {
+            c.fork_request(src, new_id)?;
+        }
+        Ok(())
+    }
+
+    /// Current KV length of a sequence.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Cache`] for unknown ids.
+    pub fn seq_len(&self, id: u64) -> Result<usize, EngineError> {
+        Ok(self.caches[0].seq_len(id)?)
+    }
+
+    /// Feed `tokens[i]` new tokens to sequence `ids[i]`; returns the
+    /// logits of each sequence's **last** new token. This is one serving
+    /// step: prefill (many tokens) and decode (one token) are the same
+    /// call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError`] on unknown sequences, OOV tokens, pool
+    /// exhaustion, or kernel failures.
+    pub fn forward(
+        &mut self,
+        ids: &[u64],
+        tokens: &[Vec<u32>],
+    ) -> Result<Vec<Vec<f32>>, EngineError> {
+        assert_eq!(ids.len(), tokens.len(), "ids/tokens mismatch");
+        let cfg = self.model.cfg;
+        let heads = cfg.heads();
+        let qo_lens: Vec<usize> = tokens.iter().map(Vec::len).collect();
+        let total: usize = qo_lens.iter().sum();
+        if total == 0 {
+            return Ok(vec![Vec::new(); ids.len()]);
+        }
+
+        // Embedding lookup, packed [total, hidden].
+        let mut x: Vec<f32> = Vec::with_capacity(total * cfg.hidden);
+        for toks in tokens {
+            for &t in toks {
+                if t as usize >= cfg.vocab {
+                    return Err(EngineError::BadToken(t));
+                }
+                x.extend_from_slice(self.model.embedding(t));
+            }
+        }
+
+        for l in 0..cfg.num_layers {
+            // Attention block.
+            let normed = rms_norm(&x, &self.model.layers[l].rms_attn, cfg.rms_eps);
+            let q_flat = self.model.layers[l].wq.forward_rows(&normed);
+            let k_flat = self.model.layers[l].wk.forward_rows(&normed);
+            let v_flat = self.model.layers[l].wv.forward_rows(&normed);
+
+            // Append this step's K/V to the layer cache.
+            let kv_w = heads.kv_width();
+            let mut row = 0usize;
+            for (i, &id) in ids.iter().enumerate() {
+                for _ in 0..qo_lens[i] {
+                    self.caches[l].append(
+                        id,
+                        &k_flat[row * kv_w..(row + 1) * kv_w],
+                        &v_flat[row * kv_w..(row + 1) * kv_w],
+                    )?;
+                    row += 1;
+                }
+            }
+
+            // Plan (cache-hit for layers 1.. because every layer's page
+            // table evolves identically) and run.
+            let pt = self.caches[l].page_table(ids)?;
+            let kv_lens: Vec<usize> = (0..ids.len()).map(|i| pt.kv_len(i)).collect();
+            let layout = pt.to_bsr(&qo_lens, self.tile.tq)?;
+            let mut q = RaggedTensor::<f32>::from_seq_lens(&qo_lens, heads.qo_width());
+            q.as_tensor_mut().as_mut_slice().copy_from_slice(&q_flat);
+            let all_decode = qo_lens.iter().all(|&l| l == 1);
+            let out = if self.cascade_decode && all_decode && ids.len() > 1 {
+                // Composable-format decode: group branches by shared slot
+                // prefix and run a two-level cascade.
+                let slot_seqs: Vec<Vec<usize>> = (0..ids.len())
+                    .map(|i| (0..pt.kv_len(i)).map(|p| pt.slot_of(i, p)).collect())
+                    .collect();
+                let groups = build_prefix_groups(&slot_seqs, 1);
+                let rows = ids.len();
+                let cols = layout.cols();
+                let roots: Vec<PrefixNode> = groups
+                    .iter()
+                    .map(|g| PrefixNode {
+                        row_start: g.row_start,
+                        row_end: g.row_end,
+                        kv_blocks: g.prefix_blocks.clone(),
+                        kv_offset: 0,
+                        children: g
+                            .unique
+                            .iter()
+                            .map(|(s, e, blocks)| PrefixNode {
+                                row_start: *s,
+                                row_end: *e,
+                                kv_blocks: blocks.clone(),
+                                kv_offset: g.prefix_blocks.len(),
+                                children: vec![],
+                            })
+                            .collect(),
+                    })
+                    .collect();
+                let tree = PrefixTree { roots, rows, cols, bc: 1 };
+                let cascade = CascadeAttention::from_prefix_tree(&tree)?;
+                let row_meta: Vec<fi_core::kernel::RowMeta> = (0..rows)
+                    .map(|b| fi_core::kernel::RowMeta {
+                        batch_idx: b,
+                        qo_pos: 0,
+                        qo_len: 1,
+                        kv_len: kv_lens[b],
+                    })
+                    .collect();
+                cascade.run(
+                    self.handler.kernel(),
+                    &q,
+                    self.caches[l].k_pool(),
+                    self.caches[l].v_pool(),
+                    heads,
+                    &row_meta,
+                    &self.variant,
+                    &self.params,
+                )?
+            } else {
+                let problem = AttentionProblem::standard_batch(
+                    &q,
+                    self.caches[l].k_pool(),
+                    self.caches[l].v_pool(),
+                    &layout,
+                    heads,
+                    &kv_lens,
+                )
+                .map_err(fi_sched::SchedError::from)?;
+                self.handler.plan(&layout, heads.num_qo_heads, heads.head_dim)?;
+                self.handler.run(&problem, &self.variant, &self.params)?
+            };
+
+            // Residual + output projection, then the MLP block.
+            let o_flat = self.model.layers[l].wo.forward_rows(out.o.as_tensor().as_slice());
+            for (xi, oi) in x.iter_mut().zip(&o_flat) {
+                *xi += oi;
+            }
+            let normed2 = rms_norm(&x, &self.model.layers[l].rms_mlp, cfg.rms_eps);
+            let gate = self.model.layers[l].w_gate.forward_rows(&normed2);
+            let up = self.model.layers[l].w_up.forward_rows(&normed2);
+            let act: Vec<f32> = gate.iter().zip(&up).map(|(&g, &u)| silu(g) * u).collect();
+            let down = self.model.layers[l].w_down.forward_rows(&act);
+            for (xi, di) in x.iter_mut().zip(&down) {
+                *xi += di;
+            }
+        }
+
+        // Final norm + LM head for each sequence's last new token.
+        let mut out = Vec::with_capacity(ids.len());
+        let mut row = 0usize;
+        for &n in &qo_lens {
+            row += n;
+            let last = &x[(row - 1) * cfg.hidden..row * cfg.hidden];
+            let normed = rms_norm(last, &self.model.rms_final, cfg.rms_eps);
+            out.push(self.model.lm_head.forward(&normed));
+        }
+        Ok(out)
+    }
+
+    /// Greedy generation: prefill `prompt`, then decode `n` tokens.
+    ///
+    /// # Errors
+    ///
+    /// As [`MiniLlmEngine::forward`].
+    pub fn generate_greedy(
+        &mut self,
+        id: u64,
+        prompt: &[u32],
+        n: usize,
+    ) -> Result<Vec<u32>, EngineError> {
+        let logits = self.forward(&[id], &[prompt.to_vec()])?;
+        let mut next = argmax(&logits[0]) as u32;
+        let mut out = vec![next];
+        for _ in 1..n {
+            let logits = self.forward(&[id], &[vec![next]])?;
+            next = argmax(&logits[0]) as u32;
+            out.push(next);
+        }
+        Ok(out)
+    }
+
+    /// Plan-cache statistics from the shared handler (layers should hit).
+    pub fn plan_stats(&self) -> fi_sched::wrapper::RunStats {
+        self.handler.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MiniLlmConfig;
+    use fi_tensor::numerics::allclose;
+
+    fn engine(seed: u64) -> MiniLlmEngine {
+        MiniLlmEngine::new(MiniLlm::random(MiniLlmConfig::tiny(), seed), 4, 512)
+    }
+
+    #[test]
+    fn prefill_equals_token_by_token() {
+        // The fundamental cache-correctness property: feeding [a,b,c,d] at
+        // once gives the same final logits as feeding a, then b, then c,
+        // then d.
+        let prompt = [3u32, 17, 44, 9];
+        let mut e1 = engine(7);
+        e1.add_sequence(0).unwrap();
+        let whole = e1.forward(&[0], &[prompt.to_vec()]).unwrap();
+
+        let mut e2 = engine(7);
+        e2.add_sequence(0).unwrap();
+        let mut last = Vec::new();
+        for &t in &prompt {
+            last = e2.forward(&[0], &[vec![t]]).unwrap().remove(0);
+        }
+        assert!(
+            allclose(&whole[0], &last, 1e-4, 1e-5),
+            "prefill {:?}... vs incremental {:?}...",
+            &whole[0][..3],
+            &last[..3]
+        );
+    }
+
+    #[test]
+    fn greedy_generation_is_deterministic() {
+        let mut e1 = engine(11);
+        e1.add_sequence(0).unwrap();
+        let a = e1.generate_greedy(0, &[1, 2, 3], 8).unwrap();
+        let mut e2 = engine(11);
+        e2.add_sequence(0).unwrap();
+        let b = e2.generate_greedy(0, &[1, 2, 3], 8).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 8);
+        assert!(a.iter().all(|&t| (t as usize) < 97));
+        // A different prompt diverges (overwhelmingly likely).
+        let mut e3 = engine(11);
+        e3.add_sequence(0).unwrap();
+        let c = e3.generate_greedy(0, &[90, 2, 3], 8).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn batch_members_are_isolated() {
+        // Two sequences processed in one batch must produce the same
+        // logits as each alone.
+        let pa = vec![5u32, 6, 7];
+        let pb = vec![50u32, 60];
+        let mut both = engine(3);
+        both.add_sequence(0).unwrap();
+        both.add_sequence(1).unwrap();
+        let batched = both.forward(&[0, 1], &[pa.clone(), pb.clone()]).unwrap();
+
+        let mut solo_a = engine(3);
+        solo_a.add_sequence(0).unwrap();
+        let a = solo_a.forward(&[0], &[pa]).unwrap();
+        let mut solo_b = engine(3);
+        solo_b.add_sequence(0).unwrap();
+        let b = solo_b.forward(&[0], &[pb]).unwrap();
+
+        assert!(allclose(&batched[0], &a[0], 1e-4, 1e-5));
+        assert!(allclose(&batched[1], &b[0], 1e-4, 1e-5));
+    }
+
+    #[test]
+    fn forked_branches_agree_then_diverge() {
+        let mut e = engine(9);
+        e.add_sequence(0).unwrap();
+        e.forward(&[0], &[vec![10, 20, 30]]).unwrap();
+        e.fork_sequence(0, 1).unwrap();
+        // Same next token → identical logits (shared cache, COW untouched).
+        let l0 = e.forward(&[0], &[vec![40]]).unwrap();
+        let l1 = e.forward(&[1], &[vec![40]]).unwrap();
+        assert!(allclose(&l0[0], &l1[0], 1e-4, 1e-5));
+        // Different continuations → different logits afterwards.
+        let d0 = e.forward(&[0], &[vec![1]]).unwrap();
+        let d1 = e.forward(&[1], &[vec![2]]).unwrap();
+        assert!(!allclose(&d0[0], &d1[0], 1e-3, 1e-4));
+        assert_eq!(e.seq_len(0).unwrap(), 5);
+        assert_eq!(e.seq_len(1).unwrap(), 5);
+    }
+
+    #[test]
+    fn plan_cache_hits_across_layers() {
+        let mut e = engine(1);
+        e.add_sequence(0).unwrap();
+        e.forward(&[0], &[vec![1, 2, 3, 4, 5]]).unwrap();
+        let s = e.plan_stats();
+        // 2 layers, 1 step: one computed plan, one layer cache hit.
+        assert_eq!(s.plans_computed, 1);
+        assert_eq!(s.plan_cache_hits, 1);
+        e.forward(&[0], &[vec![6]]).unwrap();
+        let s = e.plan_stats();
+        assert_eq!(s.plans_computed, 2);
+        assert_eq!(s.plan_cache_hits, 2);
+    }
+
+    #[test]
+    fn cascade_decode_matches_flat_decode() {
+        // Forked branches decode with composable formats ON vs OFF: the
+        // logits — and therefore every generated token — must be identical.
+        let prompt = vec![7u32, 21, 3, 90, 45, 66, 12, 9];
+        let build = |cascade: bool| {
+            let mut e = engine(21);
+            e.set_cascade_decode(cascade);
+            e.add_sequence(0).unwrap();
+            e.forward(&[0], std::slice::from_ref(&prompt)).unwrap();
+            for b in 1..4u64 {
+                e.fork_sequence(0, b).unwrap();
+            }
+            e
+        };
+        let mut flat = build(false);
+        let mut casc = build(true);
+        let ids: Vec<u64> = (0..4).collect();
+        let mut toks: Vec<Vec<u32>> = (0..4).map(|b| vec![(b * 17 + 1) as u32]).collect();
+        for _ in 0..5 {
+            let inputs: Vec<Vec<u32>> =
+                toks.iter().map(|t| vec![*t.last().unwrap()]).collect();
+            let lf = flat.forward(&ids, &inputs).unwrap();
+            let lc = casc.forward(&ids, &inputs).unwrap();
+            for (a, b) in lf.iter().zip(&lc) {
+                assert!(allclose(a, b, 1e-4, 1e-5), "cascade decode diverged");
+            }
+            for (t, l) in toks.iter_mut().zip(&lf) {
+                let next = l
+                    .iter()
+                    .enumerate()
+                    .max_by(|x, y| x.1.partial_cmp(y.1).unwrap())
+                    .unwrap()
+                    .0 as u32;
+                t.push(next);
+            }
+        }
+    }
+
+    #[test]
+    fn cascade_decode_handles_singletons_and_mixed_batches() {
+        // Unrelated sequences (no shared prefix) through the cascade path
+        // must also match; prefill steps fall back to the flat path.
+        let mut e = engine(5);
+        e.set_cascade_decode(true);
+        e.add_sequence(0).unwrap();
+        e.add_sequence(1).unwrap();
+        e.forward(&[0, 1], &[vec![1, 2, 3], vec![50, 60]]).unwrap();
+        let lc = e.forward(&[0, 1], &[vec![4], vec![70]]).unwrap();
+
+        let mut f = engine(5);
+        f.add_sequence(0).unwrap();
+        f.add_sequence(1).unwrap();
+        f.forward(&[0, 1], &[vec![1, 2, 3], vec![50, 60]]).unwrap();
+        let lf = f.forward(&[0, 1], &[vec![4], vec![70]]).unwrap();
+        for (a, b) in lc.iter().zip(&lf) {
+            assert!(allclose(a, b, 1e-4, 1e-5));
+        }
+    }
+
+    #[test]
+    fn errors_are_typed() {
+        let mut e = engine(2);
+        assert!(matches!(e.forward(&[0], &[vec![1]]), Err(EngineError::Cache(_))));
+        e.add_sequence(0).unwrap();
+        assert!(matches!(e.forward(&[0], &[vec![1000]]), Err(EngineError::BadToken(1000))));
+        assert!(matches!(e.add_sequence(0), Err(EngineError::Cache(_))));
+        // Pool exhaustion: a tiny engine runs out of pages.
+        let mut tiny = MiniLlmEngine::new(MiniLlm::random(MiniLlmConfig::tiny(), 2), 2, 2);
+        tiny.add_sequence(0).unwrap();
+        let r = tiny.forward(&[0], &[vec![1; 16]]);
+        assert!(matches!(r, Err(EngineError::Cache(_))));
+    }
+
+    #[test]
+    fn sequence_removal_frees_pages() {
+        let mut e = engine(4);
+        e.add_sequence(0).unwrap();
+        e.forward(&[0], &[vec![1; 10]]).unwrap();
+        let free_before = 512 - 10usize.div_ceil(4);
+        let _ = free_before;
+        e.remove_sequence(0).unwrap();
+        // All pages back (each layer's pool).
+        e.add_sequence(0).unwrap();
+        e.forward(&[0], &[vec![2; 10]]).unwrap();
+        assert_eq!(e.seq_len(0).unwrap(), 10);
+    }
+}

@@ -1,0 +1,126 @@
+//! Dense layers and elementwise primitives for the mini-LLM.
+
+use fi_tensor::Tensor;
+use rand::Rng;
+
+/// A dense `in_dim → out_dim` projection, weights row-major `[out, in]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Linear {
+    w: Tensor<f32>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Random init scaled by `1/sqrt(in_dim)` (keeps activations O(1)).
+    pub fn random(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Linear {
+        let scale = 1.0 / (in_dim as f32).sqrt();
+        let w = Tensor::from_fn(vec![out_dim, in_dim], |_| {
+            (rng.gen::<f32>() * 2.0 - 1.0) * scale
+        });
+        Linear { w, in_dim, out_dim }
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// `y = W x` for one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != in_dim`.
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.in_dim, "linear input width");
+        (0..self.out_dim).map(|o| fi_tensor::numerics::dot(self.w.row(o), x)).collect()
+    }
+
+    /// `Y = X W^T` for `n` rows flattened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` is not a multiple of `in_dim`.
+    pub fn forward_rows(&self, x: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len() % self.in_dim, 0, "linear batch width");
+        x.chunks(self.in_dim).flat_map(|row| self.forward(row)).collect()
+    }
+}
+
+/// RMSNorm: `x * w / sqrt(mean(x^2) + eps)` per row of width `w.len()`.
+pub fn rms_norm(x: &[f32], weight: &[f32], eps: f32) -> Vec<f32> {
+    assert_eq!(x.len() % weight.len(), 0, "rms width");
+    let d = weight.len();
+    x.chunks(d)
+        .flat_map(|row| {
+            let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / d as f32;
+            let inv = 1.0 / (ms + eps).sqrt();
+            row.iter().zip(weight).map(move |(&v, &w)| v * inv * w).collect::<Vec<f32>>()
+        })
+        .collect()
+}
+
+/// SiLU (swish) activation.
+#[inline]
+pub fn silu(x: f32) -> f32 {
+    x / (1.0 + (-x).exp())
+}
+
+/// Argmax index of a slice (first on ties).
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn argmax(xs: &[f32]) -> usize {
+    assert!(!xs.is_empty(), "argmax of empty slice");
+    let mut best = 0;
+    for (i, &x) in xs.iter().enumerate() {
+        if x > xs[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn linear_shapes_and_linearity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let l = Linear::random(4, 3, &mut rng);
+        let a = l.forward(&[1.0, 0.0, 0.0, 0.0]);
+        let b = l.forward(&[0.0, 2.0, 0.0, 0.0]);
+        let ab = l.forward(&[1.0, 2.0, 0.0, 0.0]);
+        for i in 0..3 {
+            assert!((ab[i] - (a[i] + b[i])).abs() < 1e-6);
+        }
+        let rows = l.forward_rows(&[1.0, 0.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0]);
+        assert_eq!(rows.len(), 6);
+        assert_eq!(&rows[..3], &a[..]);
+    }
+
+    #[test]
+    fn rms_norm_normalizes() {
+        let w = vec![1.0f32; 4];
+        let out = rms_norm(&[2.0, 2.0, 2.0, 2.0], &w, 0.0);
+        assert!(out.iter().all(|&x| (x - 1.0).abs() < 1e-6));
+        // Scale invariance (up to eps).
+        let a = rms_norm(&[1.0, -2.0, 3.0, 0.5], &w, 1e-12);
+        let b = rms_norm(&[10.0, -20.0, 30.0, 5.0], &w, 1e-12);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn silu_and_argmax() {
+        assert_eq!(silu(0.0), 0.0);
+        assert!(silu(10.0) > 9.9);
+        assert!(silu(-10.0) > -1e-3);
+        assert_eq!(argmax(&[0.1, 3.0, -1.0, 3.0]), 1);
+    }
+}

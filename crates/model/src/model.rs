@@ -1,0 +1,112 @@
+//! The mini-LLM weights: embeddings, per-layer projections, norms.
+
+use fi_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::MiniLlmConfig;
+use crate::linear::Linear;
+
+/// One decoder layer's weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerWeights {
+    /// Query projection `hidden → H_qo * D`.
+    pub wq: Linear,
+    /// Key projection `hidden → H_kv * D`.
+    pub wk: Linear,
+    /// Value projection.
+    pub wv: Linear,
+    /// Output projection `H_qo * D → hidden`.
+    pub wo: Linear,
+    /// MLP gate projection.
+    pub w_gate: Linear,
+    /// MLP up projection.
+    pub w_up: Linear,
+    /// MLP down projection.
+    pub w_down: Linear,
+    /// Pre-attention RMSNorm weight.
+    pub rms_attn: Vec<f32>,
+    /// Pre-MLP RMSNorm weight.
+    pub rms_mlp: Vec<f32>,
+}
+
+/// The full model: random but deterministic weights for a config + seed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MiniLlm {
+    /// Shape.
+    pub cfg: MiniLlmConfig,
+    /// Token embeddings `[vocab, hidden]`.
+    pub embed: Tensor<f32>,
+    /// Decoder layers.
+    pub layers: Vec<LayerWeights>,
+    /// Final RMSNorm weight.
+    pub rms_final: Vec<f32>,
+    /// LM head `hidden → vocab`.
+    pub lm_head: Linear,
+}
+
+impl MiniLlm {
+    /// Build a model with deterministic random weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is inconsistent.
+    pub fn random(cfg: MiniLlmConfig, seed: u64) -> MiniLlm {
+        cfg.validate().expect("invalid config");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = cfg.hidden;
+        let kv_dim = cfg.num_kv_heads * cfg.head_dim;
+        let norm_w = |rng: &mut StdRng, n: usize| -> Vec<f32> {
+            (0..n).map(|_| 0.8 + rng.gen::<f32>() * 0.4).collect()
+        };
+        let layers = (0..cfg.num_layers)
+            .map(|_| LayerWeights {
+                wq: Linear::random(h, h, &mut rng),
+                wk: Linear::random(h, kv_dim, &mut rng),
+                wv: Linear::random(h, kv_dim, &mut rng),
+                wo: Linear::random(h, h, &mut rng),
+                w_gate: Linear::random(h, cfg.intermediate, &mut rng),
+                w_up: Linear::random(h, cfg.intermediate, &mut rng),
+                w_down: Linear::random(cfg.intermediate, h, &mut rng),
+                rms_attn: norm_w(&mut rng, h),
+                rms_mlp: norm_w(&mut rng, h),
+            })
+            .collect();
+        let embed = Tensor::from_fn(vec![cfg.vocab, h], |_| (rng.gen::<f32>() * 2.0 - 1.0) * 0.5);
+        let rms_final = norm_w(&mut rng, h);
+        let lm_head = Linear::random(h, cfg.vocab, &mut rng);
+        MiniLlm { cfg, embed, layers, rms_final, lm_head }
+    }
+
+    /// Embedding row of a token.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `token >= vocab`.
+    pub fn embedding(&self, token: u32) -> &[f32] {
+        self.embed.row(token as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_by_seed() {
+        let a = MiniLlm::random(MiniLlmConfig::tiny(), 5);
+        let b = MiniLlm::random(MiniLlmConfig::tiny(), 5);
+        let c = MiniLlm::random(MiniLlmConfig::tiny(), 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn shapes() {
+        let m = MiniLlm::random(MiniLlmConfig::tiny(), 0);
+        assert_eq!(m.layers.len(), 2);
+        assert_eq!(m.embedding(3).len(), 32);
+        assert_eq!(m.lm_head.out_dim(), 97);
+        assert_eq!(m.layers[0].wk.out_dim(), 2 * 8);
+    }
+}

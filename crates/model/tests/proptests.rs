@@ -1,0 +1,91 @@
+//! Property tests: the mini-LLM's outputs are invariant to how the token
+//! stream is chunked into serving steps — the end-to-end statement of
+//! KV-cache + causal-mask + RoPE-position correctness across the whole
+//! stack.
+
+#![allow(clippy::clone_on_copy)]
+#![allow(clippy::ptr_arg)]
+#![allow(clippy::single_range_in_vec_init)]
+use fi_model::{MiniLlm, MiniLlmConfig, MiniLlmEngine};
+use fi_tensor::numerics::allclose;
+use proptest::prelude::*;
+
+fn engine(seed: u64) -> MiniLlmEngine {
+    MiniLlmEngine::new(MiniLlm::random(MiniLlmConfig::tiny(), seed), 4, 1024)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any chunking of the prompt produces the same final logits as the
+    /// one-shot prefill.
+    #[test]
+    fn chunking_invariance(
+        tokens in prop::collection::vec(0u32..97, 2..14),
+        cuts in prop::collection::vec(1usize..13, 0..4),
+        seed in 0u64..50,
+    ) {
+        let mut whole = engine(seed);
+        whole.add_sequence(0).unwrap();
+        let reference = whole.forward(&[0], std::slice::from_ref(&tokens)).unwrap().remove(0);
+
+        // Build chunk boundaries from the random cut points.
+        let mut bounds: Vec<usize> =
+            cuts.iter().map(|&c| c % tokens.len()).filter(|&c| c > 0).collect();
+        bounds.push(tokens.len());
+        bounds.sort_unstable();
+        bounds.dedup();
+
+        let mut chunked = engine(seed);
+        chunked.add_sequence(0).unwrap();
+        let mut start = 0usize;
+        let mut last = Vec::new();
+        for &b in &bounds {
+            if b <= start {
+                continue;
+            }
+            last = chunked.forward(&[0], &[tokens[start..b].to_vec()]).unwrap().remove(0);
+            start = b;
+        }
+        prop_assert!(
+            allclose(&reference, &last, 2e-4, 2e-5),
+            "chunked at {bounds:?} diverged"
+        );
+    }
+
+    /// Batch composition is irrelevant: a sequence's logits don't depend
+    /// on which other sequences share its steps.
+    #[test]
+    fn batch_composition_invariance(
+        a in prop::collection::vec(0u32..97, 1..8),
+        b in prop::collection::vec(0u32..97, 1..8),
+        seed in 0u64..50,
+    ) {
+        let mut solo = engine(seed);
+        solo.add_sequence(0).unwrap();
+        let alone = solo.forward(&[0], std::slice::from_ref(&a)).unwrap().remove(0);
+
+        let mut together = engine(seed);
+        together.add_sequence(0).unwrap();
+        together.add_sequence(1).unwrap();
+        let batched = together.forward(&[0, 1], &[a, b]).unwrap().remove(0);
+        prop_assert!(allclose(&alone, &batched, 2e-4, 2e-5));
+    }
+
+    /// Fork + identical continuation = identical logits, regardless of
+    /// where the fork happens.
+    #[test]
+    fn fork_transparency(
+        prefix in prop::collection::vec(0u32..97, 1..8),
+        cont in prop::collection::vec(0u32..97, 1..5),
+        seed in 0u64..50,
+    ) {
+        let mut e = engine(seed);
+        e.add_sequence(0).unwrap();
+        e.forward(&[0], &[prefix]).unwrap();
+        e.fork_sequence(0, 1).unwrap();
+        let l0 = e.forward(&[0], std::slice::from_ref(&cont)).unwrap().remove(0);
+        let l1 = e.forward(&[1], &[cont]).unwrap().remove(0);
+        prop_assert!(allclose(&l0, &l1, 2e-4, 2e-5));
+    }
+}

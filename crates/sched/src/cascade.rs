@@ -1,0 +1,410 @@
+//! Multi-level cascade attention: hierarchical shared prefixes.
+//!
+//! Composable formats (§3.1.2) generalize past one level: a system prompt
+//! shared by *all* requests, per-tenant prefixes shared by groups, and
+//! unique suffixes form a **prefix tree**. FlashInfer's
+//! `MultiLevelCascadeAttentionWrapper` runs one kernel per tree depth —
+//! each with block rows as tall as that level's sharing — and composes the
+//! per-level attention states with ⊕ (§2.2, "multi-level, multiple-prefix
+//! decoding with unified page table management", §5.1).
+//!
+//! [`PrefixTree`] describes the hierarchy; [`CascadeAttention`] lowers it
+//! to one [`fi_sparse::BlockSparseMatrix`] per level (validated disjoint)
+//! and executes the cascade, merging states deterministically level by
+//! level.
+
+#![allow(clippy::type_complexity)]
+
+use fi_core::config::HeadConfig;
+use fi_core::kernel::{AttentionProblem, FlashKernel, KernelOutput, RowMeta};
+use fi_core::state::AttentionState;
+use fi_core::variant::{AttentionVariant, QueryCtx, VariantParams};
+use fi_sparse::bsr::{BlockEntry, BlockSparseMatrix};
+use fi_sparse::ComposableFormat;
+use fi_tensor::{RaggedTensor, Scalar, Tensor};
+
+use crate::error::SchedError;
+
+/// One node of the prefix tree: a KV span shared by a contiguous range of
+/// query rows, with children sharing sub-ranges.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PrefixNode {
+    /// First query row covered by this node.
+    pub row_start: usize,
+    /// One past the last covered query row.
+    pub row_end: usize,
+    /// The KV blocks this node owns (visible to all covered rows).
+    pub kv_blocks: Vec<BlockEntry>,
+    /// Timeline position of this span's first slot within the covered
+    /// requests' KV sequences.
+    pub kv_offset: usize,
+    /// Children covering sub-ranges of `row_start..row_end`.
+    pub children: Vec<PrefixNode>,
+}
+
+impl PrefixNode {
+    fn depth(&self) -> usize {
+        1 + self.children.iter().map(PrefixNode::depth).max().unwrap_or(0)
+    }
+}
+
+/// A forest of prefix nodes over one (rows × KV slots) plane.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PrefixTree {
+    /// Root nodes (depth-0 spans, e.g. the global system prompt).
+    pub roots: Vec<PrefixNode>,
+    /// Total query rows.
+    pub rows: usize,
+    /// KV slot pool size.
+    pub cols: usize,
+    /// Column block width (page size).
+    pub bc: usize,
+}
+
+/// One cascade level: the layout plus per-block-row timeline offsets.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CascadeLevel {
+    /// Block-sparse layout of this level.
+    pub layout: BlockSparseMatrix,
+    /// Timeline offset per block row.
+    pub kv_pos_offsets: Vec<usize>,
+}
+
+/// An executable multi-level cascade.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadeAttention {
+    levels: Vec<CascadeLevel>,
+    rows: usize,
+    cols: usize,
+}
+
+impl CascadeAttention {
+    /// Lower a prefix tree into per-depth levels and validate that the
+    /// union of levels covers each (row, slot) pair at most once.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::InvalidConfig`] for malformed trees (children
+    /// outside the parent's rows, overlapping coverage, bad geometry).
+    pub fn from_prefix_tree(tree: &PrefixTree) -> Result<CascadeAttention, SchedError> {
+        let depth = tree.roots.iter().map(PrefixNode::depth).max().unwrap_or(0);
+        let mut per_level: Vec<Vec<(usize, usize, Vec<BlockEntry>, usize)>> =
+            vec![Vec::new(); depth];
+
+        fn walk(
+            node: &PrefixNode,
+            level: usize,
+            out: &mut [Vec<(usize, usize, Vec<BlockEntry>, usize)>],
+        ) -> Result<(), SchedError> {
+            for c in &node.children {
+                if c.row_start < node.row_start || c.row_end > node.row_end {
+                    return Err(SchedError::InvalidConfig(format!(
+                        "child rows {}..{} escape parent {}..{}",
+                        c.row_start, c.row_end, node.row_start, node.row_end
+                    )));
+                }
+                walk(c, level + 1, out)?;
+            }
+            if !node.kv_blocks.is_empty() {
+                out[level].push((node.row_start, node.row_end, node.kv_blocks.clone(), node.kv_offset));
+            }
+            Ok(())
+        }
+        for r in &tree.roots {
+            walk(r, 0, &mut per_level)?;
+        }
+
+        let mut levels = Vec::with_capacity(depth);
+        for mut rows_spec in per_level {
+            rows_spec.sort_by_key(|&(s, _, _, _)| s);
+            let offsets: Vec<usize> = rows_spec.iter().map(|&(_, _, _, o)| o).collect();
+            let block_rows: Vec<(usize, usize, Vec<BlockEntry>)> =
+                rows_spec.into_iter().map(|(s, e, b, _)| (s, e, b)).collect();
+            let layout = BlockSparseMatrix::new(tree.rows, tree.cols, tree.bc, block_rows)
+                .map_err(|e| SchedError::InvalidConfig(e.to_string()))?;
+            levels.push(CascadeLevel { layout, kv_pos_offsets: offsets });
+        }
+
+        // Disjointness across all levels (the ⊕ precondition).
+        let parts: Vec<BlockSparseMatrix> = levels.iter().map(|l| l.layout.clone()).collect();
+        if !parts.is_empty() {
+            ComposableFormat::new(parts)
+                .and_then(|f| f.verify_disjoint())
+                .map_err(|e| SchedError::InvalidConfig(e.to_string()))?;
+        }
+        Ok(CascadeAttention { levels, rows: tree.rows, cols: tree.cols })
+    }
+
+    /// Number of levels.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The per-level layouts (for planning / cost evaluation).
+    pub fn levels(&self) -> &[CascadeLevel] {
+        &self.levels
+    }
+
+    /// Total KV slots gathered across levels (the quantity the cascade
+    /// minimizes — see `ComposableFormat::gather_slots`).
+    pub fn gather_slots(&self) -> usize {
+        self.levels
+            .iter()
+            .map(|l| {
+                (0..l.layout.n_block_rows())
+                    .map(|i| l.layout.block_row_kv_len(i))
+                    .sum::<usize>()
+            })
+            .sum()
+    }
+
+    /// Execute the cascade: run the kernel once per level and fold the
+    /// per-level states with ⊕ in level order (deterministic).
+    ///
+    /// `row_meta` carries each query row's request identity and *total*
+    /// lengths (across all levels), exactly as in single-format problems.
+    ///
+    /// # Errors
+    ///
+    /// Propagates problem-construction and kernel errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run<TQ: Scalar, TKV: Scalar>(
+        &self,
+        kernel: FlashKernel,
+        q: &RaggedTensor<TQ>,
+        k: &Tensor<TKV>,
+        v: &Tensor<TKV>,
+        heads: HeadConfig,
+        row_meta: &[RowMeta],
+        variant: &dyn AttentionVariant,
+        params: &VariantParams,
+    ) -> Result<KernelOutput, SchedError> {
+        let d = heads.head_dim;
+        let n_states = self.rows * heads.num_qo_heads;
+        let mut acc: Vec<AttentionState> = vec![AttentionState::identity(d); n_states];
+        let use_softmax = variant.use_softmax();
+        let mut stats = fi_core::kernel::KernelStats::default();
+
+        for level in &self.levels {
+            let problem = AttentionProblem::new(
+                q,
+                k,
+                v,
+                &level.layout,
+                heads,
+                row_meta.to_vec(),
+                level.kv_pos_offsets.clone(),
+            )?;
+            // Per-level partial states: run every block row whole (level
+            // layouts are already sharded by the tree; split-KV inside a
+            // level would also be legal but is unnecessary here).
+            for br in 0..level.layout.n_block_rows() {
+                let n_blocks = level.layout.block_row(br).len();
+                let chunk =
+                    kernel.run_block_row_chunk(&problem, variant, params, br, 0..n_blocks)?;
+                stats.flops += chunk.stats.flops;
+                stats.global_bytes += chunk.stats.global_bytes;
+                stats.kv_tiles += chunk.stats.kv_tiles;
+                for (i, st) in chunk.states.iter().enumerate() {
+                    let row = chunk.row_start + i / heads.num_qo_heads;
+                    let head = i % heads.num_qo_heads;
+                    let si = row * heads.num_qo_heads + head;
+                    acc[si] =
+                        if use_softmax { acc[si].merge(st) } else { acc[si].merge_sum(st) };
+                }
+            }
+        }
+
+        // Finalize.
+        let mut o = RaggedTensor::<f32>::zeros(q.indptr().to_vec(), heads.qo_width())
+            .map_err(fi_core::AttentionError::from)?;
+        let mut lse = vec![f32::NEG_INFINITY; n_states];
+        #[allow(clippy::needless_range_loop)]
+        for row in 0..self.rows {
+            let meta = row_meta[row];
+            for head in 0..heads.num_qo_heads {
+                let si = row * heads.num_qo_heads + head;
+                if use_softmax {
+                    lse[si] = acc[si].lse;
+                }
+                let mut orow = acc[si].o.clone();
+                variant.output_transform(
+                    params,
+                    &mut orow,
+                    QueryCtx {
+                        batch_idx: meta.batch_idx,
+                        qo_pos: meta.qo_pos,
+                        qo_head_idx: head,
+                        qo_len: meta.qo_len,
+                        kv_len: meta.kv_len,
+                    },
+                );
+                o.global_row_mut(row)[head * d..(head + 1) * d].copy_from_slice(&orow);
+            }
+        }
+        Ok(KernelOutput { o, lse, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fi_core::tiles::TileConfig;
+    use fi_core::variant::VanillaAttention;
+    use fi_tensor::numerics::allclose;
+
+    /// Three-level tree: global prompt (8 slots, all 4 rows) -> two group
+    /// prefixes (4 slots, 2 rows each) -> unique tails (2 slots per row).
+    fn three_level_case() -> (PrefixTree, Vec<usize>) {
+        let rows = 4usize;
+        let global = 8usize;
+        let group = 4usize;
+        let unique = 2usize;
+        let cols = global + 2 * group + rows * unique;
+        let group_base = |g: usize| global + g * group;
+        let unique_base = |r: usize| global + 2 * group + r * unique;
+        let blocks = |base: usize, n: usize| {
+            (0..n).map(|i| BlockEntry { col_block: base + i, len: 1 }).collect::<Vec<_>>()
+        };
+        let roots = vec![PrefixNode {
+            row_start: 0,
+            row_end: rows,
+            kv_blocks: blocks(0, global),
+            kv_offset: 0,
+            children: (0..2)
+                .map(|g| PrefixNode {
+                    row_start: g * 2,
+                    row_end: g * 2 + 2,
+                    kv_blocks: blocks(group_base(g), group),
+                    kv_offset: global,
+                    children: (0..2)
+                        .map(|r| {
+                            let row = g * 2 + r;
+                            PrefixNode {
+                                row_start: row,
+                                row_end: row + 1,
+                                kv_blocks: blocks(unique_base(row), unique),
+                                kv_offset: global + group,
+                                children: vec![],
+                            }
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }];
+        let kv_lens = vec![global + group + unique; rows];
+        (PrefixTree { roots, rows, cols, bc: 1 }, kv_lens)
+    }
+
+    #[test]
+    fn tree_lowers_to_three_levels() {
+        let (tree, _) = three_level_case();
+        let c = CascadeAttention::from_prefix_tree(&tree).unwrap();
+        assert_eq!(c.num_levels(), 3);
+        assert_eq!(c.levels()[0].layout.n_block_rows(), 1); // global
+        assert_eq!(c.levels()[1].layout.n_block_rows(), 2); // groups
+        assert_eq!(c.levels()[2].layout.n_block_rows(), 4); // uniques
+        // Gathers: 8 + 2*4 + 4*2 = 24 vs single-format 4 * 14 = 56.
+        assert_eq!(c.gather_slots(), 24);
+    }
+
+    #[test]
+    fn cascade_matches_single_format() {
+        let (tree, kv_lens) = three_level_case();
+        let heads = HeadConfig::new(2, 1, 8).unwrap();
+        let params = VariantParams::for_head_dim(8);
+        let variant = VanillaAttention { causal: true };
+        let mix = |i: usize, s: u64| {
+            let x = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(s);
+            ((x >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let mut q = RaggedTensor::<f32>::from_seq_lens(&vec![1; tree.rows], heads.qo_width());
+        for (i, x) in q.as_tensor_mut().as_mut_slice().iter_mut().enumerate() {
+            *x = mix(i, 1);
+        }
+        let k = Tensor::<f32>::from_fn(vec![tree.cols, heads.kv_width()], |i| mix(i, 2));
+        let v = Tensor::<f32>::from_fn(vec![tree.cols, heads.kv_width()], |i| mix(i, 3));
+        let row_meta: Vec<RowMeta> = (0..tree.rows)
+            .map(|b| RowMeta { batch_idx: b, qo_pos: 0, qo_len: 1, kv_len: kv_lens[b] })
+            .collect();
+        let kernel = FlashKernel { tile: TileConfig { tq: 1, tkv: 4 }, head_fusion: true };
+
+        let cascade = CascadeAttention::from_prefix_tree(&tree).unwrap();
+        let out = cascade
+            .run(kernel, &q, &k, &v, heads, &row_meta, &variant, &params)
+            .unwrap();
+
+        // Single-format equivalent: each row sees its full slot set.
+        let single_rows: Vec<(usize, usize, Vec<BlockEntry>)> = (0..tree.rows)
+            .map(|r| {
+                let g = r / 2;
+                let mut b: Vec<BlockEntry> =
+                    (0..8).map(|i| BlockEntry { col_block: i, len: 1 }).collect();
+                b.extend((0..4).map(|i| BlockEntry { col_block: 8 + g * 4 + i, len: 1 }));
+                b.extend((0..2).map(|i| BlockEntry { col_block: 16 + r * 2 + i, len: 1 }));
+                (r, r + 1, b)
+            })
+            .collect();
+        let single = BlockSparseMatrix::new(tree.rows, tree.cols, 1, single_rows).unwrap();
+        let problem =
+            AttentionProblem::standard_batch(&q, &k, &v, &single, heads, &kv_lens).unwrap();
+        let direct = kernel.run(&problem, &variant, &params).unwrap();
+
+        for r in 0..tree.rows {
+            assert!(
+                allclose(out.o.seq(r), direct.o.seq(r), 1e-5, 1e-6),
+                "row {r}: cascade != single"
+            );
+        }
+        for (a, b) in out.lse.iter().zip(&direct.lse) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn overlapping_tree_rejected() {
+        // Two roots covering the same rows AND slots.
+        let node = PrefixNode {
+            row_start: 0,
+            row_end: 2,
+            kv_blocks: vec![BlockEntry { col_block: 0, len: 1 }],
+            kv_offset: 0,
+            children: vec![],
+        };
+        let tree = PrefixTree { roots: vec![node.clone(), node], rows: 2, cols: 4, bc: 1 };
+        // Same-level duplicate block rows already violate BSR geometry
+        // (overlapping row ranges) — rejected at lowering.
+        assert!(CascadeAttention::from_prefix_tree(&tree).is_err());
+    }
+
+    #[test]
+    fn child_escaping_parent_rejected() {
+        let tree = PrefixTree {
+            roots: vec![PrefixNode {
+                row_start: 0,
+                row_end: 2,
+                kv_blocks: vec![],
+                kv_offset: 0,
+                children: vec![PrefixNode {
+                    row_start: 1,
+                    row_end: 3,
+                    kv_blocks: vec![BlockEntry { col_block: 0, len: 1 }],
+                    kv_offset: 0,
+                    children: vec![],
+                }],
+            }],
+            rows: 3,
+            cols: 4,
+            bc: 1,
+        };
+        assert!(CascadeAttention::from_prefix_tree(&tree).is_err());
+    }
+
+    #[test]
+    fn empty_tree_is_fine() {
+        let tree = PrefixTree { roots: vec![], rows: 2, cols: 4, bc: 1 };
+        let c = CascadeAttention::from_prefix_tree(&tree).unwrap();
+        assert_eq!(c.num_levels(), 0);
+        assert_eq!(c.gather_slots(), 0);
+    }
+}

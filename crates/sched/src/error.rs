@@ -1,0 +1,61 @@
+//! Error type for the runtime scheduler.
+
+use std::fmt;
+
+/// Errors produced by planning, workspace management and execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// Scheduling parameters are invalid (zero CTAs, zero tile, ...).
+    InvalidConfig(String),
+    /// The workspace buffer is too small for the plan.
+    WorkspaceTooSmall {
+        /// Bytes required.
+        required: usize,
+        /// Bytes available.
+        available: usize,
+    },
+    /// `run` was called without a valid cached plan, or with a problem that
+    /// does not match the planned shape.
+    PlanMismatch(String),
+    /// Propagated kernel error.
+    Attention(fi_core::AttentionError),
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::InvalidConfig(m) => write!(f, "invalid scheduler config: {m}"),
+            SchedError::WorkspaceTooSmall { required, available } => {
+                write!(f, "workspace too small: need {required} bytes, have {available}")
+            }
+            SchedError::PlanMismatch(m) => write!(f, "plan mismatch: {m}"),
+            SchedError::Attention(e) => write!(f, "attention error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SchedError::Attention(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<fi_core::AttentionError> for SchedError {
+    fn from(e: fi_core::AttentionError) -> Self {
+        SchedError::Attention(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = SchedError::WorkspaceTooSmall { required: 100, available: 10 };
+        assert!(e.to_string().contains("100"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # fi-sched
+//!
+//! FlashInfer's dynamism-aware runtime (§3.3): the load-balanced scheduler,
+//! the CUDAGraph-compatible workspace, the split-KV contraction step, and
+//! the user-facing plan/run wrapper.
+//!
+//! * [`plan`] — Algorithm 1: chunk every query tile's KV into pieces of at
+//!   most `L_kv` slots, then assign chunks to CTAs longest-processing-time
+//!   first through a min-cost priority queue. Also provides the *naive*
+//!   FA-style schedule (one whole tile per CTA, round-robin) used as the
+//!   load-imbalance baseline in Figure 8.
+//! * [`workspace`] — Appendix D: one user-allocated buffer divided into
+//!   fixed-offset sections (plan metadata, split-KV partial outputs) whose
+//!   addresses never change across generation steps, the property
+//!   CUDAGraph capture requires.
+//! * [`contraction`] — the variable-length attention-composition kernel:
+//!   merges each split tile's partial states in deterministic ascending
+//!   chunk order (the paper avoids Stream-K atomic aggregation precisely
+//!   to keep outputs deterministic).
+//! * [`wrapper`] — the `AttentionWrapper` analog (Listing 1): `plan(...)`
+//!   on sequence-length change, `run(...)` per layer, plan caching across
+//!   layers, and writethrough of unsplit tiles directly to the final
+//!   output (Appendix D.2).
+
+pub mod cascade;
+pub mod contraction;
+pub mod error;
+pub mod parallel;
+pub mod plan;
+pub mod workspace;
+pub mod wrapper;
+
+pub use cascade::{CascadeAttention, PrefixNode, PrefixTree};
+pub use error::SchedError;
+pub use plan::{CostModel, Plan, WorkItem};
+pub use workspace::{Workspace, WorkspaceLayout};
+pub use wrapper::{BatchAttentionHandler, SchedulePolicy};

@@ -1,0 +1,282 @@
+//! Multithreaded persistent-kernel execution.
+//!
+//! The sequential wrapper (`wrapper.rs`) emulates the persistent kernel by
+//! draining CTA queues one after another. This module actually runs them
+//! concurrently — one OS thread per simulated CTA group — which both
+//! validates the schedule's independence properties (work items of
+//! different CTAs never race: split tiles write disjoint workspace slots,
+//! writethrough tiles own disjoint output rows) and speeds up large
+//! CPU-side sweeps.
+//!
+//! Determinism: each work item writes only
+//! * its own partial slot (assigned at plan time), or
+//! * its own tile's output rows (writethrough tiles are the *only* chunk
+//!   of their tile, so no two items share rows),
+//!
+//! and the contraction merges partials in plan order on one thread
+//! afterwards — so parallel output is **bit-identical** to sequential
+//! output, the property the paper's deterministic-aggregation design
+//! guarantees on real hardware.
+
+use fi_core::kernel::{AttentionProblem, FlashKernel, KernelOutput, KernelStats};
+use fi_core::state::AttentionState;
+use fi_core::variant::{AttentionVariant, VariantParams};
+use fi_tensor::{RaggedTensor, Scalar};
+use parking_lot::Mutex;
+
+use crate::contraction::merge_partials;
+use crate::error::SchedError;
+use crate::plan::Plan;
+use crate::workspace::Workspace;
+use crate::wrapper::finalize_tile_into;
+
+/// Execute a plan with one worker thread per CTA queue (capped at
+/// `max_threads`), merging results deterministically.
+///
+/// Semantics are identical to `BatchAttentionHandler::run`; this is a
+/// free function so callers can drive ad-hoc plans without handler state.
+///
+/// # Errors
+///
+/// Propagates kernel errors from any worker (first error wins).
+pub fn run_plan_parallel<TQ: Scalar, TKV: Scalar>(
+    kernel: FlashKernel,
+    plan: &Plan,
+    workspace: &mut Workspace,
+    problem: &AttentionProblem<'_, TQ, TKV>,
+    variant: &dyn AttentionVariant,
+    params: &VariantParams,
+    max_threads: usize,
+) -> Result<KernelOutput, SchedError> {
+    let heads = problem.heads();
+    let d = heads.head_dim;
+    let layout = problem.layout();
+    let use_softmax = variant.use_softmax();
+
+    let mut o = RaggedTensor::<f32>::zeros(problem.queries().indptr().to_vec(), heads.qo_width())
+        .map_err(fi_core::AttentionError::from)?;
+    let mut lse = vec![f32::NEG_INFINITY; layout.rows() * heads.num_qo_heads];
+
+    // Results each worker produces: partial writes and writethrough tiles.
+    struct PartialWrite {
+        slot: usize,
+        states: Vec<AttentionState>,
+    }
+    struct Writethrough {
+        row_start: usize,
+        states: Vec<AttentionState>,
+    }
+    let partials: Mutex<Vec<PartialWrite>> = Mutex::new(Vec::new());
+    let throughs: Mutex<Vec<Writethrough>> = Mutex::new(Vec::new());
+    let stats_acc: Mutex<KernelStats> = Mutex::new(KernelStats::default());
+    let first_err: Mutex<Option<SchedError>> = Mutex::new(None);
+
+    // Group CTA queues into at most `max_threads` buckets (round-robin),
+    // preserving each queue's internal order.
+    let buckets = max_threads.max(1).min(plan.cta_queues.len().max(1));
+    crossbeam::thread::scope(|scope| {
+        for b in 0..buckets {
+            let queues: Vec<&Vec<crate::plan::WorkItem>> =
+                plan.cta_queues.iter().skip(b).step_by(buckets).collect();
+            let partials = &partials;
+            let throughs = &throughs;
+            let stats_acc = &stats_acc;
+            let first_err = &first_err;
+            scope.spawn(move |_| {
+                for queue in queues {
+                    for item in queue {
+                        let chunk = match kernel.run_block_row_chunk(
+                            problem,
+                            variant,
+                            params,
+                            item.block_row,
+                            item.kv_block_start..item.kv_block_end,
+                        ) {
+                            Ok(c) => c,
+                            Err(e) => {
+                                let mut slot = first_err.lock();
+                                if slot.is_none() {
+                                    *slot = Some(SchedError::Attention(e));
+                                }
+                                return;
+                            }
+                        };
+                        {
+                            let mut s = stats_acc.lock();
+                            s.flops += chunk.stats.flops;
+                            s.global_bytes += chunk.stats.global_bytes;
+                            s.kv_tiles += chunk.stats.kv_tiles;
+                            s.tensor_core_tiles += chunk.stats.tensor_core_tiles;
+                            s.cuda_core_tiles += chunk.stats.cuda_core_tiles;
+                        }
+                        match item.partial_index {
+                            Some(pi) => partials
+                                .lock()
+                                .push(PartialWrite { slot: pi, states: chunk.states }),
+                            None => throughs.lock().push(Writethrough {
+                                row_start: chunk.row_start,
+                                states: chunk.states,
+                            }),
+                        }
+                    }
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    if let Some(e) = first_err.into_inner() {
+        return Err(e);
+    }
+
+    // Deterministic commit phase (single thread): workspace writes in slot
+    // order, then contraction in plan order, then writethroughs.
+    let mut partials = partials.into_inner();
+    partials.sort_by_key(|p| p.slot);
+    for p in &partials {
+        workspace.write_partial(p.slot, &p.states, d);
+    }
+    for t in throughs.into_inner() {
+        finalize_tile_into(problem, variant, params, t.row_start, &t.states, use_softmax, &mut o, &mut lse);
+    }
+    let states_per_tile: Vec<usize> = (0..layout.n_block_rows())
+        .map(|br| {
+            let (rs, re) = layout.block_row_range(br);
+            (re - rs) * heads.num_qo_heads
+        })
+        .collect();
+    for (block_row, states) in
+        merge_partials(workspace, plan, &states_per_tile, d, use_softmax)
+    {
+        let (rs, _) = layout.block_row_range(block_row);
+        finalize_tile_into(problem, variant, params, rs, &states, use_softmax, &mut o, &mut lse);
+    }
+
+    let mut stats = stats_acc.into_inner();
+    stats.global_bytes +=
+        (layout.rows() * heads.qo_width()) as u64 * (TQ::DTYPE.size_bytes() as u64 + 4);
+    Ok(KernelOutput { o, lse, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{balanced_plan, CostModel};
+    use crate::workspace::{Workspace, WorkspaceLayout};
+    use fi_core::config::HeadConfig;
+    use fi_core::tiles::TileConfig;
+    use fi_core::variant::VanillaAttention;
+    use fi_sparse::bsr::{BlockEntry, BlockSparseMatrix};
+    use fi_tensor::Tensor;
+
+    fn mix(i: usize, salt: u64) -> f32 {
+        let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(salt);
+        ((x >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+    }
+
+    fn case(
+        kv_lens: &[usize],
+    ) -> (RaggedTensor<f32>, Tensor<f32>, Tensor<f32>, BlockSparseMatrix) {
+        let total: usize = kv_lens.iter().map(|l| l.div_ceil(2) * 2).sum();
+        let mut q = RaggedTensor::<f32>::from_seq_lens(&vec![1; kv_lens.len()], 2 * 8);
+        for (i, x) in q.as_tensor_mut().as_mut_slice().iter_mut().enumerate() {
+            *x = mix(i, 1);
+        }
+        let k = Tensor::<f32>::from_fn(vec![total, 8], |i| mix(i, 2));
+        let v = Tensor::<f32>::from_fn(vec![total, 8], |i| mix(i, 3));
+        let mut rows = Vec::new();
+        let mut page = 0;
+        for (i, &l) in kv_lens.iter().enumerate() {
+            let n = l.div_ceil(2);
+            let entries: Vec<BlockEntry> = (0..n)
+                .map(|p| BlockEntry {
+                    col_block: page + p,
+                    len: if p + 1 == n && l % 2 == 1 { 1 } else { 2 },
+                })
+                .collect();
+            rows.push((i, i + 1, entries));
+            page += n;
+        }
+        let layout = BlockSparseMatrix::new(kv_lens.len(), total, 2, rows).unwrap();
+        (q, k, v, layout)
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        let heads = HeadConfig::new(2, 1, 8).unwrap();
+        let params = VariantParams::for_head_dim(8);
+        let variant = VanillaAttention { causal: true };
+        let kv_lens = [97usize, 3, 41, 200, 8, 64];
+        let (q, k, v, layout) = case(&kv_lens);
+        let problem =
+            AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &kv_lens).unwrap();
+        let tile = TileConfig { tq: 1, tkv: 8 };
+        let kernel = FlashKernel { tile, head_fusion: true };
+        let plan = balanced_plan(&layout, 12, CostModel::default()).unwrap();
+
+        let mut ws_seq = Workspace::allocate(WorkspaceLayout::compute(1, 2, 8, 12, 1 << 12));
+        let mut ws_par = ws_seq.clone();
+
+        // Sequential reference through the same free-function path
+        // (1 thread) and a genuinely parallel run.
+        let seq = run_plan_parallel(kernel, &plan, &mut ws_seq, &problem, &variant, &params, 1)
+            .unwrap();
+        let par = run_plan_parallel(kernel, &plan, &mut ws_par, &problem, &variant, &params, 8)
+            .unwrap();
+        assert_eq!(seq.o.as_tensor().as_slice(), par.o.as_tensor().as_slice());
+        assert_eq!(seq.lse, par.lse);
+        assert_eq!(seq.stats.flops, par.stats.flops);
+    }
+
+    #[test]
+    fn parallel_matches_handler() {
+        use crate::wrapper::{BatchAttentionHandler, SchedulePolicy};
+        let heads = HeadConfig::new(2, 1, 8).unwrap();
+        let params = VariantParams::for_head_dim(8);
+        let variant = VanillaAttention { causal: true };
+        let kv_lens = [50usize, 17];
+        let (q, k, v, layout) = case(&kv_lens);
+        let problem =
+            AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &kv_lens).unwrap();
+        let tile = TileConfig { tq: 1, tkv: 8 };
+        let kernel = FlashKernel { tile, head_fusion: true };
+        let plan = balanced_plan(&layout, 6, CostModel::default()).unwrap();
+        let mut ws = Workspace::allocate(WorkspaceLayout::compute(1, 2, 8, 6, 1 << 12));
+        let par =
+            run_plan_parallel(kernel, &plan, &mut ws, &problem, &variant, &params, 4).unwrap();
+
+        let ws2 = Workspace::allocate(WorkspaceLayout::compute(1, 2, 8, 6, 1 << 12));
+        let mut h = BatchAttentionHandler::new(kernel, 6, CostModel::default(), SchedulePolicy::Balanced, ws2)
+            .unwrap();
+        h.plan(&layout, 2, 8).unwrap();
+        let seq = h.run(&problem, &variant, &params).unwrap();
+        assert_eq!(par.o.as_tensor().as_slice(), seq.o.as_tensor().as_slice());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_bits() {
+        let heads = HeadConfig::new(2, 1, 8).unwrap();
+        let params = VariantParams::for_head_dim(8);
+        let variant = VanillaAttention { causal: false };
+        let kv_lens = [300usize];
+        let (q, k, v, layout) = case(&kv_lens);
+        let problem =
+            AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &kv_lens).unwrap();
+        let kernel =
+            FlashKernel { tile: TileConfig { tq: 1, tkv: 16 }, head_fusion: true };
+        let plan = balanced_plan(&layout, 16, CostModel::default()).unwrap();
+        assert!(plan.num_partials > 2, "must actually split to test merging");
+        let mut prev: Option<Vec<f32>> = None;
+        for threads in [1usize, 2, 5, 16] {
+            let mut ws = Workspace::allocate(WorkspaceLayout::compute(1, 2, 8, 16, 1 << 12));
+            let out =
+                run_plan_parallel(kernel, &plan, &mut ws, &problem, &variant, &params, threads)
+                    .unwrap();
+            let bits = out.o.as_tensor().as_slice().to_vec();
+            if let Some(p) = &prev {
+                assert_eq!(p, &bits, "threads={threads}");
+            }
+            prev = Some(bits);
+        }
+    }
+}

@@ -1,0 +1,458 @@
+//! Algorithm 1: FlashInfer's balanced scheduling.
+//!
+//! Input: the block-sparse layout (its block rows are the query tiles,
+//! their gather lengths the per-tile KV lengths) and the CTA count. Output:
+//! one work queue per CTA plus the partial-output merge map. The algorithm:
+//!
+//! 1. `cost(l_q, l_kv) = α l_q + β l_kv`,
+//! 2. `L_kv = ceil( Σ_tiles l_kv(tile) / #CTA )` — the max chunk size,
+//! 3. split each tile's KV into chunks of at most `L_kv` slots (respecting
+//!    block boundaries, since a block is the unit the kernel gathers),
+//! 4. sort chunks by descending cost and repeatedly pop the least-loaded
+//!    CTA from a priority queue and give it the next chunk (LPT).
+//!
+//! Tiles split into more than one chunk produce partial attention states
+//! that the contraction step merges; tiles with a single chunk write
+//! through to the final output (Appendix D.2). Given identical sequence
+//! lengths, the plan — and therefore the merge order and the output bits —
+//! is deterministic.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use fi_sparse::BlockSparseMatrix;
+
+use crate::error::SchedError;
+
+/// Cost-model hyperparameters `(α, β)` of Algorithm 1, extended with a
+/// fixed per-chunk term `γ` that models the work-item dequeue/pipeline-fill
+/// overhead. Without it, LPT assignment piles dozens of tiny tail chunks
+/// onto the least-loaded CTA — each nearly free in `α l_q + β l_kv` terms
+/// but paying the real fixed cost — recreating the imbalance the scheduler
+/// exists to remove.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CostModel {
+    /// Weight of the query-tile height.
+    pub alpha: f64,
+    /// Weight of the KV chunk length.
+    pub beta: f64,
+    /// Fixed cost per work item, in the same units (KV slots ≈ 64 slots
+    /// per microsecond of overhead at f16/d=128 on A100-class bandwidth).
+    pub gamma: f64,
+}
+
+impl Default for CostModel {
+    /// KV-dominated cost with a fixed per-chunk overhead.
+    fn default() -> Self {
+        CostModel { alpha: 1.0, beta: 1.0, gamma: 64.0 }
+    }
+}
+
+impl CostModel {
+    /// `cost(l_q, l_kv) = α l_q + β l_kv + γ`.
+    pub fn cost(&self, l_q: usize, l_kv: usize) -> f64 {
+        self.alpha * l_q as f64 + self.beta * l_kv as f64 + self.gamma
+    }
+}
+
+/// One unit of work: a KV chunk of one query tile.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WorkItem {
+    /// Block row (query tile) in the layout.
+    pub block_row: usize,
+    /// Range of the tile's nonzero blocks this chunk covers.
+    pub kv_block_start: usize,
+    /// End of the block range (exclusive).
+    pub kv_block_end: usize,
+    /// Valid KV slots in the chunk.
+    pub kv_slots: usize,
+    /// Chunk ordinal within its tile (merge order key).
+    pub chunk_index: usize,
+    /// Workspace partial slot, or `None` for writethrough (single-chunk
+    /// tiles write the final output directly, Appendix D.2).
+    pub partial_index: Option<usize>,
+}
+
+/// The merge map for one split tile: which partial slots combine into the
+/// tile's final rows, in deterministic ascending chunk order.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct MergeGroup {
+    /// The tile whose chunks these are.
+    pub block_row: usize,
+    /// Partial slots in ascending chunk order.
+    pub partial_indices: Vec<usize>,
+}
+
+/// A complete schedule: per-CTA work queues + merge map.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Plan {
+    /// One queue per CTA.
+    pub cta_queues: Vec<Vec<WorkItem>>,
+    /// Tiles requiring contraction.
+    pub merge_groups: Vec<MergeGroup>,
+    /// Number of partial-output slots the workspace must hold.
+    pub num_partials: usize,
+    /// The chunk size bound `L_kv` used.
+    pub l_kv_chunk: usize,
+    /// Estimated cost per CTA under the plan's cost model.
+    pub cta_costs: Vec<f64>,
+    /// Tallest query tile in the layout (sizes the partial slots).
+    pub max_tile_rows: usize,
+}
+
+impl Plan {
+    /// Makespan estimate: the maximum CTA cost.
+    pub fn makespan(&self) -> f64 {
+        self.cta_costs.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Load-balance factor: mean CTA cost / max CTA cost (1.0 = perfect).
+    pub fn balance(&self) -> f64 {
+        let max = self.makespan();
+        if max == 0.0 {
+            return 1.0;
+        }
+        let mean: f64 = self.cta_costs.iter().sum::<f64>() / self.cta_costs.len() as f64;
+        mean / max
+    }
+
+    /// Total work items across all queues.
+    pub fn num_items(&self) -> usize {
+        self.cta_queues.iter().map(Vec::len).sum()
+    }
+
+    /// Every work item in CTA order (for sequential executors).
+    pub fn iter_items(&self) -> impl Iterator<Item = (usize, &WorkItem)> + '_ {
+        self.cta_queues.iter().enumerate().flat_map(|(c, q)| q.iter().map(move |w| (c, w)))
+    }
+}
+
+/// Run Algorithm 1 over a layout.
+///
+/// # Errors
+///
+/// Returns [`SchedError::InvalidConfig`] if `num_ctas == 0`.
+pub fn balanced_plan(
+    layout: &BlockSparseMatrix,
+    num_ctas: usize,
+    cost: CostModel,
+) -> Result<Plan, SchedError> {
+    if num_ctas == 0 {
+        return Err(SchedError::InvalidConfig("num_ctas must be positive".into()));
+    }
+    let n_tiles = layout.n_block_rows();
+
+    // Step 3: L_kv = total KV work / #CTA (at least 1 slot).
+    let total_kv: usize = (0..n_tiles).map(|i| layout.block_row_kv_len(i)).sum();
+    let l_kv_chunk = (total_kv.div_ceil(num_ctas)).max(1);
+
+    // Step 4: split tiles into chunks at block granularity.
+    struct Chunk {
+        block_row: usize,
+        start: usize,
+        end: usize,
+        slots: usize,
+        chunk_index: usize,
+        tile_rows: usize,
+    }
+    let mut chunks: Vec<Chunk> = Vec::new();
+    let mut per_tile_chunks = vec![0usize; n_tiles];
+    let mut max_tile_rows = 0usize;
+    #[allow(clippy::needless_range_loop)]
+    for br in 0..n_tiles {
+        let blocks = layout.block_row(br);
+        let (rs, re) = layout.block_row_range(br);
+        max_tile_rows = max_tile_rows.max(re - rs);
+        if blocks.is_empty() {
+            // No KV: still emit one empty work item so the row gets a
+            // (zero) output deterministically.
+            chunks.push(Chunk {
+                block_row: br,
+                start: 0,
+                end: 0,
+                slots: 0,
+                chunk_index: 0,
+                tile_rows: re - rs,
+            });
+            per_tile_chunks[br] = 1;
+            continue;
+        }
+        let mut start = 0usize;
+        let mut slots = 0usize;
+        let mut idx = 0usize;
+        for (bi, b) in blocks.iter().enumerate() {
+            // A single block larger than L_kv still forms one chunk — the
+            // block is the kernel's gather unit.
+            if slots > 0 && slots + b.len > l_kv_chunk {
+                chunks.push(Chunk {
+                    block_row: br,
+                    start,
+                    end: bi,
+                    slots,
+                    chunk_index: idx,
+                    tile_rows: re - rs,
+                });
+                idx += 1;
+                start = bi;
+                slots = 0;
+            }
+            slots += b.len;
+        }
+        chunks.push(Chunk {
+            block_row: br,
+            start,
+            end: blocks.len(),
+            slots,
+            chunk_index: idx,
+            tile_rows: re - rs,
+        });
+        per_tile_chunks[br] = idx + 1;
+    }
+
+    // Assign partial indices: only tiles with > 1 chunk need workspace.
+    let mut num_partials = 0usize;
+    let mut merge_groups: Vec<MergeGroup> = Vec::new();
+    let mut group_of_tile: Vec<Option<usize>> = vec![None; n_tiles];
+    let mut items: Vec<(f64, WorkItem)> = Vec::with_capacity(chunks.len());
+    // Chunks are generated tile-ascending, chunk-ascending: partial indices
+    // and merge orders are deterministic.
+    for c in &chunks {
+        let partial_index = if per_tile_chunks[c.block_row] > 1 {
+            let pi = num_partials;
+            num_partials += 1;
+            let gi = match group_of_tile[c.block_row] {
+                Some(gi) => gi,
+                None => {
+                    merge_groups
+                        .push(MergeGroup { block_row: c.block_row, partial_indices: Vec::new() });
+                    let gi = merge_groups.len() - 1;
+                    group_of_tile[c.block_row] = Some(gi);
+                    gi
+                }
+            };
+            merge_groups[gi].partial_indices.push(pi);
+            Some(pi)
+        } else {
+            None
+        };
+        items.push((
+            cost.cost(c.tile_rows, c.slots),
+            WorkItem {
+                block_row: c.block_row,
+                kv_block_start: c.start,
+                kv_block_end: c.end,
+                kv_slots: c.slots,
+                chunk_index: c.chunk_index,
+                partial_index,
+            },
+        ));
+    }
+
+    // Step 5-13: LPT via a min-heap over (cost, cta). Sort descending by
+    // cost with the work item's identity as a deterministic tiebreak.
+    items.sort_by(|a, b| {
+        b.0.partial_cmp(&a.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (a.1.block_row, a.1.chunk_index).cmp(&(b.1.block_row, b.1.chunk_index)))
+    });
+
+    // BinaryHeap is a max-heap; wrap in Reverse for min-pop. f64 isn't Ord,
+    // so store cost as ordered bits (all costs are non-negative).
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> =
+        (0..num_ctas).map(|c| Reverse((0u64, c))).collect();
+    let mut cta_queues: Vec<Vec<WorkItem>> = vec![Vec::new(); num_ctas];
+    let mut cta_costs = vec![0.0f64; num_ctas];
+    for (item_cost, item) in items {
+        let Reverse((_, cta)) = heap.pop().expect("heap has num_ctas entries");
+        cta_costs[cta] += item_cost;
+        cta_queues[cta].push(item);
+        heap.push(Reverse((cta_costs[cta].to_bits(), cta)));
+    }
+
+    Ok(Plan { cta_queues, merge_groups, num_partials, l_kv_chunk, cta_costs, max_tile_rows })
+}
+
+/// The naive FA-style schedule used as the baseline: one work item per
+/// query tile (no KV splitting), assigned round-robin. Long tiles serialize
+/// on one CTA — the load-imbalance the paper's Figure 8 exposes on skewed
+/// length distributions.
+///
+/// # Errors
+///
+/// Returns [`SchedError::InvalidConfig`] if `num_ctas == 0`.
+pub fn naive_plan(
+    layout: &BlockSparseMatrix,
+    num_ctas: usize,
+    cost: CostModel,
+) -> Result<Plan, SchedError> {
+    if num_ctas == 0 {
+        return Err(SchedError::InvalidConfig("num_ctas must be positive".into()));
+    }
+    let n_tiles = layout.n_block_rows();
+    let mut cta_queues: Vec<Vec<WorkItem>> = vec![Vec::new(); num_ctas];
+    let mut cta_costs = vec![0.0f64; num_ctas];
+    let mut max_tile_rows = 0usize;
+    for br in 0..n_tiles {
+        let (rs, re) = layout.block_row_range(br);
+        max_tile_rows = max_tile_rows.max(re - rs);
+        let slots = layout.block_row_kv_len(br);
+        let cta = br % num_ctas;
+        cta_costs[cta] += cost.cost(re - rs, slots);
+        cta_queues[cta].push(WorkItem {
+            block_row: br,
+            kv_block_start: 0,
+            kv_block_end: layout.block_row(br).len(),
+            kv_slots: slots,
+            chunk_index: 0,
+            partial_index: None,
+        });
+    }
+    Ok(Plan {
+        cta_queues,
+        merge_groups: Vec::new(),
+        num_partials: 0,
+        l_kv_chunk: usize::MAX,
+        cta_costs,
+        max_tile_rows,
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+    use fi_sparse::bsr::{BlockEntry, BlockSparseMatrix};
+
+    /// Layout with one block row per request, `bc = 1`.
+    fn layout_for(kv_lens: &[usize]) -> BlockSparseMatrix {
+        let cols: usize = kv_lens.iter().sum::<usize>().max(1);
+        let mut rows = Vec::new();
+        let mut col = 0;
+        for (i, &l) in kv_lens.iter().enumerate() {
+            let entries =
+                (0..l).map(|k| BlockEntry { col_block: col + k, len: 1 }).collect::<Vec<_>>();
+            rows.push((i, i + 1, entries));
+            col += l;
+        }
+        BlockSparseMatrix::new(kv_lens.len(), cols, 1, rows).unwrap()
+    }
+
+    /// Every (block_row, kv_block) pair appears in exactly one work item.
+    fn assert_exact_cover(layout: &BlockSparseMatrix, plan: &Plan) {
+        let mut seen: Vec<Vec<bool>> = (0..layout.n_block_rows())
+            .map(|br| vec![false; layout.block_row(br).len()])
+            .collect();
+        for (_, item) in plan.iter_items() {
+            for b in item.kv_block_start..item.kv_block_end {
+                assert!(!seen[item.block_row][b], "block covered twice");
+                seen[item.block_row][b] = true;
+            }
+        }
+        for (br, row) in seen.iter().enumerate() {
+            assert!(row.iter().all(|&x| x), "block row {br} not fully covered");
+        }
+    }
+
+    #[test]
+    fn covers_all_work_exactly_once() {
+        let layout = layout_for(&[100, 3, 57, 1, 20]);
+        let plan = balanced_plan(&layout, 4, CostModel::default()).unwrap();
+        assert_exact_cover(&layout, &plan);
+    }
+
+    #[test]
+    fn skewed_batch_is_balanced() {
+        // One huge request + many small: naive serializes the huge one.
+        let mut lens = vec![1000usize];
+        lens.extend(std::iter::repeat_n(10, 15));
+        let layout = layout_for(&lens);
+        let cost = CostModel { alpha: 0.0, beta: 1.0, gamma: 64.0 };
+        let balanced = balanced_plan(&layout, 16, cost).unwrap();
+        let naive = naive_plan(&layout, 16, cost).unwrap();
+        assert!(balanced.makespan() < naive.makespan() / 4.0,
+            "balanced {} vs naive {}", balanced.makespan(), naive.makespan());
+        assert!(balanced.balance() > 0.8);
+        assert!(naive.balance() < 0.2);
+    }
+
+    #[test]
+    fn split_tiles_get_merge_groups() {
+        let layout = layout_for(&[100, 4]);
+        let plan = balanced_plan(&layout, 8, CostModel::default()).unwrap();
+        // The 100-long tile must be split (L_kv = 13): multiple chunks.
+        assert_eq!(plan.merge_groups.len(), 1);
+        assert_eq!(plan.merge_groups[0].block_row, 0);
+        assert!(plan.merge_groups[0].partial_indices.len() >= 2);
+        assert_eq!(plan.num_partials, plan.merge_groups[0].partial_indices.len());
+        // Small tile writes through.
+        let small_items: Vec<_> =
+            plan.iter_items().filter(|(_, w)| w.block_row == 1).collect();
+        assert_eq!(small_items.len(), 1);
+        assert!(small_items[0].1.partial_index.is_none());
+    }
+
+    #[test]
+    fn merge_order_is_ascending_chunks() {
+        let layout = layout_for(&[50]);
+        let plan = balanced_plan(&layout, 5, CostModel::default()).unwrap();
+        let g = &plan.merge_groups[0];
+        // Partial indices were assigned in chunk order; they must ascend.
+        let mut sorted = g.partial_indices.clone();
+        sorted.sort_unstable();
+        assert_eq!(g.partial_indices, sorted);
+    }
+
+    #[test]
+    fn determinism() {
+        let layout = layout_for(&[37, 11, 90, 2, 64, 8]);
+        let a = balanced_plan(&layout, 7, CostModel::default()).unwrap();
+        let b = balanced_plan(&layout, 7, CostModel::default()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_tiles_still_scheduled() {
+        let layout = BlockSparseMatrix::new(2, 4, 1, vec![(0, 1, vec![]), (1, 2, vec![])]).unwrap();
+        let plan = balanced_plan(&layout, 2, CostModel::default()).unwrap();
+        assert_eq!(plan.num_items(), 2);
+        assert!(plan.merge_groups.is_empty());
+    }
+
+    #[test]
+    fn more_ctas_than_work() {
+        let layout = layout_for(&[3]);
+        let plan = balanced_plan(&layout, 32, CostModel::default()).unwrap();
+        assert_exact_cover(&layout, &plan);
+        // L_kv = ceil(3/32) = 1: three chunks of one slot.
+        assert_eq!(plan.num_partials, 3);
+    }
+
+    #[test]
+    fn zero_ctas_rejected() {
+        let layout = layout_for(&[3]);
+        assert!(balanced_plan(&layout, 0, CostModel::default()).is_err());
+        assert!(naive_plan(&layout, 0, CostModel::default()).is_err());
+    }
+
+    #[test]
+    fn chunk_respects_block_boundaries() {
+        // Blocks of 4 slots with L_kv that doesn't divide evenly.
+        let entries = (0..5).map(|c| BlockEntry { col_block: c, len: 4 }).collect::<Vec<_>>();
+        let layout = BlockSparseMatrix::new(1, 20, 4, vec![(0, 1, entries)]).unwrap();
+        let plan = balanced_plan(&layout, 3, CostModel::default()).unwrap();
+        // L_kv = ceil(20/3) = 7 -> chunks of 1 block (4 slots) pairs: [0,1],[2,3],[4].
+        for (_, item) in plan.iter_items() {
+            assert!(item.kv_slots % 4 == 0);
+        }
+        assert_exact_cover(&layout, &plan);
+    }
+
+    #[test]
+    fn naive_has_no_partials() {
+        let layout = layout_for(&[100, 3]);
+        let plan = naive_plan(&layout, 4, CostModel::default()).unwrap();
+        assert_eq!(plan.num_partials, 0);
+        assert_eq!(plan.num_items(), 2);
+        assert_exact_cover(&layout, &plan);
+    }
+}

@@ -1,0 +1,452 @@
+//! Attention backends: FlashInfer and the paper's comparison points.
+//!
+//! A backend turns one serving step (a batch of prefill and decode work)
+//! into wall-clock time on a GPU. All three backends share the same
+//! roofline executor (`fi-gpusim`); they differ exactly where the paper
+//! says the systems differ:
+//!
+//! | | scheduling | decode tile | launches | kernel efficiency |
+//! |---|---|---|---|---|
+//! | [`FlashInferBackend`] | Algorithm 1 | adaptive (§3.2.2) | 1 graph replay | 1.0 |
+//! | [`TritonLikeBackend`] | naive round-robin | fixed FA2 prefill tile | per-layer | 0.80 |
+//! | [`TrtLikeBackend`] | balanced (XQA-style) | adaptive | 1 graph replay | ~1.0, faster non-attention |
+//!
+//! The Triton efficiency factor models the measured gap between Triton
+//! and hand-tuned CUDA kernels that the paper cites as a reason to
+//! generate CUDA (Appendix C).
+
+use fi_core::gqa::FusedLayout;
+use fi_core::tiles::{select_tile, TileConfig, FA2_FIXED_TILE};
+use fi_gpusim::exec::{execute_plan, ExecContext};
+use fi_gpusim::GpuSpec;
+use fi_sched::plan::{balanced_plan, naive_plan, CostModel};
+
+use crate::costlayout::{cost_layout, CostItem};
+use crate::model::ModelConfig;
+
+/// Decode work for one sequence in a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DecodeEntry {
+    /// Current KV length (history the new token attends to).
+    pub kv_len: usize,
+    /// Shared-prefix group `(group_id, prefix_len)` for parallel
+    /// generation; `None` for independent sequences.
+    pub shared_prefix: Option<(usize, usize)>,
+}
+
+/// Prefill work for one sequence in a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PrefillEntry {
+    /// New tokens being prefilled.
+    pub new_tokens: usize,
+    /// Total KV after the prefill (history + new).
+    pub total_kv: usize,
+}
+
+/// One serving step's attention work.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct StepBatch {
+    /// Sequences being prefilled this step.
+    pub prefill: Vec<PrefillEntry>,
+    /// Sequences decoding one token this step.
+    pub decode: Vec<DecodeEntry>,
+}
+
+impl StepBatch {
+    /// Tokens processed this step (drives non-attention cost).
+    pub fn tokens(&self) -> usize {
+        self.prefill.iter().map(|p| p.new_tokens).sum::<usize>() + self.decode.len()
+    }
+
+    /// True when the step has no work.
+    pub fn is_empty(&self) -> bool {
+        self.prefill.is_empty() && self.decode.is_empty()
+    }
+}
+
+/// An attention backend: step description → step latency in seconds.
+pub trait Backend: Send {
+    /// Backend name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Wall-clock time of one serving step.
+    fn step_time(&mut self, batch: &StepBatch, model: &ModelConfig, spec: &GpuSpec) -> f64;
+}
+
+/// Scheduling policy + tile policy + overhead profile for the shared cost
+/// path.
+#[derive(Debug, Clone, Copy)]
+struct Profile {
+    balanced: bool,
+    adaptive_tiles: bool,
+    graph_replay: bool,
+    /// Kernel efficiency multiplier (< 1 inflates attention time).
+    efficiency: f64,
+    /// Non-attention multiplier (fused engines < 1).
+    nonattn_factor: f64,
+    /// CPU scheduling overhead per step (the `plan` call; amortized over
+    /// layers because plans are reused, §3.3.1).
+    plan_overhead: f64,
+}
+
+/// Time of one attention kernel launch over per-(tile, kv-head) cost
+/// items. Public so figure harnesses can price kernels outside a full
+/// serving loop.
+pub fn attention_kernel_time(
+    items: &[CostItem],
+    model: &ModelConfig,
+    spec: &GpuSpec,
+    tile: TileConfig,
+    balanced: bool,
+    efficiency: f64,
+    granule: usize,
+) -> f64 {
+    attention_kernel_time_with_ctas(items, model, spec, tile, balanced, efficiency, granule, spec.num_sms)
+}
+
+/// As [`attention_kernel_time`], but with an explicit CTA budget — the
+/// Appendix E knob: Nanoflow-style overlap gives attention only a slice of
+/// the SMs (GEMM/communication run on the rest), and the load-balancing
+/// scheduler allocates tiles within that slice.
+#[allow(clippy::too_many_arguments)]
+pub fn attention_kernel_time_with_ctas(
+    items: &[CostItem],
+    model: &ModelConfig,
+    spec: &GpuSpec,
+    tile: TileConfig,
+    balanced: bool,
+    efficiency: f64,
+    granule: usize,
+    num_ctas: usize,
+) -> f64 {
+    if items.is_empty() {
+        return 0.0;
+    }
+    let layout = cost_layout(items, granule);
+    let plan = if balanced {
+        balanced_plan(&layout, num_ctas, CostModel::default())
+    } else {
+        naive_plan(&layout, num_ctas, CostModel::default())
+    }
+    .expect("num_ctas > 0");
+    let heads = model.heads();
+    let mut ctx = ExecContext::new(*spec, heads, tile);
+    // Items are per-(tile, kv-head): one head each.
+    ctx.heads_per_item = 1;
+    let report = execute_plan(&plan, &layout, &ctx);
+    report.makespan / efficiency
+}
+
+fn attention_time(
+    items: &[CostItem],
+    model: &ModelConfig,
+    spec: &GpuSpec,
+    tile: TileConfig,
+    prof: &Profile,
+    granule: usize,
+) -> f64 {
+    attention_kernel_time(items, model, spec, tile, prof.balanced, prof.efficiency, granule)
+}
+
+/// Shared step-time computation across backends.
+fn profile_step_time(
+    batch: &StepBatch,
+    model: &ModelConfig,
+    spec: &GpuSpec,
+    prof: &Profile,
+    composable: bool,
+) -> f64 {
+    let heads = model.heads();
+    let fused = FusedLayout::new(heads);
+    let tp = model.tensor_parallel.max(1);
+    // Per-GPU KV heads under tensor parallelism.
+    let kv_heads = (heads.num_kv_heads / tp).max(1);
+
+    // Decode attention items.
+    let mut decode_items: Vec<CostItem> = Vec::new();
+    if !batch.decode.is_empty() {
+        if composable {
+            // Composable formats: one tall block row per (group, kv head)
+            // covering all branches' shared prefix, plus per-branch unique
+            // tails (Figure 3 / §4.4).
+            use std::collections::HashMap;
+            let mut groups: HashMap<usize, (usize, usize)> = HashMap::new(); // id -> (branches, prefix)
+            for d in &batch.decode {
+                match d.shared_prefix {
+                    Some((gid, plen)) => {
+                        let e = groups.entry(gid).or_insert((0, plen));
+                        e.0 += 1;
+                        for _ in 0..kv_heads {
+                            decode_items.push(CostItem {
+                                rows: 1,
+                                kv: d.kv_len.saturating_sub(plen),
+                            });
+                        }
+                    }
+                    None => {
+                        for _ in 0..kv_heads {
+                            decode_items.push(CostItem { rows: 1, kv: d.kv_len });
+                        }
+                    }
+                }
+            }
+            for (_, (branches, plen)) in groups {
+                // Groups of 1 gain nothing; still correct.
+                for _ in 0..kv_heads {
+                    decode_items.push(CostItem { rows: branches, kv: plen });
+                }
+            }
+        } else {
+            for d in &batch.decode {
+                for _ in 0..kv_heads {
+                    decode_items.push(CostItem { rows: 1, kv: d.kv_len });
+                }
+            }
+        }
+    }
+    let decode_tile = if prof.adaptive_tiles {
+        select_tile(fused.avg_fused_qo_len(&vec![1; batch.decode.len().max(1)]), heads.head_dim, spec.sm)
+    } else {
+        // Triton-style fixed configuration tuned for prefill.
+        TileConfig { tq: 16, tkv: FA2_FIXED_TILE.tkv }
+    };
+    let decode_t = attention_time(&decode_items, model, spec, decode_tile, prof, 64);
+
+    // Prefill attention items (causal triangular).
+    let mut prefill_items: Vec<CostItem> = Vec::new();
+    let prefill_tile = if prof.adaptive_tiles {
+        let avg: f64 = if batch.prefill.is_empty() {
+            0.0
+        } else {
+            batch.prefill.iter().map(|p| fused.fused_len(p.new_tokens)).sum::<usize>() as f64
+                / batch.prefill.len() as f64
+        };
+        select_tile(avg.max(1.0), heads.head_dim, spec.sm)
+    } else {
+        FA2_FIXED_TILE
+    };
+    for p in &batch.prefill {
+        let offset = p.total_kv - p.new_tokens.min(p.total_kv);
+        let mut s = 0;
+        while s < p.new_tokens {
+            let e = (s + prefill_tile.tq).min(p.new_tokens);
+            for _ in 0..kv_heads {
+                prefill_items.push(CostItem { rows: e - s, kv: offset + e });
+            }
+            s = e;
+        }
+    }
+    let prefill_t = attention_time(&prefill_items, model, spec, prefill_tile, prof, 64);
+
+    // Launch accounting: graph replay pays one overhead for the whole
+    // step; per-layer launching pays 2 kernels (attention + contraction or
+    // prefill+decode) per layer. The executor already charged one launch
+    // per planned kernel; add the rest here.
+    let extra_launches = if prof.graph_replay {
+        0.0
+    } else {
+        (2 * model.num_layers) as f64 * spec.launch_overhead
+    };
+
+    let attn = (decode_t + prefill_t) * model.num_layers as f64;
+    let nonattn = model.nonattn_step_time(spec, batch.tokens()) * prof.nonattn_factor;
+    attn + nonattn + extra_launches + prof.plan_overhead
+}
+
+/// The FlashInfer backend: Algorithm 1 scheduling, adaptive tiles,
+/// CUDAGraph replay, optional composable formats.
+#[derive(Debug, Clone)]
+#[derive(Default)]
+pub struct FlashInferBackend {
+    /// Enable composable-format shared-prefix decoding (§3.1.2 / Figure 10).
+    pub composable: bool,
+}
+
+
+impl Backend for FlashInferBackend {
+    fn name(&self) -> &'static str {
+        if self.composable {
+            "flashinfer+composable"
+        } else {
+            "flashinfer"
+        }
+    }
+
+    fn step_time(&mut self, batch: &StepBatch, model: &ModelConfig, spec: &GpuSpec) -> f64 {
+        let prof = Profile {
+            balanced: true,
+            adaptive_tiles: true,
+            graph_replay: true,
+            efficiency: 1.0,
+            nonattn_factor: 1.0,
+            plan_overhead: 30e-6,
+        };
+        profile_step_time(batch, model, spec, &prof, self.composable)
+    }
+}
+
+/// The Triton-backend baseline: fixed tiles, naive scheduling, per-layer
+/// launches, and the Triton-vs-CUDA kernel efficiency gap.
+#[derive(Debug, Clone, Default)]
+pub struct TritonLikeBackend;
+
+impl Backend for TritonLikeBackend {
+    fn name(&self) -> &'static str {
+        "triton-like"
+    }
+
+    fn step_time(&mut self, batch: &StepBatch, model: &ModelConfig, spec: &GpuSpec) -> f64 {
+        let prof = Profile {
+            balanced: false,
+            adaptive_tiles: false,
+            graph_replay: false,
+            efficiency: 0.80,
+            nonattn_factor: 1.0,
+            plan_overhead: 15e-6,
+        };
+        profile_step_time(batch, model, spec, &prof, false)
+    }
+}
+
+/// The TensorRT-LLM-like reference: closed, well-tuned engine — balanced
+/// decode (XQA), adaptive tiles, graph replay, and faster fused
+/// non-attention kernels.
+#[derive(Debug, Clone, Default)]
+pub struct TrtLikeBackend;
+
+impl Backend for TrtLikeBackend {
+    fn name(&self) -> &'static str {
+        "trtllm-like"
+    }
+
+    fn step_time(&mut self, batch: &StepBatch, model: &ModelConfig, spec: &GpuSpec) -> f64 {
+        let prof = Profile {
+            balanced: true,
+            adaptive_tiles: true,
+            graph_replay: true,
+            efficiency: 1.0,
+            nonattn_factor: 0.90,
+            plan_overhead: 20e-6,
+        };
+        profile_step_time(batch, model, spec, &prof, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decode_batch(kv: &[usize]) -> StepBatch {
+        StepBatch {
+            prefill: vec![],
+            decode: kv.iter().map(|&k| DecodeEntry { kv_len: k, shared_prefix: None }).collect(),
+        }
+    }
+
+    #[test]
+    fn flashinfer_beats_triton_on_decode() {
+        let batch = decode_batch(&[1024; 16]);
+        let m = ModelConfig::LLAMA3_8B;
+        let s = GpuSpec::H100_80G;
+        let fi = FlashInferBackend::default().step_time(&batch, &m, &s);
+        let tr = TritonLikeBackend.step_time(&batch, &m, &s);
+        // Compare the attention portion (the non-attention side is shared).
+        let nonattn = m.nonattn_step_time(&s, batch.tokens());
+        assert!(tr - nonattn > (fi - nonattn) * 1.2, "triton {tr} vs flashinfer {fi}");
+    }
+
+    #[test]
+    fn skewed_decode_widen_the_gap() {
+        let m = ModelConfig::LLAMA3_8B;
+        let s = GpuSpec::H100_80G;
+        let uniform = decode_batch(&[1024; 16]);
+        let mut skewed_lens = vec![8192usize];
+        skewed_lens.extend(std::iter::repeat_n(512, 15));
+        let skewed = decode_batch(&skewed_lens);
+        let gap_uniform = TritonLikeBackend.step_time(&uniform, &m, &s)
+            / FlashInferBackend::default().step_time(&uniform, &m, &s);
+        let gap_skewed = TritonLikeBackend.step_time(&skewed, &m, &s)
+            / FlashInferBackend::default().step_time(&skewed, &m, &s);
+        assert!(gap_skewed > gap_uniform, "skewed {gap_skewed} vs uniform {gap_uniform}");
+    }
+
+    #[test]
+    fn composable_helps_shared_prefix_decode() {
+        let m = ModelConfig::LLAMA3_8B;
+        let s = GpuSpec::H100_80G;
+        // 4 groups × 8 branches, prefix 1024, unique 32.
+        let mut decode = Vec::new();
+        for g in 0..4 {
+            for _ in 0..8 {
+                decode.push(DecodeEntry { kv_len: 1024 + 32, shared_prefix: Some((g, 1024)) });
+            }
+        }
+        let batch = StepBatch { prefill: vec![], decode };
+        let on =
+            FlashInferBackend { composable: true }.step_time(&batch, &m, &s);
+        let off =
+            FlashInferBackend { composable: false }.step_time(&batch, &m, &s);
+        assert!(on < off, "composable {on} vs single {off}");
+    }
+
+    #[test]
+    fn composable_neutral_for_n1() {
+        let m = ModelConfig::LLAMA3_8B;
+        let s = GpuSpec::H100_80G;
+        let decode: Vec<DecodeEntry> =
+            (0..16).map(|i| DecodeEntry { kv_len: 600, shared_prefix: Some((i, 500)) }).collect();
+        let on = FlashInferBackend { composable: true }.step_time(
+            &StepBatch { prefill: vec![], decode: decode.clone() },
+            &m,
+            &s,
+        );
+        let off = FlashInferBackend { composable: false }
+            .step_time(&StepBatch { prefill: vec![], decode }, &m, &s);
+        // Groups of one branch cannot help much; allow a small slack.
+        assert!((on - off).abs() / off < 0.35, "on {on} off {off}");
+    }
+
+    #[test]
+    fn empty_step_costs_plan_overhead_only() {
+        let m = ModelConfig::LLAMA3_8B;
+        let s = GpuSpec::H100_80G;
+        let t = FlashInferBackend::default().step_time(&StepBatch::default(), &m, &s);
+        assert!(t < 1e-4, "{t}");
+    }
+
+    #[test]
+    fn prefill_attention_is_superlinear_in_length() {
+        // One 8192-token prefill must cost strictly more than two
+        // 4096-token prefills: the GEMM side is linear at these sizes, so
+        // the excess is the quadratic causal-attention term.
+        let m = ModelConfig::LLAMA3_8B;
+        let s = GpuSpec::H100_80G;
+        let t_of = |len: usize| {
+            FlashInferBackend::default().step_time(
+                &StepBatch {
+                    prefill: vec![PrefillEntry { new_tokens: len, total_kv: len }],
+                    decode: vec![],
+                },
+                &m,
+                &s,
+            )
+        };
+        let t4 = t_of(4096);
+        let t8 = t_of(8192);
+        assert!(t8 > 2.0 * t4 * 1.05, "t4 {t4} t8 {t8}");
+    }
+
+    #[test]
+    fn trt_is_competitive() {
+        let m = ModelConfig::LLAMA3_8B;
+        let s = GpuSpec::H100_80G;
+        let batch = StepBatch {
+            prefill: vec![PrefillEntry { new_tokens: 512, total_kv: 512 }],
+            decode: decode_batch(&[800; 12]).decode,
+        };
+        let fi = FlashInferBackend::default().step_time(&batch, &m, &s);
+        let trt = TrtLikeBackend.step_time(&batch, &m, &s);
+        // Within 20% of each other, TRT slightly ahead on mixed batches.
+        assert!((trt / fi - 1.0).abs() < 0.2, "fi {fi} trt {trt}");
+    }
+}

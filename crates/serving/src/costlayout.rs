@@ -1,0 +1,136 @@
+//! Synthetic block-sparse layouts for cost evaluation.
+//!
+//! The scheduler and GPU model only consume a layout's *geometry* (block
+//! rows, KV slot counts) — not tensor contents. These helpers build that
+//! geometry directly from `(rows, kv_len)` descriptions so serving-scale
+//! batches (thousands of tokens) can be planned without materializing
+//! pools. Column blocks are `granule`-sized to keep the entry count (and
+//! plan metadata) proportional to `kv / granule`, like real pages.
+
+use fi_sparse::bsr::{BlockEntry, BlockSparseMatrix};
+
+/// One schedulable unit: a query tile of `rows` rows attending to `kv`
+/// KV slots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostItem {
+    /// Query rows in the tile.
+    pub rows: usize,
+    /// KV slots the tile reads.
+    pub kv: usize,
+}
+
+/// Build a layout with one block row per item. Each item's KV occupies its
+/// own column range (no sharing), paged at `granule`.
+///
+/// # Panics
+///
+/// Panics if `granule == 0`.
+pub fn cost_layout(items: &[CostItem], granule: usize) -> BlockSparseMatrix {
+    assert!(granule > 0, "granule must be positive");
+    let mut rows_spec = Vec::with_capacity(items.len());
+    let mut row = 0usize;
+    let mut col_block = 0usize;
+    for it in items {
+        let n_blocks = it.kv.div_ceil(granule);
+        let entries: Vec<BlockEntry> = (0..n_blocks)
+            .map(|b| BlockEntry {
+                col_block: col_block + b,
+                len: if b + 1 == n_blocks && it.kv % granule != 0 {
+                    it.kv % granule
+                } else {
+                    granule
+                },
+            })
+            .collect();
+        rows_spec.push((row, row + it.rows.max(1), entries));
+        row += it.rows.max(1);
+        col_block += n_blocks;
+    }
+    let cols = (col_block * granule).max(granule);
+    BlockSparseMatrix::new(row.max(1), cols, granule, rows_spec).expect("cost layout geometry")
+}
+
+/// Expand per-request decode work into per-(request, kv-head) cost items —
+/// the granularity the real grid parallelizes over (see
+/// `fi_gpusim::exec` module docs).
+pub fn decode_items(kv_lens: &[usize], num_kv_heads: usize) -> Vec<CostItem> {
+    kv_lens
+        .iter()
+        .flat_map(|&kv| (0..num_kv_heads).map(move |_| CostItem { rows: 1, kv }))
+        .collect()
+}
+
+/// Expand causal prefill work into per-(tile, kv-head) cost items: tile `i`
+/// (of height `tq`) of a request sees KV up to its last row
+/// (`kv_offset + (i+1) * tq`), which reproduces the triangular FLOP count.
+pub fn prefill_items(
+    qo_lens: &[usize],
+    kv_lens: &[usize],
+    tq: usize,
+    num_kv_heads: usize,
+) -> Vec<CostItem> {
+    assert_eq!(qo_lens.len(), kv_lens.len());
+    let mut items = Vec::new();
+    for (&lq, &lkv) in qo_lens.iter().zip(kv_lens) {
+        let offset = lkv - lq.min(lkv);
+        let mut s = 0;
+        while s < lq {
+            let e = (s + tq).min(lq);
+            let visible = offset + e;
+            for _ in 0..num_kv_heads {
+                items.push(CostItem { rows: e - s, kv: visible });
+            }
+            s = e;
+        }
+    }
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_geometry_matches_items() {
+        let items = [CostItem { rows: 2, kv: 5 }, CostItem { rows: 1, kv: 3 }];
+        let l = cost_layout(&items, 2);
+        assert_eq!(l.n_block_rows(), 2);
+        assert_eq!(l.block_row_kv_len(0), 5);
+        assert_eq!(l.block_row_kv_len(1), 3);
+        assert_eq!(l.block_row_range(0), (0, 2));
+        assert_eq!(l.block_row_range(1), (2, 3));
+    }
+
+    #[test]
+    fn decode_items_expand_heads() {
+        let items = decode_items(&[100, 50], 8);
+        assert_eq!(items.len(), 16);
+        assert!(items.iter().all(|i| i.rows == 1));
+        assert_eq!(items.iter().map(|i| i.kv).sum::<usize>(), 8 * 150);
+    }
+
+    #[test]
+    fn prefill_items_are_triangular() {
+        // Self-attention prefill of 256 with tq=64: tiles see 64,128,192,256.
+        let items = prefill_items(&[256], &[256], 64, 1);
+        let kvs: Vec<usize> = items.iter().map(|i| i.kv).collect();
+        assert_eq!(kvs, vec![64, 128, 192, 256]);
+        // Total ~ l^2/2 scaling.
+        let total: usize = kvs.iter().sum();
+        assert_eq!(total, 640); // vs 256*256/64 = 1024 for non-causal tiles
+    }
+
+    #[test]
+    fn prefill_with_history_offsets_kv() {
+        // Incremental prefill: 32 new tokens over 100 total KV.
+        let items = prefill_items(&[32], &[100], 32, 1);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].kv, 100);
+    }
+
+    #[test]
+    fn zero_kv_items_allowed() {
+        let l = cost_layout(&[CostItem { rows: 1, kv: 0 }], 4);
+        assert_eq!(l.block_row_kv_len(0), 0);
+    }
+}

@@ -1,0 +1,636 @@
+//! The continuous-batching serving engine (discrete-event simulation).
+//!
+//! Orca-style iteration-level scheduling: every step, newly-arrived
+//! requests that fit the KV pool join as prefill work, and every running
+//! sequence decodes one token. The attention backend prices each step;
+//! the engine advances a simulated clock and collects TTFT (arrival →
+//! end of the prefill step) and per-token ITL.
+//!
+//! Parallel generation (the OpenAI `n` parameter, §4.4): one prefill
+//! spawns `n` decode branches sharing the prompt's KV. With prefix
+//! caching, the prompt is stored once; branches are tagged with their
+//! shared-prefix group so composable-format backends can exploit it.
+
+use fi_gpusim::GpuSpec;
+
+use crate::backend::{Backend, DecodeEntry, PrefillEntry, StepBatch};
+use crate::metrics::ServingMetrics;
+use crate::model::ModelConfig;
+use crate::workload::RequestSpec;
+
+/// Engine capacity limits.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct EngineConfig {
+    /// KV pool capacity in tokens (all layers accounted by the model's
+    /// per-token KV size elsewhere; here tokens are the unit).
+    pub kv_capacity_tokens: usize,
+    /// Maximum concurrent decode branches.
+    pub max_batch: usize,
+    /// Store a parallel-generation prompt once (prefix caching) instead of
+    /// per branch.
+    pub prefix_caching: bool,
+    /// Sarathi-style chunked prefill: cap the prefill tokens per step so
+    /// long prompts are split and piggybacked with decodes, bounding the
+    /// ITL spikes decodes otherwise suffer behind long prefills. `None`
+    /// prefills whole prompts in one step.
+    pub chunked_prefill_budget: Option<usize>,
+    /// vLLM-style optimistic admission: reserve only the prompt's KV at
+    /// admission and grow usage as tokens decode; when the pool overflows,
+    /// preempt the most recently admitted request and recompute it later.
+    /// `false` reserves the worst case (`prompt + n*output`) up front.
+    pub optimistic_admission: bool,
+    /// What happens to a preempted request's KV (optimistic mode only).
+    pub preemption: PreemptionPolicy,
+}
+
+/// vLLM's two preemption policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum PreemptionPolicy {
+    /// Drop the KV; recompute prompt + generated tokens as a prefill when
+    /// re-admitted. Cheap to evict, expensive to resume for long contexts.
+    Recompute,
+    /// Copy the KV to host over PCIe and restore it on re-admission
+    /// (`fi_kvcache::swap`). Constant-cost eviction/resume per token.
+    Swap,
+}
+
+impl EngineConfig {
+    /// Capacity derived from a GPU's free HBM after weights.
+    pub fn for_gpu(spec: &GpuSpec, model: &ModelConfig) -> EngineConfig {
+        let tp = model.tensor_parallel.max(1);
+        let weights_per_gpu = model.weight_bytes() / tp;
+        let free = (spec.hbm_capacity * tp).saturating_sub(weights_per_gpu * tp);
+        // Reserve 10% for activations and workspace.
+        let kv_bytes = free * 9 / 10;
+        EngineConfig {
+            kv_capacity_tokens: kv_bytes / model.kv_bytes_per_token().max(1),
+            max_batch: 256,
+            prefix_caching: true,
+            chunked_prefill_budget: None,
+            optimistic_admission: false,
+            preemption: PreemptionPolicy::Recompute,
+        }
+    }
+}
+
+/// A request submitted to the engine.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Request {
+    /// Caller-assigned id.
+    pub id: u64,
+    /// Shape and arrival.
+    pub spec: RequestSpec,
+}
+
+#[derive(Debug)]
+struct Branch {
+    req_index: usize,
+    generated: usize,
+    output_len: usize,
+    prompt_len: usize,
+    group: Option<(usize, usize)>,
+}
+
+/// The serving engine.
+#[derive(Debug)]
+pub struct Engine<B> {
+    backend: B,
+    model: ModelConfig,
+    spec: GpuSpec,
+    config: EngineConfig,
+}
+
+impl<B: Backend> Engine<B> {
+    /// Create an engine.
+    pub fn new(backend: B, model: ModelConfig, spec: GpuSpec, config: EngineConfig) -> Engine<B> {
+        Engine { backend, model, spec, config }
+    }
+
+    /// KV tokens a request will occupy at completion.
+    fn kv_cost(&self, r: &RequestSpec) -> usize {
+        let n = r.n_parallel.max(1);
+        if self.config.prefix_caching {
+            r.prompt_len + n * r.output_len
+        } else {
+            n * (r.prompt_len + r.output_len)
+        }
+    }
+
+    /// Serve a list of requests to completion. Requests whose KV footprint
+    /// exceeds the pool are skipped (counted in the report's completion
+    /// gap). Requests must be sorted by arrival time.
+    pub fn serve(&mut self, requests: &[Request]) -> ServingMetrics {
+        let mut metrics = ServingMetrics::default();
+        let mut clock = 0.0f64;
+        let mut kv_used = 0usize;
+        let mut next = 0usize; // next pending request index
+        let mut running: Vec<Branch> = Vec::new();
+        let mut req_remaining: Vec<usize> = vec![0; requests.len()]; // live branches per request
+        // KV tokens currently charged to each request (optimistic mode).
+        let mut req_kv: Vec<usize> = vec![0; requests.len()];
+        let mut skipped = 0usize;
+        let optimistic = self.config.optimistic_admission;
+
+        // Requests admitted but not fully prefilled (chunked prefill), or
+        // being recomputed after preemption (`resume > 0`).
+        struct Prefilling {
+            req_index: usize,
+            done: usize,
+            total: usize,
+            resume: usize,
+        }
+        let mut prefilling: Vec<Prefilling> = Vec::new();
+        // Preempted requests awaiting recompute: (req_index, generated).
+        let mut preempted: Vec<(usize, usize)> = Vec::new();
+
+        while next < requests.len()
+            || !running.is_empty()
+            || !prefilling.is_empty()
+            || !preempted.is_empty()
+        {
+            // Jump the clock to the next arrival when idle.
+            if running.is_empty()
+                && prefilling.is_empty()
+                && preempted.is_empty()
+                && next < requests.len()
+                && requests[next].spec.arrival > clock
+            {
+                clock = requests[next].spec.arrival;
+            }
+
+            // Re-admit preempted requests first (they hold their place in
+            // line), then new arrivals.
+            while let Some(&(ri, generated)) = preempted.first() {
+                let spec = requests[ri].spec;
+                let need = spec.prompt_len + generated;
+                if kv_used + need > self.config.kv_capacity_tokens
+                    || running.len() + 1 > self.config.max_batch
+                {
+                    break;
+                }
+                kv_used += need;
+                req_kv[ri] = need;
+                match self.config.preemption {
+                    PreemptionPolicy::Recompute => prefilling.push(Prefilling {
+                        req_index: ri,
+                        done: 0,
+                        total: need.max(1),
+                        resume: generated,
+                    }),
+                    PreemptionPolicy::Swap => {
+                        // PCIe copy-in, then resume decoding directly.
+                        clock += need as f64 * self.model.kv_bytes_per_token() as f64
+                            / self.spec.pcie_bandwidth;
+                        running.push(Branch {
+                            req_index: ri,
+                            generated,
+                            output_len: spec.output_len.max(1),
+                            prompt_len: spec.prompt_len,
+                            group: None,
+                        });
+                    }
+                }
+                preempted.remove(0);
+            }
+
+            // Admit arrivals that fit.
+            while preempted.is_empty()
+                && next < requests.len()
+                && requests[next].spec.arrival <= clock
+            {
+                let spec = requests[next].spec;
+                let full_cost = self.kv_cost(&spec);
+                let reserve = if optimistic { spec.prompt_len.max(1) } else { full_cost };
+                let branches = spec.n_parallel.max(1);
+                if full_cost > self.config.kv_capacity_tokens {
+                    skipped += 1;
+                    next += 1;
+                    continue;
+                }
+                if kv_used + reserve > self.config.kv_capacity_tokens
+                    || running.len() + branches > self.config.max_batch
+                {
+                    break; // wait for capacity
+                }
+                kv_used += reserve;
+                req_kv[next] = reserve;
+                prefilling.push(Prefilling {
+                    req_index: next,
+                    done: 0,
+                    total: spec.prompt_len.max(1),
+                    resume: 0,
+                });
+                next += 1;
+            }
+
+            // Assemble the step: prefill chunks (FCFS under the budget) +
+            // all running decodes.
+            let mut batch = StepBatch::default();
+            let mut budget = self.config.chunked_prefill_budget.unwrap_or(usize::MAX);
+            let mut chunk_sizes: Vec<usize> = Vec::with_capacity(prefilling.len());
+            for p in &prefilling {
+                let chunk = (p.total - p.done).min(budget);
+                chunk_sizes.push(chunk);
+                if chunk > 0 {
+                    batch
+                        .prefill
+                        .push(PrefillEntry { new_tokens: chunk, total_kv: p.done + chunk });
+                    budget -= chunk;
+                }
+            }
+            for b in &running {
+                batch.decode.push(DecodeEntry {
+                    kv_len: b.prompt_len + b.generated,
+                    shared_prefix: b.group,
+                });
+            }
+            if batch.is_empty() {
+                // Nothing runnable and nothing admitted: wait for arrivals.
+                if next < requests.len() {
+                    clock = clock.max(requests[next].spec.arrival);
+                    continue;
+                }
+                break;
+            }
+
+            let t = self.backend.step_time(&batch, &self.model, &self.spec);
+            clock += t;
+
+            // Advance prefill progress; completed prompts emit their first
+            // token(s) now.
+            let mut finished_prefills: Vec<(usize, usize)> = Vec::new();
+            for (p, &chunk) in prefilling.iter_mut().zip(&chunk_sizes) {
+                p.done += chunk;
+                if p.done >= p.total {
+                    finished_prefills.push((p.req_index, p.resume));
+                }
+            }
+            prefilling.retain(|p| p.done < p.total);
+            for (ri, resume) in finished_prefills {
+                let s = requests[ri].spec;
+                let n = s.n_parallel.max(1);
+                if resume == 0 {
+                    // Fresh prompt: first token(s) emitted now.
+                    metrics.ttft.push(clock - s.arrival);
+                    req_remaining[ri] = n;
+                    metrics.tokens_generated += n;
+                }
+                let spawn = if resume > 0 { 1 } else { n };
+                for _ in 0..spawn {
+                    let group = if n > 1 { Some((ri, s.prompt_len)) } else { None };
+                    running.push(Branch {
+                        req_index: ri,
+                        generated: resume.max(1),
+                        output_len: s.output_len.max(1),
+                        prompt_len: s.prompt_len,
+                        group,
+                    });
+                }
+            }
+
+            // Decode branches advance one token.
+            let decode_count = batch.decode.len();
+            for _ in 0..decode_count {
+                metrics.itl.push(t);
+            }
+            metrics.tokens_generated += decode_count;
+            for b in running.iter_mut().take(decode_count) {
+                b.generated += 1;
+                if optimistic {
+                    kv_used += 1;
+                    req_kv[b.req_index] += 1;
+                }
+            }
+            // Remove finished branches — including freshly-admitted ones
+            // that were done at prefill (output_len == 1) — releasing KV
+            // when a request's last branch completes.
+            let mut finished: Vec<usize> = Vec::new();
+            running.retain(|b| {
+                if b.generated >= b.output_len {
+                    finished.push(b.req_index);
+                    false
+                } else {
+                    true
+                }
+            });
+            for ri in finished {
+                req_remaining[ri] -= 1;
+                if req_remaining[ri] == 0 {
+                    let release =
+                        if optimistic { req_kv[ri] } else { self.kv_cost(&requests[ri].spec) };
+                    kv_used = kv_used.saturating_sub(release);
+                    req_kv[ri] = 0;
+                    metrics.completed += 1;
+                }
+            }
+
+            // Optimistic mode: the pool may now be over-committed —
+            // preempt the most recently admitted single-branch request and
+            // schedule it for recompute (vLLM's recomputation policy).
+            while optimistic && kv_used > self.config.kv_capacity_tokens {
+                let victim = running
+                    .iter()
+                    .enumerate()
+                    .rev()
+                    .find(|(_, b)| requests[b.req_index].spec.n_parallel.max(1) == 1)
+                    .map(|(i, _)| i);
+                let Some(vi) = victim else { break };
+                let b = running.remove(vi);
+                let evicted_tokens = req_kv[b.req_index];
+                kv_used = kv_used.saturating_sub(evicted_tokens);
+                req_kv[b.req_index] = 0;
+                if self.config.preemption == PreemptionPolicy::Swap {
+                    // PCIe copy-out stalls the pipeline (no overlap modeled).
+                    clock += evicted_tokens as f64 * self.model.kv_bytes_per_token() as f64
+                        / self.spec.pcie_bandwidth;
+                }
+                preempted.push((b.req_index, b.generated));
+                metrics.preemptions += 1;
+            }
+        }
+        metrics.completed += 0; // skipped requests never complete
+        let _ = skipped;
+        metrics.duration = clock;
+        metrics
+    }
+
+    /// The backend (for name reporting).
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::FlashInferBackend;
+    use crate::model::ModelConfig;
+
+    fn reqs(specs: &[(usize, usize, f64)]) -> Vec<Request> {
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(p, o, a))| Request {
+                id: i as u64,
+                spec: RequestSpec { prompt_len: p, output_len: o, arrival: a, n_parallel: 1 },
+            })
+            .collect()
+    }
+
+    fn engine() -> Engine<FlashInferBackend> {
+        Engine::new(
+            FlashInferBackend::default(),
+            ModelConfig::LLAMA3_8B,
+            GpuSpec::H100_80G,
+            EngineConfig { kv_capacity_tokens: 200_000, max_batch: 64, prefix_caching: true, chunked_prefill_budget: None, optimistic_admission: false, preemption: PreemptionPolicy::Recompute },
+        )
+    }
+
+    #[test]
+    fn all_requests_complete_and_tokens_accounted() {
+        let mut e = engine();
+        let m = e.serve(&reqs(&[(100, 10, 0.0), (200, 5, 0.0), (50, 20, 0.1)]));
+        assert_eq!(m.completed, 3);
+        assert_eq!(m.ttft.len(), 3);
+        assert_eq!(m.tokens_generated, 10 + 5 + 20);
+        // ITL samples = generated tokens minus the first of each request.
+        assert_eq!(m.itl.len(), (10 - 1) + (5 - 1) + (20 - 1));
+        assert!(m.duration > 0.0);
+    }
+
+    #[test]
+    fn ttft_includes_queueing() {
+        let mut e = engine();
+        // Second request arrives while the first decodes: TTFT > step time.
+        let m = e.serve(&reqs(&[(2048, 50, 0.0), (2048, 5, 0.0)]));
+        assert_eq!(m.completed, 2);
+        assert!(m.ttft.iter().all(|&t| t > 0.0));
+    }
+
+    #[test]
+    fn capacity_limits_concurrency() {
+        let mut small = Engine::new(
+            FlashInferBackend::default(),
+            ModelConfig::LLAMA3_8B,
+            GpuSpec::H100_80G,
+            EngineConfig { kv_capacity_tokens: 1200, max_batch: 64, prefix_caching: true, chunked_prefill_budget: None, optimistic_admission: false, preemption: PreemptionPolicy::Recompute },
+        );
+        // Each request needs 1010 tokens: they must serialize.
+        let m = small.serve(&reqs(&[(1000, 10, 0.0), (1000, 10, 0.0)]));
+        assert_eq!(m.completed, 2);
+        // Oversize request is skipped entirely.
+        let m2 = small.serve(&reqs(&[(5000, 10, 0.0), (100, 5, 0.0)]));
+        assert_eq!(m2.completed, 1);
+        assert_eq!(m2.ttft.len(), 1);
+    }
+
+    #[test]
+    fn idle_gaps_jump_clock() {
+        let mut e = engine();
+        let m = e.serve(&reqs(&[(64, 4, 0.0), (64, 4, 100.0)]));
+        assert_eq!(m.completed, 2);
+        assert!(m.duration >= 100.0);
+        // TTFT of the late request measured from ITS arrival.
+        assert!(m.ttft[1] < 1.0);
+    }
+
+    #[test]
+    fn parallel_generation_spawns_branches() {
+        let mut e = engine();
+        let r = Request {
+            id: 0,
+            spec: RequestSpec { prompt_len: 512, output_len: 8, arrival: 0.0, n_parallel: 4 },
+        };
+        let m = e.serve(&[r]);
+        assert_eq!(m.completed, 1);
+        assert_eq!(m.tokens_generated, 4 * 8);
+        assert_eq!(m.ttft.len(), 1);
+        assert_eq!(m.itl.len(), 4 * 7);
+    }
+
+    #[test]
+    fn prefix_caching_reduces_kv_cost() {
+        let e = engine();
+        let spec = RequestSpec { prompt_len: 1000, output_len: 10, arrival: 0.0, n_parallel: 8 };
+        assert_eq!(e.kv_cost(&spec), 1000 + 80);
+        let mut cfg = e.config;
+        cfg.prefix_caching = false;
+        let e2 = Engine::new(
+            FlashInferBackend::default(),
+            ModelConfig::LLAMA3_8B,
+            GpuSpec::H100_80G,
+            cfg,
+        );
+        assert_eq!(e2.kv_cost(&spec), 8 * 1010);
+    }
+
+    #[test]
+    fn chunked_prefill_bounds_itl_spikes() {
+        // A long prompt arrives while another request decodes. Whole-prompt
+        // prefill stalls the decoder for one huge step; chunking bounds the
+        // worst per-token latency.
+        let mk = |budget: Option<usize>| {
+            Engine::new(
+                FlashInferBackend::default(),
+                ModelConfig::LLAMA3_8B,
+                GpuSpec::H100_80G,
+                EngineConfig {
+                    kv_capacity_tokens: 200_000,
+                    max_batch: 64,
+                    prefix_caching: true,
+                    chunked_prefill_budget: budget,
+                    optimistic_admission: false,
+                preemption: PreemptionPolicy::Recompute,
+                },
+            )
+        };
+        let reqs = reqs(&[(64, 40, 0.0), (8192, 4, 0.01)]);
+        let whole = mk(None).serve(&reqs);
+        let chunked = mk(Some(512)).serve(&reqs);
+        assert_eq!(whole.completed, 2);
+        assert_eq!(chunked.completed, 2);
+        assert_eq!(whole.tokens_generated, chunked.tokens_generated);
+        let max_itl = |m: &crate::metrics::ServingMetrics| {
+            m.itl.iter().copied().fold(0.0f64, f64::max)
+        };
+        assert!(
+            max_itl(&chunked) < max_itl(&whole) * 0.6,
+            "chunked p-max {} vs whole {}",
+            max_itl(&chunked),
+            max_itl(&whole)
+        );
+        // The long prompt's TTFT grows under chunking (it shares steps).
+        assert!(chunked.ttft[1] >= whole.ttft[1] * 0.9);
+    }
+
+    #[test]
+    fn chunked_prefill_conserves_work() {
+        let mut e = Engine::new(
+            FlashInferBackend::default(),
+            ModelConfig::LLAMA3_8B,
+            GpuSpec::H100_80G,
+            EngineConfig {
+                kv_capacity_tokens: 100_000,
+                max_batch: 64,
+                prefix_caching: true,
+                chunked_prefill_budget: Some(100),
+                optimistic_admission: false,
+                preemption: PreemptionPolicy::Recompute,
+            },
+        );
+        let m = e.serve(&reqs(&[(1234, 7, 0.0), (55, 3, 0.0), (999, 5, 0.2)]));
+        assert_eq!(m.completed, 3);
+        assert_eq!(m.ttft.len(), 3);
+        assert_eq!(m.tokens_generated, 7 + 3 + 5);
+    }
+
+    #[test]
+    fn optimistic_admission_preempts_and_recovers() {
+        // Pool fits the prompts of all three requests, but not prompts +
+        // outputs: optimistic admission over-commits, must preempt, and
+        // every request must still complete with all its tokens.
+        let cfg = EngineConfig {
+            kv_capacity_tokens: 1500,
+            max_batch: 64,
+            prefix_caching: true,
+            chunked_prefill_budget: None,
+            optimistic_admission: true,
+            preemption: PreemptionPolicy::Recompute,
+        };
+        let mut e = Engine::new(
+            FlashInferBackend::default(),
+            ModelConfig::LLAMA3_8B,
+            GpuSpec::H100_80G,
+            cfg,
+        );
+        let m = e.serve(&reqs(&[(400, 300, 0.0), (400, 300, 0.0), (400, 300, 0.0)]));
+        assert_eq!(m.completed, 3);
+        assert_eq!(m.tokens_generated, 3 * 300);
+        assert!(m.preemptions > 0, "pool is oversubscribed; preemption must fire");
+        // Pessimistic admission serializes instead: same completion, no
+        // preemptions, but later TTFTs for the queued requests.
+        let mut strict = Engine::new(
+            FlashInferBackend::default(),
+            ModelConfig::LLAMA3_8B,
+            GpuSpec::H100_80G,
+            EngineConfig { optimistic_admission: false, ..cfg },
+        );
+        let s = strict.serve(&reqs(&[(400, 300, 0.0), (400, 300, 0.0), (400, 300, 0.0)]));
+        assert_eq!(s.completed, 3);
+        assert_eq!(s.preemptions, 0);
+        // Strict queues the third request behind a full completion; its
+        // worst-case TTFT is far above the optimistic run's.
+        assert!(s.p99_ttft() > m.p99_ttft(), "optimistic admits earlier");
+    }
+
+    #[test]
+    fn swap_beats_recompute_for_long_contexts() {
+        // Long prompts (16k) with modest outputs under pressure: recompute
+        // re-pays the quadratic prefill on every resume; swap pays linear
+        // PCIe copies. Same completions, swap finishes sooner.
+        // Both prompts admitted optimistically (24k of 24.4k); decode
+        // growth overflows the pool, forcing preemption of the second.
+        let reqs = reqs(&[(12_000, 300, 0.0), (12_000, 300, 0.0)]);
+        let mk = |policy: PreemptionPolicy| EngineConfig {
+            kv_capacity_tokens: 24_400,
+            max_batch: 64,
+            prefix_caching: true,
+            chunked_prefill_budget: None,
+            optimistic_admission: true,
+            preemption: policy,
+        };
+        let rec = Engine::new(
+            FlashInferBackend::default(),
+            ModelConfig::LLAMA3_8B,
+            GpuSpec::H100_80G,
+            mk(PreemptionPolicy::Recompute),
+        )
+        .serve(&reqs);
+        let swp = Engine::new(
+            FlashInferBackend::default(),
+            ModelConfig::LLAMA3_8B,
+            GpuSpec::H100_80G,
+            mk(PreemptionPolicy::Swap),
+        )
+        .serve(&reqs);
+        assert_eq!(rec.completed, 2);
+        assert_eq!(swp.completed, 2);
+        assert_eq!(rec.tokens_generated, swp.tokens_generated);
+        assert!(rec.preemptions > 0 && swp.preemptions > 0);
+        assert!(
+            swp.duration < rec.duration,
+            "swap {} vs recompute {}",
+            swp.duration,
+            rec.duration
+        );
+    }
+
+    #[test]
+    fn optimistic_with_ample_capacity_never_preempts() {
+        let cfg = EngineConfig {
+            kv_capacity_tokens: 100_000,
+            max_batch: 64,
+            prefix_caching: true,
+            chunked_prefill_budget: None,
+            optimistic_admission: true,
+            preemption: PreemptionPolicy::Recompute,
+        };
+        let mut e = Engine::new(
+            FlashInferBackend::default(),
+            ModelConfig::LLAMA3_8B,
+            GpuSpec::H100_80G,
+            cfg,
+        );
+        let m = e.serve(&reqs(&[(100, 20, 0.0), (200, 10, 0.1)]));
+        assert_eq!(m.completed, 2);
+        assert_eq!(m.preemptions, 0);
+    }
+
+    #[test]
+    fn engine_config_for_gpu_is_sane() {
+        let c = EngineConfig::for_gpu(&GpuSpec::H100_80G, &ModelConfig::LLAMA3_8B);
+        // ~ (80-16)*0.9 GB / 128KiB ~ 450k tokens.
+        assert!(c.kv_capacity_tokens > 200_000, "{}", c.kv_capacity_tokens);
+        assert!(c.kv_capacity_tokens < 1_000_000);
+    }
+}

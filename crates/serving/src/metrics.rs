@@ -1,0 +1,101 @@
+//! TTFT / ITL metric collection and percentile summaries.
+
+/// Latency samples collected over a serving run.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ServingMetrics {
+    /// Time-to-first-token per request, seconds.
+    pub ttft: Vec<f64>,
+    /// Inter-token latency samples (one per generated token), seconds.
+    pub itl: Vec<f64>,
+    /// Requests completed.
+    pub completed: usize,
+    /// Wall-clock duration of the run, seconds.
+    pub duration: f64,
+    /// Total tokens generated.
+    pub tokens_generated: usize,
+    /// Preempt-and-recompute events (optimistic admission only).
+    pub preemptions: usize,
+}
+
+/// Percentile of a sample set (linear interpolation). Returns 0 for empty.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut s = samples.to_vec();
+    s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (p / 100.0) * (s.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        s[lo]
+    } else {
+        s[lo] + (s[hi] - s[lo]) * (rank - lo as f64)
+    }
+}
+
+impl ServingMetrics {
+    /// Median TTFT in seconds.
+    pub fn median_ttft(&self) -> f64 {
+        percentile(&self.ttft, 50.0)
+    }
+
+    /// P99 TTFT in seconds.
+    pub fn p99_ttft(&self) -> f64 {
+        percentile(&self.ttft, 99.0)
+    }
+
+    /// Median inter-token latency in seconds.
+    pub fn median_itl(&self) -> f64 {
+        percentile(&self.itl, 50.0)
+    }
+
+    /// P99 inter-token latency in seconds.
+    pub fn p99_itl(&self) -> f64 {
+        percentile(&self.itl, 99.0)
+    }
+
+    /// Output throughput in tokens/second.
+    pub fn throughput(&self) -> f64 {
+        if self.duration <= 0.0 {
+            return 0.0;
+        }
+        self.tokens_generated as f64 / self.duration
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_basics() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&s, 0.0), 1.0);
+        assert_eq!(percentile(&s, 100.0), 4.0);
+        assert_eq!(percentile(&s, 50.0), 2.5);
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn summaries() {
+        let m = ServingMetrics {
+            ttft: vec![0.1, 0.2, 0.3],
+            itl: vec![0.01; 100],
+            completed: 3,
+            duration: 10.0,
+            tokens_generated: 100,
+            preemptions: 0,
+        };
+        assert_eq!(m.median_ttft(), 0.2);
+        assert_eq!(m.median_itl(), 0.01);
+        assert_eq!(m.throughput(), 10.0);
+    }
+
+    #[test]
+    fn percentile_unsorted_input() {
+        let s = [5.0, 1.0, 3.0];
+        assert_eq!(percentile(&s, 50.0), 3.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Transformer model shapes and non-attention operator costs.
+
+use fi_core::config::HeadConfig;
+use fi_gpusim::ops::{allreduce_time, elementwise_time, gemm_time};
+use fi_gpusim::GpuSpec;
+
+/// Shape of a decoder-only transformer, as served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct ModelConfig {
+    /// Model name.
+    pub name: &'static str,
+    /// Decoder layers.
+    pub num_layers: usize,
+    /// Hidden size.
+    pub hidden: usize,
+    /// MLP intermediate size (gated: up+gate+down).
+    pub intermediate: usize,
+    /// Query/output heads.
+    pub num_qo_heads: usize,
+    /// KV heads (GQA).
+    pub num_kv_heads: usize,
+    /// Head dimension.
+    pub head_dim: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Tensor-parallel degree it is served at.
+    pub tensor_parallel: usize,
+}
+
+impl ModelConfig {
+    /// Llama-3.1-8B served on 1×H100 (the Figure 7 setup).
+    pub const LLAMA3_8B: ModelConfig = ModelConfig {
+        name: "Llama-3.1-8B",
+        num_layers: 32,
+        hidden: 4096,
+        intermediate: 14336,
+        num_qo_heads: 32,
+        num_kv_heads: 8,
+        head_dim: 128,
+        vocab: 128_256,
+        tensor_parallel: 1,
+    };
+
+    /// Llama-3.1-70B served on 4×H100 (the Figure 7 setup).
+    pub const LLAMA3_70B: ModelConfig = ModelConfig {
+        name: "Llama-3.1-70B",
+        num_layers: 80,
+        hidden: 8192,
+        intermediate: 28672,
+        num_qo_heads: 64,
+        num_kv_heads: 8,
+        head_dim: 128,
+        vocab: 128_256,
+        tensor_parallel: 4,
+    };
+
+    /// Vicuna-13B (the Streaming-LLM §4.3 setup, MHA).
+    pub const VICUNA_13B: ModelConfig = ModelConfig {
+        name: "Vicuna-13B",
+        num_layers: 40,
+        hidden: 5120,
+        intermediate: 13824,
+        num_qo_heads: 40,
+        num_kv_heads: 40,
+        head_dim: 128,
+        vocab: 32_000,
+        tensor_parallel: 1,
+    };
+
+    /// The attention head configuration.
+    pub fn heads(&self) -> HeadConfig {
+        HeadConfig::new(self.num_qo_heads, self.num_kv_heads, self.head_dim)
+            .expect("presets are valid")
+    }
+
+    /// KV-cache bytes per token (all layers, both K and V, f16).
+    pub fn kv_bytes_per_token(&self) -> usize {
+        2 * self.num_layers * self.num_kv_heads * self.head_dim * 2
+    }
+
+    /// Weight bytes at f16 (approximate; attention + MLP + embeddings).
+    pub fn weight_bytes(&self) -> usize {
+        let kv_dim = self.num_kv_heads * self.head_dim;
+        let attn = self.hidden * self.hidden // Wq
+            + 2 * self.hidden * kv_dim // Wk, Wv
+            + self.hidden * self.hidden; // Wo
+        let mlp = 3 * self.hidden * self.intermediate;
+        let emb = 2 * self.vocab * self.hidden;
+        2 * (self.num_layers * (attn + mlp) + emb)
+    }
+
+    /// Non-attention time for one forward step processing `tokens` tokens
+    /// on `spec` (per GPU under tensor parallelism): QKV and O projections,
+    /// gated MLP, two norms, and two all-reduces per layer when TP > 1,
+    /// plus the LM head once.
+    pub fn nonattn_step_time(&self, spec: &GpuSpec, tokens: usize) -> f64 {
+        if tokens == 0 {
+            return 0.0;
+        }
+        let tp = self.tensor_parallel.max(1);
+        let h = self.hidden;
+        let kv_dim = self.num_kv_heads * self.head_dim;
+        let qkv_n = (h + 2 * kv_dim) / tp;
+        let inter = self.intermediate / tp;
+        let mut layer = 0.0;
+        layer += gemm_time(spec, tokens, qkv_n, h); // QKV projection
+        layer += gemm_time(spec, tokens, h, h / tp); // O projection
+        layer += gemm_time(spec, tokens, 2 * inter, h); // up + gate
+        layer += gemm_time(spec, tokens, h, inter); // down
+        layer += 2.0 * elementwise_time(spec, tokens * h); // norms
+        if tp > 1 {
+            // All-reduce after attention output and after MLP down.
+            let bytes = tokens * h * 2;
+            layer += 2.0 * allreduce_time(tp, bytes, 450e9);
+        }
+        self.num_layers as f64 * layer + gemm_time(spec, tokens, self.vocab / tp, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_shapes() {
+        let m = ModelConfig::LLAMA3_8B;
+        assert_eq!(m.heads().group_size(), 4);
+        // 8B KV cache: 2*32*8*128*2 = 131072 bytes/token = 128 KiB.
+        assert_eq!(m.kv_bytes_per_token(), 131_072);
+        // Weight count ~ 8B params -> ~16 GB at f16 (embeddings double-counted
+        // slightly; accept 13..19 GB).
+        let gb = m.weight_bytes() as f64 / 1e9;
+        assert!((13.0..19.0).contains(&gb), "{gb}");
+        assert_eq!(ModelConfig::VICUNA_13B.heads().group_size(), 1);
+    }
+
+    #[test]
+    fn decode_step_time_plausible() {
+        // 1 token through Llama-8B on H100: memory-bound on weights,
+        // ~weights/bw ~ 16GB/3.35TBps ~ 4.8ms... but per-token GEMMs only
+        // read weights once: expect a few ms.
+        let t = ModelConfig::LLAMA3_8B.nonattn_step_time(&GpuSpec::H100_80G, 1);
+        assert!((1e-3..2e-2).contains(&t), "{t}");
+    }
+
+    #[test]
+    fn prefill_scales_sublinearly_then_linearly() {
+        let m = ModelConfig::LLAMA3_8B;
+        let s = GpuSpec::H100_80G;
+        let t1 = m.nonattn_step_time(&s, 1);
+        let t512 = m.nonattn_step_time(&s, 512);
+        let t4096 = m.nonattn_step_time(&s, 4096);
+        // Small batches ride the memory-bound flat region.
+        assert!(t512 < t1 * 16.0);
+        // Large prefill is compute-bound: roughly linear from 512 to 4096.
+        assert!(t4096 > t512 * 4.0);
+    }
+
+    #[test]
+    fn tp_reduces_per_gpu_time_but_adds_allreduce() {
+        let mut m = ModelConfig::LLAMA3_70B;
+        let s = GpuSpec::H100_80G;
+        let t4 = m.nonattn_step_time(&s, 64);
+        m.tensor_parallel = 1;
+        let t1 = m.nonattn_step_time(&s, 64);
+        assert!(t4 < t1, "tp4 {t4} vs tp1 {t1}");
+    }
+
+    #[test]
+    fn zero_tokens_zero_time() {
+        assert_eq!(ModelConfig::LLAMA3_8B.nonattn_step_time(&GpuSpec::A100_40G, 0), 0.0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Speculative decoding with tree verification (§3.1.1's "tree decoding
+//! in speculative scenarios").
+//!
+//! A cheap draft model proposes a token *tree* (Medusa/SpecInfer style:
+//! `branching` candidates per level, `depth` levels); the target model
+//! scores every node in **one** attention call under a tree mask
+//! (`fi_sparse::csr::tree_mask` + `CustomMaskAttention`), then the longest
+//! draft path whose tokens all pass verification is accepted, plus one
+//! bonus token from the target's own distribution.
+//!
+//! The simulation prices the verify step with the same cost model the
+//! serving engine uses (tree queries are an incremental prefill of
+//! `n_nodes` tokens) and samples acceptance stochastically, reporting
+//! accepted tokens/step and the speedup over autoregressive decoding —
+//! the quantities that decide whether speculation pays off at a given
+//! acceptance rate.
+
+use rand::Rng;
+
+use fi_core::tiles::select_tile;
+use fi_gpusim::GpuSpec;
+
+use crate::backend::attention_kernel_time;
+use crate::costlayout::prefill_items;
+use crate::model::ModelConfig;
+
+/// Draft-tree shape and quality.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SpecDecodeConfig {
+    /// Tree depth (draft tokens along one path).
+    pub depth: usize,
+    /// Candidates per level.
+    pub branching: usize,
+    /// Probability one draft candidate matches the target's choice.
+    pub accept_prob: f64,
+    /// Draft model cost as a fraction of a target decode step.
+    pub draft_cost_frac: f64,
+}
+
+impl SpecDecodeConfig {
+    /// Total tree nodes (`branching` per level along every kept path —
+    /// the standard Medusa "tree of top-k heads" layout:
+    /// `Σ_{d=1..depth} branching^d`, capped to keep verification cheap).
+    pub fn num_nodes(&self) -> usize {
+        let mut total = 0usize;
+        let mut level = 1usize;
+        for _ in 0..self.depth {
+            level = level.saturating_mul(self.branching);
+            total = total.saturating_add(level);
+            if total > 4096 {
+                return 4096;
+            }
+        }
+        total
+    }
+}
+
+/// Outcome of a speculative-decoding simulation.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct SpecDecodeReport {
+    /// Mean accepted tokens per verify step (including the bonus token).
+    pub tokens_per_step: f64,
+    /// Mean wall-clock per verify step (seconds).
+    pub step_time: f64,
+    /// Effective seconds per generated token.
+    pub time_per_token: f64,
+    /// Speedup over plain autoregressive decoding.
+    pub speedup_vs_autoregressive: f64,
+}
+
+/// Time of one target step processing `new_tokens` queries against
+/// `kv_len` of context (tree verification = incremental prefill).
+fn target_step_time(
+    model: &ModelConfig,
+    spec: &GpuSpec,
+    kv_len: usize,
+    new_tokens: usize,
+) -> f64 {
+    let heads = model.heads();
+    let tp = model.tensor_parallel.max(1);
+    let kv_heads = (heads.num_kv_heads / tp).max(1);
+    let fused = new_tokens * heads.group_size();
+    let tile = select_tile(fused as f64, heads.head_dim, spec.sm);
+    let items = prefill_items(&[new_tokens], &[kv_len + new_tokens], tile.tq, kv_heads);
+    let attn = attention_kernel_time(&items, model, spec, tile, true, 1.0, 64);
+    attn * model.num_layers as f64 + model.nonattn_step_time(spec, new_tokens)
+}
+
+/// Sample the accepted tokens of one verify step: walk levels; a level
+/// survives if any of its `branching` candidates is accepted; +1 bonus
+/// token always (the target emits its own next token).
+pub fn sample_accepted(cfg: &SpecDecodeConfig, rng: &mut impl Rng) -> usize {
+    let mut accepted = 0usize;
+    for _ in 0..cfg.depth {
+        let any = (0..cfg.branching).any(|_| rng.gen_bool(cfg.accept_prob));
+        if !any {
+            break;
+        }
+        accepted += 1;
+    }
+    accepted + 1
+}
+
+/// Simulate `total_tokens` of generation at context length `kv_len`.
+pub fn simulate(
+    cfg: &SpecDecodeConfig,
+    model: &ModelConfig,
+    spec: &GpuSpec,
+    kv_len: usize,
+    total_tokens: usize,
+    rng: &mut impl Rng,
+) -> SpecDecodeReport {
+    let n_nodes = cfg.num_nodes();
+    let verify_t = target_step_time(model, spec, kv_len, n_nodes);
+    let ar_t = target_step_time(model, spec, kv_len, 1);
+    let step_t = verify_t + cfg.draft_cost_frac * ar_t * cfg.depth as f64;
+
+    let mut generated = 0usize;
+    let mut steps = 0usize;
+    while generated < total_tokens {
+        generated += sample_accepted(cfg, rng);
+        steps += 1;
+    }
+    let tokens_per_step = generated as f64 / steps as f64;
+    let time_per_token = step_t / tokens_per_step;
+    SpecDecodeReport {
+        tokens_per_step,
+        step_time: step_t,
+        time_per_token,
+        speedup_vs_autoregressive: ar_t / time_per_token,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn cfg(depth: usize, branching: usize, p: f64) -> SpecDecodeConfig {
+        SpecDecodeConfig { depth, branching, accept_prob: p, draft_cost_frac: 0.05 }
+    }
+
+    #[test]
+    fn node_counts() {
+        assert_eq!(cfg(3, 1, 0.5).num_nodes(), 3);
+        assert_eq!(cfg(2, 2, 0.5).num_nodes(), 6);
+        assert_eq!(cfg(3, 4, 0.5).num_nodes(), 4 + 16 + 64);
+        assert_eq!(cfg(30, 4, 0.5).num_nodes(), 4096); // capped
+    }
+
+    #[test]
+    fn accepted_tokens_bounded_and_grow_with_quality() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut mean = |p: f64| {
+            let c = cfg(4, 2, p);
+            (0..4000).map(|_| sample_accepted(&c, &mut rng)).sum::<usize>() as f64 / 4000.0
+        };
+        let low = mean(0.2);
+        let high = mean(0.9);
+        assert!((1.0..=5.0).contains(&low));
+        assert!(high > low + 1.0, "high {high} low {low}");
+        assert!(high <= 5.0);
+    }
+
+    #[test]
+    fn good_acceptance_speeds_up_long_context_decoding() {
+        // Long context: decode is memory-bound on KV, so verifying a small
+        // tree costs barely more than one token — speculation wins.
+        let mut rng = StdRng::seed_from_u64(2);
+        let r = simulate(
+            &cfg(4, 2, 0.85),
+            &ModelConfig::LLAMA3_8B,
+            &GpuSpec::H100_80G,
+            16_384,
+            2000,
+            &mut rng,
+        );
+        assert!(
+            r.speedup_vs_autoregressive > 1.5,
+            "speedup {}",
+            r.speedup_vs_autoregressive
+        );
+        assert!(r.tokens_per_step > 2.0);
+    }
+
+    #[test]
+    fn poor_acceptance_wastes_the_verify_cost() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let good = simulate(
+            &cfg(4, 2, 0.9),
+            &ModelConfig::LLAMA3_8B,
+            &GpuSpec::H100_80G,
+            8192,
+            1500,
+            &mut rng,
+        );
+        let bad = simulate(
+            &cfg(4, 2, 0.05),
+            &ModelConfig::LLAMA3_8B,
+            &GpuSpec::H100_80G,
+            8192,
+            1500,
+            &mut rng,
+        );
+        assert!(bad.speedup_vs_autoregressive < good.speedup_vs_autoregressive / 1.5);
+        assert!(bad.tokens_per_step < 1.5);
+    }
+
+    #[test]
+    fn huge_trees_hit_compute_and_stop_paying() {
+        // At short context, a 340-node tree costs real compute; speedup per
+        // node collapses relative to a lean tree.
+        let mut rng = StdRng::seed_from_u64(4);
+        let lean = simulate(
+            &cfg(4, 2, 0.8),
+            &ModelConfig::LLAMA3_8B,
+            &GpuSpec::H100_80G,
+            512,
+            1000,
+            &mut rng,
+        );
+        let fat = simulate(
+            &cfg(4, 4, 0.8),
+            &ModelConfig::LLAMA3_8B,
+            &GpuSpec::H100_80G,
+            512,
+            1000,
+            &mut rng,
+        );
+        // The fat tree accepts slightly more but costs more per step, so
+        // its end-to-end speedup is strictly worse.
+        assert!(fat.step_time > lean.step_time * 1.2);
+        assert!(fat.tokens_per_step >= lean.tokens_per_step * 0.95);
+        assert!(fat.speedup_vs_autoregressive < lean.speedup_vs_autoregressive);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = simulate(
+            &cfg(3, 2, 0.7),
+            &ModelConfig::LLAMA3_8B,
+            &GpuSpec::A100_40G,
+            2048,
+            500,
+            &mut StdRng::seed_from_u64(9),
+        );
+        let b = simulate(
+            &cfg(3, 2, 0.7),
+            &ModelConfig::LLAMA3_8B,
+            &GpuSpec::A100_40G,
+            2048,
+            500,
+            &mut StdRng::seed_from_u64(9),
+        );
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,168 @@
+//! Workload generators for the paper's evaluation (§4.1–4.2).
+
+use rand::Rng;
+use rand_distr::{Distribution, LogNormal, Poisson, Zipf};
+
+/// One request's shape before it enters the engine.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RequestSpec {
+    /// Prompt (prefill) length in tokens.
+    pub prompt_len: usize,
+    /// Output (decode) length in tokens.
+    pub output_len: usize,
+    /// Arrival time in seconds.
+    pub arrival: f64,
+    /// Parallel samples requested (the OpenAI `n` parameter; 1 = normal).
+    pub n_parallel: usize,
+}
+
+/// ShareGPT-like length sampler: lognormal prompt and output lengths fit
+/// to the published dataset statistics (median prompt ≈ 90 tokens with a
+/// heavy tail clipped at 4k; median output ≈ 200). The evaluation only
+/// consumes the length distributions (see DESIGN.md substitution table).
+pub fn sharegpt_like(rng: &mut impl Rng, n: usize) -> Vec<(usize, usize)> {
+    // ln-space parameters: median e^mu, shape sigma.
+    let prompt_dist = LogNormal::new(4.5f64, 1.1).expect("valid lognormal");
+    let output_dist = LogNormal::new(5.3f64, 0.8).expect("valid lognormal");
+    (0..n)
+        .map(|_| {
+            let p = prompt_dist.sample(rng).clamp(4.0, 4096.0) as usize;
+            let o = output_dist.sample(rng).clamp(4.0, 2048.0) as usize;
+            (p, o)
+        })
+        .collect()
+}
+
+/// The "Variable" workload of Figure 7: prompts uniform in
+/// `[512, 2048]`, outputs uniform in `[64, 512]`.
+pub fn variable_workload(rng: &mut impl Rng, n: usize) -> Vec<(usize, usize)> {
+    (0..n).map(|_| (rng.gen_range(512..=2048), rng.gen_range(64..=512))).collect()
+}
+
+/// Constant sequence lengths (Figure 8, "constant (1024)").
+pub fn constant_lengths(n: usize, len: usize) -> Vec<usize> {
+    vec![len; n]
+}
+
+/// Uniform sequence lengths (Figure 8, "uniform (512 to 1024)").
+pub fn uniform_lengths(rng: &mut impl Rng, n: usize, lo: usize, hi: usize) -> Vec<usize> {
+    (0..n).map(|_| rng.gen_range(lo..=hi)).collect()
+}
+
+/// Zipf-skewed sequence lengths scaled to a target average (Figure 8,
+/// "skewed (Zipf distribution with average length 1024)"). A Zipf rank
+/// draw over `max_len` with exponent `s` is rescaled so the empirical mean
+/// hits `avg` while preserving the heavy tail.
+pub fn zipf_lengths(rng: &mut impl Rng, n: usize, avg: usize) -> Vec<usize> {
+    // Zipf over ranks; most draws are near 1 (short), rare draws huge.
+    let max_len = (avg * 16) as f64;
+    let z = Zipf::new(max_len as u64, 1.2).expect("valid zipf");
+    let mut lens: Vec<f64> = (0..n).map(|_| z.sample(rng)).collect();
+    let mean: f64 = lens.iter().sum::<f64>() / n as f64;
+    let scale = avg as f64 / mean;
+    for l in &mut lens {
+        *l = (*l * scale).max(1.0).min(max_len * 4.0);
+    }
+    lens.into_iter().map(|l| l as usize).collect()
+}
+
+/// Poisson arrivals at `rate` requests/second: returns `n` arrival times.
+pub fn poisson_arrivals(rng: &mut impl Rng, n: usize, rate: f64) -> Vec<f64> {
+    assert!(rate > 0.0, "rate must be positive");
+    let exp = Poisson::new(1.0).expect("valid poisson");
+    let _ = exp; // interarrival via exponential below
+    let mut t = 0.0f64;
+    (0..n)
+        .map(|_| {
+            // Exponential inter-arrival: -ln(U)/rate.
+            let u: f64 = rng.gen_range(1e-12..1.0);
+            t += -u.ln() / rate;
+            t
+        })
+        .collect()
+}
+
+/// Assemble full request specs from lengths + arrivals.
+pub fn assemble(
+    lengths: &[(usize, usize)],
+    arrivals: &[f64],
+    n_parallel: usize,
+) -> Vec<RequestSpec> {
+    lengths
+        .iter()
+        .zip(arrivals)
+        .map(|(&(prompt_len, output_len), &arrival)| RequestSpec {
+            prompt_len,
+            output_len,
+            arrival,
+            n_parallel,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sharegpt_has_heavy_tail_and_sane_median() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut prompts: Vec<usize> =
+            sharegpt_like(&mut rng, 4000).into_iter().map(|(p, _)| p).collect();
+        prompts.sort_unstable();
+        let median = prompts[2000];
+        assert!((40..250).contains(&median), "median {median}");
+        let p99 = prompts[3960];
+        assert!(p99 > median * 8, "p99 {p99} median {median}");
+        assert!(*prompts.last().unwrap() <= 4096);
+    }
+
+    #[test]
+    fn variable_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for (p, o) in variable_workload(&mut rng, 500) {
+            assert!((512..=2048).contains(&p));
+            assert!((64..=512).contains(&o));
+        }
+    }
+
+    #[test]
+    fn zipf_hits_target_average_and_skew() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lens = zipf_lengths(&mut rng, 4000, 1024);
+        let mean: f64 = lens.iter().sum::<usize>() as f64 / lens.len() as f64;
+        assert!((mean - 1024.0).abs() / 1024.0 < 0.25, "mean {mean}");
+        // Skew: max should dwarf the median.
+        let mut s = lens.clone();
+        s.sort_unstable();
+        assert!(s[s.len() - 1] > s[s.len() / 2] * 10);
+    }
+
+    #[test]
+    fn poisson_arrivals_monotone_with_right_rate() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let arr = poisson_arrivals(&mut rng, 2000, 8.0);
+        assert!(arr.windows(2).all(|w| w[1] >= w[0]));
+        let duration = arr.last().unwrap();
+        let rate = 2000.0 / duration;
+        assert!((rate - 8.0).abs() < 1.0, "rate {rate}");
+    }
+
+    #[test]
+    fn assemble_zips() {
+        let specs = assemble(&[(10, 5), (20, 6)], &[0.0, 1.0], 4);
+        assert_eq!(specs.len(), 2);
+        assert_eq!(specs[1].prompt_len, 20);
+        assert_eq!(specs[1].arrival, 1.0);
+        assert_eq!(specs[0].n_parallel, 4);
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let a = sharegpt_like(&mut StdRng::seed_from_u64(42), 50);
+        let b = sharegpt_like(&mut StdRng::seed_from_u64(42), 50);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the serving engine and backends.
+
+use fi_gpusim::GpuSpec;
+use fi_serving::backend::{Backend, DecodeEntry, FlashInferBackend, StepBatch, TritonLikeBackend};
+use fi_serving::engine::{Engine, EngineConfig, PreemptionPolicy, Request};
+use fi_serving::model::ModelConfig;
+use fi_serving::workload::RequestSpec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation: every admissible request completes; token and sample
+    /// counts are exact.
+    #[test]
+    fn engine_conserves_requests(
+        shapes in prop::collection::vec((1usize..300, 1usize..12, 0.0f64..2.0), 1..12),
+    ) {
+        let requests: Vec<Request> = {
+            let mut sorted = shapes.clone();
+            sorted.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+            sorted.iter().enumerate().map(|(i, &(p, o, a))| Request {
+                id: i as u64,
+                spec: RequestSpec { prompt_len: p, output_len: o, arrival: a, n_parallel: 1 },
+            }).collect()
+        };
+        let mut e = Engine::new(
+            FlashInferBackend::default(),
+            ModelConfig::LLAMA3_8B,
+            GpuSpec::H100_80G,
+            EngineConfig { kv_capacity_tokens: 100_000, max_batch: 128, prefix_caching: true, chunked_prefill_budget: None, optimistic_admission: false, preemption: PreemptionPolicy::Recompute },
+        );
+        let m = e.serve(&requests);
+        prop_assert_eq!(m.completed, requests.len());
+        let expected_tokens: usize = requests.iter().map(|r| r.spec.output_len.max(1)).sum();
+        prop_assert_eq!(m.tokens_generated, expected_tokens);
+        prop_assert_eq!(m.ttft.len(), requests.len());
+        let expected_itl: usize = requests.iter().map(|r| r.spec.output_len.max(1) - 1).sum();
+        prop_assert_eq!(m.itl.len(), expected_itl);
+        // Clock monotone and all latencies positive.
+        prop_assert!(m.ttft.iter().all(|&t| t > 0.0));
+        prop_assert!(m.itl.iter().all(|&t| t > 0.0));
+    }
+
+    /// Step time is monotone in KV length and batch size for every backend.
+    #[test]
+    fn step_time_monotone(kv in 64usize..4096, batch in 1usize..32) {
+        let m = ModelConfig::LLAMA3_8B;
+        let s = GpuSpec::H100_80G;
+        let mk = |kv: usize, n: usize| StepBatch {
+            prefill: vec![],
+            decode: (0..n).map(|_| DecodeEntry { kv_len: kv, shared_prefix: None }).collect(),
+        };
+        let mut fi = FlashInferBackend::default();
+        let mut tr = TritonLikeBackend;
+        for b in [&mut fi as &mut dyn Backend, &mut tr as &mut dyn Backend] {
+            // Chunk-boundary quantization makes single-step deltas noisy;
+            // doubling either dimension must not get cheaper.
+            let base = b.step_time(&mk(kv, batch), &m, &s);
+            let longer = b.step_time(&mk(kv * 2, batch), &m, &s);
+            let wider = b.step_time(&mk(kv, batch * 2), &m, &s);
+            prop_assert!(longer >= base * 0.98, "{}: longer {longer} < base {base}", b.name());
+            prop_assert!(wider >= base * 0.98, "{}: wider {wider} < base {base}", b.name());
+        }
+    }
+
+    /// Parallel generation conserves branch tokens and prefix caching
+    /// never increases KV pressure.
+    #[test]
+    fn parallel_generation_conserves(n in 1usize..9, out in 2usize..8) {
+        let r = Request {
+            id: 0,
+            spec: RequestSpec { prompt_len: 128, output_len: out, arrival: 0.0, n_parallel: n },
+        };
+        let mut e = Engine::new(
+            FlashInferBackend { composable: true },
+            ModelConfig::LLAMA3_8B,
+            GpuSpec::H100_80G,
+            EngineConfig { kv_capacity_tokens: 50_000, max_batch: 64, prefix_caching: true, chunked_prefill_budget: None, optimistic_admission: false, preemption: PreemptionPolicy::Recompute },
+        );
+        let m = e.serve(&[r]);
+        prop_assert_eq!(m.completed, 1);
+        prop_assert_eq!(m.tokens_generated, n * out);
+        prop_assert_eq!(m.itl.len(), n * (out - 1));
+    }
+}

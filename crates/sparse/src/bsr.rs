@@ -1,0 +1,496 @@
+//! Block-sparse row matrices with ragged block rows.
+//!
+//! This is the unified KV-cache representation of §3.1.1. A
+//! [`BlockSparseMatrix`] describes *which query rows may attend to which KV
+//! slots* at block granularity:
+//!
+//! * The **row space** is the packed (ragged) query dimension of a batch.
+//!   Block rows are contiguous, non-overlapping row ranges — FlashInfer's
+//!   query tiles. They need not all have the same height (the last tile of a
+//!   request is short), which is why block rows carry explicit ranges
+//!   instead of a single uniform `Br`.
+//! * The **column space** is the global KV slot pool (e.g. all slots of a
+//!   paged KV-cache). Columns are grouped into blocks of `bc` slots —
+//!   FlashInfer's pages. A nonzero block `(r, c)` means "the queries of
+//!   block row `r` attend to KV block `c`". The final block of a request may
+//!   be partially valid (`last_page_len`), recorded per nonzero block.
+//!
+//! The structure is exactly the `qo_indptr` / `kv_indptr` / `kv_indices` /
+//! `kv_last_page_len` tuple passed to FlashInfer's wrappers, expressed as
+//! one validated object.
+
+use crate::error::SparseError;
+
+/// One nonzero block in a block row: which column block, and how many of its
+/// `bc` columns are valid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct BlockEntry {
+    /// Column-block index (page id in paged KV terms).
+    pub col_block: usize,
+    /// Number of valid columns in this block, in `1..=bc`.
+    pub len: usize,
+}
+
+/// A block-sparse row matrix over (query rows × KV slots).
+///
+/// See the [module docs](self) for the semantic mapping. Construct with
+/// [`BlockSparseMatrix::new`] (ragged block rows) or
+/// [`BlockSparseMatrix::from_uniform_rows`] (one block row per request).
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct BlockSparseMatrix {
+    rows: usize,
+    cols: usize,
+    bc: usize,
+    /// Row range per block row: `row_ranges[i] = (start, end)`.
+    row_ranges: Vec<(usize, usize)>,
+    /// Indptr into `blocks`, one entry per block row + 1.
+    indptr: Vec<usize>,
+    /// Nonzero blocks, grouped by block row.
+    blocks: Vec<BlockEntry>,
+}
+
+impl BlockSparseMatrix {
+    /// Build a block-sparse matrix from explicit block rows.
+    ///
+    /// `block_rows` is a list of `(row_start, row_end, entries)`. Row ranges
+    /// must be non-empty, non-overlapping and sorted. Entries are per-block
+    /// `(col_block, len)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError`] if geometry is inconsistent: zero `bc`,
+    /// out-of-range rows/columns, empty or overlapping row ranges, or valid
+    /// lengths outside `1..=bc`.
+    pub fn new(
+        rows: usize,
+        cols: usize,
+        bc: usize,
+        block_rows: Vec<(usize, usize, Vec<BlockEntry>)>,
+    ) -> Result<BlockSparseMatrix, SparseError> {
+        if bc == 0 {
+            return Err(SparseError::InvalidBlocks("bc must be positive".into()));
+        }
+        let n_col_blocks = cols.div_ceil(bc);
+        let mut row_ranges = Vec::with_capacity(block_rows.len());
+        let mut indptr = Vec::with_capacity(block_rows.len() + 1);
+        let mut blocks = Vec::new();
+        indptr.push(0);
+        let mut prev_end = 0usize;
+        for (start, end, entries) in block_rows {
+            if start >= end {
+                return Err(SparseError::InvalidBlocks(format!(
+                    "empty block row range {start}..{end}"
+                )));
+            }
+            if start < prev_end {
+                return Err(SparseError::InvalidBlocks(format!(
+                    "block row {start}..{end} overlaps previous end {prev_end}"
+                )));
+            }
+            if end > rows {
+                return Err(SparseError::IndexOutOfBounds { index: end, bound: rows, what: "row" });
+            }
+            prev_end = end;
+            for e in &entries {
+                if e.col_block >= n_col_blocks {
+                    return Err(SparseError::IndexOutOfBounds {
+                        index: e.col_block,
+                        bound: n_col_blocks,
+                        what: "block column",
+                    });
+                }
+                if e.len == 0 || e.len > bc {
+                    return Err(SparseError::InvalidBlocks(format!(
+                        "block valid length {} outside 1..={bc}",
+                        e.len
+                    )));
+                }
+                // The final column block of the pool may be short.
+                let block_cols = (cols - e.col_block * bc).min(bc);
+                if e.len > block_cols {
+                    return Err(SparseError::InvalidBlocks(format!(
+                        "block valid length {} exceeds pool tail {block_cols}",
+                        e.len
+                    )));
+                }
+            }
+            row_ranges.push((start, end));
+            blocks.extend(entries);
+            indptr.push(blocks.len());
+        }
+        Ok(BlockSparseMatrix { rows, cols, bc, row_ranges, indptr, blocks })
+    }
+
+    /// Build with one block row per request: `per_row_pages[i]` lists the
+    /// column blocks of request `i`, whose rows are consecutive, equally
+    /// dividing `rows` is **not** assumed — rows are split as
+    /// `rows = sum(row_heights)` with `row_heights[i] = rows_of_request_i`.
+    ///
+    /// This convenience constructor assigns each request
+    /// `rows / per_row_pages.len()` rows (requires exact divisibility) and
+    /// marks every block fully valid.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidBlocks`] if `rows` is not divisible by
+    /// the number of requests, plus all the [`BlockSparseMatrix::new`]
+    /// geometry errors.
+    pub fn from_uniform_rows(
+        rows: usize,
+        cols: usize,
+        bc: usize,
+        _br: usize,
+        per_row_pages: &[Vec<usize>],
+    ) -> Result<BlockSparseMatrix, SparseError> {
+        if per_row_pages.is_empty() || !rows.is_multiple_of(per_row_pages.len()) {
+            return Err(SparseError::InvalidBlocks(format!(
+                "rows {rows} not divisible into {} block rows",
+                per_row_pages.len()
+            )));
+        }
+        let h = rows / per_row_pages.len();
+        let block_rows = per_row_pages
+            .iter()
+            .enumerate()
+            .map(|(i, pages)| {
+                let entries = pages
+                    .iter()
+                    .map(|&p| BlockEntry { col_block: p, len: bc.min(cols.saturating_sub(p * bc)) })
+                    .collect();
+                (i * h, (i + 1) * h, entries)
+            })
+            .collect();
+        BlockSparseMatrix::new(rows, cols, bc, block_rows)
+    }
+
+    /// Logical number of rows (packed query dimension).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical number of columns (KV slot pool size).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Block column width (`Bc`, the page size).
+    pub fn bc(&self) -> usize {
+        self.bc
+    }
+
+    /// Number of block rows (query tiles).
+    pub fn n_block_rows(&self) -> usize {
+        self.row_ranges.len()
+    }
+
+    /// Number of nonzero blocks.
+    pub fn nnz_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Number of nonzero *elements* (valid (row, col) pairs).
+    pub fn nnz_elements(&self) -> usize {
+        self.row_ranges
+            .iter()
+            .zip(self.indptr.windows(2))
+            .map(|(&(s, e), w)| {
+                let kv: usize = self.blocks[w[0]..w[1]].iter().map(|b| b.len).sum();
+                (e - s) * kv
+            })
+            .sum()
+    }
+
+    /// Row range `(start, end)` of block row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_block_rows()`.
+    pub fn block_row_range(&self, i: usize) -> (usize, usize) {
+        self.row_ranges[i]
+    }
+
+    /// Nonzero blocks of block row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_block_rows()`.
+    pub fn block_row(&self, i: usize) -> &[BlockEntry] {
+        &self.blocks[self.indptr[i]..self.indptr[i + 1]]
+    }
+
+    /// Total valid KV slots visible to block row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_block_rows()`.
+    pub fn block_row_kv_len(&self, i: usize) -> usize {
+        self.block_row(i).iter().map(|b| b.len).sum()
+    }
+
+    /// Iterate `(block_row_index, (row_start, row_end), blocks)`.
+    pub fn iter_block_rows(
+        &self,
+    ) -> impl Iterator<Item = (usize, (usize, usize), &[BlockEntry])> + '_ {
+        (0..self.n_block_rows()).map(move |i| (i, self.row_ranges[i], self.block_row(i)))
+    }
+
+    /// The global column indices (KV slot ids) visible to block row `i`, in
+    /// block order. This is the gather list the kernel stages into shared
+    /// memory (§3.2.1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_block_rows()`.
+    pub fn gather_columns(&self, i: usize) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.block_row_kv_len(i));
+        for b in self.block_row(i) {
+            let base = b.col_block * self.bc;
+            out.extend(base..base + b.len);
+        }
+        out
+    }
+
+    /// True if element `(row, col)` is inside a nonzero block's valid range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= rows()` or `col >= cols()`.
+    pub fn is_nonzero(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.rows && col < self.cols, "element index out of range");
+        let Some(i) = self.block_row_of(row) else { return false };
+        self.block_row(i).iter().any(|b| {
+            let base = b.col_block * self.bc;
+            col >= base && col < base + b.len
+        })
+    }
+
+    /// Which block row contains element row `row`, if any (rows not covered
+    /// by any block row exist when a request contributes no KV).
+    pub fn block_row_of(&self, row: usize) -> Option<usize> {
+        // Block rows are sorted by range; binary search on start.
+        let i = self.row_ranges.partition_point(|&(s, _)| s <= row);
+        if i == 0 {
+            return None;
+        }
+        let (s, e) = self.row_ranges[i - 1];
+        (row >= s && row < e).then_some(i - 1)
+    }
+
+    /// Render the matrix as a dense boolean mask (row-major `rows × cols`).
+    /// Intended for tests and small examples.
+    pub fn to_dense_mask(&self) -> Vec<bool> {
+        let mut m = vec![false; self.rows * self.cols];
+        for (_, (rs, re), blocks) in self.iter_block_rows() {
+            for b in blocks {
+                let base = b.col_block * self.bc;
+                for r in rs..re {
+                    for c in base..base + b.len {
+                        m[r * self.cols + c] = true;
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Build from a dense boolean mask, tiling rows into block rows of
+    /// height `br` and columns into blocks of `bc`. A block is nonzero when
+    /// *any* element inside it is true; its valid length is a prefix cover
+    /// of the true columns (the smallest `len` covering all true elements).
+    ///
+    /// Note the result may cover more elements than the mask (blocks are a
+    /// coarsening); [`BlockSparseMatrix::to_dense_mask`] of the result is a
+    /// superset of `mask`. Exact masks should additionally apply an
+    /// element-level `LogitsMask` (how the paper handles causal masking).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidBlocks`] if `mask.len() != rows * cols`
+    /// or `br == 0`/`bc == 0`.
+    pub fn from_dense_mask(
+        rows: usize,
+        cols: usize,
+        br: usize,
+        bc: usize,
+        mask: &[bool],
+    ) -> Result<BlockSparseMatrix, SparseError> {
+        if mask.len() != rows * cols {
+            return Err(SparseError::InvalidBlocks(format!(
+                "mask length {} != rows*cols {}",
+                mask.len(),
+                rows * cols
+            )));
+        }
+        if br == 0 || bc == 0 {
+            return Err(SparseError::InvalidBlocks("br and bc must be positive".into()));
+        }
+        let mut block_rows = Vec::new();
+        let mut rs = 0;
+        while rs < rows {
+            let re = (rs + br).min(rows);
+            let mut entries = Vec::new();
+            let mut cb = 0;
+            while cb * bc < cols {
+                let base = cb * bc;
+                let width = bc.min(cols - base);
+                // Valid length = index of last true column + 1 within block.
+                let mut len = 0;
+                for c in 0..width {
+                    let any = (rs..re).any(|r| mask[r * cols + base + c]);
+                    if any {
+                        len = c + 1;
+                    }
+                }
+                if len > 0 {
+                    entries.push(BlockEntry { col_block: cb, len });
+                }
+                cb += 1;
+            }
+            block_rows.push((rs, re, entries));
+            rs = re;
+        }
+        // Drop block rows with no entries only if they'd be empty ranges;
+        // keep them so every row stays covered (kernel emits zero output).
+        BlockSparseMatrix::new(rows, cols, bc, block_rows)
+    }
+
+    /// Memory footprint of the index structure in bytes (what the scheduler
+    /// ships to the device as plan information).
+    pub fn index_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.row_ranges.len() * size_of::<(usize, usize)>()
+            + self.indptr.len() * size_of::<usize>()
+            + self.blocks.len() * size_of::<BlockEntry>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BlockSparseMatrix {
+        // 5 rows, 8 cols, bc=2. Block row 0 = rows 0..3 with pages {0, 3(partial 1)},
+        // block row 1 = rows 3..5 with page {1}.
+        BlockSparseMatrix::new(
+            5,
+            8,
+            2,
+            vec![
+                (0, 3, vec![BlockEntry { col_block: 0, len: 2 }, BlockEntry { col_block: 3, len: 1 }]),
+                (3, 5, vec![BlockEntry { col_block: 1, len: 2 }]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let m = sample();
+        assert_eq!(m.rows(), 5);
+        assert_eq!(m.cols(), 8);
+        assert_eq!(m.n_block_rows(), 2);
+        assert_eq!(m.nnz_blocks(), 3);
+        assert_eq!(m.block_row_kv_len(0), 3);
+        assert_eq!(m.nnz_elements(), 3 * 3 + 2 * 2);
+    }
+
+    #[test]
+    fn gather_columns_expands_pages() {
+        let m = sample();
+        assert_eq!(m.gather_columns(0), vec![0, 1, 6]); // page 0 -> 0,1; page 3 partial -> 6
+        assert_eq!(m.gather_columns(1), vec![2, 3]);
+    }
+
+    #[test]
+    fn is_nonzero_respects_partial_blocks() {
+        let m = sample();
+        assert!(m.is_nonzero(0, 0));
+        assert!(m.is_nonzero(2, 6));
+        assert!(!m.is_nonzero(2, 7)); // partial block: slot 7 invalid
+        assert!(!m.is_nonzero(0, 2)); // page 1 belongs to the other row
+        assert!(m.is_nonzero(4, 3));
+    }
+
+    #[test]
+    fn block_row_of_handles_gaps() {
+        let m = BlockSparseMatrix::new(6, 4, 2, vec![(1, 3, vec![]), (4, 6, vec![])]).unwrap();
+        assert_eq!(m.block_row_of(0), None);
+        assert_eq!(m.block_row_of(1), Some(0));
+        assert_eq!(m.block_row_of(3), None);
+        assert_eq!(m.block_row_of(5), Some(1));
+    }
+
+    #[test]
+    fn validation_rejects_bad_geometry() {
+        // Overlapping rows.
+        assert!(BlockSparseMatrix::new(4, 4, 1, vec![(0, 3, vec![]), (2, 4, vec![])]).is_err());
+        // Empty range.
+        assert!(BlockSparseMatrix::new(4, 4, 1, vec![(2, 2, vec![])]).is_err());
+        // Column block out of range.
+        assert!(BlockSparseMatrix::new(
+            2,
+            4,
+            2,
+            vec![(0, 2, vec![BlockEntry { col_block: 2, len: 1 }])]
+        )
+        .is_err());
+        // Valid length over bc.
+        assert!(BlockSparseMatrix::new(
+            2,
+            4,
+            2,
+            vec![(0, 2, vec![BlockEntry { col_block: 0, len: 3 }])]
+        )
+        .is_err());
+        // Valid length over pool tail: cols=3, bc=2, block 1 has only 1 slot.
+        assert!(BlockSparseMatrix::new(
+            2,
+            3,
+            2,
+            vec![(0, 2, vec![BlockEntry { col_block: 1, len: 2 }])]
+        )
+        .is_err());
+        // Zero bc.
+        assert!(BlockSparseMatrix::new(2, 4, 0, vec![]).is_err());
+    }
+
+    #[test]
+    fn dense_mask_roundtrip_when_block_aligned() {
+        let m = sample();
+        let mask = m.to_dense_mask();
+        let back = BlockSparseMatrix::from_dense_mask(5, 8, 3, 2, &mask).unwrap();
+        assert_eq!(back.to_dense_mask(), mask);
+    }
+
+    #[test]
+    fn from_dense_mask_is_superset() {
+        // Mask with an isolated element; block cover includes the whole block.
+        let mut mask = vec![false; 4 * 4];
+        mask[4 + 2] = true;
+        let m = BlockSparseMatrix::from_dense_mask(4, 4, 2, 2, &mask).unwrap();
+        let cover = m.to_dense_mask();
+        for i in 0..16 {
+            if mask[i] {
+                assert!(cover[i]);
+            }
+        }
+        // Prefix-cover semantics: block (0,1) valid length 1 -> col 2 covered
+        // for rows 0..2, col 3 not.
+        assert!(cover[2]); // row 0, col 2
+        assert!(!cover[3]); // row 0, col 3
+    }
+
+    #[test]
+    fn from_uniform_rows_page_semantics() {
+        let m =
+            BlockSparseMatrix::from_uniform_rows(4, 6, 2, 2, &[vec![0, 2], vec![1]]).unwrap();
+        assert_eq!(m.gather_columns(0), vec![0, 1, 4, 5]);
+        assert_eq!(m.gather_columns(1), vec![2, 3]);
+        assert!(BlockSparseMatrix::from_uniform_rows(5, 6, 2, 2, &[vec![], vec![]]).is_err());
+    }
+
+    #[test]
+    fn index_bytes_positive() {
+        assert!(sample().index_bytes() > 0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Composable formats (§3.1.2, Figure 3).
+//!
+//! A single BSR matrix forces one block-row height on the whole batch. When
+//! several requests share a KV prefix, that is wasteful: every request's
+//! block row gathers the same prefix pages separately. Composable formats
+//! split the logical attention structure into *multiple* block-sparse
+//! matrices over the same (query × KV slot) plane:
+//!
+//! * a **prefix part** whose block rows span *all* queries of a prefix
+//!   group (tall `Br`), so the shared pages are staged once per group and
+//!   reused from fast memory, and
+//! * a **suffix part** with per-request block rows (vector-sparse `Bc`
+//!   as fine as 1) for the unique tails.
+//!
+//! No KV data moves: decomposition only rewrites index arrays. Attention
+//! over the union is recovered by merging per-part attention states with the
+//! ⊕ operator (`fi-core::state`), which is exactly how FlashInfer composes
+//! the partial results (§2.2).
+
+use crate::bsr::{BlockEntry, BlockSparseMatrix};
+use crate::error::SparseError;
+
+/// A shared-prefix group: queries `row_start..row_end` all attend to
+/// `prefix_blocks`, and each sub-range in `unique` additionally attends to
+/// its own suffix blocks.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PrefixGroup {
+    /// First query row of the group.
+    pub row_start: usize,
+    /// One past the last query row of the group.
+    pub row_end: usize,
+    /// KV blocks of the shared prefix (in the suffix part's `bc` units).
+    pub prefix_blocks: Vec<BlockEntry>,
+    /// Per-request unique suffixes: `(row_start, row_end, blocks)`.
+    pub unique: Vec<(usize, usize, Vec<BlockEntry>)>,
+}
+
+/// A stack of block-sparse matrices over one logical (rows × cols) plane.
+///
+/// Invariant (checked by [`ComposableFormat::new`] structurally and by
+/// [`ComposableFormat::verify_disjoint`] exhaustively): parts cover each
+/// `(row, col)` pair at most once, so per-part attention states can be
+/// merged without double counting.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ComposableFormat {
+    rows: usize,
+    cols: usize,
+    parts: Vec<BlockSparseMatrix>,
+}
+
+impl ComposableFormat {
+    /// Assemble from parts that must agree on logical dimensions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IncompatibleParts`] if parts disagree on
+    /// `(rows, cols)` or the list is empty.
+    pub fn new(parts: Vec<BlockSparseMatrix>) -> Result<ComposableFormat, SparseError> {
+        let first = parts
+            .first()
+            .ok_or_else(|| SparseError::IncompatibleParts("no parts".into()))?;
+        let (rows, cols) = (first.rows(), first.cols());
+        for (i, p) in parts.iter().enumerate() {
+            if p.rows() != rows || p.cols() != cols {
+                return Err(SparseError::IncompatibleParts(format!(
+                    "part {i} is {}x{}, expected {rows}x{cols}",
+                    p.rows(),
+                    p.cols()
+                )));
+            }
+        }
+        Ok(ComposableFormat { rows, cols, parts })
+    }
+
+    /// Wrap a single matrix (the degenerate, non-composed case).
+    pub fn single(m: BlockSparseMatrix) -> ComposableFormat {
+        ComposableFormat { rows: m.rows(), cols: m.cols(), parts: vec![m] }
+    }
+
+    /// Decompose shared-prefix structure into a two-part format, as in
+    /// Figure 3: part 0 holds group-level prefix block rows, part 1 holds
+    /// per-request suffix block rows.
+    ///
+    /// `rows`/`cols` fix the logical plane; `bc` is the column block width
+    /// of both parts (the page size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError`] if group geometry is invalid (overlapping or
+    /// unsorted rows, unique ranges outside the group, bad blocks).
+    pub fn decompose_shared_prefix(
+        rows: usize,
+        cols: usize,
+        bc: usize,
+        groups: &[PrefixGroup],
+    ) -> Result<ComposableFormat, SparseError> {
+        let mut prefix_rows = Vec::new();
+        let mut suffix_rows = Vec::new();
+        for g in groups {
+            if !g.prefix_blocks.is_empty() {
+                prefix_rows.push((g.row_start, g.row_end, g.prefix_blocks.clone()));
+            }
+            for (s, e, blocks) in &g.unique {
+                if *s < g.row_start || *e > g.row_end {
+                    return Err(SparseError::IncompatibleParts(format!(
+                        "unique range {s}..{e} outside group {}..{}",
+                        g.row_start, g.row_end
+                    )));
+                }
+                if !blocks.is_empty() {
+                    suffix_rows.push((*s, *e, blocks.clone()));
+                }
+            }
+        }
+        let prefix = BlockSparseMatrix::new(rows, cols, bc, prefix_rows)?;
+        let suffix = BlockSparseMatrix::new(rows, cols, bc, suffix_rows)?;
+        ComposableFormat::new(vec![prefix, suffix])
+    }
+
+    /// Logical row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Logical column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The constituent matrices.
+    pub fn parts(&self) -> &[BlockSparseMatrix] {
+        &self.parts
+    }
+
+    /// Exhaustively verify that no `(row, col)` pair is covered twice.
+    /// Quadratic in the plane size; intended for tests and debugging.
+    pub fn verify_disjoint(&self) -> Result<(), SparseError> {
+        let mut seen = vec![false; self.rows * self.cols];
+        for (pi, p) in self.parts.iter().enumerate() {
+            for (_, (rs, re), blocks) in p.iter_block_rows() {
+                for b in blocks {
+                    let base = b.col_block * p.bc();
+                    for r in rs..re {
+                        for c in base..base + b.len {
+                            let idx = r * self.cols + c;
+                            if seen[idx] {
+                                return Err(SparseError::IncompatibleParts(format!(
+                                    "element ({r}, {c}) covered twice (last by part {pi})"
+                                )));
+                            }
+                            seen[idx] = true;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Union coverage as a dense mask (for equivalence tests).
+    pub fn to_dense_mask(&self) -> Vec<bool> {
+        let mut m = vec![false; self.rows * self.cols];
+        for p in &self.parts {
+            for (i, v) in p.to_dense_mask().into_iter().enumerate() {
+                m[i] |= v;
+            }
+        }
+        m
+    }
+
+    /// Total KV slots *gathered* when executing this format: each block row
+    /// stages its KV once, shared by all its rows. This is the quantity the
+    /// composable decomposition reduces (shared prefixes staged once per
+    /// group instead of once per request) and what the GPU model charges as
+    /// global-memory traffic.
+    pub fn gather_slots(&self) -> usize {
+        self.parts
+            .iter()
+            .map(|p| (0..p.n_block_rows()).map(|i| p.block_row_kv_len(i)).sum::<usize>())
+            .sum()
+    }
+
+    /// Total (query, kv) pairs computed — invariant under decomposition.
+    pub fn compute_pairs(&self) -> usize {
+        self.parts.iter().map(|p| p.nnz_elements()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Figure 3 setup: 12 queries in two groups of 6; each group shares a
+    /// 3-slot prefix; each query has 1 unique slot.
+    fn fig3() -> ComposableFormat {
+        let cols = 6 + 12; // 2 prefixes of 3 slots + 12 unique slots
+        let mut groups = Vec::new();
+        for g in 0..2 {
+            let row_start = g * 6;
+            let prefix_blocks = (0..3)
+                .map(|k| BlockEntry { col_block: g * 3 + k, len: 1 })
+                .collect();
+            let unique = (0..6)
+                .map(|r| {
+                    let row = row_start + r;
+                    (row, row + 1, vec![BlockEntry { col_block: 6 + row, len: 1 }])
+                })
+                .collect();
+            groups.push(PrefixGroup {
+                row_start,
+                row_end: row_start + 6,
+                prefix_blocks,
+                unique,
+            });
+        }
+        ComposableFormat::decompose_shared_prefix(12, cols, 1, &groups).unwrap()
+    }
+
+    #[test]
+    fn fig3_structure() {
+        let f = fig3();
+        assert_eq!(f.parts().len(), 2);
+        // Prefix part: 2 tall block rows of height 6.
+        assert_eq!(f.parts()[0].n_block_rows(), 2);
+        assert_eq!(f.parts()[0].block_row_range(0), (0, 6));
+        // Suffix part: 12 block rows of height 1.
+        assert_eq!(f.parts()[1].n_block_rows(), 12);
+        f.verify_disjoint().unwrap();
+    }
+
+    #[test]
+    fn decomposition_preserves_compute_but_cuts_gathers() {
+        let f = fig3();
+        // Equivalent single format: every query's block row gathers its
+        // prefix + its unique slot separately.
+        let mut rows = Vec::new();
+        for r in 0..12 {
+            let g = r / 6;
+            let mut blocks: Vec<BlockEntry> =
+                (0..3).map(|k| BlockEntry { col_block: g * 3 + k, len: 1 }).collect();
+            blocks.push(BlockEntry { col_block: 6 + r, len: 1 });
+            rows.push((r, r + 1, blocks));
+        }
+        let single =
+            ComposableFormat::single(BlockSparseMatrix::new(12, 18, 1, rows).unwrap());
+
+        assert_eq!(single.compute_pairs(), f.compute_pairs());
+        assert_eq!(single.to_dense_mask(), f.to_dense_mask());
+        // Single: 12 * (3 + 1) = 48 gathers. Composed: 2*3 + 12 = 18.
+        assert_eq!(single.gather_slots(), 48);
+        assert_eq!(f.gather_slots(), 18);
+    }
+
+    #[test]
+    fn new_rejects_mismatched_parts() {
+        let a = BlockSparseMatrix::new(4, 4, 1, vec![]).unwrap();
+        let b = BlockSparseMatrix::new(4, 5, 1, vec![]).unwrap();
+        assert!(ComposableFormat::new(vec![a.clone(), b]).is_err());
+        assert!(ComposableFormat::new(vec![]).is_err());
+        assert!(ComposableFormat::new(vec![a]).is_ok());
+    }
+
+    #[test]
+    fn verify_disjoint_catches_overlap() {
+        let a = BlockSparseMatrix::new(
+            2,
+            2,
+            1,
+            vec![(0, 2, vec![BlockEntry { col_block: 0, len: 1 }])],
+        )
+        .unwrap();
+        let f = ComposableFormat::new(vec![a.clone(), a]).unwrap();
+        assert!(f.verify_disjoint().is_err());
+    }
+
+    #[test]
+    fn unique_outside_group_rejected() {
+        let g = PrefixGroup {
+            row_start: 0,
+            row_end: 2,
+            prefix_blocks: vec![],
+            unique: vec![(1, 3, vec![BlockEntry { col_block: 0, len: 1 }])],
+        };
+        assert!(ComposableFormat::decompose_shared_prefix(4, 4, 1, &[g]).is_err());
+    }
+
+    #[test]
+    fn empty_prefixes_and_suffixes_allowed() {
+        let g = PrefixGroup { row_start: 0, row_end: 2, prefix_blocks: vec![], unique: vec![] };
+        let f = ComposableFormat::decompose_shared_prefix(2, 4, 1, &[g]).unwrap();
+        assert_eq!(f.compute_pairs(), 0);
+    }
+}

@@ -1,0 +1,289 @@
+//! Element-level compressed sparse row matrices.
+//!
+//! CSR is the fine-grained end of the sparsity spectrum (§2.3): one element
+//! per nonzero, no blocking. The workspace uses it for attention masks that
+//! have per-element structure — tree-attention masks in speculative decoding
+//! and arbitrary custom masks — and as the exact reference when testing BSR
+//! coarsenings.
+
+use crate::bsr::{BlockEntry, BlockSparseMatrix};
+use crate::error::SparseError;
+
+/// An element-level sparse boolean matrix in CSR form.
+///
+/// ```
+/// use fi_sparse::csr::CsrMatrix;
+///
+/// # fn main() -> Result<(), fi_sparse::SparseError> {
+/// let m = CsrMatrix::from_entries(2, 3, &[(0, 0), (0, 2), (1, 1)])?;
+/// assert!(m.is_nonzero(0, 2));
+/// assert!(!m.is_nonzero(1, 2));
+/// assert_eq!(m.nnz(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    indptr: Vec<usize>,
+    indices: Vec<usize>,
+}
+
+impl CsrMatrix {
+    /// Build from unsorted `(row, col)` entries. Duplicates are collapsed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::IndexOutOfBounds`] if any entry exceeds the
+    /// matrix dimensions.
+    pub fn from_entries(
+        rows: usize,
+        cols: usize,
+        entries: &[(usize, usize)],
+    ) -> Result<CsrMatrix, SparseError> {
+        let mut per_row: Vec<Vec<usize>> = vec![Vec::new(); rows];
+        for &(r, c) in entries {
+            if r >= rows {
+                return Err(SparseError::IndexOutOfBounds { index: r, bound: rows, what: "row" });
+            }
+            if c >= cols {
+                return Err(SparseError::IndexOutOfBounds { index: c, bound: cols, what: "column" });
+            }
+            per_row[r].push(c);
+        }
+        let mut indptr = Vec::with_capacity(rows + 1);
+        let mut indices = Vec::with_capacity(entries.len());
+        indptr.push(0);
+        for row in &mut per_row {
+            row.sort_unstable();
+            row.dedup();
+            indices.extend_from_slice(row);
+            indptr.push(indices.len());
+        }
+        Ok(CsrMatrix { rows, cols, indptr, indices })
+    }
+
+    /// Build from a dense boolean mask (row-major `rows × cols`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidBlocks`] if `mask.len() != rows * cols`.
+    pub fn from_dense_mask(rows: usize, cols: usize, mask: &[bool]) -> Result<CsrMatrix, SparseError> {
+        if mask.len() != rows * cols {
+            return Err(SparseError::InvalidBlocks(format!(
+                "mask length {} != rows*cols {}",
+                mask.len(),
+                rows * cols
+            )));
+        }
+        let entries: Vec<(usize, usize)> = (0..rows)
+            .flat_map(|r| (0..cols).filter(move |&c| mask[r * cols + c]).map(move |c| (r, c)))
+            .collect();
+        CsrMatrix::from_entries(rows, cols, &entries)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of nonzero elements.
+    pub fn nnz(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Sorted column indices of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows()`.
+    pub fn row(&self, r: usize) -> &[usize] {
+        &self.indices[self.indptr[r]..self.indptr[r + 1]]
+    }
+
+    /// True if `(row, col)` is nonzero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn is_nonzero(&self, row: usize, col: usize) -> bool {
+        assert!(row < self.rows && col < self.cols, "element index out of range");
+        self.row(row).binary_search(&col).is_ok()
+    }
+
+    /// Render as a dense boolean mask.
+    pub fn to_dense_mask(&self) -> Vec<bool> {
+        let mut m = vec![false; self.rows * self.cols];
+        for r in 0..self.rows {
+            for &c in self.row(r) {
+                m[r * self.cols + c] = true;
+            }
+        }
+        m
+    }
+
+    /// Coarsen into a BSR matrix with block rows of height `br` and column
+    /// blocks of width `bc`. The result covers a superset of this matrix's
+    /// nonzeros (see [`BlockSparseMatrix::from_dense_mask`] semantics);
+    /// element-exact masking is applied later by the kernel's `LogitsMask`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors from BSR construction.
+    pub fn to_bsr(&self, br: usize, bc: usize) -> Result<BlockSparseMatrix, SparseError> {
+        if br == 0 || bc == 0 {
+            return Err(SparseError::InvalidBlocks("br and bc must be positive".into()));
+        }
+        let mut block_rows = Vec::new();
+        let mut rs = 0;
+        while rs < self.rows {
+            let re = (rs + br).min(self.rows);
+            // Max valid column per block across rows rs..re.
+            let n_col_blocks = self.cols.div_ceil(bc);
+            let mut max_len = vec![0usize; n_col_blocks];
+            for r in rs..re {
+                for &c in self.row(r) {
+                    let cb = c / bc;
+                    let within = c % bc + 1;
+                    if within > max_len[cb] {
+                        max_len[cb] = within;
+                    }
+                }
+            }
+            let entries: Vec<BlockEntry> = max_len
+                .iter()
+                .enumerate()
+                .filter(|&(_, &l)| l > 0)
+                .map(|(cb, &l)| BlockEntry { col_block: cb, len: l })
+                .collect();
+            block_rows.push((rs, re, entries));
+            rs = re;
+        }
+        BlockSparseMatrix::new(self.rows, self.cols, bc, block_rows)
+    }
+}
+
+/// Build the causal mask CSR for a single request: query `i` (of `l_qo`)
+/// attends to KV positions `0..=(l_kv - l_qo + i)`. This matches the
+/// incremental-prefill convention where the query tokens are the *last*
+/// `l_qo` positions of the KV sequence.
+///
+/// # Panics
+///
+/// Panics if `l_qo > l_kv` (queries must be a suffix of the KV timeline).
+pub fn causal_mask(l_qo: usize, l_kv: usize) -> CsrMatrix {
+    assert!(l_qo <= l_kv, "causal mask requires l_qo <= l_kv");
+    let offset = l_kv - l_qo;
+    let entries: Vec<(usize, usize)> =
+        (0..l_qo).flat_map(|i| (0..=offset + i).map(move |j| (i, j))).collect();
+    CsrMatrix::from_entries(l_qo, l_kv, &entries).expect("causal entries in range")
+}
+
+/// Build a tree-attention mask for speculative decoding: node `i` attends to
+/// every ancestor on its path to the root plus itself. `parent[i]` is the
+/// parent of node `i` (`usize::MAX` for roots). Columns are the tree nodes
+/// appended after `prefix_len` shared context tokens that every node sees.
+///
+/// # Panics
+///
+/// Panics if a parent index is not smaller than its child (nodes must be in
+/// topological order).
+pub fn tree_mask(parent: &[usize], prefix_len: usize) -> CsrMatrix {
+    let n = parent.len();
+    let cols = prefix_len + n;
+    let mut entries = Vec::new();
+    for i in 0..n {
+        for j in 0..prefix_len {
+            entries.push((i, j));
+        }
+        // Walk ancestors.
+        let mut node = i;
+        loop {
+            entries.push((i, prefix_len + node));
+            let p = parent[node];
+            if p == usize::MAX {
+                break;
+            }
+            assert!(p < node, "parents must precede children (node {node}, parent {p})");
+            node = p;
+        }
+    }
+    CsrMatrix::from_entries(n, cols, &entries).expect("tree entries in range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_entries_sorts_and_dedups() {
+        let m = CsrMatrix::from_entries(2, 4, &[(0, 3), (0, 1), (0, 3), (1, 0)]).unwrap();
+        assert_eq!(m.row(0), &[1, 3]);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn bounds_checked() {
+        assert!(CsrMatrix::from_entries(2, 2, &[(2, 0)]).is_err());
+        assert!(CsrMatrix::from_entries(2, 2, &[(0, 2)]).is_err());
+    }
+
+    #[test]
+    fn dense_roundtrip() {
+        let mask = vec![true, false, false, true, true, false];
+        let m = CsrMatrix::from_dense_mask(2, 3, &mask).unwrap();
+        assert_eq!(m.to_dense_mask(), mask);
+    }
+
+    #[test]
+    fn causal_mask_shape() {
+        // 2 queries over 4 kv: query 0 sees 0..=2, query 1 sees 0..=3.
+        let m = causal_mask(2, 4);
+        assert_eq!(m.row(0), &[0, 1, 2]);
+        assert_eq!(m.row(1), &[0, 1, 2, 3]);
+        // Pure decode: 1 query sees everything.
+        let d = causal_mask(1, 5);
+        assert_eq!(d.row(0).len(), 5);
+        // Self-attention prefill: lower triangular.
+        let p = causal_mask(3, 3);
+        assert_eq!(p.nnz(), 6);
+    }
+
+    #[test]
+    fn tree_mask_ancestors() {
+        // Tree: 0 is root; 1, 2 children of 0; 3 child of 1. Prefix 2 tokens.
+        let parent = [usize::MAX, 0, 0, 1];
+        let m = tree_mask(&parent, 2);
+        assert_eq!(m.cols(), 6);
+        assert_eq!(m.row(0), &[0, 1, 2]); // prefix + self
+        assert_eq!(m.row(3), &[0, 1, 2, 3, 5]); // prefix + root + node1 + self
+        assert_eq!(m.row(2), &[0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn to_bsr_covers_all_nonzeros() {
+        let m = CsrMatrix::from_entries(4, 8, &[(0, 0), (1, 5), (3, 7)]).unwrap();
+        let b = m.to_bsr(2, 2).unwrap();
+        let cover = b.to_dense_mask();
+        let exact = m.to_dense_mask();
+        for i in 0..32 {
+            if exact[i] {
+                assert!(cover[i], "element {i} lost in coarsening");
+            }
+        }
+    }
+
+    #[test]
+    fn to_bsr_vector_sparse_is_exact_on_full_rows() {
+        // bc=1 and br=1 blocks are element-exact.
+        let m = causal_mask(3, 3);
+        let b = m.to_bsr(1, 1).unwrap();
+        assert_eq!(b.to_dense_mask(), m.to_dense_mask());
+    }
+}

@@ -1,0 +1,56 @@
+//! Error type for sparse format construction and validation.
+
+use std::fmt;
+
+/// Errors produced when building or validating sparse structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// An index-pointer array is malformed.
+    InvalidIndptr(String),
+    /// A block or element index exceeds the matrix bounds.
+    IndexOutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Bound it violated.
+        bound: usize,
+        /// What the index addressed ("block column", "row", ...).
+        what: &'static str,
+    },
+    /// Block geometry is inconsistent (zero-sized blocks, overlapping or
+    /// unsorted block rows, valid length exceeding the block size, ...).
+    InvalidBlocks(String),
+    /// Composable format parts disagree on logical dimensions or overlap.
+    IncompatibleParts(String),
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::InvalidIndptr(m) => write!(f, "invalid indptr: {m}"),
+            SparseError::IndexOutOfBounds { index, bound, what } => {
+                write!(f, "{what} index {index} out of bounds (bound {bound})")
+            }
+            SparseError::InvalidBlocks(m) => write!(f, "invalid blocks: {m}"),
+            SparseError::IncompatibleParts(m) => write!(f, "incompatible parts: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SparseError::IndexOutOfBounds { index: 7, bound: 4, what: "block column" };
+        assert!(e.to_string().contains("block column index 7"));
+    }
+
+    #[test]
+    fn send_sync() {
+        fn ok<T: Send + Sync>() {}
+        ok::<SparseError>();
+    }
+}

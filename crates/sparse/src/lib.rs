@@ -1,0 +1,49 @@
+//! # fi-sparse
+//!
+//! Block-sparse formats: FlashInfer's unified abstraction for KV-cache
+//! storage heterogeneity (§3.1 of the paper).
+//!
+//! The central insight the paper borrows from SPGrid/SparseTIR is that page
+//! tables, radix trees, tree-attention masks and importance masks are all
+//! *block-sparse matrices* over the (query row × KV slot) plane:
+//!
+//! * [`bsr::BlockSparseMatrix`] — block-sparse row storage with arbitrary
+//!   block column size `Bc` (down to vector-sparse `Bc = 1`) and *ragged*
+//!   block rows, mirroring FlashInfer's `qo_indptr`/`kv_indptr`/`kv_indices`
+//!   triple. Partial last blocks carry explicit valid lengths, just like
+//!   `last_page_len` in the paged KV-cache APIs.
+//! * [`csr::CsrMatrix`] — element-level sparsity, used for fine-grained
+//!   masks (tree attention in speculative decoding) and as the exactness
+//!   reference for BSR coverage.
+//! * [`page`] — the page-table ↔ BSR unification of Figure 2.
+//! * [`composable`] — composable formats (§3.1.2, Figure 3): shared-prefix
+//!   KV is lifted into a second block-sparse matrix with a taller block row
+//!   so that all queries in a prefix group can reuse one staged copy of the
+//!   prefix KV ("shared memory" in the real kernel, one gather here).
+//!
+//! ```
+//! use fi_sparse::bsr::BlockSparseMatrix;
+//!
+//! # fn main() -> Result<(), fi_sparse::SparseError> {
+//! // 4 query rows attending to a pool of 6 KV slots in pages of 2:
+//! // request A (rows 0..2) holds pages {0, 2}, request B (rows 2..4) page {1}.
+//! let m = BlockSparseMatrix::from_uniform_rows(4, 6, 2, 2, &[vec![0, 2], vec![1]])?;
+//! assert_eq!(m.nnz_blocks(), 3);
+//! assert!(m.is_nonzero(0, 4)); // row 0 attends to page 2 -> slots 4..6
+//! assert!(!m.is_nonzero(0, 2)); // page 1 belongs to request B
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod bsr;
+pub mod composable;
+pub mod csr;
+pub mod error;
+pub mod page;
+pub mod window;
+
+pub use bsr::BlockSparseMatrix;
+pub use composable::ComposableFormat;
+pub use csr::CsrMatrix;
+pub use error::SparseError;
+pub use page::PageTable;

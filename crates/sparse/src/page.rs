@@ -1,0 +1,280 @@
+//! Page tables as block-sparse matrices (Figure 2 of the paper).
+//!
+//! A paged KV-cache stores each request's KV entries in fixed-size pages
+//! scattered through a global pool. FlashInfer's observation is that the
+//! page table *is* a block-sparse matrix: rows are the batch's packed query
+//! tokens, the column space is the whole pool (`num_pages × page_size`
+//! slots), `Bc = page_size`, and request `i`'s block row has one nonzero
+//! block per page it holds, the last one partially valid (`last_page_len`).
+//!
+//! [`PageTable`] is the lightweight descriptor (what serving frameworks hand
+//! to `plan`); [`PageTable::to_bsr`] produces the unified BSR form consumed
+//! by the kernels.
+
+use crate::bsr::{BlockEntry, BlockSparseMatrix};
+use crate::error::SparseError;
+
+/// Descriptor of a batch's paged KV layout.
+///
+/// ```
+/// use fi_sparse::page::PageTable;
+///
+/// # fn main() -> Result<(), fi_sparse::SparseError> {
+/// // Pool of 10 pages of 4 slots. Request 0 holds pages [7, 1] with 3 slots
+/// // valid in page 1; request 1 holds page [4], full.
+/// let pt = PageTable::new(4, 10, vec![vec![7, 1], vec![4]], vec![3, 4])?;
+/// assert_eq!(pt.kv_len(0), 7);
+/// assert_eq!(pt.kv_len(1), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PageTable {
+    page_size: usize,
+    num_pages: usize,
+    pages: Vec<Vec<usize>>,
+    last_page_len: Vec<usize>,
+}
+
+impl PageTable {
+    /// Create a page table.
+    ///
+    /// `pages[i]` lists request `i`'s page ids in sequence order;
+    /// `last_page_len[i] ∈ 1..=page_size` is the fill of its final page
+    /// (ignored and allowed to be 0 when the request holds no pages).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError`] on zero `page_size`, mismatched lengths,
+    /// out-of-pool page ids, or invalid `last_page_len`.
+    pub fn new(
+        page_size: usize,
+        num_pages: usize,
+        pages: Vec<Vec<usize>>,
+        last_page_len: Vec<usize>,
+    ) -> Result<PageTable, SparseError> {
+        if page_size == 0 {
+            return Err(SparseError::InvalidBlocks("page_size must be positive".into()));
+        }
+        if pages.len() != last_page_len.len() {
+            return Err(SparseError::InvalidBlocks(format!(
+                "pages ({}) and last_page_len ({}) length mismatch",
+                pages.len(),
+                last_page_len.len()
+            )));
+        }
+        for (i, req) in pages.iter().enumerate() {
+            for &p in req {
+                if p >= num_pages {
+                    return Err(SparseError::IndexOutOfBounds {
+                        index: p,
+                        bound: num_pages,
+                        what: "page",
+                    });
+                }
+            }
+            if !req.is_empty() && (last_page_len[i] == 0 || last_page_len[i] > page_size) {
+                return Err(SparseError::InvalidBlocks(format!(
+                    "last_page_len[{i}] = {} outside 1..={page_size}",
+                    last_page_len[i]
+                )));
+            }
+        }
+        Ok(PageTable { page_size, num_pages, pages, last_page_len })
+    }
+
+    /// Slots per page (`Bc`).
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Total pages in the pool (the BSR column-block count).
+    pub fn num_pages(&self) -> usize {
+        self.num_pages
+    }
+
+    /// Number of requests in the batch.
+    pub fn batch_size(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Page ids of request `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= batch_size()`.
+    pub fn request_pages(&self, i: usize) -> &[usize] {
+        &self.pages[i]
+    }
+
+    /// KV length (valid slots) of request `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= batch_size()`.
+    pub fn kv_len(&self, i: usize) -> usize {
+        if self.pages[i].is_empty() {
+            0
+        } else {
+            (self.pages[i].len() - 1) * self.page_size + self.last_page_len[i]
+        }
+    }
+
+    /// Total valid KV slots across the batch.
+    pub fn total_kv_len(&self) -> usize {
+        (0..self.batch_size()).map(|i| self.kv_len(i)).sum()
+    }
+
+    /// The global slot index of position `pos` in request `i`'s sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos >= kv_len(i)`.
+    pub fn slot_of(&self, i: usize, pos: usize) -> usize {
+        assert!(pos < self.kv_len(i), "position {pos} past kv_len of request {i}");
+        let page = self.pages[i][pos / self.page_size];
+        page * self.page_size + pos % self.page_size
+    }
+
+    /// Unify into a block-sparse matrix (Figure 2): one block row per query
+    /// tile of each request. `qo_lens[i]` is request `i`'s query length and
+    /// `tq` the query tile height; request `i` contributes
+    /// `ceil(qo_lens[i] / tq)` block rows, each referencing all of the
+    /// request's pages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SparseError::InvalidBlocks`] if `qo_lens` length mismatches
+    /// the batch, `tq == 0`, or any request has queries but no KV pages.
+    pub fn to_bsr(&self, qo_lens: &[usize], tq: usize) -> Result<BlockSparseMatrix, SparseError> {
+        if qo_lens.len() != self.batch_size() {
+            return Err(SparseError::InvalidBlocks(format!(
+                "qo_lens length {} != batch size {}",
+                qo_lens.len(),
+                self.batch_size()
+            )));
+        }
+        if tq == 0 {
+            return Err(SparseError::InvalidBlocks("tq must be positive".into()));
+        }
+        let rows: usize = qo_lens.iter().sum();
+        let cols = self.num_pages * self.page_size;
+        let mut block_rows = Vec::new();
+        let mut row = 0usize;
+        for (i, &lq) in qo_lens.iter().enumerate() {
+            if lq == 0 {
+                continue;
+            }
+            if self.pages[i].is_empty() {
+                return Err(SparseError::InvalidBlocks(format!(
+                    "request {i} has {lq} queries but no KV pages"
+                )));
+            }
+            let entries: Vec<BlockEntry> = self.pages[i]
+                .iter()
+                .enumerate()
+                .map(|(k, &p)| BlockEntry {
+                    col_block: p,
+                    len: if k + 1 == self.pages[i].len() {
+                        self.last_page_len[i]
+                    } else {
+                        self.page_size
+                    },
+                })
+                .collect();
+            let mut s = 0;
+            while s < lq {
+                let e = (s + tq).min(lq);
+                block_rows.push((row + s, row + e, entries.clone()));
+                s = e;
+            }
+            row += lq;
+        }
+        BlockSparseMatrix::new(rows, cols, self.page_size, block_rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> PageTable {
+        PageTable::new(4, 10, vec![vec![7, 1], vec![4]], vec![3, 4]).unwrap()
+    }
+
+    #[test]
+    fn kv_lengths() {
+        let pt = table();
+        assert_eq!(pt.kv_len(0), 7);
+        assert_eq!(pt.kv_len(1), 4);
+        assert_eq!(pt.total_kv_len(), 11);
+    }
+
+    #[test]
+    fn slot_mapping_follows_pages() {
+        let pt = table();
+        // Request 0: positions 0..4 live in page 7, 4..7 in page 1.
+        assert_eq!(pt.slot_of(0, 0), 28);
+        assert_eq!(pt.slot_of(0, 3), 31);
+        assert_eq!(pt.slot_of(0, 4), 4);
+        assert_eq!(pt.slot_of(0, 6), 6);
+        assert_eq!(pt.slot_of(1, 2), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "past kv_len")]
+    fn slot_of_checks_range() {
+        table().slot_of(0, 7);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PageTable::new(0, 4, vec![], vec![]).is_err());
+        assert!(PageTable::new(4, 4, vec![vec![5]], vec![1]).is_err());
+        assert!(PageTable::new(4, 8, vec![vec![0]], vec![0]).is_err());
+        assert!(PageTable::new(4, 8, vec![vec![0]], vec![5]).is_err());
+        assert!(PageTable::new(4, 8, vec![vec![0]], vec![4, 2]).is_err());
+        // Empty request with zero last_page_len is fine.
+        assert!(PageTable::new(4, 8, vec![vec![]], vec![0]).is_ok());
+    }
+
+    #[test]
+    fn to_bsr_decode_one_row_per_request() {
+        let pt = table();
+        let m = pt.to_bsr(&[1, 1], 1).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 40);
+        assert_eq!(m.n_block_rows(), 2);
+        // Request 0's gather covers page 7 fully then 3 slots of page 1.
+        assert_eq!(m.gather_columns(0), vec![28, 29, 30, 31, 4, 5, 6]);
+        assert_eq!(m.gather_columns(1), vec![16, 17, 18, 19]);
+    }
+
+    #[test]
+    fn to_bsr_prefill_tiles_rows() {
+        let pt = table();
+        // Request 0 has 5 queries, tile 2 -> 3 block rows; request 1 has 2 -> 1.
+        let m = pt.to_bsr(&[5, 2], 2).unwrap();
+        assert_eq!(m.n_block_rows(), 4);
+        assert_eq!(m.block_row_range(0), (0, 2));
+        assert_eq!(m.block_row_range(2), (4, 5)); // short tail tile
+        assert_eq!(m.block_row_range(3), (5, 7));
+        // All of request 0's tiles see the same pages.
+        assert_eq!(m.gather_columns(0), m.gather_columns(2));
+    }
+
+    #[test]
+    fn to_bsr_rejects_queries_without_kv() {
+        let pt = PageTable::new(4, 8, vec![vec![]], vec![0]).unwrap();
+        assert!(pt.to_bsr(&[1], 1).is_err());
+        // Zero queries with no KV is fine (request skipped).
+        assert!(pt.to_bsr(&[0], 1).is_ok());
+    }
+
+    #[test]
+    fn to_bsr_validates_args() {
+        let pt = table();
+        assert!(pt.to_bsr(&[1], 1).is_err());
+        assert!(pt.to_bsr(&[1, 1], 0).is_err());
+    }
+}

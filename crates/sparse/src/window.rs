@@ -1,0 +1,156 @@
+//! Structurally-sparse layouts for sliding-window / sink attention.
+//!
+//! A `LogitsMask` makes evicted positions *invisible*, but the kernel
+//! still gathers and scores them. For long contexts the right move is
+//! structural: build a block-sparse layout that only references the sink
+//! prefix and the recent window, so evicted KV is never even loaded —
+//! the layout-level counterpart of `SlidingWindowAttention`. Combined
+//! with the mask (for the ragged window edge within the first block),
+//! results are identical to masked full attention at a fraction of the
+//! traffic.
+
+use crate::bsr::{BlockEntry, BlockSparseMatrix};
+use crate::error::SparseError;
+
+/// Build a decode layout over contiguously-stored KV: request `i`'s slots
+/// occupy `[starts[i], starts[i] + kv_lens[i])` of the pool, and its
+/// single decode query sees the first `sink_tokens` positions plus the
+/// last `window` positions. Column blocks are `bc` slots.
+///
+/// The covered set is a small superset at block granularity (partial
+/// blocks at the window edge round down to block starts); the element
+/// mask trims the remainder, as the paper does for causal masks.
+///
+/// # Errors
+///
+/// Returns [`SparseError`] on inconsistent inputs (`bc == 0`, length
+/// mismatch, ranges past the pool).
+pub fn sliding_window_layout(
+    pool_slots: usize,
+    starts: &[usize],
+    kv_lens: &[usize],
+    window: usize,
+    sink_tokens: usize,
+    bc: usize,
+) -> Result<BlockSparseMatrix, SparseError> {
+    if bc == 0 {
+        return Err(SparseError::InvalidBlocks("bc must be positive".into()));
+    }
+    if starts.len() != kv_lens.len() {
+        return Err(SparseError::InvalidBlocks(format!(
+            "starts ({}) and kv_lens ({}) length mismatch",
+            starts.len(),
+            kv_lens.len()
+        )));
+    }
+    let mut block_rows = Vec::with_capacity(starts.len());
+    for (i, (&s, &l)) in starts.iter().zip(kv_lens).enumerate() {
+        if s + l > pool_slots {
+            return Err(SparseError::IndexOutOfBounds {
+                index: s + l,
+                bound: pool_slots,
+                what: "kv slot",
+            });
+        }
+        // Visible ranges in sequence positions: [0, sink) and
+        // [l - window, l), clamped and merged when they overlap.
+        let sink_end = sink_tokens.min(l);
+        let win_start = l.saturating_sub(window);
+        let ranges: Vec<(usize, usize)> = if win_start <= sink_end {
+            vec![(0, l)]
+        } else {
+            vec![(0, sink_end), (win_start, l)]
+        };
+        let mut entries: Vec<BlockEntry> = Vec::new();
+        for (a, b) in ranges {
+            if a == b {
+                continue;
+            }
+            // Cover [s+a, s+b) with bc-blocks, rounding the start down to a
+            // block boundary (superset; the mask trims).
+            let first_block = (s + a) / bc;
+            let last_slot = s + b; // exclusive
+            let mut cb = first_block;
+            while cb * bc < last_slot {
+                let block_start = cb * bc;
+                let valid_end = last_slot.min(block_start + bc).min(pool_slots);
+                let len = valid_end - block_start;
+                debug_assert!(len >= 1);
+                // Merge adjacency with a previous identical block (ranges
+                // may touch at block granularity).
+                if entries.last().map(|e: &BlockEntry| e.col_block) != Some(cb) {
+                    entries.push(BlockEntry { col_block: cb, len });
+                } else if let Some(last) = entries.last_mut() {
+                    last.len = last.len.max(len);
+                }
+                cb += 1;
+            }
+        }
+        block_rows.push((i, i + 1, entries));
+    }
+    BlockSparseMatrix::new(starts.len(), pool_slots, bc, block_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_sink_and_window_only() {
+        // One request: 100 slots at offset 0, window 16, sink 4, bc 4.
+        let m = sliding_window_layout(100, &[0], &[100], 16, 4, 4).unwrap();
+        let cols = m.gather_columns(0);
+        // Sink block [0..4) plus window [84..100).
+        assert!(cols.contains(&0) && cols.contains(&3));
+        assert!(cols.contains(&84) && cols.contains(&99));
+        assert!(!cols.contains(&50), "evicted middle must not be gathered");
+        // Traffic: 4 + 16 = 20 slots instead of 100.
+        assert_eq!(cols.len(), 20);
+    }
+
+    #[test]
+    fn short_sequences_fully_covered() {
+        // kv_len below sink+window: everything visible.
+        let m = sliding_window_layout(64, &[8], &[10], 16, 4, 4).unwrap();
+        let cols = m.gather_columns(0);
+        assert_eq!(cols, (8..18).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unaligned_window_rounds_to_block_start() {
+        // Window start at sequence position 7 with bc=4 rounds down to the
+        // containing block; the mask handles positions 4..7.
+        let m = sliding_window_layout(32, &[0], &[17], 10, 0, 4).unwrap();
+        let cols = m.gather_columns(0);
+        // win_start = 7 -> block 1 (slots 4..8) onward, through slot 16.
+        assert_eq!(cols.first(), Some(&4));
+        assert_eq!(cols.last(), Some(&16));
+    }
+
+    #[test]
+    fn batch_rows_are_per_request() {
+        let m =
+            sliding_window_layout(200, &[0, 100], &[80, 90], 8, 2, 2).unwrap();
+        assert_eq!(m.n_block_rows(), 2);
+        let c1 = m.gather_columns(1);
+        assert!(c1.iter().all(|&c| (100..190).contains(&c)));
+        // 2 sink + 8 window.
+        assert_eq!(m.gather_columns(0).len(), 10);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(sliding_window_layout(10, &[0], &[11], 4, 0, 2).is_err());
+        assert!(sliding_window_layout(10, &[0, 1], &[2], 4, 0, 2).is_err());
+        assert!(sliding_window_layout(10, &[0], &[5], 4, 0, 0).is_err());
+    }
+
+    #[test]
+    fn traffic_reduction_is_large_for_long_contexts() {
+        let m_full = sliding_window_layout(100_000, &[0], &[100_000], 100_000, 0, 16).unwrap();
+        let m_win = sliding_window_layout(100_000, &[0], &[100_000], 1024, 4, 16).unwrap();
+        let full = m_full.block_row_kv_len(0);
+        let win = m_win.block_row_kv_len(0);
+        assert!(win < full / 90, "window {win} vs full {full}");
+    }
+}

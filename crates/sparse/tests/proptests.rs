@@ -1,0 +1,179 @@
+//! Property-based tests for sparse formats.
+
+#![allow(clippy::needless_range_loop)]
+use fi_sparse::bsr::{BlockEntry, BlockSparseMatrix};
+use fi_sparse::composable::{ComposableFormat, PrefixGroup};
+use fi_sparse::csr::{causal_mask, tree_mask, CsrMatrix};
+use fi_sparse::page::PageTable;
+use proptest::prelude::*;
+
+/// Random page-table batches: a pool and per-request distinct page lists.
+fn page_table_strategy() -> impl Strategy<Value = (PageTable, Vec<usize>)> {
+    (1usize..6, 1usize..5).prop_flat_map(|(page_size, batch)| {
+        let num_pages = 32usize;
+        let pages = prop::collection::vec(
+            prop::collection::vec(0usize..num_pages, 1..6),
+            batch..=batch,
+        );
+        let lens = prop::collection::vec(1usize..=page_size, batch..=batch);
+        let qo = prop::collection::vec(1usize..5, batch..=batch);
+        (pages, lens, qo).prop_map(move |(mut pages, lens, qo)| {
+            // Make page lists duplicate-free within a request (as real
+            // allocators guarantee) without changing lengths' validity.
+            for req in &mut pages {
+                req.sort_unstable();
+                req.dedup();
+            }
+            let pt = PageTable::new(page_size, num_pages, pages, lens).unwrap();
+            (pt, qo)
+        })
+    })
+}
+
+proptest! {
+    /// CSR -> dense -> CSR is the identity.
+    #[test]
+    fn csr_dense_roundtrip(entries in prop::collection::vec((0usize..8, 0usize..12), 0..40)) {
+        let m = CsrMatrix::from_entries(8, 12, &entries).unwrap();
+        let back = CsrMatrix::from_dense_mask(8, 12, &m.to_dense_mask()).unwrap();
+        prop_assert_eq!(m, back);
+    }
+
+    /// BSR coarsening of a CSR mask always covers every original nonzero.
+    #[test]
+    fn bsr_coarsening_covers(
+        entries in prop::collection::vec((0usize..8, 0usize..12), 0..40),
+        br in 1usize..5,
+        bc in 1usize..5,
+    ) {
+        let m = CsrMatrix::from_entries(8, 12, &entries).unwrap();
+        let b = m.to_bsr(br, bc).unwrap();
+        let exact = m.to_dense_mask();
+        let cover = b.to_dense_mask();
+        for i in 0..exact.len() {
+            prop_assert!(!exact[i] || cover[i]);
+        }
+    }
+
+    /// (1,1) blocks are an exact representation.
+    #[test]
+    fn unit_blocks_exact(entries in prop::collection::vec((0usize..8, 0usize..12), 0..40)) {
+        let m = CsrMatrix::from_entries(8, 12, &entries).unwrap();
+        let b = m.to_bsr(1, 1).unwrap();
+        prop_assert_eq!(b.to_dense_mask(), m.to_dense_mask());
+    }
+
+    /// Page table to BSR: gather lists reproduce slot_of for every position.
+    #[test]
+    fn page_table_bsr_gather_matches_slots((pt, qo) in page_table_strategy()) {
+        let tq = 2usize;
+        let m = pt.to_bsr(&qo, tq).unwrap();
+        // Walk block rows request by request.
+        let mut block_row = 0usize;
+        for i in 0..pt.batch_size() {
+            let n_tiles = qo[i].div_ceil(tq);
+            for _ in 0..n_tiles {
+                let cols = m.gather_columns(block_row);
+                prop_assert_eq!(cols.len(), pt.kv_len(i));
+                for (pos, &slot) in cols.iter().enumerate() {
+                    prop_assert_eq!(slot, pt.slot_of(i, pos));
+                }
+                block_row += 1;
+            }
+        }
+        prop_assert_eq!(block_row, m.n_block_rows());
+    }
+
+    /// nnz_elements equals the dense mask popcount.
+    #[test]
+    fn nnz_matches_dense((pt, qo) in page_table_strategy()) {
+        let m = pt.to_bsr(&qo, 4).unwrap();
+        let dense_count = m.to_dense_mask().iter().filter(|&&x| x).count();
+        prop_assert_eq!(m.nnz_elements(), dense_count);
+    }
+
+    /// Shared-prefix decomposition: disjoint, compute-preserving, and never
+    /// gathers more than the single format.
+    #[test]
+    fn decomposition_invariants(
+        n_groups in 1usize..4,
+        group_size in 1usize..5,
+        prefix_len in 0usize..6,
+        unique_len in 1usize..4,
+    ) {
+        let rows = n_groups * group_size;
+        let prefix_cols = n_groups * prefix_len;
+        let cols = prefix_cols + rows * unique_len;
+
+        let mut groups = Vec::new();
+        let mut single_rows = Vec::new();
+        for g in 0..n_groups {
+            let rs = g * group_size;
+            let prefix_blocks: Vec<BlockEntry> = (0..prefix_len)
+                .map(|k| BlockEntry { col_block: g * prefix_len + k, len: 1 })
+                .collect();
+            let unique: Vec<(usize, usize, Vec<BlockEntry>)> = (0..group_size)
+                .map(|r| {
+                    let row = rs + r;
+                    let blocks: Vec<BlockEntry> = (0..unique_len)
+                        .map(|k| BlockEntry { col_block: prefix_cols + row * unique_len + k, len: 1 })
+                        .collect();
+                    (row, row + 1, blocks)
+                })
+                .collect();
+            for (s, e, blocks) in &unique {
+                let mut all = prefix_blocks.clone();
+                all.extend(blocks.iter().copied());
+                single_rows.push((*s, *e, all));
+            }
+            groups.push(PrefixGroup { row_start: rs, row_end: rs + group_size, prefix_blocks, unique });
+        }
+
+        let composed = ComposableFormat::decompose_shared_prefix(rows, cols, 1, &groups).unwrap();
+        let single = ComposableFormat::single(
+            BlockSparseMatrix::new(rows, cols, 1, single_rows).unwrap(),
+        );
+
+        composed.verify_disjoint().unwrap();
+        prop_assert_eq!(composed.compute_pairs(), single.compute_pairs());
+        prop_assert_eq!(composed.to_dense_mask(), single.to_dense_mask());
+        prop_assert!(composed.gather_slots() <= single.gather_slots());
+    }
+
+    /// Causal masks are monotone: each row's support contains the previous.
+    #[test]
+    fn causal_monotone(l_qo in 1usize..12, extra in 0usize..12) {
+        let l_kv = l_qo + extra;
+        let m = causal_mask(l_qo, l_kv);
+        for r in 1..l_qo {
+            prop_assert_eq!(m.row(r).len(), m.row(r - 1).len() + 1);
+        }
+        prop_assert_eq!(m.row(l_qo - 1).len(), l_kv);
+    }
+
+    /// Tree masks: every node sees the prefix, itself, and its parent's view
+    /// of tree nodes.
+    #[test]
+    fn tree_mask_is_ancestor_closure(sizes in prop::collection::vec(0usize..4, 1..8), prefix in 0usize..5) {
+        // Build a random topological tree: node i's parent is some j < i.
+        let mut parent = vec![usize::MAX];
+        for (i, &s) in sizes.iter().enumerate() {
+            let _ = s;
+            parent.push(sizes[..=i].iter().sum::<usize>() % (i + 1));
+        }
+        let m = tree_mask(&parent, prefix);
+        for i in 0..parent.len() {
+            prop_assert!(m.is_nonzero(i, prefix + i), "self visibility");
+            for j in 0..prefix {
+                prop_assert!(m.is_nonzero(i, j), "prefix visibility");
+            }
+            let p = parent[i];
+            if p != usize::MAX {
+                // Parent's tree-visible nodes are a subset of the child's.
+                for &c in m.row(p) {
+                    prop_assert!(m.is_nonzero(i, c));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Dense row-major tensors.
+//!
+//! [`Tensor`] is the workspace's analog of a contiguous device allocation:
+//! owned storage, row-major layout, shape known at runtime. Kernels index it
+//! through typed row views rather than multidimensional strides — the hot
+//! paths only ever need "row `i` of a `[n, d]` matrix", matching how the
+//! CUDA kernels address the head dimension contiguously (§3.2.1).
+
+use crate::dtype::Scalar;
+use crate::error::TensorError;
+
+/// A dense, owned, row-major tensor.
+///
+/// ```
+/// use fi_tensor::Tensor;
+/// # fn main() -> Result<(), fi_tensor::TensorError> {
+/// let t = Tensor::<f32>::zeros(vec![3, 4]);
+/// assert_eq!(t.shape(), &[3, 4]);
+/// assert_eq!(t.len(), 12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Tensor<T> {
+    shape: Vec<usize>,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Tensor<T> {
+    /// Create a zero-initialized tensor of the given shape.
+    pub fn zeros(shape: Vec<usize>) -> Tensor<T> {
+        let n = shape.iter().product();
+        Tensor { shape, data: vec![T::default(); n] }
+    }
+
+    /// Create a tensor from a flat buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `data.len()` does not equal
+    /// the product of `shape`.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<T>) -> Result<Tensor<T>, TensorError> {
+        let expected: usize = shape.iter().product();
+        if data.len() != expected {
+            return Err(TensorError::ShapeMismatch { expected, actual: data.len() });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Create a tensor by evaluating `f` at each flat index.
+    pub fn from_fn(shape: Vec<usize>, mut f: impl FnMut(usize) -> T) -> Tensor<T> {
+        let n: usize = shape.iter().product();
+        Tensor { shape, data: (0..n).map(&mut f).collect() }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Flat immutable view of the storage.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Flat mutable view of the storage.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning its flat storage.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Element at a full multidimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx.len() != ndim()` or any coordinate is out of range
+    /// (debug assertions; release builds may index incorrectly without them,
+    /// so hot paths use [`Tensor::row`] instead).
+    pub fn at(&self, idx: &[usize]) -> T {
+        self.data[self.flat_index(idx)]
+    }
+
+    /// Set the element at a full multidimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Tensor::at`].
+    pub fn set(&mut self, idx: &[usize], value: T) {
+        let i = self.flat_index(idx);
+        self.data[i] = value;
+    }
+
+    fn flat_index(&self, idx: &[usize]) -> usize {
+        assert_eq!(idx.len(), self.shape.len(), "index rank mismatch");
+        let mut flat = 0usize;
+        for (i, (&x, &d)) in idx.iter().zip(&self.shape).enumerate() {
+            assert!(x < d, "index {x} out of range {d} in dim {i}");
+            flat = flat * d + x;
+        }
+        flat
+    }
+
+    /// Length of one "row": the product of all dims after the first.
+    pub fn row_len(&self) -> usize {
+        self.shape.iter().skip(1).product()
+    }
+
+    /// Immutable view of row `i` (first-dimension slice, flattened).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= shape()[0]`.
+    pub fn row(&self, i: usize) -> &[T] {
+        let w = self.row_len();
+        &self.data[i * w..(i + 1) * w]
+    }
+
+    /// Mutable view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= shape()[0]`.
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        let w = self.row_len();
+        &mut self.data[i * w..(i + 1) * w]
+    }
+
+    /// Convert each element to another scalar type (round-trip through f32).
+    pub fn cast<U: Scalar>(&self) -> Tensor<U> {
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| U::from_f32(x.to_f32())).collect(),
+        }
+    }
+
+    /// Widen all elements to f32.
+    pub fn to_f32_vec(&self) -> Vec<f32> {
+        self.data.iter().map(|&x| x.to_f32()).collect()
+    }
+
+    /// Total storage size in bytes (as the simulated device would allocate).
+    pub fn size_bytes(&self) -> usize {
+        self.data.len() * T::DTYPE.size_bytes()
+    }
+}
+
+impl<T: Scalar> Default for Tensor<T> {
+    fn default() -> Self {
+        Tensor { shape: vec![0], data: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::half::F16;
+
+    #[test]
+    fn zeros_has_right_shape_and_len() {
+        let t = Tensor::<f32>::zeros(vec![2, 3, 4]);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.ndim(), 3);
+        assert!(t.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        let err = Tensor::<f32>::from_vec(vec![2, 3], vec![0.0; 5]).unwrap_err();
+        assert_eq!(err, TensorError::ShapeMismatch { expected: 6, actual: 5 });
+        assert!(Tensor::<f32>::from_vec(vec![2, 3], vec![0.0; 6]).is_ok());
+    }
+
+    #[test]
+    fn at_and_set_row_major() {
+        let mut t = Tensor::<f32>::zeros(vec![2, 3]);
+        t.set(&[1, 2], 7.0);
+        assert_eq!(t.at(&[1, 2]), 7.0);
+        assert_eq!(t.as_slice()[5], 7.0);
+    }
+
+    #[test]
+    fn rows_are_contiguous_slices() {
+        let t = Tensor::<f32>::from_fn(vec![3, 4], |i| i as f32);
+        assert_eq!(t.row(1), &[4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(t.row_len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn at_panics_out_of_range() {
+        let t = Tensor::<f32>::zeros(vec![2, 2]);
+        t.at(&[2, 0]);
+    }
+
+    #[test]
+    fn cast_rounds_through_f16() {
+        let t = Tensor::<f32>::from_vec(vec![2], vec![1.0, 2049.0]).unwrap();
+        let h: Tensor<F16> = t.cast();
+        assert_eq!(h.at(&[0]).to_f32(), 1.0);
+        assert_eq!(h.at(&[1]).to_f32(), 2048.0); // rounded to nearest-even
+    }
+
+    #[test]
+    fn size_bytes_accounts_for_dtype() {
+        let t32 = Tensor::<f32>::zeros(vec![8]);
+        let t16 = t32.cast::<F16>();
+        assert_eq!(t32.size_bytes(), 32);
+        assert_eq!(t16.size_bytes(), 16);
+    }
+
+    #[test]
+    fn empty_tensor() {
+        let t = Tensor::<f32>::zeros(vec![0, 4]);
+        assert!(t.is_empty());
+        assert_eq!(t.row_len(), 4);
+    }
+}

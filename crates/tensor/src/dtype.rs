@@ -1,0 +1,166 @@
+//! Element types and the [`Scalar`] trait.
+//!
+//! FlashInfer kernels are generic over storage precision: queries and outputs
+//! are typically f16, KV-caches may be f16 or fp8 (Appendix F), and all
+//! accumulation happens in f32. The [`Scalar`] trait captures exactly that
+//! contract: an element type is anything that can round-trip through `f32`.
+
+use crate::fp8::{F8E4M3, F8E5M2};
+use crate::half::F16;
+
+/// Runtime tag for an element type.
+///
+/// Used by the JIT layer (`fi-core::jit`) to render kernel source and by the
+/// GPU simulator to compute memory traffic (bytes per element).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DType {
+    /// IEEE 754 binary32.
+    F32,
+    /// IEEE 754 binary16 (software-emulated by [`F16`]).
+    F16,
+    /// 8-bit float, 4 exponent / 3 mantissa bits (OCP E4M3).
+    F8E4M3,
+    /// 8-bit float, 5 exponent / 2 mantissa bits (OCP E5M2).
+    F8E5M2,
+}
+
+impl DType {
+    /// Storage size of one element in bytes.
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::F16 => 2,
+            DType::F8E4M3 | DType::F8E5M2 => 1,
+        }
+    }
+
+    /// The CUDA type name the real FlashInfer JIT would emit for this dtype.
+    pub fn cuda_name(self) -> &'static str {
+        match self {
+            DType::F32 => "float",
+            DType::F16 => "half",
+            DType::F8E4M3 => "__nv_fp8_e4m3",
+            DType::F8E5M2 => "__nv_fp8_e5m2",
+        }
+    }
+}
+
+impl std::fmt::Display for DType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DType::F32 => "f32",
+            DType::F16 => "f16",
+            DType::F8E4M3 => "f8e4m3",
+            DType::F8E5M2 => "f8e5m2",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An element type usable as tensor storage.
+///
+/// The contract is lossy-narrowing on [`Scalar::from_f32`] (round to nearest
+/// representable) and exact widening on [`Scalar::to_f32`]. All arithmetic in
+/// the kernels is performed on the widened `f32` values, mirroring fp32
+/// accumulation on tensor cores.
+///
+/// This trait is sealed-by-convention: the workspace only implements it for
+/// `f32`, [`F16`], [`F8E4M3`], and [`F8E5M2`].
+pub trait Scalar: Copy + Clone + Send + Sync + std::fmt::Debug + Default + PartialEq + 'static {
+    /// Runtime tag for this type.
+    const DTYPE: DType;
+
+    /// Widen to f32 (exact).
+    fn to_f32(self) -> f32;
+
+    /// Narrow from f32, rounding to the nearest representable value.
+    fn from_f32(x: f32) -> Self;
+}
+
+impl Scalar for f32 {
+    const DTYPE: DType = DType::F32;
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        self
+    }
+
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        x
+    }
+}
+
+impl Scalar for F16 {
+    const DTYPE: DType = DType::F16;
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        F16::to_f32(self)
+    }
+
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        F16::from_f32(x)
+    }
+}
+
+impl Scalar for F8E4M3 {
+    const DTYPE: DType = DType::F8E4M3;
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        F8E4M3::to_f32(self)
+    }
+
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        F8E4M3::from_f32(x)
+    }
+}
+
+impl Scalar for F8E5M2 {
+    const DTYPE: DType = DType::F8E5M2;
+
+    #[inline]
+    fn to_f32(self) -> f32 {
+        F8E5M2::to_f32(self)
+    }
+
+    #[inline]
+    fn from_f32(x: f32) -> Self {
+        F8E5M2::from_f32(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_bytes_matches_storage() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F16.size_bytes(), 2);
+        assert_eq!(DType::F8E4M3.size_bytes(), 1);
+        assert_eq!(DType::F8E5M2.size_bytes(), 1);
+    }
+
+    #[test]
+    fn cuda_names() {
+        assert_eq!(DType::F16.cuda_name(), "half");
+        assert_eq!(DType::F8E4M3.cuda_name(), "__nv_fp8_e4m3");
+    }
+
+    #[test]
+    fn f32_roundtrip_is_identity() {
+        for x in [-1.5f32, 0.0, 3.25, f32::MAX] {
+            assert_eq!(f32::from_f32(x).to_f32(), x);
+        }
+    }
+
+    #[test]
+    fn display_tags() {
+        assert_eq!(DType::F8E5M2.to_string(), "f8e5m2");
+        assert_eq!(DType::F32.to_string(), "f32");
+    }
+}

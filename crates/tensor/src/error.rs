@@ -1,0 +1,64 @@
+//! Error type shared by the tensor substrate.
+
+use std::fmt;
+
+/// Errors produced by tensor construction and indexing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided buffer length does not match the product of the shape.
+    ShapeMismatch {
+        /// Expected element count (product of dims).
+        expected: usize,
+        /// Actual buffer length.
+        actual: usize,
+    },
+    /// A shape dimension or index was invalid for the operation.
+    InvalidShape(String),
+    /// An index-pointer array is malformed (not monotonically non-decreasing,
+    /// wrong first/last element, or too short).
+    InvalidIndptr(String),
+    /// An index is out of bounds.
+    OutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Bound it violated.
+        bound: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "buffer length {actual} does not match shape product {expected}")
+            }
+            TensorError::InvalidShape(msg) => write!(f, "invalid shape: {msg}"),
+            TensorError::InvalidIndptr(msg) => write!(f, "invalid indptr: {msg}"),
+            TensorError::OutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (bound {bound})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = TensorError::ShapeMismatch { expected: 6, actual: 5 };
+        let s = e.to_string();
+        assert!(s.contains('6') && s.contains('5'));
+        let e = TensorError::OutOfBounds { index: 9, bound: 4 };
+        assert!(e.to_string().contains("out of bounds"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

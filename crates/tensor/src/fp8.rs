@@ -1,0 +1,304 @@
+//! Software-emulated 8-bit floating point (OCP FP8: E4M3 and E5M2).
+//!
+//! Appendix F of the paper describes mixed-precision attention with an fp8
+//! KV-cache and f16 query/output. These types give the workspace a real fp8
+//! code path: keys and values round through the 8-bit format on store and are
+//! widened to f32 ("dequantized") inside the kernel, exactly as the fast
+//! numeric converters in the real implementation do.
+//!
+//! Semantics follow the OCP 8-bit floating point specification as adopted by
+//! NVIDIA hardware:
+//!
+//! * **E4M3**: 4 exponent bits (bias 7), 3 mantissa bits. No infinities; the
+//!   all-ones exponent is reused for finite values, and only `S.1111.111` is
+//!   NaN. Max finite value ±448. Out-of-range conversions **saturate**.
+//! * **E5M2**: 5 exponent bits (bias 15), 2 mantissa bits. IEEE-like with
+//!   infinities and NaNs. Max finite value ±57344. Conversions saturate to
+//!   the max finite value (matching `cvt.rn.satfinite`).
+
+/// Generic conversion: round `x` to a float with `EXP` exponent bits,
+/// `MAN` mantissa bits and bias `BIAS`, returning the raw bits (sign at
+/// bit EXP+MAN). Round-to-nearest-even, saturating at `max_finite`.
+fn narrow(x: f32, exp_bits: u32, man_bits: u32, bias: i32, max_finite: f32, has_inf: bool) -> u8 {
+    let total = 1 + exp_bits + man_bits;
+    debug_assert!(total == 8);
+    let bits = x.to_bits();
+    let sign = ((bits >> 31) as u8) << (exp_bits + man_bits);
+
+    if x.is_nan() {
+        // Canonical NaN: all-ones exponent, non-zero (all-ones for e4m3) mantissa.
+        let exp_all = ((1u8 << exp_bits) - 1) << man_bits;
+        let man_nan = if has_inf { 1 } else { (1 << man_bits) - 1 };
+        return sign | exp_all | man_nan;
+    }
+
+    let ax = x.abs();
+    if ax > max_finite {
+        // Saturate (satfinite semantics for both formats).
+        return sign | max_finite_bits(exp_bits, man_bits, has_inf);
+    }
+    if ax == 0.0 {
+        return sign;
+    }
+
+    let exp32 = ((bits >> 23) & 0xFF) as i32 - 127; // unbiased
+    let man32 = bits & 0x7F_FFFF;
+    let e = exp32 + bias;
+
+    if e > 0 {
+        // Normal in target format.
+        let drop = 23 - man_bits;
+        let mut m = (man32 >> drop) as u8;
+        let dropped = man32 & ((1 << drop) - 1);
+        let half = 1u32 << (drop - 1);
+        let mut ee = e as u8;
+        if dropped > half || (dropped == half && (m & 1) == 1) {
+            m += 1;
+            if m == (1 << man_bits) {
+                m = 0;
+                ee += 1;
+            }
+        }
+        let candidate = ((ee as u16) << man_bits) | m as u16;
+        // Rounding may carry past max finite: saturate.
+        let maxb = max_finite_bits(exp_bits, man_bits, has_inf) as u16;
+        if candidate > maxb {
+            return sign | maxb as u8;
+        }
+        sign | candidate as u8
+    } else {
+        // Subnormal in target: value = man * 2^(1 - bias - man_bits).
+        // Effective shift grows as e decreases.
+        let drop = (23 - man_bits) as i32 + (1 - e);
+        if drop >= 32 {
+            return sign;
+        }
+        let man_full = man32 | 0x80_0000;
+        let m = (man_full >> drop) as u8;
+        let half = 1u32 << (drop - 1);
+        let dropped = man_full & ((1u32 << drop) - 1);
+        let mut m = m;
+        if dropped > half || (dropped == half && (m & 1) == 1) {
+            m += 1; // may carry into exponent field: correct (becomes min normal)
+        }
+        sign | m
+    }
+}
+
+fn max_finite_bits(exp_bits: u32, man_bits: u32, has_inf: bool) -> u8 {
+    if has_inf {
+        // Largest exponent below all-ones, mantissa all ones: 0b0_11110_11 for e5m2.
+        let e = ((1u8 << exp_bits) - 2) << man_bits;
+        e | ((1 << man_bits) - 1)
+    } else {
+        // e4m3: all-ones exponent with mantissa 110 is max finite (111 is NaN).
+        let e = ((1u8 << exp_bits) - 1) << man_bits;
+        e | ((1 << man_bits) - 2)
+    }
+}
+
+fn widen(b: u8, exp_bits: u32, man_bits: u32, bias: i32, has_inf: bool) -> f32 {
+    let sign = if b >> (exp_bits + man_bits) & 1 == 1 { -1.0f32 } else { 1.0 };
+    let exp = (b >> man_bits) as u32 & ((1 << exp_bits) - 1);
+    let man = (b & ((1 << man_bits) - 1)) as u32;
+    let exp_all = (1u32 << exp_bits) - 1;
+
+    if exp == exp_all {
+        if has_inf {
+            if man == 0 {
+                return sign * f32::INFINITY;
+            }
+            return f32::NAN;
+        }
+        // e4m3: mantissa all-ones is NaN, others are finite.
+        if man == (1 << man_bits) - 1 {
+            return f32::NAN;
+        }
+    }
+
+    if exp == 0 {
+        // Subnormal: man * 2^(1 - bias - man_bits).
+        return sign * man as f32 * (2.0f32).powi(1 - bias - man_bits as i32);
+    }
+    let frac = 1.0 + man as f32 / (1 << man_bits) as f32;
+    sign * frac * (2.0f32).powi(exp as i32 - bias)
+}
+
+/// OCP FP8 E4M3 value (bias 7, max ±448, no infinities).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct F8E4M3(pub u8);
+
+impl F8E4M3 {
+    /// Largest finite value.
+    pub const MAX: f32 = 448.0;
+
+    /// Narrow from f32 (round-to-nearest-even, saturating).
+    pub fn from_f32(x: f32) -> Self {
+        F8E4M3(narrow(x, 4, 3, 7, Self::MAX, false))
+    }
+
+    /// Widen to f32 (exact).
+    pub fn to_f32(self) -> f32 {
+        widen(self.0, 4, 3, 7, false)
+    }
+
+    /// True if this is the NaN pattern (`S.1111.111`).
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7F) == 0x7F
+    }
+}
+
+/// OCP FP8 E5M2 value (bias 15, max ±57344, IEEE-like inf/NaN).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct F8E5M2(pub u8);
+
+impl F8E5M2 {
+    /// Largest finite value.
+    pub const MAX: f32 = 57344.0;
+
+    /// Narrow from f32 (round-to-nearest-even, saturating to max finite).
+    pub fn from_f32(x: f32) -> Self {
+        F8E5M2(narrow(x, 5, 2, 15, Self::MAX, true))
+    }
+
+    /// Widen to f32 (exact).
+    pub fn to_f32(self) -> f32 {
+        widen(self.0, 5, 2, 15, true)
+    }
+
+    /// True if this is a NaN pattern.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C) == 0x7C && (self.0 & 0x03) != 0
+    }
+}
+
+impl From<f32> for F8E4M3 {
+    fn from(x: f32) -> Self {
+        Self::from_f32(x)
+    }
+}
+
+impl From<F8E4M3> for f32 {
+    fn from(v: F8E4M3) -> f32 {
+        v.to_f32()
+    }
+}
+
+impl From<f32> for F8E5M2 {
+    fn from(x: f32) -> Self {
+        Self::from_f32(x)
+    }
+}
+
+impl From<F8E5M2> for f32 {
+    fn from(v: F8E5M2) -> f32 {
+        v.to_f32()
+    }
+}
+
+impl std::fmt::Display for F8E4M3 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl std::fmt::Display for F8E5M2 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e4m3_exact_values() {
+        for x in [0.0f32, 1.0, -1.0, 2.0, 0.5, 448.0, -448.0, 0.875] {
+            assert_eq!(F8E4M3::from_f32(x).to_f32(), x, "{x} must be exact in e4m3");
+        }
+    }
+
+    #[test]
+    fn e5m2_exact_values() {
+        for x in [0.0f32, 1.0, -1.0, 2.0, 0.5, 57344.0, -57344.0, 1.75] {
+            assert_eq!(F8E5M2::from_f32(x).to_f32(), x, "{x} must be exact in e5m2");
+        }
+    }
+
+    #[test]
+    fn e4m3_saturates_not_inf() {
+        assert_eq!(F8E4M3::from_f32(1e9).to_f32(), 448.0);
+        assert_eq!(F8E4M3::from_f32(-1e9).to_f32(), -448.0);
+        assert_eq!(F8E4M3::from_f32(460.0).to_f32(), 448.0);
+    }
+
+    #[test]
+    fn e5m2_saturates_finite() {
+        assert_eq!(F8E5M2::from_f32(1e9).to_f32(), 57344.0);
+        assert_eq!(F8E5M2::from_f32(-1e9).to_f32(), -57344.0);
+    }
+
+    #[test]
+    fn nan_handling() {
+        assert!(F8E4M3::from_f32(f32::NAN).is_nan());
+        assert!(F8E4M3::from_f32(f32::NAN).to_f32().is_nan());
+        assert!(F8E5M2::from_f32(f32::NAN).is_nan());
+        assert!(F8E5M2::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn e4m3_subnormals() {
+        // Smallest e4m3 subnormal is 2^-9.
+        let tiny = 2.0f32.powi(-9);
+        assert_eq!(F8E4M3::from_f32(tiny).to_f32(), tiny);
+        assert_eq!(F8E4M3::from_f32(tiny / 4.0).to_f32(), 0.0);
+    }
+
+    #[test]
+    fn e5m2_subnormals() {
+        // Smallest e5m2 subnormal is 2^-16.
+        let tiny = 2.0f32.powi(-16);
+        assert_eq!(F8E5M2::from_f32(tiny).to_f32(), tiny);
+    }
+
+    #[test]
+    fn all_e4m3_bit_patterns_roundtrip() {
+        for b in 0..=u8::MAX {
+            let v = F8E4M3(b);
+            let f = v.to_f32();
+            if v.is_nan() {
+                assert!(f.is_nan());
+            } else {
+                assert_eq!(F8E4M3::from_f32(f), v, "bits={b:#04x} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_e5m2_bit_patterns_roundtrip() {
+        for b in 0..=u8::MAX {
+            let v = F8E5M2(b);
+            let f = v.to_f32();
+            if v.is_nan() {
+                assert!(f.is_nan());
+            } else if f.is_infinite() {
+                // Narrowing an infinity saturates; skip round-trip equality.
+                continue;
+            } else {
+                assert_eq!(F8E5M2::from_f32(f), v, "bits={b:#04x} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        // e4m3 has 3 mantissa bits: relative error <= 2^-4 for normals.
+        let mut x = 0.02f32;
+        while x < 440.0 {
+            let err = (F8E4M3::from_f32(x).to_f32() - x).abs() / x;
+            assert!(err <= 2.0f32.powi(-4) + 1e-6, "x={x} err={err}");
+            x *= 1.61;
+        }
+    }
+}

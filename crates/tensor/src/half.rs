@@ -1,0 +1,210 @@
+//! Software-emulated IEEE 754 binary16 (`half`).
+//!
+//! FlashInfer stores queries, keys, values and outputs in f16 on the GPU
+//! (§4: "f16 precision for storage and computation"). This module provides a
+//! bit-accurate binary16 so the precision behaviour of the kernels — rounding
+//! of stored logits inputs, saturation to ±65504 — is reproduced in software.
+//! Conversion uses round-to-nearest-even, matching hardware `cvt` semantics.
+
+/// An IEEE 754 binary16 value stored as its raw bit pattern.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct F16(pub u16);
+
+const F16_MAN_BITS: u32 = 10;
+const F16_EXP_BIAS: i32 = 15;
+/// Largest finite binary16 value.
+pub const F16_MAX: f32 = 65504.0;
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+
+    /// Convert from f32 with round-to-nearest-even.
+    ///
+    /// Values above the binary16 range become infinity; subnormals are
+    /// produced exactly as hardware would.
+    pub fn from_f32(x: f32) -> F16 {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let man = bits & 0x7F_FFFF;
+
+        if exp == 0xFF {
+            // Inf or NaN. Preserve NaN-ness with a quiet mantissa bit.
+            let nan_bit = if man != 0 { 0x0200 } else { 0 };
+            return F16(sign | 0x7C00 | nan_bit | ((man >> 13) as u16 & 0x03FF));
+        }
+
+        // Unbiased exponent in binary32 terms.
+        let unbiased = exp - 127;
+        let half_exp = unbiased + F16_EXP_BIAS;
+
+        if half_exp >= 0x1F {
+            // Overflow -> infinity.
+            return F16(sign | 0x7C00);
+        }
+
+        if half_exp <= 0 {
+            // Subnormal or zero in binary16.
+            if half_exp < -10 {
+                // Rounds to zero even after the implicit bit shift.
+                return F16(sign);
+            }
+            // Include the implicit leading 1, then shift right.
+            let man = man | 0x80_0000;
+            let shift = (14 - half_exp) as u32; // 14..=24
+            let half_man = man >> shift;
+            // Round-to-nearest-even on the dropped bits.
+            let round_bit = 1u32 << (shift - 1);
+            let dropped = man & ((round_bit << 1) - 1);
+            let mut h = half_man as u16;
+            if dropped > round_bit || (dropped == round_bit && (h & 1) == 1) {
+                h += 1; // may carry into the exponent: that is correct
+            }
+            return F16(sign | h);
+        }
+
+        // Normal number.
+        let mut h = ((half_exp as u32) << F16_MAN_BITS) as u16 | ((man >> 13) as u16);
+        let dropped = man & 0x1FFF;
+        if dropped > 0x1000 || (dropped == 0x1000 && (h & 1) == 1) {
+            h += 1; // carries into exponent correctly (may reach infinity)
+        }
+        F16(sign | h)
+    }
+
+    /// Widen to f32 (exact).
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & 0x8000) as u32) << 16;
+        let exp = ((self.0 >> F16_MAN_BITS) & 0x1F) as u32;
+        let man = (self.0 & 0x03FF) as u32;
+
+        if exp == 0 {
+            if man == 0 {
+                return f32::from_bits(sign);
+            }
+            // Subnormal: value = man * 2^-24. Normalize so the implicit bit
+            // lands in the f32 exponent. `shift` = 10 - msb_position(man).
+            let shift = man.leading_zeros() - 21;
+            let man = (man << shift) & 0x03FF;
+            let exp = 113 - shift; // 127 - 15 + 1 - shift
+            return f32::from_bits(sign | (exp << 23) | (man << 13));
+        }
+        if exp == 0x1F {
+            // Inf/NaN.
+            return f32::from_bits(sign | 0x7F80_0000 | (man << 13));
+        }
+        let exp = exp as i32 - F16_EXP_BIAS + 127;
+        f32::from_bits(sign | ((exp as u32) << 23) | (man << 13))
+    }
+
+    /// True if this value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+
+    /// True if this value is +/- infinity.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(x: f32) -> Self {
+        F16::from_f32(x)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(h: F16) -> Self {
+        h.to_f32()
+    }
+}
+
+impl std::fmt::Display for F16 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_roundtrip() {
+        for i in -2048..=2048 {
+            let x = i as f32;
+            assert_eq!(F16::from_f32(x).to_f32(), x, "integer {i} must be exact in f16");
+        }
+    }
+
+    #[test]
+    fn one_and_zero_bit_patterns() {
+        assert_eq!(F16::from_f32(1.0), F16::ONE);
+        assert_eq!(F16::from_f32(0.0), F16::ZERO);
+        assert_eq!(F16::from_f32(-0.0).0, 0x8000);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert!(F16::from_f32(1e6).is_infinite());
+        assert!(F16::from_f32(-1e6).is_infinite());
+        assert_eq!(F16::from_f32(F16_MAX).to_f32(), F16_MAX);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn subnormals_roundtrip() {
+        // Smallest positive binary16 subnormal is 2^-24.
+        let tiny = 2.0f32.powi(-24);
+        assert_eq!(F16::from_f32(tiny).to_f32(), tiny);
+        // Half of it rounds to zero (ties-to-even).
+        assert_eq!(F16::from_f32(tiny / 2.0).to_f32(), 0.0);
+        // 0.75 of it rounds up to tiny.
+        assert_eq!(F16::from_f32(tiny * 0.75).to_f32(), tiny);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 2049 is exactly between 2048 and 2050 in f16 (ulp = 2 there): ties to even 2048.
+        assert_eq!(F16::from_f32(2049.0).to_f32(), 2048.0);
+        // 2051 is between 2050 and 2052: ties to even 2052.
+        assert_eq!(F16::from_f32(2051.0).to_f32(), 2052.0);
+    }
+
+    #[test]
+    fn relative_error_bounded_for_normals() {
+        // Machine epsilon for binary16 is 2^-10; round-to-nearest gives 2^-11 bound.
+        let mut x = 1e-3f32;
+        while x < 6e4 {
+            let err = (F16::from_f32(x).to_f32() - x).abs() / x;
+            assert!(err <= 2.0f32.powi(-11) * 1.001, "x={x} err={err}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn all_u16_roundtrip_through_f32() {
+        // Every finite f16 bit pattern must widen then narrow to itself.
+        for bits in 0..=u16::MAX {
+            let h = F16(bits);
+            if h.is_nan() {
+                assert!(F16::from_f32(h.to_f32()).is_nan());
+            } else {
+                assert_eq!(F16::from_f32(h.to_f32()), h, "bits={bits:#06x}");
+            }
+        }
+    }
+}

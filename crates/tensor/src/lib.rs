@@ -1,0 +1,50 @@
+//! # fi-tensor
+//!
+//! Tensor substrate for the FlashInfer-rs attention engine.
+//!
+//! This crate provides the storage types the rest of the workspace builds on:
+//!
+//! * [`Tensor`] — a dense, row-major, owned tensor of any [`Scalar`] element
+//!   type (the analog of a contiguous device allocation).
+//! * [`RaggedTensor`] — a jagged batch of variable-length sequences packed
+//!   without padding behind an index-pointer array, exactly as FlashInfer
+//!   stores query/output batches (§3.1.1 of the paper).
+//! * [`F16`], [`F8E4M3`], [`F8E5M2`] — bit-accurate software emulations of
+//!   the reduced-precision storage formats used for KV-caches (Appendix F).
+//!   These exist so the mixed-precision code paths are real: values round
+//!   through the narrow format exactly as they would on hardware.
+//!
+//! Accumulation everywhere in the workspace happens in `f32`, mirroring the
+//! real kernels which accumulate attention in fp32 regardless of storage
+//! precision.
+//!
+//! ```
+//! use fi_tensor::{Tensor, RaggedTensor};
+//!
+//! # fn main() -> Result<(), fi_tensor::TensorError> {
+//! // A [2 tokens, 4 dim] dense tensor.
+//! let t = Tensor::<f32>::from_vec(vec![2, 4], (0..8).map(|x| x as f32).collect())?;
+//! assert_eq!(t.at(&[1, 2]), 6.0);
+//!
+//! // A ragged batch: sequence 0 has 3 tokens, sequence 1 has 1 token.
+//! let r = RaggedTensor::<f32>::zeros(vec![0, 3, 4], 4)?;
+//! assert_eq!(r.seq_len(0), 3);
+//! assert_eq!(r.seq_len(1), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dense;
+pub mod dtype;
+pub mod error;
+pub mod fp8;
+pub mod half;
+pub mod numerics;
+pub mod ragged;
+
+pub use dense::Tensor;
+pub use dtype::{DType, Scalar};
+pub use error::TensorError;
+pub use fp8::{F8E4M3, F8E5M2};
+pub use half::F16;
+pub use ragged::RaggedTensor;

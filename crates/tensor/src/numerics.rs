@@ -1,0 +1,99 @@
+//! Numerically-stable helpers shared by kernels and tests.
+
+/// Numerically stable `log(sum(exp(x)))` over a slice.
+///
+/// Returns `f32::NEG_INFINITY` for an empty slice, matching the attention
+/// scale of an empty index set (Eq. 1 with `I = ∅`).
+pub fn log_sum_exp(xs: &[f32]) -> f32 {
+    let m = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if m == f32::NEG_INFINITY {
+        return f32::NEG_INFINITY;
+    }
+    if m.is_infinite() {
+        // +inf dominates.
+        return f32::INFINITY;
+    }
+    let s: f32 = xs.iter().map(|&x| (x - m).exp()).sum();
+    m + s.ln()
+}
+
+/// Maximum absolute elementwise difference between two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "length mismatch in max_abs_diff");
+    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).fold(0.0, f32::max)
+}
+
+/// True when every pair differs by at most `atol + rtol * |b|`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn allclose(a: &[f32], b: &[f32], rtol: f32, atol: f32) -> bool {
+    assert_eq!(a.len(), b.len(), "length mismatch in allclose");
+    a.iter().zip(b).all(|(&x, &y)| {
+        if x.is_nan() || y.is_nan() {
+            return false;
+        }
+        (x - y).abs() <= atol + rtol * y.abs()
+    })
+}
+
+/// Dot product in f32.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "length mismatch in dot");
+    let mut acc = 0.0f32;
+    for i in 0..a.len() {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lse_matches_naive_when_safe() {
+        let xs = [0.5f32, -1.0, 2.0];
+        let naive = xs.iter().map(|x| x.exp()).sum::<f32>().ln();
+        assert!((log_sum_exp(&xs) - naive).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lse_stable_for_large_inputs() {
+        // Naive would overflow: exp(1000) = inf.
+        let xs = [1000.0f32, 999.0];
+        let got = log_sum_exp(&xs);
+        let expect = 1000.0 + (1.0f32 + (-1.0f32).exp()).ln();
+        assert!((got - expect).abs() < 1e-4);
+    }
+
+    #[test]
+    fn lse_empty_is_neg_inf() {
+        assert_eq!(log_sum_exp(&[]), f32::NEG_INFINITY);
+        assert_eq!(log_sum_exp(&[f32::NEG_INFINITY]), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn allclose_and_diff() {
+        assert!(allclose(&[1.0, 2.0], &[1.0 + 1e-7, 2.0], 1e-5, 1e-6));
+        assert!(!allclose(&[1.0], &[1.1], 1e-5, 1e-6));
+        assert!(!allclose(&[f32::NAN], &[f32::NAN], 1.0, 1.0));
+        assert_eq!(max_abs_diff(&[1.0, 5.0], &[2.0, 5.0]), 1.0);
+    }
+
+    #[test]
+    fn dot_basics() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Ragged (jagged) tensors: variable-length sequences packed without padding.
+//!
+//! FlashInfer stores the queries and outputs of a batch as ragged tensors
+//! (§3.1.1): all tokens of all requests are concatenated along the first
+//! dimension, and an index-pointer array `indptr` of length `batch + 1`
+//! records where each request's tokens begin. `indptr[i]..indptr[i+1]` are
+//! the rows of request `i`. The same convention indexes KV pages, work
+//! queues, and partial outputs throughout the workspace.
+
+use crate::dense::Tensor;
+use crate::dtype::Scalar;
+use crate::error::TensorError;
+
+/// Validate an index-pointer array: non-empty, starts at 0, non-decreasing.
+///
+/// Returns the total length (`indptr.last()`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidIndptr`] when malformed.
+pub fn validate_indptr(indptr: &[usize]) -> Result<usize, TensorError> {
+    if indptr.is_empty() {
+        return Err(TensorError::InvalidIndptr("indptr must be non-empty".into()));
+    }
+    if indptr[0] != 0 {
+        return Err(TensorError::InvalidIndptr(format!(
+            "indptr must start at 0, got {}",
+            indptr[0]
+        )));
+    }
+    for w in indptr.windows(2) {
+        if w[1] < w[0] {
+            return Err(TensorError::InvalidIndptr(format!(
+                "indptr must be non-decreasing, got {} then {}",
+                w[0], w[1]
+            )));
+        }
+    }
+    Ok(*indptr.last().expect("non-empty"))
+}
+
+/// A batch of variable-length sequences of `dim`-sized rows, packed flat.
+///
+/// ```
+/// use fi_tensor::RaggedTensor;
+/// # fn main() -> Result<(), fi_tensor::TensorError> {
+/// // Two sequences: 3 tokens and 2 tokens, dim 4.
+/// let r = RaggedTensor::<f32>::zeros(vec![0, 3, 5], 4)?;
+/// assert_eq!(r.batch_size(), 2);
+/// assert_eq!(r.seq_len(1), 2);
+/// assert_eq!(r.total_rows(), 5);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RaggedTensor<T> {
+    indptr: Vec<usize>,
+    data: Tensor<T>,
+    dim: usize,
+}
+
+impl<T: Scalar> RaggedTensor<T> {
+    /// Create a zero-filled ragged tensor from an index-pointer array.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidIndptr`] if `indptr` is malformed.
+    pub fn zeros(indptr: Vec<usize>, dim: usize) -> Result<RaggedTensor<T>, TensorError> {
+        let total = validate_indptr(&indptr)?;
+        Ok(RaggedTensor { indptr, data: Tensor::zeros(vec![total, dim]), dim })
+    }
+
+    /// Create a ragged tensor wrapping existing packed row data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidIndptr`] if `indptr` is malformed, or
+    /// [`TensorError::ShapeMismatch`] if `data` does not contain exactly
+    /// `indptr.last() * dim` elements.
+    pub fn from_parts(
+        indptr: Vec<usize>,
+        data: Vec<T>,
+        dim: usize,
+    ) -> Result<RaggedTensor<T>, TensorError> {
+        let total = validate_indptr(&indptr)?;
+        let t = Tensor::from_vec(vec![total, dim], data)?;
+        Ok(RaggedTensor { indptr, data: t, dim })
+    }
+
+    /// Build from per-sequence row counts (convenience over explicit indptr).
+    pub fn from_seq_lens(lens: &[usize], dim: usize) -> RaggedTensor<T> {
+        let mut indptr = Vec::with_capacity(lens.len() + 1);
+        indptr.push(0);
+        let mut acc = 0;
+        for &l in lens {
+            acc += l;
+            indptr.push(acc);
+        }
+        RaggedTensor { indptr, data: Tensor::zeros(vec![acc, dim]), dim }
+    }
+
+    /// Number of sequences in the batch.
+    pub fn batch_size(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Number of rows (tokens) in sequence `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= batch_size()`.
+    pub fn seq_len(&self, i: usize) -> usize {
+        self.indptr[i + 1] - self.indptr[i]
+    }
+
+    /// Total rows across all sequences.
+    pub fn total_rows(&self) -> usize {
+        *self.indptr.last().expect("validated non-empty")
+    }
+
+    /// Per-row feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The index-pointer array (length `batch_size() + 1`).
+    pub fn indptr(&self) -> &[usize] {
+        &self.indptr
+    }
+
+    /// Immutable view of all rows of sequence `i`, flattened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= batch_size()`.
+    pub fn seq(&self, i: usize) -> &[T] {
+        let (s, e) = (self.indptr[i], self.indptr[i + 1]);
+        &self.data.as_slice()[s * self.dim..e * self.dim]
+    }
+
+    /// Mutable view of all rows of sequence `i`, flattened.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= batch_size()`.
+    pub fn seq_mut(&mut self, i: usize) -> &mut [T] {
+        let (s, e) = (self.indptr[i], self.indptr[i + 1]);
+        &mut self.data.as_mut_slice()[s * self.dim..e * self.dim]
+    }
+
+    /// Row `r` of sequence `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn row(&self, i: usize, r: usize) -> &[T] {
+        assert!(r < self.seq_len(i), "row {r} out of range for sequence {i}");
+        self.data.row(self.indptr[i] + r)
+    }
+
+    /// Global row `g` (ignoring sequence boundaries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g >= total_rows()`.
+    pub fn global_row(&self, g: usize) -> &[T] {
+        self.data.row(g)
+    }
+
+    /// Mutable global row `g`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g >= total_rows()`.
+    pub fn global_row_mut(&mut self, g: usize) -> &mut [T] {
+        self.data.row_mut(g)
+    }
+
+    /// The packed backing tensor of shape `[total_rows, dim]`.
+    pub fn as_tensor(&self) -> &Tensor<T> {
+        &self.data
+    }
+
+    /// Mutable access to the packed backing tensor.
+    pub fn as_tensor_mut(&mut self) -> &mut Tensor<T> {
+        &mut self.data
+    }
+
+    /// Which sequence a global row belongs to (binary search).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g >= total_rows()`.
+    pub fn seq_of_row(&self, g: usize) -> usize {
+        assert!(g < self.total_rows(), "row {g} out of range");
+        // partition_point returns the first i with indptr[i] > g; the row's
+        // sequence is that i - 1.
+        self.indptr.partition_point(|&p| p <= g) - 1
+    }
+
+    /// Total storage size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.data.size_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indptr_validation() {
+        assert!(validate_indptr(&[]).is_err());
+        assert!(validate_indptr(&[1, 2]).is_err());
+        assert!(validate_indptr(&[0, 3, 2]).is_err());
+        assert_eq!(validate_indptr(&[0, 3, 3, 7]).unwrap(), 7);
+        assert_eq!(validate_indptr(&[0]).unwrap(), 0);
+    }
+
+    #[test]
+    fn seq_views_partition_data() {
+        let mut r = RaggedTensor::<f32>::zeros(vec![0, 2, 5], 3).unwrap();
+        r.seq_mut(0).fill(1.0);
+        r.seq_mut(1).fill(2.0);
+        assert!(r.seq(0).iter().all(|&x| x == 1.0));
+        assert!(r.seq(1).iter().all(|&x| x == 2.0));
+        assert_eq!(r.seq(0).len(), 6);
+        assert_eq!(r.seq(1).len(), 9);
+    }
+
+    #[test]
+    fn from_seq_lens_matches_explicit_indptr() {
+        let a = RaggedTensor::<f32>::from_seq_lens(&[3, 0, 2], 4);
+        let b = RaggedTensor::<f32>::zeros(vec![0, 3, 3, 5], 4).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.seq_len(1), 0);
+    }
+
+    #[test]
+    fn row_access() {
+        let mut r = RaggedTensor::<f32>::zeros(vec![0, 2, 3], 2).unwrap();
+        r.global_row_mut(2).copy_from_slice(&[5.0, 6.0]);
+        assert_eq!(r.row(1, 0), &[5.0, 6.0]);
+    }
+
+    #[test]
+    fn seq_of_row_binary_search() {
+        let r = RaggedTensor::<f32>::from_seq_lens(&[3, 1, 0, 2], 1);
+        assert_eq!(r.seq_of_row(0), 0);
+        assert_eq!(r.seq_of_row(2), 0);
+        assert_eq!(r.seq_of_row(3), 1);
+        assert_eq!(r.seq_of_row(4), 3);
+        assert_eq!(r.seq_of_row(5), 3);
+    }
+
+    #[test]
+    fn empty_batch_and_empty_seqs() {
+        let r = RaggedTensor::<f32>::zeros(vec![0], 4).unwrap();
+        assert_eq!(r.batch_size(), 0);
+        assert_eq!(r.total_rows(), 0);
+        let r = RaggedTensor::<f32>::from_seq_lens(&[0, 0], 4);
+        assert_eq!(r.batch_size(), 2);
+        assert_eq!(r.seq(0).len(), 0);
+    }
+
+    #[test]
+    fn from_parts_validates() {
+        assert!(RaggedTensor::<f32>::from_parts(vec![0, 2], vec![0.0; 3], 2).is_err());
+        assert!(RaggedTensor::<f32>::from_parts(vec![0, 2], vec![0.0; 4], 2).is_ok());
+    }
+}

@@ -1,0 +1,92 @@
+//! Property-based tests for the tensor substrate.
+
+use fi_tensor::numerics::{allclose, log_sum_exp};
+use fi_tensor::{F16, F8E4M3, F8E5M2, RaggedTensor, Tensor};
+use proptest::prelude::*;
+
+proptest! {
+    /// Narrowing to f16 is monotone and within half an ulp of the input.
+    #[test]
+    fn f16_narrow_is_nearest(x in -60000.0f32..60000.0) {
+        let h = F16::from_f32(x).to_f32();
+        // Half-ulp bound: ulp(x) = 2^(floor(log2 |x|) - 10) for normals.
+        let bound = if x.abs() < 6.1e-5 {
+            2.0f32.powi(-25) // subnormal spacing / 2
+        } else {
+            2.0f32.powi(x.abs().log2().floor() as i32 - 11)
+        };
+        prop_assert!((h - x).abs() <= bound * 1.0001, "x={x} h={h} bound={bound}");
+    }
+
+    /// f16 narrowing is monotone non-decreasing.
+    #[test]
+    fn f16_monotone(a in -60000.0f32..60000.0, b in -60000.0f32..60000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32());
+    }
+
+    /// e4m3 relative error bound for in-range normals.
+    #[test]
+    fn e4m3_relative_error(x in 0.02f32..400.0) {
+        let v = F8E4M3::from_f32(x).to_f32();
+        prop_assert!(((v - x).abs() / x) <= 2.0f32.powi(-4) + 1e-6);
+    }
+
+    /// e5m2 relative error bound for in-range normals.
+    #[test]
+    fn e5m2_relative_error(x in 0.01f32..50000.0) {
+        let v = F8E5M2::from_f32(x).to_f32();
+        prop_assert!(((v - x).abs() / x) <= 2.0f32.powi(-3) + 1e-6);
+    }
+
+    /// log_sum_exp is shift-invariant: lse(x + c) = lse(x) + c.
+    #[test]
+    fn lse_shift_invariant(xs in prop::collection::vec(-50.0f32..50.0, 1..20), c in -100.0f32..100.0) {
+        let shifted: Vec<f32> = xs.iter().map(|&x| x + c).collect();
+        let a = log_sum_exp(&xs) + c;
+        let b = log_sum_exp(&shifted);
+        prop_assert!((a - b).abs() <= 1e-3, "a={a} b={b}");
+    }
+
+    /// log_sum_exp upper/lower bounds: max(x) <= lse(x) <= max(x) + ln(n).
+    #[test]
+    fn lse_bounds(xs in prop::collection::vec(-50.0f32..50.0, 1..20)) {
+        let m = xs.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let l = log_sum_exp(&xs);
+        prop_assert!(l >= m - 1e-5);
+        prop_assert!(l <= m + (xs.len() as f32).ln() + 1e-5);
+    }
+
+    /// Ragged sequence views exactly tile the packed storage.
+    #[test]
+    fn ragged_views_tile_storage(lens in prop::collection::vec(0usize..10, 1..8), dim in 1usize..8) {
+        let mut r = RaggedTensor::<f32>::from_seq_lens(&lens, dim);
+        for i in 0..r.batch_size() {
+            let tag = (i + 1) as f32;
+            r.seq_mut(i).fill(tag);
+        }
+        // Every global row must carry its sequence's tag.
+        for g in 0..r.total_rows() {
+            let s = r.seq_of_row(g);
+            prop_assert!(r.global_row(g).iter().all(|&x| x == (s + 1) as f32));
+        }
+        prop_assert_eq!(r.total_rows(), lens.iter().sum::<usize>());
+    }
+
+    /// cast::<F16>().cast::<f32>() is idempotent (double rounding fixpoint).
+    #[test]
+    fn cast_f16_idempotent(data in prop::collection::vec(-1000.0f32..1000.0, 1..32)) {
+        let n = data.len();
+        let t = Tensor::<f32>::from_vec(vec![n], data).unwrap();
+        let once: Tensor<f32> = t.cast::<F16>().cast();
+        let twice: Tensor<f32> = once.cast::<F16>().cast();
+        prop_assert!(allclose(once.as_slice(), twice.as_slice(), 0.0, 0.0));
+    }
+
+    /// Scalar round-trip never increases magnitude beyond the format max.
+    #[test]
+    fn narrow_respects_saturation(x in prop::num::f32::NORMAL) {
+        prop_assert!(F8E4M3::from_f32(x).to_f32().abs() <= F8E4M3::MAX);
+        prop_assert!(F8E5M2::from_f32(x).to_f32().abs() <= F8E5M2::MAX);
+    }
+}

@@ -1,0 +1,104 @@
+//! Prefix caching with the radix tree (RadixAttention substrate): new
+//! requests reuse the KV of previously-seen prompt prefixes, skipping
+//! prefill for the matched tokens — and the cached slots flow straight
+//! into the attention layout.
+//!
+//! Run with: `cargo run --release --example prefix_caching`
+
+use flashinfer::kvcache::paged::{PagedKvCache, PagedKvConfig};
+use flashinfer::kvcache::RadixTree;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cfg = PagedKvConfig { page_size: 4, num_pages: 256, num_kv_heads: 2, head_dim: 8 };
+    let mut cache = PagedKvCache::<f32>::new(cfg)?;
+    let mut tree = RadixTree::new();
+
+    // A system prompt all requests share, plus per-user suffixes.
+    let system: Vec<u32> = (0..40).map(|i| 1000 + i).collect();
+    let users: Vec<Vec<u32>> = (0..4)
+        .map(|u| {
+            let mut t = system.clone();
+            t.extend((0..12).map(|i| 2000 + u * 100 + i));
+            t
+        })
+        .collect();
+
+    let mut total_prefilled = 0usize;
+    let mut total_reused = 0usize;
+    for (uid, tokens) in users.iter().enumerate() {
+        let id = uid as u64;
+        // 1. Longest cached prefix.
+        let hit = tree.match_prefix(tokens);
+        tree.lock_prefix(&hit);
+        total_reused += hit.matched_tokens;
+
+        // 2. Adopt the cached pages (full pages only — partial tail pages
+        //    would be shared-mutable) and prefill the rest.
+        let full = hit.matched_tokens / cfg.page_size * cfg.page_size;
+        let adopted_pages: Vec<usize> =
+            hit.slots[..full].chunks(cfg.page_size).map(|c| c[0] / cfg.page_size).collect();
+        cache.add_request_with_prefix(id, adopted_pages, full)?;
+        let new_tokens = &tokens[full..];
+        for &t in new_tokens {
+            let row: Vec<f32> = (0..cfg.row_width()).map(|j| (t as f32 + j as f32) * 1e-3).collect();
+            cache.append(id, &row, &row)?;
+        }
+        total_prefilled += new_tokens.len();
+
+        // 3. Register the full sequence so later requests can reuse it;
+        //    the tree takes its own page references for the novel part.
+        let pt = cache.page_table(&[id])?;
+        let slots: Vec<usize> = (0..tokens.len()).map(|p| pt.slot_of(0, p)).collect();
+        let novel = tree.insert(tokens, &slots)?;
+        let novel_pages: Vec<usize> = {
+            let mut ps: Vec<usize> = slots[tokens.len() - novel..]
+                .iter()
+                .map(|s| s / cfg.page_size)
+                .collect();
+            ps.dedup();
+            ps
+        };
+        cache.retain_pages(&novel_pages);
+        tree.unlock_prefix(&hit);
+
+        println!(
+            "request {uid}: {} tokens, prefix hit {} ({} pages adopted), prefilled {}",
+            tokens.len(),
+            hit.matched_tokens,
+            full / cfg.page_size,
+            new_tokens.len()
+        );
+    }
+
+    println!(
+        "\ntotals: {} tokens served, {} prefilled, {} reused from cache ({:.0}% prefill saved)",
+        total_prefilled + total_reused,
+        total_prefilled,
+        total_reused,
+        total_reused as f64 / (total_prefilled + total_reused) as f64 * 100.0
+    );
+    println!("radix tree: {} cached tokens in {} nodes", tree.cached_tokens(), tree.node_count());
+
+    // Requests complete: their references drop, but the tree's references
+    // keep the cached pages alive. Then evict cold entries under pressure.
+    for uid in 0..users.len() as u64 {
+        cache.remove_request(uid)?;
+    }
+    println!("after request completion: {} free pages (cache pins the rest)", cache.free_page_count());
+    let freed_slots = tree.evict_lru(16);
+    // Drop the tree's reference on every page it fully released.
+    let mut evicted_pages: Vec<usize> =
+        freed_slots.iter().map(|s| s / cfg.page_size).collect();
+    evicted_pages.sort_unstable();
+    evicted_pages.dedup();
+    evicted_pages
+        .retain(|p| (0..cfg.page_size).all(|i| freed_slots.contains(&(p * cfg.page_size + i))));
+    cache.release_pages(&evicted_pages);
+    println!(
+        "evicted {} cold slots -> {} whole pages released; {} free pages in the pool",
+        freed_slots.len(),
+        evicted_pages.len(),
+        cache.free_page_count()
+    );
+    Ok(())
+}

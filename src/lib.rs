@@ -1,0 +1,30 @@
+//! # flashinfer
+//!
+//! Facade crate for the FlashInfer-rs workspace: a from-scratch Rust
+//! reproduction of *FlashInfer: Efficient and Customizable Attention Engine
+//! for LLM Inference Serving* (Ye et al., MLSys 2025).
+//!
+//! The workspace is organized bottom-up; this crate re-exports every layer:
+//!
+//! * [`tensor`] — dense/ragged tensors, f16/fp8 software emulation.
+//! * [`sparse`] — block-sparse row (BSR) formats and composable formats.
+//! * [`kvcache`] — paged KV-cache and radix-tree prefix cache.
+//! * [`core`] — attention states, FA2-style kernels, customizable variants,
+//!   the JIT specialization layer, and tile-size heuristics.
+//! * [`sched`] — the load-balanced runtime scheduler (Algorithm 1), the
+//!   plan/run wrapper API and the CUDAGraph-compatible workspace layout.
+//! * [`gpusim`] — the analytical GPU execution model used in place of real
+//!   CUDA hardware (see `DESIGN.md` for the substitution argument).
+//! * [`serving`] — a continuous-batching serving engine, workload
+//!   generators, and the baseline backends used in the paper's evaluation.
+//!
+//! See `examples/quickstart.rs` for the canonical end-to-end usage.
+
+pub use fi_core as core;
+pub use fi_gpusim as gpusim;
+pub use fi_model as model;
+pub use fi_kvcache as kvcache;
+pub use fi_sched as sched;
+pub use fi_serving as serving;
+pub use fi_sparse as sparse;
+pub use fi_tensor as tensor;

@@ -1,0 +1,89 @@
+//! Integration: the serving layer end-to-end — workload generation,
+//! continuous batching, backend comparison, and the paper's headline
+//! relationships at small scale.
+
+use flashinfer::gpusim::GpuSpec;
+use flashinfer::serving::backend::{FlashInferBackend, TritonLikeBackend, TrtLikeBackend};
+use flashinfer::serving::engine::{Engine, EngineConfig, Request};
+use flashinfer::serving::metrics::ServingMetrics;
+use flashinfer::serving::model::ModelConfig;
+use flashinfer::serving::workload::{assemble, poisson_arrivals, sharegpt_like};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn requests(n: usize, rate: f64, n_parallel: usize) -> Vec<Request> {
+    let mut rng = StdRng::seed_from_u64(3);
+    let lengths = sharegpt_like(&mut rng, n);
+    let arrivals = poisson_arrivals(&mut rng, n, rate);
+    assemble(&lengths, &arrivals, n_parallel)
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| Request { id: i as u64, spec })
+        .collect()
+}
+
+fn serve_with<B: flashinfer::serving::backend::Backend>(b: B, reqs: &[Request]) -> ServingMetrics {
+    let model = ModelConfig::LLAMA3_8B;
+    let spec = GpuSpec::H100_80G;
+    let cfg = EngineConfig::for_gpu(&spec, &model);
+    Engine::new(b, model, spec, cfg).serve(reqs)
+}
+
+#[test]
+fn all_backends_complete_the_same_workload() {
+    let reqs = requests(48, 8.0, 1);
+    for (name, m) in [
+        ("fi", serve_with(FlashInferBackend::default(), &reqs)),
+        ("triton", serve_with(TritonLikeBackend, &reqs)),
+        ("trt", serve_with(TrtLikeBackend, &reqs)),
+    ] {
+        assert_eq!(m.completed, reqs.len(), "{name} dropped requests");
+        assert!(m.median_itl() > 0.0 && m.median_ttft() > 0.0, "{name}");
+        assert!(m.throughput() > 0.0, "{name}");
+    }
+}
+
+#[test]
+fn flashinfer_itl_below_triton() {
+    let reqs = requests(64, 12.0, 1);
+    let fi = serve_with(FlashInferBackend::default(), &reqs);
+    let tr = serve_with(TritonLikeBackend, &reqs);
+    assert!(
+        fi.median_itl() < tr.median_itl(),
+        "flashinfer {} vs triton {}",
+        fi.median_itl(),
+        tr.median_itl()
+    );
+}
+
+#[test]
+fn composable_formats_help_parallel_generation() {
+    let reqs = requests(32, 8.0, 8);
+    let on = serve_with(FlashInferBackend { composable: true }, &reqs);
+    let off = serve_with(FlashInferBackend { composable: false }, &reqs);
+    assert_eq!(on.completed, off.completed);
+    assert_eq!(on.tokens_generated, off.tokens_generated);
+    assert!(
+        on.median_itl() <= off.median_itl() * 1.01,
+        "composable {} vs single {}",
+        on.median_itl(),
+        off.median_itl()
+    );
+}
+
+#[test]
+fn higher_rate_increases_latency() {
+    let slow = serve_with(FlashInferBackend::default(), &requests(48, 2.0, 1));
+    let fast = serve_with(FlashInferBackend::default(), &requests(48, 64.0, 1));
+    assert!(fast.median_ttft() >= slow.median_ttft() * 0.9);
+    assert!(fast.median_itl() >= slow.median_itl() * 0.9);
+    // Duration shrinks as rate grows (arrivals compress).
+    assert!(fast.duration < slow.duration);
+}
+
+#[test]
+fn metrics_percentiles_are_ordered() {
+    let m = serve_with(FlashInferBackend::default(), &requests(64, 16.0, 1));
+    assert!(m.p99_ttft() >= m.median_ttft());
+    assert!(m.p99_itl() >= m.median_itl());
+}

@@ -1,0 +1,132 @@
+//! Integration: structural sliding-window layouts (fi-sparse::window) are
+//! numerically identical to mask-only sliding-window attention over the
+//! full cache, while gathering a fraction of the KV — the Streaming-LLM
+//! serving configuration done right.
+
+#![allow(clippy::needless_range_loop)]
+use flashinfer::core::config::HeadConfig;
+use flashinfer::core::kernel::{AttentionProblem, FlashKernel};
+use flashinfer::core::tiles::TileConfig;
+use flashinfer::core::variant::{SlidingWindowAttention, VariantParams};
+use flashinfer::sparse::bsr::{BlockEntry, BlockSparseMatrix};
+use flashinfer::sparse::window::sliding_window_layout;
+use flashinfer::tensor::numerics::allclose;
+use flashinfer::tensor::{RaggedTensor, Tensor};
+
+fn mix(i: usize, s: u64) -> f32 {
+    let x = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(s);
+    ((x >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+}
+
+#[test]
+fn structural_window_matches_masked_full_attention() {
+    let heads = HeadConfig::new(2, 1, 8).unwrap();
+    let params = VariantParams::for_head_dim(8);
+    let window = 24usize;
+    let sink = 4usize;
+    let variant = SlidingWindowAttention { window, sink_tokens: sink };
+
+    // Two decode requests stored contiguously: lengths 200 and 57.
+    let kv_lens = [200usize, 57];
+    let starts = [0usize, 200];
+    let pool = 257usize;
+    let k = Tensor::<f32>::from_fn(vec![pool, heads.kv_width()], |i| mix(i, 1));
+    let v = Tensor::<f32>::from_fn(vec![pool, heads.kv_width()], |i| mix(i, 2));
+    let mut q = RaggedTensor::<f32>::from_seq_lens(&[1, 1], heads.qo_width());
+    for (i, x) in q.as_tensor_mut().as_mut_slice().iter_mut().enumerate() {
+        *x = mix(i, 3);
+    }
+    let kern = FlashKernel { tile: TileConfig { tq: 1, tkv: 16 }, head_fusion: true };
+
+    // Full layout + mask: gathers everything, mask hides the middle.
+    let full_rows: Vec<(usize, usize, Vec<BlockEntry>)> = (0..2)
+        .map(|i| {
+            let entries = (0..kv_lens[i])
+                .map(|p| BlockEntry { col_block: starts[i] + p, len: 1 })
+                .collect();
+            (i, i + 1, entries)
+        })
+        .collect();
+    let full_layout = BlockSparseMatrix::new(2, pool, 1, full_rows).unwrap();
+    let p_full =
+        AttentionProblem::standard_batch(&q, &k, &v, &full_layout, heads, &kv_lens).unwrap();
+    let out_full = kern.run(&p_full, &variant, &params).unwrap();
+
+    // Structural layout: only sink + window gathered. The kv positions of
+    // gathered slots are NOT contiguous in the sequence, so kv_pos_offsets
+    // can't express the gap — instead run with a per-request layout whose
+    // gather order is (sink, window) and a mask-free equivalent computed
+    // via explicit position bookkeeping: here we exploit that the
+    // structural cover plus the SAME variant mask (positions derived from
+    // the offset of each block row) yields identical visible sets when the
+    // window region is block-aligned, so choose bc = 4 dividing all edges.
+    let bc = 4usize;
+    let win_layout =
+        sliding_window_layout(pool, &starts, &kv_lens, window, sink, bc).unwrap();
+    // Positions: the kernel derives kv_pos from gather order + offset;
+    // with a gap that numbering is wrong for the window part. Run each
+    // request's parts separately and merge states instead.
+    use flashinfer::core::state::AttentionState;
+    let d = heads.head_dim;
+    for i in 0..2 {
+        let cols = win_layout.gather_columns(i);
+        // Split the gather into sink part and window part.
+        let sink_cols: Vec<usize> =
+            cols.iter().copied().filter(|&c| c < starts[i] + sink).collect();
+        let win_cols: Vec<usize> =
+            cols.iter().copied().filter(|&c| c >= starts[i] + sink).collect();
+        let win_first_pos = win_cols[0] - starts[i];
+
+        let mut merged: Vec<AttentionState> = Vec::new();
+        for h in 0..heads.num_qo_heads {
+            let _ = h;
+            merged.push(AttentionState::identity(d));
+        }
+        for (part_cols, offset) in [(sink_cols, 0usize), (win_cols, win_first_pos)] {
+            if part_cols.is_empty() {
+                continue;
+            }
+            let entries: Vec<BlockEntry> =
+                part_cols.iter().map(|&c| BlockEntry { col_block: c, len: 1 }).collect();
+            let layout = BlockSparseMatrix::new(1, pool, 1, vec![(0, 1, entries)]).unwrap();
+            let mut q1 = RaggedTensor::<f32>::from_seq_lens(&[1], heads.qo_width());
+            q1.seq_mut(0).copy_from_slice(q.seq(i));
+            let problem = AttentionProblem::new(
+                &q1,
+                &k,
+                &v,
+                &layout,
+                heads,
+                vec![flashinfer::core::kernel::RowMeta {
+                    batch_idx: 0,
+                    qo_pos: 0,
+                    qo_len: 1,
+                    kv_len: kv_lens[i],
+                }],
+                vec![offset],
+            )
+            .unwrap();
+            let out = kern.run(&problem, &variant, &params).unwrap();
+            for h in 0..heads.num_qo_heads {
+                let st = AttentionState {
+                    o: out.o.seq(0)[h * d..(h + 1) * d].to_vec(),
+                    lse: out.lse[h],
+                };
+                merged[h] = merged[h].merge(&st);
+            }
+        }
+        for h in 0..heads.num_qo_heads {
+            let expect = &out_full.o.seq(i)[h * d..(h + 1) * d];
+            assert!(
+                allclose(&merged[h].o, expect, 1e-4, 1e-5),
+                "request {i} head {h}: structural window != masked full"
+            );
+        }
+        // And the structural cover gathered far less.
+        assert!(
+            win_layout.block_row_kv_len(i) <= sink + window + 2 * bc,
+            "gathered {} for window {window}+{sink}",
+            win_layout.block_row_kv_len(i)
+        );
+    }
+}
