@@ -4,6 +4,7 @@
 //! radix-tree matching.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fi_core::arch::Arch;
 use fi_core::config::HeadConfig;
 use fi_core::jit::{LogitsOp, VariantSpec};
 use fi_core::kernel::{AttentionProblem, FlashKernel};
@@ -12,7 +13,7 @@ use fi_core::tiles::TileConfig;
 use fi_core::variant::{AttentionVariant, LogitCtx, VanillaAttention, VariantParams};
 use fi_kvcache::paged::{PagedKvCache, PagedKvConfig};
 use fi_kvcache::RadixTree;
-use fi_sched::plan::{balanced_plan, CostModel};
+use fi_sched::pipeline::{AttentionPipeline, SchedulePolicy};
 use fi_serving::costlayout::{cost_layout, decode_items};
 use fi_sparse::bsr::{BlockEntry, BlockSparseMatrix};
 use fi_tensor::{RaggedTensor, Tensor};
@@ -20,8 +21,14 @@ use fi_tensor::{RaggedTensor, Tensor};
 fn bench_state_merge(c: &mut Criterion) {
     let mut g = c.benchmark_group("state_merge");
     for dim in [64usize, 128, 256] {
-        let a = AttentionState { o: vec![0.5; dim], lse: 1.0 };
-        let b = AttentionState { o: vec![-0.25; dim], lse: 0.3 };
+        let a = AttentionState {
+            o: vec![0.5; dim],
+            lse: 1.0,
+        };
+        let b = AttentionState {
+            o: vec![-0.25; dim],
+            lse: 0.3,
+        };
         g.throughput(Throughput::Elements(dim as u64));
         g.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |bench, _| {
             bench.iter(|| std::hint::black_box(a.merge(&b)));
@@ -31,19 +38,37 @@ fn bench_state_merge(c: &mut Criterion) {
 }
 
 fn bench_plan(c: &mut Criterion) {
-    let mut g = c.benchmark_group("balanced_plan");
+    let mut g = c.benchmark_group("pipeline_plan");
     for n_tiles in [128usize, 1024, 8192] {
         let lens: Vec<usize> = (0..n_tiles).map(|i| 256 + (i * 37) % 2048).collect();
         let items = decode_items(&lens, 1);
         let layout = cost_layout(&items, 64);
+        let mut pipeline = AttentionPipeline::analytical(
+            132,
+            TileConfig { tq: 16, tkv: 64 },
+            SchedulePolicy::Balanced,
+            Arch::Hopper,
+        )
+        .unwrap();
         g.throughput(Throughput::Elements(n_tiles as u64));
-        g.bench_with_input(BenchmarkId::from_parameter(n_tiles), &n_tiles, |bench, _| {
+        // Cold: every iteration recomputes Algorithm 1 from scratch.
+        g.bench_with_input(BenchmarkId::new("cold", n_tiles), &n_tiles, |bench, _| {
             bench.iter(|| {
-                std::hint::black_box(
-                    balanced_plan(&layout, 132, CostModel::default()).unwrap().num_items(),
-                )
+                pipeline.invalidate();
+                std::hint::black_box(pipeline.plan(&layout, 1, 1).unwrap().num_items())
             });
         });
+        // Hot: the across-layers fast path the engine takes per step.
+        pipeline.plan(&layout, 1, 1).unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("cached_hit", n_tiles),
+            &n_tiles,
+            |bench, _| {
+                bench.iter(|| {
+                    std::hint::black_box(pipeline.plan(&layout, 1, 1).unwrap().num_items())
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -62,15 +87,28 @@ fn bench_flash_kernel(c: &mut Criterion) {
             1,
             kv,
             16,
-            vec![(0, 1, (0..kv / 16).map(|b| BlockEntry { col_block: b, len: 16 }).collect())],
+            vec![(
+                0,
+                1,
+                (0..kv / 16)
+                    .map(|b| BlockEntry {
+                        col_block: b,
+                        len: 16,
+                    })
+                    .collect(),
+            )],
         )
         .unwrap();
-        let problem =
-            AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[kv]).unwrap();
-        let kern = FlashKernel { tile: TileConfig { tq: 1, tkv: 64 }, head_fusion: true };
+        let problem = AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[kv]).unwrap();
+        let kern = FlashKernel {
+            tile: TileConfig { tq: 1, tkv: 64 },
+            head_fusion: true,
+        };
         let variant = VanillaAttention { causal: true };
         let params = VariantParams::for_head_dim(64);
-        g.throughput(Throughput::Elements((kv * heads.num_qo_heads * heads.head_dim) as u64));
+        g.throughput(Throughput::Elements(
+            (kv * heads.num_qo_heads * heads.head_dim) as u64,
+        ));
         g.bench_with_input(BenchmarkId::from_parameter(kv), &kv, |bench, _| {
             bench.iter(|| std::hint::black_box(kern.run(&problem, &variant, &params).unwrap()));
         });
@@ -109,7 +147,12 @@ fn bench_variant_dispatch(c: &mut Criterion) {
 }
 
 fn bench_paged_append(c: &mut Criterion) {
-    let cfg = PagedKvConfig { page_size: 16, num_pages: 8192, num_kv_heads: 8, head_dim: 128 };
+    let cfg = PagedKvConfig {
+        page_size: 16,
+        num_pages: 8192,
+        num_kv_heads: 8,
+        head_dim: 128,
+    };
     let row = vec![0.5f32; cfg.row_width()];
     c.bench_function("paged_append_64_tokens", |b| {
         b.iter_batched(
@@ -151,7 +194,10 @@ fn bench_radix_match(c: &mut Criterion) {
 fn bench_bsr_gather(c: &mut Criterion) {
     let n_pages = 1024usize;
     let entries: Vec<BlockEntry> = (0..n_pages)
-        .map(|p| BlockEntry { col_block: (p * 2654435761) % n_pages, len: 16 })
+        .map(|p| BlockEntry {
+            col_block: (p * 2654435761) % n_pages,
+            len: 16,
+        })
         .collect();
     let m = BlockSparseMatrix::new(1, n_pages * 16, 16, vec![(0, 1, entries)]).unwrap();
     c.bench_function("bsr_gather_columns_16k", |b| {

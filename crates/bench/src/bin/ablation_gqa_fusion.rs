@@ -5,7 +5,7 @@
 //! group sizes, plus the numeric-path byte accounting from the real
 //! kernel (`fi-core`).
 
-use fi_bench::Experiment;
+use fi_bench::{plan_layout, Experiment};
 use fi_core::config::HeadConfig;
 use fi_core::gqa::kv_load_bytes;
 use fi_core::kernel::{AttentionProblem, FlashKernel};
@@ -13,7 +13,7 @@ use fi_core::tiles::{select_tile, TileConfig};
 use fi_core::variant::{VanillaAttention, VariantParams};
 use fi_gpusim::exec::{execute_plan, ExecContext};
 use fi_gpusim::GpuSpec;
-use fi_sched::plan::{balanced_plan, CostModel};
+use fi_sched::pipeline::SchedulePolicy;
 use fi_serving::costlayout::{cost_layout, decode_items};
 use fi_sparse::bsr::{BlockEntry, BlockSparseMatrix};
 use fi_tensor::{RaggedTensor, Tensor};
@@ -36,7 +36,7 @@ fn main() {
         let tile = select_tile(group as f64, heads.head_dim, spec.sm);
         let items = decode_items(&vec![kv_len; batch], num_kv_heads);
         let layout = cost_layout(&items, 64);
-        let plan = balanced_plan(&layout, spec.num_sms, CostModel::default()).unwrap();
+        let plan = plan_layout(&layout, spec.num_sms, tile, SchedulePolicy::Balanced);
         let mut ctx = ExecContext::new(spec, heads, tile);
         ctx.heads_per_item = 1;
         let fused = execute_plan(&plan, &layout, &ctx);
@@ -45,7 +45,10 @@ fn main() {
         let tag = format!("g={group}");
         fused_pts.push((tag.clone(), fused.makespan * 1e6));
         unfused_pts.push((tag.clone(), unfused.makespan * 1e6));
-        tf.push((tag.clone(), kv_load_bytes(heads, kv_len, 2, true) as f64 / 1e6));
+        tf.push((
+            tag.clone(),
+            kv_load_bytes(heads, kv_len, 2, true) as f64 / 1e6,
+        ));
         tu.push((tag, kv_load_bytes(heads, kv_len, 2, false) as f64 / 1e6));
     }
     lat.push("fused", fused_pts);
@@ -71,18 +74,33 @@ fn main() {
         1,
         l_kv,
         16,
-        vec![(0, 1, (0..4).map(|c| BlockEntry { col_block: c, len: 16 }).collect())],
+        vec![(
+            0,
+            1,
+            (0..4)
+                .map(|c| BlockEntry {
+                    col_block: c,
+                    len: 16,
+                })
+                .collect(),
+        )],
     )
     .unwrap();
     let problem = AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[l_kv]).unwrap();
     let params = VariantParams::for_head_dim(16);
     let variant = VanillaAttention { causal: true };
-    let f = FlashKernel { tile: TileConfig { tq: 1, tkv: 16 }, head_fusion: true }
-        .run(&problem, &variant, &params)
-        .unwrap();
-    let u = FlashKernel { tile: TileConfig { tq: 1, tkv: 16 }, head_fusion: false }
-        .run(&problem, &variant, &params)
-        .unwrap();
+    let f = FlashKernel {
+        tile: TileConfig { tq: 1, tkv: 16 },
+        head_fusion: true,
+    }
+    .run(&problem, &variant, &params)
+    .unwrap();
+    let u = FlashKernel {
+        tile: TileConfig { tq: 1, tkv: 16 },
+        head_fusion: false,
+    }
+    .run(&problem, &variant, &params)
+    .unwrap();
     println!(
         "\nKernel gather bytes: fused {} vs unfused {} (ratio {} = group size {})",
         f.stats.gather.global_bytes,

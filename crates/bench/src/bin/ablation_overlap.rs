@@ -21,7 +21,10 @@ fn main() {
     let tile = select_tile(heads.group_size() as f64, heads.head_dim, spec.sm);
     let items = decode_items(&vec![2048usize; 32], heads.num_kv_heads);
 
-    let mut e = Experiment::new("ablation_sm_budget", "decode attention time (us) vs SM budget");
+    let mut e = Experiment::new(
+        "ablation_sm_budget",
+        "decode attention time (us) vs SM budget",
+    );
     let budgets = [132usize, 96, 64, 32, 16, 8];
     let pts: Vec<(String, f64)> = budgets
         .iter()
@@ -65,7 +68,7 @@ fn main() {
         cfg.chunked_prefill_budget = budget;
         let m = Engine::new(FlashInferBackend::default(), model, spec, cfg).serve(&reqs);
         let tag = budget.map_or("whole".to_string(), |b| format!("{b}"));
-        itl_pts.push((tag.clone(), fi_serving::metrics::percentile(&m.itl, 99.0) * 1e3));
+        itl_pts.push((tag.clone(), m.itl_summary().percentile(99.0) * 1e3));
         ttft_pts.push((tag, m.median_ttft() * 1e3));
     }
     cp.push("p99_itl", itl_pts);

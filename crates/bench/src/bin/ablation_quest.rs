@@ -5,7 +5,7 @@
 //! cost model. The paper's claim: "FlashInfer's block sparse kernel
 //! remains effective" for dynamic KV sparsity — no kernel change needed.
 
-use fi_bench::Experiment;
+use fi_bench::{plan_layout, Experiment};
 use fi_core::config::HeadConfig;
 use fi_core::kernel::{AttentionProblem, FlashKernel};
 use fi_core::quest::{quest_layout, PageSummaries};
@@ -13,7 +13,7 @@ use fi_core::tiles::{select_tile, TileConfig};
 use fi_core::variant::{VanillaAttention, VariantParams};
 use fi_gpusim::exec::{execute_plan, ExecContext};
 use fi_gpusim::GpuSpec;
-use fi_sched::plan::{balanced_plan, CostModel};
+use fi_sched::pipeline::SchedulePolicy;
 use fi_serving::costlayout::{cost_layout, CostItem};
 use fi_serving::model::ModelConfig;
 use fi_sparse::page::PageTable;
@@ -64,14 +64,20 @@ fn main() {
     )
     .unwrap();
     let summaries = PageSummaries::build(&k, page_size);
-    let kern = FlashKernel { tile: TileConfig { tq: 1, tkv: 32 }, head_fusion: true };
+    let kern = FlashKernel {
+        tile: TileConfig { tq: 1, tkv: 32 },
+        head_fusion: true,
+    };
 
     let full_layout = pt.to_bsr(&[1], 1).unwrap();
     let full_problem =
         AttentionProblem::standard_batch(&q, &k, &v, &full_layout, heads, &[kv_len]).unwrap();
     let full = kern.run(&full_problem, &variant, &params).unwrap();
 
-    let mut recall = Experiment::new("ablation_quest_recall", "cosine similarity to full attention");
+    let mut recall = Experiment::new(
+        "ablation_quest_recall",
+        "cosine similarity to full attention",
+    );
     let mut pts = Vec::new();
     for top_k in [2usize, 4, 8, 16, 32, 64] {
         let layout = quest_layout(&pt, &q, heads, &summaries, top_k).unwrap();
@@ -96,15 +102,21 @@ fn main() {
     let mheads = model.heads();
     let tile = select_tile(mheads.group_size() as f64, mheads.head_dim, spec.sm);
     let context = 64 * 1024usize;
-    let mut lat = Experiment::new("ablation_quest_latency", "decode attention time (us), 64k context");
+    let mut lat = Experiment::new(
+        "ablation_quest_latency",
+        "decode attention time (us), 64k context",
+    );
     let mut pts = Vec::new();
     for keep_pages in [4096usize, 1024, 256, 64] {
         let kept_tokens = (keep_pages * 16).min(context);
         let items: Vec<CostItem> = (0..16 * mheads.num_kv_heads)
-            .map(|_| CostItem { rows: 1, kv: kept_tokens })
+            .map(|_| CostItem {
+                rows: 1,
+                kv: kept_tokens,
+            })
             .collect();
         let layout = cost_layout(&items, 64);
-        let plan = balanced_plan(&layout, spec.num_sms, CostModel::default()).unwrap();
+        let plan = plan_layout(&layout, spec.num_sms, tile, SchedulePolicy::Balanced);
         let mut ctx = ExecContext::new(spec, mheads, tile);
         ctx.heads_per_item = 1;
         ctx.sparse_gather_penalty = 0.01;

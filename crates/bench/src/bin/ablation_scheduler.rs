@@ -2,11 +2,11 @@
 //! function of batch skew. Reports makespan, mean SM idle fraction and the
 //! split/merge counts — the mechanism behind Figure 8's uniform/zipf gaps.
 
-use fi_bench::Experiment;
+use fi_bench::{plan_layout, Experiment};
 use fi_core::tiles::select_tile;
 use fi_gpusim::exec::{execute_plan, ExecContext};
 use fi_gpusim::GpuSpec;
-use fi_sched::plan::{balanced_plan, naive_plan, CostModel};
+use fi_sched::pipeline::SchedulePolicy;
 use fi_serving::costlayout::{cost_layout, decode_items};
 use fi_serving::model::ModelConfig;
 use fi_serving::workload::zipf_lengths;
@@ -47,8 +47,8 @@ fn main() {
         let layout = cost_layout(&items, 64);
         let mut ctx = ExecContext::new(spec, heads, tile);
         ctx.heads_per_item = 1;
-        let bal = balanced_plan(&layout, spec.num_sms, CostModel::default()).unwrap();
-        let nai = naive_plan(&layout, spec.num_sms, CostModel::default()).unwrap();
+        let bal = plan_layout(&layout, spec.num_sms, tile, SchedulePolicy::Balanced);
+        let nai = plan_layout(&layout, spec.num_sms, tile, SchedulePolicy::Naive);
         let rb = execute_plan(&bal, &layout, &ctx);
         let rn = execute_plan(&nai, &layout, &ctx);
         bal_ms.push((name.to_string(), rb.makespan * 1e6));

@@ -50,8 +50,12 @@ fn main() {
     let mut tok_pts = Vec::new();
     let mut spd_pts = Vec::new();
     for &(depth, branching) in &shapes {
-        let cfg =
-            SpecDecodeConfig { depth, branching, accept_prob: 0.8, draft_cost_frac: 0.05 };
+        let cfg = SpecDecodeConfig {
+            depth,
+            branching,
+            accept_prob: 0.8,
+            draft_cost_frac: 0.05,
+        };
         let mut rng = StdRng::seed_from_u64(23);
         let r = simulate(&cfg, &model, &spec, 8192, 3000, &mut rng);
         let tag = format!("d{depth}b{branching}");

@@ -33,7 +33,10 @@ fn run(model: ModelConfig, composable: bool, n: usize) -> ServingMetrics {
 
 fn main() {
     let ns = [1usize, 2, 4, 8, 16, 32, 64];
-    for (model, mname) in [(ModelConfig::LLAMA3_8B, "8b"), (ModelConfig::LLAMA3_70B, "70b")] {
+    for (model, mname) in [
+        (ModelConfig::LLAMA3_8B, "8b"),
+        (ModelConfig::LLAMA3_70B, "70b"),
+    ] {
         let mut itl = Experiment::new(
             &format!("fig10_parallel_itl_{mname}"),
             "median ITL (ms): composable vs single format",
@@ -50,14 +53,17 @@ fn main() {
             let on = run(model, true, n);
             let off = run(model, false, n);
             let tag = format!("n={n}");
-            on_itl.push((tag.clone(), on.median_itl() * 1e3));
-            off_itl.push((tag.clone(), off.median_itl() * 1e3));
-            on_ttft.push((tag.clone(), on.median_ttft() * 1e3));
-            off_ttft.push((tag.clone(), off.median_ttft() * 1e3));
+            // Sort each sample set once; every percentile below reuses it.
+            let (on_i, off_i) = (on.itl_summary(), off.itl_summary());
+            let (on_t, off_t) = (on.ttft_summary(), off.ttft_summary());
+            on_itl.push((tag.clone(), on_i.percentile(50.0) * 1e3));
+            off_itl.push((tag.clone(), off_i.percentile(50.0) * 1e3));
+            on_ttft.push((tag.clone(), on_t.percentile(50.0) * 1e3));
+            off_ttft.push((tag.clone(), off_t.percentile(50.0) * 1e3));
             println!(
                 "{mname} n={n:>2}: ITL change {:+.2}%  TTFT change {:+.2}%",
-                pct_change(off.median_itl(), on.median_itl()),
-                pct_change(off.median_ttft(), on.median_ttft()),
+                pct_change(off_i.percentile(50.0), on_i.percentile(50.0)),
+                pct_change(off_t.percentile(50.0), on_t.percentile(50.0)),
             );
         }
         itl.push("composable", on_itl);

@@ -9,12 +9,12 @@
 //! (≈2%). Decode tiles see only index traffic (≈1%), which the harness
 //! additionally derives from the real gather module's run accounting.
 
-use fi_bench::Experiment;
+use fi_bench::{plan_layout, Experiment};
 use fi_core::arch::{select_kernel, Arch};
 use fi_core::gather::Stager;
 use fi_gpusim::exec::{execute_plan, ExecContext};
 use fi_gpusim::GpuSpec;
-use fi_sched::plan::{balanced_plan, CostModel};
+use fi_sched::pipeline::SchedulePolicy;
 use fi_serving::costlayout::{cost_layout, decode_items, prefill_items};
 use fi_serving::model::ModelConfig;
 use fi_tensor::Tensor;
@@ -37,8 +37,14 @@ fn model_32h() -> ModelConfig {
 fn main() {
     let model = model_32h();
     let heads = model.heads();
-    let sweep: [(usize, usize); 6] =
-        [(1, 4096), (4, 4096), (16, 2048), (16, 4096), (64, 1024), (128, 512)];
+    let sweep: [(usize, usize); 6] = [
+        (1, 4096),
+        (4, 4096),
+        (16, 2048),
+        (16, 4096),
+        (64, 1024),
+        (128, 512),
+    ];
 
     for (arch, spec, gpu_name) in [
         (Arch::Hopper, GpuSpec::H100_80G, "h100_fa3"),
@@ -58,11 +64,15 @@ fn main() {
             let tag = format!("{batch}x{len}");
             for (sel, pts, penalty) in [
                 (dense_sel, &mut dense_pts, 0.0),
-                (sparse_sel, &mut sparse_pts, sparse_sel.sparse_gather_penalty()),
+                (
+                    sparse_sel,
+                    &mut sparse_pts,
+                    sparse_sel.sparse_gather_penalty(),
+                ),
             ] {
                 let items = prefill_items(&lens, &lens, sel.tile.tq, heads.num_kv_heads);
                 let layout = cost_layout(&items, 64);
-                let plan = balanced_plan(&layout, spec.num_sms, CostModel::default()).unwrap();
+                let plan = plan_layout(&layout, spec.num_sms, sel.tile, SchedulePolicy::Balanced);
                 let mut ctx = ExecContext::new(spec, heads, sel.tile);
                 ctx.heads_per_item = 1;
                 ctx.sparse_gather_penalty = penalty;
@@ -85,13 +95,22 @@ fn main() {
         for &(batch, len) in &sweep {
             let items = decode_items(&vec![len; batch], heads.num_kv_heads);
             let layout = cost_layout(&items, 64);
-            let plan = balanced_plan(&layout, spec.num_sms, CostModel::default()).unwrap();
             let dense_sel = select_kernel(1.0, heads.head_dim, arch, false);
             let sparse_sel = select_kernel(1.0, heads.head_dim, arch, true);
+            let plan = plan_layout(
+                &layout,
+                spec.num_sms,
+                dense_sel.tile,
+                SchedulePolicy::Balanced,
+            );
             let tag = format!("{batch}x{len}");
             for (sel, pts, penalty) in [
                 (dense_sel, &mut dense_pts, 0.0),
-                (sparse_sel, &mut sparse_pts, sparse_sel.sparse_gather_penalty()),
+                (
+                    sparse_sel,
+                    &mut sparse_pts,
+                    sparse_sel.sparse_gather_penalty(),
+                ),
             ] {
                 let mut ctx = ExecContext::new(spec, heads, sel.tile);
                 ctx.heads_per_item = 1;

@@ -45,7 +45,12 @@ fn tune_rate(model: ModelConfig, spec: GpuSpec, workload: &str) -> f64 {
     let (mut lo, mut hi) = (0.25f64, 256.0f64);
     for _ in 0..9 {
         let mid = (lo * hi).sqrt();
-        let m = serve(FlashInferBackend::default(), model, spec, &requests(workload, mid, 7));
+        let m = serve(
+            FlashInferBackend::default(),
+            model,
+            spec,
+            &requests(workload, mid, 7),
+        );
         if m.p99_ttft() < 0.2 {
             lo = mid;
         } else {
@@ -84,19 +89,22 @@ fn main() {
                 serve(TritonLikeBackend, model, spec, &reqs),
                 serve(TrtLikeBackend, model, spec, &reqs),
             ];
-            for (row, m) in itl_rows.iter_mut().zip(&results) {
-                row.1.push((col.clone(), m.median_itl() * 1e3));
+            // One sort per backend's sample set, reused for every query.
+            let itl_summaries: Vec<_> = results.iter().map(|m| m.itl_summary()).collect();
+            for (row, s) in itl_rows.iter_mut().zip(&itl_summaries) {
+                row.1.push((col.clone(), s.percentile(50.0) * 1e3));
             }
             for (row, m) in ttft_rows.iter_mut().zip(&results) {
-                row.1.push((col.clone(), m.median_ttft() * 1e3));
+                row.1
+                    .push((col.clone(), m.ttft_summary().percentile(50.0) * 1e3));
             }
-            let fi = &results[0];
-            let tr = &results[1];
+            let fi = itl_summaries[0].percentile(50.0);
+            let tr = itl_summaries[1].percentile(50.0);
             println!(
                 "  ITL reduction vs triton: {:.1}%  (fi {:.2} ms, triton {:.2} ms)",
-                -pct_change(tr.median_itl(), fi.median_itl()),
-                fi.median_itl() * 1e3,
-                tr.median_itl() * 1e3,
+                -pct_change(tr, fi),
+                fi * 1e3,
+                tr * 1e3,
             );
         }
     }

@@ -3,11 +3,11 @@
 //! FlashInfer vs a FlashAttention-style baseline (fixed tiles, no
 //! load-balanced scheduling), batch 16, causal prefill.
 
-use fi_bench::Experiment;
-use fi_core::tiles::{select_tile, FA2_FIXED_TILE, TileConfig};
+use fi_bench::{plan_layout, Experiment};
+use fi_core::tiles::{select_tile, TileConfig, FA2_FIXED_TILE};
 use fi_gpusim::exec::{execute_plan, ExecContext};
 use fi_gpusim::GpuSpec;
-use fi_sched::plan::{balanced_plan, naive_plan, CostModel};
+use fi_sched::pipeline::SchedulePolicy;
 use fi_serving::costlayout::{cost_layout, decode_items, prefill_items, CostItem};
 use fi_serving::model::ModelConfig;
 use fi_serving::workload::{constant_lengths, uniform_lengths, zipf_lengths};
@@ -32,12 +32,12 @@ fn run_items(
     balanced: bool,
 ) -> fi_gpusim::ExecReport {
     let layout = cost_layout(items, 64);
-    let plan = if balanced {
-        balanced_plan(&layout, spec.num_sms, CostModel::default())
+    let policy = if balanced {
+        SchedulePolicy::Balanced
     } else {
-        naive_plan(&layout, spec.num_sms, CostModel::default())
-    }
-    .expect("ctas > 0");
+        SchedulePolicy::Naive
+    };
+    let plan = plan_layout(&layout, spec.num_sms, tile, policy);
     let mut ctx = ExecContext::new(spec, model.heads(), tile);
     ctx.heads_per_item = 1;
     execute_plan(&plan, &layout, &ctx)

@@ -22,8 +22,15 @@ fn main() {
         let pts = windows
             .iter()
             .map(|&w| {
-                let cfg = StreamingLlmConfig { sink_tokens: 4, window: w, mode };
-                (format!("win{w}"), streaming_itl(&cfg, &model, &spec, batch) * 1e3)
+                let cfg = StreamingLlmConfig {
+                    sink_tokens: 4,
+                    window: w,
+                    mode,
+                };
+                (
+                    format!("win{w}"),
+                    streaming_itl(&cfg, &model, &spec, batch) * 1e3,
+                )
             })
             .collect();
         let name = match mode {
@@ -38,18 +45,29 @@ fn main() {
 
     for &w in &windows {
         let f = streaming_itl(
-            &StreamingLlmConfig { sink_tokens: 4, window: w, mode: RopeMode::Fused },
+            &StreamingLlmConfig {
+                sink_tokens: 4,
+                window: w,
+                mode: RopeMode::Fused,
+            },
             &model,
             &spec,
             batch,
         );
         let u = streaming_itl(
-            &StreamingLlmConfig { sink_tokens: 4, window: w, mode: RopeMode::Unfused },
+            &StreamingLlmConfig {
+                sink_tokens: 4,
+                window: w,
+                mode: RopeMode::Unfused,
+            },
             &model,
             &spec,
             batch,
         );
-        println!("window {w}: fused ITL reduction vs unfused = {:.1}%", -pct_change(u, f));
+        println!(
+            "window {w}: fused ITL reduction vs unfused = {:.1}%",
+            -pct_change(u, f)
+        );
     }
 
     let mut bw = Experiment::new(
@@ -60,7 +78,11 @@ fn main() {
     let mut unfused_pts = Vec::new();
     let mut ratio_pts = Vec::new();
     for &w in &windows {
-        let cfg = StreamingLlmConfig { sink_tokens: 4, window: w, mode: RopeMode::Fused };
+        let cfg = StreamingLlmConfig {
+            sink_tokens: 4,
+            window: w,
+            mode: RopeMode::Fused,
+        };
         let (f, u) = rope_attention_bandwidth_util(&cfg, &model, &spec, batch);
         fused_pts.push((format!("win{w}"), f));
         unfused_pts.push((format!("win{w}"), u));

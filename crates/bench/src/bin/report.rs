@@ -55,8 +55,13 @@ fn main() {
 
     println!("{} experiment files loaded\n", experiments.len());
     for e in &experiments {
-        println!("{:<36} [{}] — {} series x {} points", e.id, e.metric, e.series.len(),
-            e.series.first().map_or(0, |s| s.points.len()));
+        println!(
+            "{:<36} [{}] — {} series x {} points",
+            e.id,
+            e.metric,
+            e.series.len(),
+            e.series.first().map_or(0, |s| s.points.len())
+        );
     }
 
     println!("\n== headline checks ==");
@@ -64,9 +69,10 @@ fn main() {
     for e in &experiments {
         match e.id.as_str() {
             id if id.starts_with("fig7_median_itl") => {
-                if let (Some(fi), Some(tr)) =
-                    (find(&e.series, "flashinfer"), find(&e.series, "triton-like"))
-                {
+                if let (Some(fi), Some(tr)) = (
+                    find(&e.series, "flashinfer"),
+                    find(&e.series, "triton-like"),
+                ) {
                     let ok = fi.iter().zip(&tr).all(|(a, b)| a < b);
                     let max_red = fi
                         .iter()
@@ -80,25 +86,30 @@ fn main() {
                 }
             }
             id if id.starts_with("fig8_decode_bandwidth") => {
-                if let (Some(fi), Some(fa)) =
-                    (find(&e.series, "flashinfer"), find(&e.series, "flashattention"))
-                {
+                if let (Some(fi), Some(fa)) = (
+                    find(&e.series, "flashinfer"),
+                    find(&e.series, "flashattention"),
+                ) {
                     // zipf is the last column: dramatic gap expected.
-                    let ok = fi.last().copied().unwrap_or(0.0)
-                        > 3.0 * fa.last().copied().unwrap_or(1.0);
+                    let ok =
+                        fi.last().copied().unwrap_or(0.0) > 3.0 * fa.last().copied().unwrap_or(1.0);
                     checks.push((format!("{id}: >3x bandwidth on zipf"), ok));
                 }
             }
             "fig9_fused_rope_bandwidth" => {
                 if let Some(ratio) = find(&e.series, "ratio") {
                     let ok = ratio.iter().all(|&r| (1.6..=3.7).contains(&r));
-                    checks.push(("Fig 9: fused/unfused ratio within the paper's 1.6-3.7x band".into(), ok));
+                    checks.push((
+                        "Fig 9: fused/unfused ratio within the paper's 1.6-3.7x band".into(),
+                        ok,
+                    ));
                 }
             }
             id if id.starts_with("fig10_parallel_itl") => {
-                if let (Some(on), Some(off)) =
-                    (find(&e.series, "composable"), find(&e.series, "single-format"))
-                {
+                if let (Some(on), Some(off)) = (
+                    find(&e.series, "composable"),
+                    find(&e.series, "single-format"),
+                ) {
                     // n=4..n=32 are indices 2..=5.
                     let ok = (2..=5).all(|i| on[i] <= off[i]);
                     checks.push((format!("{id}: composable wins for 4<=n<=32"), ok));
@@ -108,16 +119,24 @@ fn main() {
                 if let (Some(d), Some(s)) =
                     (find(&e.series, "dense"), find(&e.series, "sparse-page1"))
                 {
-                    let gaps: Vec<f64> =
-                        d.iter().zip(&s).map(|(a, b)| (1.0 - b / a) * 100.0).collect();
+                    let gaps: Vec<f64> = d
+                        .iter()
+                        .zip(&s)
+                        .map(|(a, b)| (1.0 - b / a) * 100.0)
+                        .collect();
                     let max = gaps.iter().copied().fold(f64::MIN, f64::max);
                     let ok = max <= 12.0;
-                    checks.push((format!("{id}: sparse-gather gap <= 12% (max {max:.1}%)"), ok));
+                    checks.push((
+                        format!("{id}: sparse-gather gap <= 12% (max {max:.1}%)"),
+                        ok,
+                    ));
                 }
             }
             "ablation_scheduler_makespan" => {
-                if let (Some(b), Some(n)) = (find(&e.series, "balanced"), find(&e.series, "naive")) {
-                    let ok = b.last().copied().unwrap_or(1.0) * 4.0 < n.last().copied().unwrap_or(0.0);
+                if let (Some(b), Some(n)) = (find(&e.series, "balanced"), find(&e.series, "naive"))
+                {
+                    let ok =
+                        b.last().copied().unwrap_or(1.0) * 4.0 < n.last().copied().unwrap_or(0.0);
                     checks.push(("Alg.1: >4x faster than naive on extreme skew".into(), ok));
                 }
             }

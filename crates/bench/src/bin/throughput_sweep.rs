@@ -30,7 +30,10 @@ fn run<B: Backend>(backend: B, rate: f64) -> fi_serving::metrics::ServingMetrics
 
 fn main() {
     let rates = [4.0f64, 8.0, 16.0, 32.0, 64.0, 128.0];
-    let mut tput = Experiment::new("throughput_sweep", "output tokens/s vs offered rate (8B/H100, ShareGPT-like)");
+    let mut tput = Experiment::new(
+        "throughput_sweep",
+        "output tokens/s vs offered rate (8B/H100, ShareGPT-like)",
+    );
     let mut p99 = Experiment::new("throughput_p99_ttft", "p99 TTFT (ms) vs offered rate");
     for (name, f) in [
         ("flashinfer", 0usize),
@@ -46,7 +49,7 @@ fn main() {
                 _ => run(TrtLikeBackend, r),
             };
             t_pts.push((format!("{r}rps"), m.throughput()));
-            p_pts.push((format!("{r}rps"), m.p99_ttft() * 1e3));
+            p_pts.push((format!("{r}rps"), m.ttft_summary().percentile(99.0) * 1e3));
         }
         tput.push(name, t_pts);
         p99.push(name, p_pts);

@@ -20,6 +20,29 @@
 use std::fs;
 use std::path::PathBuf;
 
+use fi_core::arch::Arch;
+use fi_core::tiles::TileConfig;
+use fi_sched::pipeline::{AttentionPipeline, SchedulePolicy};
+use fi_sched::plan::Plan;
+use fi_sparse::BlockSparseMatrix;
+
+/// Plan a layout through the shared [`AttentionPipeline`] — the same
+/// plan→run path the engine and serving backends use — so the figure
+/// harnesses price exactly the schedules production code executes.
+pub fn plan_layout(
+    layout: &BlockSparseMatrix,
+    num_ctas: usize,
+    tile: TileConfig,
+    policy: SchedulePolicy,
+) -> Plan {
+    let mut pipeline =
+        AttentionPipeline::analytical(num_ctas, tile, policy, Arch::Ampere).expect("num_ctas > 0");
+    pipeline
+        .plan(layout, 1, 1)
+        .expect("cost layout admits a plan")
+        .clone()
+}
+
 /// One named series of (x, y) points.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct Series {
@@ -43,12 +66,19 @@ pub struct Experiment {
 impl Experiment {
     /// Create an empty experiment.
     pub fn new(id: &str, metric: &str) -> Experiment {
-        Experiment { id: id.into(), metric: metric.into(), series: Vec::new() }
+        Experiment {
+            id: id.into(),
+            metric: metric.into(),
+            series: Vec::new(),
+        }
     }
 
     /// Append a series.
     pub fn push(&mut self, name: &str, points: Vec<(String, f64)>) {
-        self.series.push(Series { name: name.into(), points });
+        self.series.push(Series {
+            name: name.into(),
+            points,
+        });
     }
 
     /// Print as an aligned table.

@@ -33,7 +33,11 @@ impl Arch {
     /// Per-SM resources of a representative part.
     pub fn sm_resources(self) -> SmResources {
         match self {
-            Arch::Turing => SmResources { shared_mem_bytes: 64 * 1024, registers: 65536, max_threads: 1024 },
+            Arch::Turing => SmResources {
+                shared_mem_bytes: 64 * 1024,
+                registers: 65536,
+                max_threads: 1024,
+            },
             Arch::Ampere => SmResources::A100,
             Arch::Ada => SmResources::ADA,
             Arch::Hopper => SmResources::H100,
@@ -108,7 +112,11 @@ pub fn select_kernel(
         tile.tq = (tile.tq / 64).max(1) * 64;
     }
     let algo = algo_for(arch, tile.tq);
-    let mut sel = KernelSelection { algo, tile, tma_eligible: algo == KernelAlgo::Fa3 && !sparse_layout };
+    let mut sel = KernelSelection {
+        algo,
+        tile,
+        tma_eligible: algo == KernelAlgo::Fa3 && !sparse_layout,
+    };
     if sel.algo == KernelAlgo::Fa3 && sparse_layout {
         // TMA unavailable: the fallback async-copy path costs registers,
         // forcing a one-notch smaller KV tile (Appendix B).
@@ -166,7 +174,13 @@ mod tests {
 
     #[test]
     fn turing_resources_are_smallest() {
-        assert!(Arch::Turing.sm_resources().shared_mem_bytes < Arch::Ada.sm_resources().shared_mem_bytes);
-        assert!(Arch::Hopper.sm_resources().shared_mem_bytes > Arch::Ampere.sm_resources().shared_mem_bytes);
+        assert!(
+            Arch::Turing.sm_resources().shared_mem_bytes
+                < Arch::Ada.sm_resources().shared_mem_bytes
+        );
+        assert!(
+            Arch::Hopper.sm_resources().shared_mem_bytes
+                > Arch::Ampere.sm_resources().shared_mem_bytes
+        );
     }
 }

@@ -37,7 +37,11 @@ impl HeadConfig {
                 "num_qo_heads {num_qo_heads} not divisible by num_kv_heads {num_kv_heads}"
             )));
         }
-        Ok(HeadConfig { num_qo_heads, num_kv_heads, head_dim })
+        Ok(HeadConfig {
+            num_qo_heads,
+            num_kv_heads,
+            head_dim,
+        })
     }
 
     /// GQA group size `g = H_qo / H_kv` (§2.1).

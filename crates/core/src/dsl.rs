@@ -103,7 +103,10 @@ pub fn parse(source: &str) -> Result<VariantSpec, AttentionError> {
                 let sink_tokens = s
                     .parse::<usize>()
                     .map_err(|_| err(line_no, format!("bad sink count `{s}`")))?;
-                current.mask(MaskSpec::SlidingWindow { window, sink_tokens })
+                current.mask(MaskSpec::SlidingWindow {
+                    window,
+                    sink_tokens,
+                })
             }
             ("rope", [theta]) => {
                 let theta = theta
@@ -142,7 +145,15 @@ mod tests {
     ";
 
     fn lctx(qo_pos: usize, kv_pos: usize, qo_len: usize, kv_len: usize) -> LogitCtx {
-        LogitCtx { batch_idx: 0, qo_pos, kv_pos, qo_head_idx: 0, kv_head_idx: 0, qo_len, kv_len }
+        LogitCtx {
+            batch_idx: 0,
+            qo_pos,
+            kv_pos,
+            qo_head_idx: 0,
+            kv_head_idx: 0,
+            qo_len,
+            kv_len,
+        }
     }
 
     #[test]
@@ -162,10 +173,8 @@ mod tests {
 
     #[test]
     fn parses_streaming_rope_window() {
-        let spec = parse(
-            "variant streaming\nlogits scale\nmask window 1024 4\nrope 10000",
-        )
-        .unwrap();
+        let spec =
+            parse("variant streaming\nlogits scale\nmask window 1024 4\nrope 10000").unwrap();
         let src = spec.render_cuda(DType::F16, 128);
         assert!(src.contains("apply_llama_rope"));
         assert!(src.contains("kv_idx < 4"));
@@ -179,12 +188,14 @@ mod tests {
 
     #[test]
     fn gemma_softcap_roundtrip() {
-        let spec = parse(
-            "variant gemma\nparam cap\nlogits scale\nlogits softcap cap\nmask causal",
-        )
-        .unwrap();
+        let spec = parse("variant gemma\nparam cap\nlogits scale\nlogits softcap cap\nmask causal")
+            .unwrap();
         let jit = spec.build().unwrap();
-        let p = VariantParams { sm_scale: 1.0, extra: Default::default() }.with_extra("cap", 30.0);
+        let p = VariantParams {
+            sm_scale: 1.0,
+            extra: Default::default(),
+        }
+        .with_extra("cap", 30.0);
         let big = jit.logits_transform(&p, 1e6, lctx(0, 0, 1, 1));
         assert!((big - 30.0).abs() < 1e-2);
     }
@@ -193,7 +204,9 @@ mod tests {
     fn error_reporting_with_line_numbers() {
         let e = parse("softmax off").unwrap_err().to_string();
         assert!(e.contains("line 1") && e.contains("variant"), "{e}");
-        let e = parse("variant a\nlogits add missing").unwrap_err().to_string();
+        let e = parse("variant a\nlogits add missing")
+            .unwrap_err()
+            .to_string();
         assert!(e.contains("line 2") && e.contains("missing"), "{e}");
         let e = parse("variant a\nmask window x 4").unwrap_err().to_string();
         assert!(e.contains("bad window"), "{e}");

@@ -63,6 +63,8 @@ mod tests {
         let e = AttentionError::Sparse(fi_sparse::SparseError::InvalidIndptr("x".into()));
         assert!(e.to_string().contains("sparse"));
         assert!(e.source().is_some());
-        assert!(AttentionError::InvalidProblem("p".into()).source().is_none());
+        assert!(AttentionError::InvalidProblem("p".into())
+            .source()
+            .is_none());
     }
 }

@@ -141,7 +141,10 @@ mod tests {
 
     fn dense_layout(rows: usize, kv: usize, bc: usize) -> BlockSparseMatrix {
         let entries: Vec<BlockEntry> = (0..kv.div_ceil(bc))
-            .map(|c| BlockEntry { col_block: c, len: bc.min(kv - c * bc) })
+            .map(|c| BlockEntry {
+                col_block: c,
+                len: bc.min(kv - c * bc),
+            })
             .collect();
         BlockSparseMatrix::new(rows, kv, bc, vec![(0, rows, entries)]).unwrap()
     }
@@ -164,9 +167,20 @@ mod tests {
         let layout = dense_layout(3, l_kv, 4);
         let problem =
             AttentionProblem::standard_batch(&q, &k, &val, &layout, heads, &[l_kv]).unwrap();
-        let kern = FlashKernel { tile: TileConfig { tq: 3, tkv: 4 }, head_fusion: true };
+        let kern = FlashKernel {
+            tile: TileConfig { tq: 3, tkv: 4 },
+            head_fusion: true,
+        };
         let out = kern.run(&problem, &v, &params).unwrap();
-        let r = reference_attention(&v, &params, heads, 0, q.seq(0), k.as_slice(), val.as_slice());
+        let r = reference_attention(
+            &v,
+            &params,
+            heads,
+            0,
+            q.seq(0),
+            k.as_slice(),
+            val.as_slice(),
+        );
         assert!(allclose(out.o.seq(0), &r.o, 1e-4, 1e-5));
     }
 
@@ -212,7 +226,11 @@ mod tests {
                 .map(|h| (0..d * d).map(|i| mix(i + h * 100, salt) * 0.5).collect())
                 .collect()
         };
-        let v = ProjectedAttention { q_proj: proj(21), k_proj: proj(22), head_dim: d };
+        let v = ProjectedAttention {
+            q_proj: proj(21),
+            k_proj: proj(22),
+            head_dim: d,
+        };
         let l_kv = 8;
         let mut q = RaggedTensor::<f32>::from_seq_lens(&[2], heads.qo_width());
         for (i, x) in q.as_tensor_mut().as_mut_slice().iter_mut().enumerate() {
@@ -223,9 +241,20 @@ mod tests {
         let layout = dense_layout(2, l_kv, 4);
         let problem =
             AttentionProblem::standard_batch(&q, &k, &vals, &layout, heads, &[l_kv]).unwrap();
-        let kern = FlashKernel { tile: TileConfig { tq: 2, tkv: 4 }, head_fusion: true };
+        let kern = FlashKernel {
+            tile: TileConfig { tq: 2, tkv: 4 },
+            head_fusion: true,
+        };
         let out = kern.run(&problem, &v, &params).unwrap();
-        let r = reference_attention(&v, &params, heads, 0, q.seq(0), k.as_slice(), vals.as_slice());
+        let r = reference_attention(
+            &v,
+            &params,
+            heads,
+            0,
+            q.seq(0),
+            k.as_slice(),
+            vals.as_slice(),
+        );
         assert!(allclose(out.o.seq(0), &r.o, 1e-4, 1e-5));
 
         // Equivalence with explicit pre-projection + vanilla attention.

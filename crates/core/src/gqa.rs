@@ -23,7 +23,9 @@ pub struct FusedLayout {
 impl FusedLayout {
     /// Build the layout for a head configuration.
     pub fn new(heads: HeadConfig) -> FusedLayout {
-        FusedLayout { group_size: heads.group_size() }
+        FusedLayout {
+            group_size: heads.group_size(),
+        }
     }
 
     /// Group size `g`.
@@ -68,12 +70,7 @@ impl FusedLayout {
 /// fusion every query head's threadblock loads the KV tile separately
 /// (`H_qo` loads of the per-kv-head slice); with fusion each KV head's tile
 /// is loaded once (`H_kv` loads).
-pub fn kv_load_bytes(
-    heads: HeadConfig,
-    kv_len: usize,
-    elem_bytes: usize,
-    fused: bool,
-) -> usize {
+pub fn kv_load_bytes(heads: HeadConfig, kv_len: usize, elem_bytes: usize, fused: bool) -> usize {
     let per_head = 2 * kv_len * heads.head_dim * elem_bytes; // K + V
     if fused {
         heads.num_kv_heads * per_head
@@ -140,6 +137,9 @@ mod tests {
         assert_eq!(unfused / fused, h.group_size());
         // MHA: no difference.
         let mha = HeadConfig::new(4, 4, 64).unwrap();
-        assert_eq!(kv_load_bytes(mha, 10, 2, true), kv_load_bytes(mha, 10, 2, false));
+        assert_eq!(
+            kv_load_bytes(mha, 10, 2, true),
+            kv_load_bytes(mha, 10, 2, false)
+        );
     }
 }

@@ -101,10 +101,12 @@ impl MaskSpec {
         match self {
             MaskSpec::None => true,
             MaskSpec::Causal => ctx.causally_visible(),
-            MaskSpec::SlidingWindow { window, sink_tokens } => {
+            MaskSpec::SlidingWindow {
+                window,
+                sink_tokens,
+            } => {
                 ctx.causally_visible()
-                    && (ctx.kv_pos < *sink_tokens
-                        || ctx.absolute_qo_pos() - ctx.kv_pos < *window)
+                    && (ctx.kv_pos < *sink_tokens || ctx.absolute_qo_pos() - ctx.kv_pos < *window)
             }
         }
     }
@@ -322,9 +324,11 @@ pub struct JitVariant {
 impl JitVariant {
     fn rope_for(&self, dim: usize) -> Option<&RotaryEmbedding> {
         let cell = self.rope.as_ref()?;
-        Some(cell.get_or_init(|| {
-            RotaryEmbedding::new(dim, self.spec.rope_theta.unwrap_or(10_000.0))
-        }))
+        Some(
+            cell.get_or_init(|| {
+                RotaryEmbedding::new(dim, self.spec.rope_theta.unwrap_or(10_000.0))
+            }),
+        )
     }
 }
 
@@ -537,7 +541,15 @@ mod tests {
     use crate::variant::{SigmoidAttention, SoftCapAttention};
 
     fn lctx(qo_pos: usize, kv_pos: usize, qo_len: usize, kv_len: usize) -> LogitCtx {
-        LogitCtx { batch_idx: 0, qo_pos, kv_pos, qo_head_idx: 0, kv_head_idx: 0, qo_len, kv_len }
+        LogitCtx {
+            batch_idx: 0,
+            qo_pos,
+            kv_pos,
+            qo_head_idx: 0,
+            kv_head_idx: 0,
+            qo_len,
+            kv_len,
+        }
     }
 
     fn sigmoid_spec() -> VariantSpec {
@@ -585,11 +597,19 @@ mod tests {
 
     #[test]
     fn fused_rope_spec_matches_builtin() {
-        let spec = VariantSpec::new("rope").logits_op(LogitsOp::Scale).fused_rope(10_000.0);
+        let spec = VariantSpec::new("rope")
+            .logits_op(LogitsOp::Scale)
+            .fused_rope(10_000.0);
         let jit = spec.build().unwrap();
         let builtin = crate::variant::FusedRopeAttention::new(8);
         let p = VariantParams::for_head_dim(8);
-        let ctx = QueryCtx { batch_idx: 0, qo_pos: 1, qo_head_idx: 0, qo_len: 2, kv_len: 7 };
+        let ctx = QueryCtx {
+            batch_idx: 0,
+            qo_pos: 1,
+            qo_head_idx: 0,
+            qo_len: 2,
+            kv_len: 7,
+        };
         let mut a: Vec<f32> = (0..8).map(|i| i as f32 * 0.3).collect();
         let mut b = a.clone();
         jit.query_transform(&p, &mut a, ctx);
@@ -600,7 +620,10 @@ mod tests {
     #[test]
     fn undeclared_param_rejected() {
         let spec = VariantSpec::new("bad").logits_op(LogitsOp::AddParam("nope".into()));
-        assert!(matches!(spec.build(), Err(AttentionError::InvalidVariant(_))));
+        assert!(matches!(
+            spec.build(),
+            Err(AttentionError::InvalidVariant(_))
+        ));
     }
 
     #[test]
@@ -621,11 +644,16 @@ mod tests {
         let causal = VariantSpec::new("v").render_cuda(DType::F16, 64);
         assert!(causal.contains("kv_idx <= kv_len - qo_len + qo_idx"));
         let sw = VariantSpec::new("v")
-            .mask(MaskSpec::SlidingWindow { window: 4, sink_tokens: 2 })
+            .mask(MaskSpec::SlidingWindow {
+                window: 4,
+                sink_tokens: 2,
+            })
             .render_cuda(DType::F16, 64);
         assert!(sw.contains("kv_idx < 2"));
         assert!(sw.contains("< 4"));
-        let rope = VariantSpec::new("v").fused_rope(1e4).render_cuda(DType::F8E4M3, 64);
+        let rope = VariantSpec::new("v")
+            .fused_rope(1e4)
+            .render_cuda(DType::F8E4M3, 64);
         assert!(rope.contains("apply_llama_rope"));
         assert!(rope.contains("__nv_fp8_e4m3"));
     }
@@ -654,7 +682,10 @@ mod tests {
         let mut v = ClosureVariant::new("custom", true);
         v.on_logits = Some(Box::new(|p, x, _| x * p.sm_scale + 1.0));
         v.on_mask = Some(Box::new(|_, ctx| ctx.kv_pos % 2 == 0));
-        let p = VariantParams { sm_scale: 2.0, extra: Default::default() };
+        let p = VariantParams {
+            sm_scale: 2.0,
+            extra: Default::default(),
+        };
         assert_eq!(v.logits_transform(&p, 3.0, lctx(0, 0, 1, 1)), 7.0);
         assert!(v.logits_mask(&p, lctx(0, 0, 1, 4)));
         assert!(!v.logits_mask(&p, lctx(0, 1, 1, 4)));

@@ -119,7 +119,15 @@ impl<'a, TQ: Scalar, TKV: Scalar> AttentionProblem<'a, TQ, TKV> {
                 layout.n_block_rows()
             )));
         }
-        Ok(AttentionProblem { q, k, v, layout, heads, row_meta, kv_pos_offsets })
+        Ok(AttentionProblem {
+            q,
+            k,
+            v,
+            layout,
+            heads,
+            row_meta,
+            kv_pos_offsets,
+        })
     }
 
     /// Convenience constructor for the common single-format batch: request
@@ -151,7 +159,12 @@ impl<'a, TQ: Scalar, TKV: Scalar> AttentionProblem<'a, TQ, TKV> {
         for b in 0..q.batch_size() {
             let qo_len = q.seq_len(b);
             for qo_pos in 0..qo_len {
-                row_meta.push(RowMeta { batch_idx: b, qo_pos, qo_len, kv_len: kv_lens[b] });
+                row_meta.push(RowMeta {
+                    batch_idx: b,
+                    qo_pos,
+                    qo_len,
+                    kv_len: kv_lens[b],
+                });
             }
         }
         let kv_pos_offsets = vec![0; layout.n_block_rows()];
@@ -212,8 +225,7 @@ impl<'a, TQ: Scalar, TKV: Scalar> AttentionProblem<'a, TQ, TKV> {
         }
         // bc = 1 keeps spans exact; gather detects contiguity for TMA-style
         // fast paths (see fi-core::gather run accounting).
-        BlockSparseMatrix::new(rows, cols.max(1), 1, block_rows)
-            .map_err(AttentionError::Sparse)
+        BlockSparseMatrix::new(rows, cols.max(1), 1, block_rows).map_err(AttentionError::Sparse)
     }
 
     /// The head configuration.
@@ -243,7 +255,12 @@ pub(crate) fn ragged_span_entries(
     e: usize,
     _cols: usize,
 ) -> Vec<fi_sparse::bsr::BlockEntry> {
-    (s..e).map(|c| fi_sparse::bsr::BlockEntry { col_block: c, len: 1 }).collect()
+    (s..e)
+        .map(|c| fi_sparse::bsr::BlockEntry {
+            col_block: c,
+            len: 1,
+        })
+        .collect()
 }
 
 /// Execution statistics, the kernel-side inputs to the GPU cost model.
@@ -440,7 +457,10 @@ impl FlashKernel {
             let meta = problem.row_meta[row];
             let qsrc = problem.q.global_row(row);
             for h in 0..heads.num_qo_heads {
-                let mut qv: Vec<f32> = qsrc[h * d..(h + 1) * d].iter().map(|&x| x.to_f32()).collect();
+                let mut qv: Vec<f32> = qsrc[h * d..(h + 1) * d]
+                    .iter()
+                    .map(|&x| x.to_f32())
+                    .collect();
                 variant.query_transform(
                     params,
                     &mut qv,
@@ -475,8 +495,7 @@ impl FlashKernel {
             while chunk_start < slots.len() {
                 let chunk_end = (chunk_start + tkv).min(slots.len());
                 let chunk_slots = &slots[chunk_start..chunk_end];
-                let (k_tile, v_tile) =
-                    stager.stage(problem.k, problem.v, chunk_slots, kv_head, d);
+                let (k_tile, v_tile) = stager.stage(problem.k, problem.v, chunk_slots, kv_head, d);
                 let mut k_tile = k_tile.to_vec();
                 let mut v_tile = v_tile.to_vec();
                 // Key/value transforms with cache positions.
@@ -602,7 +621,10 @@ impl FlashKernel {
                 if l[si] > 0.0 {
                     let inv = 1.0 / l[si];
                     let o = acc[si * d..(si + 1) * d].iter().map(|&x| x * inv).collect();
-                    states.push(AttentionState { o, lse: m[si] + l[si].ln() });
+                    states.push(AttentionState {
+                        o,
+                        lse: m[si] + l[si].ln(),
+                    });
                 } else {
                     states.push(AttentionState::identity(d));
                 }
@@ -613,7 +635,12 @@ impl FlashKernel {
                 });
             }
         }
-        Ok(ChunkOutput { states, row_start: rs, row_end: re, stats })
+        Ok(ChunkOutput {
+            states,
+            row_start: rs,
+            row_end: re,
+            stats,
+        })
     }
 }
 
@@ -631,7 +658,14 @@ mod tests {
         let mut s = 0;
         while s < l_qo {
             let e = (s + tq).min(l_qo);
-            rows.push((s, e, vec![BlockEntry { col_block: 0, len: l_kv }]));
+            rows.push((
+                s,
+                e,
+                vec![BlockEntry {
+                    col_block: 0,
+                    len: l_kv,
+                }],
+            ));
             s = e;
         }
         BlockSparseMatrix::new(l_qo, l_kv, l_kv, rows).unwrap()
@@ -653,7 +687,9 @@ mod tests {
         params: &VariantParams,
         tile: TileConfig,
     ) {
-        let q = filled_ragged(&[l_qo], heads.qo_width(), |i| ((i * 37 % 19) as f32 - 9.0) * 0.13);
+        let q = filled_ragged(&[l_qo], heads.qo_width(), |i| {
+            ((i * 37 % 19) as f32 - 9.0) * 0.13
+        });
         let k = Tensor::<f32>::from_fn(vec![l_kv, heads.kv_width()], |i| {
             ((i * 53 % 23) as f32 - 11.0) * 0.11
         });
@@ -663,9 +699,20 @@ mod tests {
         let layout = dense_layout(l_qo, l_kv, tile.tq);
         let problem =
             AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[l_kv]).unwrap();
-        let kern = FlashKernel { tile, head_fusion: true };
+        let kern = FlashKernel {
+            tile,
+            head_fusion: true,
+        };
         let out = kern.run(&problem, variant, params).unwrap();
-        let r = reference_attention(variant, params, heads, 0, q.seq(0), k.as_slice(), v.as_slice());
+        let r = reference_attention(
+            variant,
+            params,
+            heads,
+            0,
+            q.seq(0),
+            k.as_slice(),
+            v.as_slice(),
+        );
         assert!(
             allclose(out.o.seq(0), &r.o, 2e-4, 2e-5),
             "kernel != reference for {} (tq={}, tkv={})",
@@ -718,7 +765,14 @@ mod tests {
     fn matches_reference_sigmoid() {
         let heads = HeadConfig::new(1, 1, 4).unwrap();
         let params = VariantParams::for_head_dim(4).with_extra("bias", -0.3);
-        check_against_reference(4, 6, heads, &SigmoidAttention, &params, TileConfig { tq: 1, tkv: 3 });
+        check_against_reference(
+            4,
+            6,
+            heads,
+            &SigmoidAttention,
+            &params,
+            TileConfig { tq: 1, tkv: 3 },
+        );
     }
 
     #[test]
@@ -735,21 +789,42 @@ mod tests {
             1,
             l_kv,
             3,
-            vec![(0, 1, (0..4).map(|c| BlockEntry { col_block: c, len: 3 }).collect())],
+            vec![(
+                0,
+                1,
+                (0..4)
+                    .map(|c| BlockEntry {
+                        col_block: c,
+                        len: 3,
+                    })
+                    .collect(),
+            )],
         )
         .unwrap();
         let problem =
             AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[l_kv]).unwrap();
-        let kern = FlashKernel { tile: TileConfig { tq: 1, tkv: 3 }, head_fusion: true };
+        let kern = FlashKernel {
+            tile: TileConfig { tq: 1, tkv: 3 },
+            head_fusion: true,
+        };
 
         let full = kern.run(&problem, &variant, &params).unwrap();
         // Split: blocks 0..2 and 2..4, merged with the ⊕ operator.
-        let a = kern.run_block_row_chunk(&problem, &variant, &params, 0, 0..2).unwrap();
-        let b = kern.run_block_row_chunk(&problem, &variant, &params, 0, 2..4).unwrap();
+        let a = kern
+            .run_block_row_chunk(&problem, &variant, &params, 0, 0..2)
+            .unwrap();
+        let b = kern
+            .run_block_row_chunk(&problem, &variant, &params, 0, 2..4)
+            .unwrap();
         for h in 0..heads.num_qo_heads {
             let merged = a.states[h].merge(&b.states[h]);
             let d = heads.head_dim;
-            assert!(allclose(&merged.o, &full.o.seq(0)[h * d..(h + 1) * d], 1e-5, 1e-6));
+            assert!(allclose(
+                &merged.o,
+                &full.o.seq(0)[h * d..(h + 1) * d],
+                1e-5,
+                1e-6
+            ));
             assert!((merged.lse - full.lse[h]).abs() < 1e-4);
         }
     }
@@ -787,14 +862,23 @@ mod tests {
             vec![(
                 0,
                 2,
-                pages.iter().map(|&p| BlockEntry { col_block: p, len: 2 }).collect(),
+                pages
+                    .iter()
+                    .map(|&p| BlockEntry {
+                        col_block: p,
+                        len: 2,
+                    })
+                    .collect(),
             )],
         )
         .unwrap();
         let p_p =
             AttentionProblem::standard_batch(&q, &k_p, &v_p, &layout_p, heads, &[l_kv]).unwrap();
 
-        let kern = FlashKernel { tile: TileConfig { tq: 2, tkv: 2 }, head_fusion: true };
+        let kern = FlashKernel {
+            tile: TileConfig { tq: 2, tkv: 2 },
+            head_fusion: true,
+        };
         let out_c = kern.run(&p_c, &variant, &params).unwrap();
         let out_p = kern.run(&p_p, &variant, &params).unwrap();
         assert!(allclose(out_p.o.seq(0), out_c.o.seq(0), 1e-6, 1e-7));
@@ -809,8 +893,13 @@ mod tests {
         let v = Tensor::<f32>::zeros(vec![4, 2]);
         let layout = BlockSparseMatrix::new(1, 4, 2, vec![(0, 1, vec![])]).unwrap();
         let problem = AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[0]).unwrap();
-        let kern = FlashKernel { tile: TileConfig { tq: 1, tkv: 32 }, head_fusion: true };
-        let out = kern.run(&problem, &VanillaAttention { causal: false }, &params).unwrap();
+        let kern = FlashKernel {
+            tile: TileConfig { tq: 1, tkv: 32 },
+            head_fusion: true,
+        };
+        let out = kern
+            .run(&problem, &VanillaAttention { causal: false }, &params)
+            .unwrap();
         assert_eq!(out.o.seq(0), &[0.0, 0.0]);
         assert_eq!(out.lse[0], f32::NEG_INFINITY);
     }
@@ -836,7 +925,10 @@ mod tests {
         let v = Tensor::<f32>::from_fn(vec![9, 4], |i| (i as f32 * 0.13).sin());
         let problem =
             AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[5, 4]).unwrap();
-        let kern = FlashKernel { tile: TileConfig { tq: 2, tkv: 4 }, head_fusion: true };
+        let kern = FlashKernel {
+            tile: TileConfig { tq: 2, tkv: 4 },
+            head_fusion: true,
+        };
         let out = kern.run(&problem, &variant, &params).unwrap();
         // Reference per request over its contiguous span.
         for b in 0..2 {
@@ -850,7 +942,12 @@ mod tests {
                 &k.as_slice()[s * 4..e * 4],
                 &v.as_slice()[s * 4..e * 4],
             );
-            assert!(fi_tensor::numerics::allclose(out.o.seq(b), &r.o, 1e-5, 1e-6));
+            assert!(fi_tensor::numerics::allclose(
+                out.o.seq(b),
+                &r.o,
+                1e-5,
+                1e-6
+            ));
         }
         // Ragged spans are contiguous: gathers are dominated by contiguous
         // runs (the TMA-eligible case); only single-slot chunk tails count
@@ -865,8 +962,14 @@ mod tests {
         assert!(P::ragged_kv_layout(&[1], &[0, 4], 0).is_err());
         assert!(P::ragged_kv_layout(&[1, 1], &[0, 4], 2).is_err());
         assert!(P::ragged_kv_layout(&[1], &[1, 4], 2).is_err());
-        assert!(P::ragged_kv_layout(&[1], &[0, 0], 2).is_err(), "queries without kv");
-        assert!(P::ragged_kv_layout(&[0], &[0, 0], 2).is_ok(), "empty request fine");
+        assert!(
+            P::ragged_kv_layout(&[1], &[0, 0], 2).is_err(),
+            "queries without kv"
+        );
+        assert!(
+            P::ragged_kv_layout(&[0], &[0, 0], 2).is_ok(),
+            "empty request fine"
+        );
     }
 
     #[test]
@@ -883,9 +986,7 @@ mod tests {
         assert!(AttentionProblem::standard_batch(&q, &bad, &v, &layout, heads, &[4]).is_err());
         // Wrong head width.
         let wide_heads = HeadConfig::new(2, 1, 2).unwrap();
-        assert!(
-            AttentionProblem::standard_batch(&q, &k, &v, &layout, wide_heads, &[4]).is_err()
-        );
+        assert!(AttentionProblem::standard_batch(&q, &k, &v, &layout, wide_heads, &[4]).is_err());
     }
 
     #[test]
@@ -897,10 +998,17 @@ mod tests {
         let v = Tensor::<f32>::zeros(vec![4, 2]);
         let layout = dense_layout(1, 4, 1);
         let problem = AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[4]).unwrap();
-        let kern = FlashKernel { tile: TileConfig { tq: 1, tkv: 32 }, head_fusion: true };
+        let kern = FlashKernel {
+            tile: TileConfig { tq: 1, tkv: 32 },
+            head_fusion: true,
+        };
         let v1 = VanillaAttention { causal: false };
-        assert!(kern.run_block_row_chunk(&problem, &v1, &params, 1, 0..1).is_err());
-        assert!(kern.run_block_row_chunk(&problem, &v1, &params, 0, 0..2).is_err());
+        assert!(kern
+            .run_block_row_chunk(&problem, &v1, &params, 1, 0..1)
+            .is_err());
+        assert!(kern
+            .run_block_row_chunk(&problem, &v1, &params, 0, 0..2)
+            .is_err());
     }
 
     #[test]
@@ -912,14 +1020,19 @@ mod tests {
         let k = Tensor::<f32>::from_fn(vec![8, 4], |i| i as f32 * 0.1);
         let v = k.clone();
         let layout = dense_layout(1, 8, 1);
-        let problem =
-            AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[8]).unwrap();
-        let fused = FlashKernel { tile: TileConfig { tq: 1, tkv: 8 }, head_fusion: true }
-            .run(&problem, &variant, &params)
-            .unwrap();
-        let unfused = FlashKernel { tile: TileConfig { tq: 1, tkv: 8 }, head_fusion: false }
-            .run(&problem, &variant, &params)
-            .unwrap();
+        let problem = AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[8]).unwrap();
+        let fused = FlashKernel {
+            tile: TileConfig { tq: 1, tkv: 8 },
+            head_fusion: true,
+        }
+        .run(&problem, &variant, &params)
+        .unwrap();
+        let unfused = FlashKernel {
+            tile: TileConfig { tq: 1, tkv: 8 },
+            head_fusion: false,
+        }
+        .run(&problem, &variant, &params)
+        .unwrap();
         assert_eq!(
             unfused.stats.gather.global_bytes,
             fused.stats.gather.global_bytes * heads.group_size()
@@ -940,15 +1053,19 @@ mod tests {
         let k16 = k32.cast::<F16>();
         let v16 = v32.cast::<F16>();
         let layout = dense_layout(3, 6, 3);
-        let p32 =
-            AttentionProblem::standard_batch(&q, &k32, &v32, &layout, heads, &[6]).unwrap();
-        let p16 =
-            AttentionProblem::standard_batch(&q, &k16, &v16, &layout, heads, &[6]).unwrap();
-        let kern = FlashKernel { tile: TileConfig { tq: 3, tkv: 4 }, head_fusion: true };
+        let p32 = AttentionProblem::standard_batch(&q, &k32, &v32, &layout, heads, &[6]).unwrap();
+        let p16 = AttentionProblem::standard_batch(&q, &k16, &v16, &layout, heads, &[6]).unwrap();
+        let kern = FlashKernel {
+            tile: TileConfig { tq: 3, tkv: 4 },
+            head_fusion: true,
+        };
         let o32 = kern.run(&p32, &variant, &params).unwrap();
         let o16 = kern.run(&p16, &variant, &params).unwrap();
         assert!(allclose(o16.o.seq(0), o32.o.seq(0), 2e-2, 2e-3));
         // And f16 traffic is half.
-        assert_eq!(o16.stats.gather.global_bytes * 2, o32.stats.gather.global_bytes);
+        assert_eq!(
+            o16.stats.gather.global_bytes * 2,
+            o32.stats.gather.global_bytes
+        );
     }
 }

@@ -219,7 +219,10 @@ mod tests {
             scaled_err += (q.k.as_slice()[i].to_f32() * q.k_scales[0] - truth).abs();
             raw_err += (raw.as_slice()[i].to_f32() - truth).abs();
         }
-        assert!(scaled_err < raw_err / 2.0, "scaled {scaled_err} vs raw {raw_err}");
+        assert!(
+            scaled_err < raw_err / 2.0,
+            "scaled {scaled_err} vs raw {raw_err}"
+        );
     }
 
     #[test]
@@ -238,10 +241,22 @@ mod tests {
             2,
             l_kv,
             8,
-            vec![(0, 2, (0..3).map(|c| BlockEntry { col_block: c, len: 8 }).collect())],
+            vec![(
+                0,
+                2,
+                (0..3)
+                    .map(|c| BlockEntry {
+                        col_block: c,
+                        len: 8,
+                    })
+                    .collect(),
+            )],
         )
         .unwrap();
-        let kern = FlashKernel { tile: TileConfig { tq: 2, tkv: 8 }, head_fusion: true };
+        let kern = FlashKernel {
+            tile: TileConfig { tq: 2, tkv: 8 },
+            head_fusion: true,
+        };
         let inner = VanillaAttention { causal: true };
 
         // Full-precision baseline. Scale sm so softmax is non-degenerate.
@@ -251,9 +266,8 @@ mod tests {
         // fp8 path.
         let quant = quantize_kv(&k, &v, heads.num_kv_heads, heads.head_dim).unwrap();
         let variant = DequantScale::new(inner, &quant);
-        let p8 =
-            AttentionProblem::standard_batch(&q, &quant.k, &quant.v, &layout, heads, &[l_kv])
-                .unwrap();
+        let p8 = AttentionProblem::standard_batch(&q, &quant.k, &quant.v, &layout, heads, &[l_kv])
+            .unwrap();
         let out = kern.run(&p8, &variant, &params).unwrap();
         assert!(
             allclose(out.o.seq(0), full.o.seq(0), 0.15, 0.02),

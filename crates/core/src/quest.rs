@@ -56,7 +56,12 @@ impl PageSummaries {
                 }
             }
         }
-        PageSummaries { page_size, kv_width, mins, maxs }
+        PageSummaries {
+            page_size,
+            kv_width,
+            mins,
+            maxs,
+        }
     }
 
     /// Update the summaries of one page after appends (incremental path).
@@ -158,8 +163,13 @@ pub fn quest_layout(
             continue;
         }
         let last = *pages.last().expect("non-empty");
-        let mut selected =
-            select_topk_pages(summaries, q.seq(b), heads, &pages[..pages.len() - 1], top_k.saturating_sub(1));
+        let mut selected = select_topk_pages(
+            summaries,
+            q.seq(b),
+            heads,
+            &pages[..pages.len() - 1],
+            top_k.saturating_sub(1),
+        );
         selected.push(last);
         let kv_len = pt.kv_len(b);
         let entries: Vec<BlockEntry> = selected
@@ -178,7 +188,12 @@ pub fn quest_layout(
             .collect();
         block_rows.push((b, b + 1, entries));
     }
-    BlockSparseMatrix::new(q.total_rows(), pt.num_pages() * pt.page_size(), pt.page_size(), block_rows)
+    BlockSparseMatrix::new(
+        q.total_rows(),
+        pt.num_pages() * pt.page_size(),
+        pt.page_size(),
+        block_rows,
+    )
 }
 
 #[cfg(test)]
@@ -202,7 +217,10 @@ mod tests {
             let ub = s.upper_bound(&q, page, 0);
             for slot in 0..page_size {
                 let truth = dot(&q, k.row(page * page_size + slot));
-                assert!(truth <= ub + 1e-5, "page {page} slot {slot}: {truth} > {ub}");
+                assert!(
+                    truth <= ub + 1e-5,
+                    "page {page} slot {slot}: {truth} > {ub}"
+                );
             }
         }
     }
@@ -228,7 +246,10 @@ mod tests {
     fn small_page_lists_pass_through() {
         let s = PageSummaries::build(&Tensor::<f32>::zeros(vec![8, 4]), 2);
         let heads = HeadConfig::new(1, 1, 4).unwrap();
-        assert_eq!(select_topk_pages(&s, &[0.0; 4], heads, &[3, 1], 5), vec![3, 1]);
+        assert_eq!(
+            select_topk_pages(&s, &[0.0; 4], heads, &[3, 1], 5),
+            vec![3, 1]
+        );
     }
 
     #[test]

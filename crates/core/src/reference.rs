@@ -57,7 +57,13 @@ pub fn reference_attention<T: Scalar>(
     for qo_pos in 0..l_qo {
         for qo_head in 0..heads.num_qo_heads {
             let kv_head = heads.kv_head_of(qo_head);
-            let qctx = QueryCtx { batch_idx, qo_pos, qo_head_idx: qo_head, qo_len: l_qo, kv_len: l_kv };
+            let qctx = QueryCtx {
+                batch_idx,
+                qo_pos,
+                qo_head_idx: qo_head,
+                qo_len: l_qo,
+                kv_len: l_kv,
+            };
 
             let mut qrow: Vec<f32> =
                 q[qo_pos * qw + qo_head * d..qo_pos * qw + (qo_head + 1) * d].to_vec();
@@ -67,8 +73,14 @@ pub fn reference_attention<T: Scalar>(
             let mut logits = Vec::with_capacity(l_kv);
             let mut visible = Vec::with_capacity(l_kv);
             for kv_pos in 0..l_kv {
-                let kctx = KeyCtx { batch_idx, kv_pos, kv_head_idx: kv_head, kv_len: l_kv };
-                let mut krow: Vec<f32> = k[kv_pos * kw + kv_head * d..kv_pos * kw + (kv_head + 1) * d]
+                let kctx = KeyCtx {
+                    batch_idx,
+                    kv_pos,
+                    kv_head_idx: kv_head,
+                    kv_len: l_kv,
+                };
+                let mut krow: Vec<f32> = k
+                    [kv_pos * kw + kv_head * d..kv_pos * kw + (kv_head + 1) * d]
                     .iter()
                     .map(|&x| x.to_f32())
                     .collect();
@@ -84,7 +96,11 @@ pub fn reference_attention<T: Scalar>(
                     kv_len: l_kv,
                 };
                 let vis = variant.logits_mask(params, lctx);
-                logits.push(if vis { variant.logits_transform(params, raw, lctx) } else { 0.0 });
+                logits.push(if vis {
+                    variant.logits_transform(params, raw, lctx)
+                } else {
+                    0.0
+                });
                 visible.push(vis);
             }
 
@@ -101,7 +117,11 @@ pub fn reference_attention<T: Scalar>(
                 lse[qo_pos * heads.num_qo_heads + qo_head] = l;
                 if l > f32::NEG_INFINITY {
                     for (w, &x) in weights.iter_mut().zip(&vis_logits) {
-                        *w = if x == f32::NEG_INFINITY { 0.0 } else { (x - l).exp() };
+                        *w = if x == f32::NEG_INFINITY {
+                            0.0
+                        } else {
+                            (x - l).exp()
+                        };
                     }
                 }
             } else {
@@ -118,8 +138,14 @@ pub fn reference_attention<T: Scalar>(
                 if weights[kv_pos] == 0.0 {
                     continue;
                 }
-                let kctx = KeyCtx { batch_idx, kv_pos, kv_head_idx: kv_head, kv_len: l_kv };
-                let mut vrow: Vec<f32> = v[kv_pos * kw + kv_head * d..kv_pos * kw + (kv_head + 1) * d]
+                let kctx = KeyCtx {
+                    batch_idx,
+                    kv_pos,
+                    kv_head_idx: kv_head,
+                    kv_len: l_kv,
+                };
+                let mut vrow: Vec<f32> = v
+                    [kv_pos * kw + kv_head * d..kv_pos * kw + (kv_head + 1) * d]
                     .iter()
                     .map(|&x| x.to_f32())
                     .collect();
@@ -201,8 +227,15 @@ mod tests {
         let q = seq(3, 2, |i| (i as f32).sin());
         let k = seq(3, 2, |i| (i as f32).cos());
         let v: Vec<f32> = vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0];
-        let out =
-            reference_attention(&VanillaAttention { causal: true }, &params(), h, 0, &q, &k, &v);
+        let out = reference_attention(
+            &VanillaAttention { causal: true },
+            &params(),
+            h,
+            0,
+            &q,
+            &k,
+            &v,
+        );
         // Query 0 sees only kv 0 -> output exactly v0.
         assert!(allclose(&out.o[..2], &[1.0, 10.0], 1e-5, 1e-6));
     }
@@ -227,7 +260,10 @@ mod tests {
         let q = vec![1.0, 1.0];
         let k = vec![1.0, 1.0];
         let v = vec![5.0, 5.0];
-        let var = crate::variant::SlidingWindowAttention { window: 0, sink_tokens: 0 };
+        let var = crate::variant::SlidingWindowAttention {
+            window: 0,
+            sink_tokens: 0,
+        };
         let out = reference_attention(&var, &params(), h, 0, &q, &k, &v);
         assert_eq!(out.o, vec![0.0, 0.0]);
         assert_eq!(out.lse[0], f32::NEG_INFINITY);
@@ -239,8 +275,15 @@ mod tests {
         let q = seq(1, h.qo_width(), |i| (i as f32 * 0.3).cos());
         let k = seq(2, h.kv_width(), |i| (i as f32 * 0.7).sin());
         let v = seq(2, h.kv_width(), |i| i as f32);
-        let out =
-            reference_attention(&VanillaAttention { causal: true }, &params(), h, 0, &q, &k, &v);
+        let out = reference_attention(
+            &VanillaAttention { causal: true },
+            &params(),
+            h,
+            0,
+            &q,
+            &k,
+            &v,
+        );
         assert_eq!(out.o.len(), 8);
         assert_eq!(out.lse.len(), 4);
         // Heads 0,1 use kv head 0; heads 2,3 use kv head 1: with equal q
@@ -255,11 +298,26 @@ mod tests {
         use fi_tensor::F16;
         let h = HeadConfig::new(1, 1, 2).unwrap();
         let q = vec![0.0, 0.0];
-        let kf: Vec<F16> = [1.0f32, 2049.0, 0.5, -0.5].iter().map(|&x| F16::from_f32(x)).collect();
+        let kf: Vec<F16> = [1.0f32, 2049.0, 0.5, -0.5]
+            .iter()
+            .map(|&x| F16::from_f32(x))
+            .collect();
         let vf = kf.clone();
-        let out =
-            reference_attention(&VanillaAttention { causal: false }, &params(), h, 0, &q, &kf, &vf);
+        let out = reference_attention(
+            &VanillaAttention { causal: false },
+            &params(),
+            h,
+            0,
+            &q,
+            &kf,
+            &vf,
+        );
         // 2049 rounds to 2048 in f16; uniform weights average (1, 2048) and (0.5, -0.5).
-        assert!(allclose(&out.o, &[(1.0 + 0.5) / 2.0, (2048.0 - 0.5) / 2.0], 1e-4, 1e-5));
+        assert!(allclose(
+            &out.o,
+            &[(1.0 + 0.5) / 2.0, (2048.0 - 0.5) / 2.0],
+            1e-4,
+            1e-5
+        ));
     }
 }

@@ -27,10 +27,14 @@ impl RotaryEmbedding {
     ///
     /// Panics if `head_dim` is odd or zero.
     pub fn new(head_dim: usize, theta: f32) -> RotaryEmbedding {
-        assert!(head_dim > 0 && head_dim.is_multiple_of(2), "head_dim must be positive and even");
+        assert!(
+            head_dim > 0 && head_dim.is_multiple_of(2),
+            "head_dim must be positive and even"
+        );
         let half = head_dim / 2;
-        let inv_freq =
-            (0..half).map(|i| theta.powf(-2.0 * i as f32 / head_dim as f32)).collect();
+        let inv_freq = (0..half)
+            .map(|i| theta.powf(-2.0 * i as f32 / head_dim as f32))
+            .collect();
         RotaryEmbedding { head_dim, inv_freq }
     }
 

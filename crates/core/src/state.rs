@@ -32,7 +32,10 @@ impl AttentionState {
     /// The identity of ⊕: the state of the empty index set
     /// (`O = 0`, `LSE = -inf`).
     pub fn identity(dim: usize) -> AttentionState {
-        AttentionState { o: vec![0.0; dim], lse: f32::NEG_INFINITY }
+        AttentionState {
+            o: vec![0.0; dim],
+            lse: f32::NEG_INFINITY,
+        }
     }
 
     /// True if this is (numerically) the empty-set state.
@@ -65,7 +68,10 @@ impl AttentionState {
             .zip(&other.o)
             .map(|(&a, &b)| (wa * a + wb * b) / denom)
             .collect();
-        AttentionState { o, lse: m + denom.ln() }
+        AttentionState {
+            o,
+            lse: m + denom.ln(),
+        }
     }
 
     /// In-place variant of [`AttentionState::merge`].
@@ -91,7 +97,10 @@ impl AttentionState {
     /// Because ⊕ is associative and commutative the result is
     /// order-independent up to floating-point rounding; the *deterministic*
     /// order used by the contraction kernel is "workspace index ascending".
-    pub fn merge_all<'a>(dim: usize, states: impl IntoIterator<Item = &'a AttentionState>) -> AttentionState {
+    pub fn merge_all<'a>(
+        dim: usize,
+        states: impl IntoIterator<Item = &'a AttentionState>,
+    ) -> AttentionState {
         let mut acc = AttentionState::identity(dim);
         for s in states {
             acc.merge_in_place(s);
@@ -126,8 +135,12 @@ mod tests {
     #[test]
     fn merge_equals_direct_computation() {
         let logits = [0.3f32, -1.2, 2.5, 0.9];
-        let values: Vec<Vec<f32>> =
-            vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![2.0, -1.0], vec![0.5, 0.5]];
+        let values: Vec<Vec<f32>> = vec![
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![2.0, -1.0],
+            vec![0.5, 0.5],
+        ];
         let whole = from_logits(&logits, &values);
         let a = from_logits(&logits[..2], &values[..2]);
         let b = from_logits(&logits[2..], &values[2..]);
@@ -187,8 +200,9 @@ mod tests {
 
     #[test]
     fn merge_all_matches_pairwise() {
-        let states: Vec<AttentionState> =
-            (0..5).map(|i| state(&[i as f32, 1.0], i as f32 * 0.3 - 1.0)).collect();
+        let states: Vec<AttentionState> = (0..5)
+            .map(|i| state(&[i as f32, 1.0], i as f32 * 0.3 - 1.0))
+            .collect();
         let all = AttentionState::merge_all(2, &states);
         let mut acc = AttentionState::identity(2);
         for s in &states {

@@ -28,16 +28,25 @@ pub struct SmResources {
 
 impl SmResources {
     /// NVIDIA A100 (sm80): 164 KiB usable smem.
-    pub const A100: SmResources =
-        SmResources { shared_mem_bytes: 164 * 1024, registers: 65536, max_threads: 2048 };
+    pub const A100: SmResources = SmResources {
+        shared_mem_bytes: 164 * 1024,
+        registers: 65536,
+        max_threads: 2048,
+    };
     /// NVIDIA H100 (sm90): 228 KiB usable smem.
-    pub const H100: SmResources =
-        SmResources { shared_mem_bytes: 228 * 1024, registers: 65536, max_threads: 2048 };
+    pub const H100: SmResources = SmResources {
+        shared_mem_bytes: 228 * 1024,
+        registers: 65536,
+        max_threads: 2048,
+    };
     /// NVIDIA Ada (sm89): 100 KiB usable smem — the constrained case the
     /// paper calls out ("Ada has limited shared memory, affecting SM
     /// occupancy with large tiles").
-    pub const ADA: SmResources =
-        SmResources { shared_mem_bytes: 100 * 1024, registers: 65536, max_threads: 1536 };
+    pub const ADA: SmResources = SmResources {
+        shared_mem_bytes: 100 * 1024,
+        registers: 65536,
+        max_threads: 1536,
+    };
 }
 
 /// The tile-size menu.
@@ -97,7 +106,10 @@ pub fn select_tile(avg_fused_qo_len: f64, head_dim: usize, sm: SmResources) -> T
     // Step 2: largest KV tile that still keeps at least 2 CTAs resident per
     // SM (so memory latency can be hidden by the other CTA); if even the
     // smallest tile can't, take the smallest.
-    let mut best = TileConfig { tq, tkv: KV_TILE_SIZES[0] };
+    let mut best = TileConfig {
+        tq,
+        tkv: KV_TILE_SIZES[0],
+    };
     for &tkv in &KV_TILE_SIZES {
         let cfg = TileConfig { tq, tkv };
         if cfg.ctas_per_sm(head_dim, sm) >= 2 {
@@ -155,7 +167,9 @@ mod tests {
         let small = TileConfig { tq: 16, tkv: 32 };
         let large = TileConfig { tq: 128, tkv: 128 };
         assert!(small.shared_mem_bytes(128) < large.shared_mem_bytes(128));
-        assert!(small.ctas_per_sm(128, SmResources::A100) > large.ctas_per_sm(128, SmResources::A100));
+        assert!(
+            small.ctas_per_sm(128, SmResources::A100) > large.ctas_per_sm(128, SmResources::A100)
+        );
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub struct VariantParams {
 impl VariantParams {
     /// Params with the conventional `1/sqrt(head_dim)` scale and no extras.
     pub fn for_head_dim(head_dim: usize) -> VariantParams {
-        VariantParams { sm_scale: 1.0 / (head_dim as f32).sqrt(), extra: BTreeMap::new() }
+        VariantParams {
+            sm_scale: 1.0 / (head_dim as f32).sqrt(),
+            extra: BTreeMap::new(),
+        }
     }
 
     /// Look up an extra parameter, defaulting to 0.
@@ -59,7 +62,10 @@ impl VariantParams {
 
 impl Default for VariantParams {
     fn default() -> Self {
-        VariantParams { sm_scale: 1.0, extra: BTreeMap::new() }
+        VariantParams {
+            sm_scale: 1.0,
+            extra: BTreeMap::new(),
+        }
     }
 }
 
@@ -288,7 +294,9 @@ pub struct FusedRopeAttention {
 impl FusedRopeAttention {
     /// Create with standard theta for the given head dimension.
     pub fn new(head_dim: usize) -> FusedRopeAttention {
-        FusedRopeAttention { rope: RotaryEmbedding::new(head_dim, 10_000.0) }
+        FusedRopeAttention {
+            rope: RotaryEmbedding::new(head_dim, 10_000.0),
+        }
     }
 }
 
@@ -342,8 +350,9 @@ pub struct AlibiAttention {
 impl AlibiAttention {
     /// Standard ALiBi slopes: `2^(-8i/n)` for head `i` of `n`.
     pub fn new(num_heads: usize) -> AlibiAttention {
-        let slopes =
-            (1..=num_heads).map(|i| 2.0f32.powf(-8.0 * i as f32 / num_heads as f32)).collect();
+        let slopes = (1..=num_heads)
+            .map(|i| 2.0f32.powf(-8.0 * i as f32 / num_heads as f32))
+            .collect();
         AlibiAttention { slopes }
     }
 
@@ -377,7 +386,15 @@ mod tests {
     use super::*;
 
     fn lctx(qo_pos: usize, kv_pos: usize, qo_len: usize, kv_len: usize) -> LogitCtx {
-        LogitCtx { batch_idx: 0, qo_pos, kv_pos, qo_head_idx: 0, kv_head_idx: 0, qo_len, kv_len }
+        LogitCtx {
+            batch_idx: 0,
+            qo_pos,
+            kv_pos,
+            qo_head_idx: 0,
+            kv_head_idx: 0,
+            qo_len,
+            kv_len,
+        }
     }
 
     #[test]
@@ -396,13 +413,19 @@ mod tests {
     #[test]
     fn default_logits_transform_scales() {
         let v = VanillaAttention::default();
-        let p = VariantParams { sm_scale: 0.5, extra: BTreeMap::new() };
+        let p = VariantParams {
+            sm_scale: 0.5,
+            extra: BTreeMap::new(),
+        };
         assert_eq!(v.logits_transform(&p, 4.0, lctx(0, 0, 1, 1)), 2.0);
     }
 
     #[test]
     fn sliding_window_with_sinks() {
-        let v = SlidingWindowAttention { window: 2, sink_tokens: 1 };
+        let v = SlidingWindowAttention {
+            window: 2,
+            sink_tokens: 1,
+        };
         let p = VariantParams::default();
         // Decode: 1 query, kv_len 6, absolute pos 5.
         assert!(v.logits_mask(&p, lctx(0, 0, 1, 6))); // sink
@@ -415,7 +438,10 @@ mod tests {
     #[test]
     fn soft_cap_saturates() {
         let v = SoftCapAttention { cap: 10.0 };
-        let p = VariantParams { sm_scale: 1.0, extra: BTreeMap::new() };
+        let p = VariantParams {
+            sm_scale: 1.0,
+            extra: BTreeMap::new(),
+        };
         let big = v.logits_transform(&p, 1e6, lctx(0, 0, 1, 1));
         assert!((big - 10.0).abs() < 1e-3);
         let small = v.logits_transform(&p, 0.1, lctx(0, 0, 1, 1));
@@ -426,7 +452,11 @@ mod tests {
     fn sigmoid_weights_in_unit_interval() {
         let v = SigmoidAttention;
         assert!(!v.use_softmax());
-        let p = VariantParams { sm_scale: 1.0, extra: BTreeMap::new() }.with_extra("bias", -1.0);
+        let p = VariantParams {
+            sm_scale: 1.0,
+            extra: BTreeMap::new(),
+        }
+        .with_extra("bias", -1.0);
         for logit in [-100.0f32, -1.0, 0.0, 1.0, 100.0] {
             let w = v.logits_transform(&p, logit, lctx(0, 0, 1, 1));
             assert!((0.0..=1.0).contains(&w));
@@ -442,10 +472,30 @@ mod tests {
         let mut q = vec![1.0, 2.0, 3.0, 4.0];
         let q0 = q.clone();
         // Absolute position 0 (qo_pos 0, qo_len 1, kv_len 1): identity.
-        v.query_transform(&p, &mut q, QueryCtx { batch_idx: 0, qo_pos: 0, qo_head_idx: 0, qo_len: 1, kv_len: 1 });
+        v.query_transform(
+            &p,
+            &mut q,
+            QueryCtx {
+                batch_idx: 0,
+                qo_pos: 0,
+                qo_head_idx: 0,
+                qo_len: 1,
+                kv_len: 1,
+            },
+        );
         assert_eq!(q, q0);
         // Nonzero position rotates.
-        v.query_transform(&p, &mut q, QueryCtx { batch_idx: 0, qo_pos: 0, qo_head_idx: 0, qo_len: 1, kv_len: 9 });
+        v.query_transform(
+            &p,
+            &mut q,
+            QueryCtx {
+                batch_idx: 0,
+                qo_pos: 0,
+                qo_head_idx: 0,
+                qo_len: 1,
+                kv_len: 9,
+            },
+        );
         assert_ne!(q, q0);
     }
 
@@ -464,7 +514,10 @@ mod tests {
     #[test]
     fn alibi_bias_monotone_in_distance() {
         let v = AlibiAttention::new(8);
-        let p = VariantParams { sm_scale: 1.0, extra: BTreeMap::new() };
+        let p = VariantParams {
+            sm_scale: 1.0,
+            extra: BTreeMap::new(),
+        };
         // Same raw logit, increasing distance -> decreasing transformed logit.
         let near = v.logits_transform(&p, 0.0, lctx(0, 7, 1, 8));
         let far = v.logits_transform(&p, 0.0, lctx(0, 0, 1, 8));

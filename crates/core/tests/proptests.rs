@@ -8,8 +8,8 @@ use fi_core::reference::reference_attention;
 use fi_core::state::AttentionState;
 use fi_core::tiles::TileConfig;
 use fi_core::variant::{
-    AttentionVariant, SigmoidAttention, SlidingWindowAttention, SoftCapAttention,
-    VanillaAttention, VariantParams,
+    AttentionVariant, SigmoidAttention, SlidingWindowAttention, SoftCapAttention, VanillaAttention,
+    VariantParams,
 };
 use fi_sparse::bsr::{BlockEntry, BlockSparseMatrix};
 use fi_tensor::numerics::allclose;
@@ -24,7 +24,10 @@ fn dense_layout(l_qo: usize, l_kv: usize, tq: usize, bc: usize) -> BlockSparseMa
         let mut entries = Vec::new();
         let mut c = 0;
         while c * bc < l_kv {
-            entries.push(BlockEntry { col_block: c, len: bc.min(l_kv - c * bc) });
+            entries.push(BlockEntry {
+                col_block: c,
+                len: bc.min(l_kv - c * bc),
+            });
             c += 1;
         }
         rows.push((s, e, entries));
@@ -36,11 +39,23 @@ fn dense_layout(l_qo: usize, l_kv: usize, tq: usize, bc: usize) -> BlockSparseMa
 fn make_variant(i: usize) -> (Box<dyn AttentionVariant>, VariantParams) {
     let base = VariantParams::for_head_dim(8);
     match i {
-        0 => (Box::new(VanillaAttention { causal: true }) as Box<dyn AttentionVariant>, base),
+        0 => (
+            Box::new(VanillaAttention { causal: true }) as Box<dyn AttentionVariant>,
+            base,
+        ),
         1 => (Box::new(VanillaAttention { causal: false }) as _, base),
-        2 => (Box::new(SlidingWindowAttention { window: 3, sink_tokens: 1 }) as _, base),
+        2 => (
+            Box::new(SlidingWindowAttention {
+                window: 3,
+                sink_tokens: 1,
+            }) as _,
+            base,
+        ),
         3 => (Box::new(SoftCapAttention { cap: 8.0 }) as _, base),
-        _ => (Box::new(SigmoidAttention) as _, base.with_extra("bias", -0.5)),
+        _ => (
+            Box::new(SigmoidAttention) as _,
+            base.with_extra("bias", -0.5),
+        ),
     }
 }
 

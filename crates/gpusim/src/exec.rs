@@ -189,8 +189,7 @@ pub fn execute_plan(plan: &Plan, layout: &BlockSparseMatrix, ctx: &ExecContext) 
             // Useful bytes only: no gather penalty, no tile padding — the
             // numerator of "achieved bandwidth" in the paper's figures.
             let kv_factor = if ctx.head_fusion { 1.0 } else { g as f64 };
-            total_bytes += (2 * item.kv_slots * d * ctx.heads_per_item * ctx.kv_elem_bytes)
-                as f64
+            total_bytes += (2 * item.kv_slots * d * ctx.heads_per_item * ctx.kv_elem_bytes) as f64
                 * kv_factor
                 + (rows * g * ctx.heads_per_item * d * (ctx.q_elem_bytes + 4)) as f64;
             total_flops += (4 * rows * g * item.kv_slots * d * ctx.heads_per_item) as f64;
@@ -237,16 +236,38 @@ pub fn execute_plan(plan: &Plan, layout: &BlockSparseMatrix, ctx: &ExecContext) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fi_sched::plan::{balanced_plan, naive_plan, CostModel};
+    use fi_core::arch::Arch;
+    use fi_core::kernel::FlashKernel;
+    use fi_sched::pipeline::{AttentionPipeline, SchedulePolicy};
+    use fi_sched::plan::CostModel;
     use fi_sparse::bsr::{BlockEntry, BlockSparseMatrix};
+
+    /// Plan through the shared pipeline, the one public planning path.
+    fn plan_via_pipeline(
+        layout: &BlockSparseMatrix,
+        num_ctas: usize,
+        policy: SchedulePolicy,
+        cost: CostModel,
+    ) -> Plan {
+        let kernel = FlashKernel {
+            tile: TileConfig { tq: 16, tkv: 64 },
+            head_fusion: true,
+        };
+        let mut p = AttentionPipeline::new(kernel, num_ctas, cost, policy, Arch::Ampere).unwrap();
+        p.plan(layout, 1, 1).unwrap().clone()
+    }
 
     fn layout_for(kv_lens: &[usize]) -> BlockSparseMatrix {
         let cols: usize = kv_lens.iter().sum::<usize>().max(1);
         let mut rows = Vec::new();
         let mut col = 0;
         for (i, &l) in kv_lens.iter().enumerate() {
-            let entries: Vec<BlockEntry> =
-                (0..l).map(|k| BlockEntry { col_block: col + k, len: 1 }).collect();
+            let entries: Vec<BlockEntry> = (0..l)
+                .map(|k| BlockEntry {
+                    col_block: col + k,
+                    len: 1,
+                })
+                .collect();
             rows.push((i, i + 1, entries));
             col += l;
         }
@@ -267,7 +288,10 @@ mod tests {
         let d = 128;
         let bytes = (2 * kv * d * 8 * 2) as f64 + (4 * 8 * d * 6) as f64;
         let mem_t = bytes / c.spec.bw_per_sm();
-        assert!((t - c.item_overhead - mem_t).abs() / mem_t < 0.05, "t={t} mem={mem_t}");
+        assert!(
+            (t - c.item_overhead - mem_t).abs() / mem_t < 0.05,
+            "t={t} mem={mem_t}"
+        );
     }
 
     #[test]
@@ -276,10 +300,22 @@ mod tests {
         let mut lens = vec![8192usize];
         lens.extend(std::iter::repeat_n(128, 15));
         let layout = layout_for(&lens);
-        let cost = CostModel { alpha: 0.0, beta: 1.0, gamma: 64.0 };
+        let cost = CostModel {
+            alpha: 0.0,
+            beta: 1.0,
+            gamma: 64.0,
+        };
         let c = ctx();
-        let bal = execute_plan(&balanced_plan(&layout, 108, cost).unwrap(), &layout, &c);
-        let naive = execute_plan(&naive_plan(&layout, 108, cost).unwrap(), &layout, &c);
+        let bal = execute_plan(
+            &plan_via_pipeline(&layout, 108, SchedulePolicy::Balanced, cost),
+            &layout,
+            &c,
+        );
+        let naive = execute_plan(
+            &plan_via_pipeline(&layout, 108, SchedulePolicy::Naive, cost),
+            &layout,
+            &c,
+        );
         assert!(
             bal.makespan < naive.makespan * 0.5,
             "balanced {} vs naive {}",
@@ -296,11 +332,15 @@ mod tests {
         let layout = layout_for(&lens);
         let c = ctx();
         let r = execute_plan(
-            &balanced_plan(&layout, 108, CostModel::default()).unwrap(),
+            &plan_via_pipeline(&layout, 108, SchedulePolicy::Balanced, CostModel::default()),
             &layout,
             &c,
         );
-        assert!(r.bandwidth_util > 0.0 && r.bandwidth_util <= 1.0, "{}", r.bandwidth_util);
+        assert!(
+            r.bandwidth_util > 0.0 && r.bandwidth_util <= 1.0,
+            "{}",
+            r.bandwidth_util
+        );
         assert!(r.flops_util > 0.0 && r.flops_util <= 1.0);
     }
 
@@ -308,7 +348,7 @@ mod tests {
     fn unfused_heads_cost_more() {
         let mut c = ctx();
         let layout = layout_for(&[1024; 16]);
-        let plan = balanced_plan(&layout, 108, CostModel::default()).unwrap();
+        let plan = plan_via_pipeline(&layout, 108, SchedulePolicy::Balanced, CostModel::default());
         let fused = execute_plan(&plan, &layout, &c);
         c.head_fusion = false;
         let unfused = execute_plan(&plan, &layout, &c);
@@ -332,7 +372,11 @@ mod tests {
         c.sparse_gather_penalty = 0.10;
         // Prefill tiles are compute bound on A100 at these sizes, so a 10%
         // gather penalty may be partially hidden; decode is not.
-        let dec_base = ExecContext { sparse_gather_penalty: 0.0, ..c }.item_time(1, 1024);
+        let dec_base = ExecContext {
+            sparse_gather_penalty: 0.0,
+            ..c
+        }
+        .item_time(1, 1024);
         let dec_pen = c.item_time(1, 1024);
         assert!(dec_pen > dec_base);
         let _ = base;
@@ -342,10 +386,15 @@ mod tests {
     fn contraction_time_only_when_split() {
         let layout = layout_for(&[64, 64]);
         let c = ctx();
-        let no_split = naive_plan(&layout, 4, CostModel::default()).unwrap();
+        let no_split = plan_via_pipeline(&layout, 4, SchedulePolicy::Naive, CostModel::default());
         let r = execute_plan(&no_split, &layout, &c);
         assert_eq!(r.contraction_time, 0.0);
-        let split = balanced_plan(&layout_for(&[10_000]), 64, CostModel::default()).unwrap();
+        let split = plan_via_pipeline(
+            &layout_for(&[10_000]),
+            64,
+            SchedulePolicy::Balanced,
+            CostModel::default(),
+        );
         let r2 = execute_plan(&split, &layout_for(&[10_000]), &c);
         assert!(r2.contraction_time > 0.0);
     }
@@ -361,7 +410,7 @@ mod tests {
         let lens: Vec<usize> = (0..24).map(|i| 256 + i * 100).collect();
         let layout = layout_for(&lens);
         let c = ctx();
-        let plan = balanced_plan(&layout, 16, CostModel::default()).unwrap();
+        let plan = plan_via_pipeline(&layout, 16, SchedulePolicy::Balanced, CostModel::default());
         let (report, events) = execute_plan_with_timeline(&plan, &layout, &c);
         assert_eq!(events.len(), plan.num_items());
         // Per-CTA events are contiguous and non-overlapping.
@@ -378,8 +427,7 @@ mod tests {
         // Makespan = max end + contraction + launch.
         let max_end = events.iter().map(|e| e.end).fold(0.0, f64::max);
         assert!(
-            (report.makespan - (max_end + report.contraction_time + c.spec.launch_overhead))
-                .abs()
+            (report.makespan - (max_end + report.contraction_time + c.spec.launch_overhead)).abs()
                 < 1e-9
         );
         // Every (block_row, kv chunk) appears exactly once.

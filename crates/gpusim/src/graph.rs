@@ -11,6 +11,8 @@
 
 use std::fmt;
 
+use fi_sched::AttentionPipeline;
+
 /// One kernel launch recorded in a graph.
 #[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct GraphOp {
@@ -47,7 +49,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::LengthMismatch { captured, replayed } => {
-                write!(f, "graph length mismatch: captured {captured} ops, replayed {replayed}")
+                write!(
+                    f,
+                    "graph length mismatch: captured {captured} ops, replayed {replayed}"
+                )
             }
             GraphError::FrozenArgMismatch { index, detail } => {
                 write!(f, "frozen argument mismatch at op {index}: {detail}")
@@ -118,7 +123,10 @@ impl CudaGraph {
             if a.pointer_args != b.pointer_args {
                 return Err(GraphError::FrozenArgMismatch {
                     index: i,
-                    detail: format!("pointers {:?} != captured {:?}", b.pointer_args, a.pointer_args),
+                    detail: format!(
+                        "pointers {:?} != captured {:?}",
+                        b.pointer_args, a.pointer_args
+                    ),
                 });
             }
         }
@@ -165,6 +173,43 @@ pub fn step_ops(
         .collect()
 }
 
+/// Build the launch sequence of one generation step driven by a shared
+/// [`AttentionPipeline`]: the grid is the pipeline's persistent-CTA
+/// budget, the pointer arguments are its workspace's fixed section
+/// offsets.
+pub fn pipeline_step_ops(
+    pipeline: &AttentionPipeline,
+    num_layers: usize,
+    kernel_key: &str,
+) -> Vec<GraphOp> {
+    let layout = pipeline.workspace().layout();
+    step_ops(
+        num_layers,
+        pipeline.num_ctas(),
+        layout.metadata_offset,
+        layout.partials_offset,
+        kernel_key,
+    )
+}
+
+/// Capture one pipeline-driven generation step.
+///
+/// Captures the step's launch sequence, **freezes** the pipeline's
+/// workspace (section offsets become immutable — the captured pointers
+/// must stay valid), and **pins** the current plan's cache entry so the
+/// plan a replay depends on can never be evicted while the graph lives.
+pub fn capture_pipeline_step(
+    graph: &mut CudaGraph,
+    pipeline: &mut AttentionPipeline,
+    num_layers: usize,
+    kernel_key: &str,
+) {
+    let ops = pipeline_step_ops(pipeline, num_layers, kernel_key);
+    pipeline.freeze_workspace();
+    pipeline.pin_current();
+    graph.capture(ops);
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,10 +221,22 @@ mod tests {
         // upper bounds once; per-step plans differ but offsets don't.
         let layout = WorkspaceLayout::compute(16, 32, 128, 108, 4096);
         let mut g = CudaGraph::new();
-        let step1 = step_ops(32, 108, layout.metadata_offset, layout.partials_offset, "fa2_f16");
+        let step1 = step_ops(
+            32,
+            108,
+            layout.metadata_offset,
+            layout.partials_offset,
+            "fa2_f16",
+        );
         g.capture(step1.clone());
         // Next step: different sequence lengths — same launch sequence.
-        let step2 = step_ops(32, 108, layout.metadata_offset, layout.partials_offset, "fa2_f16");
+        let step2 = step_ops(
+            32,
+            108,
+            layout.metadata_offset,
+            layout.partials_offset,
+            "fa2_f16",
+        );
         g.replay(&step2).unwrap();
         g.replay(&step2).unwrap();
         assert_eq!(g.replay_count(), 2);
@@ -225,5 +282,54 @@ mod tests {
     fn replay_before_capture() {
         let mut g = CudaGraph::new();
         assert_eq!(g.replay(&[]), Err(GraphError::NotCaptured));
+    }
+
+    #[test]
+    fn pipeline_capture_freezes_offsets_and_pins_plan() {
+        use fi_core::arch::Arch;
+        use fi_core::tiles::TileConfig;
+        use fi_sched::pipeline::SchedulePolicy;
+        use fi_sparse::bsr::{BlockEntry, BlockSparseMatrix};
+
+        let layout_for = |kv_blocks: &[usize]| {
+            let cols: usize = kv_blocks.iter().sum();
+            let mut rows = Vec::new();
+            let mut col = 0;
+            for (i, &n) in kv_blocks.iter().enumerate() {
+                let entries: Vec<BlockEntry> = (0..n)
+                    .map(|k| BlockEntry {
+                        col_block: col + k,
+                        len: 1,
+                    })
+                    .collect();
+                rows.push((i, i + 1, entries));
+                col += n;
+            }
+            BlockSparseMatrix::new(kv_blocks.len(), cols, 1, rows).unwrap()
+        };
+
+        let mut p = AttentionPipeline::analytical(
+            8,
+            TileConfig { tq: 1, tkv: 8 },
+            SchedulePolicy::Balanced,
+            Arch::Ampere,
+        )
+        .unwrap();
+        p.plan(&layout_for(&[64, 32]), 1, 1).unwrap();
+        let mut g = CudaGraph::new();
+        capture_pipeline_step(&mut g, &mut p, 4, "fa2_f16");
+        assert!(p.is_frozen());
+        assert_eq!(g.ops().len(), 8);
+
+        // Different sequence lengths, frozen workspace: offsets are
+        // unchanged, so the captured graph replays.
+        p.plan(&layout_for(&[48, 40]), 1, 1).unwrap();
+        g.replay(&pipeline_step_ops(&p, 4, "fa2_f16")).unwrap();
+        assert_eq!(g.replay_count(), 1);
+
+        // The captured plan's cache entry is pinned: it survives a cache
+        // invalidation (the graph still references its metadata).
+        p.invalidate();
+        assert_eq!(p.cache().len(), 1);
     }
 }

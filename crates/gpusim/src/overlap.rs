@@ -83,9 +83,8 @@ pub fn simulate_overlap(ops: &[StreamOp]) -> OverlapReport {
     let mut running: Vec<usize> = Vec::new();
     let mut clock = 0.0f64;
 
-    let stream_pred = |i: usize| -> Option<usize> {
-        (0..i).rev().find(|&j| ops[j].stream == ops[i].stream)
-    };
+    let stream_pred =
+        |i: usize| -> Option<usize> { (0..i).rev().find(|&j| ops[j].stream == ops[i].stream) };
 
     let mut completed = 0usize;
     let mut guard = 0usize;
@@ -105,8 +104,14 @@ pub fn simulate_overlap(ops: &[StreamOp]) -> OverlapReport {
                 running.push(i);
             }
         }
-        let next = running.iter().map(|&i| end[i]).fold(f64::INFINITY, f64::min);
-        assert!(next.is_finite(), "deadlock: nothing running, {completed}/{n} done");
+        let next = running
+            .iter()
+            .map(|&i| end[i])
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            next.is_finite(),
+            "deadlock: nothing running, {completed}/{n} done"
+        );
         clock = next;
         running.retain(|&i| {
             if end[i] <= clock + 1e-15 {
@@ -171,7 +176,13 @@ mod tests {
     use super::*;
 
     fn op(name: &str, stream: usize, resource: Resource, time: f64, deps: Vec<usize>) -> StreamOp {
-        StreamOp { name: name.into(), stream, resource, time, deps }
+        StreamOp {
+            name: name.into(),
+            stream,
+            resource,
+            time,
+            deps,
+        }
     }
 
     #[test]

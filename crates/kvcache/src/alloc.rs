@@ -70,7 +70,10 @@ impl PageAllocator {
     /// than `n` pages are free.
     pub fn alloc(&mut self, n: usize) -> Result<Vec<usize>, KvCacheError> {
         if n > self.free_list.len() {
-            return Err(KvCacheError::OutOfPages { requested: n, available: self.free_list.len() });
+            return Err(KvCacheError::OutOfPages {
+                requested: n,
+                available: self.free_list.len(),
+            });
         }
         let at = self.free_list.len() - n;
         let pages = self.free_list.split_off(at);
@@ -86,7 +89,10 @@ impl PageAllocator {
     pub fn free(&mut self, pages: &[usize]) {
         for &p in pages {
             debug_assert!(p < self.num_pages, "freeing page {p} outside pool");
-            debug_assert!(self.allocated.get(p).copied().unwrap_or(false), "double free of page {p}");
+            debug_assert!(
+                self.allocated.get(p).copied().unwrap_or(false),
+                "double free of page {p}"
+            );
             if p < self.num_pages && self.allocated[p] {
                 self.allocated[p] = false;
                 self.free_list.push(p);
@@ -125,7 +131,13 @@ mod tests {
         let mut a = PageAllocator::new(3);
         let _x = a.alloc(2).unwrap();
         let err = a.alloc(2).unwrap_err();
-        assert_eq!(err, KvCacheError::OutOfPages { requested: 2, available: 1 });
+        assert_eq!(
+            err,
+            KvCacheError::OutOfPages {
+                requested: 2,
+                available: 1
+            }
+        );
         // Failed alloc must not consume pages.
         assert_eq!(a.free_pages(), 1);
     }

@@ -37,17 +37,29 @@ pub enum KvCacheError {
 impl fmt::Display for KvCacheError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            KvCacheError::OutOfPages { requested, available } => {
-                write!(f, "out of pages: requested {requested}, available {available}")
+            KvCacheError::OutOfPages {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "out of pages: requested {requested}, available {available}"
+                )
             }
             KvCacheError::UnknownRequest(id) => write!(f, "unknown request id {id}"),
             KvCacheError::DuplicateRequest(id) => write!(f, "duplicate request id {id}"),
             KvCacheError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
             KvCacheError::ShapeMismatch { expected, actual } => {
-                write!(f, "shape mismatch: expected {expected} elements, got {actual}")
+                write!(
+                    f,
+                    "shape mismatch: expected {expected} elements, got {actual}"
+                )
             }
             KvCacheError::TokenSlotMismatch { tokens, slots } => {
-                write!(f, "token/slot length mismatch: {tokens} tokens vs {slots} slots")
+                write!(
+                    f,
+                    "token/slot length mismatch: {tokens} tokens vs {slots} slots"
+                )
             }
         }
     }
@@ -61,7 +73,10 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = KvCacheError::OutOfPages { requested: 3, available: 1 };
+        let e = KvCacheError::OutOfPages {
+            requested: 3,
+            available: 1,
+        };
         assert!(e.to_string().contains("requested 3"));
         assert!(KvCacheError::UnknownRequest(42).to_string().contains("42"));
     }

@@ -45,8 +45,13 @@ pub fn build_prefix_groups(slot_seqs: &[Vec<usize>], min_prefix: usize) -> Vec<P
         }
         if j == i + 1 {
             // Singleton: no sharing to exploit.
-            let unique: Vec<BlockEntry> =
-                slot_seqs[i].iter().map(|&s| BlockEntry { col_block: s, len: 1 }).collect();
+            let unique: Vec<BlockEntry> = slot_seqs[i]
+                .iter()
+                .map(|&s| BlockEntry {
+                    col_block: s,
+                    len: 1,
+                })
+                .collect();
             groups.push(PrefixGroup {
                 row_start: i,
                 row_end: i + 1,
@@ -56,18 +61,29 @@ pub fn build_prefix_groups(slot_seqs: &[Vec<usize>], min_prefix: usize) -> Vec<P
         } else {
             let prefix_blocks: Vec<BlockEntry> = slot_seqs[i][..prefix_len]
                 .iter()
-                .map(|&s| BlockEntry { col_block: s, len: 1 })
+                .map(|&s| BlockEntry {
+                    col_block: s,
+                    len: 1,
+                })
                 .collect();
             let unique = (i..j)
                 .map(|r| {
                     let blocks: Vec<BlockEntry> = slot_seqs[r][prefix_len..]
                         .iter()
-                        .map(|&s| BlockEntry { col_block: s, len: 1 })
+                        .map(|&s| BlockEntry {
+                            col_block: s,
+                            len: 1,
+                        })
                         .collect();
                     (r, r + 1, blocks)
                 })
                 .collect();
-            groups.push(PrefixGroup { row_start: i, row_end: j, prefix_blocks, unique });
+            groups.push(PrefixGroup {
+                row_start: i,
+                row_end: j,
+                prefix_blocks,
+                unique,
+            });
         }
         i = j;
     }
@@ -127,7 +143,11 @@ mod tests {
         ];
         let g = build_prefix_groups(&seqs, 3);
         assert_eq!(g.len(), 1);
-        assert_eq!(g[0].prefix_blocks.len(), 4, "prefix shrinks to the 3-way core");
+        assert_eq!(
+            g[0].prefix_blocks.len(),
+            4,
+            "prefix shrinks to the 3-way core"
+        );
         // Members' uniques start after the common core.
         assert_eq!(g[0].unique[0].2.len(), 3); // slots 4,5,50
     }

@@ -112,7 +112,13 @@ impl<T: Scalar> PagedKvCache<T> {
         if self.requests.contains_key(&id) {
             return Err(KvCacheError::DuplicateRequest(id));
         }
-        self.requests.insert(id, RequestState { pages: Vec::new(), len: 0 });
+        self.requests.insert(
+            id,
+            RequestState {
+                pages: Vec::new(),
+                len: 0,
+            },
+        );
         Ok(())
     }
 
@@ -143,7 +149,13 @@ impl<T: Scalar> PagedKvCache<T> {
             )));
         }
         self.retain_pages(&pages);
-        self.requests.insert(id, RequestState { pages, len: shared_len });
+        self.requests.insert(
+            id,
+            RequestState {
+                pages,
+                len: shared_len,
+            },
+        );
         Ok(())
     }
 
@@ -158,7 +170,10 @@ impl<T: Scalar> PagedKvCache<T> {
         if self.requests.contains_key(&new_id) {
             return Err(KvCacheError::DuplicateRequest(new_id));
         }
-        let state = self.requests.get(&src).ok_or(KvCacheError::UnknownRequest(src))?;
+        let state = self
+            .requests
+            .get(&src)
+            .ok_or(KvCacheError::UnknownRequest(src))?;
         let pages = state.pages.clone();
         let len = state.len;
         self.retain_pages(&pages);
@@ -184,7 +199,11 @@ impl<T: Scalar> PagedKvCache<T> {
     ///
     /// Returns [`KvCacheError::UnknownRequest`] for unregistered ids.
     pub fn seq_len(&self, id: u64) -> Result<usize, KvCacheError> {
-        Ok(self.requests.get(&id).ok_or(KvCacheError::UnknownRequest(id))?.len)
+        Ok(self
+            .requests
+            .get(&id)
+            .ok_or(KvCacheError::UnknownRequest(id))?
+            .len)
     }
 
     /// Append one token's K and V rows (`num_kv_heads * head_dim` each),
@@ -197,13 +216,22 @@ impl<T: Scalar> PagedKvCache<T> {
     pub fn append(&mut self, id: u64, k_row: &[T], v_row: &[T]) -> Result<(), KvCacheError> {
         let w = self.cfg.row_width();
         if k_row.len() != w {
-            return Err(KvCacheError::ShapeMismatch { expected: w, actual: k_row.len() });
+            return Err(KvCacheError::ShapeMismatch {
+                expected: w,
+                actual: k_row.len(),
+            });
         }
         if v_row.len() != w {
-            return Err(KvCacheError::ShapeMismatch { expected: w, actual: v_row.len() });
+            return Err(KvCacheError::ShapeMismatch {
+                expected: w,
+                actual: v_row.len(),
+            });
         }
         let page_size = self.cfg.page_size;
-        let state = self.requests.get_mut(&id).ok_or(KvCacheError::UnknownRequest(id))?;
+        let state = self
+            .requests
+            .get_mut(&id)
+            .ok_or(KvCacheError::UnknownRequest(id))?;
         if state.len == state.pages.len() * page_size {
             let new = self.allocator.alloc(1)?;
             for &p in &new {
@@ -248,7 +276,10 @@ impl<T: Scalar> PagedKvCache<T> {
     pub fn append_many(&mut self, id: u64, k: &[T], v: &[T]) -> Result<(), KvCacheError> {
         let w = self.cfg.row_width();
         if k.len() != v.len() || !k.len().is_multiple_of(w) {
-            return Err(KvCacheError::ShapeMismatch { expected: v.len(), actual: k.len() });
+            return Err(KvCacheError::ShapeMismatch {
+                expected: v.len(),
+                actual: k.len(),
+            });
         }
         for (kr, vr) in k.chunks(w).zip(v.chunks(w)) {
             self.append(id, kr, vr)?;
@@ -264,7 +295,10 @@ impl<T: Scalar> PagedKvCache<T> {
     ///
     /// Returns [`KvCacheError::UnknownRequest`] for unregistered ids.
     pub fn remove_request(&mut self, id: u64) -> Result<(), KvCacheError> {
-        let state = self.requests.remove(&id).ok_or(KvCacheError::UnknownRequest(id))?;
+        let state = self
+            .requests
+            .remove(&id)
+            .ok_or(KvCacheError::UnknownRequest(id))?;
         let pages = state.pages;
         self.release_pages(&pages);
         Ok(())
@@ -336,7 +370,10 @@ impl<T: Scalar> PagedKvCache<T> {
         let mut pages = Vec::with_capacity(ids.len());
         let mut last_lens = Vec::with_capacity(ids.len());
         for &id in ids {
-            let st = self.requests.get(&id).ok_or(KvCacheError::UnknownRequest(id))?;
+            let st = self
+                .requests
+                .get(&id)
+                .ok_or(KvCacheError::UnknownRequest(id))?;
             pages.push(st.pages.clone());
             last_lens.push(if st.pages.is_empty() {
                 0
@@ -367,7 +404,11 @@ impl<T: Scalar> PagedKvCache<T> {
     ///
     /// Returns [`KvCacheError::UnknownRequest`] for unregistered ids.
     pub fn request_pages(&self, id: u64) -> Result<&[usize], KvCacheError> {
-        Ok(&self.requests.get(&id).ok_or(KvCacheError::UnknownRequest(id))?.pages)
+        Ok(&self
+            .requests
+            .get(&id)
+            .ok_or(KvCacheError::UnknownRequest(id))?
+            .pages)
     }
 
     /// Number of live requests.
@@ -397,7 +438,12 @@ mod tests {
     use super::*;
 
     fn cfg() -> PagedKvConfig {
-        PagedKvConfig { page_size: 4, num_pages: 8, num_kv_heads: 2, head_dim: 3 }
+        PagedKvConfig {
+            page_size: 4,
+            num_pages: 8,
+            num_kv_heads: 2,
+            head_dim: 3,
+        }
     }
 
     fn row(tag: f32, w: usize) -> Vec<f32> {
@@ -411,7 +457,8 @@ mod tests {
         assert_eq!(c.free_page_count(), 8);
         let w = c.config().row_width();
         for i in 0..5 {
-            c.append(1, &row(i as f32, w), &row(-(i as f32), w)).unwrap();
+            c.append(1, &row(i as f32, w), &row(-(i as f32), w))
+                .unwrap();
         }
         // 5 tokens over page_size 4 -> 2 pages.
         assert_eq!(c.free_page_count(), 6);
@@ -424,7 +471,8 @@ mod tests {
         c.add_request(1).unwrap();
         let w = c.config().row_width();
         for i in 0..6 {
-            c.append(1, &row(i as f32, w), &row(10.0 + i as f32, w)).unwrap();
+            c.append(1, &row(i as f32, w), &row(10.0 + i as f32, w))
+                .unwrap();
         }
         let pt = c.page_table(&[1]).unwrap();
         for pos in 0..6 {
@@ -492,7 +540,7 @@ mod tests {
         let pt = c.page_table(&[1, 2]).unwrap();
         assert_eq!(pt.slot_of(1, 0), pt.slot_of(0, 0)); // shared slot
         assert_ne!(pt.slot_of(1, 8) / 4, pages[1]); // fresh page
-        // Removing the donor keeps the adopted pages alive.
+                                                    // Removing the donor keeps the adopted pages alive.
         c.remove_request(1).unwrap();
         assert_eq!(c.page_ref_count(pages[0]), 1);
         assert!(c.k_slot(pt.slot_of(1, 3)).iter().all(|&x| x == 3.0));
@@ -505,7 +553,8 @@ mod tests {
         let w = c.config().row_width();
         // 6 tokens: page 0 full (4), page 1 half (2).
         for i in 0..6 {
-            c.append(1, &row(i as f32, w), &row(-(i as f32), w)).unwrap();
+            c.append(1, &row(i as f32, w), &row(-(i as f32), w))
+                .unwrap();
         }
         c.fork_request(1, 2).unwrap();
         assert_eq!(c.seq_len(2).unwrap(), 6);
@@ -543,7 +592,12 @@ mod tests {
         // Every branch appends distinct tokens.
         for b in 1..5u64 {
             for t in 0..3 {
-                c.append(b, &row(1000.0 + b as f32 * 10.0 + t as f32, w), &row(0.0, w)).unwrap();
+                c.append(
+                    b,
+                    &row(1000.0 + b as f32 * 10.0 + t as f32, w),
+                    &row(0.0, w),
+                )
+                .unwrap();
             }
         }
         let ids: Vec<u64> = (1..5).collect();
@@ -569,7 +623,10 @@ mod tests {
         let mut c = PagedKvCache::<f32>::new(cfg()).unwrap();
         assert_eq!(c.seq_len(9).unwrap_err(), KvCacheError::UnknownRequest(9));
         c.add_request(1).unwrap();
-        assert_eq!(c.add_request(1).unwrap_err(), KvCacheError::DuplicateRequest(1));
+        assert_eq!(
+            c.add_request(1).unwrap_err(),
+            KvCacheError::DuplicateRequest(1)
+        );
         let bad = vec![0.0f32; 3];
         assert!(matches!(
             c.append(1, &bad, &bad).unwrap_err(),
@@ -586,7 +643,12 @@ mod tests {
 
     #[test]
     fn pool_exhaustion_reported() {
-        let small = PagedKvConfig { page_size: 2, num_pages: 1, num_kv_heads: 1, head_dim: 1 };
+        let small = PagedKvConfig {
+            page_size: 2,
+            num_pages: 1,
+            num_kv_heads: 1,
+            head_dim: 1,
+        };
         let mut c = PagedKvCache::<f32>::new(small).unwrap();
         c.add_request(1).unwrap();
         c.append(1, &[0.0], &[0.0]).unwrap();

@@ -152,7 +152,10 @@ impl RadixTree {
                     // Walk the child's edge.
                     let common = {
                         let edge = &self.nodes[child].tokens;
-                        edge.iter().zip(&tokens[i..]).take_while(|(a, b)| a == b).count()
+                        edge.iter()
+                            .zip(&tokens[i..])
+                            .take_while(|(a, b)| a == b)
+                            .count()
                     };
                     if common < self.nodes[child].tokens.len() {
                         // Split the edge at `common`.
@@ -204,13 +207,18 @@ impl RadixTree {
         let mut edge_offset = 0usize;
         loop {
             self.nodes[node].last_access = now;
-            let Some(&child) = tokens.get(matched).and_then(|t| self.nodes[node].children.get(t))
+            let Some(&child) = tokens
+                .get(matched)
+                .and_then(|t| self.nodes[node].children.get(t))
             else {
                 break;
             };
             let common = {
                 let edge = &self.nodes[child].tokens;
-                edge.iter().zip(&tokens[matched..]).take_while(|(a, b)| a == b).count()
+                edge.iter()
+                    .zip(&tokens[matched..])
+                    .take_while(|(a, b)| a == b)
+                    .count()
             };
             slots.extend_from_slice(&self.nodes[child].slots[..common]);
             matched += common;
@@ -223,7 +231,12 @@ impl RadixTree {
             node = child;
             edge_offset = self.nodes[child].tokens.len();
         }
-        PrefixMatch { matched_tokens: matched, slots, node, edge_offset }
+        PrefixMatch {
+            matched_tokens: matched,
+            slots,
+            node,
+            edge_offset,
+        }
     }
 
     /// Pin the path of a match so eviction cannot free it while a request
@@ -244,7 +257,10 @@ impl RadixTree {
     pub fn unlock_prefix(&mut self, m: &PrefixMatch) {
         let mut n = Some(m.node);
         while let Some(id) = n {
-            debug_assert!(self.nodes[id].ref_count > 0, "unlock without lock at node {id}");
+            debug_assert!(
+                self.nodes[id].ref_count > 0,
+                "unlock without lock at node {id}"
+            );
             self.nodes[id].ref_count = self.nodes[id].ref_count.saturating_sub(1);
             n = self.nodes[id].parent;
         }
@@ -399,7 +415,10 @@ mod tests {
         let mut t = RadixTree::new();
         assert!(matches!(
             t.insert(&[1, 2], &[0]).unwrap_err(),
-            KvCacheError::TokenSlotMismatch { tokens: 2, slots: 1 }
+            KvCacheError::TokenSlotMismatch {
+                tokens: 2,
+                slots: 1
+            }
         ));
     }
 

@@ -72,8 +72,11 @@ pub fn swap_in<T: Scalar>(
     cache.add_request(id)?;
     let w = cache.config().row_width();
     for pos in 0..blob.len {
-        if let Err(e) = cache.append(id, &blob.k[pos * w..(pos + 1) * w], &blob.v[pos * w..(pos + 1) * w])
-        {
+        if let Err(e) = cache.append(
+            id,
+            &blob.k[pos * w..(pos + 1) * w],
+            &blob.v[pos * w..(pos + 1) * w],
+        ) {
             // Roll back the partial restore.
             let _ = cache.remove_request(id);
             return Err(e);
@@ -140,7 +143,11 @@ mod tests {
         // Restored copy is private.
         swap_in(&mut c, 2, &blob).unwrap();
         let pt2 = c.page_table(&[1, 2]).unwrap();
-        assert_ne!(pt2.slot_of(0, 0), pt2.slot_of(1, 0), "fresh pages, no aliasing");
+        assert_ne!(
+            pt2.slot_of(0, 0),
+            pt2.slot_of(1, 0),
+            "fresh pages, no aliasing"
+        );
         assert_eq!(c.k_slot(pt2.slot_of(1, 3))[0], 1003.0);
     }
 
@@ -154,7 +161,11 @@ mod tests {
         let before = c.free_page_count();
         let err = swap_in(&mut c, 1, &blob).unwrap_err();
         assert!(matches!(err, KvCacheError::OutOfPages { .. }));
-        assert_eq!(c.free_page_count(), before, "rollback releases partial pages");
+        assert_eq!(
+            c.free_page_count(),
+            before,
+            "rollback releases partial pages"
+        );
         assert!(c.seq_len(1).is_err());
     }
 
@@ -165,6 +176,9 @@ mod tests {
         fill(&mut c, 1, 2);
         let blob = swap_out(&mut c, 1).unwrap();
         fill(&mut c, 1, 1); // id reused while swapped
-        assert!(matches!(swap_in(&mut c, 1, &blob), Err(KvCacheError::DuplicateRequest(1))));
+        assert!(matches!(
+            swap_in(&mut c, 1, &blob),
+            Err(KvCacheError::DuplicateRequest(1))
+        ));
     }
 }

@@ -1,21 +1,22 @@
 //! The mini-LLM inference engine: the integration of every substrate.
 //!
 //! One [`fi_kvcache::PagedKvCache`] per layer, one
-//! [`fi_sched::BatchAttentionHandler`] shared across layers (so the
-//! per-step plan is computed once and cache-hit by every layer — exactly
-//! the amortization §3.3.1 describes), fused-RoPE causal attention as the
-//! variant, and a greedy decode loop on top.
+//! [`fi_sched::AttentionPipeline`] shared across layers and between the
+//! flat and cascade decode paths (so the per-step plan is computed once
+//! and cache-hit by every layer — exactly the amortization §3.3.1
+//! describes), fused-RoPE causal attention as the variant, and a greedy
+//! decode loop on top.
 
+use fi_core::arch::Arch;
 use fi_core::kernel::{AttentionProblem, FlashKernel};
 use fi_core::rope::RotaryEmbedding;
 use fi_core::tiles::TileConfig;
 use fi_core::variant::{FusedRopeAttention, VariantParams};
-use fi_kvcache::paged::{PagedKvCache, PagedKvConfig};
 use fi_kvcache::groups::build_prefix_groups;
+use fi_kvcache::paged::{PagedKvCache, PagedKvConfig};
 use fi_sched::cascade::{CascadeAttention, PrefixNode, PrefixTree};
+use fi_sched::pipeline::{AttentionPipeline, SchedulePolicy};
 use fi_sched::plan::CostModel;
-use fi_sched::workspace::{Workspace, WorkspaceLayout};
-use fi_sched::wrapper::{BatchAttentionHandler, SchedulePolicy};
 use fi_tensor::RaggedTensor;
 
 use crate::config::MiniLlmConfig;
@@ -71,7 +72,7 @@ impl From<fi_sparse::SparseError> for EngineError {
 pub struct MiniLlmEngine {
     model: MiniLlm,
     caches: Vec<PagedKvCache<f32>>,
-    handler: BatchAttentionHandler,
+    pipeline: AttentionPipeline,
     variant: FusedRopeAttention,
     params: VariantParams,
     tile: TileConfig,
@@ -98,25 +99,32 @@ impl MiniLlmEngine {
             .collect();
         let tile = TileConfig { tq: 4, tkv: 16 };
         let num_ctas = 8;
-        let workspace = Workspace::allocate(WorkspaceLayout::compute(
-            tile.tq,
-            heads.num_qo_heads,
-            heads.head_dim,
-            num_ctas,
-            1 << 14,
-        ));
-        let handler = BatchAttentionHandler::new(
-            FlashKernel { tile, head_fusion: true },
+        // Growable workspace: the pipeline sizes it to the largest batch
+        // seen, monotonically (no per-step reallocation).
+        let pipeline = AttentionPipeline::new(
+            FlashKernel {
+                tile,
+                head_fusion: true,
+            },
             num_ctas,
             CostModel::default(),
             SchedulePolicy::Balanced,
-            workspace,
+            Arch::Ampere,
         )
         .expect("positive CTAs");
-        let variant =
-            FusedRopeAttention { rope: RotaryEmbedding::new(cfg.head_dim, cfg.rope_theta) };
+        let variant = FusedRopeAttention {
+            rope: RotaryEmbedding::new(cfg.head_dim, cfg.rope_theta),
+        };
         let params = VariantParams::for_head_dim(cfg.head_dim);
-        MiniLlmEngine { model, caches, handler, variant, params, tile, cascade_decode: false }
+        MiniLlmEngine {
+            model,
+            caches,
+            pipeline,
+            variant,
+            params,
+            tile,
+            cascade_decode: false,
+        }
     }
 
     /// Enable/disable composable-format decode (§3.1.2) for shared-prefix
@@ -268,7 +276,12 @@ impl MiniLlmEngine {
                             .collect(),
                     })
                     .collect();
-                let tree = PrefixTree { roots, rows, cols, bc: 1 };
+                let tree = PrefixTree {
+                    roots,
+                    rows,
+                    cols,
+                    bc: 1,
+                };
                 let cascade = CascadeAttention::from_prefix_tree(&tree)?;
                 let row_meta: Vec<fi_core::kernel::RowMeta> = (0..rows)
                     .map(|b| fi_core::kernel::RowMeta {
@@ -279,7 +292,7 @@ impl MiniLlmEngine {
                     })
                     .collect();
                 cascade.run(
-                    self.handler.kernel(),
+                    &mut self.pipeline,
                     &q,
                     self.caches[l].k_pool(),
                     self.caches[l].v_pool(),
@@ -298,12 +311,15 @@ impl MiniLlmEngine {
                     &kv_lens,
                 )
                 .map_err(fi_sched::SchedError::from)?;
-                self.handler.plan(&layout, heads.num_qo_heads, heads.head_dim)?;
-                self.handler.run(&problem, &self.variant, &self.params)?
+                self.pipeline
+                    .plan(&layout, heads.num_qo_heads, heads.head_dim)?;
+                self.pipeline.run(&problem, &self.variant, &self.params)?
             };
 
             // Residual + output projection, then the MLP block.
-            let o_flat = self.model.layers[l].wo.forward_rows(out.o.as_tensor().as_slice());
+            let o_flat = self.model.layers[l]
+                .wo
+                .forward_rows(out.o.as_tensor().as_slice());
             for (xi, oi) in x.iter_mut().zip(&o_flat) {
                 *xi += oi;
             }
@@ -351,9 +367,9 @@ impl MiniLlmEngine {
         Ok(out)
     }
 
-    /// Plan-cache statistics from the shared handler (layers should hit).
-    pub fn plan_stats(&self) -> fi_sched::wrapper::RunStats {
-        self.handler.stats()
+    /// Plan-cache statistics from the shared pipeline (layers should hit).
+    pub fn plan_stats(&self) -> fi_sched::PipelineStats {
+        self.pipeline.stats()
     }
 }
 
@@ -465,6 +481,27 @@ mod tests {
     }
 
     #[test]
+    fn steady_state_decode_hit_rate_bounded_below() {
+        // Each decode step grows KV by one token, so layer 0 replans but
+        // every later layer hits the shared cache: hit rate must be at
+        // least (layers - 1) / layers in steady state.
+        let mut e = engine(3);
+        e.add_sequence(0).unwrap();
+        e.forward(&[0], &[vec![1, 2, 3, 4]]).unwrap();
+        for t in 0..6u32 {
+            e.forward(&[0], &[vec![5 + t]]).unwrap();
+        }
+        let s = e.plan_stats();
+        let layers = 2.0_f64;
+        assert!(
+            s.hit_rate() >= (layers - 1.0) / layers,
+            "steady-state decode hit rate {} below {}",
+            s.hit_rate(),
+            (layers - 1.0) / layers
+        );
+    }
+
+    #[test]
     fn cascade_decode_matches_flat_decode() {
         // Forked branches decode with composable formats ON vs OFF: the
         // logits — and therefore every generated token — must be identical.
@@ -484,8 +521,7 @@ mod tests {
         let ids: Vec<u64> = (0..4).collect();
         let mut toks: Vec<Vec<u32>> = (0..4).map(|b| vec![(b * 17 + 1) as u32]).collect();
         for _ in 0..5 {
-            let inputs: Vec<Vec<u32>> =
-                toks.iter().map(|t| vec![*t.last().unwrap()]).collect();
+            let inputs: Vec<Vec<u32>> = toks.iter().map(|t| vec![*t.last().unwrap()]).collect();
             let lf = flat.forward(&ids, &inputs).unwrap();
             let lc = casc.forward(&ids, &inputs).unwrap();
             for (a, b) in lf.iter().zip(&lc) {
@@ -527,9 +563,15 @@ mod tests {
     #[test]
     fn errors_are_typed() {
         let mut e = engine(2);
-        assert!(matches!(e.forward(&[0], &[vec![1]]), Err(EngineError::Cache(_))));
+        assert!(matches!(
+            e.forward(&[0], &[vec![1]]),
+            Err(EngineError::Cache(_))
+        ));
         e.add_sequence(0).unwrap();
-        assert!(matches!(e.forward(&[0], &[vec![1000]]), Err(EngineError::BadToken(1000))));
+        assert!(matches!(
+            e.forward(&[0], &[vec![1000]]),
+            Err(EngineError::BadToken(1000))
+        ));
         assert!(matches!(e.add_sequence(0), Err(EngineError::Cache(_))));
         // Pool exhaustion: a tiny engine runs out of pages.
         let mut tiny = MiniLlmEngine::new(MiniLlm::random(MiniLlmConfig::tiny(), 2), 2, 2);

@@ -33,7 +33,9 @@ impl Linear {
     /// Panics if `x.len() != in_dim`.
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len(), self.in_dim, "linear input width");
-        (0..self.out_dim).map(|o| fi_tensor::numerics::dot(self.w.row(o), x)).collect()
+        (0..self.out_dim)
+            .map(|o| fi_tensor::numerics::dot(self.w.row(o), x))
+            .collect()
     }
 
     /// `Y = X W^T` for `n` rows flattened.
@@ -43,7 +45,9 @@ impl Linear {
     /// Panics if `x.len()` is not a multiple of `in_dim`.
     pub fn forward_rows(&self, x: &[f32]) -> Vec<f32> {
         assert_eq!(x.len() % self.in_dim, 0, "linear batch width");
-        x.chunks(self.in_dim).flat_map(|row| self.forward(row)).collect()
+        x.chunks(self.in_dim)
+            .flat_map(|row| self.forward(row))
+            .collect()
     }
 }
 
@@ -55,7 +59,10 @@ pub fn rms_norm(x: &[f32], weight: &[f32], eps: f32) -> Vec<f32> {
         .flat_map(|row| {
             let ms: f32 = row.iter().map(|v| v * v).sum::<f32>() / d as f32;
             let inv = 1.0 / (ms + eps).sqrt();
-            row.iter().zip(weight).map(move |(&v, &w)| v * inv * w).collect::<Vec<f32>>()
+            row.iter()
+                .zip(weight)
+                .map(move |(&v, &w)| v * inv * w)
+                .collect::<Vec<f32>>()
         })
         .collect()
 }

@@ -75,7 +75,13 @@ impl MiniLlm {
         let embed = Tensor::from_fn(vec![cfg.vocab, h], |_| (rng.gen::<f32>() * 2.0 - 1.0) * 0.5);
         let rms_final = norm_w(&mut rng, h);
         let lm_head = Linear::random(h, cfg.vocab, &mut rng);
-        MiniLlm { cfg, embed, layers, rms_final, lm_head }
+        MiniLlm {
+            cfg,
+            embed,
+            layers,
+            rms_final,
+            lm_head,
+        }
     }
 
     /// Embedding row of a token.

@@ -16,7 +16,7 @@
 #![allow(clippy::type_complexity)]
 
 use fi_core::config::HeadConfig;
-use fi_core::kernel::{AttentionProblem, FlashKernel, KernelOutput, RowMeta};
+use fi_core::kernel::{AttentionProblem, KernelOutput, RowMeta};
 use fi_core::state::AttentionState;
 use fi_core::variant::{AttentionVariant, QueryCtx, VariantParams};
 use fi_sparse::bsr::{BlockEntry, BlockSparseMatrix};
@@ -24,6 +24,7 @@ use fi_sparse::ComposableFormat;
 use fi_tensor::{RaggedTensor, Scalar, Tensor};
 
 use crate::error::SchedError;
+use crate::pipeline::AttentionPipeline;
 
 /// One node of the prefix tree: a KV span shared by a contiguous range of
 /// query rows, with children sharing sub-ranges.
@@ -44,7 +45,12 @@ pub struct PrefixNode {
 
 impl PrefixNode {
     fn depth(&self) -> usize {
-        1 + self.children.iter().map(PrefixNode::depth).max().unwrap_or(0)
+        1 + self
+            .children
+            .iter()
+            .map(PrefixNode::depth)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -106,7 +112,12 @@ impl CascadeAttention {
                 walk(c, level + 1, out)?;
             }
             if !node.kv_blocks.is_empty() {
-                out[level].push((node.row_start, node.row_end, node.kv_blocks.clone(), node.kv_offset));
+                out[level].push((
+                    node.row_start,
+                    node.row_end,
+                    node.kv_blocks.clone(),
+                    node.kv_offset,
+                ));
             }
             Ok(())
         }
@@ -118,11 +129,16 @@ impl CascadeAttention {
         for mut rows_spec in per_level {
             rows_spec.sort_by_key(|&(s, _, _, _)| s);
             let offsets: Vec<usize> = rows_spec.iter().map(|&(_, _, _, o)| o).collect();
-            let block_rows: Vec<(usize, usize, Vec<BlockEntry>)> =
-                rows_spec.into_iter().map(|(s, e, b, _)| (s, e, b)).collect();
+            let block_rows: Vec<(usize, usize, Vec<BlockEntry>)> = rows_spec
+                .into_iter()
+                .map(|(s, e, b, _)| (s, e, b))
+                .collect();
             let layout = BlockSparseMatrix::new(tree.rows, tree.cols, tree.bc, block_rows)
                 .map_err(|e| SchedError::InvalidConfig(e.to_string()))?;
-            levels.push(CascadeLevel { layout, kv_pos_offsets: offsets });
+            levels.push(CascadeLevel {
+                layout,
+                kv_pos_offsets: offsets,
+            });
         }
 
         // Disjointness across all levels (the ⊕ precondition).
@@ -132,7 +148,11 @@ impl CascadeAttention {
                 .and_then(|f| f.verify_disjoint())
                 .map_err(|e| SchedError::InvalidConfig(e.to_string()))?;
         }
-        Ok(CascadeAttention { levels, rows: tree.rows, cols: tree.cols })
+        Ok(CascadeAttention {
+            levels,
+            rows: tree.rows,
+            cols: tree.cols,
+        })
     }
 
     /// Number of levels.
@@ -158,19 +178,23 @@ impl CascadeAttention {
             .sum()
     }
 
-    /// Execute the cascade: run the kernel once per level and fold the
-    /// per-level states with ⊕ in level order (deterministic).
+    /// Execute the cascade: plan each level through the shared
+    /// [`AttentionPipeline`] (one stage per level, all sharing the
+    /// pipeline's shape-keyed plan cache), run the planned work items, and
+    /// fold the per-level states with ⊕ in level order. Within a level,
+    /// chunks merge in ascending `(tile, chunk)` order — the same
+    /// deterministic order the contraction pass uses.
     ///
     /// `row_meta` carries each query row's request identity and *total*
     /// lengths (across all levels), exactly as in single-format problems.
     ///
     /// # Errors
     ///
-    /// Propagates problem-construction and kernel errors.
+    /// Propagates planning, problem-construction, and kernel errors.
     #[allow(clippy::too_many_arguments)]
     pub fn run<TQ: Scalar, TKV: Scalar>(
         &self,
-        kernel: FlashKernel,
+        pipeline: &mut AttentionPipeline,
         q: &RaggedTensor<TQ>,
         k: &Tensor<TKV>,
         v: &Tensor<TKV>,
@@ -179,13 +203,23 @@ impl CascadeAttention {
         variant: &dyn AttentionVariant,
         params: &VariantParams,
     ) -> Result<KernelOutput, SchedError> {
+        let kernel = pipeline.kernel();
         let d = heads.head_dim;
         let n_states = self.rows * heads.num_qo_heads;
         let mut acc: Vec<AttentionState> = vec![AttentionState::identity(d); n_states];
         let use_softmax = variant.use_softmax();
         let mut stats = fi_core::kernel::KernelStats::default();
+        let mut items_executed = 0u64;
 
         for level in &self.levels {
+            // Each level is one pipeline stage: plan (or hit the shared
+            // cache) for the level's layout, then execute its work items.
+            let mut items: Vec<crate::plan::WorkItem> = pipeline
+                .plan(&level.layout, heads.num_qo_heads, heads.head_dim)?
+                .iter_items()
+                .map(|(_, w)| w.clone())
+                .collect();
+            items.sort_by_key(|w| (w.block_row, w.chunk_index));
             let problem = AttentionProblem::new(
                 q,
                 k,
@@ -195,25 +229,31 @@ impl CascadeAttention {
                 row_meta.to_vec(),
                 level.kv_pos_offsets.clone(),
             )?;
-            // Per-level partial states: run every block row whole (level
-            // layouts are already sharded by the tree; split-KV inside a
-            // level would also be legal but is unnecessary here).
-            for br in 0..level.layout.n_block_rows() {
-                let n_blocks = level.layout.block_row(br).len();
-                let chunk =
-                    kernel.run_block_row_chunk(&problem, variant, params, br, 0..n_blocks)?;
+            for item in &items {
+                let chunk = kernel.run_block_row_chunk(
+                    &problem,
+                    variant,
+                    params,
+                    item.block_row,
+                    item.kv_block_start..item.kv_block_end,
+                )?;
                 stats.flops += chunk.stats.flops;
                 stats.global_bytes += chunk.stats.global_bytes;
                 stats.kv_tiles += chunk.stats.kv_tiles;
+                items_executed += 1;
                 for (i, st) in chunk.states.iter().enumerate() {
                     let row = chunk.row_start + i / heads.num_qo_heads;
                     let head = i % heads.num_qo_heads;
                     let si = row * heads.num_qo_heads + head;
-                    acc[si] =
-                        if use_softmax { acc[si].merge(st) } else { acc[si].merge_sum(st) };
+                    acc[si] = if use_softmax {
+                        acc[si].merge(st)
+                    } else {
+                        acc[si].merge_sum(st)
+                    };
                 }
             }
         }
+        pipeline.record_execution(items_executed, 0);
 
         // Finalize.
         let mut o = RaggedTensor::<f32>::zeros(q.indptr().to_vec(), heads.qo_width())
@@ -249,6 +289,7 @@ impl CascadeAttention {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fi_core::kernel::FlashKernel;
     use fi_core::tiles::TileConfig;
     use fi_core::variant::VanillaAttention;
     use fi_tensor::numerics::allclose;
@@ -264,7 +305,12 @@ mod tests {
         let group_base = |g: usize| global + g * group;
         let unique_base = |r: usize| global + 2 * group + r * unique;
         let blocks = |base: usize, n: usize| {
-            (0..n).map(|i| BlockEntry { col_block: base + i, len: 1 }).collect::<Vec<_>>()
+            (0..n)
+                .map(|i| BlockEntry {
+                    col_block: base + i,
+                    len: 1,
+                })
+                .collect::<Vec<_>>()
         };
         let roots = vec![PrefixNode {
             row_start: 0,
@@ -293,7 +339,15 @@ mod tests {
                 .collect(),
         }];
         let kv_lens = vec![global + group + unique; rows];
-        (PrefixTree { roots, rows, cols, bc: 1 }, kv_lens)
+        (
+            PrefixTree {
+                roots,
+                rows,
+                cols,
+                bc: 1,
+            },
+            kv_lens,
+        )
     }
 
     #[test]
@@ -304,7 +358,7 @@ mod tests {
         assert_eq!(c.levels()[0].layout.n_block_rows(), 1); // global
         assert_eq!(c.levels()[1].layout.n_block_rows(), 2); // groups
         assert_eq!(c.levels()[2].layout.n_block_rows(), 4); // uniques
-        // Gathers: 8 + 2*4 + 4*2 = 24 vs single-format 4 * 14 = 56.
+                                                            // Gathers: 8 + 2*4 + 4*2 = 24 vs single-format 4 * 14 = 56.
         assert_eq!(c.gather_slots(), 24);
     }
 
@@ -325,23 +379,75 @@ mod tests {
         let k = Tensor::<f32>::from_fn(vec![tree.cols, heads.kv_width()], |i| mix(i, 2));
         let v = Tensor::<f32>::from_fn(vec![tree.cols, heads.kv_width()], |i| mix(i, 3));
         let row_meta: Vec<RowMeta> = (0..tree.rows)
-            .map(|b| RowMeta { batch_idx: b, qo_pos: 0, qo_len: 1, kv_len: kv_lens[b] })
+            .map(|b| RowMeta {
+                batch_idx: b,
+                qo_pos: 0,
+                qo_len: 1,
+                kv_len: kv_lens[b],
+            })
             .collect();
-        let kernel = FlashKernel { tile: TileConfig { tq: 1, tkv: 4 }, head_fusion: true };
+        let kernel = FlashKernel {
+            tile: TileConfig { tq: 1, tkv: 4 },
+            head_fusion: true,
+        };
+        let mut pipeline = AttentionPipeline::new(
+            kernel,
+            8,
+            crate::plan::CostModel::default(),
+            crate::pipeline::SchedulePolicy::Balanced,
+            fi_core::arch::Arch::Ampere,
+        )
+        .unwrap();
 
         let cascade = CascadeAttention::from_prefix_tree(&tree).unwrap();
         let out = cascade
-            .run(kernel, &q, &k, &v, heads, &row_meta, &variant, &params)
+            .run(
+                &mut pipeline,
+                &q,
+                &k,
+                &v,
+                heads,
+                &row_meta,
+                &variant,
+                &params,
+            )
             .unwrap();
+        // Three levels, three distinct shapes: all planned, none cached yet.
+        assert_eq!(pipeline.stats().plans_computed, 3);
+        // A second step with identical shapes is served from the cache.
+        cascade
+            .run(
+                &mut pipeline,
+                &q,
+                &k,
+                &v,
+                heads,
+                &row_meta,
+                &variant,
+                &params,
+            )
+            .unwrap();
+        assert_eq!(pipeline.stats().plans_computed, 3);
+        assert_eq!(pipeline.stats().plan_cache_hits, 3);
 
         // Single-format equivalent: each row sees its full slot set.
         let single_rows: Vec<(usize, usize, Vec<BlockEntry>)> = (0..tree.rows)
             .map(|r| {
                 let g = r / 2;
-                let mut b: Vec<BlockEntry> =
-                    (0..8).map(|i| BlockEntry { col_block: i, len: 1 }).collect();
-                b.extend((0..4).map(|i| BlockEntry { col_block: 8 + g * 4 + i, len: 1 }));
-                b.extend((0..2).map(|i| BlockEntry { col_block: 16 + r * 2 + i, len: 1 }));
+                let mut b: Vec<BlockEntry> = (0..8)
+                    .map(|i| BlockEntry {
+                        col_block: i,
+                        len: 1,
+                    })
+                    .collect();
+                b.extend((0..4).map(|i| BlockEntry {
+                    col_block: 8 + g * 4 + i,
+                    len: 1,
+                }));
+                b.extend((0..2).map(|i| BlockEntry {
+                    col_block: 16 + r * 2 + i,
+                    len: 1,
+                }));
                 (r, r + 1, b)
             })
             .collect();
@@ -367,11 +473,19 @@ mod tests {
         let node = PrefixNode {
             row_start: 0,
             row_end: 2,
-            kv_blocks: vec![BlockEntry { col_block: 0, len: 1 }],
+            kv_blocks: vec![BlockEntry {
+                col_block: 0,
+                len: 1,
+            }],
             kv_offset: 0,
             children: vec![],
         };
-        let tree = PrefixTree { roots: vec![node.clone(), node], rows: 2, cols: 4, bc: 1 };
+        let tree = PrefixTree {
+            roots: vec![node.clone(), node],
+            rows: 2,
+            cols: 4,
+            bc: 1,
+        };
         // Same-level duplicate block rows already violate BSR geometry
         // (overlapping row ranges) — rejected at lowering.
         assert!(CascadeAttention::from_prefix_tree(&tree).is_err());
@@ -388,7 +502,10 @@ mod tests {
                 children: vec![PrefixNode {
                     row_start: 1,
                     row_end: 3,
-                    kv_blocks: vec![BlockEntry { col_block: 0, len: 1 }],
+                    kv_blocks: vec![BlockEntry {
+                        col_block: 0,
+                        len: 1,
+                    }],
                     kv_offset: 0,
                     children: vec![],
                 }],
@@ -402,7 +519,12 @@ mod tests {
 
     #[test]
     fn empty_tree_is_fine() {
-        let tree = PrefixTree { roots: vec![], rows: 2, cols: 4, bc: 1 };
+        let tree = PrefixTree {
+            roots: vec![],
+            rows: 2,
+            cols: 4,
+            bc: 1,
+        };
         let c = CascadeAttention::from_prefix_tree(&tree).unwrap();
         assert_eq!(c.num_levels(), 0);
         assert_eq!(c.gather_slots(), 0);

@@ -32,7 +32,11 @@ pub fn merge_partials(
             for &pi in &g.partial_indices {
                 let part = workspace.read_partial(pi, n, d);
                 for (a, p) in acc.iter_mut().zip(&part) {
-                    *a = if use_softmax { a.merge(p) } else { a.merge_sum(p) };
+                    *a = if use_softmax {
+                        a.merge(p)
+                    } else {
+                        a.merge_sum(p)
+                    };
                 }
             }
             (g.block_row, acc)
@@ -52,7 +56,12 @@ mod tests {
     fn merges_in_ascending_chunk_order_deterministically() {
         // One tile split into 3 chunks; manually write chunk states and
         // verify the merged result equals the direct merge.
-        let entries = (0..9).map(|c| BlockEntry { col_block: c, len: 1 }).collect::<Vec<_>>();
+        let entries = (0..9)
+            .map(|c| BlockEntry {
+                col_block: c,
+                len: 1,
+            })
+            .collect::<Vec<_>>();
         let layout = BlockSparseMatrix::new(1, 9, 1, vec![(0, 1, entries)]).unwrap();
         let plan = balanced_plan(&layout, 3, CostModel::default()).unwrap();
         assert_eq!(plan.num_partials, 3);
@@ -60,7 +69,10 @@ mod tests {
         let d = 2;
         let mut ws = Workspace::allocate(WorkspaceLayout::compute(1, 1, d, 3, 16));
         let chunks: Vec<AttentionState> = (0..3)
-            .map(|i| AttentionState { o: vec![i as f32, -(i as f32)], lse: i as f32 * 0.4 })
+            .map(|i| AttentionState {
+                o: vec![i as f32, -(i as f32)],
+                lse: i as f32 * 0.4,
+            })
             .collect();
         for (pi, s) in chunks.iter().enumerate() {
             ws.write_partial(pi, std::slice::from_ref(s), d);
@@ -78,7 +90,12 @@ mod tests {
 
     #[test]
     fn sum_semantics_for_non_softmax() {
-        let entries = (0..4).map(|c| BlockEntry { col_block: c, len: 1 }).collect::<Vec<_>>();
+        let entries = (0..4)
+            .map(|c| BlockEntry {
+                col_block: c,
+                len: 1,
+            })
+            .collect::<Vec<_>>();
         let layout = BlockSparseMatrix::new(1, 4, 1, vec![(0, 1, entries)]).unwrap();
         let plan = balanced_plan(&layout, 2, CostModel::default()).unwrap();
         let d = 1;
@@ -86,7 +103,10 @@ mod tests {
         for pi in 0..plan.num_partials {
             ws.write_partial(
                 pi,
-                &[AttentionState { o: vec![1.5], lse: f32::NEG_INFINITY }],
+                &[AttentionState {
+                    o: vec![1.5],
+                    lse: f32::NEG_INFINITY,
+                }],
                 d,
             );
         }

@@ -25,8 +25,14 @@ impl fmt::Display for SchedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SchedError::InvalidConfig(m) => write!(f, "invalid scheduler config: {m}"),
-            SchedError::WorkspaceTooSmall { required, available } => {
-                write!(f, "workspace too small: need {required} bytes, have {available}")
+            SchedError::WorkspaceTooSmall {
+                required,
+                available,
+            } => {
+                write!(
+                    f,
+                    "workspace too small: need {required} bytes, have {available}"
+                )
             }
             SchedError::PlanMismatch(m) => write!(f, "plan mismatch: {m}"),
             SchedError::Attention(e) => write!(f, "attention error: {e}"),
@@ -55,7 +61,10 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = SchedError::WorkspaceTooSmall { required: 100, available: 10 };
+        let e = SchedError::WorkspaceTooSmall {
+            required: 100,
+            available: 10,
+        };
         assert!(e.to_string().contains("100"));
     }
 }

@@ -17,21 +17,30 @@
 //!   merges each split tile's partial states in deterministic ascending
 //!   chunk order (the paper avoids Stream-K atomic aggregation precisely
 //!   to keep outputs deterministic).
+//! * [`pipeline`] — the unified plan→workspace→run→merge path (§3.4):
+//!   [`AttentionPipeline`] owns a shape-keyed [`pipeline::PlanCache`]
+//!   (sorted per-tile `(qo_rows, kv_len)` signatures + tile + arch), a
+//!   monotonically growing workspace, and one `run` entry point dispatching
+//!   to sequential or parallel execution. Every consumer — serving cost
+//!   backends, the cascade, the model engine, CUDAGraph capture — plans
+//!   through it.
 //! * [`wrapper`] — the `AttentionWrapper` analog (Listing 1): `plan(...)`
 //!   on sequence-length change, `run(...)` per layer, plan caching across
 //!   layers, and writethrough of unsplit tiles directly to the final
-//!   output (Appendix D.2).
+//!   output (Appendix D.2). A thin facade over [`pipeline`].
 
 pub mod cascade;
 pub mod contraction;
 pub mod error;
 pub mod parallel;
+pub mod pipeline;
 pub mod plan;
 pub mod workspace;
 pub mod wrapper;
 
 pub use cascade::{CascadeAttention, PrefixNode, PrefixTree};
 pub use error::SchedError;
+pub use pipeline::{AttentionPipeline, ExecMode, PipelineStats, PlanCache, WorkspaceMode};
 pub use plan::{CostModel, Plan, WorkItem};
 pub use workspace::{Workspace, WorkspaceLayout};
 pub use wrapper::{BatchAttentionHandler, SchedulePolicy};

@@ -26,9 +26,9 @@ use parking_lot::Mutex;
 
 use crate::contraction::merge_partials;
 use crate::error::SchedError;
+use crate::pipeline::finalize_tile_into;
 use crate::plan::Plan;
 use crate::workspace::Workspace;
-use crate::wrapper::finalize_tile_into;
 
 /// Execute a plan with one worker thread per CTA queue (capped at
 /// `max_threads`), merging results deterministically.
@@ -110,9 +110,10 @@ pub fn run_plan_parallel<TQ: Scalar, TKV: Scalar>(
                             s.cuda_core_tiles += chunk.stats.cuda_core_tiles;
                         }
                         match item.partial_index {
-                            Some(pi) => partials
-                                .lock()
-                                .push(PartialWrite { slot: pi, states: chunk.states }),
+                            Some(pi) => partials.lock().push(PartialWrite {
+                                slot: pi,
+                                states: chunk.states,
+                            }),
                             None => throughs.lock().push(Writethrough {
                                 row_start: chunk.row_start,
                                 states: chunk.states,
@@ -137,7 +138,16 @@ pub fn run_plan_parallel<TQ: Scalar, TKV: Scalar>(
         workspace.write_partial(p.slot, &p.states, d);
     }
     for t in throughs.into_inner() {
-        finalize_tile_into(problem, variant, params, t.row_start, &t.states, use_softmax, &mut o, &mut lse);
+        finalize_tile_into(
+            problem,
+            variant,
+            params,
+            t.row_start,
+            &t.states,
+            use_softmax,
+            &mut o,
+            &mut lse,
+        );
     }
     let states_per_tile: Vec<usize> = (0..layout.n_block_rows())
         .map(|br| {
@@ -145,11 +155,18 @@ pub fn run_plan_parallel<TQ: Scalar, TKV: Scalar>(
             (re - rs) * heads.num_qo_heads
         })
         .collect();
-    for (block_row, states) in
-        merge_partials(workspace, plan, &states_per_tile, d, use_softmax)
-    {
+    for (block_row, states) in merge_partials(workspace, plan, &states_per_tile, d, use_softmax) {
         let (rs, _) = layout.block_row_range(block_row);
-        finalize_tile_into(problem, variant, params, rs, &states, use_softmax, &mut o, &mut lse);
+        finalize_tile_into(
+            problem,
+            variant,
+            params,
+            rs,
+            &states,
+            use_softmax,
+            &mut o,
+            &mut lse,
+        );
     }
 
     let mut stats = stats_acc.into_inner();
@@ -170,13 +187,20 @@ mod tests {
     use fi_tensor::Tensor;
 
     fn mix(i: usize, salt: u64) -> f32 {
-        let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(salt);
+        let x = (i as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(salt);
         ((x >> 33) as f32 / (1u64 << 31) as f32) - 0.5
     }
 
     fn case(
         kv_lens: &[usize],
-    ) -> (RaggedTensor<f32>, Tensor<f32>, Tensor<f32>, BlockSparseMatrix) {
+    ) -> (
+        RaggedTensor<f32>,
+        Tensor<f32>,
+        Tensor<f32>,
+        BlockSparseMatrix,
+    ) {
         let total: usize = kv_lens.iter().map(|l| l.div_ceil(2) * 2).sum();
         let mut q = RaggedTensor::<f32>::from_seq_lens(&vec![1; kv_lens.len()], 2 * 8);
         for (i, x) in q.as_tensor_mut().as_mut_slice().iter_mut().enumerate() {
@@ -211,7 +235,10 @@ mod tests {
         let problem =
             AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &kv_lens).unwrap();
         let tile = TileConfig { tq: 1, tkv: 8 };
-        let kernel = FlashKernel { tile, head_fusion: true };
+        let kernel = FlashKernel {
+            tile,
+            head_fusion: true,
+        };
         let plan = balanced_plan(&layout, 12, CostModel::default()).unwrap();
 
         let mut ws_seq = Workspace::allocate(WorkspaceLayout::compute(1, 2, 8, 12, 1 << 12));
@@ -219,10 +246,10 @@ mod tests {
 
         // Sequential reference through the same free-function path
         // (1 thread) and a genuinely parallel run.
-        let seq = run_plan_parallel(kernel, &plan, &mut ws_seq, &problem, &variant, &params, 1)
-            .unwrap();
-        let par = run_plan_parallel(kernel, &plan, &mut ws_par, &problem, &variant, &params, 8)
-            .unwrap();
+        let seq =
+            run_plan_parallel(kernel, &plan, &mut ws_seq, &problem, &variant, &params, 1).unwrap();
+        let par =
+            run_plan_parallel(kernel, &plan, &mut ws_par, &problem, &variant, &params, 8).unwrap();
         assert_eq!(seq.o.as_tensor().as_slice(), par.o.as_tensor().as_slice());
         assert_eq!(seq.lse, par.lse);
         assert_eq!(seq.stats.flops, par.stats.flops);
@@ -239,15 +266,24 @@ mod tests {
         let problem =
             AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &kv_lens).unwrap();
         let tile = TileConfig { tq: 1, tkv: 8 };
-        let kernel = FlashKernel { tile, head_fusion: true };
+        let kernel = FlashKernel {
+            tile,
+            head_fusion: true,
+        };
         let plan = balanced_plan(&layout, 6, CostModel::default()).unwrap();
         let mut ws = Workspace::allocate(WorkspaceLayout::compute(1, 2, 8, 6, 1 << 12));
         let par =
             run_plan_parallel(kernel, &plan, &mut ws, &problem, &variant, &params, 4).unwrap();
 
         let ws2 = Workspace::allocate(WorkspaceLayout::compute(1, 2, 8, 6, 1 << 12));
-        let mut h = BatchAttentionHandler::new(kernel, 6, CostModel::default(), SchedulePolicy::Balanced, ws2)
-            .unwrap();
+        let mut h = BatchAttentionHandler::new(
+            kernel,
+            6,
+            CostModel::default(),
+            SchedulePolicy::Balanced,
+            ws2,
+        )
+        .unwrap();
         h.plan(&layout, 2, 8).unwrap();
         let seq = h.run(&problem, &variant, &params).unwrap();
         assert_eq!(par.o.as_tensor().as_slice(), seq.o.as_tensor().as_slice());
@@ -262,8 +298,10 @@ mod tests {
         let (q, k, v, layout) = case(&kv_lens);
         let problem =
             AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &kv_lens).unwrap();
-        let kernel =
-            FlashKernel { tile: TileConfig { tq: 1, tkv: 16 }, head_fusion: true };
+        let kernel = FlashKernel {
+            tile: TileConfig { tq: 1, tkv: 16 },
+            head_fusion: true,
+        };
         let plan = balanced_plan(&layout, 16, CostModel::default()).unwrap();
         assert!(plan.num_partials > 2, "must actually split to test merging");
         let mut prev: Option<Vec<f32>> = None;

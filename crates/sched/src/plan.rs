@@ -44,7 +44,11 @@ pub struct CostModel {
 impl Default for CostModel {
     /// KV-dominated cost with a fixed per-chunk overhead.
     fn default() -> Self {
-        CostModel { alpha: 1.0, beta: 1.0, gamma: 64.0 }
+        CostModel {
+            alpha: 1.0,
+            beta: 1.0,
+            gamma: 64.0,
+        }
     }
 }
 
@@ -123,7 +127,10 @@ impl Plan {
 
     /// Every work item in CTA order (for sequential executors).
     pub fn iter_items(&self) -> impl Iterator<Item = (usize, &WorkItem)> + '_ {
-        self.cta_queues.iter().enumerate().flat_map(|(c, q)| q.iter().map(move |w| (c, w)))
+        self.cta_queues
+            .iter()
+            .enumerate()
+            .flat_map(|(c, q)| q.iter().map(move |w| (c, w)))
     }
 }
 
@@ -138,7 +145,9 @@ pub fn balanced_plan(
     cost: CostModel,
 ) -> Result<Plan, SchedError> {
     if num_ctas == 0 {
-        return Err(SchedError::InvalidConfig("num_ctas must be positive".into()));
+        return Err(SchedError::InvalidConfig(
+            "num_ctas must be positive".into(),
+        ));
     }
     let n_tiles = layout.n_block_rows();
 
@@ -223,8 +232,10 @@ pub fn balanced_plan(
             let gi = match group_of_tile[c.block_row] {
                 Some(gi) => gi,
                 None => {
-                    merge_groups
-                        .push(MergeGroup { block_row: c.block_row, partial_indices: Vec::new() });
+                    merge_groups.push(MergeGroup {
+                        block_row: c.block_row,
+                        partial_indices: Vec::new(),
+                    });
                     let gi = merge_groups.len() - 1;
                     group_of_tile[c.block_row] = Some(gi);
                     gi
@@ -269,7 +280,14 @@ pub fn balanced_plan(
         heap.push(Reverse((cta_costs[cta].to_bits(), cta)));
     }
 
-    Ok(Plan { cta_queues, merge_groups, num_partials, l_kv_chunk, cta_costs, max_tile_rows })
+    Ok(Plan {
+        cta_queues,
+        merge_groups,
+        num_partials,
+        l_kv_chunk,
+        cta_costs,
+        max_tile_rows,
+    })
 }
 
 /// The naive FA-style schedule used as the baseline: one work item per
@@ -286,7 +304,9 @@ pub fn naive_plan(
     cost: CostModel,
 ) -> Result<Plan, SchedError> {
     if num_ctas == 0 {
-        return Err(SchedError::InvalidConfig("num_ctas must be positive".into()));
+        return Err(SchedError::InvalidConfig(
+            "num_ctas must be positive".into(),
+        ));
     }
     let n_tiles = layout.n_block_rows();
     let mut cta_queues: Vec<Vec<WorkItem>> = vec![Vec::new(); num_ctas];
@@ -329,8 +349,12 @@ mod tests {
         let mut rows = Vec::new();
         let mut col = 0;
         for (i, &l) in kv_lens.iter().enumerate() {
-            let entries =
-                (0..l).map(|k| BlockEntry { col_block: col + k, len: 1 }).collect::<Vec<_>>();
+            let entries = (0..l)
+                .map(|k| BlockEntry {
+                    col_block: col + k,
+                    len: 1,
+                })
+                .collect::<Vec<_>>();
             rows.push((i, i + 1, entries));
             col += l;
         }
@@ -366,11 +390,19 @@ mod tests {
         let mut lens = vec![1000usize];
         lens.extend(std::iter::repeat_n(10, 15));
         let layout = layout_for(&lens);
-        let cost = CostModel { alpha: 0.0, beta: 1.0, gamma: 64.0 };
+        let cost = CostModel {
+            alpha: 0.0,
+            beta: 1.0,
+            gamma: 64.0,
+        };
         let balanced = balanced_plan(&layout, 16, cost).unwrap();
         let naive = naive_plan(&layout, 16, cost).unwrap();
-        assert!(balanced.makespan() < naive.makespan() / 4.0,
-            "balanced {} vs naive {}", balanced.makespan(), naive.makespan());
+        assert!(
+            balanced.makespan() < naive.makespan() / 4.0,
+            "balanced {} vs naive {}",
+            balanced.makespan(),
+            naive.makespan()
+        );
         assert!(balanced.balance() > 0.8);
         assert!(naive.balance() < 0.2);
     }
@@ -383,10 +415,15 @@ mod tests {
         assert_eq!(plan.merge_groups.len(), 1);
         assert_eq!(plan.merge_groups[0].block_row, 0);
         assert!(plan.merge_groups[0].partial_indices.len() >= 2);
-        assert_eq!(plan.num_partials, plan.merge_groups[0].partial_indices.len());
+        assert_eq!(
+            plan.num_partials,
+            plan.merge_groups[0].partial_indices.len()
+        );
         // Small tile writes through.
-        let small_items: Vec<_> =
-            plan.iter_items().filter(|(_, w)| w.block_row == 1).collect();
+        let small_items: Vec<_> = plan
+            .iter_items()
+            .filter(|(_, w)| w.block_row == 1)
+            .collect();
         assert_eq!(small_items.len(), 1);
         assert!(small_items[0].1.partial_index.is_none());
     }
@@ -437,7 +474,12 @@ mod tests {
     #[test]
     fn chunk_respects_block_boundaries() {
         // Blocks of 4 slots with L_kv that doesn't divide evenly.
-        let entries = (0..5).map(|c| BlockEntry { col_block: c, len: 4 }).collect::<Vec<_>>();
+        let entries = (0..5)
+            .map(|c| BlockEntry {
+                col_block: c,
+                len: 4,
+            })
+            .collect::<Vec<_>>();
         let layout = BlockSparseMatrix::new(1, 20, 4, vec![(0, 1, entries)]).unwrap();
         let plan = balanced_plan(&layout, 3, CostModel::default()).unwrap();
         // L_kv = ceil(20/3) = 7 -> chunks of 1 block (4 slots) pairs: [0,1],[2,3],[4].

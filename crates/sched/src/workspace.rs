@@ -84,12 +84,41 @@ pub struct Workspace {
 impl Workspace {
     /// Allocate a workspace for a layout.
     pub fn allocate(layout: WorkspaceLayout) -> Workspace {
-        Workspace { layout, buf: vec![0.0; layout.total_len], metadata_bytes_staged: 0 }
+        Workspace {
+            layout,
+            buf: vec![0.0; layout.total_len],
+            metadata_bytes_staged: 0,
+        }
     }
 
     /// The layout (offsets never change — the CUDAGraph requirement).
     pub fn layout(&self) -> WorkspaceLayout {
         self.layout
+    }
+
+    /// Replace the layout with a larger one, resizing the buffer and
+    /// preserving the staged-byte counter. Sections may only grow — a
+    /// captured graph's frozen pointers index into the existing sections,
+    /// so shrinking (or capture-time growth) is a contract violation the
+    /// pipeline enforces.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::InvalidConfig`] if any section would shrink.
+    pub fn grow_to(&mut self, layout: WorkspaceLayout) -> Result<(), SchedError> {
+        let cur = self.layout;
+        if layout.total_len < cur.total_len
+            || layout.metadata_len < cur.metadata_len
+            || layout.partial_slot_len < cur.partial_slot_len
+            || layout.max_partials < cur.max_partials
+        {
+            return Err(SchedError::InvalidConfig(
+                "workspace sections may not shrink".into(),
+            ));
+        }
+        self.layout = layout;
+        self.buf.resize(layout.total_len, 0.0);
+        Ok(())
     }
 
     /// Check a plan fits the declared bounds.
@@ -98,7 +127,12 @@ impl Workspace {
     ///
     /// Returns [`SchedError::WorkspaceTooSmall`] when the plan needs more
     /// partial slots or taller tiles than the layout reserved.
-    pub fn check_plan(&self, plan: &Plan, num_qo_heads: usize, head_dim: usize) -> Result<(), SchedError> {
+    pub fn check_plan(
+        &self,
+        plan: &Plan,
+        num_qo_heads: usize,
+        head_dim: usize,
+    ) -> Result<(), SchedError> {
         if plan.num_partials > self.layout.max_partials {
             return Err(SchedError::WorkspaceTooSmall {
                 required: (self.layout.partials_offset
@@ -110,8 +144,7 @@ impl Workspace {
         let needed_slot = plan.max_tile_rows * num_qo_heads * (head_dim + 1);
         if needed_slot > self.layout.partial_slot_len {
             return Err(SchedError::WorkspaceTooSmall {
-                required: (self.layout.partials_offset
-                    + self.layout.max_partials * needed_slot)
+                required: (self.layout.partials_offset + self.layout.max_partials * needed_slot)
                     * 4,
                 available: self.layout.size_bytes(),
             });
@@ -179,7 +212,11 @@ impl Workspace {
                         kv_block_end: self.buf[w + 2] as usize,
                         kv_slots: 0, // not staged; derived from the layout device-side
                         chunk_index: self.buf[w + 3] as usize,
-                        partial_index: if partial < 0.0 { None } else { Some(partial as usize) },
+                        partial_index: if partial < 0.0 {
+                            None
+                        } else {
+                            Some(partial as usize)
+                        },
                     },
                 )
             })
@@ -194,7 +231,10 @@ impl Workspace {
     /// Panics if the slot or state sizes exceed the layout (callers are
     /// expected to have run [`Workspace::check_plan`]).
     pub fn write_partial(&mut self, slot: usize, states: &[AttentionState], d: usize) {
-        assert!(slot < self.layout.max_partials, "partial slot {slot} out of range");
+        assert!(
+            slot < self.layout.max_partials,
+            "partial slot {slot} out of range"
+        );
         assert!(
             states.len() * (d + 1) <= self.layout.partial_slot_len,
             "states overflow partial slot"
@@ -215,12 +255,18 @@ impl Workspace {
     ///
     /// Panics if out of range.
     pub fn read_partial(&self, slot: usize, n_states: usize, d: usize) -> Vec<AttentionState> {
-        assert!(slot < self.layout.max_partials, "partial slot {slot} out of range");
+        assert!(
+            slot < self.layout.max_partials,
+            "partial slot {slot} out of range"
+        );
         let base = self.layout.partials_offset + slot * self.layout.partial_slot_len;
         (0..n_states)
             .map(|i| {
                 let r = base + i * (d + 1);
-                AttentionState { o: self.buf[r..r + d].to_vec(), lse: self.buf[r + d] }
+                AttentionState {
+                    o: self.buf[r..r + d].to_vec(),
+                    lse: self.buf[r + d],
+                }
             })
             .collect()
     }
@@ -233,7 +279,12 @@ mod tests {
     use fi_sparse::bsr::{BlockEntry, BlockSparseMatrix};
 
     fn layout_for(kv: usize) -> BlockSparseMatrix {
-        let entries = (0..kv).map(|c| BlockEntry { col_block: c, len: 1 }).collect::<Vec<_>>();
+        let entries = (0..kv)
+            .map(|c| BlockEntry {
+                col_block: c,
+                len: 1,
+            })
+            .collect::<Vec<_>>();
         BlockSparseMatrix::new(1, kv.max(1), 1, vec![(0, 1, entries)]).unwrap()
     }
 
@@ -252,13 +303,19 @@ mod tests {
         let l = WorkspaceLayout::compute(2, 2, 4, 4, 64);
         let mut ws = Workspace::allocate(l);
         let states: Vec<AttentionState> = (0..4)
-            .map(|i| AttentionState { o: vec![i as f32; 4], lse: i as f32 * 0.5 })
+            .map(|i| AttentionState {
+                o: vec![i as f32; 4],
+                lse: i as f32 * 0.5,
+            })
             .collect();
         ws.write_partial(3, &states, 4);
         let back = ws.read_partial(3, 4, 4);
         assert_eq!(back, states);
         // Other slots untouched.
-        assert!(ws.read_partial(0, 4, 4).iter().all(|s| s.o.iter().all(|&x| x == 0.0)));
+        assert!(ws
+            .read_partial(0, 4, 4)
+            .iter()
+            .all(|s| s.o.iter().all(|&x| x == 0.0)));
     }
 
     #[test]

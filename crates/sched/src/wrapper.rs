@@ -3,87 +3,43 @@
 //! Serving frameworks drive attention through two calls per generation
 //! step: `plan(seqlen_info)` on the CPU whenever sequence lengths change
 //! (cheap, cacheable, *not* captured by CUDAGraph), then `run(q, kv)` per
-//! layer (captured and replayed). [`BatchAttentionHandler`] reproduces
-//! that contract:
+//! layer (captured and replayed). [`BatchAttentionHandler`] reproduces that
+//! contract as a thin facade over [`crate::pipeline::AttentionPipeline`]:
 //!
-//! * [`BatchAttentionHandler::plan`] runs Algorithm 1, validates the
-//!   workspace bounds, stages the plan metadata (the host→device copy),
-//!   and caches the plan under a layout fingerprint so the same lengths
-//!   are planned once per step and reused across all layers;
+//! * [`BatchAttentionHandler::plan`] runs Algorithm 1 (or serves the plan
+//!   from the shape-keyed cache), validates the caller-declared workspace
+//!   bounds, and stages the plan metadata (the host→device copy);
 //! * [`BatchAttentionHandler::run`] executes the persistent-kernel
 //!   emulation: every CTA drains its work queue, split tiles land in the
 //!   workspace, writethrough tiles go straight to the output
 //!   (Appendix D.2), and the contraction pass merges the rest
 //!   deterministically.
 //!
+//! The handler keeps the workspace in [`crate::pipeline::WorkspaceMode::Fixed`]:
+//! the caller allocated it against declared upper bounds, so a plan that
+//! exceeds them is an error, not a reallocation.
+//!
 //! `run` output is bit-compatible with `FlashKernel::run` — the equivalence
 //! tests in `tests/` rely on it.
 
-use fi_core::kernel::{AttentionProblem, FlashKernel, KernelOutput, KernelStats};
-use fi_core::variant::{AttentionVariant, QueryCtx, VariantParams};
+use fi_core::arch::Arch;
+use fi_core::kernel::{AttentionProblem, FlashKernel, KernelOutput};
+use fi_core::variant::{AttentionVariant, VariantParams};
 use fi_sparse::BlockSparseMatrix;
-use fi_tensor::{RaggedTensor, Scalar};
+use fi_tensor::Scalar;
 
-use crate::contraction::merge_partials;
 use crate::error::SchedError;
-use crate::plan::{balanced_plan, naive_plan, CostModel, Plan};
+use crate::pipeline::AttentionPipeline;
+use crate::plan::{CostModel, Plan};
 use crate::workspace::Workspace;
 
-/// Which scheduling policy the handler uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
-pub enum SchedulePolicy {
-    /// Algorithm 1 (FlashInfer).
-    Balanced,
-    /// One tile per CTA, round-robin (the FA-style baseline).
-    Naive,
-}
-
-/// Cumulative handler statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
-pub struct RunStats {
-    /// Plans computed (cache misses).
-    pub plans_computed: u64,
-    /// Plan cache hits (same lengths reused, e.g. across layers).
-    pub plan_cache_hits: u64,
-    /// Work items executed.
-    pub items_executed: u64,
-    /// Merge groups contracted.
-    pub merges: u64,
-}
+pub use crate::pipeline::PipelineStats as RunStats;
+pub use crate::pipeline::SchedulePolicy;
 
 /// The stateful plan/run attention handler.
 #[derive(Debug)]
 pub struct BatchAttentionHandler {
-    kernel: FlashKernel,
-    num_ctas: usize,
-    cost: CostModel,
-    policy: SchedulePolicy,
-    workspace: Workspace,
-    cached_plan: Option<Plan>,
-    plan_fingerprint: u64,
-    stats: RunStats,
-}
-
-fn fingerprint(layout: &BlockSparseMatrix) -> u64 {
-    // FNV-1a over the layout's structural fields.
-    let mut h: u64 = 0xcbf29ce484222325;
-    let mut mix = |x: usize| {
-        h ^= x as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    };
-    mix(layout.rows());
-    mix(layout.cols());
-    mix(layout.bc());
-    for (i, (s, e), blocks) in layout.iter_block_rows() {
-        mix(i);
-        mix(s);
-        mix(e);
-        for b in blocks {
-            mix(b.col_block);
-            mix(b.len);
-        }
-    }
-    h
+    pipeline: AttentionPipeline,
 }
 
 impl BatchAttentionHandler {
@@ -99,39 +55,45 @@ impl BatchAttentionHandler {
         policy: SchedulePolicy,
         workspace: Workspace,
     ) -> Result<BatchAttentionHandler, SchedError> {
-        if num_ctas == 0 {
-            return Err(SchedError::InvalidConfig("num_ctas must be positive".into()));
-        }
-        Ok(BatchAttentionHandler {
+        let pipeline = AttentionPipeline::with_workspace(
             kernel,
             num_ctas,
             cost,
             policy,
+            Arch::Ampere,
             workspace,
-            cached_plan: None,
-            plan_fingerprint: 0,
-            stats: RunStats::default(),
-        })
+        )?;
+        Ok(BatchAttentionHandler { pipeline })
     }
 
     /// The kernel configuration.
     pub fn kernel(&self) -> FlashKernel {
-        self.kernel
+        self.pipeline.kernel()
     }
 
     /// Cumulative statistics.
     pub fn stats(&self) -> RunStats {
-        self.stats
+        self.pipeline.stats()
     }
 
     /// The current cached plan, if any.
     pub fn plan_ref(&self) -> Option<&Plan> {
-        self.cached_plan.as_ref()
+        self.pipeline.plan_ref()
     }
 
     /// Mutable access to the workspace (integration points and tests).
     pub fn workspace_mut(&mut self) -> &mut Workspace {
-        &mut self.workspace
+        self.pipeline.workspace_mut()
+    }
+
+    /// The underlying pipeline (cache counters, exec-mode control).
+    pub fn pipeline(&self) -> &AttentionPipeline {
+        &self.pipeline
+    }
+
+    /// Mutable access to the underlying pipeline.
+    pub fn pipeline_mut(&mut self) -> &mut AttentionPipeline {
+        &mut self.pipeline
     }
 
     /// Plan for a layout: compute (or reuse) the schedule, validate it
@@ -146,24 +108,7 @@ impl BatchAttentionHandler {
         num_qo_heads: usize,
         head_dim: usize,
     ) -> Result<&Plan, SchedError> {
-        let fp = fingerprint(layout);
-        // (borrowck forces the is_some/expect dance: an early `return
-        // Ok(&plan)` would hold the borrow across the recompute path.)
-        #[allow(clippy::unnecessary_unwrap)]
-        if self.cached_plan.is_some() && fp == self.plan_fingerprint {
-            self.stats.plan_cache_hits += 1;
-            return Ok(self.cached_plan.as_ref().expect("just checked"));
-        }
-        let plan = match self.policy {
-            SchedulePolicy::Balanced => balanced_plan(layout, self.num_ctas, self.cost)?,
-            SchedulePolicy::Naive => naive_plan(layout, self.num_ctas, self.cost)?,
-        };
-        self.workspace.check_plan(&plan, num_qo_heads, head_dim)?;
-        self.workspace.stage_plan_metadata(&plan)?;
-        self.stats.plans_computed += 1;
-        self.plan_fingerprint = fp;
-        self.cached_plan = Some(plan);
-        Ok(self.cached_plan.as_ref().expect("just stored"))
+        self.pipeline.plan(layout, num_qo_heads, head_dim)
     }
 
     /// Execute the cached plan on a problem (one layer's attention).
@@ -179,121 +124,7 @@ impl BatchAttentionHandler {
         variant: &dyn AttentionVariant,
         params: &VariantParams,
     ) -> Result<KernelOutput, SchedError> {
-        let plan = self
-            .cached_plan
-            .as_ref()
-            .ok_or_else(|| SchedError::PlanMismatch("run called before plan".into()))?;
-        if fingerprint(problem.layout()) != self.plan_fingerprint {
-            return Err(SchedError::PlanMismatch(
-                "problem layout differs from planned layout; call plan again".into(),
-            ));
-        }
-        let heads = problem.heads();
-        let d = heads.head_dim;
-        let layout = problem.layout();
-
-        let mut o =
-            RaggedTensor::<f32>::zeros(problem.queries().indptr().to_vec(), heads.qo_width())
-                .map_err(fi_core::AttentionError::from)?;
-        let mut lse = vec![f32::NEG_INFINITY; layout.rows() * heads.num_qo_heads];
-        let mut stats = KernelStats::default();
-        let use_softmax = variant.use_softmax();
-
-        // Persistent-kernel emulation: each CTA drains its queue in order.
-        let mut items_executed = 0u64;
-        for queue in &plan.cta_queues {
-            for item in queue {
-                let chunk = self.kernel.run_block_row_chunk(
-                    problem,
-                    variant,
-                    params,
-                    item.block_row,
-                    item.kv_block_start..item.kv_block_end,
-                )?;
-                // KernelStats has no AddAssign; fold manually.
-                stats.flops += chunk.stats.flops;
-                stats.global_bytes += chunk.stats.global_bytes;
-                stats.kv_tiles += chunk.stats.kv_tiles;
-                stats.tensor_core_tiles += chunk.stats.tensor_core_tiles;
-                stats.cuda_core_tiles += chunk.stats.cuda_core_tiles;
-                stats.gather.global_bytes += chunk.stats.gather.global_bytes;
-                stats.gather.rows += chunk.stats.gather.rows;
-                stats.gather.contiguous_runs += chunk.stats.gather.contiguous_runs;
-                stats.gather.scattered_runs += chunk.stats.gather.scattered_runs;
-                items_executed += 1;
-                match item.partial_index {
-                    Some(pi) => self.workspace.write_partial(pi, &chunk.states, d),
-                    None => finalize_tile_into(
-                        problem,
-                        variant,
-                        params,
-                        chunk.row_start,
-                        &chunk.states,
-                        use_softmax,
-                        &mut o,
-                        &mut lse,
-                    ),
-                }
-            }
-        }
-        self.stats.items_executed += items_executed;
-
-        // Contraction pass for split tiles.
-        let states_per_tile: Vec<usize> = (0..layout.n_block_rows())
-            .map(|br| {
-                let (rs, re) = layout.block_row_range(br);
-                (re - rs) * heads.num_qo_heads
-            })
-            .collect();
-        let merged = merge_partials(&self.workspace, plan, &states_per_tile, d, use_softmax);
-        self.stats.merges += merged.len() as u64;
-        for (block_row, states) in merged {
-            let (rs, _) = layout.block_row_range(block_row);
-            finalize_tile_into(problem, variant, params, rs, &states, use_softmax, &mut o, &mut lse);
-        }
-
-        // Q read + O write traffic, as in the direct kernel path.
-        stats.global_bytes +=
-            (layout.rows() * heads.qo_width()) as u64 * (TQ::DTYPE.size_bytes() as u64 + 4);
-        Ok(KernelOutput { o, lse, stats })
-    }
-}
-
-/// Write a tile's final states into the output, applying the output
-/// transform and recording LSE. Shared with the parallel executor.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn finalize_tile_into<TQ: Scalar, TKV: Scalar>(
-    problem: &AttentionProblem<'_, TQ, TKV>,
-    variant: &dyn AttentionVariant,
-    params: &VariantParams,
-    row_start: usize,
-    states: &[fi_core::state::AttentionState],
-    use_softmax: bool,
-    o: &mut RaggedTensor<f32>,
-    lse: &mut [f32],
-) {
-    let heads = problem.heads();
-    let d = heads.head_dim;
-    for (i, st) in states.iter().enumerate() {
-        let row = row_start + i / heads.num_qo_heads;
-        let head = i % heads.num_qo_heads;
-        let meta = problem.row_meta()[row];
-        if use_softmax {
-            lse[row * heads.num_qo_heads + head] = st.lse;
-        }
-        let mut orow = st.o.clone();
-        variant.output_transform(
-            params,
-            &mut orow,
-            QueryCtx {
-                batch_idx: meta.batch_idx,
-                qo_pos: meta.qo_pos,
-                qo_head_idx: head,
-                qo_len: meta.qo_len,
-                kv_len: meta.kv_len,
-            },
-        );
-        o.global_row_mut(row)[head * d..(head + 1) * d].copy_from_slice(&orow);
+        self.pipeline.run(problem, variant, params)
     }
 }
 
@@ -306,10 +137,12 @@ mod tests {
     use fi_core::variant::{SigmoidAttention, VanillaAttention};
     use fi_sparse::bsr::BlockEntry;
     use fi_tensor::numerics::allclose;
-    use fi_tensor::Tensor;
+    use fi_tensor::{RaggedTensor, Tensor};
 
     fn mix(i: usize, salt: u64) -> f32 {
-        let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(salt);
+        let x = (i as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(salt);
         ((x >> 33) as f32 / (1u64 << 31) as f32) - 0.5
     }
 
@@ -318,7 +151,12 @@ mod tests {
         kv_lens: &[usize],
         qo_lens: &[usize],
         heads: HeadConfig,
-    ) -> (RaggedTensor<f32>, Tensor<f32>, Tensor<f32>, BlockSparseMatrix) {
+    ) -> (
+        RaggedTensor<f32>,
+        Tensor<f32>,
+        Tensor<f32>,
+        BlockSparseMatrix,
+    ) {
         let total_kv: usize = kv_lens.iter().map(|l| l.div_ceil(2) * 2).sum();
         let mut q = RaggedTensor::<f32>::from_seq_lens(qo_lens, heads.qo_width());
         for (i, x) in q.as_tensor_mut().as_mut_slice().iter_mut().enumerate() {
@@ -336,7 +174,11 @@ mod tests {
             let entries: Vec<BlockEntry> = (0..n_pages)
                 .map(|p| BlockEntry {
                     col_block: page + p,
-                    len: if p + 1 == n_pages && lkv % 2 == 1 { 1 } else { 2 },
+                    len: if p + 1 == n_pages && lkv % 2 == 1 {
+                        1
+                    } else {
+                        2
+                    },
                 })
                 .collect();
             rows.push((row, row + lqo, entries));
@@ -350,7 +192,10 @@ mod tests {
     fn handler(tile: TileConfig, num_ctas: usize, policy: SchedulePolicy) -> BatchAttentionHandler {
         let ws = Workspace::allocate(WorkspaceLayout::compute(8, 4, 8, num_ctas, 4096));
         BatchAttentionHandler::new(
-            FlashKernel { tile, head_fusion: true },
+            FlashKernel {
+                tile,
+                head_fusion: true,
+            },
             num_ctas,
             CostModel::default(),
             policy,
@@ -374,11 +219,17 @@ mod tests {
         h.plan(&layout, heads.num_qo_heads, heads.head_dim).unwrap();
         let sched_out = h.run(&problem, &variant, &params).unwrap();
 
-        let direct = FlashKernel { tile, head_fusion: true }
-            .run(&problem, &variant, &params)
-            .unwrap();
+        let direct = FlashKernel {
+            tile,
+            head_fusion: true,
+        }
+        .run(&problem, &variant, &params)
+        .unwrap();
         for b in 0..q.batch_size() {
-            assert!(allclose(sched_out.o.seq(b), direct.o.seq(b), 1e-4, 1e-5), "request {b}");
+            assert!(
+                allclose(sched_out.o.seq(b), direct.o.seq(b), 1e-4, 1e-5),
+                "request {b}"
+            );
         }
         for (a, b) in sched_out.lse.iter().zip(&direct.lse) {
             if *b == f32::NEG_INFINITY {
@@ -419,14 +270,17 @@ mod tests {
         let params = VariantParams::for_head_dim(8).with_extra("bias", -0.2);
         let variant = SigmoidAttention;
         let (q, k, v, layout) = make_case(&[33], &[1], heads);
-        let problem =
-            AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[33]).unwrap();
+        let problem = AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[33]).unwrap();
         let tile = TileConfig { tq: 1, tkv: 8 };
         let mut h = handler(tile, 4, SchedulePolicy::Balanced);
         h.plan(&layout, 1, 8).unwrap();
         let out = h.run(&problem, &variant, &params).unwrap();
-        let direct =
-            FlashKernel { tile, head_fusion: true }.run(&problem, &variant, &params).unwrap();
+        let direct = FlashKernel {
+            tile,
+            head_fusion: true,
+        }
+        .run(&problem, &variant, &params)
+        .unwrap();
         assert!(allclose(out.o.seq(0), direct.o.seq(0), 1e-4, 1e-5));
     }
 
@@ -452,8 +306,7 @@ mod tests {
         let params = VariantParams::for_head_dim(8);
         let variant = VanillaAttention { causal: true };
         let (q, k, v, layout) = make_case(&[8], &[1], heads);
-        let problem =
-            AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[8]).unwrap();
+        let problem = AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[8]).unwrap();
         let mut h = handler(TileConfig { tq: 1, tkv: 8 }, 2, SchedulePolicy::Balanced);
         assert!(matches!(
             h.run(&problem, &variant, &params),
@@ -475,7 +328,10 @@ mod tests {
         // Declare a workspace for 1 CTA but plan with 16: partials overflow.
         let ws = Workspace::allocate(WorkspaceLayout::compute(1, 4, 8, 1, 4096));
         let mut h = BatchAttentionHandler::new(
-            FlashKernel { tile: TileConfig { tq: 1, tkv: 16 }, head_fusion: true },
+            FlashKernel {
+                tile: TileConfig { tq: 1, tkv: 16 },
+                head_fusion: true,
+            },
             16,
             CostModel::default(),
             SchedulePolicy::Balanced,
@@ -486,5 +342,27 @@ mod tests {
             h.plan(&layout, 4, 8),
             Err(SchedError::WorkspaceTooSmall { .. })
         ));
+    }
+
+    #[test]
+    fn parallel_exec_mode_is_bit_identical() {
+        use crate::pipeline::ExecMode;
+        let heads = HeadConfig::new(2, 1, 8).unwrap();
+        let params = VariantParams::for_head_dim(8);
+        let variant = VanillaAttention { causal: true };
+        let (q, k, v, layout) = make_case(&[97, 3, 41, 64], &[1, 1, 1, 1], heads);
+        let problem =
+            AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[97, 3, 41, 64]).unwrap();
+        let tile = TileConfig { tq: 1, tkv: 8 };
+        let mut seq = handler(tile, 8, SchedulePolicy::Balanced);
+        seq.plan(&layout, 2, 8).unwrap();
+        let a = seq.run(&problem, &variant, &params).unwrap();
+        let mut par = handler(tile, 8, SchedulePolicy::Balanced);
+        par.pipeline_mut()
+            .set_exec_mode(ExecMode::Parallel { max_threads: 4 });
+        par.plan(&layout, 2, 8).unwrap();
+        let b = par.run(&problem, &variant, &params).unwrap();
+        assert_eq!(a.o.as_tensor().as_slice(), b.o.as_tensor().as_slice());
+        assert_eq!(a.lse, b.lse);
     }
 }

@@ -17,7 +17,9 @@ use fi_tensor::{RaggedTensor, Tensor};
 use proptest::prelude::*;
 
 fn mix(i: usize, salt: u64) -> f32 {
-    let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(salt);
+    let x = (i as u64)
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(salt);
     ((x >> 33) as f32 / (1u64 << 31) as f32) - 0.5
 }
 
@@ -31,7 +33,11 @@ fn batch_layout(kv_lens: &[usize], qo_lens: &[usize], bc: usize) -> BlockSparseM
         let entries: Vec<BlockEntry> = (0..n_pages)
             .map(|p| BlockEntry {
                 col_block: page + p,
-                len: if p + 1 == n_pages && lkv % bc != 0 { lkv % bc } else { bc },
+                len: if p + 1 == n_pages && lkv % bc != 0 {
+                    lkv % bc
+                } else {
+                    bc
+                },
             })
             .collect();
         rows_spec.push((row, row + lqo, entries));

@@ -15,11 +15,12 @@
 //! and hand-tuned CUDA kernels that the paper cites as a reason to
 //! generate CUDA (Appendix C).
 
+use fi_core::arch::Arch;
 use fi_core::gqa::FusedLayout;
 use fi_core::tiles::{select_tile, TileConfig, FA2_FIXED_TILE};
 use fi_gpusim::exec::{execute_plan, ExecContext};
 use fi_gpusim::GpuSpec;
-use fi_sched::plan::{balanced_plan, naive_plan, CostModel};
+use fi_sched::pipeline::{AttentionPipeline, SchedulePolicy};
 
 use crate::costlayout::{cost_layout, CostItem};
 use crate::model::ModelConfig;
@@ -101,7 +102,16 @@ pub fn attention_kernel_time(
     efficiency: f64,
     granule: usize,
 ) -> f64 {
-    attention_kernel_time_with_ctas(items, model, spec, tile, balanced, efficiency, granule, spec.num_sms)
+    attention_kernel_time_with_ctas(
+        items,
+        model,
+        spec,
+        tile,
+        balanced,
+        efficiency,
+        granule,
+        spec.num_sms,
+    )
 }
 
 /// As [`attention_kernel_time`], but with an explicit CTA budget — the
@@ -123,12 +133,19 @@ pub fn attention_kernel_time_with_ctas(
         return 0.0;
     }
     let layout = cost_layout(items, granule);
-    let plan = if balanced {
-        balanced_plan(&layout, num_ctas, CostModel::default())
+    // Plan through the shared pipeline path (the arch only keys the plan
+    // cache, which is per-call here, so Ampere is as good as any).
+    let policy = if balanced {
+        SchedulePolicy::Balanced
     } else {
-        naive_plan(&layout, num_ctas, CostModel::default())
-    }
-    .expect("num_ctas > 0");
+        SchedulePolicy::Naive
+    };
+    let mut pipeline =
+        AttentionPipeline::analytical(num_ctas, tile, policy, Arch::Ampere).expect("num_ctas > 0");
+    let plan = pipeline
+        .plan(&layout, 1, 1)
+        .expect("cost layout admits a plan")
+        .clone();
     let heads = model.heads();
     let mut ctx = ExecContext::new(*spec, heads, tile);
     // Items are per-(tile, kv-head): one head each.
@@ -145,7 +162,15 @@ fn attention_time(
     prof: &Profile,
     granule: usize,
 ) -> f64 {
-    attention_kernel_time(items, model, spec, tile, prof.balanced, prof.efficiency, granule)
+    attention_kernel_time(
+        items,
+        model,
+        spec,
+        tile,
+        prof.balanced,
+        prof.efficiency,
+        granule,
+    )
 }
 
 /// Shared step-time computation across backends.
@@ -185,7 +210,10 @@ fn profile_step_time(
                     }
                     None => {
                         for _ in 0..kv_heads {
-                            decode_items.push(CostItem { rows: 1, kv: d.kv_len });
+                            decode_items.push(CostItem {
+                                rows: 1,
+                                kv: d.kv_len,
+                            });
                         }
                     }
                 }
@@ -193,22 +221,35 @@ fn profile_step_time(
             for (_, (branches, plen)) in groups {
                 // Groups of 1 gain nothing; still correct.
                 for _ in 0..kv_heads {
-                    decode_items.push(CostItem { rows: branches, kv: plen });
+                    decode_items.push(CostItem {
+                        rows: branches,
+                        kv: plen,
+                    });
                 }
             }
         } else {
             for d in &batch.decode {
                 for _ in 0..kv_heads {
-                    decode_items.push(CostItem { rows: 1, kv: d.kv_len });
+                    decode_items.push(CostItem {
+                        rows: 1,
+                        kv: d.kv_len,
+                    });
                 }
             }
         }
     }
     let decode_tile = if prof.adaptive_tiles {
-        select_tile(fused.avg_fused_qo_len(&vec![1; batch.decode.len().max(1)]), heads.head_dim, spec.sm)
+        select_tile(
+            fused.avg_fused_qo_len(&vec![1; batch.decode.len().max(1)]),
+            heads.head_dim,
+            spec.sm,
+        )
     } else {
         // Triton-style fixed configuration tuned for prefill.
-        TileConfig { tq: 16, tkv: FA2_FIXED_TILE.tkv }
+        TileConfig {
+            tq: 16,
+            tkv: FA2_FIXED_TILE.tkv,
+        }
     };
     let decode_t = attention_time(&decode_items, model, spec, decode_tile, prof, 64);
 
@@ -218,7 +259,11 @@ fn profile_step_time(
         let avg: f64 = if batch.prefill.is_empty() {
             0.0
         } else {
-            batch.prefill.iter().map(|p| fused.fused_len(p.new_tokens)).sum::<usize>() as f64
+            batch
+                .prefill
+                .iter()
+                .map(|p| fused.fused_len(p.new_tokens))
+                .sum::<usize>() as f64
                 / batch.prefill.len() as f64
         };
         select_tile(avg.max(1.0), heads.head_dim, spec.sm)
@@ -231,7 +276,10 @@ fn profile_step_time(
         while s < p.new_tokens {
             let e = (s + prefill_tile.tq).min(p.new_tokens);
             for _ in 0..kv_heads {
-                prefill_items.push(CostItem { rows: e - s, kv: offset + e });
+                prefill_items.push(CostItem {
+                    rows: e - s,
+                    kv: offset + e,
+                });
             }
             s = e;
         }
@@ -255,13 +303,11 @@ fn profile_step_time(
 
 /// The FlashInfer backend: Algorithm 1 scheduling, adaptive tiles,
 /// CUDAGraph replay, optional composable formats.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct FlashInferBackend {
     /// Enable composable-format shared-prefix decoding (§3.1.2 / Figure 10).
     pub composable: bool,
 }
-
 
 impl Backend for FlashInferBackend {
     fn name(&self) -> &'static str {
@@ -339,7 +385,13 @@ mod tests {
     fn decode_batch(kv: &[usize]) -> StepBatch {
         StepBatch {
             prefill: vec![],
-            decode: kv.iter().map(|&k| DecodeEntry { kv_len: k, shared_prefix: None }).collect(),
+            decode: kv
+                .iter()
+                .map(|&k| DecodeEntry {
+                    kv_len: k,
+                    shared_prefix: None,
+                })
+                .collect(),
         }
     }
 
@@ -352,7 +404,10 @@ mod tests {
         let tr = TritonLikeBackend.step_time(&batch, &m, &s);
         // Compare the attention portion (the non-attention side is shared).
         let nonattn = m.nonattn_step_time(&s, batch.tokens());
-        assert!(tr - nonattn > (fi - nonattn) * 1.2, "triton {tr} vs flashinfer {fi}");
+        assert!(
+            tr - nonattn > (fi - nonattn) * 1.2,
+            "triton {tr} vs flashinfer {fi}"
+        );
     }
 
     #[test]
@@ -367,7 +422,10 @@ mod tests {
             / FlashInferBackend::default().step_time(&uniform, &m, &s);
         let gap_skewed = TritonLikeBackend.step_time(&skewed, &m, &s)
             / FlashInferBackend::default().step_time(&skewed, &m, &s);
-        assert!(gap_skewed > gap_uniform, "skewed {gap_skewed} vs uniform {gap_uniform}");
+        assert!(
+            gap_skewed > gap_uniform,
+            "skewed {gap_skewed} vs uniform {gap_uniform}"
+        );
     }
 
     #[test]
@@ -378,14 +436,18 @@ mod tests {
         let mut decode = Vec::new();
         for g in 0..4 {
             for _ in 0..8 {
-                decode.push(DecodeEntry { kv_len: 1024 + 32, shared_prefix: Some((g, 1024)) });
+                decode.push(DecodeEntry {
+                    kv_len: 1024 + 32,
+                    shared_prefix: Some((g, 1024)),
+                });
             }
         }
-        let batch = StepBatch { prefill: vec![], decode };
-        let on =
-            FlashInferBackend { composable: true }.step_time(&batch, &m, &s);
-        let off =
-            FlashInferBackend { composable: false }.step_time(&batch, &m, &s);
+        let batch = StepBatch {
+            prefill: vec![],
+            decode,
+        };
+        let on = FlashInferBackend { composable: true }.step_time(&batch, &m, &s);
+        let off = FlashInferBackend { composable: false }.step_time(&batch, &m, &s);
         assert!(on < off, "composable {on} vs single {off}");
     }
 
@@ -393,15 +455,28 @@ mod tests {
     fn composable_neutral_for_n1() {
         let m = ModelConfig::LLAMA3_8B;
         let s = GpuSpec::H100_80G;
-        let decode: Vec<DecodeEntry> =
-            (0..16).map(|i| DecodeEntry { kv_len: 600, shared_prefix: Some((i, 500)) }).collect();
+        let decode: Vec<DecodeEntry> = (0..16)
+            .map(|i| DecodeEntry {
+                kv_len: 600,
+                shared_prefix: Some((i, 500)),
+            })
+            .collect();
         let on = FlashInferBackend { composable: true }.step_time(
-            &StepBatch { prefill: vec![], decode: decode.clone() },
+            &StepBatch {
+                prefill: vec![],
+                decode: decode.clone(),
+            },
             &m,
             &s,
         );
-        let off = FlashInferBackend { composable: false }
-            .step_time(&StepBatch { prefill: vec![], decode }, &m, &s);
+        let off = FlashInferBackend { composable: false }.step_time(
+            &StepBatch {
+                prefill: vec![],
+                decode,
+            },
+            &m,
+            &s,
+        );
         // Groups of one branch cannot help much; allow a small slack.
         assert!((on - off).abs() / off < 0.35, "on {on} off {off}");
     }
@@ -424,7 +499,10 @@ mod tests {
         let t_of = |len: usize| {
             FlashInferBackend::default().step_time(
                 &StepBatch {
-                    prefill: vec![PrefillEntry { new_tokens: len, total_kv: len }],
+                    prefill: vec![PrefillEntry {
+                        new_tokens: len,
+                        total_kv: len,
+                    }],
                     decode: vec![],
                 },
                 &m,
@@ -441,7 +519,10 @@ mod tests {
         let m = ModelConfig::LLAMA3_8B;
         let s = GpuSpec::H100_80G;
         let batch = StepBatch {
-            prefill: vec![PrefillEntry { new_tokens: 512, total_kv: 512 }],
+            prefill: vec![PrefillEntry {
+                new_tokens: 512,
+                total_kv: 512,
+            }],
             decode: decode_batch(&[800; 12]).decode,
         };
         let fi = FlashInferBackend::default().step_time(&batch, &m, &s);

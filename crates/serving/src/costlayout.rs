@@ -78,7 +78,10 @@ pub fn prefill_items(
             let e = (s + tq).min(lq);
             let visible = offset + e;
             for _ in 0..num_kv_heads {
-                items.push(CostItem { rows: e - s, kv: visible });
+                items.push(CostItem {
+                    rows: e - s,
+                    kv: visible,
+                });
             }
             s = e;
         }

@@ -55,13 +55,20 @@ pub enum PreemptionPolicy {
 }
 
 impl EngineConfig {
-    /// Capacity derived from a GPU's free HBM after weights.
+    /// Capacity derived from each GPU's free HBM after its weight shard.
+    ///
+    /// **Convention**: `kv_capacity_tokens` is the *aggregate* pool
+    /// across all `tensor_parallel` GPUs, matching
+    /// [`ModelConfig::kv_bytes_per_token`] which counts all KV heads.
+    /// Weights are sharded `1/tp` per GPU, and so is the KV cache (by KV
+    /// head), so the aggregate pool is each GPU's free KV bytes summed
+    /// over the group.
     pub fn for_gpu(spec: &GpuSpec, model: &ModelConfig) -> EngineConfig {
         let tp = model.tensor_parallel.max(1);
-        let weights_per_gpu = model.weight_bytes() / tp;
-        let free = (spec.hbm_capacity * tp).saturating_sub(weights_per_gpu * tp);
+        let weights_per_gpu = model.weight_bytes().div_ceil(tp);
+        let free_per_gpu = spec.hbm_capacity.saturating_sub(weights_per_gpu);
         // Reserve 10% for activations and workspace.
-        let kv_bytes = free * 9 / 10;
+        let kv_bytes = free_per_gpu * 9 / 10 * tp;
         EngineConfig {
             kv_capacity_tokens: kv_bytes / model.kv_bytes_per_token().max(1),
             max_batch: 256,
@@ -103,7 +110,12 @@ pub struct Engine<B> {
 impl<B: Backend> Engine<B> {
     /// Create an engine.
     pub fn new(backend: B, model: ModelConfig, spec: GpuSpec, config: EngineConfig) -> Engine<B> {
-        Engine { backend, model, spec, config }
+        Engine {
+            backend,
+            model,
+            spec,
+            config,
+        }
     }
 
     /// KV tokens a request will occupy at completion.
@@ -126,7 +138,7 @@ impl<B: Backend> Engine<B> {
         let mut next = 0usize; // next pending request index
         let mut running: Vec<Branch> = Vec::new();
         let mut req_remaining: Vec<usize> = vec![0; requests.len()]; // live branches per request
-        // KV tokens currently charged to each request (optimistic mode).
+                                                                     // KV tokens currently charged to each request (optimistic mode).
         let mut req_kv: Vec<usize> = vec![0; requests.len()];
         let mut skipped = 0usize;
         let optimistic = self.config.optimistic_admission;
@@ -200,7 +212,11 @@ impl<B: Backend> Engine<B> {
             {
                 let spec = requests[next].spec;
                 let full_cost = self.kv_cost(&spec);
-                let reserve = if optimistic { spec.prompt_len.max(1) } else { full_cost };
+                let reserve = if optimistic {
+                    spec.prompt_len.max(1)
+                } else {
+                    full_cost
+                };
                 let branches = spec.n_parallel.max(1);
                 if full_cost > self.config.kv_capacity_tokens {
                     skipped += 1;
@@ -232,9 +248,10 @@ impl<B: Backend> Engine<B> {
                 let chunk = (p.total - p.done).min(budget);
                 chunk_sizes.push(chunk);
                 if chunk > 0 {
-                    batch
-                        .prefill
-                        .push(PrefillEntry { new_tokens: chunk, total_kv: p.done + chunk });
+                    batch.prefill.push(PrefillEntry {
+                        new_tokens: chunk,
+                        total_kv: p.done + chunk,
+                    });
                     budget -= chunk;
                 }
             }
@@ -277,7 +294,11 @@ impl<B: Backend> Engine<B> {
                 }
                 let spawn = if resume > 0 { 1 } else { n };
                 for _ in 0..spawn {
-                    let group = if n > 1 { Some((ri, s.prompt_len)) } else { None };
+                    let group = if n > 1 {
+                        Some((ri, s.prompt_len))
+                    } else {
+                        None
+                    };
                     running.push(Branch {
                         req_index: ri,
                         generated: resume.max(1),
@@ -316,8 +337,11 @@ impl<B: Backend> Engine<B> {
             for ri in finished {
                 req_remaining[ri] -= 1;
                 if req_remaining[ri] == 0 {
-                    let release =
-                        if optimistic { req_kv[ri] } else { self.kv_cost(&requests[ri].spec) };
+                    let release = if optimistic {
+                        req_kv[ri]
+                    } else {
+                        self.kv_cost(&requests[ri].spec)
+                    };
                     kv_used = kv_used.saturating_sub(release);
                     req_kv[ri] = 0;
                     metrics.completed += 1;
@@ -372,7 +396,12 @@ mod tests {
             .enumerate()
             .map(|(i, &(p, o, a))| Request {
                 id: i as u64,
-                spec: RequestSpec { prompt_len: p, output_len: o, arrival: a, n_parallel: 1 },
+                spec: RequestSpec {
+                    prompt_len: p,
+                    output_len: o,
+                    arrival: a,
+                    n_parallel: 1,
+                },
             })
             .collect()
     }
@@ -382,7 +411,14 @@ mod tests {
             FlashInferBackend::default(),
             ModelConfig::LLAMA3_8B,
             GpuSpec::H100_80G,
-            EngineConfig { kv_capacity_tokens: 200_000, max_batch: 64, prefix_caching: true, chunked_prefill_budget: None, optimistic_admission: false, preemption: PreemptionPolicy::Recompute },
+            EngineConfig {
+                kv_capacity_tokens: 200_000,
+                max_batch: 64,
+                prefix_caching: true,
+                chunked_prefill_budget: None,
+                optimistic_admission: false,
+                preemption: PreemptionPolicy::Recompute,
+            },
         )
     }
 
@@ -413,7 +449,14 @@ mod tests {
             FlashInferBackend::default(),
             ModelConfig::LLAMA3_8B,
             GpuSpec::H100_80G,
-            EngineConfig { kv_capacity_tokens: 1200, max_batch: 64, prefix_caching: true, chunked_prefill_budget: None, optimistic_admission: false, preemption: PreemptionPolicy::Recompute },
+            EngineConfig {
+                kv_capacity_tokens: 1200,
+                max_batch: 64,
+                prefix_caching: true,
+                chunked_prefill_budget: None,
+                optimistic_admission: false,
+                preemption: PreemptionPolicy::Recompute,
+            },
         );
         // Each request needs 1010 tokens: they must serialize.
         let m = small.serve(&reqs(&[(1000, 10, 0.0), (1000, 10, 0.0)]));
@@ -439,7 +482,12 @@ mod tests {
         let mut e = engine();
         let r = Request {
             id: 0,
-            spec: RequestSpec { prompt_len: 512, output_len: 8, arrival: 0.0, n_parallel: 4 },
+            spec: RequestSpec {
+                prompt_len: 512,
+                output_len: 8,
+                arrival: 0.0,
+                n_parallel: 4,
+            },
         };
         let m = e.serve(&[r]);
         assert_eq!(m.completed, 1);
@@ -451,7 +499,12 @@ mod tests {
     #[test]
     fn prefix_caching_reduces_kv_cost() {
         let e = engine();
-        let spec = RequestSpec { prompt_len: 1000, output_len: 10, arrival: 0.0, n_parallel: 8 };
+        let spec = RequestSpec {
+            prompt_len: 1000,
+            output_len: 10,
+            arrival: 0.0,
+            n_parallel: 8,
+        };
         assert_eq!(e.kv_cost(&spec), 1000 + 80);
         let mut cfg = e.config;
         cfg.prefix_caching = false;
@@ -480,7 +533,7 @@ mod tests {
                     prefix_caching: true,
                     chunked_prefill_budget: budget,
                     optimistic_admission: false,
-                preemption: PreemptionPolicy::Recompute,
+                    preemption: PreemptionPolicy::Recompute,
                 },
             )
         };
@@ -490,9 +543,8 @@ mod tests {
         assert_eq!(whole.completed, 2);
         assert_eq!(chunked.completed, 2);
         assert_eq!(whole.tokens_generated, chunked.tokens_generated);
-        let max_itl = |m: &crate::metrics::ServingMetrics| {
-            m.itl.iter().copied().fold(0.0f64, f64::max)
-        };
+        let max_itl =
+            |m: &crate::metrics::ServingMetrics| m.itl.iter().copied().fold(0.0f64, f64::max);
         assert!(
             max_itl(&chunked) < max_itl(&whole) * 0.6,
             "chunked p-max {} vs whole {}",
@@ -546,14 +598,20 @@ mod tests {
         let m = e.serve(&reqs(&[(400, 300, 0.0), (400, 300, 0.0), (400, 300, 0.0)]));
         assert_eq!(m.completed, 3);
         assert_eq!(m.tokens_generated, 3 * 300);
-        assert!(m.preemptions > 0, "pool is oversubscribed; preemption must fire");
+        assert!(
+            m.preemptions > 0,
+            "pool is oversubscribed; preemption must fire"
+        );
         // Pessimistic admission serializes instead: same completion, no
         // preemptions, but later TTFTs for the queued requests.
         let mut strict = Engine::new(
             FlashInferBackend::default(),
             ModelConfig::LLAMA3_8B,
             GpuSpec::H100_80G,
-            EngineConfig { optimistic_admission: false, ..cfg },
+            EngineConfig {
+                optimistic_admission: false,
+                ..cfg
+            },
         );
         let s = strict.serve(&reqs(&[(400, 300, 0.0), (400, 300, 0.0), (400, 300, 0.0)]));
         assert_eq!(s.completed, 3);
@@ -632,5 +690,35 @@ mod tests {
         // ~ (80-16)*0.9 GB / 128KiB ~ 450k tokens.
         assert!(c.kv_capacity_tokens > 200_000, "{}", c.kv_capacity_tokens);
         assert!(c.kv_capacity_tokens < 1_000_000);
+    }
+
+    #[test]
+    fn for_gpu_accounts_tensor_parallel_hbm() {
+        let spec = GpuSpec::H100_80G;
+        let m1 = ModelConfig::LLAMA3_8B;
+        let m4 = ModelConfig {
+            tensor_parallel: 4,
+            ..ModelConfig::LLAMA3_8B
+        };
+        let c1 = EngineConfig::for_gpu(&spec, &m1);
+        let c4 = EngineConfig::for_gpu(&spec, &m4);
+        // 4 GPUs bring 4x the HBM but hold only one sharded weight copy,
+        // so the aggregate pool grows by MORE than 4x...
+        assert!(
+            c4.kv_capacity_tokens > 4 * c1.kv_capacity_tokens,
+            "tp=4 {} vs 4 * tp=1 {}",
+            c4.kv_capacity_tokens,
+            4 * c1.kv_capacity_tokens
+        );
+        // ...but stays below 4 weight-free GPUs' worth of KV.
+        let empty = 4 * (spec.hbm_capacity * 9 / 10) / m1.kv_bytes_per_token();
+        assert!(c4.kv_capacity_tokens < empty);
+        // Degenerate shard: weights larger than one GPU yield an empty pool
+        // rather than an underflow.
+        let huge = ModelConfig {
+            num_layers: 10_000,
+            ..ModelConfig::LLAMA3_8B
+        };
+        assert_eq!(EngineConfig::for_gpu(&spec, &huge).kv_capacity_tokens, 0);
     }
 }

@@ -17,24 +17,67 @@ pub struct ServingMetrics {
     pub preemptions: usize,
 }
 
-/// Percentile of a sample set (linear interpolation). Returns 0 for empty.
-pub fn percentile(samples: &[f64], p: f64) -> f64 {
-    if samples.is_empty() {
-        return 0.0;
+/// Samples sorted once, so any number of percentile queries costs O(1)
+/// sorts total instead of one clone-and-sort per query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PercentileSummary {
+    sorted: Vec<f64>,
+}
+
+impl PercentileSummary {
+    /// Sort the samples once.
+    pub fn new(samples: &[f64]) -> PercentileSummary {
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        PercentileSummary { sorted }
     }
-    let mut s = samples.to_vec();
-    s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let rank = (p / 100.0) * (s.len() - 1) as f64;
-    let lo = rank.floor() as usize;
-    let hi = rank.ceil() as usize;
-    if lo == hi {
-        s[lo]
-    } else {
-        s[lo] + (s[hi] - s[lo]) * (rank - lo as f64)
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Percentile with linear interpolation. Returns 0 for empty.
+    pub fn percentile(&self, p: f64) -> f64 {
+        let s = &self.sorted;
+        if s.is_empty() {
+            return 0.0;
+        }
+        let rank = (p / 100.0) * (s.len() - 1) as f64;
+        let lo = rank.floor() as usize;
+        let hi = rank.ceil() as usize;
+        if lo == hi {
+            s[lo]
+        } else {
+            s[lo] + (s[hi] - s[lo]) * (rank - lo as f64)
+        }
     }
 }
 
+/// Percentile of a sample set (linear interpolation). Returns 0 for empty.
+///
+/// Sorts per call — fine for one-off queries; build a
+/// [`PercentileSummary`] when asking several percentiles of one set.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    PercentileSummary::new(samples).percentile(p)
+}
+
 impl ServingMetrics {
+    /// TTFT samples sorted once for repeated percentile queries.
+    pub fn ttft_summary(&self) -> PercentileSummary {
+        PercentileSummary::new(&self.ttft)
+    }
+
+    /// ITL samples sorted once for repeated percentile queries.
+    pub fn itl_summary(&self) -> PercentileSummary {
+        PercentileSummary::new(&self.itl)
+    }
+
     /// Median TTFT in seconds.
     pub fn median_ttft(&self) -> f64 {
         percentile(&self.ttft, 50.0)
@@ -97,5 +140,17 @@ mod tests {
     fn percentile_unsorted_input() {
         let s = [5.0, 1.0, 3.0];
         assert_eq!(percentile(&s, 50.0), 3.0);
+    }
+
+    #[test]
+    fn summary_matches_free_function() {
+        let s = [0.4, 0.1, 0.9, 0.2, 0.6, 0.3];
+        let summary = PercentileSummary::new(&s);
+        for p in [0.0, 25.0, 50.0, 90.0, 99.0, 100.0] {
+            assert_eq!(summary.percentile(p), percentile(&s, p));
+        }
+        assert_eq!(summary.len(), 6);
+        assert!(PercentileSummary::new(&[]).is_empty());
+        assert_eq!(PercentileSummary::new(&[]).percentile(50.0), 0.0);
     }
 }

@@ -168,6 +168,9 @@ mod tests {
 
     #[test]
     fn zero_tokens_zero_time() {
-        assert_eq!(ModelConfig::LLAMA3_8B.nonattn_step_time(&GpuSpec::A100_40G, 0), 0.0);
+        assert_eq!(
+            ModelConfig::LLAMA3_8B.nonattn_step_time(&GpuSpec::A100_40G, 0),
+            0.0
+        );
     }
 }

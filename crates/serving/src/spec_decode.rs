@@ -70,12 +70,7 @@ pub struct SpecDecodeReport {
 
 /// Time of one target step processing `new_tokens` queries against
 /// `kv_len` of context (tree verification = incremental prefill).
-fn target_step_time(
-    model: &ModelConfig,
-    spec: &GpuSpec,
-    kv_len: usize,
-    new_tokens: usize,
-) -> f64 {
+fn target_step_time(model: &ModelConfig, spec: &GpuSpec, kv_len: usize, new_tokens: usize) -> f64 {
     let heads = model.heads();
     let tp = model.tensor_parallel.max(1);
     let kv_heads = (heads.num_kv_heads / tp).max(1);
@@ -138,7 +133,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn cfg(depth: usize, branching: usize, p: f64) -> SpecDecodeConfig {
-        SpecDecodeConfig { depth, branching, accept_prob: p, draft_cost_frac: 0.05 }
+        SpecDecodeConfig {
+            depth,
+            branching,
+            accept_prob: p,
+            draft_cost_frac: 0.05,
+        }
     }
 
     #[test]
@@ -154,7 +154,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut mean = |p: f64| {
             let c = cfg(4, 2, p);
-            (0..4000).map(|_| sample_accepted(&c, &mut rng)).sum::<usize>() as f64 / 4000.0
+            (0..4000)
+                .map(|_| sample_accepted(&c, &mut rng))
+                .sum::<usize>() as f64
+                / 4000.0
         };
         let low = mean(0.2);
         let high = mean(0.9);

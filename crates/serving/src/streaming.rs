@@ -59,7 +59,12 @@ impl StreamingLlmConfig {
 /// Per-layer time of the key-rotation pass when it is not fused: read and
 /// re-write all cached keys (positions shift every step) plus the new
 /// query rotation.
-fn rope_pass_time(cfg: &StreamingLlmConfig, model: &ModelConfig, spec: &GpuSpec, batch: usize) -> f64 {
+fn rope_pass_time(
+    cfg: &StreamingLlmConfig,
+    model: &ModelConfig,
+    spec: &GpuSpec,
+    batch: usize,
+) -> f64 {
     let k_elems = batch * cfg.cache_len() * model.num_kv_heads * model.head_dim;
     let q_elems = batch * model.num_qo_heads * model.head_dim;
     elementwise_time(spec, k_elems + q_elems)
@@ -131,7 +136,11 @@ mod tests {
     use super::*;
 
     fn cfg(mode: RopeMode, window: usize) -> StreamingLlmConfig {
-        StreamingLlmConfig { sink_tokens: 4, window, mode }
+        StreamingLlmConfig {
+            sink_tokens: 4,
+            window,
+            mode,
+        }
     }
 
     #[test]
@@ -165,9 +174,13 @@ mod tests {
         let m = ModelConfig::VICUNA_13B;
         let s = GpuSpec::A100_40G;
         for (batch, window) in [(1usize, 512usize), (8, 1024), (32, 2048)] {
-            let (f, u) = rope_attention_bandwidth_util(&cfg(RopeMode::Fused, window), &m, &s, batch);
+            let (f, u) =
+                rope_attention_bandwidth_util(&cfg(RopeMode::Fused, window), &m, &s, batch);
             let ratio = f / u;
-            assert!((1.2..5.0).contains(&ratio), "batch {batch} window {window}: ratio {ratio}");
+            assert!(
+                (1.2..5.0).contains(&ratio),
+                "batch {batch} window {window}: ratio {ratio}"
+            );
             assert!(f <= 1.0 && u <= 1.0);
         }
     }

@@ -36,7 +36,9 @@ pub fn sharegpt_like(rng: &mut impl Rng, n: usize) -> Vec<(usize, usize)> {
 /// The "Variable" workload of Figure 7: prompts uniform in
 /// `[512, 2048]`, outputs uniform in `[64, 512]`.
 pub fn variable_workload(rng: &mut impl Rng, n: usize) -> Vec<(usize, usize)> {
-    (0..n).map(|_| (rng.gen_range(512..=2048), rng.gen_range(64..=512))).collect()
+    (0..n)
+        .map(|_| (rng.gen_range(512..=2048), rng.gen_range(64..=512)))
+        .collect()
 }
 
 /// Constant sequence lengths (Figure 8, "constant (1024)").
@@ -109,8 +111,10 @@ mod tests {
     #[test]
     fn sharegpt_has_heavy_tail_and_sane_median() {
         let mut rng = StdRng::seed_from_u64(7);
-        let mut prompts: Vec<usize> =
-            sharegpt_like(&mut rng, 4000).into_iter().map(|(p, _)| p).collect();
+        let mut prompts: Vec<usize> = sharegpt_like(&mut rng, 4000)
+            .into_iter()
+            .map(|(p, _)| p)
+            .collect();
         prompts.sort_unstable();
         let median = prompts[2000];
         assert!((40..250).contains(&median), "median {median}");

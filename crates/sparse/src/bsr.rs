@@ -88,7 +88,11 @@ impl BlockSparseMatrix {
                 )));
             }
             if end > rows {
-                return Err(SparseError::IndexOutOfBounds { index: end, bound: rows, what: "row" });
+                return Err(SparseError::IndexOutOfBounds {
+                    index: end,
+                    bound: rows,
+                    what: "row",
+                });
             }
             prev_end = end;
             for e in &entries {
@@ -118,7 +122,14 @@ impl BlockSparseMatrix {
             blocks.extend(entries);
             indptr.push(blocks.len());
         }
-        Ok(BlockSparseMatrix { rows, cols, bc, row_ranges, indptr, blocks })
+        Ok(BlockSparseMatrix {
+            rows,
+            cols,
+            bc,
+            row_ranges,
+            indptr,
+            blocks,
+        })
     }
 
     /// Build with one block row per request: `per_row_pages[i]` lists the
@@ -155,7 +166,10 @@ impl BlockSparseMatrix {
             .map(|(i, pages)| {
                 let entries = pages
                     .iter()
-                    .map(|&p| BlockEntry { col_block: p, len: bc.min(cols.saturating_sub(p * bc)) })
+                    .map(|&p| BlockEntry {
+                        col_block: p,
+                        len: bc.min(cols.saturating_sub(p * bc)),
+                    })
                     .collect();
                 (i * h, (i + 1) * h, entries)
             })
@@ -256,8 +270,13 @@ impl BlockSparseMatrix {
     ///
     /// Panics if `row >= rows()` or `col >= cols()`.
     pub fn is_nonzero(&self, row: usize, col: usize) -> bool {
-        assert!(row < self.rows && col < self.cols, "element index out of range");
-        let Some(i) = self.block_row_of(row) else { return false };
+        assert!(
+            row < self.rows && col < self.cols,
+            "element index out of range"
+        );
+        let Some(i) = self.block_row_of(row) else {
+            return false;
+        };
         self.block_row(i).iter().any(|b| {
             let base = b.col_block * self.bc;
             col >= base && col < base + b.len
@@ -322,7 +341,9 @@ impl BlockSparseMatrix {
             )));
         }
         if br == 0 || bc == 0 {
-            return Err(SparseError::InvalidBlocks("br and bc must be positive".into()));
+            return Err(SparseError::InvalidBlocks(
+                "br and bc must be positive".into(),
+            ));
         }
         let mut block_rows = Vec::new();
         let mut rs = 0;
@@ -376,8 +397,28 @@ mod tests {
             8,
             2,
             vec![
-                (0, 3, vec![BlockEntry { col_block: 0, len: 2 }, BlockEntry { col_block: 3, len: 1 }]),
-                (3, 5, vec![BlockEntry { col_block: 1, len: 2 }]),
+                (
+                    0,
+                    3,
+                    vec![
+                        BlockEntry {
+                            col_block: 0,
+                            len: 2,
+                        },
+                        BlockEntry {
+                            col_block: 3,
+                            len: 1,
+                        },
+                    ],
+                ),
+                (
+                    3,
+                    5,
+                    vec![BlockEntry {
+                        col_block: 1,
+                        len: 2,
+                    }],
+                ),
             ],
         )
         .unwrap()
@@ -431,7 +472,14 @@ mod tests {
             2,
             4,
             2,
-            vec![(0, 2, vec![BlockEntry { col_block: 2, len: 1 }])]
+            vec![(
+                0,
+                2,
+                vec![BlockEntry {
+                    col_block: 2,
+                    len: 1
+                }]
+            )]
         )
         .is_err());
         // Valid length over bc.
@@ -439,7 +487,14 @@ mod tests {
             2,
             4,
             2,
-            vec![(0, 2, vec![BlockEntry { col_block: 0, len: 3 }])]
+            vec![(
+                0,
+                2,
+                vec![BlockEntry {
+                    col_block: 0,
+                    len: 3
+                }]
+            )]
         )
         .is_err());
         // Valid length over pool tail: cols=3, bc=2, block 1 has only 1 slot.
@@ -447,7 +502,14 @@ mod tests {
             2,
             3,
             2,
-            vec![(0, 2, vec![BlockEntry { col_block: 1, len: 2 }])]
+            vec![(
+                0,
+                2,
+                vec![BlockEntry {
+                    col_block: 1,
+                    len: 2
+                }]
+            )]
         )
         .is_err());
         // Zero bc.
@@ -482,8 +544,7 @@ mod tests {
 
     #[test]
     fn from_uniform_rows_page_semantics() {
-        let m =
-            BlockSparseMatrix::from_uniform_rows(4, 6, 2, 2, &[vec![0, 2], vec![1]]).unwrap();
+        let m = BlockSparseMatrix::from_uniform_rows(4, 6, 2, 2, &[vec![0, 2], vec![1]]).unwrap();
         assert_eq!(m.gather_columns(0), vec![0, 1, 4, 5]);
         assert_eq!(m.gather_columns(1), vec![2, 3]);
         assert!(BlockSparseMatrix::from_uniform_rows(5, 6, 2, 2, &[vec![], vec![]]).is_err());

@@ -74,7 +74,11 @@ impl ComposableFormat {
 
     /// Wrap a single matrix (the degenerate, non-composed case).
     pub fn single(m: BlockSparseMatrix) -> ComposableFormat {
-        ComposableFormat { rows: m.rows(), cols: m.cols(), parts: vec![m] }
+        ComposableFormat {
+            rows: m.rows(),
+            cols: m.cols(),
+            parts: vec![m],
+        }
     }
 
     /// Decompose shared-prefix structure into a two-part format, as in
@@ -176,7 +180,11 @@ impl ComposableFormat {
     pub fn gather_slots(&self) -> usize {
         self.parts
             .iter()
-            .map(|p| (0..p.n_block_rows()).map(|i| p.block_row_kv_len(i)).sum::<usize>())
+            .map(|p| {
+                (0..p.n_block_rows())
+                    .map(|i| p.block_row_kv_len(i))
+                    .sum::<usize>()
+            })
             .sum()
     }
 
@@ -198,12 +206,22 @@ mod tests {
         for g in 0..2 {
             let row_start = g * 6;
             let prefix_blocks = (0..3)
-                .map(|k| BlockEntry { col_block: g * 3 + k, len: 1 })
+                .map(|k| BlockEntry {
+                    col_block: g * 3 + k,
+                    len: 1,
+                })
                 .collect();
             let unique = (0..6)
                 .map(|r| {
                     let row = row_start + r;
-                    (row, row + 1, vec![BlockEntry { col_block: 6 + row, len: 1 }])
+                    (
+                        row,
+                        row + 1,
+                        vec![BlockEntry {
+                            col_block: 6 + row,
+                            len: 1,
+                        }],
+                    )
                 })
                 .collect();
             groups.push(PrefixGroup {
@@ -236,13 +254,19 @@ mod tests {
         let mut rows = Vec::new();
         for r in 0..12 {
             let g = r / 6;
-            let mut blocks: Vec<BlockEntry> =
-                (0..3).map(|k| BlockEntry { col_block: g * 3 + k, len: 1 }).collect();
-            blocks.push(BlockEntry { col_block: 6 + r, len: 1 });
+            let mut blocks: Vec<BlockEntry> = (0..3)
+                .map(|k| BlockEntry {
+                    col_block: g * 3 + k,
+                    len: 1,
+                })
+                .collect();
+            blocks.push(BlockEntry {
+                col_block: 6 + r,
+                len: 1,
+            });
             rows.push((r, r + 1, blocks));
         }
-        let single =
-            ComposableFormat::single(BlockSparseMatrix::new(12, 18, 1, rows).unwrap());
+        let single = ComposableFormat::single(BlockSparseMatrix::new(12, 18, 1, rows).unwrap());
 
         assert_eq!(single.compute_pairs(), f.compute_pairs());
         assert_eq!(single.to_dense_mask(), f.to_dense_mask());
@@ -266,7 +290,14 @@ mod tests {
             2,
             2,
             1,
-            vec![(0, 2, vec![BlockEntry { col_block: 0, len: 1 }])],
+            vec![(
+                0,
+                2,
+                vec![BlockEntry {
+                    col_block: 0,
+                    len: 1,
+                }],
+            )],
         )
         .unwrap();
         let f = ComposableFormat::new(vec![a.clone(), a]).unwrap();
@@ -279,14 +310,26 @@ mod tests {
             row_start: 0,
             row_end: 2,
             prefix_blocks: vec![],
-            unique: vec![(1, 3, vec![BlockEntry { col_block: 0, len: 1 }])],
+            unique: vec![(
+                1,
+                3,
+                vec![BlockEntry {
+                    col_block: 0,
+                    len: 1,
+                }],
+            )],
         };
         assert!(ComposableFormat::decompose_shared_prefix(4, 4, 1, &[g]).is_err());
     }
 
     #[test]
     fn empty_prefixes_and_suffixes_allowed() {
-        let g = PrefixGroup { row_start: 0, row_end: 2, prefix_blocks: vec![], unique: vec![] };
+        let g = PrefixGroup {
+            row_start: 0,
+            row_end: 2,
+            prefix_blocks: vec![],
+            unique: vec![],
+        };
         let f = ComposableFormat::decompose_shared_prefix(2, 4, 1, &[g]).unwrap();
         assert_eq!(f.compute_pairs(), 0);
     }

@@ -45,10 +45,18 @@ impl CsrMatrix {
         let mut per_row: Vec<Vec<usize>> = vec![Vec::new(); rows];
         for &(r, c) in entries {
             if r >= rows {
-                return Err(SparseError::IndexOutOfBounds { index: r, bound: rows, what: "row" });
+                return Err(SparseError::IndexOutOfBounds {
+                    index: r,
+                    bound: rows,
+                    what: "row",
+                });
             }
             if c >= cols {
-                return Err(SparseError::IndexOutOfBounds { index: c, bound: cols, what: "column" });
+                return Err(SparseError::IndexOutOfBounds {
+                    index: c,
+                    bound: cols,
+                    what: "column",
+                });
             }
             per_row[r].push(c);
         }
@@ -61,7 +69,12 @@ impl CsrMatrix {
             indices.extend_from_slice(row);
             indptr.push(indices.len());
         }
-        Ok(CsrMatrix { rows, cols, indptr, indices })
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            indptr,
+            indices,
+        })
     }
 
     /// Build from a dense boolean mask (row-major `rows × cols`).
@@ -69,7 +82,11 @@ impl CsrMatrix {
     /// # Errors
     ///
     /// Returns [`SparseError::InvalidBlocks`] if `mask.len() != rows * cols`.
-    pub fn from_dense_mask(rows: usize, cols: usize, mask: &[bool]) -> Result<CsrMatrix, SparseError> {
+    pub fn from_dense_mask(
+        rows: usize,
+        cols: usize,
+        mask: &[bool],
+    ) -> Result<CsrMatrix, SparseError> {
         if mask.len() != rows * cols {
             return Err(SparseError::InvalidBlocks(format!(
                 "mask length {} != rows*cols {}",
@@ -78,7 +95,11 @@ impl CsrMatrix {
             )));
         }
         let entries: Vec<(usize, usize)> = (0..rows)
-            .flat_map(|r| (0..cols).filter(move |&c| mask[r * cols + c]).map(move |c| (r, c)))
+            .flat_map(|r| {
+                (0..cols)
+                    .filter(move |&c| mask[r * cols + c])
+                    .map(move |c| (r, c))
+            })
             .collect();
         CsrMatrix::from_entries(rows, cols, &entries)
     }
@@ -113,7 +134,10 @@ impl CsrMatrix {
     ///
     /// Panics if out of range.
     pub fn is_nonzero(&self, row: usize, col: usize) -> bool {
-        assert!(row < self.rows && col < self.cols, "element index out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "element index out of range"
+        );
         self.row(row).binary_search(&col).is_ok()
     }
 
@@ -138,7 +162,9 @@ impl CsrMatrix {
     /// Propagates geometry errors from BSR construction.
     pub fn to_bsr(&self, br: usize, bc: usize) -> Result<BlockSparseMatrix, SparseError> {
         if br == 0 || bc == 0 {
-            return Err(SparseError::InvalidBlocks("br and bc must be positive".into()));
+            return Err(SparseError::InvalidBlocks(
+                "br and bc must be positive".into(),
+            ));
         }
         let mut block_rows = Vec::new();
         let mut rs = 0;
@@ -160,7 +186,10 @@ impl CsrMatrix {
                 .iter()
                 .enumerate()
                 .filter(|&(_, &l)| l > 0)
-                .map(|(cb, &l)| BlockEntry { col_block: cb, len: l })
+                .map(|(cb, &l)| BlockEntry {
+                    col_block: cb,
+                    len: l,
+                })
                 .collect();
             block_rows.push((rs, re, entries));
             rs = re;
@@ -180,8 +209,9 @@ impl CsrMatrix {
 pub fn causal_mask(l_qo: usize, l_kv: usize) -> CsrMatrix {
     assert!(l_qo <= l_kv, "causal mask requires l_qo <= l_kv");
     let offset = l_kv - l_qo;
-    let entries: Vec<(usize, usize)> =
-        (0..l_qo).flat_map(|i| (0..=offset + i).map(move |j| (i, j))).collect();
+    let entries: Vec<(usize, usize)> = (0..l_qo)
+        .flat_map(|i| (0..=offset + i).map(move |j| (i, j)))
+        .collect();
     CsrMatrix::from_entries(l_qo, l_kv, &entries).expect("causal entries in range")
 }
 
@@ -210,7 +240,10 @@ pub fn tree_mask(parent: &[usize], prefix_len: usize) -> CsrMatrix {
             if p == usize::MAX {
                 break;
             }
-            assert!(p < node, "parents must precede children (node {node}, parent {p})");
+            assert!(
+                p < node,
+                "parents must precede children (node {node}, parent {p})"
+            );
             node = p;
         }
     }

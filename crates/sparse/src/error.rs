@@ -44,7 +44,11 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = SparseError::IndexOutOfBounds { index: 7, bound: 4, what: "block column" };
+        let e = SparseError::IndexOutOfBounds {
+            index: 7,
+            bound: 4,
+            what: "block column",
+        };
         assert!(e.to_string().contains("block column index 7"));
     }
 

@@ -54,7 +54,9 @@ impl PageTable {
         last_page_len: Vec<usize>,
     ) -> Result<PageTable, SparseError> {
         if page_size == 0 {
-            return Err(SparseError::InvalidBlocks("page_size must be positive".into()));
+            return Err(SparseError::InvalidBlocks(
+                "page_size must be positive".into(),
+            ));
         }
         if pages.len() != last_page_len.len() {
             return Err(SparseError::InvalidBlocks(format!(
@@ -80,7 +82,12 @@ impl PageTable {
                 )));
             }
         }
-        Ok(PageTable { page_size, num_pages, pages, last_page_len })
+        Ok(PageTable {
+            page_size,
+            num_pages,
+            pages,
+            last_page_len,
+        })
     }
 
     /// Slots per page (`Bc`).
@@ -131,7 +138,10 @@ impl PageTable {
     ///
     /// Panics if `pos >= kv_len(i)`.
     pub fn slot_of(&self, i: usize, pos: usize) -> usize {
-        assert!(pos < self.kv_len(i), "position {pos} past kv_len of request {i}");
+        assert!(
+            pos < self.kv_len(i),
+            "position {pos} past kv_len of request {i}"
+        );
         let page = self.pages[i][pos / self.page_size];
         page * self.page_size + pos % self.page_size
     }

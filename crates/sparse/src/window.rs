@@ -129,8 +129,7 @@ mod tests {
 
     #[test]
     fn batch_rows_are_per_request() {
-        let m =
-            sliding_window_layout(200, &[0, 100], &[80, 90], 8, 2, 2).unwrap();
+        let m = sliding_window_layout(200, &[0, 100], &[80, 90], 8, 2, 2).unwrap();
         assert_eq!(m.n_block_rows(), 2);
         let c1 = m.gather_columns(1);
         assert!(c1.iter().all(|&c| (100..190).contains(&c)));

@@ -30,7 +30,10 @@ impl<T: Scalar> Tensor<T> {
     /// Create a zero-initialized tensor of the given shape.
     pub fn zeros(shape: Vec<usize>) -> Tensor<T> {
         let n = shape.iter().product();
-        Tensor { shape, data: vec![T::default(); n] }
+        Tensor {
+            shape,
+            data: vec![T::default(); n],
+        }
     }
 
     /// Create a tensor from a flat buffer.
@@ -42,7 +45,10 @@ impl<T: Scalar> Tensor<T> {
     pub fn from_vec(shape: Vec<usize>, data: Vec<T>) -> Result<Tensor<T>, TensorError> {
         let expected: usize = shape.iter().product();
         if data.len() != expected {
-            return Err(TensorError::ShapeMismatch { expected, actual: data.len() });
+            return Err(TensorError::ShapeMismatch {
+                expected,
+                actual: data.len(),
+            });
         }
         Ok(Tensor { shape, data })
     }
@@ -50,7 +56,10 @@ impl<T: Scalar> Tensor<T> {
     /// Create a tensor by evaluating `f` at each flat index.
     pub fn from_fn(shape: Vec<usize>, mut f: impl FnMut(usize) -> T) -> Tensor<T> {
         let n: usize = shape.iter().product();
-        Tensor { shape, data: (0..n).map(&mut f).collect() }
+        Tensor {
+            shape,
+            data: (0..n).map(&mut f).collect(),
+        }
     }
 
     /// The tensor's shape.
@@ -165,7 +174,10 @@ impl<T: Scalar> Tensor<T> {
 
 impl<T: Scalar> Default for Tensor<T> {
     fn default() -> Self {
-        Tensor { shape: vec![0], data: Vec::new() }
+        Tensor {
+            shape: vec![0],
+            data: Vec::new(),
+        }
     }
 }
 
@@ -186,7 +198,13 @@ mod tests {
     #[test]
     fn from_vec_validates_length() {
         let err = Tensor::<f32>::from_vec(vec![2, 3], vec![0.0; 5]).unwrap_err();
-        assert_eq!(err, TensorError::ShapeMismatch { expected: 6, actual: 5 });
+        assert_eq!(
+            err,
+            TensorError::ShapeMismatch {
+                expected: 6,
+                actual: 5
+            }
+        );
         assert!(Tensor::<f32>::from_vec(vec![2, 3], vec![0.0; 6]).is_ok());
     }
 

@@ -66,7 +66,9 @@ impl std::fmt::Display for DType {
 ///
 /// This trait is sealed-by-convention: the workspace only implements it for
 /// `f32`, [`F16`], [`F8E4M3`], and [`F8E5M2`].
-pub trait Scalar: Copy + Clone + Send + Sync + std::fmt::Debug + Default + PartialEq + 'static {
+pub trait Scalar:
+    Copy + Clone + Send + Sync + std::fmt::Debug + Default + PartialEq + 'static
+{
     /// Runtime tag for this type.
     const DTYPE: DType;
 

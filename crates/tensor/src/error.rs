@@ -30,7 +30,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::ShapeMismatch { expected, actual } => {
-                write!(f, "buffer length {actual} does not match shape product {expected}")
+                write!(
+                    f,
+                    "buffer length {actual} does not match shape product {expected}"
+                )
             }
             TensorError::InvalidShape(msg) => write!(f, "invalid shape: {msg}"),
             TensorError::InvalidIndptr(msg) => write!(f, "invalid indptr: {msg}"),
@@ -49,7 +52,10 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let e = TensorError::ShapeMismatch { expected: 6, actual: 5 };
+        let e = TensorError::ShapeMismatch {
+            expected: 6,
+            actual: 5,
+        };
         let s = e.to_string();
         assert!(s.contains('6') && s.contains('5'));
         let e = TensorError::OutOfBounds { index: 9, bound: 4 };

@@ -98,7 +98,11 @@ fn max_finite_bits(exp_bits: u32, man_bits: u32, has_inf: bool) -> u8 {
 }
 
 fn widen(b: u8, exp_bits: u32, man_bits: u32, bias: i32, has_inf: bool) -> f32 {
-    let sign = if b >> (exp_bits + man_bits) & 1 == 1 { -1.0f32 } else { 1.0 };
+    let sign = if b >> (exp_bits + man_bits) & 1 == 1 {
+        -1.0f32
+    } else {
+        1.0
+    };
     let exp = (b >> man_bits) as u32 & ((1 << exp_bits) - 1);
     let man = (b & ((1 << man_bits) - 1)) as u32;
     let exp_all = (1u32 << exp_bits) - 1;
@@ -125,7 +129,9 @@ fn widen(b: u8, exp_bits: u32, man_bits: u32, bias: i32, has_inf: bool) -> f32 {
 }
 
 /// OCP FP8 E4M3 value (bias 7, max ±448, no infinities).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct F8E4M3(pub u8);
 
 impl F8E4M3 {
@@ -149,7 +155,9 @@ impl F8E4M3 {
 }
 
 /// OCP FP8 E5M2 value (bias 15, max ±57344, IEEE-like inf/NaN).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct F8E5M2(pub u8);
 
 impl F8E5M2 {

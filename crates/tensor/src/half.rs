@@ -7,7 +7,9 @@
 //! Conversion uses round-to-nearest-even, matching hardware `cvt` semantics.
 
 /// An IEEE 754 binary16 value stored as its raw bit pattern.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
 pub struct F16(pub u16);
 
 const F16_MAN_BITS: u32 = 10;
@@ -141,7 +143,11 @@ mod tests {
     fn exact_small_integers_roundtrip() {
         for i in -2048..=2048 {
             let x = i as f32;
-            assert_eq!(F16::from_f32(x).to_f32(), x, "integer {i} must be exact in f16");
+            assert_eq!(
+                F16::from_f32(x).to_f32(),
+                x,
+                "integer {i} must be exact in f16"
+            );
         }
     }
 

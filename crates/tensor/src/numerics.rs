@@ -24,7 +24,10 @@ pub fn log_sum_exp(xs: &[f32]) -> f32 {
 /// Panics if the slices have different lengths.
 pub fn max_abs_diff(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "length mismatch in max_abs_diff");
-    a.iter().zip(b).map(|(&x, &y)| (x - y).abs()).fold(0.0, f32::max)
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).abs())
+        .fold(0.0, f32::max)
 }
 
 /// True when every pair differs by at most `atol + rtol * |b|`.

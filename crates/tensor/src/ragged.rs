@@ -20,7 +20,9 @@ use crate::error::TensorError;
 /// Returns [`TensorError::InvalidIndptr`] when malformed.
 pub fn validate_indptr(indptr: &[usize]) -> Result<usize, TensorError> {
     if indptr.is_empty() {
-        return Err(TensorError::InvalidIndptr("indptr must be non-empty".into()));
+        return Err(TensorError::InvalidIndptr(
+            "indptr must be non-empty".into(),
+        ));
     }
     if indptr[0] != 0 {
         return Err(TensorError::InvalidIndptr(format!(
@@ -67,7 +69,11 @@ impl<T: Scalar> RaggedTensor<T> {
     /// Returns [`TensorError::InvalidIndptr`] if `indptr` is malformed.
     pub fn zeros(indptr: Vec<usize>, dim: usize) -> Result<RaggedTensor<T>, TensorError> {
         let total = validate_indptr(&indptr)?;
-        Ok(RaggedTensor { indptr, data: Tensor::zeros(vec![total, dim]), dim })
+        Ok(RaggedTensor {
+            indptr,
+            data: Tensor::zeros(vec![total, dim]),
+            dim,
+        })
     }
 
     /// Create a ragged tensor wrapping existing packed row data.
@@ -84,7 +90,11 @@ impl<T: Scalar> RaggedTensor<T> {
     ) -> Result<RaggedTensor<T>, TensorError> {
         let total = validate_indptr(&indptr)?;
         let t = Tensor::from_vec(vec![total, dim], data)?;
-        Ok(RaggedTensor { indptr, data: t, dim })
+        Ok(RaggedTensor {
+            indptr,
+            data: t,
+            dim,
+        })
     }
 
     /// Build from per-sequence row counts (convenience over explicit indptr).
@@ -96,7 +106,11 @@ impl<T: Scalar> RaggedTensor<T> {
             acc += l;
             indptr.push(acc);
         }
-        RaggedTensor { indptr, data: Tensor::zeros(vec![acc, dim]), dim }
+        RaggedTensor {
+            indptr,
+            data: Tensor::zeros(vec![acc, dim]),
+            dim,
+        }
     }
 
     /// Number of sequences in the batch.

@@ -1,7 +1,7 @@
 //! Property-based tests for the tensor substrate.
 
 use fi_tensor::numerics::{allclose, log_sum_exp};
-use fi_tensor::{F16, F8E4M3, F8E5M2, RaggedTensor, Tensor};
+use fi_tensor::{RaggedTensor, Tensor, F16, F8E4M3, F8E5M2};
 use proptest::prelude::*;
 
 proptest! {

@@ -6,11 +6,14 @@
 //!
 //! Run with: `cargo run --release --example cascade_inference`
 
+use flashinfer::core::arch::Arch;
 use flashinfer::core::config::HeadConfig;
 use flashinfer::core::kernel::{AttentionProblem, FlashKernel, RowMeta};
 use flashinfer::core::tiles::TileConfig;
 use flashinfer::core::variant::{VanillaAttention, VariantParams};
 use flashinfer::sched::cascade::{CascadeAttention, PrefixNode, PrefixTree};
+use flashinfer::sched::pipeline::{AttentionPipeline, SchedulePolicy};
+use flashinfer::sched::plan::CostModel;
 use flashinfer::sparse::bsr::{BlockEntry, BlockSparseMatrix};
 use flashinfer::tensor::numerics::max_abs_diff;
 use flashinfer::tensor::{RaggedTensor, Tensor};
@@ -33,7 +36,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let unique_base = |u: usize| SYSTEM + TENANTS * TENANT + u * UNIQUE;
     let cols = SYSTEM + TENANTS * TENANT + rows * UNIQUE;
     let blocks = |base: usize, n: usize| {
-        (0..n).map(|i| BlockEntry { col_block: base + i, len: 1 }).collect::<Vec<_>>()
+        (0..n)
+            .map(|i| BlockEntry {
+                col_block: base + i,
+                len: 1,
+            })
+            .collect::<Vec<_>>()
     };
 
     let tree = PrefixTree {
@@ -88,11 +96,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, x) in q.as_tensor_mut().as_mut_slice().iter_mut().enumerate() {
         *x = mix(i, 3) * 0.4;
     }
-    let row_meta: Vec<RowMeta> =
-        (0..rows).map(|b| RowMeta { batch_idx: b, qo_pos: 0, qo_len: 1, kv_len }).collect();
+    let row_meta: Vec<RowMeta> = (0..rows)
+        .map(|b| RowMeta {
+            batch_idx: b,
+            qo_pos: 0,
+            qo_len: 1,
+            kv_len,
+        })
+        .collect();
 
-    let kernel = FlashKernel { tile: TileConfig { tq: 1, tkv: 32 }, head_fusion: true };
-    let out = cascade.run(kernel, &q, &k, &v, heads, &row_meta, &variant, &params)?;
+    let kernel = FlashKernel {
+        tile: TileConfig { tq: 1, tkv: 32 },
+        head_fusion: true,
+    };
+    // One pipeline plans every cascade level; re-running the same tree
+    // would hit its shape-keyed plan cache level-for-level.
+    let mut pipeline = AttentionPipeline::new(
+        kernel,
+        8,
+        CostModel::default(),
+        SchedulePolicy::Balanced,
+        Arch::Ampere,
+    )?;
+    let out = cascade.run(
+        &mut pipeline,
+        &q,
+        &k,
+        &v,
+        heads,
+        &row_meta,
+        &variant,
+        &params,
+    )?;
+    println!(
+        "pipeline planned {} level schedules ({} cache hits)",
+        pipeline.stats().plans_computed,
+        pipeline.stats().plan_cache_hits
+    );
 
     // Verify against the flat single-format run.
     let flat_rows: Vec<(usize, usize, Vec<BlockEntry>)> = (0..rows)
@@ -105,8 +145,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
     let flat = BlockSparseMatrix::new(rows, cols, 1, flat_rows)?;
-    let problem =
-        AttentionProblem::standard_batch(&q, &k, &v, &flat, heads, &vec![kv_len; rows])?;
+    let problem = AttentionProblem::standard_batch(&q, &k, &v, &flat, heads, &vec![kv_len; rows])?;
     let direct = kernel.run(&problem, &variant, &params)?;
     let mut worst = 0.0f32;
     for r in 0..rows {

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The code the real JIT would compile:
     let source = spec.render_cuda(DType::F16, 64);
     println!("--- generated CUDA (excerpt) ---");
-    for line in source.lines().filter(|l| l.contains("LogitsTransform") || l.contains("return ")) {
+    for line in source
+        .lines()
+        .filter(|l| l.contains("LogitsTransform") || l.contains("return "))
+    {
         println!("{line}");
     }
 
@@ -52,18 +55,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (i, x) in q.as_tensor_mut().as_mut_slice().iter_mut().enumerate() {
         *x = ((i * 17) as f32).sin() * 0.4;
     }
-    let k = Tensor::<f32>::from_fn(vec![l_kv, heads.kv_width()], |i| ((i * 7) as f32).cos() * 0.3);
-    let v = Tensor::<f32>::from_fn(vec![l_kv, heads.kv_width()], |i| ((i * 3) as f32).sin() * 0.5);
+    let k = Tensor::<f32>::from_fn(vec![l_kv, heads.kv_width()], |i| {
+        ((i * 7) as f32).cos() * 0.3
+    });
+    let v = Tensor::<f32>::from_fn(vec![l_kv, heads.kv_width()], |i| {
+        ((i * 3) as f32).sin() * 0.5
+    });
     let layout = BlockSparseMatrix::new(
         1,
         l_kv,
         8,
-        vec![(0, 1, (0..5).map(|c| BlockEntry { col_block: c, len: 8 }).collect())],
+        vec![(
+            0,
+            1,
+            (0..5)
+                .map(|c| BlockEntry {
+                    col_block: c,
+                    len: 8,
+                })
+                .collect(),
+        )],
     )?;
     let problem = AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[l_kv])?;
-    let kern = FlashKernel { tile: TileConfig { tq: 1, tkv: 32 }, head_fusion: true };
+    let kern = FlashKernel {
+        tile: TileConfig { tq: 1, tkv: 32 },
+        head_fusion: true,
+    };
     let out = kern.run(&problem, variant.as_ref(), &params)?;
-    let r = reference_attention(variant.as_ref(), &params, heads, 0, q.seq(0), k.as_slice(), v.as_slice());
+    let r = reference_attention(
+        variant.as_ref(),
+        &params,
+        heads,
+        0,
+        q.seq(0),
+        k.as_slice(),
+        v.as_slice(),
+    );
     println!(
         "flash_sigmoid: kernel vs reference max diff = {:.2e}",
         max_abs_diff(out.o.seq(0), &r.o)
@@ -79,7 +106,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }));
     custom.on_mask = Some(Box::new(|_, ctx| ctx.causally_visible()));
     let out2 = kern.run(&problem, &custom, &params)?;
-    let r2 = reference_attention(&custom, &params, heads, 0, q.seq(0), k.as_slice(), v.as_slice());
+    let r2 = reference_attention(
+        &custom,
+        &params,
+        heads,
+        0,
+        q.seq(0),
+        k.as_slice(),
+        v.as_slice(),
+    );
     println!(
         "closure variant: kernel vs reference max diff = {:.2e}",
         max_abs_diff(out2.o.seq(0), &r2.o)
@@ -99,8 +134,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dsl_variant = dsl_spec.build()?;
     let p2 = VariantParams::for_head_dim(64).with_extra("cap", 30.0);
     let out3 = kern.run(&problem, &dsl_variant, &p2)?;
-    let r3 =
-        reference_attention(&dsl_variant, &p2, heads, 0, q.seq(0), k.as_slice(), v.as_slice());
+    let r3 = reference_attention(
+        &dsl_variant,
+        &p2,
+        heads,
+        0,
+        q.seq(0),
+        k.as_slice(),
+        v.as_slice(),
+    );
     println!(
         "DSL variant `{}`: kernel vs reference max diff = {:.2e}",
         dsl_spec.name(),

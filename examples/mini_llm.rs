@@ -42,8 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut branch_tokens: Vec<Vec<u32>> = (0..4).map(|b| vec![(b * 31 + 1) as u32]).collect();
     let ids: Vec<u64> = (10..14).collect();
     for _ in 0..6 {
-        let inputs: Vec<Vec<u32>> =
-            branch_tokens.iter().map(|t| vec![*t.last().expect("nonempty")]).collect();
+        let inputs: Vec<Vec<u32>> = branch_tokens
+            .iter()
+            .map(|t| vec![*t.last().expect("nonempty")])
+            .collect();
         let logits = engine.forward(&ids, &inputs)?;
         for (t, l) in branch_tokens.iter_mut().zip(&logits) {
             let next = l
@@ -61,9 +63,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let stats = engine.plan_stats();
     println!(
         "scheduler: {} plans computed, {} reused across layers ({} layers/step amortized)",
-        stats.plans_computed,
-        stats.plan_cache_hits,
-        cfg.num_layers
+        stats.plans_computed, stats.plan_cache_hits, cfg.num_layers
     );
     Ok(())
 }

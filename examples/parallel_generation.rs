@@ -15,10 +15,10 @@ use flashinfer::core::variant::{VanillaAttention, VariantParams};
 use flashinfer::gpusim::GpuSpec;
 use flashinfer::serving::backend::FlashInferBackend;
 use flashinfer::serving::engine::{Engine, EngineConfig, Request};
+use flashinfer::serving::model::ModelConfig;
 use flashinfer::serving::workload::RequestSpec;
 use flashinfer::sparse::bsr::{BlockEntry, BlockSparseMatrix};
 use flashinfer::sparse::composable::{ComposableFormat, PrefixGroup};
-use flashinfer::serving::model::ModelConfig;
 use flashinfer::tensor::numerics::max_abs_diff;
 use flashinfer::tensor::{RaggedTensor, Tensor};
 
@@ -38,8 +38,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let prefix_base = |g: usize| g * PREFIX;
     let unique_base = |b: usize| GROUPS * PREFIX + b * UNIQUE;
     let cols = GROUPS * PREFIX + rows * UNIQUE;
-    let k = Tensor::<f32>::from_fn(vec![cols, heads.kv_width()], |i| ((i * 7) as f32).sin() * 0.2);
-    let v = Tensor::<f32>::from_fn(vec![cols, heads.kv_width()], |i| ((i * 3) as f32).cos() * 0.3);
+    let k = Tensor::<f32>::from_fn(vec![cols, heads.kv_width()], |i| {
+        ((i * 7) as f32).sin() * 0.2
+    });
+    let v = Tensor::<f32>::from_fn(vec![cols, heads.kv_width()], |i| {
+        ((i * 3) as f32).cos() * 0.3
+    });
     let mut q = RaggedTensor::<f32>::from_seq_lens(&vec![1; rows], heads.qo_width());
     for (i, x) in q.as_tensor_mut().as_mut_slice().iter_mut().enumerate() {
         *x = ((i * 13) as f32).sin() * 0.25;
@@ -50,9 +54,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|b| {
             let g = b / BRANCHES;
             let mut blocks: Vec<BlockEntry> = (0..PREFIX)
-                .map(|i| BlockEntry { col_block: prefix_base(g) + i, len: 1 })
+                .map(|i| BlockEntry {
+                    col_block: prefix_base(g) + i,
+                    len: 1,
+                })
                 .collect();
-            blocks.extend((0..UNIQUE).map(|i| BlockEntry { col_block: unique_base(b) + i, len: 1 }));
+            blocks.extend((0..UNIQUE).map(|i| BlockEntry {
+                col_block: unique_base(b) + i,
+                len: 1,
+            }));
             (b, b + 1, blocks)
         })
         .collect();
@@ -64,14 +74,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             row_start: g * BRANCHES,
             row_end: (g + 1) * BRANCHES,
             prefix_blocks: (0..PREFIX)
-                .map(|i| BlockEntry { col_block: prefix_base(g) + i, len: 1 })
+                .map(|i| BlockEntry {
+                    col_block: prefix_base(g) + i,
+                    len: 1,
+                })
                 .collect(),
             unique: (0..BRANCHES)
                 .map(|r| {
                     let b = g * BRANCHES + r;
-                    (b, b + 1, (0..UNIQUE)
-                        .map(|i| BlockEntry { col_block: unique_base(b) + i, len: 1 })
-                        .collect())
+                    (
+                        b,
+                        b + 1,
+                        (0..UNIQUE)
+                            .map(|i| BlockEntry {
+                                col_block: unique_base(b) + i,
+                                len: 1,
+                            })
+                            .collect(),
+                    )
                 })
                 .collect(),
         })
@@ -86,23 +106,41 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Run the single format end-to-end.
-    let kern = FlashKernel { tile: TileConfig { tq: 1, tkv: 8 }, head_fusion: true };
+    let kern = FlashKernel {
+        tile: TileConfig { tq: 1, tkv: 8 },
+        head_fusion: true,
+    };
     let kv_lens = vec![kv_len; rows];
     let p_single = AttentionProblem::standard_batch(&q, &k, &v, &single, heads, &kv_lens)?;
     let out_single = kern.run(&p_single, &variant, &params)?;
 
     // Run each composable part and merge states with ⊕ (§2.2).
     let row_meta: Vec<RowMeta> = (0..rows)
-        .map(|b| RowMeta { batch_idx: b, qo_pos: 0, qo_len: 1, kv_len })
+        .map(|b| RowMeta {
+            batch_idx: b,
+            qo_pos: 0,
+            qo_len: 1,
+            kv_len,
+        })
         .collect();
     let prefix_part = &composed.parts()[0];
     let suffix_part = &composed.parts()[1];
     let p_prefix = AttentionProblem::new(
-        &q, &k, &v, prefix_part, heads, row_meta.clone(),
+        &q,
+        &k,
+        &v,
+        prefix_part,
+        heads,
+        row_meta.clone(),
         vec![0; prefix_part.n_block_rows()], // prefix positions start at 0
     )?;
     let p_suffix = AttentionProblem::new(
-        &q, &k, &v, suffix_part, heads, row_meta,
+        &q,
+        &k,
+        &v,
+        suffix_part,
+        heads,
+        row_meta,
         vec![PREFIX; suffix_part.n_block_rows()], // suffix positions follow the prefix
     )?;
     let out_prefix = kern.run(&p_prefix, &variant, &params)?;
@@ -146,13 +184,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cfg = EngineConfig::for_gpu(&spec, &model);
         Engine::new(FlashInferBackend { composable }, model, spec, cfg).serve(&reqs)
     };
-    let on = run(true);
-    let off = run(false);
+    let on = run(true).itl_summary();
+    let off = run(false).itl_summary();
     println!(
         "n=8 parallel generation: median ITL {:.2} ms (composable) vs {:.2} ms (single) -> {:.1}% reduction",
-        on.median_itl() * 1e3,
-        off.median_itl() * 1e3,
-        (1.0 - on.median_itl() / off.median_itl()) * 100.0
+        on.percentile(50.0) * 1e3,
+        off.percentile(50.0) * 1e3,
+        (1.0 - on.percentile(50.0) / off.percentile(50.0)) * 100.0
     );
     Ok(())
 }

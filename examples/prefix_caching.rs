@@ -9,7 +9,12 @@ use flashinfer::kvcache::paged::{PagedKvCache, PagedKvConfig};
 use flashinfer::kvcache::RadixTree;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = PagedKvConfig { page_size: 4, num_pages: 256, num_kv_heads: 2, head_dim: 8 };
+    let cfg = PagedKvConfig {
+        page_size: 4,
+        num_pages: 256,
+        num_kv_heads: 2,
+        head_dim: 8,
+    };
     let mut cache = PagedKvCache::<f32>::new(cfg)?;
     let mut tree = RadixTree::new();
 
@@ -35,12 +40,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // 2. Adopt the cached pages (full pages only — partial tail pages
         //    would be shared-mutable) and prefill the rest.
         let full = hit.matched_tokens / cfg.page_size * cfg.page_size;
-        let adopted_pages: Vec<usize> =
-            hit.slots[..full].chunks(cfg.page_size).map(|c| c[0] / cfg.page_size).collect();
+        let adopted_pages: Vec<usize> = hit.slots[..full]
+            .chunks(cfg.page_size)
+            .map(|c| c[0] / cfg.page_size)
+            .collect();
         cache.add_request_with_prefix(id, adopted_pages, full)?;
         let new_tokens = &tokens[full..];
         for &t in new_tokens {
-            let row: Vec<f32> = (0..cfg.row_width()).map(|j| (t as f32 + j as f32) * 1e-3).collect();
+            let row: Vec<f32> = (0..cfg.row_width())
+                .map(|j| (t as f32 + j as f32) * 1e-3)
+                .collect();
             cache.append(id, &row, &row)?;
         }
         total_prefilled += new_tokens.len();
@@ -77,18 +86,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         total_reused,
         total_reused as f64 / (total_prefilled + total_reused) as f64 * 100.0
     );
-    println!("radix tree: {} cached tokens in {} nodes", tree.cached_tokens(), tree.node_count());
+    println!(
+        "radix tree: {} cached tokens in {} nodes",
+        tree.cached_tokens(),
+        tree.node_count()
+    );
 
     // Requests complete: their references drop, but the tree's references
     // keep the cached pages alive. Then evict cold entries under pressure.
     for uid in 0..users.len() as u64 {
         cache.remove_request(uid)?;
     }
-    println!("after request completion: {} free pages (cache pins the rest)", cache.free_page_count());
+    println!(
+        "after request completion: {} free pages (cache pins the rest)",
+        cache.free_page_count()
+    );
     let freed_slots = tree.evict_lru(16);
     // Drop the tree's reference on every page it fully released.
-    let mut evicted_pages: Vec<usize> =
-        freed_slots.iter().map(|s| s / cfg.page_size).collect();
+    let mut evicted_pages: Vec<usize> = freed_slots.iter().map(|s| s / cfg.page_size).collect();
     evicted_pages.sort_unstable();
     evicted_pages.dedup();
     evicted_pages

@@ -1,19 +1,19 @@
 //! Quickstart: serve a small batch of requests through the full
 //! FlashInfer-rs stack — paged KV-cache, block-sparse layout, the
-//! load-balanced plan/run wrapper — and check the result against naive
+//! load-balanced plan/run pipeline — and check the result against naive
 //! attention.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
+use flashinfer::core::arch::Arch;
 use flashinfer::core::config::HeadConfig;
 use flashinfer::core::kernel::{AttentionProblem, FlashKernel};
 use flashinfer::core::reference::reference_attention;
 use flashinfer::core::tiles::{select_tile, SmResources};
 use flashinfer::core::variant::{VanillaAttention, VariantParams};
 use flashinfer::kvcache::paged::{PagedKvCache, PagedKvConfig};
+use flashinfer::sched::pipeline::{AttentionPipeline, SchedulePolicy};
 use flashinfer::sched::plan::CostModel;
-use flashinfer::sched::workspace::{Workspace, WorkspaceLayout};
-use flashinfer::sched::wrapper::{BatchAttentionHandler, SchedulePolicy};
 use flashinfer::tensor::numerics::max_abs_diff;
 use flashinfer::tensor::RaggedTensor;
 
@@ -36,8 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let id = i as u64;
         cache.add_request(id)?;
         for pos in 0..len {
-            let kv_row: Vec<f32> =
-                (0..cfg.row_width()).map(|j| ((pos * 31 + j * 7 + i) as f32).sin() * 0.3).collect();
+            let kv_row: Vec<f32> = (0..cfg.row_width())
+                .map(|j| ((pos * 31 + j * 7 + i) as f32).sin() * 0.3)
+                .collect();
             cache.append(id, &kv_row, &kv_row)?;
         }
     }
@@ -61,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         layout.nnz_blocks()
     );
 
-    // 4. plan + run through the load-balanced scheduler (Listing 1).
+    // 4. plan + run through the shared attention pipeline (Listing 1).
+    // The pipeline owns the workspace (grown on demand, never shrunk) and
+    // a shape-keyed plan cache, so replanning the same decode shapes —
+    // e.g. across a model's layers — is a cache hit.
     let problem = AttentionProblem::standard_batch(
         &q,
         cache.k_pool(),
@@ -70,28 +74,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         heads,
         &kv_lens,
     )?;
-    let workspace = Workspace::allocate(WorkspaceLayout::compute(
-        tile.tq,
-        heads.num_qo_heads,
-        heads.head_dim,
-        16,
-        1024,
-    ));
-    let mut handler = BatchAttentionHandler::new(
-        FlashKernel { tile, head_fusion: true },
+    let mut pipeline = AttentionPipeline::new(
+        FlashKernel {
+            tile,
+            head_fusion: true,
+        },
         16,
         CostModel::default(),
         SchedulePolicy::Balanced,
-        workspace,
+        Arch::Ampere,
     )?;
-    let plan = handler.plan(&layout, heads.num_qo_heads, heads.head_dim)?;
+    let plan = pipeline.plan(&layout, heads.num_qo_heads, heads.head_dim)?;
     println!(
         "plan: {} work items on 16 CTAs, {} split tiles, balance {:.2}",
         plan.num_items(),
         plan.merge_groups.len(),
         plan.balance()
     );
-    let out = handler.run(&problem, &variant, &params)?;
+    let out = pipeline.run(&problem, &variant, &params)?;
+    println!(
+        "plan cache: {} computed, {} hits",
+        pipeline.stats().plans_computed,
+        pipeline.stats().plan_cache_hits
+    );
 
     // 5. Verify against naive attention, request by request.
     for (i, &len) in kv_lens.iter().enumerate() {

@@ -39,8 +39,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // KV = context + one entry per tree node; queries = the tree nodes.
     let l_kv = prefix_len + n_nodes;
-    let k = Tensor::<f32>::from_fn(vec![l_kv, heads.kv_width()], |i| ((i * 11) as f32).sin() * 0.2);
-    let v = Tensor::<f32>::from_fn(vec![l_kv, heads.kv_width()], |i| ((i * 5) as f32).cos() * 0.3);
+    let k = Tensor::<f32>::from_fn(vec![l_kv, heads.kv_width()], |i| {
+        ((i * 11) as f32).sin() * 0.2
+    });
+    let v = Tensor::<f32>::from_fn(vec![l_kv, heads.kv_width()], |i| {
+        ((i * 5) as f32).cos() * 0.3
+    });
     let mut q = RaggedTensor::<f32>::from_seq_lens(&[n_nodes], heads.qo_width());
     for (i, x) in q.as_tensor_mut().as_mut_slice().iter_mut().enumerate() {
         *x = ((i * 17) as f32).sin() * 0.3;
@@ -56,19 +60,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         layout.nnz_blocks()
     );
 
-    let variant = CustomMaskAttention { masks: vec![mask.clone()] };
+    let variant = CustomMaskAttention {
+        masks: vec![mask.clone()],
+    };
     // Tree queries are simultaneous draft tokens: give every node the full
     // kv_len context so the custom mask is the only source of visibility.
     let row_meta: Vec<RowMeta> = (0..n_nodes)
-        .map(|qo_pos| RowMeta { batch_idx: 0, qo_pos, qo_len: n_nodes, kv_len: l_kv })
+        .map(|qo_pos| RowMeta {
+            batch_idx: 0,
+            qo_pos,
+            qo_len: n_nodes,
+            kv_len: l_kv,
+        })
         .collect();
     let offsets = vec![0; layout.n_block_rows()];
     let problem = AttentionProblem::new(&q, &k, &v, &layout, heads, row_meta, offsets)?;
-    let kern = FlashKernel { tile: TileConfig { tq: 4, tkv: 8 }, head_fusion: true };
+    let kern = FlashKernel {
+        tile: TileConfig { tq: 4, tkv: 8 },
+        head_fusion: true,
+    };
     let out = kern.run(&problem, &variant, &params)?;
 
     // Reference check.
-    let r = reference_attention(&variant, &params, heads, 0, q.seq(0), k.as_slice(), v.as_slice());
+    let r = reference_attention(
+        &variant,
+        &params,
+        heads,
+        0,
+        q.seq(0),
+        k.as_slice(),
+        v.as_slice(),
+    );
     let diff = max_abs_diff(out.o.seq(0), &r.o);
     println!("tree attention kernel vs reference: max diff = {diff:.2e}");
     assert!(diff < 1e-5);
@@ -77,8 +99,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // node must differ from its parent (it additionally sees itself).
     let d = heads.head_dim;
     let node_out = |n: usize| &out.o.seq(0)[n * heads.qo_width()..n * heads.qo_width() + d];
-    assert!(max_abs_diff(node_out(1), node_out(2)) > 1e-6, "siblings attend differently");
-    assert!(max_abs_diff(node_out(0), node_out(1)) > 1e-6, "child != parent");
+    assert!(
+        max_abs_diff(node_out(1), node_out(2)) > 1e-6,
+        "siblings attend differently"
+    );
+    assert!(
+        max_abs_diff(node_out(0), node_out(1)) > 1e-6,
+        "child != parent"
+    );
     println!("ok: one kernel call scored all {n_nodes} draft nodes under the tree mask.");
     Ok(())
 }

@@ -46,12 +46,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         1,
         cache_len,
         8,
-        vec![(0, 1, (0..4).map(|c| BlockEntry { col_block: c, len: 8 }).collect())],
+        vec![(
+            0,
+            1,
+            (0..4)
+                .map(|c| BlockEntry {
+                    col_block: c,
+                    len: 8,
+                })
+                .collect(),
+        )],
     )?;
     let problem = AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[cache_len])?;
-    let kern = FlashKernel { tile: TileConfig { tq: 1, tkv: 16 }, head_fusion: true };
+    let kern = FlashKernel {
+        tile: TileConfig { tq: 1, tkv: 16 },
+        head_fusion: true,
+    };
     let out = kern.run(&problem, &fused, &params)?;
-    let r = reference_attention(&fused, &params, heads, 0, q.seq(0), k.as_slice(), v.as_slice());
+    let r = reference_attention(
+        &fused,
+        &params,
+        heads,
+        0,
+        q.seq(0),
+        k.as_slice(),
+        v.as_slice(),
+    );
     println!(
         "fused-RoPE kernel vs reference: max diff = {:.2e}",
         max_abs_diff(out.o.seq(0), &r.o)
@@ -62,13 +82,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let model = ModelConfig::VICUNA_13B;
     let spec = GpuSpec::A100_40G;
     println!("\nVicuna-13B Streaming-LLM inter-token latency (batch 8):");
-    println!("{:<10} {:>10} {:>10} {:>10} {:>12}", "window", "fused", "unfused", "original", "reduction");
+    println!(
+        "{:<10} {:>10} {:>10} {:>10} {:>12}",
+        "window", "fused", "unfused", "original", "reduction"
+    );
     for window in [256usize, 512, 1024, 2048] {
         let t = |mode| {
-            let cfg = StreamingLlmConfig { sink_tokens: 4, window, mode };
+            let cfg = StreamingLlmConfig {
+                sink_tokens: 4,
+                window,
+                mode,
+            };
             streaming_itl(&cfg, &model, &spec, 8) * 1e3
         };
-        let (f, u, o) = (t(RopeMode::Fused), t(RopeMode::Unfused), t(RopeMode::Original));
+        let (f, u, o) = (
+            t(RopeMode::Fused),
+            t(RopeMode::Unfused),
+            t(RopeMode::Original),
+        );
         println!(
             "{:<10} {f:>9.2}ms {u:>9.2}ms {o:>9.2}ms {:>11.1}%",
             window,
@@ -76,7 +107,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let cfg = StreamingLlmConfig { sink_tokens: 4, window: 1024, mode: RopeMode::Fused };
+    let cfg = StreamingLlmConfig {
+        sink_tokens: 4,
+        window: 1024,
+        mode: RopeMode::Fused,
+    };
     let (fu, un) = rope_attention_bandwidth_util(&cfg, &model, &spec, 8);
     println!(
         "\nkernel bandwidth utilization at window 1024: fused {:.2} vs unfused {:.2} ({:.1}x)",

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, lints, and the full test suite.
+# Usage: scripts/ci.sh [--release]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+PROFILE_FLAGS=()
+if [[ "${1:-}" == "--release" ]]; then
+  PROFILE_FLAGS+=(--release)
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, warnings are errors)"
+cargo clippy --workspace --all-targets "${PROFILE_FLAGS[@]}" -- -D warnings
+
+echo "==> cargo test"
+cargo test -q --workspace "${PROFILE_FLAGS[@]}"
+
+echo "CI OK"

@@ -22,8 +22,8 @@
 
 pub use fi_core as core;
 pub use fi_gpusim as gpusim;
-pub use fi_model as model;
 pub use fi_kvcache as kvcache;
+pub use fi_model as model;
 pub use fi_sched as sched;
 pub use fi_serving as serving;
 pub use fi_sparse as sparse;

@@ -3,15 +3,17 @@
 //! re-plan but never move workspace sections or change grid sizes, so a
 //! captured graph replays across a whole generation (§3.3.1, App. D.1).
 
+use flashinfer::core::arch::Arch;
 use flashinfer::core::config::HeadConfig;
 use flashinfer::core::kernel::{AttentionProblem, FlashKernel};
 use flashinfer::core::tiles::TileConfig;
 use flashinfer::core::variant::{VanillaAttention, VariantParams};
-use flashinfer::gpusim::graph::{step_ops, CudaGraph};
+use flashinfer::gpusim::graph::{capture_pipeline_step, pipeline_step_ops, CudaGraph};
 use flashinfer::kvcache::paged::{PagedKvCache, PagedKvConfig};
+use flashinfer::sched::pipeline::{AttentionPipeline, SchedulePolicy};
 use flashinfer::sched::plan::CostModel;
 use flashinfer::sched::workspace::{Workspace, WorkspaceLayout};
-use flashinfer::sched::wrapper::{BatchAttentionHandler, SchedulePolicy};
+use flashinfer::sched::wrapper::BatchAttentionHandler;
 use flashinfer::tensor::RaggedTensor;
 
 #[test]
@@ -23,25 +25,38 @@ fn generation_loop_replays_one_captured_graph() {
     let num_ctas = 8;
     let num_layers = 4;
 
-    // Upper-bound workspace, fixed for the whole serving lifetime.
-    let layout_ws = WorkspaceLayout::compute(tile.tq, heads.num_qo_heads, heads.head_dim, num_ctas, 1 << 12);
-    let ws = Workspace::allocate(layout_ws);
-    let mut handler = BatchAttentionHandler::new(
-        FlashKernel { tile, head_fusion: true },
+    // One pipeline for the whole serving lifetime. Reserve the workspace
+    // up front: capture will freeze it, so the sections must already be
+    // big enough for every later step.
+    let mut pipeline = AttentionPipeline::new(
+        FlashKernel {
+            tile,
+            head_fusion: true,
+        },
         num_ctas,
         CostModel::default(),
         SchedulePolicy::Balanced,
-        ws,
+        Arch::Ampere,
     )
     .unwrap();
+    pipeline
+        .reserve(tile.tq, heads.num_qo_heads, heads.head_dim, 1 << 12)
+        .unwrap();
 
-    let cfg = PagedKvConfig { page_size: 4, num_pages: 128, num_kv_heads: 1, head_dim: 8 };
+    let cfg = PagedKvConfig {
+        page_size: 4,
+        num_pages: 128,
+        num_kv_heads: 1,
+        head_dim: 8,
+    };
     let mut cache = PagedKvCache::<f32>::new(cfg).unwrap();
     let batch: Vec<u64> = (0..3).collect();
     for &id in &batch {
         cache.add_request(id).unwrap();
         for p in 0..10 + id as usize * 7 {
-            let row: Vec<f32> = (0..cfg.row_width()).map(|j| (p + j) as f32 * 0.01).collect();
+            let row: Vec<f32> = (0..cfg.row_width())
+                .map(|j| (p + j) as f32 * 0.01)
+                .collect();
             cache.append(id, &row, &row).unwrap();
         }
     }
@@ -51,28 +66,29 @@ fn generation_loop_replays_one_captured_graph() {
     for step in 0..6 {
         // Every step appends one token per request: lengths change.
         for &id in &batch {
-            let row: Vec<f32> = (0..cfg.row_width()).map(|j| (step + j) as f32 * 0.02).collect();
+            let row: Vec<f32> = (0..cfg.row_width())
+                .map(|j| (step + j) as f32 * 0.02)
+                .collect();
             cache.append(id, &row, &row).unwrap();
         }
         let qo_lens = vec![1usize; batch.len()];
-        let kv_lens: Vec<usize> =
-            batch.iter().map(|&id| cache.seq_len(id).unwrap()).collect();
+        let kv_lens: Vec<usize> = batch.iter().map(|&id| cache.seq_len(id).unwrap()).collect();
         let pt = cache.page_table(&batch).unwrap();
         let bsr = pt.to_bsr(&qo_lens, tile.tq).unwrap();
 
         // plan() is CPU-side and not captured; run() is.
-        handler.plan(&bsr, heads.num_qo_heads, heads.head_dim).unwrap();
-        let ops = step_ops(
-            num_layers,
-            num_ctas,
-            layout_ws.metadata_offset,
-            layout_ws.partials_offset,
-            "fa2_vanilla_f32",
-        );
+        pipeline
+            .plan(&bsr, heads.num_qo_heads, heads.head_dim)
+            .unwrap();
         if !graph.is_captured() {
-            graph.capture(ops.clone());
+            // Capture freezes the workspace and pins the plan's cache entry.
+            capture_pipeline_step(&mut graph, &mut pipeline, num_layers, "fa2_vanilla_f32");
+            assert!(pipeline.is_frozen());
         }
-        graph.replay(&ops).expect("replay must survive per-step length dynamism");
+        let ops = pipeline_step_ops(&pipeline, num_layers, "fa2_vanilla_f32");
+        graph
+            .replay(&ops)
+            .expect("replay must survive per-step length dynamism");
 
         let mut q = RaggedTensor::<f32>::from_seq_lens(&qo_lens, heads.qo_width());
         for (i, x) in q.as_tensor_mut().as_mut_slice().iter_mut().enumerate() {
@@ -87,7 +103,7 @@ fn generation_loop_replays_one_captured_graph() {
             &kv_lens,
         )
         .unwrap();
-        let out = handler.run(&problem, &variant, &params).unwrap();
+        let out = pipeline.run(&problem, &variant, &params).unwrap();
         let sum: f32 = out.o.as_tensor().as_slice().iter().sum();
         assert!(sum.is_finite());
         // Outputs must change across steps (new tokens, new lengths).
@@ -97,8 +113,10 @@ fn generation_loop_replays_one_captured_graph() {
         prev_out_sum = Some(sum);
     }
     assert_eq!(graph.replay_count(), 6);
-    // The handler re-planned each step (lengths changed every step).
-    assert_eq!(handler.stats().plans_computed, 6);
+    // The pipeline re-planned each step (lengths changed every step).
+    assert_eq!(pipeline.stats().plans_computed, 6);
+    // The captured step's plan is pinned and survives cache pressure.
+    assert!(pipeline.cache().len() >= 1);
 }
 
 #[test]
@@ -110,11 +128,18 @@ fn determinism_across_replans() {
     let variant = VanillaAttention { causal: true };
     let tile = TileConfig { tq: 1, tkv: 4 };
 
-    let cfg = PagedKvConfig { page_size: 4, num_pages: 64, num_kv_heads: 1, head_dim: 8 };
+    let cfg = PagedKvConfig {
+        page_size: 4,
+        num_pages: 64,
+        num_kv_heads: 1,
+        head_dim: 8,
+    };
     let mut cache = PagedKvCache::<f32>::new(cfg).unwrap();
     cache.add_request(0).unwrap();
     for p in 0..50 {
-        let row: Vec<f32> = (0..cfg.row_width()).map(|j| ((p * 13 + j) as f32).sin()).collect();
+        let row: Vec<f32> = (0..cfg.row_width())
+            .map(|j| ((p * 13 + j) as f32).sin())
+            .collect();
         cache.append(0, &row, &row).unwrap();
     }
     let pt = cache.page_table(&[0]).unwrap();
@@ -123,20 +148,17 @@ fn determinism_across_replans() {
     for (i, x) in q.as_tensor_mut().as_mut_slice().iter_mut().enumerate() {
         *x = (i as f32 * 0.3).cos();
     }
-    let problem = AttentionProblem::standard_batch(
-        &q,
-        cache.k_pool(),
-        cache.v_pool(),
-        &bsr,
-        heads,
-        &[50],
-    )
-    .unwrap();
+    let problem =
+        AttentionProblem::standard_batch(&q, cache.k_pool(), cache.v_pool(), &bsr, heads, &[50])
+            .unwrap();
 
     let run_once = || {
         let ws = Workspace::allocate(WorkspaceLayout::compute(1, 2, 8, 16, 1 << 12));
         let mut h = BatchAttentionHandler::new(
-            FlashKernel { tile, head_fusion: true },
+            FlashKernel {
+                tile,
+                head_fusion: true,
+            },
             16,
             CostModel::default(),
             SchedulePolicy::Balanced,
@@ -148,6 +170,10 @@ fn determinism_across_replans() {
     };
     let a = run_once();
     let b = run_once();
-    assert_eq!(a.o.as_tensor().as_slice(), b.o.as_tensor().as_slice(), "bitwise determinism");
+    assert_eq!(
+        a.o.as_tensor().as_slice(),
+        b.o.as_tensor().as_slice(),
+        "bitwise determinism"
+    );
     assert_eq!(a.lse, b.lse);
 }

@@ -9,8 +9,8 @@ use flashinfer::core::kernel::{AttentionProblem, FlashKernel};
 use flashinfer::core::reference::reference_attention;
 use flashinfer::core::tiles::TileConfig;
 use flashinfer::core::variant::{
-    AttentionVariant, SigmoidAttention, SlidingWindowAttention, SoftCapAttention,
-    VanillaAttention, VariantParams,
+    AttentionVariant, SigmoidAttention, SlidingWindowAttention, SoftCapAttention, VanillaAttention,
+    VariantParams,
 };
 use flashinfer::kvcache::paged::{PagedKvCache, PagedKvConfig};
 use flashinfer::sched::plan::CostModel;
@@ -20,7 +20,9 @@ use flashinfer::tensor::numerics::allclose;
 use flashinfer::tensor::{RaggedTensor, Scalar, F16};
 
 fn mix(i: usize, salt: u64) -> f32 {
-    let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(salt);
+    let x = (i as u64)
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(salt);
     ((x >> 33) as f32 / (1u64 << 31) as f32) - 0.5
 }
 
@@ -60,12 +62,22 @@ fn build_case<T: Scalar>(
 }
 
 /// Gather a request's K or V rows in sequence order (for the reference).
-fn gather<T: Scalar>(cache: &PagedKvCache<T>, ids: &[u64], b: usize, len: usize, value: bool) -> Vec<T> {
+fn gather<T: Scalar>(
+    cache: &PagedKvCache<T>,
+    ids: &[u64],
+    b: usize,
+    len: usize,
+    value: bool,
+) -> Vec<T> {
     let pt = cache.page_table(ids).unwrap();
     (0..len)
         .flat_map(|pos| {
             let s = pt.slot_of(b, pos);
-            if value { cache.v_slot(s).to_vec() } else { cache.k_slot(s).to_vec() }
+            if value {
+                cache.v_slot(s).to_vec()
+            } else {
+                cache.k_slot(s).to_vec()
+            }
         })
         .collect()
 }
@@ -100,14 +112,19 @@ fn run_pipeline<T: Scalar>(
         1 << 14,
     ));
     let mut handler = BatchAttentionHandler::new(
-        FlashKernel { tile, head_fusion: true },
+        FlashKernel {
+            tile,
+            head_fusion: true,
+        },
         24,
         CostModel::default(),
         policy,
         ws,
     )
     .unwrap();
-    handler.plan(&layout, heads.num_qo_heads, heads.head_dim).unwrap();
+    handler
+        .plan(&layout, heads.num_qo_heads, heads.head_dim)
+        .unwrap();
     let out = handler.run(&problem, variant, params).unwrap();
 
     for b in 0..kv_lens.len() {
@@ -162,9 +179,18 @@ fn every_variant_through_the_full_stack() {
     let variants: Vec<(Box<dyn AttentionVariant>, VariantParams)> = vec![
         (Box::new(VanillaAttention { causal: true }), base.clone()),
         (Box::new(VanillaAttention { causal: false }), base.clone()),
-        (Box::new(SlidingWindowAttention { window: 16, sink_tokens: 4 }), base.clone()),
+        (
+            Box::new(SlidingWindowAttention {
+                window: 16,
+                sink_tokens: 4,
+            }),
+            base.clone(),
+        ),
         (Box::new(SoftCapAttention { cap: 20.0 }), base.clone()),
-        (Box::new(SigmoidAttention), base.clone().with_extra("bias", -0.5)),
+        (
+            Box::new(SigmoidAttention),
+            base.clone().with_extra("bias", -0.5),
+        ),
     ];
     for (v, p) in variants {
         run_pipeline::<f32>(

@@ -1,0 +1,141 @@
+//! Integration: the shared `AttentionPipeline` (§3.4's plan-once /
+//! run-many contract). Covers the shape-keyed plan cache (layer reuse,
+//! permutation hits, length misses), the monotonically growing workspace,
+//! and cross-path equivalence: the serving backend's kernel pricing must
+//! equal executing the same pipeline-planned schedule directly on the
+//! GPU simulator.
+
+use flashinfer::core::arch::Arch;
+use flashinfer::core::kernel::FlashKernel;
+use flashinfer::core::tiles::TileConfig;
+use flashinfer::gpusim::exec::{execute_plan, ExecContext};
+use flashinfer::gpusim::GpuSpec;
+use flashinfer::sched::pipeline::{AttentionPipeline, SchedulePolicy};
+use flashinfer::sched::plan::CostModel;
+use flashinfer::serving::backend::attention_kernel_time_with_ctas;
+use flashinfer::serving::costlayout::{cost_layout, decode_items};
+use flashinfer::serving::model::ModelConfig;
+use flashinfer::sparse::bsr::{BlockEntry, BlockSparseMatrix};
+
+fn layout_for(kv_lens: &[usize], bc: usize) -> BlockSparseMatrix {
+    let total_blocks: usize = kv_lens.iter().map(|l| l.div_ceil(bc)).sum();
+    let mut rows = Vec::new();
+    let mut page = 0usize;
+    for (i, &l) in kv_lens.iter().enumerate() {
+        let n = l.div_ceil(bc);
+        let entries: Vec<BlockEntry> = (0..n)
+            .map(|p| BlockEntry {
+                col_block: page + p,
+                len: if p + 1 == n && l % bc != 0 {
+                    l % bc
+                } else {
+                    bc
+                },
+            })
+            .collect();
+        rows.push((i, i + 1, entries));
+        page += n;
+    }
+    BlockSparseMatrix::new(kv_lens.len(), total_blocks * bc, bc, rows).unwrap()
+}
+
+fn pipeline(num_ctas: usize) -> AttentionPipeline {
+    AttentionPipeline::new(
+        FlashKernel {
+            tile: TileConfig { tq: 1, tkv: 8 },
+            head_fusion: true,
+        },
+        num_ctas,
+        CostModel::default(),
+        SchedulePolicy::Balanced,
+        Arch::Ampere,
+    )
+    .unwrap()
+}
+
+#[test]
+fn same_shape_across_layers_builds_one_plan() {
+    let mut p = pipeline(8);
+    let layout = layout_for(&[97, 3, 41, 200], 2);
+    for _ in 0..8 {
+        p.plan(&layout, 2, 8).unwrap();
+    }
+    assert_eq!(
+        p.stats().plans_computed,
+        1,
+        "one schedule serves all layers"
+    );
+    assert_eq!(p.stats().plan_cache_hits, 7);
+}
+
+#[test]
+fn permuted_request_order_is_a_cache_hit() {
+    let mut p = pipeline(8);
+    p.plan(&layout_for(&[64, 16, 128], 2), 2, 8).unwrap();
+    // The same multiset of shapes arriving in a different order reuses
+    // the cached schedule (remapped), rather than replanning.
+    p.plan(&layout_for(&[128, 64, 16], 2), 2, 8).unwrap();
+    assert_eq!(p.stats().plans_computed, 1);
+    assert_eq!(p.stats().plan_cache_hits, 1);
+}
+
+#[test]
+fn length_change_is_a_cache_miss() {
+    let mut p = pipeline(8);
+    p.plan(&layout_for(&[64, 16, 128], 2), 2, 8).unwrap();
+    p.plan(&layout_for(&[64, 16, 129], 2), 2, 8).unwrap();
+    assert_eq!(p.stats().plans_computed, 2);
+    assert_eq!(p.stats().plan_cache_hits, 0);
+    // Both distinct shapes are cached now; revisiting either hits.
+    p.plan(&layout_for(&[64, 16, 128], 2), 2, 8).unwrap();
+    assert_eq!(p.stats().plans_computed, 2);
+    assert_eq!(p.stats().plan_cache_hits, 1);
+}
+
+#[test]
+fn workspace_grows_monotonically_across_steps() {
+    let mut p = pipeline(8);
+    let mut sizes = Vec::new();
+    for kv in [4usize, 600, 16, 1200, 8] {
+        p.plan(&layout_for(&[kv; 3], 2), 2, 8).unwrap();
+        sizes.push(p.workspace().layout().total_len);
+    }
+    for w in sizes.windows(2) {
+        assert!(w[1] >= w[0], "workspace shrank: {sizes:?}");
+    }
+    assert_eq!(
+        sizes.last(),
+        sizes.iter().max(),
+        "largest batch bounds the buffer"
+    );
+}
+
+#[test]
+fn backend_step_time_matches_direct_plan_execution() {
+    // The FlashInfer serving backend prices an attention launch through
+    // the shared pipeline; executing the same planned schedule directly
+    // on the simulator must give the identical makespan.
+    let model = ModelConfig::LLAMA3_8B;
+    let spec = GpuSpec::H100_80G;
+    let heads = model.heads();
+    let lens = vec![1024usize, 87, 4096, 512];
+    let items = decode_items(&lens, heads.num_kv_heads);
+    let tile = TileConfig { tq: 16, tkv: 64 };
+    let via_backend =
+        attention_kernel_time_with_ctas(&items, &model, &spec, tile, true, 1.0, 64, spec.num_sms);
+
+    let layout = cost_layout(&items, 64);
+    let mut p =
+        AttentionPipeline::analytical(spec.num_sms, tile, SchedulePolicy::Balanced, Arch::Ampere)
+            .unwrap();
+    let plan = p.plan(&layout, 1, 1).unwrap().clone();
+    let mut ctx = ExecContext::new(spec, heads, tile);
+    ctx.heads_per_item = 1;
+    let direct = execute_plan(&plan, &layout, &ctx);
+
+    assert!(via_backend > 0.0);
+    assert_eq!(
+        via_backend, direct.makespan,
+        "shared pipeline and direct execution diverge"
+    );
+}

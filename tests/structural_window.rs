@@ -24,7 +24,10 @@ fn structural_window_matches_masked_full_attention() {
     let params = VariantParams::for_head_dim(8);
     let window = 24usize;
     let sink = 4usize;
-    let variant = SlidingWindowAttention { window, sink_tokens: sink };
+    let variant = SlidingWindowAttention {
+        window,
+        sink_tokens: sink,
+    };
 
     // Two decode requests stored contiguously: lengths 200 and 57.
     let kv_lens = [200usize, 57];
@@ -36,13 +39,19 @@ fn structural_window_matches_masked_full_attention() {
     for (i, x) in q.as_tensor_mut().as_mut_slice().iter_mut().enumerate() {
         *x = mix(i, 3);
     }
-    let kern = FlashKernel { tile: TileConfig { tq: 1, tkv: 16 }, head_fusion: true };
+    let kern = FlashKernel {
+        tile: TileConfig { tq: 1, tkv: 16 },
+        head_fusion: true,
+    };
 
     // Full layout + mask: gathers everything, mask hides the middle.
     let full_rows: Vec<(usize, usize, Vec<BlockEntry>)> = (0..2)
         .map(|i| {
             let entries = (0..kv_lens[i])
-                .map(|p| BlockEntry { col_block: starts[i] + p, len: 1 })
+                .map(|p| BlockEntry {
+                    col_block: starts[i] + p,
+                    len: 1,
+                })
                 .collect();
             (i, i + 1, entries)
         })
@@ -61,8 +70,7 @@ fn structural_window_matches_masked_full_attention() {
     // the offset of each block row) yields identical visible sets when the
     // window region is block-aligned, so choose bc = 4 dividing all edges.
     let bc = 4usize;
-    let win_layout =
-        sliding_window_layout(pool, &starts, &kv_lens, window, sink, bc).unwrap();
+    let win_layout = sliding_window_layout(pool, &starts, &kv_lens, window, sink, bc).unwrap();
     // Positions: the kernel derives kv_pos from gather order + offset;
     // with a gap that numbering is wrong for the window part. Run each
     // request's parts separately and merge states instead.
@@ -71,10 +79,16 @@ fn structural_window_matches_masked_full_attention() {
     for i in 0..2 {
         let cols = win_layout.gather_columns(i);
         // Split the gather into sink part and window part.
-        let sink_cols: Vec<usize> =
-            cols.iter().copied().filter(|&c| c < starts[i] + sink).collect();
-        let win_cols: Vec<usize> =
-            cols.iter().copied().filter(|&c| c >= starts[i] + sink).collect();
+        let sink_cols: Vec<usize> = cols
+            .iter()
+            .copied()
+            .filter(|&c| c < starts[i] + sink)
+            .collect();
+        let win_cols: Vec<usize> = cols
+            .iter()
+            .copied()
+            .filter(|&c| c >= starts[i] + sink)
+            .collect();
         let win_first_pos = win_cols[0] - starts[i];
 
         let mut merged: Vec<AttentionState> = Vec::new();
@@ -86,8 +100,13 @@ fn structural_window_matches_masked_full_attention() {
             if part_cols.is_empty() {
                 continue;
             }
-            let entries: Vec<BlockEntry> =
-                part_cols.iter().map(|&c| BlockEntry { col_block: c, len: 1 }).collect();
+            let entries: Vec<BlockEntry> = part_cols
+                .iter()
+                .map(|&c| BlockEntry {
+                    col_block: c,
+                    len: 1,
+                })
+                .collect();
             let layout = BlockSparseMatrix::new(1, pool, 1, vec![(0, 1, entries)]).unwrap();
             let mut q1 = RaggedTensor::<f32>::from_seq_lens(&[1], heads.qo_width());
             q1.seq_mut(0).copy_from_slice(q.seq(i));
