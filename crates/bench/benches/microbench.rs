@@ -8,6 +8,7 @@ use fi_core::arch::Arch;
 use fi_core::config::HeadConfig;
 use fi_core::jit::{LogitsOp, VariantSpec};
 use fi_core::kernel::{AttentionProblem, FlashKernel};
+use fi_core::scratch::KernelScratch;
 use fi_core::state::AttentionState;
 use fi_core::tiles::TileConfig;
 use fi_core::variant::{AttentionVariant, LogitCtx, VanillaAttention, VariantParams};
@@ -116,6 +117,69 @@ fn bench_flash_kernel(c: &mut Criterion) {
     g.finish();
 }
 
+/// Isolates the scratch arena's contribution on the standard decode shape
+/// (8:2 heads, d=64, 1024 KV): `fresh_scratch_per_call` pays the seed's
+/// per-call allocation pattern, `reused_scratch` is the engine's steady
+/// state. `scripts/bench_snapshot.sh` records both into `BENCH_kernel.json`.
+fn bench_flash_kernel_scratch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("flash_kernel_scratch");
+    let heads = HeadConfig::new(8, 2, 64).unwrap();
+    let kv = 1024usize;
+    let mut q = RaggedTensor::<f32>::from_seq_lens(&[1], heads.qo_width());
+    for (i, x) in q.as_tensor_mut().as_mut_slice().iter_mut().enumerate() {
+        *x = (i as f32 * 0.01).sin();
+    }
+    let k = Tensor::<f32>::from_fn(vec![kv, heads.kv_width()], |i| (i as f32 * 0.001).cos());
+    let v = Tensor::<f32>::from_fn(vec![kv, heads.kv_width()], |i| (i as f32 * 0.002).sin());
+    let layout = BlockSparseMatrix::new(
+        1,
+        kv,
+        16,
+        vec![(
+            0,
+            1,
+            (0..kv / 16)
+                .map(|b| BlockEntry {
+                    col_block: b,
+                    len: 16,
+                })
+                .collect(),
+        )],
+    )
+    .unwrap();
+    let problem = AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[kv]).unwrap();
+    let kern = FlashKernel {
+        tile: TileConfig { tq: 1, tkv: 64 },
+        head_fusion: true,
+    };
+    let variant = VanillaAttention { causal: true };
+    let params = VariantParams::for_head_dim(64);
+    g.throughput(Throughput::Elements(
+        (kv * heads.num_qo_heads * heads.head_dim) as u64,
+    ));
+    g.bench_function("fresh_scratch_per_call", |b| {
+        b.iter(|| {
+            let mut scratch = KernelScratch::new();
+            std::hint::black_box(
+                kern.run_with_scratch(&problem, &variant, &params, &mut scratch)
+                    .unwrap(),
+            )
+        })
+    });
+    let mut scratch = KernelScratch::new();
+    kern.run_with_scratch(&problem, &variant, &params, &mut scratch)
+        .unwrap();
+    g.bench_function("reused_scratch", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                kern.run_with_scratch(&problem, &variant, &params, &mut scratch)
+                    .unwrap(),
+            )
+        })
+    });
+    g.finish();
+}
+
 fn bench_variant_dispatch(c: &mut Criterion) {
     let mut g = c.benchmark_group("variant_dispatch");
     let params = VariantParams::for_head_dim(128).with_extra("bias", -0.5);
@@ -210,6 +274,7 @@ criterion_group!(
     bench_state_merge,
     bench_plan,
     bench_flash_kernel,
+    bench_flash_kernel_scratch,
     bench_variant_dispatch,
     bench_paged_append,
     bench_radix_match,

@@ -24,6 +24,27 @@ pub struct GatherStats {
     pub scattered_runs: usize,
 }
 
+impl GatherStats {
+    /// Accumulate another accounting block into this one (used when folding
+    /// per-chunk kernel stats across schedule items and worker threads).
+    pub fn absorb(&mut self, other: &GatherStats) {
+        self.global_bytes += other.global_bytes;
+        self.rows += other.rows;
+        self.contiguous_runs += other.contiguous_runs;
+        self.scattered_runs += other.scattered_runs;
+    }
+}
+
+/// Widen a run of storage-precision elements into f32. For `T = f32` this
+/// compiles to a plain memcpy, so a contiguous slot run staged through it is
+/// one bulk copy (the software analog of a TMA transfer).
+#[inline]
+fn widen_into<T: Scalar>(dst: &mut [f32], src: &[T]) {
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = s.to_f32();
+    }
+}
+
 /// A reusable staging buffer: the software analog of a shared-memory KV
 /// tile.
 #[derive(Debug, Default)]
@@ -89,6 +110,65 @@ impl Stager {
         self.stats.scattered_runs += runs - contiguous;
         self.stats.contiguous_runs += contiguous;
         (&self.buf_k, &self.buf_v)
+    }
+
+    /// Stage full-width K and V rows at `slots` into caller-provided scratch
+    /// buffers — the stage-once-per-chunk hot path. One staged tile of width
+    /// `num_kv_heads * d` serves every query head of every group, so bytes,
+    /// rows, and runs are accounted once per chunk rather than once per
+    /// kv head (the old per-head staging overstated global reads by the
+    /// head-count factor).
+    ///
+    /// The buffers are overwritten (clear + resize), not appended; their
+    /// capacity grows monotonically, so repeated calls at steady state
+    /// allocate nothing. Contiguous slot runs are detected and copied whole
+    /// — one widening memcpy per run over the pool's flat storage — while
+    /// scattered slots degrade to single-row copies (Figure 4 left vs
+    /// right).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot is out of range or `width` is not the pools' row
+    /// width.
+    pub fn stage_rows_into<T: Scalar>(
+        &mut self,
+        k_pool: &Tensor<T>,
+        v_pool: &Tensor<T>,
+        slots: &[usize],
+        width: usize,
+        k_out: &mut Vec<f32>,
+        v_out: &mut Vec<f32>,
+    ) {
+        assert_eq!(k_pool.row_len(), width, "k pool width mismatch");
+        assert_eq!(v_pool.row_len(), width, "v pool width mismatch");
+        let n = slots.len();
+        k_out.clear();
+        v_out.clear();
+        k_out.resize(n * width, 0.0);
+        v_out.resize(n * width, 0.0);
+        let ks = k_pool.as_slice();
+        let vs = v_pool.as_slice();
+        let mut runs = 0usize;
+        let mut contiguous = 0usize;
+        let mut i = 0;
+        while i < n {
+            let mut j = i + 1;
+            while j < n && slots[j] == slots[j - 1] + 1 {
+                j += 1;
+            }
+            runs += 1;
+            if j - i > 1 {
+                contiguous += 1;
+            }
+            let src = slots[i] * width..(slots[i] + (j - i)) * width;
+            widen_into(&mut k_out[i * width..j * width], &ks[src.clone()]);
+            widen_into(&mut v_out[i * width..j * width], &vs[src]);
+            i = j;
+        }
+        self.stats.rows += n;
+        self.stats.global_bytes += 2 * n * width * T::DTYPE.size_bytes();
+        self.stats.scattered_runs += runs - contiguous;
+        self.stats.contiguous_runs += contiguous;
     }
 
     /// Accumulated statistics.
@@ -162,5 +242,75 @@ mod tests {
         let (tk, tv) = s.stage(&k, &v, &[], 0, 4);
         assert!(tk.is_empty() && tv.is_empty());
         assert_eq!(s.stats().rows, 0);
+    }
+
+    #[test]
+    fn stage_rows_into_writes_full_width_rows() {
+        let (k, v) = pools();
+        let mut s = Stager::new();
+        let (mut bk, mut bv) = (Vec::new(), Vec::new());
+        s.stage_rows_into(&k, &v, &[3, 1], 4, &mut bk, &mut bv);
+        assert_eq!(bk, vec![12.0, 13.0, 14.0, 15.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(bv[0], -12.0);
+        assert_eq!(s.stats().rows, 2);
+        // Full-width rows counted once: 2 tensors * 2 rows * 4 cols * 4 B.
+        assert_eq!(s.stats().global_bytes, 2 * 2 * 4 * 4);
+        // Buffers are overwritten on reuse, never appended.
+        s.stage_rows_into(&k, &v, &[0], 4, &mut bk, &mut bv);
+        assert_eq!(bk, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(bv.len(), 4);
+    }
+
+    #[test]
+    fn adjacent_pages_stage_as_one_contiguous_run() {
+        // A paged layout whose pages are physically adjacent in the pool:
+        // pages [1, 2] of size 2 yield slots [2,3,4,5] — one memcpy-able
+        // run, not four scattered row copies.
+        let (k, v) = pools();
+        let mut s = Stager::new();
+        let (mut bk, mut bv) = (Vec::new(), Vec::new());
+        s.stage_rows_into(&k, &v, &[2, 3, 4, 5], 4, &mut bk, &mut bv);
+        assert_eq!(s.stats().contiguous_runs, 1);
+        assert_eq!(s.stats().scattered_runs, 0);
+        assert_eq!(bk, (8..24).map(|i| i as f32).collect::<Vec<_>>());
+        assert_eq!(bv, (8..24).map(|i| -(i as f32)).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stage_rows_into_accounts_storage_dtype() {
+        let (k32, v32) = pools();
+        let k16 = k32.cast::<F16>();
+        let v16 = v32.cast::<F16>();
+        let mut s = Stager::new();
+        let (mut bk, mut bv) = (Vec::new(), Vec::new());
+        s.stage_rows_into(&k16, &v16, &[0, 1], 4, &mut bk, &mut bv);
+        assert_eq!(s.stats().global_bytes, 2 * 2 * 4 * 2);
+        assert_eq!(bk[5], 5.0, "f16 rows widen exactly for small ints");
+    }
+
+    #[test]
+    fn gather_stats_absorb_sums_fields() {
+        let mut a = GatherStats {
+            global_bytes: 10,
+            rows: 2,
+            contiguous_runs: 1,
+            scattered_runs: 0,
+        };
+        let b = GatherStats {
+            global_bytes: 5,
+            rows: 1,
+            contiguous_runs: 0,
+            scattered_runs: 1,
+        };
+        a.absorb(&b);
+        assert_eq!(
+            a,
+            GatherStats {
+                global_bytes: 15,
+                rows: 3,
+                contiguous_runs: 1,
+                scattered_runs: 1,
+            }
+        );
     }
 }

@@ -19,6 +19,15 @@
 //! The inner loop is the FlashAttention-2 online-softmax update: running
 //! max `m`, running denominator `l`, and unnormalized accumulator, all in
 //! f32 regardless of storage precision (Appendix F).
+//!
+//! The hot path is allocation-free: all intermediate buffers live in a
+//! caller-owned [`KernelScratch`]
+//! ([`FlashKernel::run_block_row_chunk_scratch`] /
+//! [`FlashKernel::run_with_scratch`]), each KV chunk is staged once at full
+//! kv width and shared by every query head of every group, and the inner
+//! loops run on the blocked microkernels in `fi_tensor::numerics`
+//! (`dot`/`axpy`/`scale_add`). The scratch-free entry points remain as
+//! thin per-thread-scratch wrappers.
 
 use fi_sparse::BlockSparseMatrix;
 use fi_tensor::{RaggedTensor, Scalar, Tensor};
@@ -26,9 +35,18 @@ use fi_tensor::{RaggedTensor, Scalar, Tensor};
 use crate::config::HeadConfig;
 use crate::error::AttentionError;
 use crate::gather::{GatherStats, Stager};
+use crate::scratch::KernelScratch;
 use crate::state::AttentionState;
 use crate::tiles::TileConfig;
 use crate::variant::{AttentionVariant, KeyCtx, LogitCtx, QueryCtx, VariantParams};
+
+std::thread_local! {
+    /// Per-thread scratch backing the allocation-unaware compatibility API
+    /// ([`FlashKernel::run`] / [`FlashKernel::run_block_row_chunk`]); the
+    /// schedulers thread their own [`KernelScratch`] instead.
+    static COMPAT_SCRATCH: std::cell::RefCell<KernelScratch> =
+        std::cell::RefCell::new(KernelScratch::new());
+}
 
 /// Per-query-row metadata the variant contexts need: which request the row
 /// belongs to and the request's logical lengths.
@@ -283,16 +301,21 @@ pub struct KernelStats {
 }
 
 impl KernelStats {
-    fn absorb(&mut self, other: &KernelStats) {
+    /// Fold another chunk's statistics into this accumulator — every field,
+    /// including the tile-path counters and gather detail. All schedule
+    /// executors (sequential, parallel, cascade) fold through this one
+    /// method so per-chunk accounting composes identically everywhere.
+    ///
+    /// Counters are per *staged* tile: under stage-once-across-heads a chunk
+    /// contributes one `kv_tiles` (and one tensor/CUDA-core tile) per KV
+    /// chunk, not one per kv head.
+    pub fn absorb(&mut self, other: &KernelStats) {
         self.flops += other.flops;
         self.global_bytes += other.global_bytes;
         self.kv_tiles += other.kv_tiles;
         self.tensor_core_tiles += other.tensor_core_tiles;
         self.cuda_core_tiles += other.cuda_core_tiles;
-        self.gather.global_bytes += other.gather.global_bytes;
-        self.gather.rows += other.gather.rows;
-        self.gather.contiguous_runs += other.gather.contiguous_runs;
-        self.gather.scattered_runs += other.gather.scattered_runs;
+        self.gather.absorb(&other.gather);
     }
 }
 
@@ -306,6 +329,27 @@ pub struct KernelOutput {
     /// non-softmax variants.
     pub lse: Vec<f32>,
     /// Execution statistics.
+    pub stats: KernelStats,
+}
+
+/// Shape and accounting of one executed (block row × KV chunk) work item.
+///
+/// The states themselves are NOT here: they live flat in the
+/// [`KernelScratch`] that executed the chunk (see
+/// [`KernelScratch::out_o`] / [`KernelScratch::out_lse`]), valid until its
+/// next use. This keeps the hot path allocation-free; callers that need
+/// owned states use [`KernelScratch::states`] or the compatibility wrapper
+/// [`FlashKernel::run_block_row_chunk`].
+#[derive(Debug, Clone, Copy)]
+pub struct ChunkMeta {
+    /// First query row of the tile.
+    pub row_start: usize,
+    /// One past the last query row.
+    pub row_end: usize,
+    /// Number of states produced: `(row_end - row_start) * num_qo_heads`,
+    /// laid out `[rows_in_tile, H_qo]` row-major in the scratch.
+    pub n_states: usize,
+    /// Execution statistics for this chunk.
     pub stats: KernelStats,
 }
 
@@ -362,37 +406,62 @@ impl FlashKernel {
         variant: &dyn AttentionVariant,
         params: &VariantParams,
     ) -> Result<KernelOutput, AttentionError> {
+        COMPAT_SCRATCH
+            .with(|cell| self.run_with_scratch(problem, variant, params, &mut cell.borrow_mut()))
+    }
+
+    /// [`FlashKernel::run`] with an explicit scratch arena: only the output
+    /// tensors are allocated; all intermediate chunk state reuses `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// As [`FlashKernel::run`].
+    pub fn run_with_scratch<TQ: Scalar, TKV: Scalar>(
+        &self,
+        problem: &AttentionProblem<'_, TQ, TKV>,
+        variant: &dyn AttentionVariant,
+        params: &VariantParams,
+        scratch: &mut KernelScratch,
+    ) -> Result<KernelOutput, AttentionError> {
         let heads = problem.heads;
+        let d = heads.head_dim;
         let rows = problem.layout.rows();
         let mut o = RaggedTensor::<f32>::zeros(problem.q.indptr().to_vec(), heads.qo_width())?;
         let mut lse = vec![f32::NEG_INFINITY; rows * heads.num_qo_heads];
         let mut stats = KernelStats::default();
+        let mut orow = vec![0.0f32; d];
 
         for br in 0..problem.layout.n_block_rows() {
             let n_blocks = problem.layout.block_row(br).len();
-            let chunk = self.run_block_row_chunk(problem, variant, params, br, 0..n_blocks)?;
-            stats.absorb(&chunk.stats);
+            let meta = self.run_block_row_chunk_scratch(
+                problem,
+                variant,
+                params,
+                br,
+                0..n_blocks,
+                scratch,
+            )?;
+            stats.absorb(&meta.stats);
             // Write through: full-KV states are final.
-            for (i, st) in chunk.states.iter().enumerate() {
-                let row = chunk.row_start + i / heads.num_qo_heads;
-                let head = i % heads.num_qo_heads;
-                let meta = problem.row_meta[row];
-                let mut orow = st.o.clone();
+            for si in 0..meta.n_states {
+                let row = meta.row_start + si / heads.num_qo_heads;
+                let head = si % heads.num_qo_heads;
+                let rmeta = problem.row_meta[row];
                 if variant.use_softmax() {
-                    lse[row * heads.num_qo_heads + head] = st.lse;
+                    lse[row * heads.num_qo_heads + head] = scratch.out_lse[si];
                 }
+                orow.copy_from_slice(&scratch.out_o[si * d..(si + 1) * d]);
                 variant.output_transform(
                     params,
                     &mut orow,
                     QueryCtx {
-                        batch_idx: meta.batch_idx,
-                        qo_pos: meta.qo_pos,
+                        batch_idx: rmeta.batch_idx,
+                        qo_pos: rmeta.qo_pos,
                         qo_head_idx: head,
-                        qo_len: meta.qo_len,
-                        kv_len: meta.kv_len,
+                        qo_len: rmeta.qo_len,
+                        kv_len: rmeta.kv_len,
                     },
                 );
-                let d = heads.head_dim;
                 o.global_row_mut(row)[head * d..(head + 1) * d].copy_from_slice(&orow);
             }
         }
@@ -407,6 +476,12 @@ impl FlashKernel {
     /// *unfinalized* attention states — `output_transform` is NOT applied;
     /// the contraction step applies it after merging all chunks.
     ///
+    /// Compatibility wrapper over
+    /// [`FlashKernel::run_block_row_chunk_scratch`] using a per-thread
+    /// scratch; it materializes owned [`AttentionState`]s (one `Vec` per
+    /// state). Allocation-free callers hold their own [`KernelScratch`] and
+    /// call the scratch variant directly.
+    ///
     /// # Errors
     ///
     /// Returns [`AttentionError::InvalidChunk`] if indices are out of range.
@@ -418,6 +493,44 @@ impl FlashKernel {
         block_row: usize,
         kv_blocks: std::ops::Range<usize>,
     ) -> Result<ChunkOutput, AttentionError> {
+        COMPAT_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            let meta = self.run_block_row_chunk_scratch(
+                problem, variant, params, block_row, kv_blocks, scratch,
+            )?;
+            Ok(ChunkOutput {
+                states: scratch.states(problem.heads.head_dim),
+                row_start: meta.row_start,
+                row_end: meta.row_end,
+                stats: meta.stats,
+            })
+        })
+    }
+
+    /// The allocation-free hot path: execute one split-KV work item entirely
+    /// inside `scratch`, leaving the finalized (but NOT output-transformed)
+    /// per-state results in [`KernelScratch::out_o`] /
+    /// [`KernelScratch::out_lse`].
+    ///
+    /// Each KV chunk is staged ONCE at full kv width (`num_kv_heads * D`)
+    /// and its key/value transforms applied once, then consumed by all
+    /// `num_kv_heads × group_size` query heads — the §3.2.1 staged-tile
+    /// discipline. Scratch buffers are only ever `clear()`ed and re-grown,
+    /// so after warmup (largest shape seen) the call performs zero heap
+    /// allocations; see `crates/core/tests/alloc_free.rs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::InvalidChunk`] if indices are out of range.
+    pub fn run_block_row_chunk_scratch<TQ: Scalar, TKV: Scalar>(
+        &self,
+        problem: &AttentionProblem<'_, TQ, TKV>,
+        variant: &dyn AttentionVariant,
+        params: &VariantParams,
+        block_row: usize,
+        kv_blocks: std::ops::Range<usize>,
+        scratch: &mut KernelScratch,
+    ) -> Result<ChunkMeta, AttentionError> {
         let heads = problem.heads;
         let d = heads.head_dim;
         let layout = problem.layout;
@@ -444,26 +557,27 @@ impl FlashKernel {
         let lead: usize = blocks[..kv_blocks.start].iter().map(|b| b.len).sum();
         let base_pos = problem.kv_pos_offsets[block_row] + lead;
 
-        // Gather list for the chunk.
-        let mut slots = Vec::new();
+        // Gather list for the chunk (reused scratch, overwritten).
+        scratch.slots.clear();
         for b in &blocks[kv_blocks.clone()] {
             let base = b.col_block * layout.bc();
-            slots.extend(base..base + b.len);
+            scratch.slots.extend(base..base + b.len);
         }
 
-        // Pre-transform all query rows once per (row, qo_head).
-        let mut q_rows: Vec<f32> = Vec::with_capacity(n_rows * heads.num_qo_heads * d);
+        // Pre-transform all query rows once per (row, qo_head), widening
+        // straight into the scratch buffer.
+        scratch.q_rows.clear();
         for row in rs..re {
             let meta = problem.row_meta[row];
             let qsrc = problem.q.global_row(row);
             for h in 0..heads.num_qo_heads {
-                let mut qv: Vec<f32> = qsrc[h * d..(h + 1) * d]
-                    .iter()
-                    .map(|&x| x.to_f32())
-                    .collect();
+                let start = scratch.q_rows.len();
+                scratch
+                    .q_rows
+                    .extend(qsrc[h * d..(h + 1) * d].iter().map(|&x| x.to_f32()));
                 variant.query_transform(
                     params,
-                    &mut qv,
+                    &mut scratch.q_rows[start..start + d],
                     QueryCtx {
                         batch_idx: meta.batch_idx,
                         qo_pos: meta.qo_pos,
@@ -472,15 +586,17 @@ impl FlashKernel {
                         kv_len: meta.kv_len,
                     },
                 );
-                q_rows.extend_from_slice(&qv);
             }
         }
 
         // Online-softmax accumulators per (row, qo_head).
         let n_states = n_rows * heads.num_qo_heads;
-        let mut m = vec![f32::NEG_INFINITY; n_states];
-        let mut l = vec![0.0f32; n_states];
-        let mut acc = vec![0.0f32; n_states * d];
+        scratch.m.clear();
+        scratch.m.resize(n_states, f32::NEG_INFINITY);
+        scratch.l.clear();
+        scratch.l.resize(n_states, 0.0);
+        scratch.acc.clear();
+        scratch.acc.resize(n_states * d, 0.0);
         let mut stats = KernelStats::default();
         let mut stager = Stager::new();
 
@@ -489,116 +605,137 @@ impl FlashKernel {
         // block row spans requests (they never do for the built-in variants).
         let key_meta = problem.row_meta[rs];
 
+        // Chunk loop, chunks OUTER: each KV chunk is staged once at full kv
+        // width and consumed by every query head before the next chunk is
+        // touched. Per state the chunk sequence is still strictly ascending,
+        // so the online-softmax recurrence sees the exact same update order
+        // (and therefore the same bits) as a per-head pass would.
         let tkv = self.tile.tkv.max(1);
-        for kv_head in 0..heads.num_kv_heads {
-            let mut chunk_start = 0usize;
-            while chunk_start < slots.len() {
-                let chunk_end = (chunk_start + tkv).min(slots.len());
-                let chunk_slots = &slots[chunk_start..chunk_end];
-                let (k_tile, v_tile) = stager.stage(problem.k, problem.v, chunk_slots, kv_head, d);
-                let mut k_tile = k_tile.to_vec();
-                let mut v_tile = v_tile.to_vec();
-                // Key/value transforms with cache positions.
-                for (j, _) in chunk_slots.iter().enumerate() {
-                    let kv_pos = base_pos + chunk_start + j;
+        let kw = heads.kv_width();
+        let mut chunk_start = 0usize;
+        while chunk_start < scratch.slots.len() {
+            let chunk_end = (chunk_start + tkv).min(scratch.slots.len());
+            let n_chunk = chunk_end - chunk_start;
+            stager.stage_rows_into(
+                problem.k,
+                problem.v,
+                &scratch.slots[chunk_start..chunk_end],
+                kw,
+                &mut scratch.k_tile,
+                &mut scratch.v_tile,
+            );
+            // Key/value transforms once per (slot, kv_head) — never repeated
+            // across the query heads of a group.
+            for j in 0..n_chunk {
+                let kv_pos = base_pos + chunk_start + j;
+                for kv_head in 0..heads.num_kv_heads {
                     let kctx = KeyCtx {
                         batch_idx: key_meta.batch_idx,
                         kv_pos,
                         kv_head_idx: kv_head,
                         kv_len: key_meta.kv_len,
                     };
-                    variant.key_transform(params, &mut k_tile[j * d..(j + 1) * d], kctx);
-                    variant.value_transform(params, &mut v_tile[j * d..(j + 1) * d], kctx);
+                    let at = j * kw + kv_head * d;
+                    variant.key_transform(params, &mut scratch.k_tile[at..at + d], kctx);
+                    variant.value_transform(params, &mut scratch.v_tile[at..at + d], kctx);
                 }
+            }
 
-                // Logits + online update for every (row, head-in-group).
-                for row_i in 0..n_rows {
-                    let meta = problem.row_meta[rs + row_i];
-                    for g in 0..heads.group_size() {
-                        let qo_head = kv_head * heads.group_size() + g;
-                        let si = row_i * heads.num_qo_heads + qo_head;
-                        let qv = &q_rows[si * d..(si + 1) * d];
+            // Logits + online update for every (row, qo_head) against the
+            // shared staged tile.
+            for row_i in 0..n_rows {
+                let meta = problem.row_meta[rs + row_i];
+                for qo_head in 0..heads.num_qo_heads {
+                    let kv_head = heads.kv_head_of(qo_head);
+                    let si = row_i * heads.num_qo_heads + qo_head;
+                    let qv = &scratch.q_rows[si * d..(si + 1) * d];
 
-                        // Chunk-local max for the update.
-                        let mut new_m = m[si];
-                        let mut logits = Vec::with_capacity(chunk_slots.len());
-                        for j in 0..chunk_slots.len() {
-                            let kv_pos = base_pos + chunk_start + j;
-                            let lctx = LogitCtx {
-                                batch_idx: meta.batch_idx,
-                                qo_pos: meta.qo_pos,
-                                kv_pos,
-                                qo_head_idx: qo_head,
-                                kv_head_idx: kv_head,
-                                qo_len: meta.qo_len,
-                                kv_len: meta.kv_len,
-                            };
-                            if !variant.logits_mask(params, lctx) {
-                                logits.push(f32::NEG_INFINITY);
+                    // Chunk-local max for the update.
+                    let mut new_m = scratch.m[si];
+                    scratch.logits.clear();
+                    for j in 0..n_chunk {
+                        let kv_pos = base_pos + chunk_start + j;
+                        let lctx = LogitCtx {
+                            batch_idx: meta.batch_idx,
+                            qo_pos: meta.qo_pos,
+                            kv_pos,
+                            qo_head_idx: qo_head,
+                            kv_head_idx: kv_head,
+                            qo_len: meta.qo_len,
+                            kv_len: meta.kv_len,
+                        };
+                        if !variant.logits_mask(params, lctx) {
+                            scratch.logits.push(f32::NEG_INFINITY);
+                            continue;
+                        }
+                        let at = j * kw + kv_head * d;
+                        let raw = fi_tensor::numerics::dot(qv, &scratch.k_tile[at..at + d]);
+                        let t = variant.logits_transform(params, raw, lctx);
+                        if softmax {
+                            new_m = new_m.max(t);
+                        }
+                        scratch.logits.push(t);
+                    }
+
+                    if softmax {
+                        if new_m == f32::NEG_INFINITY {
+                            continue; // fully masked chunk
+                        }
+                        // Rescale of the old accumulator is fused into the
+                        // first accumulate below (bit-identical to a
+                        // separate scale pass; new_m finite guarantees at
+                        // least one unmasked position consumes it).
+                        let rescale = if scratch.m[si] == f32::NEG_INFINITY {
+                            0.0
+                        } else {
+                            (scratch.m[si] - new_m).exp()
+                        };
+                        scratch.l[si] *= rescale;
+                        scratch.m[si] = new_m;
+                        let mut pending_rescale = Some(rescale);
+                        for (j, &t) in scratch.logits.iter().enumerate() {
+                            if t == f32::NEG_INFINITY {
                                 continue;
                             }
-                            let raw = fi_tensor::numerics::dot(qv, &k_tile[j * d..(j + 1) * d]);
-                            let t = variant.logits_transform(params, raw, lctx);
-                            if softmax {
-                                new_m = new_m.max(t);
+                            let p = (t - new_m).exp();
+                            scratch.l[si] += p;
+                            let vv = &scratch.v_tile[j * kw + kv_head * d..][..d];
+                            let a = &mut scratch.acc[si * d..(si + 1) * d];
+                            match pending_rescale.take() {
+                                Some(s) => fi_tensor::numerics::scale_add(s, p, vv, a),
+                                None => fi_tensor::numerics::axpy(p, vv, a),
                             }
-                            logits.push(t);
                         }
-
-                        if softmax {
-                            if new_m == f32::NEG_INFINITY {
-                                continue; // fully masked chunk
+                        if let Some(s) = pending_rescale {
+                            // Every position masked after the max update
+                            // cannot happen (new_m finite), but keep the
+                            // accumulator consistent regardless.
+                            fi_tensor::numerics::scale(&mut scratch.acc[si * d..(si + 1) * d], s);
+                        }
+                    } else {
+                        for (j, &w) in scratch.logits.iter().enumerate() {
+                            if w == f32::NEG_INFINITY || w == 0.0 {
+                                continue;
                             }
-                            // Rescale old accumulator.
-                            let scale = if m[si] == f32::NEG_INFINITY {
-                                0.0
-                            } else {
-                                (m[si] - new_m).exp()
-                            };
-                            l[si] *= scale;
-                            for x in &mut acc[si * d..(si + 1) * d] {
-                                *x *= scale;
-                            }
-                            m[si] = new_m;
-                            for (j, &t) in logits.iter().enumerate() {
-                                if t == f32::NEG_INFINITY {
-                                    continue;
-                                }
-                                let p = (t - new_m).exp();
-                                l[si] += p;
-                                let vv = &v_tile[j * d..(j + 1) * d];
-                                let a = &mut acc[si * d..(si + 1) * d];
-                                for (aa, &x) in a.iter_mut().zip(vv) {
-                                    *aa += p * x;
-                                }
-                            }
-                        } else {
-                            for (j, &w) in logits.iter().enumerate() {
-                                if w == f32::NEG_INFINITY || w == 0.0 {
-                                    continue;
-                                }
-                                let vv = &v_tile[j * d..(j + 1) * d];
-                                let a = &mut acc[si * d..(si + 1) * d];
-                                for (aa, &x) in a.iter_mut().zip(vv) {
-                                    *aa += w * x;
-                                }
-                            }
+                            let vv = &scratch.v_tile[j * kw + kv_head * d..][..d];
+                            let a = &mut scratch.acc[si * d..(si + 1) * d];
+                            fi_tensor::numerics::axpy(w, vv, a);
                         }
                     }
                 }
-
-                // Tile accounting: QK^T + PV, 2 FLOPs per MAC.
-                let tile_rows = n_rows * heads.group_size();
-                let tile_kv = chunk_slots.len();
-                stats.flops += 2 * 2 * (tile_rows * tile_kv * d) as u64;
-                stats.kv_tiles += 1;
-                if self.tile.uses_tensor_cores() {
-                    stats.tensor_core_tiles += 1;
-                } else {
-                    stats.cuda_core_tiles += 1;
-                }
-                chunk_start = chunk_end;
             }
+
+            // Tile accounting: QK^T + PV over every query head that
+            // consumed the staged tile, 2 FLOPs per MAC; ONE kv tile per
+            // staged chunk (not one per kv head).
+            stats.flops += 2 * 2 * (n_rows * heads.num_qo_heads * n_chunk * d) as u64;
+            stats.kv_tiles += 1;
+            if self.tile.uses_tensor_cores() {
+                stats.tensor_core_tiles += 1;
+            } else {
+                stats.cuda_core_tiles += 1;
+            }
+            chunk_start = chunk_end;
         }
 
         // Gather traffic: staged bytes; without head fusion each query head
@@ -614,31 +751,32 @@ impl FlashKernel {
         stats.gather = g;
         stats.global_bytes += g.global_bytes as u64;
 
-        // Finalize chunk states.
-        let mut states = Vec::with_capacity(n_states);
+        // Finalize chunk states into the scratch output buffers. The
+        // default fill (zeros, -inf) IS the ⊕ identity, so fully-masked
+        // states need no special case.
+        scratch.out_o.clear();
+        scratch.out_o.resize(n_states * d, 0.0);
+        scratch.out_lse.clear();
+        scratch.out_lse.resize(n_states, f32::NEG_INFINITY);
         for si in 0..n_states {
+            let acc_row = &scratch.acc[si * d..(si + 1) * d];
+            let out_row = &mut scratch.out_o[si * d..(si + 1) * d];
             if softmax {
-                if l[si] > 0.0 {
-                    let inv = 1.0 / l[si];
-                    let o = acc[si * d..(si + 1) * d].iter().map(|&x| x * inv).collect();
-                    states.push(AttentionState {
-                        o,
-                        lse: m[si] + l[si].ln(),
-                    });
-                } else {
-                    states.push(AttentionState::identity(d));
+                if scratch.l[si] > 0.0 {
+                    let inv = 1.0 / scratch.l[si];
+                    for (o, &a) in out_row.iter_mut().zip(acc_row) {
+                        *o = a * inv;
+                    }
+                    scratch.out_lse[si] = scratch.m[si] + scratch.l[si].ln();
                 }
             } else {
-                states.push(AttentionState {
-                    o: acc[si * d..(si + 1) * d].to_vec(),
-                    lse: f32::NEG_INFINITY,
-                });
+                out_row.copy_from_slice(acc_row);
             }
         }
-        Ok(ChunkOutput {
-            states,
+        Ok(ChunkMeta {
             row_start: rs,
             row_end: re,
+            n_states,
             stats,
         })
     }
@@ -1039,6 +1177,75 @@ mod tests {
         );
         // Numerics identical.
         assert!(allclose(unfused.o.seq(0), fused.o.seq(0), 0.0, 0.0));
+    }
+
+    #[test]
+    fn scratch_reused_across_shapes_matches_fresh() {
+        // One KernelScratch pushed through two different problem shapes
+        // (different head counts, dims, kv lengths) must leave no stale
+        // state: results are bit-identical to fresh scratches.
+        let variant = VanillaAttention { causal: true };
+        let mut reused = KernelScratch::new();
+        for (hq, hkv, d, l_qo, l_kv) in [(4usize, 2usize, 8usize, 5usize, 13usize), (2, 1, 4, 3, 6)]
+        {
+            let heads = HeadConfig::new(hq, hkv, d).unwrap();
+            let params = VariantParams::for_head_dim(d);
+            let q = filled_ragged(&[l_qo], heads.qo_width(), |i| {
+                ((i % 13) as f32 - 6.0) * 0.11
+            });
+            let k = Tensor::<f32>::from_fn(vec![l_kv, heads.kv_width()], |i| {
+                ((i % 7) as f32 - 3.0) * 0.21
+            });
+            let v = Tensor::<f32>::from_fn(vec![l_kv, heads.kv_width()], |i| {
+                ((i % 5) as f32 - 2.0) * 0.17
+            });
+            let layout = dense_layout(l_qo, l_kv, 2);
+            let problem =
+                AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[l_kv]).unwrap();
+            let kern = FlashKernel {
+                tile: TileConfig { tq: 2, tkv: 4 },
+                head_fusion: true,
+            };
+            let out_reused = kern
+                .run_with_scratch(&problem, &variant, &params, &mut reused)
+                .unwrap();
+            let mut fresh = KernelScratch::new();
+            let out_fresh = kern
+                .run_with_scratch(&problem, &variant, &params, &mut fresh)
+                .unwrap();
+            assert_eq!(out_reused.o.seq(0), out_fresh.o.seq(0));
+            assert_eq!(out_reused.lse, out_fresh.lse);
+            assert_eq!(out_reused.stats, out_fresh.stats);
+        }
+    }
+
+    #[test]
+    fn compat_chunk_wrapper_matches_scratch_path() {
+        let heads = HeadConfig::new(2, 1, 4).unwrap();
+        let params = VariantParams::for_head_dim(4);
+        let variant = VanillaAttention { causal: false };
+        let q = filled_ragged(&[2], heads.qo_width(), |i| (i as f32 * 0.19).sin());
+        let k = Tensor::<f32>::from_fn(vec![8, 4], |i| (i as f32 * 0.23).cos());
+        let v = Tensor::<f32>::from_fn(vec![8, 4], |i| (i as f32 * 0.29).sin());
+        let layout = dense_layout(2, 8, 2);
+        let problem = AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[8]).unwrap();
+        let kern = FlashKernel {
+            tile: TileConfig { tq: 2, tkv: 4 },
+            head_fusion: true,
+        };
+        let compat = kern
+            .run_block_row_chunk(&problem, &variant, &params, 0, 0..1)
+            .unwrap();
+        let mut scratch = KernelScratch::new();
+        let meta = kern
+            .run_block_row_chunk_scratch(&problem, &variant, &params, 0, 0..1, &mut scratch)
+            .unwrap();
+        assert_eq!(meta.n_states, compat.states.len());
+        assert_eq!(
+            (meta.row_start, meta.row_end),
+            (compat.row_start, compat.row_end)
+        );
+        assert_eq!(scratch.states(heads.head_dim), compat.states);
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! * §3.2.1 sparse gathering — [`gather`]: staging scattered KV rows into a
 //!   contiguous buffer before the dense inner loop, with byte accounting
 //!   used by the GPU model (Appendix B measures its overhead).
+//! * shared-memory analog — [`scratch`]: the per-thread kernel scratch
+//!   arena (slots, transformed queries, softmax accumulators, staged K/V
+//!   tiles, logits) grown monotonically and reused across chunks and
+//!   pipeline invocations so the hot path is allocation-free steady-state.
 //! * §3.2.2 microkernels and tile heuristics — [`tiles`]: the
 //!   `(1,16,32,64,128) × (32,64,128)` tile menu and the two-step selection
 //!   heuristic (query-length fit, then occupancy).
@@ -44,13 +48,15 @@ pub mod quant;
 pub mod quest;
 pub mod reference;
 pub mod rope;
+pub mod scratch;
 pub mod state;
 pub mod tiles;
 pub mod variant;
 
 pub use config::HeadConfig;
 pub use error::AttentionError;
-pub use kernel::{AttentionProblem, FlashKernel, KernelOutput, KernelStats};
+pub use kernel::{AttentionProblem, ChunkMeta, FlashKernel, KernelOutput, KernelStats};
+pub use scratch::KernelScratch;
 pub use state::AttentionState;
 pub use tiles::TileConfig;
 pub use variant::{AttentionVariant, VariantParams};

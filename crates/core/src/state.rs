@@ -51,21 +51,33 @@ impl AttentionState {
     ///
     /// Panics if dimensions differ.
     pub fn merge(&self, other: &AttentionState) -> AttentionState {
-        assert_eq!(self.o.len(), other.o.len(), "state dimension mismatch");
+        self.merge_flat(&other.o, other.lse)
+    }
+
+    /// ⊕ with a borrowed `(o, lse)` right operand — the scratch-arena path,
+    /// which merges straight out of the kernel's flat output buffers
+    /// without materializing an `AttentionState` for the right-hand side.
+    /// Bit-identical to [`AttentionState::merge`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn merge_flat(&self, o: &[f32], lse: f32) -> AttentionState {
+        assert_eq!(self.o.len(), o.len(), "state dimension mismatch");
         if self.is_identity() {
-            return other.clone();
+            return AttentionState { o: o.to_vec(), lse };
         }
-        if other.is_identity() {
+        if lse == f32::NEG_INFINITY {
             return self.clone();
         }
-        let m = self.lse.max(other.lse);
+        let m = self.lse.max(lse);
         let wa = (self.lse - m).exp();
-        let wb = (other.lse - m).exp();
+        let wb = (lse - m).exp();
         let denom = wa + wb;
         let o = self
             .o
             .iter()
-            .zip(&other.o)
+            .zip(o)
             .map(|(&a, &b)| (wa * a + wb * b) / denom)
             .collect();
         AttentionState {
@@ -86,9 +98,19 @@ impl AttentionState {
     ///
     /// Panics if dimensions differ.
     pub fn merge_sum(&self, other: &AttentionState) -> AttentionState {
-        assert_eq!(self.o.len(), other.o.len(), "state dimension mismatch");
+        self.merge_sum_flat(&other.o)
+    }
+
+    /// Summation-semantics compose with a borrowed right operand; see
+    /// [`AttentionState::merge_flat`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn merge_sum_flat(&self, o: &[f32]) -> AttentionState {
+        assert_eq!(self.o.len(), o.len(), "state dimension mismatch");
         AttentionState {
-            o: self.o.iter().zip(&other.o).map(|(&a, &b)| a + b).collect(),
+            o: self.o.iter().zip(o).map(|(&a, &b)| a + b).collect(),
             lse: f32::NEG_INFINITY,
         }
     }
@@ -196,6 +218,17 @@ mod tests {
         let s = a.merge_sum(&b);
         assert_eq!(s.o, vec![1.5, 1.0]);
         assert!(s.is_identity());
+    }
+
+    #[test]
+    fn flat_merges_are_bit_identical_to_state_merges() {
+        let a = state(&[1.0, -2.0], 1.3);
+        let b = state(&[0.5, 4.0], -0.2);
+        let id = AttentionState::identity(2);
+        for (x, y) in [(&a, &b), (&b, &a), (&id, &a), (&a, &id), (&id, &id)] {
+            assert_eq!(x.merge(y), x.merge_flat(&y.o, y.lse));
+            assert_eq!(x.merge_sum(y), x.merge_sum_flat(&y.o));
+        }
     }
 
     #[test]

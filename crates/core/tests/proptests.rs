@@ -5,6 +5,7 @@
 use fi_core::config::HeadConfig;
 use fi_core::kernel::{AttentionProblem, FlashKernel};
 use fi_core::reference::reference_attention;
+use fi_core::scratch::KernelScratch;
 use fi_core::state::AttentionState;
 use fi_core::tiles::TileConfig;
 use fi_core::variant::{
@@ -164,6 +165,61 @@ proptest! {
         // Identity.
         let id = AttentionState::identity(3);
         prop_assert_eq!(s[0].merge(&id), s[0].clone());
+    }
+
+    /// The scratch-reuse path is BIT-identical to fresh allocation: one
+    /// `KernelScratch` pushed through two random problems (back to back, so
+    /// the second sees whatever the first left behind) produces exactly the
+    /// outputs of per-problem fresh scratches — no stale state leaks.
+    #[test]
+    fn scratch_reuse_is_bit_identical(
+        variant_idx in 0usize..5,
+        l_qo_a in 1usize..6,
+        l_kv_a in 1usize..14,
+        l_qo_b in 1usize..6,
+        l_kv_b in 1usize..14,
+        tq in 1usize..4,
+        tkv in 1usize..6,
+        group_log in 0usize..2,
+        seed in 0u64..1000,
+    ) {
+        let (variant, params) = make_variant(variant_idx);
+        let num_qo_heads = 1 << group_log;
+        // Shape A uses GQA (2 kv heads when possible), shape B MHA — the
+        // two problems deliberately differ in every dimension.
+        let heads_a = HeadConfig::new(num_qo_heads * 2, 2, 8).unwrap();
+        let heads_b = HeadConfig::new(num_qo_heads, num_qo_heads, 8).unwrap();
+        let mix = |i: usize, salt: u64| -> f32 {
+            let x = (i as u64).wrapping_mul(6364136223846793005).wrapping_add(seed ^ salt);
+            ((x >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        let kern = FlashKernel { tile: TileConfig { tq, tkv }, head_fusion: true };
+
+        let mut reused = KernelScratch::new();
+        for (case, (heads, l_qo, l_kv)) in
+            [(heads_a, l_qo_a, l_kv_a), (heads_b, l_qo_b, l_kv_b)].into_iter().enumerate()
+        {
+            let mut q = RaggedTensor::<f32>::from_seq_lens(&[l_qo], heads.qo_width());
+            for (i, x) in q.as_tensor_mut().as_mut_slice().iter_mut().enumerate() {
+                *x = mix(i, 21 + case as u64);
+            }
+            let k = Tensor::<f32>::from_fn(vec![l_kv, heads.kv_width()], |i| mix(i, 23));
+            let v = Tensor::<f32>::from_fn(vec![l_kv, heads.kv_width()], |i| mix(i, 29));
+            let layout = dense_layout(l_qo, l_kv, tq, 2);
+            let problem =
+                AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[l_kv]).unwrap();
+
+            let out_reused = kern
+                .run_with_scratch(&problem, variant.as_ref(), &params, &mut reused)
+                .unwrap();
+            let mut fresh = KernelScratch::new();
+            let out_fresh = kern
+                .run_with_scratch(&problem, variant.as_ref(), &params, &mut fresh)
+                .unwrap();
+            prop_assert_eq!(out_reused.o.seq(0), out_fresh.o.seq(0), "case {}", case);
+            prop_assert_eq!(out_reused.lse, out_fresh.lse, "case {}", case);
+            prop_assert_eq!(out_reused.stats, out_fresh.stats, "case {}", case);
+        }
     }
 
     /// Numerics never depend on tile size: two different tilings agree

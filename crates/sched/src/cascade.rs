@@ -210,6 +210,8 @@ impl CascadeAttention {
         let use_softmax = variant.use_softmax();
         let mut stats = fi_core::kernel::KernelStats::default();
         let mut items_executed = 0u64;
+        // One scratch arena reused across every level's work items.
+        let mut scratch = fi_core::scratch::KernelScratch::new();
 
         for level in &self.levels {
             // Each level is one pipeline stage: plan (or hit the shared
@@ -230,25 +232,26 @@ impl CascadeAttention {
                 level.kv_pos_offsets.clone(),
             )?;
             for item in &items {
-                let chunk = kernel.run_block_row_chunk(
+                let meta = kernel.run_block_row_chunk_scratch(
                     &problem,
                     variant,
                     params,
                     item.block_row,
                     item.kv_block_start..item.kv_block_end,
+                    &mut scratch,
                 )?;
-                stats.flops += chunk.stats.flops;
-                stats.global_bytes += chunk.stats.global_bytes;
-                stats.kv_tiles += chunk.stats.kv_tiles;
+                stats.absorb(&meta.stats);
                 items_executed += 1;
-                for (i, st) in chunk.states.iter().enumerate() {
-                    let row = chunk.row_start + i / heads.num_qo_heads;
+                // ⊕-fold straight out of the scratch's flat outputs.
+                for i in 0..meta.n_states {
+                    let row = meta.row_start + i / heads.num_qo_heads;
                     let head = i % heads.num_qo_heads;
                     let si = row * heads.num_qo_heads + head;
+                    let st_o = &scratch.out_o()[i * d..(i + 1) * d];
                     acc[si] = if use_softmax {
-                        acc[si].merge(st)
+                        acc[si].merge_flat(st_o, scratch.out_lse()[i])
                     } else {
-                        acc[si].merge_sum(st)
+                        acc[si].merge_sum_flat(st_o)
                     };
                 }
             }

@@ -19,6 +19,7 @@
 //! guarantees on real hardware.
 
 use fi_core::kernel::{AttentionProblem, FlashKernel, KernelOutput, KernelStats};
+use fi_core::scratch::KernelScratch;
 use fi_core::state::AttentionState;
 use fi_core::variant::{AttentionVariant, VariantParams};
 use fi_tensor::{RaggedTensor, Scalar};
@@ -83,16 +84,21 @@ pub fn run_plan_parallel<TQ: Scalar, TKV: Scalar>(
             let stats_acc = &stats_acc;
             let first_err = &first_err;
             scope.spawn(move |_| {
+                // One scratch arena per worker: every chunk this worker
+                // executes reuses the same buffers (allocation-free after
+                // the first/largest item).
+                let mut scratch = KernelScratch::new();
                 for queue in queues {
                     for item in queue {
-                        let chunk = match kernel.run_block_row_chunk(
+                        let meta = match kernel.run_block_row_chunk_scratch(
                             problem,
                             variant,
                             params,
                             item.block_row,
                             item.kv_block_start..item.kv_block_end,
+                            &mut scratch,
                         ) {
-                            Ok(c) => c,
+                            Ok(m) => m,
                             Err(e) => {
                                 let mut slot = first_err.lock();
                                 if slot.is_none() {
@@ -101,22 +107,13 @@ pub fn run_plan_parallel<TQ: Scalar, TKV: Scalar>(
                                 return;
                             }
                         };
-                        {
-                            let mut s = stats_acc.lock();
-                            s.flops += chunk.stats.flops;
-                            s.global_bytes += chunk.stats.global_bytes;
-                            s.kv_tiles += chunk.stats.kv_tiles;
-                            s.tensor_core_tiles += chunk.stats.tensor_core_tiles;
-                            s.cuda_core_tiles += chunk.stats.cuda_core_tiles;
-                        }
+                        stats_acc.lock().absorb(&meta.stats);
+                        let states = scratch.states(d);
                         match item.partial_index {
-                            Some(pi) => partials.lock().push(PartialWrite {
-                                slot: pi,
-                                states: chunk.states,
-                            }),
+                            Some(pi) => partials.lock().push(PartialWrite { slot: pi, states }),
                             None => throughs.lock().push(Writethrough {
-                                row_start: chunk.row_start,
-                                states: chunk.states,
+                                row_start: meta.row_start,
+                                states,
                             }),
                         }
                     }

@@ -24,6 +24,7 @@ use std::collections::{HashMap, VecDeque};
 
 use fi_core::arch::Arch;
 use fi_core::kernel::{AttentionProblem, FlashKernel, KernelOutput, KernelStats};
+use fi_core::scratch::KernelScratch;
 use fi_core::tiles::TileConfig;
 use fi_core::variant::{AttentionVariant, QueryCtx, VariantParams};
 use fi_sparse::BlockSparseMatrix;
@@ -723,34 +724,34 @@ pub(crate) fn run_plan_sequential<TQ: Scalar, TKV: Scalar>(
     let mut stats = KernelStats::default();
     let use_softmax = variant.use_softmax();
 
+    // One scratch arena for the whole schedule: every item reuses the same
+    // buffers, and both the workspace write and the writethrough finalize
+    // read straight from the scratch's flat outputs — no AttentionState is
+    // materialized anywhere on this path.
+    let mut scratch = KernelScratch::new();
+    let mut orow = vec![0.0f32; d];
     for queue in &plan.cta_queues {
         for item in queue {
-            let chunk = kernel.run_block_row_chunk(
+            let meta = kernel.run_block_row_chunk_scratch(
                 problem,
                 variant,
                 params,
                 item.block_row,
                 item.kv_block_start..item.kv_block_end,
+                &mut scratch,
             )?;
-            // KernelStats has no AddAssign; fold manually.
-            stats.flops += chunk.stats.flops;
-            stats.global_bytes += chunk.stats.global_bytes;
-            stats.kv_tiles += chunk.stats.kv_tiles;
-            stats.tensor_core_tiles += chunk.stats.tensor_core_tiles;
-            stats.cuda_core_tiles += chunk.stats.cuda_core_tiles;
-            stats.gather.global_bytes += chunk.stats.gather.global_bytes;
-            stats.gather.rows += chunk.stats.gather.rows;
-            stats.gather.contiguous_runs += chunk.stats.gather.contiguous_runs;
-            stats.gather.scattered_runs += chunk.stats.gather.scattered_runs;
+            stats.absorb(&meta.stats);
             match item.partial_index {
-                Some(pi) => workspace.write_partial(pi, &chunk.states, d),
-                None => finalize_tile_into(
+                Some(pi) => workspace.write_partial_flat(pi, scratch.out_o(), scratch.out_lse(), d),
+                None => finalize_tile_flat_into(
                     problem,
                     variant,
                     params,
-                    chunk.row_start,
-                    &chunk.states,
+                    meta.row_start,
+                    scratch.out_o(),
+                    scratch.out_lse(),
                     use_softmax,
+                    &mut orow,
                     &mut o,
                     &mut lse,
                 ),
@@ -820,6 +821,47 @@ pub(crate) fn finalize_tile_into<TQ: Scalar, TKV: Scalar>(
             },
         );
         o.global_row_mut(row)[head * d..(head + 1) * d].copy_from_slice(&orow);
+    }
+}
+
+/// [`finalize_tile_into`] reading straight from a scratch arena's flat
+/// `(o, lse)` output buffers — the allocation-free sequential path. `orow`
+/// is a caller-reused `d`-length staging buffer for the output transform.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn finalize_tile_flat_into<TQ: Scalar, TKV: Scalar>(
+    problem: &AttentionProblem<'_, TQ, TKV>,
+    variant: &dyn AttentionVariant,
+    params: &VariantParams,
+    row_start: usize,
+    states_o: &[f32],
+    states_lse: &[f32],
+    use_softmax: bool,
+    orow: &mut [f32],
+    o: &mut RaggedTensor<f32>,
+    lse: &mut [f32],
+) {
+    let heads = problem.heads();
+    let d = heads.head_dim;
+    for (i, &st_lse) in states_lse.iter().enumerate() {
+        let row = row_start + i / heads.num_qo_heads;
+        let head = i % heads.num_qo_heads;
+        let meta = problem.row_meta()[row];
+        if use_softmax {
+            lse[row * heads.num_qo_heads + head] = st_lse;
+        }
+        orow.copy_from_slice(&states_o[i * d..(i + 1) * d]);
+        variant.output_transform(
+            params,
+            orow,
+            QueryCtx {
+                batch_idx: meta.batch_idx,
+                qo_pos: meta.qo_pos,
+                qo_head_idx: head,
+                qo_len: meta.qo_len,
+                kv_len: meta.kv_len,
+            },
+        );
+        o.global_row_mut(row)[head * d..(head + 1) * d].copy_from_slice(orow);
     }
 }
 

@@ -249,6 +249,35 @@ impl Workspace {
         }
     }
 
+    /// [`Workspace::write_partial`] from a scratch arena's flat output
+    /// buffers (`o` is `[n_states, d]` row-major, `lse` one value per
+    /// state): identical bytes land in the workspace, with no
+    /// `AttentionState` materialized in between.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot or state sizes exceed the layout, or the buffer
+    /// lengths disagree.
+    pub fn write_partial_flat(&mut self, slot: usize, o: &[f32], lse: &[f32], d: usize) {
+        assert!(
+            slot < self.layout.max_partials,
+            "partial slot {slot} out of range"
+        );
+        let n = lse.len();
+        assert_eq!(o.len(), n * d, "flat o length mismatch");
+        assert!(
+            n * (d + 1) <= self.layout.partial_slot_len,
+            "states overflow partial slot"
+        );
+        let base = self.layout.partials_offset + slot * self.layout.partial_slot_len;
+        let mut w = base;
+        for i in 0..n {
+            self.buf[w..w + d].copy_from_slice(&o[i * d..(i + 1) * d]);
+            self.buf[w + d] = lse[i];
+            w += d + 1;
+        }
+    }
+
     /// Read back `n_states` partial states of dim `d` from slot `slot`.
     ///
     /// # Panics
@@ -316,6 +345,26 @@ mod tests {
             .read_partial(0, 4, 4)
             .iter()
             .all(|s| s.o.iter().all(|&x| x == 0.0)));
+    }
+
+    #[test]
+    fn flat_partial_write_matches_state_write() {
+        let l = WorkspaceLayout::compute(2, 2, 4, 4, 64);
+        let states: Vec<AttentionState> = (0..4)
+            .map(|i| AttentionState {
+                o: (0..4).map(|j| (i * 4 + j) as f32 * 0.3).collect(),
+                lse: i as f32 * 0.5 - 1.0,
+            })
+            .collect();
+        let o_flat: Vec<f32> = states.iter().flat_map(|s| s.o.iter().copied()).collect();
+        let lse_flat: Vec<f32> = states.iter().map(|s| s.lse).collect();
+
+        let mut ws_a = Workspace::allocate(l);
+        ws_a.write_partial(2, &states, 4);
+        let mut ws_b = Workspace::allocate(l);
+        ws_b.write_partial_flat(2, &o_flat, &lse_flat, 4);
+        assert_eq!(ws_b.read_partial(2, 4, 4), states);
+        assert_eq!(ws_a.read_partial(2, 4, 4), ws_b.read_partial(2, 4, 4));
     }
 
     #[test]

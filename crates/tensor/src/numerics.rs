@@ -45,7 +45,15 @@ pub fn allclose(a: &[f32], b: &[f32], rtol: f32, atol: f32) -> bool {
     })
 }
 
-/// Dot product in f32.
+/// Dot product in f32, blocked over four independent accumulator lanes.
+///
+/// The naive scalar loop carries a dependence on its single accumulator, so
+/// the compiler must serialize the adds; four lanes let it keep partial sums
+/// in SIMD registers. The lane split changes rounding relative to a strictly
+/// sequential sum, which is why every consumer — the flash kernel, the
+/// reference oracle, and the parallel executor — must route through this one
+/// implementation: kernel-vs-reference and sequential-vs-parallel
+/// comparisons then see identical arithmetic.
 ///
 /// # Panics
 ///
@@ -53,11 +61,88 @@ pub fn allclose(a: &[f32], b: &[f32], rtol: f32, atol: f32) -> bool {
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "length mismatch in dot");
-    let mut acc = 0.0f32;
-    for i in 0..a.len() {
-        acc += a[i] * b[i];
+    let mut lanes = [0.0f32; 4];
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        lanes[0] += xa[0] * xb[0];
+        lanes[1] += xa[1] * xb[1];
+        lanes[2] += xa[2] * xb[2];
+        lanes[3] += xa[3] * xb[3];
+    }
+    let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        acc += x * y;
     }
     acc
+}
+
+/// `y[i] += a * x[i]`, blocked 4-wide.
+///
+/// Elementwise with no loop-carried dependence, so blocking does not change
+/// rounding — results are bit-identical to the scalar loop.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "length mismatch in axpy");
+    let n4 = x.len() & !3;
+    let (x4, xt) = x.split_at(n4);
+    let (y4, yt) = y.split_at_mut(n4);
+    for (xc, yc) in x4.chunks_exact(4).zip(y4.chunks_exact_mut(4)) {
+        yc[0] += a * xc[0];
+        yc[1] += a * xc[1];
+        yc[2] += a * xc[2];
+        yc[3] += a * xc[3];
+    }
+    for (yy, &xx) in yt.iter_mut().zip(xt) {
+        *yy += a * xx;
+    }
+}
+
+/// `y[i] *= s`, blocked 4-wide. Bit-identical to the scalar loop.
+#[inline]
+pub fn scale(y: &mut [f32], s: f32) {
+    let n4 = y.len() & !3;
+    let (y4, yt) = y.split_at_mut(n4);
+    for yc in y4.chunks_exact_mut(4) {
+        yc[0] *= s;
+        yc[1] *= s;
+        yc[2] *= s;
+        yc[3] *= s;
+    }
+    for yy in yt {
+        *yy *= s;
+    }
+}
+
+/// `y[i] = s * y[i] + a * x[i]`, blocked 4-wide: the fused
+/// rescale-and-accumulate step of the online-softmax update, one pass over
+/// `y` instead of a [`scale`] pass followed by an [`axpy`] pass.
+///
+/// Each element performs the same three roundings (`s*y`, `a*x`, their sum)
+/// as the two-pass form, so the fusion is bit-identical.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn scale_add(s: f32, a: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "length mismatch in scale_add");
+    let n4 = x.len() & !3;
+    let (x4, xt) = x.split_at(n4);
+    let (y4, yt) = y.split_at_mut(n4);
+    for (xc, yc) in x4.chunks_exact(4).zip(y4.chunks_exact_mut(4)) {
+        yc[0] = s * yc[0] + a * xc[0];
+        yc[1] = s * yc[1] + a * xc[1];
+        yc[2] = s * yc[2] + a * xc[2];
+        yc[3] = s * yc[3] + a * xc[3];
+    }
+    for (yy, &xx) in yt.iter_mut().zip(xt) {
+        *yy = s * *yy + a * xx;
+    }
 }
 
 #[cfg(test)]
@@ -98,5 +183,54 @@ mod tests {
     fn dot_basics() {
         assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
         assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn dot_blocked_covers_lanes_and_tail() {
+        // Length 7 exercises one full 4-lane block plus a 3-element tail;
+        // small integers make the blocked sum exact.
+        let a: Vec<f32> = (1..=7).map(|i| i as f32).collect();
+        let b: Vec<f32> = (1..=7).map(|i| (i * i) as f32).collect();
+        let expect: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert_eq!(dot(&a, &b), expect);
+        // Exact multiple of the block width (no tail).
+        let c = [2.0f32; 8];
+        assert_eq!(dot(&c, &c), 32.0);
+    }
+
+    #[test]
+    fn axpy_scale_and_scale_add_match_scalar_loops() {
+        let x: Vec<f32> = (0..11).map(|i| 0.37 * i as f32 - 1.4).collect();
+        let y0: Vec<f32> = (0..11).map(|i| -0.21 * i as f32 + 0.9).collect();
+        let (a, s) = (1.7f32, 0.4f32);
+
+        let mut y = y0.clone();
+        axpy(a, &x, &mut y);
+        for i in 0..x.len() {
+            assert_eq!(y[i], y0[i] + a * x[i], "axpy at {i}");
+        }
+
+        let mut y = y0.clone();
+        scale(&mut y, s);
+        for i in 0..x.len() {
+            assert_eq!(y[i], y0[i] * s, "scale at {i}");
+        }
+
+        // scale_add must be bit-identical to scale-then-axpy.
+        let mut fused = y0.clone();
+        scale_add(s, a, &x, &mut fused);
+        let mut two_pass = y0.clone();
+        scale(&mut two_pass, s);
+        axpy(a, &x, &mut two_pass);
+        assert_eq!(fused, two_pass);
+    }
+
+    #[test]
+    fn microkernels_handle_empty_slices() {
+        let mut y: Vec<f32> = vec![];
+        axpy(2.0, &[], &mut y);
+        scale(&mut y, 2.0);
+        scale_add(2.0, 3.0, &[], &mut y);
+        assert!(y.is_empty());
     }
 }

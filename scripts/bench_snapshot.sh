@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Snapshot the flash-kernel microbenchmarks into BENCH_kernel.json.
+#
+# Runs the criterion groups `flash_kernel_decode` (per-KV-length decode
+# shapes) and `flash_kernel_scratch` (fresh vs reused scratch arena on the
+# standard decode shape), then collects criterion's mean point estimates
+# (ns/iter) from target/criterion/*/new/estimates.json.
+#
+# Usage: scripts/bench_snapshot.sh [output.json]   (default: BENCH_kernel.json)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_kernel.json}"
+
+echo "==> cargo bench (flash_kernel groups)"
+cargo bench -p fi-bench --bench microbench -- 'flash_kernel'
+
+echo "==> collecting criterion estimates into ${OUT}"
+python3 - "$OUT" <<'PY'
+import json, os, sys
+
+out_path = sys.argv[1]
+root = os.path.join("target", "criterion")
+results = {}
+for group in ("flash_kernel_decode", "flash_kernel_scratch"):
+    gdir = os.path.join(root, group)
+    if not os.path.isdir(gdir):
+        continue
+    for bench in sorted(os.listdir(gdir)):
+        est = os.path.join(gdir, bench, "new", "estimates.json")
+        if not os.path.isfile(est):
+            continue
+        with open(est) as f:
+            mean_ns = json.load(f)["mean"]["point_estimate"]
+        results.setdefault(group, {})[bench] = round(mean_ns, 1)
+
+if not results:
+    sys.exit("no criterion estimates found under target/criterion — did the bench run?")
+
+scratch = results.get("flash_kernel_scratch", {})
+speedup = None
+if "fresh_scratch_per_call" in scratch and "reused_scratch" in scratch:
+    speedup = round(scratch["fresh_scratch_per_call"] / scratch["reused_scratch"], 3)
+
+with open(out_path, "w") as f:
+    json.dump(
+        {
+            "unit": "ns_per_iter_mean",
+            "source": "scripts/bench_snapshot.sh (criterion mean point estimates)",
+            "groups": results,
+            "scratch_speedup_fresh_over_reused": speedup,
+        },
+        f,
+        indent=2,
+    )
+    f.write("\n")
+print(f"wrote {out_path}")
+PY

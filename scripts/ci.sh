@@ -18,4 +18,7 @@ cargo clippy --workspace --all-targets "${PROFILE_FLAGS[@]}" -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace "${PROFILE_FLAGS[@]}"
 
+echo "==> cargo bench --no-run (benches must keep compiling)"
+cargo bench --workspace --no-run
+
 echo "CI OK"
