@@ -184,6 +184,10 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let (variant, params) = make_variant(variant_idx);
+        // The kernel contract requires kv_len >= qo_len (KV history
+        // includes the query rows themselves).
+        let l_kv_a = l_kv_a.max(l_qo_a);
+        let l_kv_b = l_kv_b.max(l_qo_b);
         let num_qo_heads = 1 << group_log;
         // Shape A uses GQA (2 kv heads when possible), shape B MHA — the
         // two problems deliberately differ in every dimension.

@@ -157,12 +157,14 @@ impl RadixTree {
                             .take_while(|(a, b)| a == b)
                             .count()
                     };
-                    if common < self.nodes[child].tokens.len() {
-                        // Split the edge at `common`.
-                        self.split(child, common);
-                    }
+                    node = if common < self.nodes[child].tokens.len() {
+                        // Split the edge at `common`; descent continues
+                        // from the head (the matched part).
+                        self.split(child, common)
+                    } else {
+                        child
+                    };
                     i += common;
-                    node = child;
                     self.nodes[node].last_access = now;
                     if common == 0 {
                         // Defensive: cannot happen (child keyed by first token).
@@ -174,28 +176,40 @@ impl RadixTree {
         Ok(0)
     }
 
-    /// Split `node`'s edge after `at` tokens: the node keeps the first `at`
-    /// tokens; a new child takes the rest along with the children.
-    fn split(&mut self, node: NodeId, at: usize) {
+    /// Split `node`'s edge after `at` tokens by inserting a new *head*
+    /// node above it: the head takes the first `at` tokens and `node`
+    /// keeps the tail — and, crucially, its identity. Outstanding
+    /// [`PrefixMatch`] handles point at `node`, so unlocking walks from
+    /// the deep end up through the new head and every reference taken by
+    /// [`RadixTree::lock_prefix`] is released. (Splitting the *tail* into
+    /// a new node instead would copy `ref_count` into a node no handle
+    /// points at, pinning it forever once the lock holder unlocks.)
+    ///
+    /// Returns the head's node id (the owner of the matched prefix).
+    fn split(&mut self, node: NodeId, at: usize) -> NodeId {
         debug_assert!(at > 0 && at < self.nodes[node].tokens.len());
         let tail_tokens = self.nodes[node].tokens.split_off(at);
+        let head_tokens = std::mem::replace(&mut self.nodes[node].tokens, tail_tokens);
         let tail_slots = self.nodes[node].slots.split_off(at);
-        let moved_children = std::mem::take(&mut self.nodes[node].children);
-        let tail_id = self.nodes.len();
+        let head_slots = std::mem::replace(&mut self.nodes[node].slots, tail_slots);
+        let parent = self.nodes[node].parent.expect("split of root");
+        let head_id = self.nodes.len();
+        // The head inherits the node's references: every lock on the node
+        // (or below it) passes through the head on its way to the root.
         let (rc, la) = (self.nodes[node].ref_count, self.nodes[node].last_access);
+        let tail_first = self.nodes[node].tokens[0];
         self.nodes.push(Node {
-            tokens: tail_tokens,
-            slots: tail_slots,
-            children: moved_children,
-            parent: Some(node),
+            tokens: head_tokens,
+            slots: head_slots,
+            children: HashMap::from([(tail_first, node)]),
+            parent: Some(parent),
             ref_count: rc,
             last_access: la,
         });
-        for (_, c) in self.nodes[tail_id].children.clone() {
-            self.nodes[c].parent = Some(tail_id);
-        }
-        let first = self.nodes[tail_id].tokens[0];
-        self.nodes[node].children.insert(first, tail_id);
+        self.nodes[node].parent = Some(head_id);
+        let head_first = self.nodes[head_id].tokens[0];
+        self.nodes[parent].children.insert(head_first, head_id);
+        head_id
     }
 
     /// Longest cached prefix of `tokens`, refreshing LRU clocks on the path.
@@ -433,6 +447,30 @@ mod tests {
         t.lock_prefix(&m);
         assert!(t.evict_lru(10).is_empty());
         t.unlock_prefix(&m);
+    }
+
+    #[test]
+    fn split_under_lock_releases_cleanly() {
+        // Regression: lock a prefix, then insert a diverging sequence that
+        // splits the locked edge. After unlocking, the whole tree must be
+        // evictable — the split must not strand a reference on a node the
+        // lock holder's handle cannot reach.
+        let mut t = RadixTree::new();
+        t.insert(&[1, 2, 3, 4], &[10, 11, 12, 13]).unwrap();
+        let m = t.match_prefix(&[1, 2, 3, 4]);
+        t.lock_prefix(&m);
+        // Splits the [1,2,3,4] edge at 2 while it is locked.
+        t.insert(&[1, 2, 9], &[10, 11, 99]).unwrap();
+        // The locked sequence is still pinned...
+        assert_eq!(t.match_prefix(&[1, 2, 3, 4]).slots, vec![10, 11, 12, 13]);
+        let freed = t.evict_lru(100);
+        assert_eq!(freed, vec![99], "only the unlocked branch may go");
+        // ...and fully evictable once unlocked.
+        t.unlock_prefix(&m);
+        let mut freed = t.evict_lru(100);
+        freed.sort_unstable();
+        assert_eq!(freed, vec![10, 11, 12, 13]);
+        assert_eq!(t.cached_tokens(), 0);
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Radix-tree eviction under interleaved insert / match / lock / evict
+//! traffic against a paged pool — the access pattern a serving runtime
+//! produces, where prefix registration, prefix hits, and capacity-driven
+//! eviction race over the same slot budget.
+//!
+//! Invariants checked every round:
+//! * slot conservation: pool free pages + tree-cached tokens == capacity
+//!   (one slot per cached token; page_size 1 makes slots pages),
+//! * locked prefixes are never evicted and keep their exact slots,
+//! * `insert` stores exactly the novel suffix after a `match_prefix`,
+//! * after unlocking everything, eviction drains the tree to empty — no
+//!   stranded references survive (regression for the split-under-lock
+//!   leak).
+
+use fi_kvcache::paged::{PagedKvCache, PagedKvConfig};
+use fi_kvcache::RadixTree;
+
+/// SplitMix64: deterministic pseudo-random stream.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// A token sequence over a tiny alphabet with short segments: guarantees
+/// heavy prefix sharing and frequent edge splits.
+fn gen_tokens(rng: &mut Rng) -> Vec<u32> {
+    let len = 1 + rng.below(12);
+    (0..len).map(|_| rng.next() as u32 % 3).collect()
+}
+
+const NUM_PAGES: usize = 256;
+
+fn pool() -> PagedKvCache<f32> {
+    PagedKvCache::new(PagedKvConfig {
+        page_size: 1,
+        num_pages: NUM_PAGES,
+        num_kv_heads: 1,
+        head_dim: 1,
+    })
+    .unwrap()
+}
+
+#[test]
+fn interleaved_insert_match_evict_conserves_slots() {
+    for seed in 0..8u64 {
+        let mut rng = Rng(0xC0FFEE ^ seed);
+        let mut tree = RadixTree::new();
+        let mut cache = pool();
+        // (sequence, match handle) pairs currently locked by "in-flight
+        // requests".
+        let mut locked: Vec<(Vec<u32>, fi_kvcache::radix::PrefixMatch)> = Vec::new();
+
+        for round in 0..400 {
+            match rng.below(10) {
+                // Insert: cache a new sequence, allocating slots for the
+                // novel suffix only (prefix hits reuse cached slots).
+                0..=4 => {
+                    let toks = gen_tokens(&mut rng);
+                    // Capacity pressure: reclaim BEFORE matching, like a
+                    // serving loop would — evicting after the match could
+                    // free the very slots the match reported.
+                    if cache.free_page_count() < toks.len() {
+                        let freed = tree.evict_lru(toks.len() - cache.free_page_count());
+                        cache.release_pages(&freed);
+                    }
+                    let m = tree.match_prefix(&toks);
+                    let novel = toks.len() - m.matched_tokens;
+                    if cache.free_page_count() < novel {
+                        continue; // everything evictable is pinned
+                    }
+                    let fresh = cache.alloc_pages(novel).unwrap();
+                    let mut slots = m.slots.clone();
+                    slots.extend(&fresh);
+                    let added = tree.insert(&toks, &slots).unwrap();
+                    assert_eq!(
+                        added, novel,
+                        "insert must store exactly the unmatched suffix (round {round})"
+                    );
+                }
+                // Lock: pin a prefix for an "in-flight request".
+                5..=6 => {
+                    let toks = gen_tokens(&mut rng);
+                    let m = tree.match_prefix(&toks);
+                    if m.matched_tokens > 0 {
+                        tree.lock_prefix(&m);
+                        locked.push((toks[..m.matched_tokens].to_vec(), m));
+                    }
+                }
+                // Unlock: retire a request.
+                7..=8 => {
+                    if !locked.is_empty() {
+                        let i = rng.below(locked.len());
+                        let (_, m) = locked.swap_remove(i);
+                        tree.unlock_prefix(&m);
+                    }
+                }
+                // Evict: capacity reclaim.
+                _ => {
+                    let freed = tree.evict_lru(1 + rng.below(32));
+                    cache.release_pages(&freed);
+                }
+            }
+
+            // Slot conservation: every page is either free or holds
+            // exactly one cached token.
+            assert_eq!(
+                cache.free_page_count() + tree.cached_tokens(),
+                NUM_PAGES,
+                "slot leak or double-free (seed {seed}, round {round})"
+            );
+            // Locked prefixes survive eviction with their slots intact.
+            for (toks, m) in &locked {
+                let again = tree.match_prefix(toks);
+                assert!(
+                    again.matched_tokens >= toks.len(),
+                    "locked prefix evicted (seed {seed}, round {round})"
+                );
+                assert_eq!(
+                    &again.slots[..toks.len()],
+                    &m.slots[..toks.len()],
+                    "locked prefix slots changed (seed {seed}, round {round})"
+                );
+            }
+        }
+
+        // Drain: release every lock, then eviction must empty the tree —
+        // a stranded ref_count (e.g. from splitting a locked edge) would
+        // leave tokens cached forever.
+        for (_, m) in locked.drain(..) {
+            tree.unlock_prefix(&m);
+        }
+        let freed = tree.evict_lru(usize::MAX);
+        cache.release_pages(&freed);
+        assert_eq!(tree.cached_tokens(), 0, "tree not drainable (seed {seed})");
+        assert_eq!(cache.free_page_count(), NUM_PAGES);
+        assert_eq!(tree.evictable_tokens(), 0);
+    }
+}

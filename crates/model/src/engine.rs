@@ -87,7 +87,6 @@ impl MiniLlmEngine {
     /// per layer.
     pub fn new(model: MiniLlm, page_size: usize, num_pages: usize) -> MiniLlmEngine {
         let cfg = model.cfg;
-        let heads = cfg.heads();
         let kv_cfg = PagedKvConfig {
             page_size,
             num_pages,

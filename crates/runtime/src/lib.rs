@@ -1,0 +1,48 @@
+//! # fi-runtime
+//!
+//! A concurrent continuous-batching serving runtime that drives the
+//! *real* attention kernels — the live counterpart of the discrete-event
+//! simulator in `fi-serving`.
+//!
+//! Architecture (one OS thread each):
+//!
+//! * **Clients** submit [`RuntimeRequest`]s through a bounded queue;
+//!   a full queue rejects immediately (backpressure), and every
+//!   submission — admitted or not — resolves its [`RequestHandle`] with
+//!   exactly one [`RequestOutcome`].
+//! * **The scheduler** forms an iteration-level batch every step (Orca):
+//!   chunked prefill under the Sarathi budget plus one decode token per
+//!   running sequence, with admission, chunking, and preemption decided
+//!   by [`fi_serving::policy`] — the *same* functions the simulator runs.
+//!   It owns all writes to the KV pool (admission, row appends, eviction)
+//!   and observes cancellation and deadlines between steps.
+//! * **Workers** execute the step's units concurrently through
+//!   [`fi_sched::pipeline::AttentionPipeline`] (plan cache, load-balanced
+//!   schedule, real FA2 kernels) against the shared
+//!   [`fi_kvcache::paged::PagedKvCache`] under a read lock.
+//!
+//! Every work unit is a batch-of-one problem on purpose: a plan's
+//! KV-split decisions are global per plan, so per-request units make the
+//! decoded outputs bit-identical to a sequential replay of the same
+//! request regardless of batch composition, worker count, preemption, or
+//! arrival order — the property the integration tests check against a
+//! fresh-pool oracle. Token embeddings are deterministic functions of
+//! `(seed, position)` ([`kv_row`], [`q_row`]), which is also what makes
+//! preempt-and-recompute exact.
+//!
+//! The final [`RuntimeMetrics`] embeds the simulator's `ServingMetrics`
+//! so a simulated and a real run of one workload can be compared
+//! field-for-field, and adds lifecycle accounting that reconciles
+//! exactly: `submitted == completed + rejected + cancelled`.
+
+pub mod metrics;
+pub mod request;
+pub mod scheduler;
+mod worker;
+
+pub use metrics::RuntimeMetrics;
+pub use request::{
+    kv_row, q_row, CancelReason, CompletedRequest, RejectReason, RequestHandle, RequestOutcome,
+    RuntimeRequest,
+};
+pub use scheduler::{Runtime, RuntimeConfig, RuntimeError};

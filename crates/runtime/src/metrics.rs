@@ -1,0 +1,86 @@
+//! The runtime's observable state: lifecycle counters on top of the
+//! latency and planner/kernel metrics shared with the simulator.
+
+use fi_serving::ServingMetrics;
+
+/// Snapshot of a runtime run, returned by `Runtime::finish`.
+///
+/// Embeds [`ServingMetrics`] — the same struct the discrete-event
+/// simulator reports — so a simulated run and a real-kernel run of the
+/// same workload can be compared field-for-field (TTFT/ITL percentiles,
+/// steps, preemptions, plan-cache and gather counters), and adds the
+/// lifecycle accounting only a concurrent runtime has: every submission
+/// ends in exactly one of completed / rejected / cancelled, and
+/// [`RuntimeMetrics::reconciles`] checks that identity.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RuntimeMetrics {
+    /// Latency samples, step counts, and planner/kernel observables —
+    /// shared shape with the simulator's report.
+    pub serving: ServingMetrics,
+    /// Requests submitted (including ones bounced at the queue gate).
+    pub submitted: u64,
+    /// Requests admitted into the KV pool at least once.
+    pub admitted: u64,
+    /// Requests rejected (queue full or oversize).
+    pub rejected: u64,
+    /// Requests cancelled (user, deadline, or failure).
+    pub cancelled: u64,
+    /// Preempt-by-swap evictions (KV copied out of the pool).
+    pub swap_outs: u64,
+    /// Swap restores on re-admission.
+    pub swap_ins: u64,
+    /// Highest submission-queue depth observed.
+    pub peak_queue_depth: usize,
+    /// KV pool size in pages.
+    pub kv_pages_total: usize,
+    /// Free pages after drain — equals `kv_pages_total` iff no page
+    /// leaked.
+    pub kv_pages_free_at_drain: usize,
+}
+
+impl RuntimeMetrics {
+    /// Requests that ran to completion.
+    pub fn completed(&self) -> u64 {
+        self.serving.completed as u64
+    }
+
+    /// Every submission accounted for exactly once:
+    /// `submitted == completed + rejected + cancelled`.
+    pub fn reconciles(&self) -> bool {
+        self.submitted == self.completed() + self.rejected + self.cancelled
+    }
+
+    /// True iff the pool drained back to fully free.
+    pub fn kv_pool_drained(&self) -> bool {
+        self.kv_pages_free_at_drain == self.kv_pages_total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconciliation_identity() {
+        let mut m = RuntimeMetrics {
+            submitted: 10,
+            rejected: 2,
+            cancelled: 3,
+            ..RuntimeMetrics::default()
+        };
+        m.serving.completed = 5;
+        assert!(m.reconciles());
+        m.cancelled = 2;
+        assert!(!m.reconciles());
+    }
+
+    #[test]
+    fn drain_check() {
+        let m = RuntimeMetrics {
+            kv_pages_total: 8,
+            kv_pages_free_at_drain: 8,
+            ..RuntimeMetrics::default()
+        };
+        assert!(m.kv_pool_drained());
+    }
+}

@@ -1,0 +1,220 @@
+//! Request specifications, completion handles, and the deterministic
+//! token-stream model.
+//!
+//! The runtime serves *synthetic* requests: token embeddings are pure
+//! functions of `(seed, position)`, standing in for the
+//! embedding-lookup + sampling steps a full model would run between
+//! attention layers. Determinism is load-bearing, not a convenience —
+//! preempt-and-recompute regenerates KV rows from the same functions, and
+//! the sequential oracle in the integration tests replays a request
+//! bit-identically without access to the runtime's pool.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// What a client asks the runtime to serve: a prompt of `prompt_len`
+/// synthetic tokens followed by `output_len` decode steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeRequest {
+    /// Prompt tokens to prefill.
+    pub prompt_len: usize,
+    /// Tokens to decode after the prompt.
+    pub output_len: usize,
+    /// Seed for the request's synthetic token stream.
+    pub seed: u64,
+    /// Relative deadline from submission; the scheduler cancels the
+    /// request (freeing its KV pages) once it passes.
+    pub deadline: Option<Duration>,
+}
+
+impl RuntimeRequest {
+    /// A request with no deadline.
+    pub fn new(prompt_len: usize, output_len: usize, seed: u64) -> RuntimeRequest {
+        RuntimeRequest {
+            prompt_len,
+            output_len,
+            seed,
+            deadline: None,
+        }
+    }
+
+    /// Attach a relative deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> RuntimeRequest {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Degenerate lengths are normalized up-front (a zero-length prompt
+    /// or output has no serving meaning), mirroring the policy layer's
+    /// `.max(1)` convention.
+    pub(crate) fn normalized(mut self) -> RuntimeRequest {
+        self.prompt_len = self.prompt_len.max(1);
+        self.output_len = self.output_len.max(1);
+        self
+    }
+}
+
+/// Why admission refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// The bounded submission queue was full (backpressure).
+    QueueFull,
+    /// The request can never fit the KV pool, even running alone.
+    Oversize,
+}
+
+/// Why a request was terminated before completing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CancelReason {
+    /// The client called [`RequestHandle::cancel`].
+    User,
+    /// The request's deadline passed.
+    Deadline,
+    /// The runtime could not serve it (kernel error, un-fittable KV).
+    Failed(String),
+}
+
+/// A finished request: every decoded attention output row, plus the
+/// request's latency samples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletedRequest {
+    /// One attention output row (`num_qo_heads * head_dim` floats) per
+    /// decoded token, in decode order.
+    pub outputs: Vec<Vec<f32>>,
+    /// Time to first token, seconds from submission.
+    pub ttft: f64,
+    /// Inter-token latencies, seconds (one per token after the first).
+    pub itl: Vec<f64>,
+    /// Times this request was preempted and later resumed.
+    pub preemptions: usize,
+}
+
+/// Terminal state of a submitted request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestOutcome {
+    /// All `output_len` tokens decoded.
+    Completed(CompletedRequest),
+    /// Never admitted.
+    Rejected(RejectReason),
+    /// Terminated after submission (user cancel, deadline, failure).
+    Cancelled(CancelReason),
+}
+
+impl RequestOutcome {
+    /// True for [`RequestOutcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RequestOutcome::Completed(_))
+    }
+
+    /// The completion record, if the request completed.
+    pub fn completed(self) -> Option<CompletedRequest> {
+        match self {
+            RequestOutcome::Completed(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// Client-side handle to a submitted request.
+///
+/// Exactly one [`RequestOutcome`] is delivered per submission — also for
+/// rejected ones — so `submitted == completed + rejected + cancelled`
+/// reconciles exactly over any set of handles.
+#[derive(Debug)]
+pub struct RequestHandle {
+    pub(crate) id: u64,
+    pub(crate) cancel_flag: Arc<AtomicBool>,
+    pub(crate) outcome: mpsc::Receiver<RequestOutcome>,
+}
+
+impl RequestHandle {
+    /// The runtime-assigned request id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Ask the scheduler to cancel the request. Takes effect at the next
+    /// scheduling step; the outcome is still delivered (as
+    /// [`RequestOutcome::Cancelled`] unless the request already
+    /// finished).
+    pub fn cancel(&self) {
+        self.cancel_flag.store(true, Ordering::Release);
+    }
+
+    /// Block until the outcome arrives.
+    pub fn wait(self) -> RequestOutcome {
+        self.outcome
+            .recv()
+            .unwrap_or(RequestOutcome::Cancelled(CancelReason::Failed(
+                "runtime shut down before delivering an outcome".into(),
+            )))
+    }
+
+    /// Non-blocking poll for the outcome.
+    pub fn try_wait(&self) -> Option<RequestOutcome> {
+        self.outcome.try_recv().ok()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic synthetic token streams.
+// ---------------------------------------------------------------------------
+
+/// SplitMix64-style finalizer over a (seed, stream, index) triple, mapped
+/// to roughly uniform `[-0.5, 0.5)`.
+fn mix3(seed: u64, stream: u64, i: u64) -> f32 {
+    let mut z = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(stream.wrapping_mul(0xD1B5_4A32_D192_ED03))
+        .wrapping_add(i.wrapping_mul(0x2545_F491_4F6C_DD1D));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    ((z >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+}
+
+/// The K (or V) row for absolute position `pos` of a request's sequence.
+///
+/// Positions `0..prompt_len` are prompt tokens; positions `prompt_len +
+/// t` are the generated tokens — both come from the same function, so
+/// recompute-after-preemption and the sequential oracle regenerate the
+/// exact rows the first pass wrote. `width` is `num_kv_heads * head_dim`.
+pub fn kv_row(seed: u64, pos: usize, width: usize, value: bool) -> Vec<f32> {
+    let stream = if value { 2 } else { 1 };
+    (0..width)
+        .map(|j| mix3(seed, stream, (pos * width + j) as u64))
+        .collect()
+}
+
+/// The query row for absolute position `pos` (prefill queries the prompt
+/// positions; decode step `t` queries position `prompt_len + t`).
+/// `width` is `num_qo_heads * head_dim`.
+pub fn q_row(seed: u64, pos: usize, width: usize) -> Vec<f32> {
+    (0..width)
+        .map(|j| mix3(seed, 3, (pos * width + j) as u64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_are_deterministic_and_distinct() {
+        let a = kv_row(7, 5, 16, false);
+        assert_eq!(a, kv_row(7, 5, 16, false));
+        assert_ne!(a, kv_row(7, 5, 16, true));
+        assert_ne!(a, kv_row(7, 6, 16, false));
+        assert_ne!(a, kv_row(8, 5, 16, false));
+        assert_ne!(a[..], q_row(7, 5, 16)[..]);
+        assert!(a.iter().all(|x| (-0.5..0.5).contains(x)));
+    }
+
+    #[test]
+    fn normalization_floors_lengths() {
+        let r = RuntimeRequest::new(0, 0, 1).normalized();
+        assert_eq!((r.prompt_len, r.output_len), (1, 1));
+    }
+}

@@ -1,0 +1,1066 @@
+//! The continuous-batching scheduler: a dedicated thread that forms
+//! iteration-level batches (Orca) from a bounded admission queue and
+//! drives them through a worker pool against the shared paged KV pool.
+//!
+//! Every per-step decision — admission under KV capacity, Sarathi-style
+//! chunked prefill, vLLM-style preemption on overflow — is delegated to
+//! [`fi_serving::policy`], the same functions the discrete-event
+//! simulator runs, so the two serving loops cannot drift apart in policy.
+//! What this loop adds over the simulator is everything a real runtime
+//! must do and a simulator may pretend away: real threads and channels,
+//! real KV pages (with fragmentation, so physical `OutOfPages` backstops
+//! the token-level accounting), cancellation and deadlines observed
+//! mid-flight, swap buffers that actually hold the evicted rows, and real
+//! kernels producing bit-exact attention outputs.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use fi_core::config::HeadConfig;
+use fi_core::tiles::TileConfig;
+use fi_kvcache::paged::{PagedKvCache, PagedKvConfig};
+use fi_kvcache::KvCacheError;
+use fi_serving::engine::{EngineConfig, PreemptionPolicy};
+use fi_serving::policy::{self, AdmissionCost, AdmissionVerdict};
+use fi_serving::workload::RequestSpec;
+use fi_serving::PipelineObservables;
+
+use crate::metrics::RuntimeMetrics;
+use crate::request::{
+    kv_row, q_row, CancelReason, CompletedRequest, RejectReason, RequestHandle, RequestOutcome,
+    RuntimeRequest,
+};
+use crate::worker::{worker_loop, WorkResult, WorkUnit, WorkerConfig};
+
+/// Configuration of a [`Runtime`].
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Policy knobs shared with the simulator: KV-token capacity, batch
+    /// cap, chunked-prefill budget, admission mode, preemption policy.
+    pub engine: EngineConfig,
+    /// Bound of the submission queue; a full queue rejects (backpressure).
+    pub queue_capacity: usize,
+    /// Worker threads executing attention kernels.
+    pub num_workers: usize,
+    /// CTAs each worker's pipeline schedules over.
+    pub num_ctas: usize,
+    /// Attention head geometry.
+    pub heads: HeadConfig,
+    /// Kernel tile configuration.
+    pub tile: TileConfig,
+    /// KV page size in tokens.
+    pub page_size: usize,
+    /// KV pool size in pages.
+    pub num_pages: usize,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> RuntimeConfig {
+        let (page_size, num_pages) = (4, 512);
+        RuntimeConfig {
+            engine: EngineConfig {
+                kv_capacity_tokens: page_size * num_pages,
+                max_batch: 16,
+                prefix_caching: false,
+                chunked_prefill_budget: Some(64),
+                optimistic_admission: true,
+                preemption: PreemptionPolicy::Recompute,
+            },
+            queue_capacity: 64,
+            num_workers: 4,
+            num_ctas: 8,
+            heads: HeadConfig::new(2, 1, 16).expect("static head config"),
+            tile: TileConfig { tq: 4, tkv: 8 },
+            page_size,
+            num_pages,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    fn validate(&self) -> Result<(), RuntimeError> {
+        let bad = |m: &str| Err(RuntimeError::InvalidConfig(m.into()));
+        if self.queue_capacity == 0 {
+            return bad("queue_capacity must be positive");
+        }
+        if self.num_workers == 0 {
+            return bad("num_workers must be positive");
+        }
+        if self.num_ctas == 0 {
+            return bad("num_ctas must be positive");
+        }
+        if self.page_size == 0 || self.num_pages == 0 {
+            return bad("kv pool must have pages");
+        }
+        if self.tile.tq == 0 || self.tile.tkv == 0 {
+            return bad("tile dims must be positive");
+        }
+        if self.engine.max_batch == 0 {
+            return bad("max_batch must be positive");
+        }
+        if self.engine.chunked_prefill_budget == Some(0) {
+            return bad("chunked_prefill_budget must be positive or None");
+        }
+        Ok(())
+    }
+}
+
+/// Runtime construction / configuration errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// The configuration is unusable.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::InvalidConfig(m) => write!(f, "invalid runtime config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Counters shared between the submitting side and the final report.
+#[derive(Default)]
+struct Gate {
+    submitted: AtomicU64,
+    gate_rejected: AtomicU64,
+    depth: AtomicUsize,
+    peak_depth: AtomicUsize,
+}
+
+/// An accepted submission travelling to the scheduler.
+struct Submission {
+    id: u64,
+    spec: RuntimeRequest,
+    cancel: Arc<AtomicBool>,
+    outcome: Sender<RequestOutcome>,
+    submitted_at: Instant,
+}
+
+fn deliver(sub: &Submission, outcome: RequestOutcome) {
+    // The client may have dropped its handle; that's its prerogative.
+    let _ = sub.outcome.send(outcome);
+}
+
+/// A concurrent continuous-batching serving runtime.
+///
+/// `start` spawns a scheduler thread and `num_workers` kernel workers;
+/// `submit` enqueues requests (rejecting with backpressure when the
+/// bounded queue is full); dropping the submission side via `finish`
+/// drains in-flight work and returns the [`RuntimeMetrics`] report.
+pub struct Runtime {
+    tx: Option<SyncSender<Submission>>,
+    scheduler: Option<JoinHandle<RuntimeMetrics>>,
+    gate: Arc<Gate>,
+    next_id: AtomicU64,
+}
+
+impl Runtime {
+    /// Spawn the scheduler and worker threads.
+    pub fn start(cfg: RuntimeConfig) -> Result<Runtime, RuntimeError> {
+        cfg.validate()?;
+        let pool = PagedKvCache::<f32>::new(PagedKvConfig {
+            page_size: cfg.page_size,
+            num_pages: cfg.num_pages,
+            num_kv_heads: cfg.heads.num_kv_heads,
+            head_dim: cfg.heads.head_dim,
+        })
+        .map_err(|e| RuntimeError::InvalidConfig(format!("kv pool: {e:?}")))?;
+        let pool = Arc::new(RwLock::new(pool));
+        let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity);
+        let gate = Arc::new(Gate::default());
+        let sched_gate = Arc::clone(&gate);
+        let scheduler = std::thread::Builder::new()
+            .name("fi-runtime-scheduler".into())
+            .spawn(move || Scheduler::new(cfg, pool, rx, sched_gate).run())
+            .map_err(|e| RuntimeError::InvalidConfig(format!("spawn scheduler: {e}")))?;
+        Ok(Runtime {
+            tx: Some(tx),
+            scheduler: Some(scheduler),
+            gate,
+            next_id: AtomicU64::new(1),
+        })
+    }
+
+    /// Submit a request. Always returns a handle; exactly one outcome is
+    /// delivered per submission, including queue-full rejections.
+    pub fn submit(&self, req: RuntimeRequest) -> RequestHandle {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let cancel_flag = Arc::new(AtomicBool::new(false));
+        let (otx, orx) = mpsc::channel();
+        self.gate.submitted.fetch_add(1, Ordering::Relaxed);
+        let sub = Submission {
+            id,
+            spec: req.normalized(),
+            cancel: Arc::clone(&cancel_flag),
+            outcome: otx,
+            submitted_at: Instant::now(),
+        };
+        let tx = self.tx.as_ref().expect("live until finish()");
+        // Count the submission in the depth *before* it becomes visible
+        // to the scheduler — the scheduler's decrement-on-drain must
+        // never observe an item whose increment hasn't happened yet.
+        let d = self.gate.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.gate.peak_depth.fetch_max(d, Ordering::Relaxed);
+        match tx.try_send(sub) {
+            Ok(()) => {}
+            Err(TrySendError::Full(sub)) | Err(TrySendError::Disconnected(sub)) => {
+                self.gate.depth.fetch_sub(1, Ordering::Relaxed);
+                self.gate.gate_rejected.fetch_add(1, Ordering::Relaxed);
+                deliver(&sub, RequestOutcome::Rejected(RejectReason::QueueFull));
+            }
+        }
+        RequestHandle {
+            id,
+            cancel_flag,
+            outcome: orx,
+        }
+    }
+
+    /// Submissions currently queued (admitted requests not included).
+    pub fn queue_depth(&self) -> usize {
+        self.gate.depth.load(Ordering::Relaxed)
+    }
+
+    /// Close the queue, drain all in-flight work, and report.
+    pub fn finish(mut self) -> RuntimeMetrics {
+        self.tx.take();
+        let handle = self.scheduler.take().expect("finish called once");
+        let mut m = match handle.join() {
+            Ok(m) => m,
+            Err(_) => panic!("fi-runtime scheduler thread panicked"),
+        };
+        m.submitted = self.gate.submitted.load(Ordering::Relaxed);
+        m.rejected += self.gate.gate_rejected.load(Ordering::Relaxed);
+        m.peak_queue_depth = self.gate.peak_depth.load(Ordering::Relaxed);
+        m
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.tx.take();
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler internals.
+// ---------------------------------------------------------------------------
+
+enum Phase {
+    /// Prefilling rows `done..target` (after a recompute-preemption,
+    /// `target` includes the already-generated tokens' KV).
+    Prefill { done: usize, target: usize },
+    /// One token per step.
+    Decode,
+}
+
+/// Swapped-out KV rows of a preempted request.
+struct SwapBuf {
+    k: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+struct Active {
+    sub: Submission,
+    phase: Phase,
+    /// Decoded output rows, in token order. Survives preemption — only
+    /// KV is evicted, not results.
+    outputs: Vec<Vec<f32>>,
+    /// KV tokens currently charged against `kv_used`.
+    charged: usize,
+    /// Prefill chunk staged for the current step.
+    staged: usize,
+    swap: Option<SwapBuf>,
+    first_token_at: Option<Instant>,
+    last_token_at: Option<Instant>,
+    itl: Vec<f64>,
+    preemptions: usize,
+}
+
+enum AppendOutcome {
+    Done,
+    /// The row can never fit (pool too small for this request alone).
+    Failed(String),
+}
+
+struct Scheduler {
+    cfg: RuntimeConfig,
+    pool: Arc<RwLock<PagedKvCache<f32>>>,
+    rx: Receiver<Submission>,
+    gate: Arc<Gate>,
+    pending: VecDeque<Submission>,
+    active: Vec<Active>,
+    preempted: VecDeque<Active>,
+    /// Policy-level token reservation (mirrors the simulator's `kv_used`).
+    kv_used: usize,
+    metrics: RuntimeMetrics,
+    worker_tx: Vec<Sender<WorkUnit>>,
+    results_rx: Option<Receiver<WorkResult>>,
+    workers: Vec<JoinHandle<PipelineObservables>>,
+    disconnected: bool,
+    rr: usize,
+}
+
+impl Scheduler {
+    fn new(
+        cfg: RuntimeConfig,
+        pool: Arc<RwLock<PagedKvCache<f32>>>,
+        rx: Receiver<Submission>,
+        gate: Arc<Gate>,
+    ) -> Scheduler {
+        Scheduler {
+            cfg,
+            pool,
+            rx,
+            gate,
+            pending: VecDeque::new(),
+            active: Vec::new(),
+            preempted: VecDeque::new(),
+            kv_used: 0,
+            metrics: RuntimeMetrics::default(),
+            worker_tx: Vec::new(),
+            results_rx: None,
+            workers: Vec::new(),
+            disconnected: false,
+            rr: 0,
+        }
+    }
+
+    fn run(mut self) -> RuntimeMetrics {
+        let start = Instant::now();
+        self.spawn_workers();
+        loop {
+            self.drain_submissions();
+            if self.disconnected
+                && self.pending.is_empty()
+                && self.active.is_empty()
+                && self.preempted.is_empty()
+            {
+                break;
+            }
+            self.sweep_cancellations();
+            self.resume_preempted();
+            self.admit_pending();
+            self.step();
+        }
+        // Graceful shutdown: close the unit channels, collect each
+        // worker's pipeline observables.
+        self.worker_tx.clear();
+        self.results_rx.take();
+        for h in std::mem::take(&mut self.workers) {
+            if let Ok(obs) = h.join() {
+                self.metrics.serving.pipeline.absorb(&obs);
+            }
+        }
+        self.metrics.serving.duration = start.elapsed().as_secs_f64();
+        self.metrics.kv_pages_total = self.cfg.num_pages;
+        self.metrics.kv_pages_free_at_drain =
+            self.pool.read().map(|g| g.free_page_count()).unwrap_or(0);
+        self.metrics
+    }
+
+    fn spawn_workers(&mut self) {
+        let wcfg = WorkerConfig {
+            heads: self.cfg.heads,
+            tile: self.cfg.tile,
+            num_ctas: self.cfg.num_ctas,
+        };
+        let (res_tx, res_rx) = mpsc::channel();
+        for w in 0..self.cfg.num_workers {
+            let (unit_tx, unit_rx) = mpsc::channel();
+            let pool = Arc::clone(&self.pool);
+            let res_tx = res_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("fi-runtime-worker-{w}"))
+                .spawn(move || worker_loop(wcfg, pool, unit_rx, res_tx))
+                .expect("spawn worker");
+            self.worker_tx.push(unit_tx);
+            self.workers.push(handle);
+        }
+        // Workers hold the only result senders: a recv error means the
+        // whole pool died, which we want to observe, not deadlock on.
+        drop(res_tx);
+        self.results_rx = Some(res_rx);
+    }
+
+    // -- intake ------------------------------------------------------------
+
+    fn drain_submissions(&mut self) {
+        if self.disconnected {
+            return;
+        }
+        // Idle: block for work instead of spinning.
+        if self.pending.is_empty() && self.active.is_empty() && self.preempted.is_empty() {
+            match self.rx.recv() {
+                Ok(s) => {
+                    self.gate.depth.fetch_sub(1, Ordering::Relaxed);
+                    self.pending.push_back(s);
+                }
+                Err(_) => {
+                    self.disconnected = true;
+                    return;
+                }
+            }
+        }
+        loop {
+            match self.rx.try_recv() {
+                Ok(s) => {
+                    self.gate.depth.fetch_sub(1, Ordering::Relaxed);
+                    self.pending.push_back(s);
+                }
+                Err(mpsc::TryRecvError::Empty) => break,
+                Err(mpsc::TryRecvError::Disconnected) => {
+                    self.disconnected = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn cancel_state(sub: &Submission) -> Option<CancelReason> {
+        if sub.cancel.load(Ordering::Acquire) {
+            return Some(CancelReason::User);
+        }
+        if let Some(d) = sub.spec.deadline {
+            if sub.submitted_at.elapsed() >= d {
+                return Some(CancelReason::Deadline);
+            }
+        }
+        None
+    }
+
+    fn sweep_cancellations(&mut self) {
+        let metrics = &mut self.metrics;
+        self.pending.retain(|s| match Self::cancel_state(s) {
+            Some(r) => {
+                deliver(s, RequestOutcome::Cancelled(r));
+                metrics.cancelled += 1;
+                false
+            }
+            None => true,
+        });
+        self.preempted.retain(|a| match Self::cancel_state(&a.sub) {
+            Some(r) => {
+                deliver(&a.sub, RequestOutcome::Cancelled(r));
+                metrics.cancelled += 1;
+                false
+            }
+            None => true,
+        });
+        let mut i = 0;
+        while i < self.active.len() {
+            match Self::cancel_state(&self.active[i].sub) {
+                Some(r) => {
+                    let a = self.active.remove(i);
+                    self.release(&a);
+                    deliver(&a.sub, RequestOutcome::Cancelled(r));
+                    self.metrics.cancelled += 1;
+                }
+                None => i += 1,
+            }
+        }
+    }
+
+    /// Free a request's policy reservation and its pool pages.
+    fn release(&mut self, a: &Active) {
+        self.kv_used = self.kv_used.saturating_sub(a.charged);
+        let _ = self
+            .pool
+            .write()
+            .expect("pool lock")
+            .remove_request(a.sub.id);
+    }
+
+    // -- admission ---------------------------------------------------------
+
+    fn decode_branches(&self) -> usize {
+        self.active
+            .iter()
+            .filter(|a| matches!(a.phase, Phase::Decode))
+            .count()
+    }
+
+    fn resume_preempted(&mut self) {
+        while let Some(front) = self.preempted.front() {
+            let need = front.sub.spec.prompt_len + front.outputs.len();
+            let rem_out = front.sub.spec.output_len - front.outputs.len();
+            let reserve = if self.cfg.engine.optimistic_admission {
+                need
+            } else {
+                need + rem_out
+            };
+            let cost = AdmissionCost {
+                full: need + rem_out,
+                reserve,
+                branches: 1,
+            };
+            if policy::admission_verdict(
+                &self.cfg.engine,
+                &cost,
+                self.kv_used,
+                self.decode_branches(),
+            ) != AdmissionVerdict::Admit
+            {
+                break;
+            }
+            let mut a = self.preempted.pop_front().expect("front exists");
+            self.pool
+                .write()
+                .expect("pool lock")
+                .add_request(a.sub.id)
+                .expect("preempted request is not in the pool");
+            a.charged = reserve;
+            self.kv_used += reserve;
+            match a.swap.take() {
+                Some(buf) => {
+                    if self.try_swap_in(&a, &buf, need) {
+                        self.metrics.swap_ins += 1;
+                        a.phase = Phase::Decode;
+                        self.active.push(a);
+                    } else {
+                        // Fragmentation beat the token accounting. A
+                        // swap-in must never evict running work (that
+                        // ping-pongs forever when two swapped requests
+                        // keep evicting each other before any step can
+                        // run): roll back, keep the buffer, and retry
+                        // once completed steps free pages.
+                        self.kv_used = self.kv_used.saturating_sub(a.charged);
+                        a.charged = 0;
+                        let _ = self
+                            .pool
+                            .write()
+                            .expect("pool lock")
+                            .remove_request(a.sub.id);
+                        a.swap = Some(buf);
+                        self.preempted.push_front(a);
+                        break;
+                    }
+                }
+                None => {
+                    a.phase = Phase::Prefill {
+                        done: 0,
+                        target: need,
+                    };
+                    self.active.push(a);
+                }
+            }
+        }
+    }
+
+    /// Restore swapped rows, then regenerate any rows evicted before they
+    /// were ever written (a self-preempt on a failed decode append leaves
+    /// the buffer one row short of `need`). Never evicts: false means
+    /// "no space right now", with any partial restore rolled back by the
+    /// caller via `remove_request`.
+    fn try_swap_in(&mut self, a: &Active, buf: &SwapBuf, need: usize) -> bool {
+        let id = a.sub.id;
+        for i in 0..buf.k.len() {
+            if !self.append_kv_no_evict(id, &buf.k[i], &buf.v[i]) {
+                return false;
+            }
+        }
+        let width = self.cfg.heads.kv_width();
+        for pos in buf.k.len()..need {
+            let k = kv_row(a.sub.spec.seed, pos, width, false);
+            let v = kv_row(a.sub.spec.seed, pos, width, true);
+            if !self.append_kv_no_evict(id, &k, &v) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Append without preempting anybody; false on page exhaustion.
+    fn append_kv_no_evict(&mut self, id: u64, k: &[f32], v: &[f32]) -> bool {
+        self.pool
+            .write()
+            .expect("pool lock")
+            .append(id, k, v)
+            .is_ok()
+    }
+
+    fn admit_pending(&mut self) {
+        while let Some(front) = self.pending.front() {
+            let spec = RequestSpec {
+                prompt_len: front.spec.prompt_len,
+                output_len: front.spec.output_len,
+                arrival: 0.0,
+                n_parallel: 1,
+            };
+            let cost = AdmissionCost::compute(&self.cfg.engine, &spec);
+            match policy::admission_verdict(
+                &self.cfg.engine,
+                &cost,
+                self.kv_used,
+                self.decode_branches(),
+            ) {
+                AdmissionVerdict::Admit => {
+                    let sub = self.pending.pop_front().expect("front exists");
+                    self.pool
+                        .write()
+                        .expect("pool lock")
+                        .add_request(sub.id)
+                        .expect("fresh request id");
+                    self.kv_used += cost.reserve;
+                    self.metrics.admitted += 1;
+                    let target = sub.spec.prompt_len;
+                    self.active.push(Active {
+                        sub,
+                        phase: Phase::Prefill { done: 0, target },
+                        outputs: Vec::new(),
+                        charged: cost.reserve,
+                        staged: 0,
+                        swap: None,
+                        first_token_at: None,
+                        last_token_at: None,
+                        itl: Vec::new(),
+                        preemptions: 0,
+                    });
+                }
+                AdmissionVerdict::RejectOversize => {
+                    let sub = self.pending.pop_front().expect("front exists");
+                    deliver(&sub, RequestOutcome::Rejected(RejectReason::Oversize));
+                    self.metrics.rejected += 1;
+                }
+                AdmissionVerdict::Defer => break,
+            }
+        }
+    }
+
+    // -- preemption --------------------------------------------------------
+
+    /// Victim index: the policy's pick among decoding sequences, falling
+    /// back to the newest prefilling sequence under physical page
+    /// pressure. `exclude` protects the request the eviction serves.
+    fn pick_victim(&self, exclude: u64) -> Option<usize> {
+        let decode: Vec<usize> = self
+            .active
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| matches!(a.phase, Phase::Decode) && a.sub.id != exclude)
+            .map(|(i, _)| i)
+            .collect();
+        let branches = vec![1usize; decode.len()];
+        if let Some(v) = policy::preemption_victim(&branches) {
+            return Some(decode[v]);
+        }
+        self.active
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, a)| a.sub.id != exclude)
+            .map(|(i, _)| i)
+    }
+
+    fn preempt(&mut self, idx: usize) {
+        let mut a = self.active.remove(idx);
+        self.kv_used = self.kv_used.saturating_sub(a.charged);
+        a.charged = 0;
+        a.staged = 0;
+        a.preemptions += 1;
+        self.metrics.serving.preemptions += 1;
+        let swap_decode = matches!(a.phase, Phase::Decode)
+            && matches!(self.cfg.engine.preemption, PreemptionPolicy::Swap);
+        if swap_decode {
+            a.swap = Some(self.swap_out(a.sub.id));
+            self.metrics.swap_outs += 1;
+        } else {
+            // Partial prefills always recompute: their saved rows would
+            // not be cheaper than regenerating them.
+            a.swap = None;
+        }
+        let target = a.sub.spec.prompt_len + a.outputs.len();
+        a.phase = Phase::Prefill { done: 0, target };
+        self.pool
+            .write()
+            .expect("pool lock")
+            .remove_request(a.sub.id)
+            .expect("victim is in the pool");
+        self.preempted.push_back(a);
+    }
+
+    /// Copy a request's KV rows out of the pool (the "swap to host" of
+    /// vLLM's Swap policy; `fi_kvcache::swap` models its cost).
+    fn swap_out(&self, id: u64) -> SwapBuf {
+        let g = self.pool.read().expect("pool lock");
+        let len = g.seq_len(id).expect("victim in pool");
+        let pt = g.page_table(&[id]).expect("victim page table");
+        let mut buf = SwapBuf {
+            k: Vec::with_capacity(len),
+            v: Vec::with_capacity(len),
+        };
+        for pos in 0..len {
+            let s = pt.slot_of(0, pos);
+            buf.k.push(g.k_slot(s).to_vec());
+            buf.v.push(g.v_slot(s).to_vec());
+        }
+        buf
+    }
+
+    /// Evict somebody other than `for_id` to free pages. False if no one
+    /// else holds pages.
+    fn evict_for(&mut self, for_id: u64) -> bool {
+        match self.pick_victim(for_id) {
+            Some(v) => {
+                self.preempt(v);
+                true
+            }
+            None => false,
+        }
+    }
+
+    // -- KV appends --------------------------------------------------------
+
+    /// Append one KV row, preempting other requests on physical page
+    /// exhaustion. Fails only if the request cannot fit even alone.
+    fn append_kv(&mut self, id: u64, k: &[f32], v: &[f32]) -> AppendOutcome {
+        loop {
+            let res = self.pool.write().expect("pool lock").append(id, k, v);
+            match res {
+                Ok(()) => return AppendOutcome::Done,
+                Err(KvCacheError::OutOfPages { .. }) => {
+                    if !self.evict_for(id) {
+                        return AppendOutcome::Failed(
+                            "kv pool too small for this request alone".into(),
+                        );
+                    }
+                }
+                Err(e) => return AppendOutcome::Failed(format!("append: {e:?}")),
+            }
+        }
+    }
+
+    fn append_row(&mut self, id: u64, seed: u64, pos: usize) -> AppendOutcome {
+        let width = self.cfg.heads.kv_width();
+        let k = kv_row(seed, pos, width, false);
+        let v = kv_row(seed, pos, width, true);
+        self.append_kv(id, &k, &v)
+    }
+
+    // -- the step ----------------------------------------------------------
+
+    fn index_of(&self, id: u64) -> Option<usize> {
+        self.active.iter().position(|a| a.sub.id == id)
+    }
+
+    fn fail(&mut self, id: u64, msg: String) {
+        if let Some(i) = self.index_of(id) {
+            let a = self.active.remove(i);
+            self.release(&a);
+            deliver(&a.sub, RequestOutcome::Cancelled(CancelReason::Failed(msg)));
+            self.metrics.cancelled += 1;
+        }
+    }
+
+    fn step(&mut self) {
+        if self.active.is_empty() {
+            return;
+        }
+        self.stage_prefill_appends();
+        let units = self.build_units();
+        if units.is_empty() {
+            return;
+        }
+        let n = units.len();
+        for u in units {
+            let w = self.rr % self.worker_tx.len();
+            self.rr += 1;
+            self.worker_tx[w].send(u).expect("worker pool alive");
+        }
+        let results: Vec<WorkResult> = {
+            let rx = self.results_rx.as_ref().expect("workers spawned");
+            (0..n)
+                .map(|_| rx.recv().expect("worker pool died mid-step"))
+                .collect()
+        };
+        self.metrics.serving.steps += 1;
+        for r in results {
+            self.process_result(r);
+        }
+        self.enforce_optimistic_capacity();
+    }
+
+    /// Write this step's prefill chunks into the pool, under the shared
+    /// Sarathi budget.
+    fn stage_prefill_appends(&mut self) {
+        for a in &mut self.active {
+            a.staged = 0;
+        }
+        let (ids, remaining): (Vec<u64>, Vec<usize>) = self
+            .active
+            .iter()
+            .filter_map(|a| match a.phase {
+                Phase::Prefill { done, target } => Some((a.sub.id, target - done)),
+                Phase::Decode => None,
+            })
+            .unzip();
+        let chunks = policy::prefill_chunks(self.cfg.engine.chunked_prefill_budget, &remaining);
+        for (&id, &chunk) in ids.iter().zip(chunks.iter()) {
+            if chunk == 0 {
+                continue;
+            }
+            // An earlier append this step may have preempted this request.
+            let Some(i) = self.index_of(id) else { continue };
+            let (seed, done) = {
+                let a = &self.active[i];
+                match a.phase {
+                    Phase::Prefill { done, .. } => (a.sub.spec.seed, done),
+                    Phase::Decode => continue,
+                }
+            };
+            let mut ok = true;
+            for pos in done..done + chunk {
+                // The request may also preempt *itself* only via evict_for
+                // exclusion rules — it cannot; a Failed outcome means it
+                // can never fit.
+                match self.append_row(id, seed, pos) {
+                    AppendOutcome::Done => {}
+                    AppendOutcome::Failed(msg) => {
+                        self.fail(id, msg);
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                if let Some(i) = self.index_of(id) {
+                    self.active[i].staged = chunk;
+                }
+            }
+        }
+    }
+
+    fn build_units(&self) -> Vec<WorkUnit> {
+        let qo_w = self.cfg.heads.qo_width();
+        self.active
+            .iter()
+            .filter_map(|a| match a.phase {
+                Phase::Prefill { done, .. } => {
+                    if a.staged == 0 {
+                        return None;
+                    }
+                    let q: Vec<f32> = (done..done + a.staged)
+                        .flat_map(|p| q_row(a.sub.spec.seed, p, qo_w))
+                        .collect();
+                    Some(WorkUnit {
+                        req_id: a.sub.id,
+                        token_index: None,
+                        qo_len: a.staged,
+                        kv_len: done + a.staged,
+                        q,
+                    })
+                }
+                Phase::Decode => {
+                    let t = a.outputs.len();
+                    let pos = a.sub.spec.prompt_len + t;
+                    Some(WorkUnit {
+                        req_id: a.sub.id,
+                        token_index: Some(t),
+                        qo_len: 1,
+                        kv_len: pos,
+                        q: q_row(a.sub.spec.seed, pos, qo_w),
+                    })
+                }
+            })
+            .collect()
+    }
+
+    fn process_result(&mut self, r: WorkResult) {
+        if let Some(err) = r.err {
+            self.fail(r.req_id, err);
+            return;
+        }
+        let Some(i) = self.index_of(r.req_id) else {
+            return;
+        };
+        match r.token_index {
+            None => {
+                // Prefill chunk retired.
+                let a = &mut self.active[i];
+                if let Phase::Prefill { done, target } = a.phase {
+                    let nd = done + a.staged;
+                    a.staged = 0;
+                    a.phase = if nd >= target {
+                        Phase::Decode
+                    } else {
+                        Phase::Prefill { done: nd, target }
+                    };
+                }
+            }
+            Some(t) => {
+                let now = Instant::now();
+                let a = &mut self.active[i];
+                debug_assert_eq!(t, a.outputs.len(), "decode results must arrive in order");
+                a.outputs.push(r.out);
+                if a.first_token_at.is_none() {
+                    a.first_token_at = Some(now);
+                    self.metrics
+                        .serving
+                        .ttft
+                        .push(now.duration_since(a.sub.submitted_at).as_secs_f64());
+                } else if let Some(last) = a.last_token_at {
+                    let d = now.duration_since(last).as_secs_f64();
+                    a.itl.push(d);
+                    self.metrics.serving.itl.push(d);
+                }
+                a.last_token_at = Some(now);
+                self.metrics.serving.tokens_generated += 1;
+                let seed = a.sub.spec.seed;
+                let pos = a.sub.spec.prompt_len + t;
+                let finished = a.outputs.len() >= a.sub.spec.output_len;
+                if finished {
+                    let a = self.active.remove(i);
+                    self.release(&a);
+                    let ttft = a
+                        .first_token_at
+                        .map(|f| f.duration_since(a.sub.submitted_at).as_secs_f64())
+                        .unwrap_or(0.0);
+                    deliver(
+                        &a.sub,
+                        RequestOutcome::Completed(CompletedRequest {
+                            outputs: a.outputs,
+                            ttft,
+                            itl: a.itl,
+                            preemptions: a.preemptions,
+                        }),
+                    );
+                    self.metrics.serving.completed += 1;
+                } else {
+                    // Append the generated token's KV row so the next
+                    // decode step sees it.
+                    match self.append_row(r.req_id, seed, pos) {
+                        AppendOutcome::Done => {
+                            if self.cfg.engine.optimistic_admission {
+                                if let Some(i) = self.index_of(r.req_id) {
+                                    self.active[i].charged += 1;
+                                    self.kv_used += 1;
+                                }
+                            }
+                        }
+                        AppendOutcome::Failed(msg) => self.fail(r.req_id, msg),
+                    }
+                }
+            }
+        }
+    }
+
+    /// The simulator's optimistic-overflow rule: while reservations
+    /// exceed capacity, preempt the policy's victim.
+    fn enforce_optimistic_capacity(&mut self) {
+        if !self.cfg.engine.optimistic_admission {
+            return;
+        }
+        while self.kv_used > self.cfg.engine.kv_capacity_tokens {
+            match self.pick_victim(u64::MAX) {
+                Some(v) => self.preempt(v),
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn tiny_cfg() -> RuntimeConfig {
+        RuntimeConfig {
+            num_workers: 2,
+            ..RuntimeConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_request_completes() {
+        let rt = Runtime::start(tiny_cfg()).unwrap();
+        let h = rt.submit(RuntimeRequest::new(12, 5, 7));
+        let out = h.wait().completed().expect("completes");
+        assert_eq!(out.outputs.len(), 5);
+        let w = RuntimeConfig::default().heads.qo_width();
+        assert!(out.outputs.iter().all(|row| row.len() == w));
+        assert!(out.ttft > 0.0);
+        let m = rt.finish();
+        assert_eq!(m.completed(), 1);
+        assert_eq!(m.submitted, 1);
+        assert!(m.reconciles());
+        assert!(m.kv_pool_drained());
+        assert!(m.serving.pipeline.kernel_flops > 0);
+        assert!(m.serving.pipeline.gather_rows > 0);
+    }
+
+    #[test]
+    fn oversize_request_rejected() {
+        let mut cfg = tiny_cfg();
+        cfg.engine.kv_capacity_tokens = 32;
+        let rt = Runtime::start(cfg).unwrap();
+        let h = rt.submit(RuntimeRequest::new(100, 10, 1));
+        assert_eq!(h.wait(), RequestOutcome::Rejected(RejectReason::Oversize));
+        let m = rt.finish();
+        assert_eq!(m.rejected, 1);
+        assert!(m.reconciles());
+    }
+
+    #[test]
+    fn cancelled_before_service() {
+        let rt = Runtime::start(tiny_cfg()).unwrap();
+        // A long-running request keeps the scheduler busy so the second
+        // one sits in the queue long enough to observe its cancel flag.
+        let _busy = rt.submit(RuntimeRequest::new(64, 50, 1));
+        let h = rt.submit(RuntimeRequest::new(8, 400, 2));
+        h.cancel();
+        match h.wait() {
+            RequestOutcome::Cancelled(CancelReason::User) | RequestOutcome::Completed(_) => {}
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        let m = rt.finish();
+        assert!(m.reconciles());
+        assert!(m.kv_pool_drained());
+    }
+
+    #[test]
+    fn deadline_in_the_past_cancels() {
+        let rt = Runtime::start(tiny_cfg()).unwrap();
+        let h =
+            rt.submit(RuntimeRequest::new(1000, 4000, 3).with_deadline(Duration::from_millis(0)));
+        assert_eq!(h.wait(), RequestOutcome::Cancelled(CancelReason::Deadline));
+        let m = rt.finish();
+        assert_eq!(m.cancelled, 1);
+        assert!(m.reconciles());
+        assert!(m.kv_pool_drained());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        for cfg in [
+            RuntimeConfig {
+                num_workers: 0,
+                ..RuntimeConfig::default()
+            },
+            RuntimeConfig {
+                queue_capacity: 0,
+                ..RuntimeConfig::default()
+            },
+            RuntimeConfig {
+                engine: EngineConfig {
+                    chunked_prefill_budget: Some(0),
+                    ..RuntimeConfig::default().engine
+                },
+                ..RuntimeConfig::default()
+            },
+        ] {
+            assert!(Runtime::start(cfg).is_err());
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Worker pool: each worker owns an [`AttentionPipeline`] (plan cache,
+//! workspace, kernel-stat accounting) and executes work units against the
+//! shared paged KV pool under a read lock.
+//!
+//! Workers only *read* the pool — the scheduler is the single writer and
+//! appends between steps — so a step's units run concurrently without
+//! aliasing. Every unit is a batch-of-one problem: the scheduler keeps
+//! per-request work units separate so outputs are bit-identical to a
+//! sequential replay regardless of how requests were batched, preempted,
+//! or spread across workers (the plan's KV-split decisions are global per
+//! plan, so multi-request batches would change the floating-point
+//! association).
+
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, RwLock};
+
+use fi_core::config::HeadConfig;
+use fi_core::kernel::{AttentionProblem, FlashKernel};
+use fi_core::tiles::TileConfig;
+use fi_core::variant::{VanillaAttention, VariantParams};
+use fi_kvcache::paged::PagedKvCache;
+use fi_sched::pipeline::AttentionPipeline;
+use fi_serving::PipelineObservables;
+use fi_tensor::RaggedTensor;
+
+/// One attention launch for one request.
+#[derive(Debug, Clone)]
+pub(crate) struct WorkUnit {
+    /// Pool request id.
+    pub req_id: u64,
+    /// `Some(t)`: decode step `t` (the output row is recorded);
+    /// `None`: a prefill chunk (runs the real kernel, output discarded).
+    pub token_index: Option<usize>,
+    /// Query rows in this unit.
+    pub qo_len: usize,
+    /// KV rows visible to this unit (the request's current pool length).
+    pub kv_len: usize,
+    /// Flattened query rows, `qo_len * qo_width`.
+    pub q: Vec<f32>,
+}
+
+/// A completed unit.
+#[derive(Debug, Clone)]
+pub(crate) struct WorkResult {
+    pub req_id: u64,
+    pub token_index: Option<usize>,
+    /// Output rows, `qo_len * qo_width` (empty on error).
+    pub out: Vec<f32>,
+    pub err: Option<String>,
+}
+
+/// Shared immutable kernel configuration for the pool of workers.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct WorkerConfig {
+    pub heads: HeadConfig,
+    pub tile: TileConfig,
+    pub num_ctas: usize,
+}
+
+/// Worker body: drain units until the scheduler drops the sender, then
+/// return the pipeline's accumulated observables for the final report.
+pub(crate) fn worker_loop(
+    cfg: WorkerConfig,
+    pool: Arc<RwLock<PagedKvCache<f32>>>,
+    rx: Receiver<WorkUnit>,
+    tx: Sender<WorkResult>,
+) -> PipelineObservables {
+    let mut pipeline = AttentionPipeline::new(
+        FlashKernel {
+            tile: cfg.tile,
+            head_fusion: true,
+        },
+        cfg.num_ctas,
+        fi_sched::plan::CostModel::default(),
+        fi_sched::wrapper::SchedulePolicy::Balanced,
+        fi_core::arch::Arch::Hopper,
+    )
+    .expect("worker pipeline config validated at runtime start");
+    let params = VariantParams::for_head_dim(cfg.heads.head_dim);
+    let variant = VanillaAttention { causal: true };
+
+    while let Ok(unit) = rx.recv() {
+        let result = execute(&pool, &mut pipeline, cfg, &variant, &params, &unit);
+        let msg = match result {
+            Ok(out) => WorkResult {
+                req_id: unit.req_id,
+                token_index: unit.token_index,
+                out,
+                err: None,
+            },
+            Err(e) => WorkResult {
+                req_id: unit.req_id,
+                token_index: unit.token_index,
+                out: Vec::new(),
+                err: Some(e),
+            },
+        };
+        if tx.send(msg).is_err() {
+            break; // scheduler gone; shut down
+        }
+    }
+
+    let mut obs = PipelineObservables::default();
+    obs.absorb_pipeline(&pipeline);
+    obs
+}
+
+/// Page table → BSR layout → plan → run, for one request's unit.
+fn execute(
+    pool: &Arc<RwLock<PagedKvCache<f32>>>,
+    pipeline: &mut AttentionPipeline,
+    cfg: WorkerConfig,
+    variant: &VanillaAttention,
+    params: &VariantParams,
+    unit: &WorkUnit,
+) -> Result<Vec<f32>, String> {
+    let guard = pool
+        .read()
+        .map_err(|_| "kv pool lock poisoned".to_string())?;
+    let pt = guard
+        .page_table(&[unit.req_id])
+        .map_err(|e| format!("page table: {e:?}"))?;
+    let layout = pt
+        .to_bsr(&[unit.qo_len], cfg.tile.tq)
+        .map_err(|e| format!("bsr layout: {e:?}"))?;
+    let mut q = RaggedTensor::<f32>::from_seq_lens(&[unit.qo_len], cfg.heads.qo_width());
+    q.as_tensor_mut().as_mut_slice().copy_from_slice(&unit.q);
+    let problem = AttentionProblem::standard_batch(
+        &q,
+        guard.k_pool(),
+        guard.v_pool(),
+        &layout,
+        cfg.heads,
+        &[unit.kv_len],
+    )
+    .map_err(|e| format!("problem: {e:?}"))?;
+    pipeline
+        .plan(&layout, cfg.heads.num_qo_heads, cfg.heads.head_dim)
+        .map_err(|e| format!("plan: {e:?}"))?;
+    let out = pipeline
+        .run(&problem, variant, params)
+        .map_err(|e| format!("run: {e:?}"))?;
+    Ok(out.o.seq(0).to_vec())
+}

@@ -257,6 +257,7 @@ impl CascadeAttention {
             }
         }
         pipeline.record_execution(items_executed, 0);
+        pipeline.record_kernel_stats(&stats);
 
         // Finalize.
         let mut o = RaggedTensor::<f32>::zeros(q.indptr().to_vec(), heads.qo_width())

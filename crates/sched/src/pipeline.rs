@@ -365,6 +365,8 @@ pub struct AttentionPipeline {
     current_key: Option<PlanKey>,
     current_fingerprint: u64,
     stats: PipelineStats,
+    kernel_stats: KernelStats,
+    scratch: KernelScratch,
 }
 
 impl AttentionPipeline {
@@ -414,6 +416,8 @@ impl AttentionPipeline {
             current_key: None,
             current_fingerprint: 0,
             stats: PipelineStats::default(),
+            kernel_stats: KernelStats::default(),
+            scratch: KernelScratch::new(),
         })
     }
 
@@ -485,6 +489,16 @@ impl AttentionPipeline {
     /// Cumulative statistics.
     pub fn stats(&self) -> PipelineStats {
         self.stats
+    }
+
+    /// Cumulative kernel execution statistics — FLOPs, staged tiles, and
+    /// the gather-level detail ([`fi_core::gather::GatherStats`]) — folded
+    /// from every `run` and every cascade execution through this pipeline.
+    /// This is the executor-boundary accounting PR 2 absorbed into the
+    /// per-run [`KernelOutput`]; here it survives across steps so serving
+    /// layers can report it.
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.kernel_stats
     }
 
     /// The plan cache (hit/miss counters, occupancy).
@@ -678,6 +692,7 @@ impl AttentionPipeline {
                 problem,
                 variant,
                 params,
+                &mut self.scratch,
             )?,
             ExecMode::Parallel { max_threads } => crate::parallel::run_plan_parallel(
                 self.kernel,
@@ -691,6 +706,7 @@ impl AttentionPipeline {
         };
         self.stats.items_executed += plan.num_items() as u64;
         self.stats.merges += plan.merge_groups.len() as u64;
+        self.kernel_stats.absorb(&out.stats);
         Ok(out)
     }
 
@@ -699,6 +715,13 @@ impl AttentionPipeline {
     pub(crate) fn record_execution(&mut self, items: u64, merges: u64) {
         self.stats.items_executed += items;
         self.stats.merges += merges;
+    }
+
+    /// Fold externally executed kernel statistics (gather detail included)
+    /// into the cumulative accounting — the cascade path runs chunks
+    /// itself and would otherwise drop them at the executor boundary.
+    pub(crate) fn record_kernel_stats(&mut self, stats: &KernelStats) {
+        self.kernel_stats.absorb(stats);
     }
 }
 
@@ -713,6 +736,7 @@ pub(crate) fn run_plan_sequential<TQ: Scalar, TKV: Scalar>(
     problem: &AttentionProblem<'_, TQ, TKV>,
     variant: &dyn AttentionVariant,
     params: &VariantParams,
+    scratch: &mut KernelScratch,
 ) -> Result<KernelOutput, SchedError> {
     let heads = problem.heads();
     let d = heads.head_dim;
@@ -724,11 +748,11 @@ pub(crate) fn run_plan_sequential<TQ: Scalar, TKV: Scalar>(
     let mut stats = KernelStats::default();
     let use_softmax = variant.use_softmax();
 
-    // One scratch arena for the whole schedule: every item reuses the same
-    // buffers, and both the workspace write and the writethrough finalize
-    // read straight from the scratch's flat outputs — no AttentionState is
+    // One scratch arena for the whole schedule (owned by the pipeline, so
+    // capacity survives across runs): every item reuses the same buffers,
+    // and both the workspace write and the writethrough finalize read
+    // straight from the scratch's flat outputs — no AttentionState is
     // materialized anywhere on this path.
-    let mut scratch = KernelScratch::new();
     let mut orow = vec![0.0f32; d];
     for queue in &plan.cta_queues {
         for item in queue {
@@ -738,7 +762,7 @@ pub(crate) fn run_plan_sequential<TQ: Scalar, TKV: Scalar>(
                 params,
                 item.block_row,
                 item.kv_block_start..item.kv_block_end,
-                &mut scratch,
+                scratch,
             )?;
             stats.absorb(&meta.stats);
             match item.partial_index {
@@ -923,9 +947,9 @@ mod tests {
             .map(|br| vec![false; b.block_row(br).len()])
             .collect();
         for (_, item) in plan_b.iter_items() {
-            for blk in item.kv_block_start..item.kv_block_end {
-                assert!(!covered[item.block_row][blk]);
-                covered[item.block_row][blk] = true;
+            for c in &mut covered[item.block_row][item.kv_block_start..item.kv_block_end] {
+                assert!(!*c);
+                *c = true;
             }
         }
         assert!(covered.iter().all(|r| r.iter().all(|&x| x)));
@@ -977,8 +1001,10 @@ mod tests {
         let mut p = pipeline(8);
         p.plan(&layout_for(&[16]), 2, 8).unwrap();
         p.freeze_workspace();
-        // A much larger batch would need a bigger metadata/partials section.
-        let big = layout_for(&[2000, 1500, 1000, 900]);
+        // A much larger batch would need a bigger metadata/partials
+        // section: 32 block rows alone exceed the 16-item metadata floor
+        // the first (single-row) plan established.
+        let big = layout_for(&vec![100; 32]);
         assert!(matches!(
             p.plan(&big, 2, 8),
             Err(SchedError::WorkspaceTooSmall { .. })

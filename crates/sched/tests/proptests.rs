@@ -168,7 +168,17 @@ proptest! {
             .map(|b| RowMeta { batch_idx: b, qo_pos: 0, qo_len: 1, kv_len })
             .collect();
         let kernel = FlashKernel { tile: TileConfig { tq: 1, tkv: 4 }, head_fusion: true };
-        let out = cascade.run(kernel, &q, &k, &v, heads, &row_meta, &variant, &params).unwrap();
+        let mut pipeline = fi_sched::pipeline::AttentionPipeline::new(
+            kernel,
+            4,
+            CostModel::default(),
+            SchedulePolicy::Balanced,
+            fi_core::arch::Arch::Ampere,
+        )
+        .unwrap();
+        let out = cascade
+            .run(&mut pipeline, &q, &k, &v, heads, &row_meta, &variant, &params)
+            .unwrap();
 
         let flat = BlockSparseMatrix::new(rows, cols, 1, flat_rows).unwrap();
         let problem =

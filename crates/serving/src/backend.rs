@@ -23,6 +23,7 @@ use fi_gpusim::GpuSpec;
 use fi_sched::pipeline::{AttentionPipeline, SchedulePolicy};
 
 use crate::costlayout::{cost_layout, CostItem};
+use crate::metrics::PipelineObservables;
 use crate::model::ModelConfig;
 
 /// Decode work for one sequence in a step.
@@ -71,7 +72,21 @@ pub trait Backend: Send {
     fn name(&self) -> &'static str;
 
     /// Wall-clock time of one serving step.
-    fn step_time(&mut self, batch: &StepBatch, model: &ModelConfig, spec: &GpuSpec) -> f64;
+    fn step_time(&mut self, batch: &StepBatch, model: &ModelConfig, spec: &GpuSpec) -> f64 {
+        let mut obs = PipelineObservables::default();
+        self.step_time_observed(batch, model, spec, &mut obs)
+    }
+
+    /// As [`Backend::step_time`], additionally folding the step's planner
+    /// counters (plans computed, work items, merges) into `obs` instead
+    /// of dropping them with the backend's per-step pipeline.
+    fn step_time_observed(
+        &mut self,
+        batch: &StepBatch,
+        model: &ModelConfig,
+        spec: &GpuSpec,
+        obs: &mut PipelineObservables,
+    ) -> f64;
 }
 
 /// Scheduling policy + tile policy + overhead profile for the shared cost
@@ -129,6 +144,27 @@ pub fn attention_kernel_time_with_ctas(
     granule: usize,
     num_ctas: usize,
 ) -> f64 {
+    let mut obs = PipelineObservables::default();
+    attention_kernel_time_observed(
+        items, model, spec, tile, balanced, efficiency, granule, num_ctas, &mut obs,
+    )
+}
+
+/// As [`attention_kernel_time_with_ctas`], folding the planner counters
+/// of the priced launch into `obs` (the pipeline here is per-call, so its
+/// statistics would otherwise vanish with it).
+#[allow(clippy::too_many_arguments)]
+pub fn attention_kernel_time_observed(
+    items: &[CostItem],
+    model: &ModelConfig,
+    spec: &GpuSpec,
+    tile: TileConfig,
+    balanced: bool,
+    efficiency: f64,
+    granule: usize,
+    num_ctas: usize,
+    obs: &mut PipelineObservables,
+) -> f64 {
     if items.is_empty() {
         return 0.0;
     }
@@ -146,6 +182,11 @@ pub fn attention_kernel_time_with_ctas(
         .plan(&layout, 1, 1)
         .expect("cost layout admits a plan")
         .clone();
+    // The simulator prices the plan's items instead of running them; count
+    // them as executed so the counters line up with the real runtime.
+    obs.items_executed += plan.iter_items().count() as u64;
+    obs.merges += plan.merge_groups.len() as u64;
+    obs.absorb_pipeline(&pipeline);
     let heads = model.heads();
     let mut ctx = ExecContext::new(*spec, heads, tile);
     // Items are per-(tile, kv-head): one head each.
@@ -161,8 +202,9 @@ fn attention_time(
     tile: TileConfig,
     prof: &Profile,
     granule: usize,
+    obs: &mut PipelineObservables,
 ) -> f64 {
-    attention_kernel_time(
+    attention_kernel_time_observed(
         items,
         model,
         spec,
@@ -170,6 +212,8 @@ fn attention_time(
         prof.balanced,
         prof.efficiency,
         granule,
+        spec.num_sms,
+        obs,
     )
 }
 
@@ -180,6 +224,7 @@ fn profile_step_time(
     spec: &GpuSpec,
     prof: &Profile,
     composable: bool,
+    obs: &mut PipelineObservables,
 ) -> f64 {
     let heads = model.heads();
     let fused = FusedLayout::new(heads);
@@ -251,7 +296,7 @@ fn profile_step_time(
             tkv: FA2_FIXED_TILE.tkv,
         }
     };
-    let decode_t = attention_time(&decode_items, model, spec, decode_tile, prof, 64);
+    let decode_t = attention_time(&decode_items, model, spec, decode_tile, prof, 64, obs);
 
     // Prefill attention items (causal triangular).
     let mut prefill_items: Vec<CostItem> = Vec::new();
@@ -284,7 +329,7 @@ fn profile_step_time(
             s = e;
         }
     }
-    let prefill_t = attention_time(&prefill_items, model, spec, prefill_tile, prof, 64);
+    let prefill_t = attention_time(&prefill_items, model, spec, prefill_tile, prof, 64, obs);
 
     // Launch accounting: graph replay pays one overhead for the whole
     // step; per-layer launching pays 2 kernels (attention + contraction or
@@ -318,7 +363,13 @@ impl Backend for FlashInferBackend {
         }
     }
 
-    fn step_time(&mut self, batch: &StepBatch, model: &ModelConfig, spec: &GpuSpec) -> f64 {
+    fn step_time_observed(
+        &mut self,
+        batch: &StepBatch,
+        model: &ModelConfig,
+        spec: &GpuSpec,
+        obs: &mut PipelineObservables,
+    ) -> f64 {
         let prof = Profile {
             balanced: true,
             adaptive_tiles: true,
@@ -327,7 +378,7 @@ impl Backend for FlashInferBackend {
             nonattn_factor: 1.0,
             plan_overhead: 30e-6,
         };
-        profile_step_time(batch, model, spec, &prof, self.composable)
+        profile_step_time(batch, model, spec, &prof, self.composable, obs)
     }
 }
 
@@ -341,7 +392,13 @@ impl Backend for TritonLikeBackend {
         "triton-like"
     }
 
-    fn step_time(&mut self, batch: &StepBatch, model: &ModelConfig, spec: &GpuSpec) -> f64 {
+    fn step_time_observed(
+        &mut self,
+        batch: &StepBatch,
+        model: &ModelConfig,
+        spec: &GpuSpec,
+        obs: &mut PipelineObservables,
+    ) -> f64 {
         let prof = Profile {
             balanced: false,
             adaptive_tiles: false,
@@ -350,7 +407,7 @@ impl Backend for TritonLikeBackend {
             nonattn_factor: 1.0,
             plan_overhead: 15e-6,
         };
-        profile_step_time(batch, model, spec, &prof, false)
+        profile_step_time(batch, model, spec, &prof, false, obs)
     }
 }
 
@@ -365,7 +422,13 @@ impl Backend for TrtLikeBackend {
         "trtllm-like"
     }
 
-    fn step_time(&mut self, batch: &StepBatch, model: &ModelConfig, spec: &GpuSpec) -> f64 {
+    fn step_time_observed(
+        &mut self,
+        batch: &StepBatch,
+        model: &ModelConfig,
+        spec: &GpuSpec,
+        obs: &mut PipelineObservables,
+    ) -> f64 {
         let prof = Profile {
             balanced: true,
             adaptive_tiles: true,
@@ -374,7 +437,7 @@ impl Backend for TrtLikeBackend {
             nonattn_factor: 0.90,
             plan_overhead: 20e-6,
         };
-        profile_step_time(batch, model, spec, &prof, false)
+        profile_step_time(batch, model, spec, &prof, false, obs)
     }
 }
 

@@ -16,6 +16,7 @@ use fi_gpusim::GpuSpec;
 use crate::backend::{Backend, DecodeEntry, PrefillEntry, StepBatch};
 use crate::metrics::ServingMetrics;
 use crate::model::ModelConfig;
+use crate::policy::{self, AdmissionCost, AdmissionVerdict};
 use crate::workload::RequestSpec;
 
 /// Engine capacity limits.
@@ -120,12 +121,7 @@ impl<B: Backend> Engine<B> {
 
     /// KV tokens a request will occupy at completion.
     fn kv_cost(&self, r: &RequestSpec) -> usize {
-        let n = r.n_parallel.max(1);
-        if self.config.prefix_caching {
-            r.prompt_len + n * r.output_len
-        } else {
-            n * (r.prompt_len + r.output_len)
-        }
+        policy::kv_cost(self.config.prefix_caching, r)
     }
 
     /// Serve a list of requests to completion. Requests whose KV footprint
@@ -142,6 +138,13 @@ impl<B: Backend> Engine<B> {
         let mut req_kv: Vec<usize> = vec![0; requests.len()];
         let mut skipped = 0usize;
         let optimistic = self.config.optimistic_admission;
+        // Admission footprints are invariant over a request's lifetime:
+        // compute them once instead of on every step a request spends at
+        // the head of the queue (they used to be re-derived per step).
+        let costs: Vec<AdmissionCost> = requests
+            .iter()
+            .map(|r| AdmissionCost::compute(&self.config, &r.spec))
+            .collect();
 
         // Requests admitted but not fully prefilled (chunked prefill), or
         // being recomputed after preemption (`resume > 0`).
@@ -175,8 +178,15 @@ impl<B: Backend> Engine<B> {
             while let Some(&(ri, generated)) = preempted.first() {
                 let spec = requests[ri].spec;
                 let need = spec.prompt_len + generated;
-                if kv_used + need > self.config.kv_capacity_tokens
-                    || running.len() + 1 > self.config.max_batch
+                // A resumed request reserves exactly the KV it had (one
+                // branch; group requests are never preempted).
+                let resume_cost = AdmissionCost {
+                    full: need,
+                    reserve: need,
+                    branches: 1,
+                };
+                if policy::admission_verdict(&self.config, &resume_cost, kv_used, running.len())
+                    != AdmissionVerdict::Admit
                 {
                     break;
                 }
@@ -210,49 +220,39 @@ impl<B: Backend> Engine<B> {
                 && next < requests.len()
                 && requests[next].spec.arrival <= clock
             {
-                let spec = requests[next].spec;
-                let full_cost = self.kv_cost(&spec);
-                let reserve = if optimistic {
-                    spec.prompt_len.max(1)
-                } else {
-                    full_cost
-                };
-                let branches = spec.n_parallel.max(1);
-                if full_cost > self.config.kv_capacity_tokens {
-                    skipped += 1;
-                    next += 1;
-                    continue;
-                }
-                if kv_used + reserve > self.config.kv_capacity_tokens
-                    || running.len() + branches > self.config.max_batch
+                match policy::admission_verdict(&self.config, &costs[next], kv_used, running.len())
                 {
-                    break; // wait for capacity
+                    AdmissionVerdict::RejectOversize => {
+                        skipped += 1;
+                        next += 1;
+                    }
+                    AdmissionVerdict::Defer => break, // wait for capacity
+                    AdmissionVerdict::Admit => {
+                        kv_used += costs[next].reserve;
+                        req_kv[next] = costs[next].reserve;
+                        prefilling.push(Prefilling {
+                            req_index: next,
+                            done: 0,
+                            total: requests[next].spec.prompt_len.max(1),
+                            resume: 0,
+                        });
+                        next += 1;
+                    }
                 }
-                kv_used += reserve;
-                req_kv[next] = reserve;
-                prefilling.push(Prefilling {
-                    req_index: next,
-                    done: 0,
-                    total: spec.prompt_len.max(1),
-                    resume: 0,
-                });
-                next += 1;
             }
 
             // Assemble the step: prefill chunks (FCFS under the budget) +
             // all running decodes.
             let mut batch = StepBatch::default();
-            let mut budget = self.config.chunked_prefill_budget.unwrap_or(usize::MAX);
-            let mut chunk_sizes: Vec<usize> = Vec::with_capacity(prefilling.len());
-            for p in &prefilling {
-                let chunk = (p.total - p.done).min(budget);
-                chunk_sizes.push(chunk);
+            let remaining: Vec<usize> = prefilling.iter().map(|p| p.total - p.done).collect();
+            let chunk_sizes =
+                policy::prefill_chunks(self.config.chunked_prefill_budget, &remaining);
+            for (p, &chunk) in prefilling.iter().zip(&chunk_sizes) {
                 if chunk > 0 {
                     batch.prefill.push(PrefillEntry {
                         new_tokens: chunk,
                         total_kv: p.done + chunk,
                     });
-                    budget -= chunk;
                 }
             }
             for b in &running {
@@ -270,8 +270,14 @@ impl<B: Backend> Engine<B> {
                 break;
             }
 
-            let t = self.backend.step_time(&batch, &self.model, &self.spec);
+            let t = self.backend.step_time_observed(
+                &batch,
+                &self.model,
+                &self.spec,
+                &mut metrics.pipeline,
+            );
             clock += t;
+            metrics.steps += 1;
 
             // Advance prefill progress; completed prompts emit their first
             // token(s) now.
@@ -352,13 +358,13 @@ impl<B: Backend> Engine<B> {
             // preempt the most recently admitted single-branch request and
             // schedule it for recompute (vLLM's recomputation policy).
             while optimistic && kv_used > self.config.kv_capacity_tokens {
-                let victim = running
+                let branch_counts: Vec<usize> = running
                     .iter()
-                    .enumerate()
-                    .rev()
-                    .find(|(_, b)| requests[b.req_index].spec.n_parallel.max(1) == 1)
-                    .map(|(i, _)| i);
-                let Some(vi) = victim else { break };
+                    .map(|b| requests[b.req_index].spec.n_parallel)
+                    .collect();
+                let Some(vi) = policy::preemption_victim(&branch_counts) else {
+                    break;
+                };
                 let b = running.remove(vi);
                 let evicted_tokens = req_kv[b.req_index];
                 kv_used = kv_used.saturating_sub(evicted_tokens);
@@ -682,6 +688,49 @@ mod tests {
         let m = e.serve(&reqs(&[(100, 20, 0.0), (200, 10, 0.1)]));
         assert_eq!(m.completed, 2);
         assert_eq!(m.preemptions, 0);
+    }
+
+    #[test]
+    fn hoisted_admission_costs_preserve_schedule() {
+        // Regression for the admission-cost hoist: the engine used to
+        // re-derive every queued request's KV footprint on each step; the
+        // footprints are now computed once up front. The schedule — step
+        // count, completions, preemptions, latencies, planner counters —
+        // must be exactly what the per-step recomputation produced, and
+        // bit-identical across runs.
+        let cfg = EngineConfig {
+            kv_capacity_tokens: 1500,
+            max_batch: 64,
+            prefix_caching: true,
+            chunked_prefill_budget: Some(256),
+            optimistic_admission: true,
+            preemption: PreemptionPolicy::Recompute,
+        };
+        let rs = reqs(&[(400, 300, 0.0), (400, 300, 0.0), (400, 300, 0.1)]);
+        let run = || {
+            Engine::new(
+                FlashInferBackend::default(),
+                ModelConfig::LLAMA3_8B,
+                GpuSpec::H100_80G,
+                cfg,
+            )
+            .serve(&rs)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "serve must be deterministic");
+        assert_eq!(a.completed, 3);
+        assert_eq!(a.tokens_generated, 3 * 300);
+        assert!(a.preemptions > 0, "pool is oversubscribed");
+        // The exact step count of this scenario, captured before the
+        // hoist. A drift here means admission decisions changed.
+        assert_eq!(a.steps, 513);
+        // Planner counters flow through (the analytic backend plans and
+        // prices but never runs a real kernel).
+        assert!(a.pipeline.plans_computed > 0);
+        assert!(a.pipeline.items_executed > 0);
+        assert_eq!(a.pipeline.kernel_flops, 0);
+        assert_eq!(a.pipeline.gather_rows, 0);
     }
 
     #[test]

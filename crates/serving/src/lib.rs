@@ -17,7 +17,11 @@
 //!   by discrete-event simulation: admission under KV-pool capacity,
 //!   mixed prefill+decode steps, parallel generation (the OpenAI `n`
 //!   parameter) with shared-prefix accounting, TTFT/ITL collection.
-//! * [`metrics`] — percentile summaries of TTFT and ITL.
+//! * [`policy`] — the batch-formation decisions (admission, chunked
+//!   prefill, preemption victims) shared with the real-kernel
+//!   `fi-runtime`, so the simulator stays a faithful oracle for it.
+//! * [`metrics`] — percentile summaries of TTFT and ITL, plus the
+//!   planner/kernel observables both serving loops report.
 //!
 //! Numeric attention (the `fi-core` kernels) is validated elsewhere; the
 //! engine runs on the cost model so thousand-request benchmarks finish in
@@ -28,11 +32,12 @@ pub mod costlayout;
 pub mod engine;
 pub mod metrics;
 pub mod model;
+pub mod policy;
 pub mod spec_decode;
 pub mod streaming;
 pub mod workload;
 
 pub use backend::{Backend, FlashInferBackend, TritonLikeBackend, TrtLikeBackend};
 pub use engine::{Engine, EngineConfig, Request};
-pub use metrics::ServingMetrics;
+pub use metrics::{PipelineObservables, ServingMetrics};
 pub use model::ModelConfig;

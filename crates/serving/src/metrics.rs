@@ -1,4 +1,96 @@
-//! TTFT / ITL metric collection and percentile summaries.
+//! TTFT / ITL metric collection, percentile summaries, and the planner /
+//! kernel observables shared between the simulator and `fi-runtime`.
+
+use fi_core::kernel::KernelStats;
+use fi_sched::pipeline::AttentionPipeline;
+
+/// Planner and kernel counters surfaced by a serving run.
+///
+/// Both the discrete-event simulator ([`crate::engine::Engine`]) and the
+/// real-kernel runtime (`fi-runtime`) report through this one struct so
+/// their behaviour can be cross-checked: plan counters (cache hits, work
+/// items, merges) are meaningful on both sides, while the kernel-level
+/// counters (FLOPs, gather traffic) are nonzero only where real kernels
+/// run. Previously these numbers were dropped at the executor boundary —
+/// each backend built a throwaway [`AttentionPipeline`] per step and its
+/// statistics died with it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PipelineObservables {
+    /// Plans computed (plan-cache misses).
+    pub plans_computed: u64,
+    /// Plan-cache hits (same batch shape reused).
+    pub plan_cache_hits: u64,
+    /// Schedule work items executed (or priced, in the simulator).
+    pub items_executed: u64,
+    /// Merge groups contracted.
+    pub merges: u64,
+    /// Multiply-add FLOPs executed by real kernels.
+    pub kernel_flops: u64,
+    /// Bytes moved from "global memory" by real kernels.
+    pub kernel_global_bytes: u64,
+    /// KV tiles staged by real kernels.
+    pub kv_tiles: u64,
+    /// Tiles run on the tensor-core path.
+    pub tensor_core_tiles: u64,
+    /// Tiles run on the CUDA-core path.
+    pub cuda_core_tiles: u64,
+    /// Gather: rows staged from the paged pool.
+    pub gather_rows: u64,
+    /// Gather: contiguous (TMA-eligible) staged runs.
+    pub gather_contiguous_runs: u64,
+    /// Gather: scattered runs needing per-run address computation.
+    pub gather_scattered_runs: u64,
+}
+
+impl PipelineObservables {
+    /// Fold a pipeline's counters (plan statistics plus the kernel
+    /// statistics it absorbed from every `run`) into this accumulator.
+    pub fn absorb_pipeline(&mut self, pipeline: &AttentionPipeline) {
+        let s = pipeline.stats();
+        self.plans_computed += s.plans_computed;
+        self.plan_cache_hits += s.plan_cache_hits;
+        self.items_executed += s.items_executed;
+        self.merges += s.merges;
+        self.absorb_kernel(&pipeline.kernel_stats());
+    }
+
+    /// Fold raw kernel statistics into this accumulator.
+    pub fn absorb_kernel(&mut self, k: &KernelStats) {
+        self.kernel_flops += k.flops;
+        self.kernel_global_bytes += k.global_bytes;
+        self.kv_tiles += k.kv_tiles;
+        self.tensor_core_tiles += k.tensor_core_tiles;
+        self.cuda_core_tiles += k.cuda_core_tiles;
+        self.gather_rows += k.gather.rows as u64;
+        self.gather_contiguous_runs += k.gather.contiguous_runs as u64;
+        self.gather_scattered_runs += k.gather.scattered_runs as u64;
+    }
+
+    /// Fold another accumulator (e.g. a worker's) into this one.
+    pub fn absorb(&mut self, other: &PipelineObservables) {
+        self.plans_computed += other.plans_computed;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.items_executed += other.items_executed;
+        self.merges += other.merges;
+        self.kernel_flops += other.kernel_flops;
+        self.kernel_global_bytes += other.kernel_global_bytes;
+        self.kv_tiles += other.kv_tiles;
+        self.tensor_core_tiles += other.tensor_core_tiles;
+        self.cuda_core_tiles += other.cuda_core_tiles;
+        self.gather_rows += other.gather_rows;
+        self.gather_contiguous_runs += other.gather_contiguous_runs;
+        self.gather_scattered_runs += other.gather_scattered_runs;
+    }
+
+    /// Fraction of plan requests served from the cache.
+    pub fn plan_hit_rate(&self) -> f64 {
+        let total = self.plans_computed + self.plan_cache_hits;
+        if total == 0 {
+            return 0.0;
+        }
+        self.plan_cache_hits as f64 / total as f64
+    }
+}
 
 /// Latency samples collected over a serving run.
 #[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
@@ -15,6 +107,10 @@ pub struct ServingMetrics {
     pub tokens_generated: usize,
     /// Preempt-and-recompute events (optimistic admission only).
     pub preemptions: usize,
+    /// Serving steps executed (batches formed and priced).
+    pub steps: usize,
+    /// Planner / kernel counters accumulated over the run.
+    pub pipeline: PipelineObservables,
 }
 
 /// Samples sorted once, so any number of percentile queries costs O(1)
@@ -129,11 +225,32 @@ mod tests {
             completed: 3,
             duration: 10.0,
             tokens_generated: 100,
-            preemptions: 0,
+            ..ServingMetrics::default()
         };
         assert_eq!(m.median_ttft(), 0.2);
         assert_eq!(m.median_itl(), 0.01);
         assert_eq!(m.throughput(), 10.0);
+    }
+
+    #[test]
+    fn observables_fold() {
+        let mut a = PipelineObservables {
+            plans_computed: 1,
+            plan_cache_hits: 3,
+            items_executed: 10,
+            ..PipelineObservables::default()
+        };
+        let b = PipelineObservables {
+            plans_computed: 1,
+            gather_rows: 7,
+            ..PipelineObservables::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.plans_computed, 2);
+        assert_eq!(a.gather_rows, 7);
+        assert_eq!(a.items_executed, 10);
+        assert!((a.plan_hit_rate() - 0.6).abs() < 1e-12);
+        assert_eq!(PipelineObservables::default().plan_hit_rate(), 0.0);
     }
 
     #[test]

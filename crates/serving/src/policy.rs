@@ -1,0 +1,202 @@
+//! Batch-formation policy shared by the discrete-event simulator
+//! ([`crate::engine::Engine`]) and the real-kernel runtime (`fi-runtime`).
+//!
+//! Both loops make the same three decisions every step — whether the
+//! request at the head of the queue may start (admission), how to split
+//! in-flight prompts under the chunked-prefill budget (Sarathi), and whom
+//! to evict when optimistic admission over-commits the KV pool (vLLM's
+//! recompute/swap policies). Keeping the decisions here, as pure
+//! functions of explicit state, is what makes the simulator a meaningful
+//! oracle for the runtime: they cannot drift apart without a diff in this
+//! file.
+
+use crate::engine::EngineConfig;
+use crate::workload::RequestSpec;
+
+/// KV tokens a request occupies at completion.
+///
+/// With prefix caching a parallel-generation prompt is stored once and
+/// shared by all `n` branches; without it every branch holds its own
+/// copy.
+pub fn kv_cost(prefix_caching: bool, r: &RequestSpec) -> usize {
+    let n = r.n_parallel.max(1);
+    if prefix_caching {
+        r.prompt_len + n * r.output_len
+    } else {
+        n * (r.prompt_len + r.output_len)
+    }
+}
+
+/// A request's admission footprint. Invariant over the request's
+/// lifetime, so serving loops compute it once per request up front
+/// instead of re-deriving it on every step the request spends queued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionCost {
+    /// KV tokens held at completion (the worst case).
+    pub full: usize,
+    /// KV tokens reserved at admission: the full cost under pessimistic
+    /// admission, just the prompt under optimistic admission.
+    pub reserve: usize,
+    /// Decode branches the request spawns.
+    pub branches: usize,
+}
+
+impl AdmissionCost {
+    /// Compute the footprint of `spec` under `cfg`'s admission mode.
+    pub fn compute(cfg: &EngineConfig, spec: &RequestSpec) -> AdmissionCost {
+        let full = kv_cost(cfg.prefix_caching, spec);
+        let reserve = if cfg.optimistic_admission {
+            spec.prompt_len.max(1)
+        } else {
+            full
+        };
+        AdmissionCost {
+            full,
+            reserve,
+            branches: spec.n_parallel.max(1),
+        }
+    }
+}
+
+/// The admission decision for the request at the head of the queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdmissionVerdict {
+    /// Reserve [`AdmissionCost::reserve`] tokens and start prefilling.
+    Admit,
+    /// Can never fit the pool even alone: reject outright.
+    RejectOversize,
+    /// Does not fit right now; retry when capacity frees (FCFS — later
+    /// arrivals must not jump ahead).
+    Defer,
+}
+
+/// Decide admission for a request given current pool and batch occupancy.
+///
+/// `kv_used` counts tokens currently reserved; `running_branches` counts
+/// live decode branches (admitted prefills count their branches only once
+/// they start decoding, matching the simulator).
+pub fn admission_verdict(
+    cfg: &EngineConfig,
+    cost: &AdmissionCost,
+    kv_used: usize,
+    running_branches: usize,
+) -> AdmissionVerdict {
+    if cost.full > cfg.kv_capacity_tokens {
+        return AdmissionVerdict::RejectOversize;
+    }
+    if kv_used + cost.reserve > cfg.kv_capacity_tokens
+        || running_branches + cost.branches > cfg.max_batch
+    {
+        return AdmissionVerdict::Defer;
+    }
+    AdmissionVerdict::Admit
+}
+
+/// FCFS chunked prefill: split this step's prefill work under the
+/// per-step token budget.
+///
+/// `remaining[i]` is the tokens still to prefill for the i-th in-flight
+/// prompt, in admission order; the result gives each prompt's chunk this
+/// step (possibly zero once the budget is spent). `None` disables
+/// chunking: every prompt prefills all remaining tokens at once.
+pub fn prefill_chunks(budget: Option<usize>, remaining: &[usize]) -> Vec<usize> {
+    let mut left = budget.unwrap_or(usize::MAX);
+    remaining
+        .iter()
+        .map(|&r| {
+            let chunk = r.min(left);
+            left -= chunk;
+            chunk
+        })
+        .collect()
+}
+
+/// Pick the preemption victim when the KV pool over-commits: the most
+/// recently admitted single-branch sequence (vLLM's policy — evicting the
+/// newest work loses the least progress, and parallel-generation groups
+/// are skipped because their branches share KV).
+///
+/// `n_parallel[i]` is the branch count of the i-th running sequence in
+/// admission order; returns the index to evict.
+pub fn preemption_victim(n_parallel: &[usize]) -> Option<usize> {
+    n_parallel.iter().rposition(|&n| n.max(1) == 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::PreemptionPolicy;
+
+    fn cfg(capacity: usize, optimistic: bool) -> EngineConfig {
+        EngineConfig {
+            kv_capacity_tokens: capacity,
+            max_batch: 4,
+            prefix_caching: true,
+            chunked_prefill_budget: None,
+            optimistic_admission: optimistic,
+            preemption: PreemptionPolicy::Recompute,
+        }
+    }
+
+    fn spec(prompt: usize, output: usize, n: usize) -> RequestSpec {
+        RequestSpec {
+            prompt_len: prompt,
+            output_len: output,
+            arrival: 0.0,
+            n_parallel: n,
+        }
+    }
+
+    #[test]
+    fn kv_cost_prefix_caching() {
+        let s = spec(1000, 10, 8);
+        assert_eq!(kv_cost(true, &s), 1000 + 80);
+        assert_eq!(kv_cost(false, &s), 8 * 1010);
+    }
+
+    #[test]
+    fn admission_cost_modes() {
+        let s = spec(100, 50, 2);
+        let pess = AdmissionCost::compute(&cfg(10_000, false), &s);
+        assert_eq!(pess.full, 200);
+        assert_eq!(pess.reserve, 200);
+        assert_eq!(pess.branches, 2);
+        let opt = AdmissionCost::compute(&cfg(10_000, true), &s);
+        assert_eq!(opt.full, 200);
+        assert_eq!(opt.reserve, 100);
+    }
+
+    #[test]
+    fn verdicts() {
+        let c = cfg(1000, false);
+        let cost = AdmissionCost::compute(&c, &spec(400, 100, 1));
+        assert_eq!(admission_verdict(&c, &cost, 0, 0), AdmissionVerdict::Admit);
+        assert_eq!(
+            admission_verdict(&c, &cost, 600, 0),
+            AdmissionVerdict::Defer
+        );
+        assert_eq!(admission_verdict(&c, &cost, 0, 4), AdmissionVerdict::Defer);
+        let oversize = AdmissionCost::compute(&c, &spec(2000, 1, 1));
+        assert_eq!(
+            admission_verdict(&c, &oversize, 0, 0),
+            AdmissionVerdict::RejectOversize
+        );
+    }
+
+    #[test]
+    fn chunk_budget_is_fcfs() {
+        assert_eq!(prefill_chunks(Some(100), &[80, 50, 10]), vec![80, 20, 0]);
+        assert_eq!(prefill_chunks(None, &[80, 50]), vec![80, 50]);
+        assert_eq!(prefill_chunks(Some(0), &[5]), vec![0]);
+        assert!(prefill_chunks(Some(7), &[]).is_empty());
+    }
+
+    #[test]
+    fn victim_is_latest_single_branch() {
+        assert_eq!(preemption_victim(&[1, 4, 1, 4]), Some(2));
+        assert_eq!(preemption_victim(&[4, 4]), None);
+        assert_eq!(preemption_victim(&[]), None);
+        // n_parallel 0 is normalized to 1 (a single branch).
+        assert_eq!(preemption_victim(&[4, 0]), Some(1));
+    }
+}

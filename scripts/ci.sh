@@ -18,6 +18,12 @@ cargo clippy --workspace --all-targets "${PROFILE_FLAGS[@]}" -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace "${PROFILE_FLAGS[@]}"
 
+echo "==> fi-runtime concurrency gate (forced parallelism + repeated-seed smoke)"
+cargo test -q -p fi-runtime "${PROFILE_FLAGS[@]}" -- --test-threads=8
+for _ in 1 2 3; do
+  cargo test -q --test runtime_serving "${PROFILE_FLAGS[@]}" repeated_seed
+done
+
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --workspace --no-run
 

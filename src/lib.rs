@@ -17,6 +17,9 @@
 //!   CUDA hardware (see `DESIGN.md` for the substitution argument).
 //! * [`serving`] — a continuous-batching serving engine, workload
 //!   generators, and the baseline backends used in the paper's evaluation.
+//! * [`runtime`] — a concurrent continuous-batching runtime that drives
+//!   the real kernels (scheduler thread + worker pool over the shared
+//!   paged KV pool), sharing batch-formation policy with [`serving`].
 //!
 //! See `examples/quickstart.rs` for the canonical end-to-end usage.
 
@@ -24,6 +27,7 @@ pub use fi_core as core;
 pub use fi_gpusim as gpusim;
 pub use fi_kvcache as kvcache;
 pub use fi_model as model;
+pub use fi_runtime as runtime;
 pub use fi_sched as sched;
 pub use fi_serving as serving;
 pub use fi_sparse as sparse;

@@ -1,0 +1,2 @@
+//! Offline stub for `bytes` — declared in the workspace dependency table
+//! but not used by any crate; see `stubs/README.md`.

@@ -1,0 +1,214 @@
+//! Offline stub for `criterion` — see `stubs/README.md`.
+//!
+//! Benchmarks compile and each body executes exactly once (a smoke run),
+//! printing the benchmark id; no timing, statistics, or reports.
+
+use std::fmt;
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark (name, optional parameter).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Function name + parameter value.
+    pub fn new<S: Into<String>, P: fmt::Display>(name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{parameter}", name.into()),
+        }
+    }
+
+    /// Parameter-only id (group supplies the function name).
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`] (what `bench_function` accepts).
+pub trait IntoBenchmarkId {
+    /// Convert.
+    fn into_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> BenchmarkId {
+        BenchmarkId { id: self.into() }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Throughput annotation (recorded nowhere in the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Batch sizing for `iter_batched` (ignored by the stub).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Runs the measured routine — once, in the stub.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    _private: (),
+}
+
+impl Bencher {
+    /// Execute the routine once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        black_box(routine());
+    }
+
+    /// Execute setup + routine once.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        black_box(routine(setup()));
+    }
+
+    /// Execute setup + by-ref routine once.
+    pub fn iter_batched_ref<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> O,
+    {
+        let mut input = setup();
+        black_box(routine(&mut input));
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Record the group's throughput (ignored).
+    pub fn throughput(&mut self, _t: Throughput) {}
+
+    /// Override sample count (ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let id = id.into_id();
+        eprintln!("bench(stub) {}/{}", self.name, id.id);
+        f(&mut Bencher::default());
+    }
+
+    /// Run a benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        eprintln!("bench(stub) {}/{}", self.name, id.id);
+        f(&mut Bencher::default(), input);
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into_id();
+        eprintln!("bench(stub) {}", id.id);
+        f(&mut Bencher::default());
+        self
+    }
+}
+
+/// Declare a benchmark group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the benchmark main function.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::from_parameter(4), &4usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1, 2, 3], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        c.bench_function("plain", |b| b.iter(|| 1 + 1));
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_each_body_once() {
+        benches();
+    }
+}

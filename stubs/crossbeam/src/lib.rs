@@ -1,0 +1,67 @@
+//! Offline stub for `crossbeam` — see `stubs/README.md`.
+//!
+//! Only `crossbeam::thread::scope` is used in this repository; it maps
+//! directly onto `std::thread::scope` (stabilized after crossbeam's API
+//! was designed), preserving the `Result` return and the `&Scope`
+//! argument passed to spawned closures.
+
+pub mod thread {
+    /// Scope handle passed to [`scope`] closures; mirrors
+    /// `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The closure receives the scope (so it
+        /// can spawn nested threads), like crossbeam's.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which spawned threads are joined before
+    /// `scope` returns. Always `Ok` here: std's scope propagates child
+    /// panics by re-panicking, which the repo's `.unwrap()` callers treat
+    /// identically.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let mut data = vec![0u32; 4];
+        let r = super::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (i, slot) in data.iter_mut().enumerate() {
+                handles.push(s.spawn(move |_| *slot = i as u32 + 1));
+            }
+            handles.len()
+        })
+        .unwrap();
+        assert_eq!(r, 4);
+        assert_eq!(data, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let v = super::thread::scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 7);
+    }
+}

@@ -1,0 +1,186 @@
+//! Offline stub for `rand_distr` 0.4 — see `stubs/README.md`.
+//!
+//! Implements the three distributions the workload generators use with
+//! the right families and parameterizations (LogNormal via Box–Muller,
+//! Poisson via inversion, Zipf via a continuous power-law inverse CDF).
+//! Exact streams differ from the real crate.
+
+use rand::Rng;
+
+/// Distribution interface mirroring `rand_distr::Distribution`.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Parameter error mirroring the real crate's per-distribution errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamError(&'static str);
+
+impl std::fmt::Display for ParamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParamError {}
+
+fn unit_open(rng: &mut (impl Rng + ?Sized)) -> f64 {
+    // (0, 1): rejection keeps ln() finite.
+    loop {
+        let u: f64 = f64::standard_sample(rng);
+        if u > 0.0 {
+            return u;
+        }
+    }
+}
+
+use rand::StandardSample;
+
+/// Log-normal distribution: `exp(mu + sigma * N(0,1))`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Construct with ln-space mean and standard deviation.
+    pub fn new(mu: f64, sigma: f64) -> Result<LogNormal, ParamError> {
+        if !sigma.is_finite() || sigma < 0.0 {
+            return Err(ParamError("lognormal sigma"));
+        }
+        Ok(LogNormal { mu, sigma })
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller normal draw.
+        let u1 = unit_open(rng);
+        let u2 = f64::standard_sample(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (self.mu + self.sigma * z).exp()
+    }
+}
+
+/// Poisson distribution with rate `lambda`; samples are `f64` counts,
+/// matching rand_distr 0.4's `Distribution<f64>` impl.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Poisson {
+    lambda: f64,
+}
+
+impl Poisson {
+    /// Construct with rate `lambda > 0`.
+    pub fn new(lambda: f64) -> Result<Poisson, ParamError> {
+        if !(lambda > 0.0) || !lambda.is_finite() {
+            return Err(ParamError("poisson lambda"));
+        }
+        Ok(Poisson { lambda })
+    }
+}
+
+impl Distribution<f64> for Poisson {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Knuth inversion; fine for the small lambdas used in tests.
+        let l = (-self.lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= unit_open(rng);
+            if p <= l {
+                return k as f64;
+            }
+            k += 1;
+            if k > 10_000_000 {
+                return k as f64; // pathological lambda; keep finite
+            }
+        }
+    }
+}
+
+/// Zipf distribution over `1..=n` with exponent `s`; samples are `f64`
+/// ranks, matching rand_distr 0.4.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf {
+    n: f64,
+    s: f64,
+}
+
+impl Zipf {
+    /// Construct over `1..=num_elements` with exponent `exponent > 0`.
+    pub fn new(num_elements: u64, exponent: f64) -> Result<Zipf, ParamError> {
+        if num_elements == 0 {
+            return Err(ParamError("zipf n"));
+        }
+        if !(exponent > 0.0) || !exponent.is_finite() {
+            return Err(ParamError("zipf exponent"));
+        }
+        Ok(Zipf {
+            n: num_elements as f64,
+            s: exponent,
+        })
+    }
+}
+
+impl Distribution<f64> for Zipf {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Continuous power-law inverse CDF over [1, n], rounded to a rank:
+        // the right tail shape (density ∝ x^-s), cheap and deterministic.
+        let u = unit_open(rng);
+        let x = if (self.s - 1.0).abs() < 1e-9 {
+            self.n.powf(u)
+        } else {
+            let a = 1.0 - self.s;
+            (1.0 + u * (self.n.powf(a) - 1.0)).powf(1.0 / a)
+        };
+        x.clamp(1.0, self.n).floor()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn lognormal_median_tracks_mu() {
+        let d = LogNormal::new(4.5, 1.1).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut xs: Vec<f64> = (0..20_000).map(|_| d.sample(&mut rng)).collect();
+        xs.sort_by(f64::total_cmp);
+        let median = xs[xs.len() / 2];
+        let expect = 4.5f64.exp();
+        assert!(
+            (median / expect - 1.0).abs() < 0.1,
+            "median {median} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let d = Poisson::new(3.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mean: f64 = (0..20_000).map(|_| d.sample(&mut rng)).sum::<f64>() / 20_000.0;
+        assert!((mean - 3.0).abs() < 0.1, "{mean}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_bounded() {
+        let d = Zipf::new(1000, 1.2).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(xs.iter().all(|&x| (1.0..=1000.0).contains(&x)));
+        let small = xs.iter().filter(|&&x| x <= 10.0).count();
+        assert!(small > xs.len() / 2, "not head-heavy: {small}");
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+        assert!(Poisson::new(0.0).is_err());
+        assert!(Zipf::new(0, 1.0).is_err());
+        assert!(Zipf::new(10, 0.0).is_err());
+    }
+}

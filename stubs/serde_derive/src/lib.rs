@@ -1,0 +1,16 @@
+//! Offline stub for `serde_derive` — see `stubs/README.md`.
+//!
+//! The stub `serde` crate blanket-implements its marker traits for all
+//! types, so these derives legitimately expand to nothing.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,42 @@
+//! Offline stub for `serde_json` — see `stubs/README.md`.
+//!
+//! `to_string` / `to_string_pretty` render the value's `Debug`
+//! representation (which, for the report structs in this repo, contains
+//! the same quoted string literals JSON would). `from_str` always errors:
+//! nothing in the offline test suite needs to parse real JSON.
+
+use std::fmt;
+
+/// Error type mirroring `serde_json::Error`'s public face.
+#[derive(Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Alias mirroring `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Debug-format the value (stub for JSON serialization).
+pub fn to_string<T: fmt::Debug + ?Sized>(value: &T) -> Result<String> {
+    Ok(format!("{value:?}"))
+}
+
+/// Debug-format the value with pretty indentation (stub).
+pub fn to_string_pretty<T: fmt::Debug + ?Sized>(value: &T) -> Result<String> {
+    Ok(format!("{value:#?}"))
+}
+
+/// Always fails: the offline stub cannot deserialize.
+pub fn from_str<T>(_s: &str) -> Result<T> {
+    Err(Error {
+        msg: "serde_json offline stub cannot deserialize".to_string(),
+    })
+}

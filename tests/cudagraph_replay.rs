@@ -116,7 +116,7 @@ fn generation_loop_replays_one_captured_graph() {
     // The pipeline re-planned each step (lengths changed every step).
     assert_eq!(pipeline.stats().plans_computed, 6);
     // The captured step's plan is pinned and survives cache pressure.
-    assert!(pipeline.cache().len() >= 1);
+    assert!(!pipeline.cache().is_empty());
 }
 
 #[test]
