@@ -1,0 +1,507 @@
+//! Simulated collectives over threads + channels.
+//!
+//! A [`ProcessGroup`] is one rank's handle to a shared rendezvous core:
+//! `broadcast`, `barrier`, `all_gather`, and `all_reduce` over `f32`
+//! payloads. The collectives are *deterministic by construction*:
+//! `all_reduce` is an `all_gather` followed by a **local** elementwise
+//! reduction in [`fi_tensor::numerics::tree_reduce_sum`]'s fixed bracket
+//! order over ascending rank index — every rank reduces the same vectors
+//! in the same association, so the result is bit-exact across runs,
+//! thread-scheduling orders, and repeated calls. This deliberately avoids
+//! the arrival-order reductions real NCCL rings may perform; determinism
+//! is the property the single-shard oracle tests depend on.
+//!
+//! Byte accounting (recorded once per collective, using rank 0's payload
+//! size `b` and world size `w`; "bytes" = total bytes received across all
+//! ranks, matching the store-and-forward implementation here):
+//!
+//! * `broadcast`:  `(w-1)·b` — every non-root rank receives the buffer.
+//! * `all_gather`: `w·(w-1)·b` — each rank receives the other `w-1` shards.
+//! * `all_reduce`: `w·(w-1)·b` — implemented as an all-gather plus local
+//!   reduction (a real ring moves `2(w-1)/w·b` per rank; the
+//!   [`GpuSimCommCost`] hook uses the ring *time* formula regardless).
+//! * `barrier`: no payload.
+
+use std::sync::{Arc, Barrier, Mutex};
+
+use fi_tensor::numerics::tree_reduce_sum;
+
+/// Which collective a [`CommCost`] callback is being charged for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum CollectiveOp {
+    /// Root-to-all copy.
+    Broadcast,
+    /// All-to-all shard exchange.
+    AllGather,
+    /// All-gather + deterministic local tree reduction.
+    AllReduce,
+    /// Synchronization only.
+    Barrier,
+}
+
+/// Pluggable cost hook: called once per collective (by rank 0) with the
+/// per-rank payload size, so a simulator can attribute communication time
+/// to the run. Implementations must be thread-safe; the hook fires on a
+/// rank thread.
+pub trait CommCost: Send + Sync {
+    /// Account one collective of `payload_bytes` per rank across `world`
+    /// ranks.
+    fn collective(&self, op: CollectiveOp, world: usize, payload_bytes: usize);
+}
+
+/// Counters of collectives issued and bytes moved, per process group.
+///
+/// Serializable so runtimes can surface them in their metrics reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct CommStats {
+    /// `broadcast` calls.
+    pub broadcasts: u64,
+    /// `all_gather` calls.
+    pub all_gathers: u64,
+    /// `all_reduce` calls.
+    pub all_reduces: u64,
+    /// Explicit `barrier` calls (collectives' internal barriers are not
+    /// counted).
+    pub barriers: u64,
+    /// Bytes moved by broadcasts (see module docs for the convention).
+    pub broadcast_bytes: u64,
+    /// Bytes moved by all-gathers.
+    pub all_gather_bytes: u64,
+    /// Bytes moved by all-reduces.
+    pub all_reduce_bytes: u64,
+}
+
+impl CommStats {
+    /// Total bytes moved by all collectives.
+    pub fn total_bytes(&self) -> u64 {
+        self.broadcast_bytes + self.all_gather_bytes + self.all_reduce_bytes
+    }
+
+    /// Total collective calls (including barriers).
+    pub fn collectives(&self) -> u64 {
+        self.broadcasts + self.all_gathers + self.all_reduces + self.barriers
+    }
+
+    /// Fold another group's counters into this one.
+    pub fn merge(&mut self, other: &CommStats) {
+        self.broadcasts += other.broadcasts;
+        self.all_gathers += other.all_gathers;
+        self.all_reduces += other.all_reduces;
+        self.barriers += other.barriers;
+        self.broadcast_bytes += other.broadcast_bytes;
+        self.all_gather_bytes += other.all_gather_bytes;
+        self.all_reduce_bytes += other.all_reduce_bytes;
+    }
+
+    fn record(&mut self, op: CollectiveOp, world: usize, payload_bytes: usize) {
+        let w = world as u64;
+        let b = payload_bytes as u64;
+        match op {
+            CollectiveOp::Broadcast => {
+                self.broadcasts += 1;
+                self.broadcast_bytes += (w - 1) * b;
+            }
+            CollectiveOp::AllGather => {
+                self.all_gathers += 1;
+                self.all_gather_bytes += w * (w - 1) * b;
+            }
+            CollectiveOp::AllReduce => {
+                self.all_reduces += 1;
+                self.all_reduce_bytes += w * (w - 1) * b;
+            }
+            CollectiveOp::Barrier => self.barriers += 1,
+        }
+    }
+}
+
+/// Shared rendezvous state of one group.
+struct GroupCore {
+    world: usize,
+    barrier: Barrier,
+    slots: Mutex<Vec<Option<Vec<f32>>>>,
+    stats: Mutex<CommStats>,
+    cost: Option<Arc<dyn CommCost>>,
+}
+
+/// One rank's handle to a thread-backed process group.
+///
+/// Create a group with [`ProcessGroup::group`] and move each handle into
+/// its rank's thread. Collectives are synchronous: **every** rank of the
+/// group must call the same sequence of collectives, or the group
+/// deadlocks (the same contract as NCCL communicators).
+pub struct ProcessGroup {
+    rank: usize,
+    core: Arc<GroupCore>,
+}
+
+/// Observer handle for a group's [`CommStats`], usable from outside the
+/// rank threads (e.g. a driver thread reporting metrics mid-run).
+pub struct GroupMonitor {
+    core: Arc<GroupCore>,
+}
+
+impl GroupMonitor {
+    /// Snapshot the group's collective counters.
+    pub fn stats(&self) -> CommStats {
+        *self.core.stats.lock().expect("comm stats lock")
+    }
+}
+
+impl ProcessGroup {
+    /// Create a `world`-rank group. Returns one handle per rank (index =
+    /// rank) plus a monitor for out-of-band stats reads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0`.
+    pub fn group(world: usize) -> (Vec<ProcessGroup>, GroupMonitor) {
+        Self::group_with_cost_opt(world, None)
+    }
+
+    /// Like [`ProcessGroup::group`] with a [`CommCost`] hook that is
+    /// charged once per collective.
+    pub fn group_with_cost(
+        world: usize,
+        cost: Arc<dyn CommCost>,
+    ) -> (Vec<ProcessGroup>, GroupMonitor) {
+        Self::group_with_cost_opt(world, Some(cost))
+    }
+
+    fn group_with_cost_opt(
+        world: usize,
+        cost: Option<Arc<dyn CommCost>>,
+    ) -> (Vec<ProcessGroup>, GroupMonitor) {
+        assert!(world > 0, "process group needs at least one rank");
+        let core = Arc::new(GroupCore {
+            world,
+            barrier: Barrier::new(world),
+            slots: Mutex::new(vec![None; world]),
+            stats: Mutex::new(CommStats::default()),
+            cost,
+        });
+        let ranks = (0..world)
+            .map(|rank| ProcessGroup {
+                rank,
+                core: Arc::clone(&core),
+            })
+            .collect();
+        (ranks, GroupMonitor { core })
+    }
+
+    /// This handle's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the group.
+    pub fn world(&self) -> usize {
+        self.core.world
+    }
+
+    /// Snapshot the group's collective counters.
+    pub fn stats(&self) -> CommStats {
+        *self.core.stats.lock().expect("comm stats lock")
+    }
+
+    fn account(&self, op: CollectiveOp, payload_bytes: usize) {
+        if self.rank != 0 {
+            return;
+        }
+        self.core
+            .stats
+            .lock()
+            .expect("comm stats lock")
+            .record(op, self.core.world, payload_bytes);
+        if let Some(cost) = &self.core.cost {
+            cost.collective(op, self.core.world, payload_bytes);
+        }
+    }
+
+    /// Block until every rank has entered the barrier.
+    pub fn barrier(&self) {
+        self.core.barrier.wait();
+        self.account(CollectiveOp::Barrier, 0);
+    }
+
+    /// Exchange per-rank payloads: returns every rank's payload in
+    /// ascending rank order (payload lengths may differ per rank).
+    pub fn all_gather(&self, local: &[f32]) -> Vec<Vec<f32>> {
+        let out = self.gather_impl(local);
+        self.account(CollectiveOp::AllGather, local.len() * 4);
+        out
+    }
+
+    fn gather_impl(&self, local: &[f32]) -> Vec<Vec<f32>> {
+        {
+            let mut slots = self.core.slots.lock().expect("comm slots lock");
+            slots[self.rank] = Some(local.to_vec());
+        }
+        self.core.barrier.wait();
+        let out: Vec<Vec<f32>> = {
+            let slots = self.core.slots.lock().expect("comm slots lock");
+            slots
+                .iter()
+                .map(|s| s.as_ref().expect("every rank wrote its slot").clone())
+                .collect()
+        };
+        // Second barrier: no rank may start the next collective (and
+        // overwrite the slots) until every rank has read this one.
+        self.core.barrier.wait();
+        out
+    }
+
+    /// Copy `root`'s buffer into every rank's `buf`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root >= world`.
+    pub fn broadcast(&self, root: usize, buf: &mut Vec<f32>) {
+        assert!(root < self.core.world, "broadcast root out of range");
+        if self.rank == root {
+            let mut slots = self.core.slots.lock().expect("comm slots lock");
+            slots[root] = Some(buf.clone());
+        }
+        self.core.barrier.wait();
+        if self.rank != root {
+            let slots = self.core.slots.lock().expect("comm slots lock");
+            *buf = slots[root].as_ref().expect("root wrote its slot").clone();
+        }
+        self.core.barrier.wait();
+        self.account(CollectiveOp::Broadcast, buf.len() * 4);
+    }
+
+    /// Elementwise sum across ranks, written back into `buf` on every
+    /// rank. The reduction is the fixed-bracket tree over ascending rank
+    /// index, computed locally from the gathered shards — identical bits
+    /// on every rank, every run, independent of arrival timing.
+    ///
+    /// # Panics
+    ///
+    /// Panics (on some rank) if payload lengths differ across ranks.
+    pub fn all_reduce(&self, buf: &mut Vec<f32>) {
+        let bytes = buf.len() * 4;
+        let parts = self.gather_impl(buf);
+        *buf = tree_reduce_sum(parts).unwrap_or_default();
+        self.account(CollectiveOp::AllReduce, bytes);
+    }
+}
+
+/// [`CommCost`] adapter charging collectives to `fi-gpusim`'s link-time
+/// model: all-reduce uses [`fi_gpusim::ops::allreduce_time`]'s ring
+/// formula `2(n-1)/n · bytes / bw + 10µs`; all-gather its one-directional
+/// half `(n-1) · b / bw + 10µs`; broadcast a single link traversal.
+/// Accumulated seconds are readable with
+/// [`GpuSimCommCost::simulated_seconds`].
+pub struct GpuSimCommCost {
+    link_bandwidth: f64,
+    seconds: Mutex<f64>,
+}
+
+/// Fixed per-collective launch latency, matching `fi_gpusim::ops`.
+const COLLECTIVE_LATENCY: f64 = 10e-6;
+
+impl GpuSimCommCost {
+    /// A cost model over a link of `link_bandwidth` bytes/second (e.g.
+    /// `fi_gpusim::GpuSpec::A100_40G.pcie_bandwidth`).
+    pub fn new(link_bandwidth: f64) -> GpuSimCommCost {
+        GpuSimCommCost {
+            link_bandwidth,
+            seconds: Mutex::new(0.0),
+        }
+    }
+
+    /// Total simulated communication time charged so far.
+    pub fn simulated_seconds(&self) -> f64 {
+        *self.seconds.lock().expect("comm cost lock")
+    }
+}
+
+impl CommCost for GpuSimCommCost {
+    fn collective(&self, op: CollectiveOp, world: usize, payload_bytes: usize) {
+        if world <= 1 {
+            return;
+        }
+        let b = payload_bytes as f64;
+        let n = world as f64;
+        let t = match op {
+            CollectiveOp::AllReduce => {
+                fi_gpusim::ops::allreduce_time(world, payload_bytes, self.link_bandwidth)
+            }
+            CollectiveOp::AllGather => {
+                if payload_bytes == 0 {
+                    0.0
+                } else {
+                    (n - 1.0) * b / self.link_bandwidth + COLLECTIVE_LATENCY
+                }
+            }
+            CollectiveOp::Broadcast => {
+                if payload_bytes == 0 {
+                    0.0
+                } else {
+                    b / self.link_bandwidth + COLLECTIVE_LATENCY
+                }
+            }
+            CollectiveOp::Barrier => COLLECTIVE_LATENCY,
+        };
+        *self.seconds.lock().expect("comm cost lock") += t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ranks<F>(world: usize, f: F) -> Vec<Vec<f32>>
+    where
+        F: Fn(ProcessGroup) -> Vec<f32> + Send + Sync + Clone + 'static,
+    {
+        let (ranks, _mon) = ProcessGroup::group(world);
+        let handles: Vec<_> = ranks
+            .into_iter()
+            .map(|pg| {
+                let f = f.clone();
+                std::thread::spawn(move || f(pg))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn all_gather_returns_rank_order() {
+        let outs = run_ranks(4, |pg| {
+            let r = pg.rank() as f32;
+            pg.all_gather(&[r, r * 10.0]).concat()
+        });
+        for o in outs {
+            assert_eq!(o, vec![0.0, 0.0, 1.0, 10.0, 2.0, 20.0, 3.0, 30.0]);
+        }
+    }
+
+    #[test]
+    fn all_reduce_is_bit_identical_across_ranks_and_runs() {
+        // Irrational-ish payloads make the sum order-sensitive; the fixed
+        // tree must still give every rank identical bits on every run.
+        let body = |pg: ProcessGroup| {
+            let mut buf: Vec<f32> = (0..17)
+                .map(|i| 0.1 + (pg.rank() as f32 + 1.0) * 0.3337 * (i as f32 + 0.77))
+                .collect();
+            pg.all_reduce(&mut buf);
+            buf
+        };
+        let a = run_ranks(8, body);
+        for o in &a[1..] {
+            assert_eq!(o, &a[0], "ranks disagree");
+        }
+        let b = run_ranks(8, body);
+        assert_eq!(a[0], b[0], "runs disagree");
+        // And the association equals tree_reduce_sum of the rank payloads.
+        let parts: Vec<Vec<f32>> = (0..8)
+            .map(|r| {
+                (0..17)
+                    .map(|i| 0.1 + (r as f32 + 1.0) * 0.3337 * (i as f32 + 0.77))
+                    .collect()
+            })
+            .collect();
+        assert_eq!(a[0], tree_reduce_sum(parts).unwrap());
+    }
+
+    #[test]
+    fn broadcast_copies_root_payload() {
+        let outs = run_ranks(3, |pg| {
+            let mut buf = if pg.rank() == 1 {
+                vec![5.0, 6.0]
+            } else {
+                vec![0.0, 0.0]
+            };
+            pg.broadcast(1, &mut buf);
+            buf
+        });
+        for o in outs {
+            assert_eq!(o, vec![5.0, 6.0]);
+        }
+    }
+
+    #[test]
+    fn stats_follow_byte_conventions() {
+        let (ranks, mon) = ProcessGroup::group(2);
+        let handles: Vec<_> = ranks
+            .into_iter()
+            .map(|pg| {
+                std::thread::spawn(move || {
+                    let mut b = vec![1.0f32; 8]; // 32 bytes
+                    pg.broadcast(0, &mut b);
+                    let _ = pg.all_gather(&b);
+                    pg.all_reduce(&mut b);
+                    pg.barrier();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = mon.stats();
+        assert_eq!(s.broadcasts, 1);
+        assert_eq!(s.all_gathers, 1);
+        assert_eq!(s.all_reduces, 1);
+        assert_eq!(s.barriers, 1);
+        assert_eq!(s.broadcast_bytes, 32); // (w-1)·b = 1·32
+        assert_eq!(s.all_gather_bytes, 64); // w·(w-1)·b = 2·1·32
+        assert_eq!(s.all_reduce_bytes, 64);
+        assert_eq!(s.total_bytes(), 160);
+        assert_eq!(s.collectives(), 4);
+    }
+
+    #[test]
+    fn single_rank_group_is_degenerate_but_functional() {
+        let (mut ranks, mon) = ProcessGroup::group(1);
+        let pg = ranks.pop().unwrap();
+        let mut buf = vec![2.0, 3.0];
+        pg.all_reduce(&mut buf);
+        assert_eq!(buf, vec![2.0, 3.0]);
+        let g = pg.all_gather(&buf);
+        assert_eq!(g, vec![vec![2.0, 3.0]]);
+        pg.barrier();
+        let s = mon.stats();
+        assert_eq!(s.all_reduce_bytes, 0); // w-1 = 0
+        assert_eq!(s.all_reduces, 1);
+    }
+
+    #[test]
+    fn gpusim_cost_hook_accumulates_ring_times() {
+        let cost = Arc::new(GpuSimCommCost::new(1e9));
+        let (ranks, _mon) = ProcessGroup::group_with_cost(4, cost.clone());
+        let handles: Vec<_> = ranks
+            .into_iter()
+            .map(|pg| {
+                std::thread::spawn(move || {
+                    let mut b = vec![0.5f32; 1 << 18]; // 1 MiB
+                    pg.all_reduce(&mut b);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expect = fi_gpusim::ops::allreduce_time(4, 1 << 20, 1e9);
+        assert!((cost.simulated_seconds() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_stats_merge() {
+        let mut a = CommStats {
+            all_gathers: 2,
+            all_gather_bytes: 100,
+            ..CommStats::default()
+        };
+        let b = CommStats {
+            all_gathers: 3,
+            all_gather_bytes: 50,
+            barriers: 1,
+            ..CommStats::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.all_gathers, 5);
+        assert_eq!(a.all_gather_bytes, 150);
+        assert_eq!(a.barriers, 1);
+    }
+}

@@ -1,0 +1,42 @@
+//! Error type for distributed execution.
+
+use std::fmt;
+
+/// Errors produced by sharding and sharded execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DistError {
+    /// The tensor-parallel configuration is unusable (zero ranks,
+    /// non-divisible head counts, ...).
+    InvalidConfig(String),
+    /// A shard-local KV-cache operation failed.
+    Kv(String),
+    /// A rank failed while executing a batch.
+    Exec(String),
+}
+
+impl fmt::Display for DistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DistError::InvalidConfig(m) => write!(f, "invalid tensor-parallel config: {m}"),
+            DistError::Kv(m) => write!(f, "sharded kv cache: {m}"),
+            DistError::Exec(m) => write!(f, "sharded execution: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(DistError::InvalidConfig("tp=0".into())
+            .to_string()
+            .contains("tp=0"));
+        assert!(DistError::Exec("rank 2".into())
+            .to_string()
+            .contains("rank 2"));
+    }
+}

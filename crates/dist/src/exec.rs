@@ -1,0 +1,602 @@
+//! Sharded execution: a KV pool split by KV head across ranks, and a
+//! [`ShardedExecutor`] whose rank threads run shard-local attention and
+//! combine per-head outputs with deterministic collectives.
+//!
+//! ## Why sharded outputs are bit-exact vs. the single-shard oracle
+//!
+//! Attention heads are arithmetically independent: the balanced plan's
+//! KV-chunk split depends only on the BSR layout and CTA count (never on
+//! the head count — heads only size the workspace), and every rank's
+//! pool sees the same page-allocation sequence, so each rank's layout,
+//! plan, and per-head arithmetic are identical to the full-width run's.
+//! Reassembling the per-rank output slices by concatenation
+//! ([`ReduceMode::AllGather`]) reproduces the oracle's bits exactly; the
+//! [`ReduceMode::AllReduce`] path (standing in for the row-parallel
+//! o-proj boundary, where each rank contributes a full-width partial sum)
+//! scatters the local slice into a zero buffer and tree-sums across
+//! ranks, which is `f32`-equal because each output element receives
+//! exactly one nonzero contribution.
+
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+
+use fi_core::config::HeadConfig;
+use fi_core::kernel::{AttentionProblem, FlashKernel};
+use fi_core::tiles::TileConfig;
+use fi_core::variant::{VanillaAttention, VariantParams};
+use fi_kvcache::paged::{PagedKvCache, PagedKvConfig};
+use fi_kvcache::KvCacheError;
+use fi_sched::pipeline::AttentionPipeline;
+use fi_serving::PipelineObservables;
+use fi_tensor::RaggedTensor;
+
+use crate::comm::{CommCost, CommStats, GroupMonitor, ProcessGroup};
+use crate::error::DistError;
+use crate::shard::{concat_rows, shard_heads, ShardSpec};
+
+/// A KV cache sharded by KV head: one [`PagedKvCache`] per rank, each
+/// holding that rank's column slice of every row, with identical
+/// page-size/page-count geometry and an identical mutation sequence —
+/// so all ranks' allocators stay in lockstep and produce the same page
+/// tables (and therefore the same BSR layouts and plans) as a
+/// single-shard pool would.
+///
+/// The pool is the runtime's single-writer/many-reader substrate: a
+/// driver mutates through `&self` methods (each takes the per-rank write
+/// locks briefly), rank threads read under read locks.
+pub struct ShardedKvPool {
+    specs: Vec<ShardSpec>,
+    ranks: Vec<Arc<RwLock<PagedKvCache<f32>>>>,
+}
+
+impl ShardedKvPool {
+    /// Build a `tp`-way sharded pool. Each rank's pool has the full
+    /// `num_pages` × `page_size` geometry over its local KV width.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidConfig`] for unshardable head configs (see
+    /// [`shard_heads`]) or degenerate pool geometry.
+    pub fn new(
+        heads: HeadConfig,
+        tp: usize,
+        page_size: usize,
+        num_pages: usize,
+    ) -> Result<ShardedKvPool, DistError> {
+        let specs = shard_heads(heads, tp)?;
+        let ranks = specs
+            .iter()
+            .map(|s| {
+                PagedKvCache::<f32>::new(PagedKvConfig {
+                    page_size,
+                    num_pages,
+                    num_kv_heads: s.local.num_kv_heads,
+                    head_dim: s.local.head_dim,
+                })
+                .map(|p| Arc::new(RwLock::new(p)))
+                .map_err(|e| DistError::InvalidConfig(format!("rank {} pool: {e}", s.rank)))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(ShardedKvPool { specs, ranks })
+    }
+
+    /// Tensor-parallel degree.
+    pub fn tp(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// The unsharded head geometry.
+    pub fn heads(&self) -> HeadConfig {
+        self.specs[0].full
+    }
+
+    /// Rank `r`'s shard spec.
+    pub fn spec(&self, r: usize) -> ShardSpec {
+        self.specs[r]
+    }
+
+    /// Rank `r`'s shard-local pool.
+    pub fn rank_pool(&self, r: usize) -> Arc<RwLock<PagedKvCache<f32>>> {
+        Arc::clone(&self.ranks[r])
+    }
+
+    /// Apply a mutation to every rank in rank order. Rank 0's result
+    /// decides; later ranks must agree (their allocators are in lockstep,
+    /// so a divergent outcome is a bug, not an operational error).
+    fn lockstep<T>(
+        &self,
+        mut op: impl FnMut(usize, &mut PagedKvCache<f32>) -> Result<T, KvCacheError>,
+    ) -> Result<T, KvCacheError> {
+        let mut first = None;
+        for (r, pool) in self.ranks.iter().enumerate() {
+            let mut g = pool.write().expect("sharded pool lock");
+            match op(r, &mut g) {
+                Ok(v) => {
+                    if r == 0 {
+                        first = Some(v);
+                    }
+                }
+                Err(e) if r == 0 => return Err(e),
+                Err(e) => panic!("sharded pool rank {r} diverged from rank 0: {e}"),
+            }
+        }
+        Ok(first.expect("rank 0 ran"))
+    }
+
+    /// Register a request on every rank.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rank 0's [`KvCacheError`] (e.g. duplicate id).
+    pub fn add_request(&self, id: u64) -> Result<(), KvCacheError> {
+        self.lockstep(|_, p| p.add_request(id))
+    }
+
+    /// Remove a request from every rank.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rank 0's [`KvCacheError`].
+    pub fn remove_request(&self, id: u64) -> Result<(), KvCacheError> {
+        self.lockstep(|_, p| p.remove_request(id))
+    }
+
+    /// Append one **full-width** KV row; each rank stores its column
+    /// slice. On rank 0 failure (e.g. `OutOfPages`) no rank is mutated,
+    /// keeping the shards in lockstep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rank 0's [`KvCacheError`].
+    pub fn append(&self, id: u64, k_full: &[f32], v_full: &[f32]) -> Result<(), KvCacheError> {
+        let width = self.heads().kv_width();
+        if k_full.len() != width || v_full.len() != width {
+            return Err(KvCacheError::ShapeMismatch {
+                expected: width,
+                actual: k_full.len(),
+            });
+        }
+        self.lockstep(|r, p| {
+            let s = &self.specs[r];
+            p.append(id, &k_full[s.kv_cols()], &v_full[s.kv_cols()])
+        })
+    }
+
+    /// Current KV length of a request (identical on every rank).
+    ///
+    /// # Errors
+    ///
+    /// Propagates rank 0's [`KvCacheError`].
+    pub fn seq_len(&self, id: u64) -> Result<usize, KvCacheError> {
+        self.ranks[0].read().expect("sharded pool lock").seq_len(id)
+    }
+
+    /// Free pages per rank (identical on every rank — allocators are in
+    /// lockstep).
+    pub fn free_page_count(&self) -> usize {
+        self.ranks[0]
+            .read()
+            .expect("sharded pool lock")
+            .free_page_count()
+    }
+
+    /// Read a request's KV rows back at full width (rank slices
+    /// concatenated), e.g. for swap-out buffers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates rank 0's [`KvCacheError`].
+    #[allow(clippy::type_complexity)]
+    pub fn request_rows(&self, id: u64) -> Result<(Vec<Vec<f32>>, Vec<Vec<f32>>), KvCacheError> {
+        let guards: Vec<_> = self
+            .ranks
+            .iter()
+            .map(|p| p.read().expect("sharded pool lock"))
+            .collect();
+        let len = guards[0].seq_len(id)?;
+        let tables = guards
+            .iter()
+            .map(|g| g.page_table(&[id]))
+            .collect::<Result<Vec<_>, _>>()?;
+        let mut k_rows = Vec::with_capacity(len);
+        let mut v_rows = Vec::with_capacity(len);
+        for pos in 0..len {
+            let mut k = Vec::new();
+            let mut v = Vec::new();
+            for (g, t) in guards.iter().zip(&tables) {
+                let slot = t.slot_of(0, pos);
+                k.extend_from_slice(g.k_slot(slot));
+                v.extend_from_slice(g.v_slot(slot));
+            }
+            k_rows.push(k);
+            v_rows.push(v);
+        }
+        Ok((k_rows, v_rows))
+    }
+
+    /// Per-rank occupancy snapshot (for dashboards / examples).
+    pub fn occupancy(&self) -> Vec<RankOccupancy> {
+        self.specs
+            .iter()
+            .map(|s| {
+                let g = self.ranks[s.rank].read().expect("sharded pool lock");
+                let total = g.config().num_pages;
+                let free = g.free_page_count();
+                RankOccupancy {
+                    rank: s.rank,
+                    kv_heads: s.local.num_kv_heads,
+                    total_pages: total,
+                    free_pages: free,
+                    used_pages: total - free,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One rank's KV-pool occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct RankOccupancy {
+    /// The rank.
+    pub rank: usize,
+    /// KV heads this rank stores.
+    pub kv_heads: usize,
+    /// Pool size in pages.
+    pub total_pages: usize,
+    /// Currently free pages.
+    pub free_pages: usize,
+    /// Currently allocated pages.
+    pub used_pages: usize,
+}
+
+/// How per-rank outputs combine at the batch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceMode {
+    /// Concatenate per-head output slices in rank order (the attention
+    /// output layout; column-parallel boundary).
+    AllGather,
+    /// Each rank scatters its slice into a full-width zero buffer and the
+    /// group sums — the row-parallel o-proj boundary `fi-model` uses.
+    AllReduce,
+}
+
+/// One attention launch of a sharded batch: full-width query rows for one
+/// request.
+#[derive(Debug, Clone)]
+pub struct BatchUnit {
+    /// Pool request id.
+    pub req_id: u64,
+    /// Query rows in this unit.
+    pub qo_len: usize,
+    /// KV rows visible to this unit.
+    pub kv_len: usize,
+    /// Flattened full-width query rows, `qo_len * heads.qo_width()`.
+    pub q: Vec<f32>,
+}
+
+enum Cmd {
+    Run(Vec<BatchUnit>, ReduceMode),
+}
+
+type RunReply = Result<Vec<Vec<f32>>, String>;
+
+/// A tensor-parallel execution group: `tp` rank threads, each owning an
+/// [`AttentionPipeline`] (plan cache + workspace scratch) over its shard
+/// of a [`ShardedKvPool`], joined by a deterministic [`ProcessGroup`].
+///
+/// [`ShardedExecutor::run`] fans a batch to all ranks; each runs
+/// shard-local attention per unit, then the group combines outputs per
+/// [`ReduceMode`]. Every rank computes the assembled full-width result
+/// (collectives deliver to all ranks); the driver cross-checks that all
+/// ranks returned identical bits before handing results back.
+pub struct ShardedExecutor {
+    cmd_tx: Vec<Sender<Cmd>>,
+    reply_rx: Vec<Receiver<RunReply>>,
+    handles: Vec<JoinHandle<PipelineObservables>>,
+    monitor: GroupMonitor,
+    tp: usize,
+}
+
+impl ShardedExecutor {
+    /// Spawn rank threads over `pool`'s shards.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::InvalidConfig`] if a rank thread cannot be spawned.
+    pub fn new(
+        pool: &ShardedKvPool,
+        tile: TileConfig,
+        num_ctas: usize,
+    ) -> Result<ShardedExecutor, DistError> {
+        Self::with_cost_opt(pool, tile, num_ctas, None)
+    }
+
+    /// Like [`ShardedExecutor::new`] with a [`CommCost`] hook charged per
+    /// collective.
+    pub fn with_cost(
+        pool: &ShardedKvPool,
+        tile: TileConfig,
+        num_ctas: usize,
+        cost: Arc<dyn CommCost>,
+    ) -> Result<ShardedExecutor, DistError> {
+        Self::with_cost_opt(pool, tile, num_ctas, Some(cost))
+    }
+
+    fn with_cost_opt(
+        pool: &ShardedKvPool,
+        tile: TileConfig,
+        num_ctas: usize,
+        cost: Option<Arc<dyn CommCost>>,
+    ) -> Result<ShardedExecutor, DistError> {
+        let tp = pool.tp();
+        let (mut groups, monitor) = match cost {
+            Some(c) => ProcessGroup::group_with_cost(tp, c),
+            None => ProcessGroup::group(tp),
+        };
+        let mut cmd_tx = Vec::with_capacity(tp);
+        let mut reply_rx = Vec::with_capacity(tp);
+        let mut handles = Vec::with_capacity(tp);
+        // Take groups back-to-front so remove() stays O(1); push order
+        // keeps channel index == rank.
+        for r in 0..tp {
+            let group = groups.remove(0);
+            debug_assert_eq!(group.rank(), r);
+            let spec = pool.spec(r);
+            let rank_pool = pool.rank_pool(r);
+            let (ctx, crx) = mpsc::channel::<Cmd>();
+            let (rtx, rrx) = mpsc::channel::<RunReply>();
+            let handle = std::thread::Builder::new()
+                .name(format!("fi-dist-rank-{r}"))
+                .spawn(move || rank_loop(spec, tile, num_ctas, rank_pool, group, crx, rtx))
+                .map_err(|e| DistError::InvalidConfig(format!("spawn rank {r}: {e}")))?;
+            cmd_tx.push(ctx);
+            reply_rx.push(rrx);
+            handles.push(handle);
+        }
+        Ok(ShardedExecutor {
+            cmd_tx,
+            reply_rx,
+            handles,
+            monitor,
+            tp,
+        })
+    }
+
+    /// Tensor-parallel degree.
+    pub fn tp(&self) -> usize {
+        self.tp
+    }
+
+    /// Snapshot the group's collective counters.
+    pub fn comm_stats(&self) -> CommStats {
+        self.monitor.stats()
+    }
+
+    /// Run a batch through all ranks. Returns per-unit full-width output
+    /// rows (`units[i].qo_len * heads.qo_width()` each).
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Exec`] if any rank failed (e.g. unknown request id)
+    /// or rank outputs diverged.
+    pub fn run(&self, units: &[BatchUnit], mode: ReduceMode) -> Result<Vec<Vec<f32>>, DistError> {
+        for tx in &self.cmd_tx {
+            tx.send(Cmd::Run(units.to_vec(), mode))
+                .map_err(|_| DistError::Exec("rank thread died".into()))?;
+        }
+        let mut replies = Vec::with_capacity(self.tp);
+        for (r, rx) in self.reply_rx.iter().enumerate() {
+            replies.push(
+                rx.recv()
+                    .map_err(|_| DistError::Exec(format!("rank {r} died mid-batch")))?,
+            );
+        }
+        let mut out = None;
+        for (r, reply) in replies.into_iter().enumerate() {
+            let outs = reply.map_err(DistError::Exec)?;
+            match &out {
+                None => out = Some(outs),
+                Some(first) => {
+                    if first != &outs {
+                        return Err(DistError::Exec(format!(
+                            "rank {r} assembled different output bits than rank 0 \
+                             (deterministic collectives violated)"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(out.expect("tp >= 1"))
+    }
+
+    /// Shut the rank threads down and return their merged pipeline
+    /// observables (plan-cache and kernel counters, summed over ranks).
+    pub fn join(mut self) -> PipelineObservables {
+        self.cmd_tx.clear();
+        self.reply_rx.clear();
+        let mut obs = PipelineObservables::default();
+        for h in std::mem::take(&mut self.handles) {
+            if let Ok(rank_obs) = h.join() {
+                obs.absorb(&rank_obs);
+            }
+        }
+        obs
+    }
+}
+
+impl Drop for ShardedExecutor {
+    fn drop(&mut self) {
+        self.cmd_tx.clear();
+        self.reply_rx.clear();
+        for h in std::mem::take(&mut self.handles) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Rank thread body: serve batches until the driver drops the channel,
+/// then return the pipeline's observables.
+fn rank_loop(
+    spec: ShardSpec,
+    tile: TileConfig,
+    num_ctas: usize,
+    pool: Arc<RwLock<PagedKvCache<f32>>>,
+    group: ProcessGroup,
+    rx: Receiver<Cmd>,
+    tx: Sender<RunReply>,
+) -> PipelineObservables {
+    let mut pipeline = AttentionPipeline::new(
+        FlashKernel {
+            tile,
+            head_fusion: true,
+        },
+        num_ctas,
+        fi_sched::plan::CostModel::default(),
+        fi_sched::wrapper::SchedulePolicy::Balanced,
+        fi_core::arch::Arch::Hopper,
+    )
+    .expect("rank pipeline config validated at executor start");
+    let params = VariantParams::for_head_dim(spec.local.head_dim);
+    let variant = VanillaAttention { causal: true };
+
+    while let Ok(Cmd::Run(units, mode)) = rx.recv() {
+        let reply = run_units(
+            &spec,
+            &pool,
+            &mut pipeline,
+            &group,
+            &variant,
+            &params,
+            &units,
+            mode,
+        );
+        if tx.send(reply).is_err() {
+            break; // driver gone; shut down
+        }
+    }
+
+    let mut obs = PipelineObservables::default();
+    obs.absorb_pipeline(&pipeline);
+    obs
+}
+
+/// Execute every unit shard-locally, then combine. All ranks walk the
+/// same collective sequence even when a local unit fails — a status
+/// exchange decides, identically on every rank, whether to proceed to the
+/// payload collectives, so no rank can deadlock on a barrier the others
+/// never reach.
+#[allow(clippy::too_many_arguments)]
+fn run_units(
+    spec: &ShardSpec,
+    pool: &Arc<RwLock<PagedKvCache<f32>>>,
+    pipeline: &mut AttentionPipeline,
+    group: &ProcessGroup,
+    variant: &VanillaAttention,
+    params: &VariantParams,
+    units: &[BatchUnit],
+    mode: ReduceMode,
+) -> RunReply {
+    let locals: Vec<Result<Vec<f32>, String>> = units
+        .iter()
+        .map(|u| run_local(spec, pool, pipeline, variant, params, u))
+        .collect();
+    let my_status = if locals.iter().any(|l| l.is_err()) {
+        1.0
+    } else {
+        0.0
+    };
+    let statuses = group.all_gather(&[my_status]);
+    if statuses.iter().any(|s| s[0] != 0.0) {
+        let msg = locals
+            .iter()
+            .find_map(|l| l.as_ref().err().cloned())
+            .unwrap_or_else(|| {
+                let bad: Vec<String> = statuses
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s[0] != 0.0)
+                    .map(|(r, _)| r.to_string())
+                    .collect();
+                format!("rank(s) {} failed shard-local attention", bad.join(", "))
+            });
+        return Err(msg);
+    }
+
+    let full_w = spec.full.qo_width();
+    let widths = vec![spec.local.qo_width(); spec.tp];
+    units
+        .iter()
+        .zip(locals)
+        .map(|(u, local)| {
+            let local = local.expect("statuses were all clear");
+            match mode {
+                ReduceMode::AllGather => {
+                    let parts = group.all_gather(&local);
+                    Ok(concat_rows(&parts, &widths, u.qo_len))
+                }
+                ReduceMode::AllReduce => {
+                    let mut full = vec![0.0f32; u.qo_len * full_w];
+                    let w = spec.local.qo_width();
+                    for (row, chunk) in local.chunks_exact(w).enumerate() {
+                        let base = row * full_w + spec.qo_cols().start;
+                        full[base..base + w].copy_from_slice(chunk);
+                    }
+                    group.all_reduce(&mut full);
+                    Ok(full)
+                }
+            }
+        })
+        .collect()
+}
+
+/// Page table → BSR layout → plan → run over this rank's heads. Mirrors
+/// the runtime worker's single-shard execution with the rank-local head
+/// config and query slice.
+fn run_local(
+    spec: &ShardSpec,
+    pool: &Arc<RwLock<PagedKvCache<f32>>>,
+    pipeline: &mut AttentionPipeline,
+    variant: &VanillaAttention,
+    params: &VariantParams,
+    unit: &BatchUnit,
+) -> Result<Vec<f32>, String> {
+    let guard = pool
+        .read()
+        .map_err(|_| "kv pool lock poisoned".to_string())?;
+    let pt = guard
+        .page_table(&[unit.req_id])
+        .map_err(|e| format!("rank {}: page table: {e:?}", spec.rank))?;
+    let layout = pt
+        .to_bsr(&[unit.qo_len], pipeline.kernel().tile.tq)
+        .map_err(|e| format!("rank {}: bsr layout: {e:?}", spec.rank))?;
+    if unit.q.len() != unit.qo_len * spec.full.qo_width() {
+        return Err(format!(
+            "rank {}: query rows have width {}, expected {} ({} rows of full width {})",
+            spec.rank,
+            unit.q.len().checked_div(unit.qo_len).unwrap_or(0),
+            spec.full.qo_width(),
+            unit.qo_len,
+            spec.full.qo_width()
+        ));
+    }
+    let q_local = spec.slice_qo_rows(&unit.q);
+    let mut q = RaggedTensor::<f32>::from_seq_lens(&[unit.qo_len], spec.local.qo_width());
+    q.as_tensor_mut().as_mut_slice().copy_from_slice(&q_local);
+    let problem = AttentionProblem::standard_batch(
+        &q,
+        guard.k_pool(),
+        guard.v_pool(),
+        &layout,
+        spec.local,
+        &[unit.kv_len],
+    )
+    .map_err(|e| format!("rank {}: problem: {e:?}", spec.rank))?;
+    pipeline
+        .plan(&layout, spec.local.num_qo_heads, spec.local.head_dim)
+        .map_err(|e| format!("rank {}: plan: {e:?}", spec.rank))?;
+    let out = pipeline
+        .run(&problem, variant, params)
+        .map_err(|e| format!("rank {}: run: {e:?}", spec.rank))?;
+    Ok(out.o.seq(0).to_vec())
+}

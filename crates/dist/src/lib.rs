@@ -1,0 +1,28 @@
+//! `fi-dist`: tensor-parallel sharded attention with simulated
+//! collectives.
+//!
+//! Turns the repo's tensor-parallel *accounting* (`fi-serving`'s
+//! `EngineConfig::for_gpu`) into a real execution mode:
+//!
+//! * [`comm`] — a thread-backed [`ProcessGroup`] with `broadcast` /
+//!   `barrier` / `all_gather` / `all_reduce` whose reduction order is a
+//!   fixed tree (bit-exact across runs and worker counts), plus a
+//!   pluggable [`CommCost`] hook feeding `fi-gpusim`'s link-time model.
+//! * [`shard`] — GQA-aware head partitioning: KV heads and their query
+//!   groups split across ranks without breaking group alignment,
+//!   erroring on non-divisible configs.
+//! * [`exec`] — a [`ShardedKvPool`] (per-rank `PagedKvCache` shards in
+//!   allocator lockstep) and a [`ShardedExecutor`] that fans batches to
+//!   rank threads, runs shard-local attention, and combines per-head
+//!   outputs with deterministic collectives — bit-exact against the
+//!   single-shard `AttentionPipeline` oracle.
+
+pub mod comm;
+pub mod error;
+pub mod exec;
+pub mod shard;
+
+pub use comm::{CollectiveOp, CommCost, CommStats, GpuSimCommCost, GroupMonitor, ProcessGroup};
+pub use error::DistError;
+pub use exec::{BatchUnit, RankOccupancy, ReduceMode, ShardedExecutor, ShardedKvPool};
+pub use shard::{concat_rows, shard_heads, slice_rows, ShardSpec};

@@ -1,0 +1,232 @@
+//! GQA-aware head partitioning for tensor parallelism.
+//!
+//! Sharding is by **KV head**: each rank owns `H_kv / tp` KV heads and
+//! the `g = H_qo / H_kv` query heads of each — a GQA group is never split
+//! across ranks, so a rank can run attention over its heads without any
+//! cross-rank traffic until the output boundary. Configs where `H_kv` is
+//! not divisible by `tp` (including `H_kv < tp`) are rejected with a
+//! clear error instead of silently misaligning groups: KV-head
+//! replication is a different execution mode this crate does not model.
+//!
+//! Rows are laid out head-major (`[H * D]` per token), so a rank's slice
+//! of any Q/K/V/O row is one contiguous column range, and reassembling
+//! full rows is concatenation in ascending rank order.
+
+use fi_core::config::HeadConfig;
+
+use crate::error::DistError;
+
+/// One rank's slice of the head space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// This shard's rank.
+    pub rank: usize,
+    /// Tensor-parallel degree (number of shards).
+    pub tp: usize,
+    /// The unsharded head geometry.
+    pub full: HeadConfig,
+    /// The rank-local head geometry (same `head_dim` and group size).
+    pub local: HeadConfig,
+    /// First global query head owned by this rank.
+    pub qo_head_start: usize,
+    /// First global KV head owned by this rank.
+    pub kv_head_start: usize,
+}
+
+impl ShardSpec {
+    /// Column range of this rank's slice of a full query/output row.
+    pub fn qo_cols(&self) -> std::ops::Range<usize> {
+        let d = self.full.head_dim;
+        self.qo_head_start * d..(self.qo_head_start + self.local.num_qo_heads) * d
+    }
+
+    /// Column range of this rank's slice of a full K/V row.
+    pub fn kv_cols(&self) -> std::ops::Range<usize> {
+        let d = self.full.head_dim;
+        self.kv_head_start * d..(self.kv_head_start + self.local.num_kv_heads) * d
+    }
+
+    /// Slice this rank's columns out of `rows` full-width query rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full.len()` is not a multiple of the full query width.
+    pub fn slice_qo_rows(&self, full: &[f32]) -> Vec<f32> {
+        slice_rows(full, self.full.qo_width(), self.qo_cols())
+    }
+
+    /// Slice this rank's columns out of full-width K/V rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full.len()` is not a multiple of the full KV width.
+    pub fn slice_kv_rows(&self, full: &[f32]) -> Vec<f32> {
+        slice_rows(full, self.full.kv_width(), self.kv_cols())
+    }
+}
+
+/// Partition `heads` across `tp` ranks without splitting GQA groups.
+///
+/// Returns one [`ShardSpec`] per rank, in rank order.
+///
+/// # Errors
+///
+/// [`DistError::InvalidConfig`] when `tp == 0`, when `num_kv_heads < tp`
+/// (a rank would need a fraction of a KV head), or when `num_kv_heads`
+/// is not divisible by `tp` (a GQA group would straddle ranks).
+pub fn shard_heads(heads: HeadConfig, tp: usize) -> Result<Vec<ShardSpec>, DistError> {
+    if tp == 0 {
+        return Err(DistError::InvalidConfig(
+            "tensor-parallel degree must be at least 1".into(),
+        ));
+    }
+    if heads.num_kv_heads < tp {
+        return Err(DistError::InvalidConfig(format!(
+            "cannot shard {} KV heads across tp={} ranks: every rank needs at least one \
+             whole KV head (KV-head replication is not supported)",
+            heads.num_kv_heads, tp
+        )));
+    }
+    if !heads.num_kv_heads.is_multiple_of(tp) {
+        return Err(DistError::InvalidConfig(format!(
+            "cannot shard {} KV heads across tp={} ranks: num_kv_heads must be divisible \
+             by tp so each GQA group of {} query heads stays on one rank",
+            heads.num_kv_heads,
+            tp,
+            heads.group_size()
+        )));
+    }
+    let kv_per = heads.num_kv_heads / tp;
+    let qo_per = kv_per * heads.group_size();
+    let local = HeadConfig::new(qo_per, kv_per, heads.head_dim)
+        .map_err(|e| DistError::InvalidConfig(format!("rank-local head config: {e}")))?;
+    Ok((0..tp)
+        .map(|rank| ShardSpec {
+            rank,
+            tp,
+            full: heads,
+            local,
+            qo_head_start: rank * qo_per,
+            kv_head_start: rank * kv_per,
+        })
+        .collect())
+}
+
+/// Extract columns `cols` from each `full_width`-wide row of `full`.
+///
+/// # Panics
+///
+/// Panics if `full.len()` is not a multiple of `full_width` or `cols`
+/// exceeds `full_width`.
+pub fn slice_rows(full: &[f32], full_width: usize, cols: std::ops::Range<usize>) -> Vec<f32> {
+    assert!(
+        full.len().is_multiple_of(full_width),
+        "row data length {} not a multiple of width {}",
+        full.len(),
+        full_width
+    );
+    assert!(cols.end <= full_width, "column range exceeds row width");
+    full.chunks_exact(full_width)
+        .flat_map(|row| row[cols.clone()].iter().copied())
+        .collect()
+}
+
+/// Reassemble full rows from per-rank row slices (rank order = column
+/// order). `parts[r]` holds `rows` rows of `widths[r]` columns.
+///
+/// # Panics
+///
+/// Panics if any part's length disagrees with `rows * widths[r]`.
+pub fn concat_rows(parts: &[Vec<f32>], widths: &[usize], rows: usize) -> Vec<f32> {
+    assert_eq!(parts.len(), widths.len(), "parts/widths length mismatch");
+    for (p, &w) in parts.iter().zip(widths) {
+        assert_eq!(p.len(), rows * w, "shard size disagrees with row count");
+    }
+    let full_width: usize = widths.iter().sum();
+    let mut out = Vec::with_capacity(rows * full_width);
+    for row in 0..rows {
+        for (p, &w) in parts.iter().zip(widths) {
+            out.extend_from_slice(&p[row * w..(row + 1) * w]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heads(qo: usize, kv: usize, d: usize) -> HeadConfig {
+        HeadConfig::new(qo, kv, d).unwrap()
+    }
+
+    #[test]
+    fn even_gqa_split() {
+        let specs = shard_heads(heads(16, 8, 4), 4).unwrap();
+        assert_eq!(specs.len(), 4);
+        for (r, s) in specs.iter().enumerate() {
+            assert_eq!(s.rank, r);
+            assert_eq!(s.local.num_qo_heads, 4);
+            assert_eq!(s.local.num_kv_heads, 2);
+            assert_eq!(s.local.group_size(), 2);
+            assert_eq!(s.qo_head_start, r * 4);
+            assert_eq!(s.kv_head_start, r * 2);
+            assert_eq!(s.qo_cols(), r * 16..r * 16 + 16);
+            assert_eq!(s.kv_cols(), r * 8..r * 8 + 8);
+        }
+    }
+
+    #[test]
+    fn tp1_is_identity() {
+        let h = heads(6, 3, 8);
+        let specs = shard_heads(h, 1).unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].local, h);
+        assert_eq!(specs[0].qo_cols(), 0..h.qo_width());
+        assert_eq!(specs[0].kv_cols(), 0..h.kv_width());
+    }
+
+    #[test]
+    fn too_few_kv_heads_errors_clearly() {
+        // MQA (1 KV head) cannot shard beyond tp=1.
+        let err = shard_heads(heads(8, 1, 4), 2).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("1 KV heads"), "{msg}");
+        assert!(msg.contains("tp=2"), "{msg}");
+        assert!(msg.contains("replication"), "{msg}");
+    }
+
+    #[test]
+    fn non_divisible_kv_heads_error_not_misalign() {
+        // 6 KV heads across 4 ranks would split a group.
+        let err = shard_heads(heads(12, 6, 4), 4).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("divisible"), "{msg}");
+        assert!(msg.contains("GQA group"), "{msg}");
+        assert!(shard_heads(heads(12, 6, 4), 3).is_ok());
+    }
+
+    #[test]
+    fn zero_tp_errors() {
+        assert!(matches!(
+            shard_heads(heads(4, 2, 4), 0),
+            Err(DistError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn slice_then_concat_roundtrips() {
+        let h = heads(4, 2, 3);
+        let specs = shard_heads(h, 2).unwrap();
+        let rows = 3;
+        let full: Vec<f32> = (0..rows * h.qo_width()).map(|i| i as f32).collect();
+        let parts: Vec<Vec<f32>> = specs.iter().map(|s| s.slice_qo_rows(&full)).collect();
+        let widths: Vec<usize> = specs.iter().map(|s| s.local.qo_width()).collect();
+        assert_eq!(concat_rows(&parts, &widths, rows), full);
+
+        let kv_full: Vec<f32> = (0..rows * h.kv_width()).map(|i| 0.5 * i as f32).collect();
+        let kv_parts: Vec<Vec<f32>> = specs.iter().map(|s| s.slice_kv_rows(&kv_full)).collect();
+        let kv_widths: Vec<usize> = specs.iter().map(|s| s.local.kv_width()).collect();
+        assert_eq!(concat_rows(&kv_parts, &kv_widths, rows), kv_full);
+    }
+}

@@ -20,6 +20,13 @@
 //!   [`fi_sched::pipeline::AttentionPipeline`] (plan cache, load-balanced
 //!   schedule, real FA2 kernels) against the shared
 //!   [`fi_kvcache::paged::PagedKvCache`] under a read lock.
+//! * **Tensor-parallel mode** (`tensor_parallel > 1`): the KV pool is
+//!   sharded by KV head ([`fi_dist::ShardedKvPool`], shards in allocator
+//!   lockstep) and each logical worker becomes a tp-group
+//!   ([`fi_dist::ShardedExecutor`]) whose rank threads run shard-local
+//!   attention and reassemble full-width outputs with deterministic
+//!   collectives — outputs stay bit-identical to the unsharded run, and
+//!   collective byte counts surface in [`RuntimeMetrics`]' `comm` field.
 //!
 //! Every work unit is a batch-of-one problem on purpose: a plan's
 //! KV-split decisions are global per plan, so per-request units make the
@@ -36,6 +43,7 @@
 //! exactly: `submitted == completed + rejected + cancelled`.
 
 pub mod metrics;
+mod pool;
 pub mod request;
 pub mod scheduler;
 mod worker;

@@ -1,6 +1,7 @@
 //! The runtime's observable state: lifecycle counters on top of the
 //! latency and planner/kernel metrics shared with the simulator.
 
+use fi_dist::CommStats;
 use fi_serving::ServingMetrics;
 
 /// Snapshot of a runtime run, returned by `Runtime::finish`.
@@ -36,6 +37,12 @@ pub struct RuntimeMetrics {
     /// Free pages after drain — equals `kv_pages_total` iff no page
     /// leaked.
     pub kv_pages_free_at_drain: usize,
+    /// Tensor-parallel degree the run executed at (1 = unsharded).
+    pub tensor_parallel: usize,
+    /// Collective calls and bytes moved by the workers' tensor-parallel
+    /// groups, summed over workers. All-zero at `tensor_parallel == 1`
+    /// (the unsharded path issues no collectives).
+    pub comm: CommStats,
 }
 
 impl RuntimeMetrics {

@@ -1,0 +1,75 @@
+//! The scheduler's KV-storage backend: either the single shared
+//! [`PagedKvCache`] (tensor_parallel = 1, the exact pre-sharding code
+//! path) or a [`ShardedKvPool`] whose per-rank shards stay in allocator
+//! lockstep. The scheduler is width-agnostic — it writes and reads
+//! full-width rows; the sharded backend slices columns per rank.
+
+use std::sync::{Arc, RwLock};
+
+use fi_dist::ShardedKvPool;
+use fi_kvcache::paged::PagedKvCache;
+use fi_kvcache::KvCacheError;
+
+/// Full-width KV rows of one request, in position order (swap-out
+/// buffers).
+pub(crate) type KvRows = (Vec<Vec<f32>>, Vec<Vec<f32>>);
+
+#[derive(Clone)]
+pub(crate) enum KvBackend {
+    /// One pool holding all KV heads.
+    Single(Arc<RwLock<PagedKvCache<f32>>>),
+    /// One pool shard per tensor-parallel rank.
+    Sharded(Arc<ShardedKvPool>),
+}
+
+impl KvBackend {
+    pub fn add_request(&self, id: u64) -> Result<(), KvCacheError> {
+        match self {
+            KvBackend::Single(p) => p.write().expect("pool lock").add_request(id),
+            KvBackend::Sharded(p) => p.add_request(id),
+        }
+    }
+
+    pub fn remove_request(&self, id: u64) -> Result<(), KvCacheError> {
+        match self {
+            KvBackend::Single(p) => p.write().expect("pool lock").remove_request(id),
+            KvBackend::Sharded(p) => p.remove_request(id),
+        }
+    }
+
+    /// Append one full-width KV row (the sharded backend slices columns
+    /// per rank; on failure no rank is mutated).
+    pub fn append(&self, id: u64, k: &[f32], v: &[f32]) -> Result<(), KvCacheError> {
+        match self {
+            KvBackend::Single(p) => p.write().expect("pool lock").append(id, k, v),
+            KvBackend::Sharded(p) => p.append(id, k, v),
+        }
+    }
+
+    pub fn free_page_count(&self) -> usize {
+        match self {
+            KvBackend::Single(p) => p.read().expect("pool lock").free_page_count(),
+            KvBackend::Sharded(p) => p.free_page_count(),
+        }
+    }
+
+    /// Read a request's KV rows back at full width (swap-out).
+    pub fn request_rows(&self, id: u64) -> Result<KvRows, KvCacheError> {
+        match self {
+            KvBackend::Single(p) => {
+                let g = p.read().expect("pool lock");
+                let len = g.seq_len(id)?;
+                let pt = g.page_table(&[id])?;
+                let mut k = Vec::with_capacity(len);
+                let mut v = Vec::with_capacity(len);
+                for pos in 0..len {
+                    let s = pt.slot_of(0, pos);
+                    k.push(g.k_slot(s).to_vec());
+                    v.push(g.v_slot(s).to_vec());
+                }
+                Ok((k, v))
+            }
+            KvBackend::Sharded(p) => p.request_rows(id),
+        }
+    }
+}

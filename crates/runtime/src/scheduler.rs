@@ -22,19 +22,22 @@ use std::time::Instant;
 
 use fi_core::config::HeadConfig;
 use fi_core::tiles::TileConfig;
+use fi_dist::ShardedKvPool;
 use fi_kvcache::paged::{PagedKvCache, PagedKvConfig};
 use fi_kvcache::KvCacheError;
 use fi_serving::engine::{EngineConfig, PreemptionPolicy};
 use fi_serving::policy::{self, AdmissionCost, AdmissionVerdict};
 use fi_serving::workload::RequestSpec;
-use fi_serving::PipelineObservables;
 
 use crate::metrics::RuntimeMetrics;
+use crate::pool::KvBackend;
 use crate::request::{
     kv_row, q_row, CancelReason, CompletedRequest, RejectReason, RequestHandle, RequestOutcome,
     RuntimeRequest,
 };
-use crate::worker::{worker_loop, WorkResult, WorkUnit, WorkerConfig};
+use crate::worker::{
+    sharded_worker_loop, worker_loop, WorkResult, WorkUnit, WorkerConfig, WorkerReport,
+};
 
 /// Configuration of a [`Runtime`].
 #[derive(Debug, Clone)]
@@ -44,8 +47,14 @@ pub struct RuntimeConfig {
     pub engine: EngineConfig,
     /// Bound of the submission queue; a full queue rejects (backpressure).
     pub queue_capacity: usize,
-    /// Worker threads executing attention kernels.
+    /// Worker threads executing attention kernels. At `tensor_parallel
+    /// > 1` each worker is a tp-group of that many rank threads.
     pub num_workers: usize,
+    /// Tensor-parallel degree: 1 runs the single-pool path; `tp > 1`
+    /// shards the KV pool and every worker by KV head across `tp` ranks
+    /// (outputs stay bit-identical — heads are independent and the
+    /// collectives are deterministic).
+    pub tensor_parallel: usize,
     /// CTAs each worker's pipeline schedules over.
     pub num_ctas: usize,
     /// Attention head geometry.
@@ -72,6 +81,7 @@ impl Default for RuntimeConfig {
             },
             queue_capacity: 64,
             num_workers: 4,
+            tensor_parallel: 1,
             num_ctas: 8,
             heads: HeadConfig::new(2, 1, 16).expect("static head config"),
             tile: TileConfig { tq: 4, tkv: 8 },
@@ -89,6 +99,9 @@ impl RuntimeConfig {
         }
         if self.num_workers == 0 {
             return bad("num_workers must be positive");
+        }
+        if self.tensor_parallel == 0 {
+            return bad("tensor_parallel must be at least 1");
         }
         if self.num_ctas == 0 {
             return bad("num_ctas must be positive");
@@ -166,14 +179,22 @@ impl Runtime {
     /// Spawn the scheduler and worker threads.
     pub fn start(cfg: RuntimeConfig) -> Result<Runtime, RuntimeError> {
         cfg.validate()?;
-        let pool = PagedKvCache::<f32>::new(PagedKvConfig {
-            page_size: cfg.page_size,
-            num_pages: cfg.num_pages,
-            num_kv_heads: cfg.heads.num_kv_heads,
-            head_dim: cfg.heads.head_dim,
-        })
-        .map_err(|e| RuntimeError::InvalidConfig(format!("kv pool: {e:?}")))?;
-        let pool = Arc::new(RwLock::new(pool));
+        let pool = if cfg.tensor_parallel == 1 {
+            // The exact single-shard code path: one pool, plain workers.
+            let pool = PagedKvCache::<f32>::new(PagedKvConfig {
+                page_size: cfg.page_size,
+                num_pages: cfg.num_pages,
+                num_kv_heads: cfg.heads.num_kv_heads,
+                head_dim: cfg.heads.head_dim,
+            })
+            .map_err(|e| RuntimeError::InvalidConfig(format!("kv pool: {e:?}")))?;
+            KvBackend::Single(Arc::new(RwLock::new(pool)))
+        } else {
+            let pool =
+                ShardedKvPool::new(cfg.heads, cfg.tensor_parallel, cfg.page_size, cfg.num_pages)
+                    .map_err(|e| RuntimeError::InvalidConfig(e.to_string()))?;
+            KvBackend::Sharded(Arc::new(pool))
+        };
         let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity);
         let gate = Arc::new(Gate::default());
         let sched_gate = Arc::clone(&gate);
@@ -296,7 +317,7 @@ enum AppendOutcome {
 
 struct Scheduler {
     cfg: RuntimeConfig,
-    pool: Arc<RwLock<PagedKvCache<f32>>>,
+    pool: KvBackend,
     rx: Receiver<Submission>,
     gate: Arc<Gate>,
     pending: VecDeque<Submission>,
@@ -307,7 +328,7 @@ struct Scheduler {
     metrics: RuntimeMetrics,
     worker_tx: Vec<Sender<WorkUnit>>,
     results_rx: Option<Receiver<WorkResult>>,
-    workers: Vec<JoinHandle<PipelineObservables>>,
+    workers: Vec<JoinHandle<WorkerReport>>,
     disconnected: bool,
     rr: usize,
 }
@@ -315,7 +336,7 @@ struct Scheduler {
 impl Scheduler {
     fn new(
         cfg: RuntimeConfig,
-        pool: Arc<RwLock<PagedKvCache<f32>>>,
+        pool: KvBackend,
         rx: Receiver<Submission>,
         gate: Arc<Gate>,
     ) -> Scheduler {
@@ -355,18 +376,19 @@ impl Scheduler {
             self.step();
         }
         // Graceful shutdown: close the unit channels, collect each
-        // worker's pipeline observables.
+        // worker's pipeline observables and collective counters.
         self.worker_tx.clear();
         self.results_rx.take();
         for h in std::mem::take(&mut self.workers) {
-            if let Ok(obs) = h.join() {
-                self.metrics.serving.pipeline.absorb(&obs);
+            if let Ok(report) = h.join() {
+                self.metrics.serving.pipeline.absorb(&report.obs);
+                self.metrics.comm.merge(&report.comm);
             }
         }
         self.metrics.serving.duration = start.elapsed().as_secs_f64();
+        self.metrics.tensor_parallel = self.cfg.tensor_parallel;
         self.metrics.kv_pages_total = self.cfg.num_pages;
-        self.metrics.kv_pages_free_at_drain =
-            self.pool.read().map(|g| g.free_page_count()).unwrap_or(0);
+        self.metrics.kv_pages_free_at_drain = self.pool.free_page_count();
         self.metrics
     }
 
@@ -379,12 +401,23 @@ impl Scheduler {
         let (res_tx, res_rx) = mpsc::channel();
         for w in 0..self.cfg.num_workers {
             let (unit_tx, unit_rx) = mpsc::channel();
-            let pool = Arc::clone(&self.pool);
             let res_tx = res_tx.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("fi-runtime-worker-{w}"))
-                .spawn(move || worker_loop(wcfg, pool, unit_rx, res_tx))
-                .expect("spawn worker");
+            let handle = match &self.pool {
+                KvBackend::Single(p) => {
+                    let pool = Arc::clone(p);
+                    std::thread::Builder::new()
+                        .name(format!("fi-runtime-worker-{w}"))
+                        .spawn(move || worker_loop(wcfg, pool, unit_rx, res_tx))
+                        .expect("spawn worker")
+                }
+                KvBackend::Sharded(p) => {
+                    let pool = Arc::clone(p);
+                    std::thread::Builder::new()
+                        .name(format!("fi-runtime-tp-worker-{w}"))
+                        .spawn(move || sharded_worker_loop(wcfg, pool, unit_rx, res_tx))
+                        .expect("spawn tp worker")
+                }
+            };
             self.worker_tx.push(unit_tx);
             self.workers.push(handle);
         }
@@ -475,11 +508,7 @@ impl Scheduler {
     /// Free a request's policy reservation and its pool pages.
     fn release(&mut self, a: &Active) {
         self.kv_used = self.kv_used.saturating_sub(a.charged);
-        let _ = self
-            .pool
-            .write()
-            .expect("pool lock")
-            .remove_request(a.sub.id);
+        let _ = self.pool.remove_request(a.sub.id);
     }
 
     // -- admission ---------------------------------------------------------
@@ -516,8 +545,6 @@ impl Scheduler {
             }
             let mut a = self.preempted.pop_front().expect("front exists");
             self.pool
-                .write()
-                .expect("pool lock")
                 .add_request(a.sub.id)
                 .expect("preempted request is not in the pool");
             a.charged = reserve;
@@ -537,11 +564,7 @@ impl Scheduler {
                         // once completed steps free pages.
                         self.kv_used = self.kv_used.saturating_sub(a.charged);
                         a.charged = 0;
-                        let _ = self
-                            .pool
-                            .write()
-                            .expect("pool lock")
-                            .remove_request(a.sub.id);
+                        let _ = self.pool.remove_request(a.sub.id);
                         a.swap = Some(buf);
                         self.preempted.push_front(a);
                         break;
@@ -583,11 +606,7 @@ impl Scheduler {
 
     /// Append without preempting anybody; false on page exhaustion.
     fn append_kv_no_evict(&mut self, id: u64, k: &[f32], v: &[f32]) -> bool {
-        self.pool
-            .write()
-            .expect("pool lock")
-            .append(id, k, v)
-            .is_ok()
+        self.pool.append(id, k, v).is_ok()
     }
 
     fn admit_pending(&mut self) {
@@ -607,11 +626,7 @@ impl Scheduler {
             ) {
                 AdmissionVerdict::Admit => {
                     let sub = self.pending.pop_front().expect("front exists");
-                    self.pool
-                        .write()
-                        .expect("pool lock")
-                        .add_request(sub.id)
-                        .expect("fresh request id");
+                    self.pool.add_request(sub.id).expect("fresh request id");
                     self.kv_used += cost.reserve;
                     self.metrics.admitted += 1;
                     let target = sub.spec.prompt_len;
@@ -683,29 +698,17 @@ impl Scheduler {
         let target = a.sub.spec.prompt_len + a.outputs.len();
         a.phase = Phase::Prefill { done: 0, target };
         self.pool
-            .write()
-            .expect("pool lock")
             .remove_request(a.sub.id)
             .expect("victim is in the pool");
         self.preempted.push_back(a);
     }
 
     /// Copy a request's KV rows out of the pool (the "swap to host" of
-    /// vLLM's Swap policy; `fi_kvcache::swap` models its cost).
+    /// vLLM's Swap policy; `fi_kvcache::swap` models its cost). Rows come
+    /// back at full width regardless of sharding.
     fn swap_out(&self, id: u64) -> SwapBuf {
-        let g = self.pool.read().expect("pool lock");
-        let len = g.seq_len(id).expect("victim in pool");
-        let pt = g.page_table(&[id]).expect("victim page table");
-        let mut buf = SwapBuf {
-            k: Vec::with_capacity(len),
-            v: Vec::with_capacity(len),
-        };
-        for pos in 0..len {
-            let s = pt.slot_of(0, pos);
-            buf.k.push(g.k_slot(s).to_vec());
-            buf.v.push(g.v_slot(s).to_vec());
-        }
-        buf
+        let (k, v) = self.pool.request_rows(id).expect("victim in pool");
+        SwapBuf { k, v }
     }
 
     /// Evict somebody other than `for_id` to free pages. False if no one
@@ -726,7 +729,7 @@ impl Scheduler {
     /// exhaustion. Fails only if the request cannot fit even alone.
     fn append_kv(&mut self, id: u64, k: &[f32], v: &[f32]) -> AppendOutcome {
         loop {
-            let res = self.pool.write().expect("pool lock").append(id, k, v);
+            let res = self.pool.append(id, k, v);
             match res {
                 Ok(()) => return AppendOutcome::Done,
                 Err(KvCacheError::OutOfPages { .. }) => {
@@ -1042,6 +1045,43 @@ mod tests {
     }
 
     #[test]
+    fn tensor_parallel_worker_pool_completes_with_comm_traffic() {
+        let cfg = RuntimeConfig {
+            num_workers: 2,
+            tensor_parallel: 2,
+            heads: HeadConfig::new(4, 2, 16).unwrap(),
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::start(cfg).unwrap();
+        let h = rt.submit(RuntimeRequest::new(12, 5, 7));
+        let out = h.wait().completed().expect("completes");
+        assert_eq!(out.outputs.len(), 5);
+        assert!(out.outputs.iter().all(|row| row.len() == 4 * 16));
+        let m = rt.finish();
+        assert_eq!(m.completed(), 1);
+        assert!(m.reconciles());
+        assert!(m.kv_pool_drained());
+        assert_eq!(m.tensor_parallel, 2);
+        assert!(m.comm.all_gathers > 0, "collectives should be counted");
+        assert!(m.comm.total_bytes() > 0, "collective bytes should surface");
+    }
+
+    #[test]
+    fn unshardable_heads_rejected_at_start() {
+        // The default head config has a single KV head: tp=2 must error
+        // clearly, not misalign.
+        let cfg = RuntimeConfig {
+            tensor_parallel: 2,
+            ..RuntimeConfig::default()
+        };
+        let err = match Runtime::start(cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("1 KV head cannot shard 2 ways"),
+        };
+        assert!(err.to_string().contains("KV head"), "{err}");
+    }
+
+    #[test]
     fn invalid_configs_rejected() {
         for cfg in [
             RuntimeConfig {
@@ -1050,6 +1090,10 @@ mod tests {
             },
             RuntimeConfig {
                 queue_capacity: 0,
+                ..RuntimeConfig::default()
+            },
+            RuntimeConfig {
+                tensor_parallel: 0,
                 ..RuntimeConfig::default()
             },
             RuntimeConfig {

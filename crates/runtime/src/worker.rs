@@ -18,6 +18,7 @@ use fi_core::config::HeadConfig;
 use fi_core::kernel::{AttentionProblem, FlashKernel};
 use fi_core::tiles::TileConfig;
 use fi_core::variant::{VanillaAttention, VariantParams};
+use fi_dist::{BatchUnit, CommStats, ReduceMode, ShardedExecutor, ShardedKvPool};
 use fi_kvcache::paged::PagedKvCache;
 use fi_sched::pipeline::AttentionPipeline;
 use fi_serving::PipelineObservables;
@@ -57,6 +58,14 @@ pub(crate) struct WorkerConfig {
     pub num_ctas: usize,
 }
 
+/// What a worker hands back at shutdown: its pipeline counters plus (in
+/// tensor-parallel mode) its group's collective counters.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WorkerReport {
+    pub obs: PipelineObservables,
+    pub comm: CommStats,
+}
+
 /// Worker body: drain units until the scheduler drops the sender, then
 /// return the pipeline's accumulated observables for the final report.
 pub(crate) fn worker_loop(
@@ -64,7 +73,7 @@ pub(crate) fn worker_loop(
     pool: Arc<RwLock<PagedKvCache<f32>>>,
     rx: Receiver<WorkUnit>,
     tx: Sender<WorkResult>,
-) -> PipelineObservables {
+) -> WorkerReport {
     let mut pipeline = AttentionPipeline::new(
         FlashKernel {
             tile: cfg.tile,
@@ -102,7 +111,57 @@ pub(crate) fn worker_loop(
 
     let mut obs = PipelineObservables::default();
     obs.absorb_pipeline(&pipeline);
-    obs
+    WorkerReport {
+        obs,
+        comm: CommStats::default(),
+    }
+}
+
+/// Tensor-parallel worker body: this logical worker is a tp-group — a
+/// [`ShardedExecutor`] whose rank threads run shard-local attention over
+/// the shared [`ShardedKvPool`] and reassemble full-width outputs with a
+/// deterministic `all_gather`. Unit handling is otherwise identical to
+/// [`worker_loop`]: batch-of-one units in, full-width rows out, so the
+/// scheduler cannot tell the modes apart (and the outputs are
+/// bit-identical — see `fi_dist::exec`'s module docs).
+pub(crate) fn sharded_worker_loop(
+    cfg: WorkerConfig,
+    pool: Arc<ShardedKvPool>,
+    rx: Receiver<WorkUnit>,
+    tx: Sender<WorkResult>,
+) -> WorkerReport {
+    let exec = ShardedExecutor::new(&pool, cfg.tile, cfg.num_ctas)
+        .expect("sharded config validated at runtime start");
+    while let Ok(unit) = rx.recv() {
+        let batch = [BatchUnit {
+            req_id: unit.req_id,
+            qo_len: unit.qo_len,
+            kv_len: unit.kv_len,
+            q: unit.q.clone(),
+        }];
+        let msg = match exec.run(&batch, ReduceMode::AllGather) {
+            Ok(mut outs) => WorkResult {
+                req_id: unit.req_id,
+                token_index: unit.token_index,
+                out: outs.pop().expect("one unit in, one output out"),
+                err: None,
+            },
+            Err(e) => WorkResult {
+                req_id: unit.req_id,
+                token_index: unit.token_index,
+                out: Vec::new(),
+                err: Some(e.to_string()),
+            },
+        };
+        if tx.send(msg).is_err() {
+            break; // scheduler gone; shut down
+        }
+    }
+    let comm = exec.comm_stats();
+    WorkerReport {
+        obs: exec.join(),
+        comm,
+    }
 }
 
 /// Page table → BSR layout → plan → run, for one request's unit.

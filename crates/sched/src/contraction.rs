@@ -1,12 +1,16 @@
 //! The attention-composition (contraction) kernel (§3.3.1, Figure 6).
 //!
 //! Split tiles leave partial attention states in the workspace; this step
-//! reduces each tile's chunk states with the ⊕ operator in **deterministic
-//! ascending chunk order** — the paper deliberately avoids Stream-K's
-//! atomic aggregation so identical inputs give identical bits. Variants
-//! without softmax reduce with summation instead.
+//! reduces each tile's chunk states with the ⊕ operator in a
+//! **deterministic fixed tree order** ([`fi_tensor::numerics::tree_reduce`]
+//! over ascending chunk index) — the paper deliberately avoids Stream-K's
+//! atomic aggregation so identical inputs give identical bits, and the
+//! shared tree helper means scheduler partial-merging and the distributed
+//! `all_reduce` collective use one association. Variants without softmax
+//! reduce with summation instead.
 
 use fi_core::state::AttentionState;
+use fi_tensor::numerics::tree_reduce;
 
 use crate::plan::Plan;
 use crate::workspace::Workspace;
@@ -28,17 +32,24 @@ pub fn merge_partials(
         .iter()
         .map(|g| {
             let n = states_per_tile[g.block_row];
-            let mut acc: Vec<AttentionState> = vec![AttentionState::identity(d); n];
-            for &pi in &g.partial_indices {
-                let part = workspace.read_partial(pi, n, d);
-                for (a, p) in acc.iter_mut().zip(&part) {
-                    *a = if use_softmax {
-                        a.merge(p)
-                    } else {
-                        a.merge_sum(p)
-                    };
-                }
-            }
+            let parts: Vec<Vec<AttentionState>> = g
+                .partial_indices
+                .iter()
+                .map(|&pi| workspace.read_partial(pi, n, d))
+                .collect();
+            let acc = tree_reduce(parts, |a, b| {
+                a.iter()
+                    .zip(&b)
+                    .map(|(x, y)| {
+                        if use_softmax {
+                            x.merge(y)
+                        } else {
+                            x.merge_sum(y)
+                        }
+                    })
+                    .collect()
+            })
+            .unwrap_or_else(|| vec![AttentionState::identity(d); n]);
             (g.block_row, acc)
         })
         .collect()
@@ -53,7 +64,7 @@ mod tests {
     use fi_tensor::numerics::allclose;
 
     #[test]
-    fn merges_in_ascending_chunk_order_deterministically() {
+    fn merges_in_fixed_tree_order_deterministically() {
         // One tile split into 3 chunks; manually write chunk states and
         // verify the merged result equals the direct merge.
         let entries = (0..9)

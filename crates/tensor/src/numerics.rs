@@ -145,6 +145,54 @@ pub fn scale_add(s: f32, a: f32, x: &[f32], y: &mut [f32]) {
     }
 }
 
+/// Deterministic pairwise tree reduction.
+///
+/// Combines `items` with a fixed bracket order: each round pairs adjacent
+/// elements left-to-right `(0⊕1), (2⊕3), …` and an odd tail carries into
+/// the next round unchanged, so the association depends only on the item
+/// count and order — never on thread arrival timing or worker count.
+/// Every multi-worker reduction in the workspace (scheduler
+/// partial-merging, distributed `all_reduce`) routes through this one
+/// helper so they all share a single ordering and stay bit-exact across
+/// runs.
+///
+/// Returns `None` for an empty input; a single item is returned untouched
+/// (no identity element is injected).
+pub fn tree_reduce<T>(mut items: Vec<T>, mut combine: impl FnMut(T, T) -> T) -> Option<T> {
+    while items.len() > 1 {
+        let mut next = Vec::with_capacity(items.len().div_ceil(2));
+        let mut it = items.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(combine(a, b)),
+                None => next.push(a),
+            }
+        }
+        items = next;
+    }
+    items.pop()
+}
+
+/// Elementwise tree-ordered sum of equal-length f32 vectors.
+///
+/// The reduction association is [`tree_reduce`]'s fixed bracket order, so
+/// the result is bit-identical for a given input order regardless of how
+/// many threads produced the inputs. This is the arithmetic core of the
+/// deterministic `all_reduce` collective.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+pub fn tree_reduce_sum(vecs: Vec<Vec<f32>>) -> Option<Vec<f32>> {
+    tree_reduce(vecs, |mut a, b| {
+        assert_eq!(a.len(), b.len(), "length mismatch in tree_reduce_sum");
+        for (x, &y) in a.iter_mut().zip(&b) {
+            *x += y;
+        }
+        a
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,5 +280,32 @@ mod tests {
         scale(&mut y, 2.0);
         scale_add(2.0, 3.0, &[], &mut y);
         assert!(y.is_empty());
+    }
+
+    #[test]
+    fn tree_reduce_bracket_order() {
+        // Strings record the association: 5 items reduce as
+        // round 1: (01)(23)(4)  round 2: ((01)(23))(4)  round 3: all.
+        let items: Vec<String> = (0..5).map(|i| i.to_string()).collect();
+        let got = tree_reduce(items, |a, b| format!("({a}{b})")).unwrap();
+        assert_eq!(got, "(((01)(23))4)");
+        // Empty and singleton edge cases.
+        assert_eq!(tree_reduce(Vec::<i32>::new(), |a, b| a + b), None);
+        assert_eq!(tree_reduce(vec![7], |a, b| a + b), Some(7));
+    }
+
+    #[test]
+    fn tree_reduce_sum_is_deterministic_and_correct() {
+        let vecs: Vec<Vec<f32>> = (0..7)
+            .map(|i| (0..5).map(|j| 0.1 * (i * 5 + j) as f32).collect())
+            .collect();
+        let a = tree_reduce_sum(vecs.clone()).unwrap();
+        let b = tree_reduce_sum(vecs.clone()).unwrap();
+        assert_eq!(a, b, "same input, same bits");
+        let naive: Vec<f32> = (0..5)
+            .map(|j| vecs.iter().map(|v| v[j]).sum::<f32>())
+            .collect();
+        assert!(allclose(&a, &naive, 1e-5, 1e-6));
+        assert_eq!(tree_reduce_sum(vec![]), None);
     }
 }

@@ -6,11 +6,29 @@
 # standard decode shape), then collects criterion's mean point estimates
 # (ns/iter) from target/criterion/*/new/estimates.json.
 #
-# Usage: scripts/bench_snapshot.sh [output.json]   (default: BENCH_kernel.json)
+# With --offline, skips criterion entirely and runs the registry-free
+# timing binary (crates/bench/src/bin/offline_timing.rs), which measures
+# the same shapes with std::time::Instant and writes the same schema —
+# for environments where the crates.io mirror cannot resolve criterion.
+#
+# Usage: scripts/bench_snapshot.sh [--offline] [output.json]
+#        (default output: BENCH_kernel.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+OFFLINE=0
+if [[ "${1:-}" == "--offline" ]]; then
+  OFFLINE=1
+  shift
+fi
 OUT="${1:-BENCH_kernel.json}"
+
+if [[ "$OFFLINE" == 1 ]]; then
+  echo "==> offline timing fallback (no criterion)"
+  cargo run --release -q -p fi-bench --bin offline_timing > "$OUT"
+  echo "wrote ${OUT}"
+  exit 0
+fi
 
 echo "==> cargo bench (flash_kernel groups)"
 cargo bench -p fi-bench --bench microbench -- 'flash_kernel'

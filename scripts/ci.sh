@@ -24,6 +24,13 @@ for _ in 1 2 3; do
   cargo test -q --test runtime_serving "${PROFILE_FLAGS[@]}" repeated_seed
 done
 
+echo "==> fi-dist gate (forced parallelism + repeated tp=4 bit-exactness smoke)"
+cargo test -q -p fi-dist "${PROFILE_FLAGS[@]}" -- --test-threads=8
+for _ in 1 2 3; do
+  cargo test -q --test dist_exec "${PROFILE_FLAGS[@]}" sharded_executor_matches_oracle_across_tp
+  cargo test -q --test runtime_serving "${PROFILE_FLAGS[@]}" tensor_parallel_serving
+done
+
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --workspace --no-run
 

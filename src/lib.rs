@@ -17,13 +17,19 @@
 //!   CUDA hardware (see `DESIGN.md` for the substitution argument).
 //! * [`serving`] — a continuous-batching serving engine, workload
 //!   generators, and the baseline backends used in the paper's evaluation.
+//! * [`dist`] — tensor-parallel sharded attention: deterministic
+//!   thread-backed collectives, GQA-aware head partitioning, and a
+//!   sharded executor that is bit-exact against the single-shard
+//!   pipeline.
 //! * [`runtime`] — a concurrent continuous-batching runtime that drives
 //!   the real kernels (scheduler thread + worker pool over the shared
-//!   paged KV pool), sharing batch-formation policy with [`serving`].
+//!   paged KV pool), sharing batch-formation policy with [`serving`];
+//!   optionally tensor-parallel via [`dist`].
 //!
 //! See `examples/quickstart.rs` for the canonical end-to-end usage.
 
 pub use fi_core as core;
+pub use fi_dist as dist;
 pub use fi_gpusim as gpusim;
 pub use fi_kvcache as kvcache;
 pub use fi_model as model;

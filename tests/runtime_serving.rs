@@ -141,6 +141,7 @@ fn concurrent_poisson_serving_matches_sequential_oracle() {
         },
         queue_capacity: 2 * N,
         num_workers: 4,
+        tensor_parallel: 1,
         num_ctas: 8,
         heads: HeadConfig::new(2, 1, 16).unwrap(),
         tile: TileConfig { tq: 4, tkv: 8 },
@@ -225,6 +226,7 @@ fn preemption_recompute_is_bit_exact() {
         },
         queue_capacity: 64,
         num_workers: 4,
+        tensor_parallel: 1,
         num_ctas: 8,
         heads: HeadConfig::new(2, 1, 16).unwrap(),
         tile: TileConfig { tq: 4, tkv: 8 },
@@ -266,6 +268,7 @@ fn preemption_swap_is_bit_exact() {
         },
         queue_capacity: 64,
         num_workers: 4,
+        tensor_parallel: 1,
         num_ctas: 8,
         heads: HeadConfig::new(2, 1, 16).unwrap(),
         tile: TileConfig { tq: 4, tkv: 8 },
@@ -299,6 +302,7 @@ fn preemption_swap_is_bit_exact() {
 fn cancellation_and_deadlines_free_pages_and_reconcile() {
     let cfg = RuntimeConfig {
         num_workers: 4,
+        tensor_parallel: 1,
         ..RuntimeConfig::default()
     };
     let rt = Runtime::start(cfg).unwrap();
@@ -357,6 +361,7 @@ fn queue_backpressure_rejects_and_reconciles() {
         },
         queue_capacity: 2,
         num_workers: 4,
+        tensor_parallel: 1,
         ..RuntimeConfig::default()
     };
     let rt = Runtime::start(cfg).unwrap();
@@ -407,6 +412,7 @@ fn repeated_seed_smoke() {
             },
             queue_capacity: 32,
             num_workers: 2 + (seed as usize % 3),
+            tensor_parallel: 1,
             num_ctas: 8,
             heads: HeadConfig::new(2, 1, 16).unwrap(),
             tile: TileConfig { tq: 4, tkv: 8 },
@@ -424,5 +430,72 @@ fn repeated_seed_smoke() {
         assert_eq!(m.completed(), 16);
         assert!(m.reconciles());
         assert!(m.kv_pool_drained());
+    }
+}
+
+/// Tensor-parallel serving gate: the same concurrent mix through the
+/// sharded worker-pool mode (every logical worker a tp-group of rank
+/// threads over the head-sharded KV pool) must reproduce the sequential
+/// full-width oracle bit-for-bit, while the collective byte counters
+/// surface in the final metrics.
+#[test]
+fn tensor_parallel_serving_is_bit_exact() {
+    const N: usize = 24;
+    for (tp, heads) in [
+        (2usize, HeadConfig::new(4, 2, 16).unwrap()),
+        (4, HeadConfig::new(8, 4, 16).unwrap()),
+    ] {
+        let cfg = RuntimeConfig {
+            engine: EngineConfig {
+                kv_capacity_tokens: 2048,
+                max_batch: 16,
+                prefix_caching: false,
+                chunked_prefill_budget: Some(24),
+                optimistic_admission: true,
+                preemption: PreemptionPolicy::Recompute,
+            },
+            queue_capacity: 2 * N,
+            num_workers: 2,
+            tensor_parallel: tp,
+            num_ctas: 4,
+            heads,
+            tile: TileConfig { tq: 4, tkv: 8 },
+            page_size: 4,
+            num_pages: 512,
+        };
+        let requests = request_mix(N, 0xD157 + tp as u64);
+        let rt = Arc::new(Runtime::start(cfg.clone()).unwrap());
+        let mut joins = Vec::new();
+        for s in 0..3usize {
+            let rt = Arc::clone(&rt);
+            let batch: Vec<RuntimeRequest> = requests.iter().skip(s).step_by(3).copied().collect();
+            joins.push(std::thread::spawn(move || {
+                batch
+                    .into_iter()
+                    .map(|req| (req, rt.submit(req)))
+                    .collect::<Vec<_>>()
+            }));
+        }
+        let mut completed = 0;
+        for j in joins {
+            for (req, handle) in j.join().unwrap() {
+                let c = handle.wait().completed().expect("tp request completes");
+                assert_bit_identical(&cfg, &req, &c.outputs);
+                completed += 1;
+            }
+        }
+        assert_eq!(completed, N);
+
+        let m = Arc::try_unwrap(rt).ok().expect("sole owner").finish();
+        assert_eq!(m.completed(), N as u64);
+        assert!(m.reconciles());
+        assert!(m.kv_pool_drained(), "sharded pool leaked pages at tp={tp}");
+        assert_eq!(m.tensor_parallel, tp);
+        assert!(
+            m.comm.all_gathers > 0,
+            "tp={tp} workers must gather outputs"
+        );
+        assert!(m.comm.total_bytes() > 0, "tp={tp} moved no bytes?");
+        assert!(m.serving.pipeline.kernel_flops > 0);
     }
 }
