@@ -2,14 +2,17 @@
 
 use std::fmt;
 
+use fi_kvcache::KvCacheError;
+
 /// Errors produced by sharding and sharded execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DistError {
     /// The tensor-parallel configuration is unusable (zero ranks,
     /// non-divisible head counts, ...).
     InvalidConfig(String),
-    /// A shard-local KV-cache operation failed.
-    Kv(String),
+    /// A shared-pool KV-cache operation failed (typed — lock poisoning
+    /// arrives as [`KvCacheError::Poisoned`], not a stringly error).
+    Kv(KvCacheError),
     /// A rank failed while executing a batch.
     Exec(String),
 }
@@ -18,7 +21,7 @@ impl fmt::Display for DistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DistError::InvalidConfig(m) => write!(f, "invalid tensor-parallel config: {m}"),
-            DistError::Kv(m) => write!(f, "sharded kv cache: {m}"),
+            DistError::Kv(e) => write!(f, "sharded kv cache: {e}"),
             DistError::Exec(m) => write!(f, "sharded execution: {m}"),
         }
     }

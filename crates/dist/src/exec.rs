@@ -6,53 +6,80 @@
 //!
 //! Attention heads are arithmetically independent: the balanced plan's
 //! KV-chunk split depends only on the BSR layout and CTA count (never on
-//! the head count — heads only size the workspace), and every rank's
-//! pool sees the same page-allocation sequence, so each rank's layout,
-//! plan, and per-head arithmetic are identical to the full-width run's.
-//! Reassembling the per-rank output slices by concatenation
-//! ([`ReduceMode::AllGather`]) reproduces the oracle's bits exactly; the
-//! [`ReduceMode::AllReduce`] path (standing in for the row-parallel
-//! o-proj boundary, where each rank contributes a full-width partial sum)
-//! scatters the local slice into a zero buffer and tree-sums across
-//! ranks, which is `f32`-equal because each output element receives
-//! exactly one nonzero contribution.
+//! the head count — heads only size the workspace), and every rank reads
+//! the same page table (there is exactly one [`fi_kvcache::PageMap`] for
+//! the whole pool), so each rank's layout, plan, and per-head arithmetic
+//! are identical to the full-width run's. Reassembling the per-rank
+//! output slices by concatenation ([`ReduceMode::AllGather`]) reproduces
+//! the oracle's bits exactly; the [`ReduceMode::AllReduce`] path
+//! (standing in for the row-parallel o-proj boundary, where each rank
+//! contributes a full-width partial sum) scatters the local slice into a
+//! zero buffer and tree-sums across ranks, which is `f32`-equal because
+//! each output element receives exactly one nonzero contribution.
+//!
+//! ## Locking model (DESIGN.md §10)
+//!
+//! Since the storage/allocation split the pool is one shared
+//! [`fi_kvcache::PageMap`] + [`fi_kvcache::ShardedPageAllocator`] behind a
+//! single mutex, plus one append-only [`fi_kvcache::KvStore`] arena per
+//! rank (rank-local column widths). The mutex guards *bookkeeping only*
+//! and is taken by the driver between steps; rank threads never touch it.
+//! The executor prebuilds every unit's [`PageTable`] under one lock
+//! acquisition and ships the tables to the rank threads, whose execute
+//! path reads published store slots lock-free.
 
 use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 
 use fi_core::config::HeadConfig;
 use fi_core::kernel::{AttentionProblem, FlashKernel};
 use fi_core::tiles::TileConfig;
 use fi_core::variant::{VanillaAttention, VariantParams};
-use fi_kvcache::paged::{PagedKvCache, PagedKvConfig};
-use fi_kvcache::KvCacheError;
+use fi_kvcache::{KvCacheError, KvStore, KvStoreWriter, PageCache, PageMap, ShardedPageAllocator};
 use fi_sched::pipeline::AttentionPipeline;
 use fi_serving::PipelineObservables;
+use fi_sparse::page::PageTable;
 use fi_tensor::RaggedTensor;
 
 use crate::comm::{CommCost, CommStats, GroupMonitor, ProcessGroup};
 use crate::error::DistError;
 use crate::shard::{concat_rows, shard_heads, ShardSpec};
 
-/// A KV cache sharded by KV head: one [`PagedKvCache`] per rank, each
-/// holding that rank's column slice of every row, with identical
-/// page-size/page-count geometry and an identical mutation sequence —
-/// so all ranks' allocators stay in lockstep and produce the same page
+/// Shared pool bookkeeping: one request→page map and one allocator for
+/// all ranks (ranks store different column slices of the *same* logical
+/// rows, so per-rank maps could only ever agree or be a bug), plus the
+/// per-rank store writers.
+struct PoolInner {
+    map: PageMap,
+    alloc: ShardedPageAllocator,
+    /// Zero capacity: exact free counts, no pages parked.
+    cache: PageCache,
+    writers: Vec<KvStoreWriter<f32>>,
+}
+
+/// A KV cache sharded by KV head: one append-only [`KvStore`] arena per
+/// rank holding that rank's column slice of every row, with a single
+/// shared [`PageMap`] + allocator — all ranks trivially see the same page
 /// tables (and therefore the same BSR layouts and plans) as a
 /// single-shard pool would.
 ///
 /// The pool is the runtime's single-writer/many-reader substrate: a
-/// driver mutates through `&self` methods (each takes the per-rank write
-/// locks briefly), rank threads read under read locks.
+/// driver mutates through `&self` methods (each takes the bookkeeping
+/// mutex once), rank threads read published store slots lock-free via
+/// prebuilt page tables.
 pub struct ShardedKvPool {
     specs: Vec<ShardSpec>,
-    ranks: Vec<Arc<RwLock<PagedKvCache<f32>>>>,
+    page_size: usize,
+    num_pages: usize,
+    stores: Vec<Arc<KvStore<f32>>>,
+    inner: Arc<Mutex<PoolInner>>,
 }
 
 impl ShardedKvPool {
-    /// Build a `tp`-way sharded pool. Each rank's pool has the full
-    /// `num_pages` × `page_size` geometry over its local KV width.
+    /// Build a `tp`-way sharded pool. The shared map/allocator has the
+    /// full `num_pages` × `page_size` geometry; each rank's store covers
+    /// its local KV width.
     ///
     /// # Errors
     ///
@@ -65,20 +92,30 @@ impl ShardedKvPool {
         num_pages: usize,
     ) -> Result<ShardedKvPool, DistError> {
         let specs = shard_heads(heads, tp)?;
-        let ranks = specs
-            .iter()
-            .map(|s| {
-                PagedKvCache::<f32>::new(PagedKvConfig {
-                    page_size,
-                    num_pages,
-                    num_kv_heads: s.local.num_kv_heads,
-                    head_dim: s.local.head_dim,
-                })
-                .map(|p| Arc::new(RwLock::new(p)))
-                .map_err(|e| DistError::InvalidConfig(format!("rank {} pool: {e}", s.rank)))
-            })
-            .collect::<Result<Vec<_>, _>>()?;
-        Ok(ShardedKvPool { specs, ranks })
+        if page_size == 0 {
+            return Err(DistError::InvalidConfig(
+                "page_size must be positive".into(),
+            ));
+        }
+        let mut stores = Vec::with_capacity(specs.len());
+        let mut writers = Vec::with_capacity(specs.len());
+        for s in &specs {
+            let (store, writer) = KvStore::with_writer(num_pages, page_size, s.local.kv_width());
+            stores.push(store);
+            writers.push(writer);
+        }
+        Ok(ShardedKvPool {
+            specs,
+            page_size,
+            num_pages,
+            stores,
+            inner: Arc::new(Mutex::new(PoolInner {
+                map: PageMap::new(page_size, num_pages),
+                alloc: ShardedPageAllocator::with_default_shards(num_pages),
+                cache: PageCache::new(0, 0),
+                writers,
+            })),
+        })
     }
 
     /// Tensor-parallel degree.
@@ -96,59 +133,46 @@ impl ShardedKvPool {
         self.specs[r]
     }
 
-    /// Rank `r`'s shard-local pool.
-    pub fn rank_pool(&self, r: usize) -> Arc<RwLock<PagedKvCache<f32>>> {
-        Arc::clone(&self.ranks[r])
+    /// Rank `r`'s shard-local storage arena (lock-free read handle).
+    pub fn rank_store(&self, r: usize) -> Arc<KvStore<f32>> {
+        Arc::clone(&self.stores[r])
     }
 
-    /// Apply a mutation to every rank in rank order. Rank 0's result
-    /// decides; later ranks must agree (their allocators are in lockstep,
-    /// so a divergent outcome is a bug, not an operational error).
-    fn lockstep<T>(
-        &self,
-        mut op: impl FnMut(usize, &mut PagedKvCache<f32>) -> Result<T, KvCacheError>,
-    ) -> Result<T, KvCacheError> {
-        let mut first = None;
-        for (r, pool) in self.ranks.iter().enumerate() {
-            let mut g = pool.write().expect("sharded pool lock");
-            match op(r, &mut g) {
-                Ok(v) => {
-                    if r == 0 {
-                        first = Some(v);
-                    }
-                }
-                Err(e) if r == 0 => return Err(e),
-                Err(e) => panic!("sharded pool rank {r} diverged from rank 0: {e}"),
-            }
-        }
-        Ok(first.expect("rank 0 ran"))
+    fn lock(&self) -> Result<MutexGuard<'_, PoolInner>, KvCacheError> {
+        self.inner
+            .lock()
+            .map_err(|_| KvCacheError::Poisoned("sharded kv pool mutex".into()))
     }
 
-    /// Register a request on every rank.
+    /// Register a request (one shared map — all ranks see it).
     ///
     /// # Errors
     ///
-    /// Propagates rank 0's [`KvCacheError`] (e.g. duplicate id).
+    /// Propagates [`KvCacheError`] (e.g. duplicate id).
     pub fn add_request(&self, id: u64) -> Result<(), KvCacheError> {
-        self.lockstep(|_, p| p.add_request(id))
+        self.lock()?.map.add_request(id)
     }
 
-    /// Remove a request from every rank.
+    /// Remove a request; pages reaching zero references return to the
+    /// shared allocator.
     ///
     /// # Errors
     ///
-    /// Propagates rank 0's [`KvCacheError`].
+    /// Propagates [`KvCacheError`].
     pub fn remove_request(&self, id: u64) -> Result<(), KvCacheError> {
-        self.lockstep(|_, p| p.remove_request(id))
+        let inner = &mut *self.lock()?;
+        let freed = inner.map.remove_request(id)?;
+        inner.cache.free(&inner.alloc, &freed);
+        Ok(())
     }
 
-    /// Append one **full-width** KV row; each rank stores its column
-    /// slice. On rank 0 failure (e.g. `OutOfPages`) no rank is mutated,
-    /// keeping the shards in lockstep.
+    /// Append one **full-width** KV row; each rank's store receives its
+    /// column slice at the same slot. On failure (e.g. `OutOfPages`) no
+    /// rank is mutated.
     ///
     /// # Errors
     ///
-    /// Propagates rank 0's [`KvCacheError`].
+    /// Propagates [`KvCacheError`].
     pub fn append(&self, id: u64, k_full: &[f32], v_full: &[f32]) -> Result<(), KvCacheError> {
         let width = self.heads().kv_width();
         if k_full.len() != width || v_full.len() != width {
@@ -157,79 +181,99 @@ impl ShardedKvPool {
                 actual: k_full.len(),
             });
         }
-        self.lockstep(|r, p| {
-            let s = &self.specs[r];
-            p.append(id, &k_full[s.kv_cols()], &v_full[s.kv_cols()])
-        })
+        let inner = &mut *self.lock()?;
+        let PoolInner {
+            map,
+            alloc,
+            cache,
+            writers,
+        } = inner;
+        let site = map.prepare_append(id, alloc, cache)?;
+        for (w, s) in writers.iter_mut().zip(&self.specs) {
+            if let Some(cow) = site.cow {
+                w.copy_page_prefix(cow.src_page, cow.dst_page, cow.valid_slots);
+            }
+            w.write_slot(site.slot, &k_full[s.kv_cols()], &v_full[s.kv_cols()]);
+        }
+        Ok(())
     }
 
-    /// Current KV length of a request (identical on every rank).
+    /// Current KV length of a request (identical on every rank — there is
+    /// one map).
     ///
     /// # Errors
     ///
-    /// Propagates rank 0's [`KvCacheError`].
+    /// Propagates [`KvCacheError`].
     pub fn seq_len(&self, id: u64) -> Result<usize, KvCacheError> {
-        self.ranks[0].read().expect("sharded pool lock").seq_len(id)
+        self.lock()?.map.seq_len(id)
     }
 
-    /// Free pages per rank (identical on every rank — allocators are in
-    /// lockstep).
+    /// Free pages in the shared pool (identical on every rank).
     pub fn free_page_count(&self) -> usize {
-        self.ranks[0]
-            .read()
-            .expect("sharded pool lock")
-            .free_page_count()
+        let inner = self.inner.lock().expect("sharded kv pool mutex");
+        inner.alloc.free_pages() + inner.cache.cached_pages()
+    }
+
+    /// Build the [`PageTable`] descriptor for a batch of live requests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`KvCacheError`] if any id is unknown.
+    pub fn page_table(&self, ids: &[u64]) -> Result<PageTable, KvCacheError> {
+        self.lock()?.map.page_table(ids)
     }
 
     /// Read a request's KV rows back at full width (rank slices
-    /// concatenated), e.g. for swap-out buffers.
+    /// concatenated per row), flattened `[len, kv_width]`, e.g. for
+    /// swap-out buffers. Reads each page's rows from the slab in one
+    /// contiguous slice per rank.
     ///
     /// # Errors
     ///
-    /// Propagates rank 0's [`KvCacheError`].
+    /// Propagates [`KvCacheError`].
     #[allow(clippy::type_complexity)]
-    pub fn request_rows(&self, id: u64) -> Result<(Vec<Vec<f32>>, Vec<Vec<f32>>), KvCacheError> {
-        let guards: Vec<_> = self
-            .ranks
-            .iter()
-            .map(|p| p.read().expect("sharded pool lock"))
-            .collect();
-        let len = guards[0].seq_len(id)?;
-        let tables = guards
-            .iter()
-            .map(|g| g.page_table(&[id]))
-            .collect::<Result<Vec<_>, _>>()?;
-        let mut k_rows = Vec::with_capacity(len);
-        let mut v_rows = Vec::with_capacity(len);
-        for pos in 0..len {
-            let mut k = Vec::new();
-            let mut v = Vec::new();
-            for (g, t) in guards.iter().zip(&tables) {
-                let slot = t.slot_of(0, pos);
-                k.extend_from_slice(g.k_slot(slot));
-                v.extend_from_slice(g.v_slot(slot));
+    pub fn request_rows(&self, id: u64) -> Result<(Vec<f32>, Vec<f32>, usize), KvCacheError> {
+        let inner = self.lock()?;
+        let len = inner.map.seq_len(id)?;
+        let pages = inner.map.request_pages(id)?.to_vec();
+        drop(inner); // stores are read lock-free; bookkeeping lock released
+        let width = self.heads().kv_width();
+        let mut k = vec![0.0f32; len * width];
+        let mut v = vec![0.0f32; len * width];
+        for (r, s) in self.specs.iter().enumerate() {
+            let cols = s.kv_cols();
+            let local_w = cols.len();
+            let store = &self.stores[r];
+            for (i, &page) in pages.iter().enumerate() {
+                let count = (len - i * self.page_size).min(self.page_size);
+                if count == 0 {
+                    break;
+                }
+                let ks = store.k_rows(page * self.page_size, count);
+                let vs = store.v_rows(page * self.page_size, count);
+                for j in 0..count {
+                    let base = (i * self.page_size + j) * width + cols.start;
+                    k[base..base + local_w].copy_from_slice(&ks[j * local_w..(j + 1) * local_w]);
+                    v[base..base + local_w].copy_from_slice(&vs[j * local_w..(j + 1) * local_w]);
+                }
             }
-            k_rows.push(k);
-            v_rows.push(v);
         }
-        Ok((k_rows, v_rows))
+        Ok((k, v, len))
     }
 
-    /// Per-rank occupancy snapshot (for dashboards / examples).
+    /// Per-rank occupancy snapshot (for dashboards / examples). Page
+    /// accounting is shared, so every rank reports the same counts over
+    /// its own head slice.
     pub fn occupancy(&self) -> Vec<RankOccupancy> {
+        let free = self.free_page_count();
         self.specs
             .iter()
-            .map(|s| {
-                let g = self.ranks[s.rank].read().expect("sharded pool lock");
-                let total = g.config().num_pages;
-                let free = g.free_page_count();
-                RankOccupancy {
-                    rank: s.rank,
-                    kv_heads: s.local.num_kv_heads,
-                    total_pages: total,
-                    free_pages: free,
-                    used_pages: total - free,
-                }
+            .map(|s| RankOccupancy {
+                rank: s.rank,
+                kv_heads: s.local.num_kv_heads,
+                total_pages: self.num_pages,
+                free_pages: free,
+                used_pages: self.num_pages - free,
             })
             .collect()
     }
@@ -276,7 +320,7 @@ pub struct BatchUnit {
 }
 
 enum Cmd {
-    Run(Vec<BatchUnit>, ReduceMode),
+    Run(Vec<BatchUnit>, Arc<Vec<PageTable>>, ReduceMode),
 }
 
 type RunReply = Result<Vec<Vec<f32>>, String>;
@@ -285,16 +329,19 @@ type RunReply = Result<Vec<Vec<f32>>, String>;
 /// [`AttentionPipeline`] (plan cache + workspace scratch) over its shard
 /// of a [`ShardedKvPool`], joined by a deterministic [`ProcessGroup`].
 ///
-/// [`ShardedExecutor::run`] fans a batch to all ranks; each runs
-/// shard-local attention per unit, then the group combines outputs per
-/// [`ReduceMode`]. Every rank computes the assembled full-width result
-/// (collectives deliver to all ranks); the driver cross-checks that all
-/// ranks returned identical bits before handing results back.
+/// [`ShardedExecutor::run`] prebuilds every unit's page table under one
+/// bookkeeping-lock acquisition, then fans the batch to all ranks; each
+/// runs shard-local attention per unit *without taking any lock*, and the
+/// group combines outputs per [`ReduceMode`]. Every rank computes the
+/// assembled full-width result (collectives deliver to all ranks); the
+/// driver cross-checks that all ranks returned identical bits before
+/// handing results back.
 pub struct ShardedExecutor {
     cmd_tx: Vec<Sender<Cmd>>,
     reply_rx: Vec<Receiver<RunReply>>,
     handles: Vec<JoinHandle<PipelineObservables>>,
     monitor: GroupMonitor,
+    inner: Arc<Mutex<PoolInner>>,
     tp: usize,
 }
 
@@ -343,12 +390,12 @@ impl ShardedExecutor {
             let group = groups.remove(0);
             debug_assert_eq!(group.rank(), r);
             let spec = pool.spec(r);
-            let rank_pool = pool.rank_pool(r);
+            let store = pool.rank_store(r);
             let (ctx, crx) = mpsc::channel::<Cmd>();
             let (rtx, rrx) = mpsc::channel::<RunReply>();
             let handle = std::thread::Builder::new()
                 .name(format!("fi-dist-rank-{r}"))
-                .spawn(move || rank_loop(spec, tile, num_ctas, rank_pool, group, crx, rtx))
+                .spawn(move || rank_loop(spec, tile, num_ctas, store, group, crx, rtx))
                 .map_err(|e| DistError::InvalidConfig(format!("spawn rank {r}: {e}")))?;
             cmd_tx.push(ctx);
             reply_rx.push(rrx);
@@ -359,6 +406,7 @@ impl ShardedExecutor {
             reply_rx,
             handles,
             monitor,
+            inner: Arc::clone(&pool.inner),
             tp,
         })
     }
@@ -373,16 +421,52 @@ impl ShardedExecutor {
         self.monitor.stats()
     }
 
-    /// Run a batch through all ranks. Returns per-unit full-width output
-    /// rows (`units[i].qo_len * heads.qo_width()` each).
+    /// Run a batch through all ranks. Builds every unit's page table
+    /// under a single bookkeeping-lock acquisition, then dispatches via
+    /// [`ShardedExecutor::run_prebuilt`]. Returns per-unit full-width
+    /// output rows (`units[i].qo_len * heads.qo_width()` each).
     ///
     /// # Errors
     ///
-    /// [`DistError::Exec`] if any rank failed (e.g. unknown request id)
-    /// or rank outputs diverged.
+    /// [`DistError::Kv`] if a page table cannot be built (e.g. unknown
+    /// request id — reported *before* any collective starts, so no rank
+    /// can deadlock); [`DistError::Exec`] if any rank failed or rank
+    /// outputs diverged.
     pub fn run(&self, units: &[BatchUnit], mode: ReduceMode) -> Result<Vec<Vec<f32>>, DistError> {
+        let tables = {
+            let guard = self.inner.lock().map_err(|_| {
+                DistError::Kv(KvCacheError::Poisoned("sharded kv pool mutex".into()))
+            })?;
+            units
+                .iter()
+                .map(|u| guard.map.page_table(&[u.req_id]))
+                .collect::<Result<Vec<_>, _>>()
+                .map_err(DistError::Kv)?
+        };
+        self.run_prebuilt(units, Arc::new(tables), mode)
+    }
+
+    /// Run a batch whose page tables were already built (one per unit, in
+    /// unit order). Rank threads execute entirely lock-free.
+    ///
+    /// # Errors
+    ///
+    /// [`DistError::Exec`] if any rank failed or rank outputs diverged.
+    pub fn run_prebuilt(
+        &self,
+        units: &[BatchUnit],
+        tables: Arc<Vec<PageTable>>,
+        mode: ReduceMode,
+    ) -> Result<Vec<Vec<f32>>, DistError> {
+        if tables.len() != units.len() {
+            return Err(DistError::Exec(format!(
+                "{} page tables for {} units",
+                tables.len(),
+                units.len()
+            )));
+        }
         for tx in &self.cmd_tx {
-            tx.send(Cmd::Run(units.to_vec(), mode))
+            tx.send(Cmd::Run(units.to_vec(), Arc::clone(&tables), mode))
                 .map_err(|_| DistError::Exec("rank thread died".into()))?;
         }
         let mut replies = Vec::with_capacity(self.tp);
@@ -436,12 +520,13 @@ impl Drop for ShardedExecutor {
 }
 
 /// Rank thread body: serve batches until the driver drops the channel,
-/// then return the pipeline's observables.
+/// then return the pipeline's observables. Holds only a lock-free
+/// [`KvStore`] read handle — the bookkeeping mutex is never touched here.
 fn rank_loop(
     spec: ShardSpec,
     tile: TileConfig,
     num_ctas: usize,
-    pool: Arc<RwLock<PagedKvCache<f32>>>,
+    store: Arc<KvStore<f32>>,
     group: ProcessGroup,
     rx: Receiver<Cmd>,
     tx: Sender<RunReply>,
@@ -460,15 +545,16 @@ fn rank_loop(
     let params = VariantParams::for_head_dim(spec.local.head_dim);
     let variant = VanillaAttention { causal: true };
 
-    while let Ok(Cmd::Run(units, mode)) = rx.recv() {
+    while let Ok(Cmd::Run(units, tables, mode)) = rx.recv() {
         let reply = run_units(
             &spec,
-            &pool,
+            &store,
             &mut pipeline,
             &group,
             &variant,
             &params,
             &units,
+            &tables,
             mode,
         );
         if tx.send(reply).is_err() {
@@ -489,17 +575,19 @@ fn rank_loop(
 #[allow(clippy::too_many_arguments)]
 fn run_units(
     spec: &ShardSpec,
-    pool: &Arc<RwLock<PagedKvCache<f32>>>,
+    store: &Arc<KvStore<f32>>,
     pipeline: &mut AttentionPipeline,
     group: &ProcessGroup,
     variant: &VanillaAttention,
     params: &VariantParams,
     units: &[BatchUnit],
+    tables: &[PageTable],
     mode: ReduceMode,
 ) -> RunReply {
     let locals: Vec<Result<Vec<f32>, String>> = units
         .iter()
-        .map(|u| run_local(spec, pool, pipeline, variant, params, u))
+        .zip(tables)
+        .map(|(u, pt)| run_local(spec, store, pipeline, variant, params, u, pt))
         .collect();
     let my_status = if locals.iter().any(|l| l.is_err()) {
         1.0
@@ -550,23 +638,19 @@ fn run_units(
         .collect()
 }
 
-/// Page table → BSR layout → plan → run over this rank's heads. Mirrors
-/// the runtime worker's single-shard execution with the rank-local head
-/// config and query slice.
+/// Prebuilt page table → BSR layout → plan → run over this rank's heads.
+/// Mirrors the runtime worker's single-shard execution with the
+/// rank-local head config and query slice. Zero locks: pool tensors come
+/// straight from the append-only store.
 fn run_local(
     spec: &ShardSpec,
-    pool: &Arc<RwLock<PagedKvCache<f32>>>,
+    store: &Arc<KvStore<f32>>,
     pipeline: &mut AttentionPipeline,
     variant: &VanillaAttention,
     params: &VariantParams,
     unit: &BatchUnit,
+    pt: &PageTable,
 ) -> Result<Vec<f32>, String> {
-    let guard = pool
-        .read()
-        .map_err(|_| "kv pool lock poisoned".to_string())?;
-    let pt = guard
-        .page_table(&[unit.req_id])
-        .map_err(|e| format!("rank {}: page table: {e:?}", spec.rank))?;
     let layout = pt
         .to_bsr(&[unit.qo_len], pipeline.kernel().tile.tq)
         .map_err(|e| format!("rank {}: bsr layout: {e:?}", spec.rank))?;
@@ -585,8 +669,8 @@ fn run_local(
     q.as_tensor_mut().as_mut_slice().copy_from_slice(&q_local);
     let problem = AttentionProblem::standard_batch(
         &q,
-        guard.k_pool(),
-        guard.v_pool(),
+        store.k_pool(),
+        store.v_pool(),
         &layout,
         spec.local,
         &[unit.kv_len],

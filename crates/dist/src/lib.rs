@@ -11,11 +11,12 @@
 //! * [`shard`] — GQA-aware head partitioning: KV heads and their query
 //!   groups split across ranks without breaking group alignment,
 //!   erroring on non-divisible configs.
-//! * [`exec`] — a [`ShardedKvPool`] (per-rank `PagedKvCache` shards in
-//!   allocator lockstep) and a [`ShardedExecutor`] that fans batches to
-//!   rank threads, runs shard-local attention, and combines per-head
-//!   outputs with deterministic collectives — bit-exact against the
-//!   single-shard `AttentionPipeline` oracle.
+//! * [`exec`] — a [`ShardedKvPool`] (one shared page map/allocator, one
+//!   append-only `KvStore` arena per rank) and a [`ShardedExecutor`] that
+//!   prebuilds page tables, fans batches to rank threads, runs
+//!   shard-local attention lock-free, and combines per-head outputs with
+//!   deterministic collectives — bit-exact against the single-shard
+//!   `AttentionPipeline` oracle.
 
 pub mod comm;
 pub mod error;

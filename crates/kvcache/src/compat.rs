@@ -1,0 +1,114 @@
+//! Compatibility shim for the pre-split locked-pool pattern.
+//!
+//! Before the storage/allocation split (DESIGN.md §10) every consumer
+//! shared the cache as `Arc<RwLock<PagedKvCache<T>>>`. That pattern is now
+//! quarantined here — `scripts/ci.sh` greps that `RwLock<PagedKvCache`
+//! appears nowhere outside this crate — and survives for two callers:
+//!
+//! * migration staging: downstream code that has not yet moved to the
+//!   split layers can keep compiling against [`LockedPagedKvCache`];
+//! * the contention benchmark (`runtime_contention`), which measures the
+//!   old global-read-lock baseline against the lock-free path *in the same
+//!   run*.
+//!
+//! Lock poisoning surfaces as the typed [`KvCacheError::Poisoned`] instead
+//! of a panic or a stringly error.
+
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use fi_tensor::Scalar;
+
+use crate::error::KvCacheError;
+use crate::paged::{PagedKvCache, PagedKvConfig};
+
+/// The legacy globally locked paged KV cache: one `RwLock` in front of the
+/// whole pool, shared by reference counting.
+#[derive(Debug, Clone)]
+pub struct LockedPagedKvCache<T> {
+    inner: Arc<RwLock<PagedKvCache<T>>>,
+}
+
+impl<T: Scalar> LockedPagedKvCache<T> {
+    /// Wrap a fresh cache in the global lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::InvalidConfig`] for degenerate configs.
+    pub fn new(cfg: PagedKvConfig) -> Result<LockedPagedKvCache<T>, KvCacheError> {
+        Ok(LockedPagedKvCache {
+            inner: Arc::new(RwLock::new(PagedKvCache::new(cfg)?)),
+        })
+    }
+
+    /// Wrap an existing cache.
+    pub fn from_cache(cache: PagedKvCache<T>) -> LockedPagedKvCache<T> {
+        LockedPagedKvCache {
+            inner: Arc::new(RwLock::new(cache)),
+        }
+    }
+
+    /// Acquire the shared read lock (the old hot-path read).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::Poisoned`] if a holder panicked.
+    pub fn read(&self) -> Result<RwLockReadGuard<'_, PagedKvCache<T>>, KvCacheError> {
+        self.inner
+            .read()
+            .map_err(|_| KvCacheError::Poisoned("kv pool read lock".into()))
+    }
+
+    /// Acquire the exclusive write lock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::Poisoned`] if a holder panicked.
+    pub fn write(&self) -> Result<RwLockWriteGuard<'_, PagedKvCache<T>>, KvCacheError> {
+        self.inner
+            .write()
+            .map_err(|_| KvCacheError::Poisoned("kv pool write lock".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> PagedKvConfig {
+        PagedKvConfig {
+            page_size: 2,
+            num_pages: 4,
+            num_kv_heads: 1,
+            head_dim: 2,
+        }
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let locked = LockedPagedKvCache::<f32>::new(cfg()).unwrap();
+        locked.write().unwrap().add_request(1).unwrap();
+        locked
+            .write()
+            .unwrap()
+            .append(1, &[1.0, 2.0], &[3.0, 4.0])
+            .unwrap();
+        let guard = locked.read().unwrap();
+        assert_eq!(guard.seq_len(1).unwrap(), 1);
+        assert_eq!(guard.k_slot(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn poisoning_is_typed() {
+        let locked = LockedPagedKvCache::<f32>::new(cfg()).unwrap();
+        let clone = locked.clone();
+        let _ = std::thread::spawn(move || {
+            let _guard = clone.write().unwrap();
+            panic!("poison the lock");
+        })
+        .join();
+        assert!(matches!(
+            locked.read().unwrap_err(),
+            KvCacheError::Poisoned(_)
+        ));
+    }
+}

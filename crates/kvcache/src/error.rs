@@ -32,6 +32,9 @@ pub enum KvCacheError {
         /// Slot count.
         slots: usize,
     },
+    /// A lock guarding shared cache state was poisoned by a panicking
+    /// holder. Carries the name of the poisoned resource.
+    Poisoned(String),
 }
 
 impl fmt::Display for KvCacheError {
@@ -61,6 +64,7 @@ impl fmt::Display for KvCacheError {
                     "token/slot length mismatch: {tokens} tokens vs {slots} slots"
                 )
             }
+            KvCacheError::Poisoned(what) => write!(f, "lock poisoned: {what}"),
         }
     }
 }

@@ -21,13 +21,21 @@
 //! paper).
 
 pub mod alloc;
+pub mod compat;
 pub mod error;
 pub mod groups;
+pub mod map;
 pub mod paged;
 pub mod radix;
+pub mod shard_alloc;
+pub mod store;
 pub mod swap;
 
 pub use alloc::PageAllocator;
+pub use compat::LockedPagedKvCache;
 pub use error::KvCacheError;
+pub use map::PageMap;
 pub use paged::PagedKvCache;
 pub use radix::RadixTree;
+pub use shard_alloc::{PageCache, ShardedPageAllocator};
+pub use store::{KvStore, KvStoreWriter};

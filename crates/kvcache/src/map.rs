@@ -1,0 +1,406 @@
+//! Request → page bookkeeping for the split KV cache (DESIGN.md §10).
+//!
+//! [`PageMap`] owns everything about the *logical* layout — which pages a
+//! request holds, how many tokens are valid, per-page reference counts for
+//! prefix sharing and copy-on-write — and nothing about storage. Appends
+//! are planned here ([`PageMap::prepare_append`] returns the destination
+//! slot plus an optional COW page copy) and executed against a
+//! [`crate::store::KvStoreWriter`] by the caller, which keeps the map
+//! usable for any number of stores (fi-dist drives one map over N
+//! rank-local stores).
+//!
+//! Freed pages are *returned* to the caller rather than released directly,
+//! so each owner routes them through its own [`crate::shard_alloc::PageCache`].
+
+use std::collections::HashMap;
+
+use fi_sparse::page::PageTable;
+
+use crate::error::KvCacheError;
+use crate::shard_alloc::{PageCache, ShardedPageAllocator};
+
+#[derive(Debug, Clone)]
+struct RequestState {
+    pages: Vec<usize>,
+    len: usize,
+}
+
+/// Where the next token of a request lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendSite {
+    /// Global slot index to write the K/V rows into.
+    pub slot: usize,
+    /// A copy-on-write page duplication to perform *before* the write.
+    pub cow: Option<CowCopy>,
+}
+
+/// A pending copy-on-write page duplication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CowCopy {
+    /// Shared page being left behind.
+    pub src_page: usize,
+    /// Freshly allocated private page.
+    pub dst_page: usize,
+    /// Slots of the source page valid so far (to copy).
+    pub valid_slots: usize,
+}
+
+/// The logical layer of the paged KV cache: request table + refcounts.
+#[derive(Debug, Clone)]
+pub struct PageMap {
+    page_size: usize,
+    num_pages: usize,
+    requests: HashMap<u64, RequestState>,
+    /// Per-page reference counts: a live request holds one reference to
+    /// each of its pages; prefix caches and forked branches hold more.
+    /// Pages reaching zero are handed back to the caller for freeing, and
+    /// writes to shared pages (count > 1) copy-on-write.
+    ref_counts: Vec<u32>,
+}
+
+impl PageMap {
+    /// An empty map over a pool of `num_pages` pages of `page_size` slots.
+    pub fn new(page_size: usize, num_pages: usize) -> PageMap {
+        PageMap {
+            page_size,
+            num_pages,
+            requests: HashMap::new(),
+            ref_counts: vec![0; num_pages],
+        }
+    }
+
+    /// Slots per page.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Total pages in the pool.
+    pub fn num_pages(&self) -> usize {
+        self.num_pages
+    }
+
+    /// Register a new, empty request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::DuplicateRequest`] if the id is live.
+    pub fn add_request(&mut self, id: u64) -> Result<(), KvCacheError> {
+        if self.requests.contains_key(&id) {
+            return Err(KvCacheError::DuplicateRequest(id));
+        }
+        self.requests.insert(
+            id,
+            RequestState {
+                pages: Vec::new(),
+                len: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Register a request that adopts existing pages (prefix-cache hit),
+    /// taking a reference on each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::DuplicateRequest`] if the id is live, or
+    /// [`KvCacheError::InvalidConfig`] if `shared_len` exceeds the pages'
+    /// capacity.
+    pub fn add_request_with_prefix(
+        &mut self,
+        id: u64,
+        pages: Vec<usize>,
+        shared_len: usize,
+    ) -> Result<(), KvCacheError> {
+        if self.requests.contains_key(&id) {
+            return Err(KvCacheError::DuplicateRequest(id));
+        }
+        if shared_len > pages.len() * self.page_size {
+            return Err(KvCacheError::InvalidConfig(format!(
+                "shared_len {shared_len} exceeds {} pages capacity",
+                pages.len()
+            )));
+        }
+        self.retain_pages(&pages);
+        self.requests.insert(
+            id,
+            RequestState {
+                pages,
+                len: shared_len,
+            },
+        );
+        Ok(())
+    }
+
+    /// Fork a request: the branch shares every page by reference;
+    /// divergence happens lazily through copy-on-write on append.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::UnknownRequest`] / [`KvCacheError::DuplicateRequest`].
+    pub fn fork_request(&mut self, src: u64, new_id: u64) -> Result<(), KvCacheError> {
+        if self.requests.contains_key(&new_id) {
+            return Err(KvCacheError::DuplicateRequest(new_id));
+        }
+        let state = self
+            .requests
+            .get(&src)
+            .ok_or(KvCacheError::UnknownRequest(src))?;
+        let pages = state.pages.clone();
+        let len = state.len;
+        self.retain_pages(&pages);
+        self.requests.insert(new_id, RequestState { pages, len });
+        Ok(())
+    }
+
+    /// Take an extra reference on pages (prefix-cache registration).
+    pub fn retain_pages(&mut self, pages: &[usize]) {
+        for &p in pages {
+            self.ref_counts[p] += 1;
+        }
+    }
+
+    /// Mark freshly allocated pages as caller-owned (one reference each).
+    pub fn adopt_pages(&mut self, pages: &[usize]) {
+        for &p in pages {
+            debug_assert_eq!(self.ref_counts[p], 0, "adopting a live page {p}");
+            self.ref_counts[p] = 1;
+        }
+    }
+
+    /// Current reference count of a page (0 = free).
+    pub fn page_ref_count(&self, page: usize) -> u32 {
+        self.ref_counts[page]
+    }
+
+    /// Current sequence length of a request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::UnknownRequest`] for unregistered ids.
+    pub fn seq_len(&self, id: u64) -> Result<usize, KvCacheError> {
+        Ok(self
+            .requests
+            .get(&id)
+            .ok_or(KvCacheError::UnknownRequest(id))?
+            .len)
+    }
+
+    /// Plan the append of one token: allocate a tail page if the request is
+    /// at capacity, duplicate a shared tail page (copy-on-write), and
+    /// return the destination slot. Pages are drawn from `cache` over
+    /// `alloc`; on error nothing is mutated.
+    ///
+    /// The caller must execute the returned [`CowCopy`] (if any) against
+    /// its store(s) *before* writing the slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::UnknownRequest`] or [`KvCacheError::OutOfPages`].
+    pub fn prepare_append(
+        &mut self,
+        id: u64,
+        alloc: &ShardedPageAllocator,
+        cache: &mut PageCache,
+    ) -> Result<AppendSite, KvCacheError> {
+        let page_size = self.page_size;
+        if !self.requests.contains_key(&id) {
+            return Err(KvCacheError::UnknownRequest(id));
+        }
+        let (pos, tail_page, page_idx) = {
+            let state = &self.requests[&id];
+            if state.len == state.pages.len() * page_size {
+                // Tail page needed; it starts exclusive, so no COW below.
+                let fresh = cache.alloc(alloc, 1)?[0];
+                self.ref_counts[fresh] = 1;
+                let state = self.requests.get_mut(&id).expect("checked above");
+                state.pages.push(fresh);
+            }
+            let state = &self.requests[&id];
+            let pos = state.len;
+            let idx = pos / page_size;
+            (pos, state.pages[idx], idx)
+        };
+        let mut cow = None;
+        if self.ref_counts[tail_page] > 1 {
+            // Copy-on-write: never mutate a page other holders can see.
+            let fresh = cache.alloc(alloc, 1)?[0];
+            self.ref_counts[fresh] = 1;
+            self.ref_counts[tail_page] -= 1;
+            let state = self.requests.get_mut(&id).expect("checked above");
+            state.pages[page_idx] = fresh;
+            cow = Some(CowCopy {
+                src_page: tail_page,
+                dst_page: fresh,
+                valid_slots: pos % page_size,
+            });
+        }
+        let state = self.requests.get_mut(&id).expect("checked above");
+        let slot = state.pages[page_idx] * page_size + pos % page_size;
+        state.len += 1;
+        Ok(AppendSite { slot, cow })
+    }
+
+    /// Release a request, returning the pages whose reference count
+    /// reached zero (for the caller to free).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::UnknownRequest`] for unregistered ids.
+    pub fn remove_request(&mut self, id: u64) -> Result<Vec<usize>, KvCacheError> {
+        let state = self
+            .requests
+            .remove(&id)
+            .ok_or(KvCacheError::UnknownRequest(id))?;
+        Ok(self.release_pages(&state.pages))
+    }
+
+    /// Drop one reference on each page, returning those that reached zero
+    /// (for the caller to free).
+    pub fn release_pages(&mut self, pages: &[usize]) -> Vec<usize> {
+        let mut to_free = Vec::new();
+        for &p in pages {
+            debug_assert!(self.ref_counts[p] > 0, "release of unreferenced page {p}");
+            self.ref_counts[p] = self.ref_counts[p].saturating_sub(1);
+            if self.ref_counts[p] == 0 {
+                to_free.push(p);
+            }
+        }
+        to_free
+    }
+
+    /// Build the [`PageTable`] descriptor for a batch of live requests, in
+    /// the given order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::UnknownRequest`] if any id is unknown.
+    pub fn page_table(&self, ids: &[u64]) -> Result<PageTable, KvCacheError> {
+        let mut pages = Vec::with_capacity(ids.len());
+        let mut last_lens = Vec::with_capacity(ids.len());
+        for &id in ids {
+            let st = self
+                .requests
+                .get(&id)
+                .ok_or(KvCacheError::UnknownRequest(id))?;
+            pages.push(st.pages.clone());
+            last_lens.push(if st.pages.is_empty() {
+                0
+            } else {
+                let rem = st.len % self.page_size;
+                // A full tail page reports page_size, not 0. An
+                // adopted-prefix request whose shared pages extend past
+                // `len` still reports its true tail fill.
+                let full_pages_cap = st.pages.len() * self.page_size;
+                if st.len == 0 {
+                    // Pages adopted but nothing valid yet: caller should not
+                    // schedule attention over it; report minimal fill.
+                    1
+                } else if rem == 0 && st.len <= full_pages_cap {
+                    self.page_size
+                } else {
+                    rem
+                }
+            });
+        }
+        PageTable::new(self.page_size, self.num_pages, pages, last_lens)
+            .map_err(|e| KvCacheError::InvalidConfig(e.to_string()))
+    }
+
+    /// Pages of a live request (for prefix-cache registration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::UnknownRequest`] for unregistered ids.
+    pub fn request_pages(&self, id: u64) -> Result<&[usize], KvCacheError> {
+        Ok(&self
+            .requests
+            .get(&id)
+            .ok_or(KvCacheError::UnknownRequest(id))?
+            .pages)
+    }
+
+    /// Number of live requests.
+    pub fn num_requests(&self) -> usize {
+        self.requests.len()
+    }
+
+    /// Sum of valid tokens across live requests (for utilization).
+    pub fn valid_tokens(&self) -> usize {
+        self.requests.values().map(|s| s.len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture(pages: usize) -> (PageMap, ShardedPageAllocator, PageCache) {
+        (
+            PageMap::new(4, pages),
+            ShardedPageAllocator::new(pages, 2),
+            PageCache::new(0, 0),
+        )
+    }
+
+    #[test]
+    fn append_sites_walk_pages() {
+        let (mut m, a, mut c) = fixture(4);
+        m.add_request(1).unwrap();
+        for pos in 0..6 {
+            let site = m.prepare_append(1, &a, &mut c).unwrap();
+            assert_eq!(site.cow, None);
+            // Pages 0 and 1 allocated in order, so slot == position.
+            assert_eq!(site.slot, pos);
+        }
+        assert_eq!(m.seq_len(1).unwrap(), 6);
+        assert_eq!(m.request_pages(1).unwrap(), &[0, 1]);
+    }
+
+    #[test]
+    fn fork_triggers_cow_on_shared_tail() {
+        let (mut m, a, mut c) = fixture(8);
+        m.add_request(1).unwrap();
+        for _ in 0..6 {
+            m.prepare_append(1, &a, &mut c).unwrap();
+        }
+        m.fork_request(1, 2).unwrap();
+        let site = m.prepare_append(2, &a, &mut c).unwrap();
+        let cow = site.cow.expect("shared tail page must copy");
+        assert_eq!(cow.src_page, 1);
+        assert_eq!(cow.valid_slots, 2);
+        assert_eq!(m.page_ref_count(1), 1);
+        assert_eq!(m.page_ref_count(cow.dst_page), 1);
+        // The donor's next append is exclusive again: no COW.
+        assert_eq!(m.prepare_append(1, &a, &mut c).unwrap().cow, None);
+    }
+
+    #[test]
+    fn failed_append_mutates_nothing() {
+        let (mut m, a, mut c) = fixture(1);
+        m.add_request(1).unwrap();
+        for _ in 0..4 {
+            m.prepare_append(1, &a, &mut c).unwrap();
+        }
+        assert!(matches!(
+            m.prepare_append(1, &a, &mut c),
+            Err(KvCacheError::OutOfPages { .. })
+        ));
+        assert_eq!(m.seq_len(1).unwrap(), 4);
+        assert_eq!(m.request_pages(1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn release_returns_zero_ref_pages() {
+        let (mut m, a, mut c) = fixture(4);
+        m.add_request(1).unwrap();
+        for _ in 0..8 {
+            m.prepare_append(1, &a, &mut c).unwrap();
+        }
+        let pages = m.request_pages(1).unwrap().to_vec();
+        m.retain_pages(&pages[..1]);
+        let freed = m.remove_request(1).unwrap();
+        assert_eq!(freed, vec![pages[1]]);
+        assert_eq!(m.release_pages(&pages[..1]), vec![pages[0]]);
+    }
+}

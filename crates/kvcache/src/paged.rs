@@ -6,14 +6,32 @@
 //! pair of dense tensors of shape `[num_pages * page_size, num_kv_heads *
 //! head_dim]`; attention kernels address it through the gather lists of the
 //! BSR view ([`PagedKvCache::page_table`] → `fi_sparse::PageTable::to_bsr`).
+//!
+//! Since the storage/allocation split (DESIGN.md §10), [`PagedKvCache`] is
+//! a thin single-owner facade over three layers:
+//!
+//! * [`crate::store::KvStore`] — the append-only K/V slab arena (lock-free
+//!   reads);
+//! * [`crate::shard_alloc::ShardedPageAllocator`] — N-way sharded free
+//!   lists with an atomic admission counter;
+//! * [`crate::map::PageMap`] — request → page bookkeeping, refcounts,
+//!   copy-on-write planning.
+//!
+//! Concurrent consumers (fi-runtime, fi-dist) drive the layers directly;
+//! this facade preserves the original `&mut self` API for single-threaded
+//! users (radix prefix caching, swap, the model engine, tests) with a
+//! zero-capacity [`crate::shard_alloc::PageCache`] so page counts stay
+//! exact and deterministic.
 
-use std::collections::HashMap;
+use std::sync::Arc;
 
 use fi_sparse::page::PageTable;
 use fi_tensor::{Scalar, Tensor};
 
-use crate::alloc::PageAllocator;
 use crate::error::KvCacheError;
+use crate::map::PageMap;
+use crate::shard_alloc::{PageCache, ShardedPageAllocator};
+use crate::store::{KvStore, KvStoreWriter};
 
 /// Static configuration of a paged KV-cache.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
@@ -29,7 +47,7 @@ pub struct PagedKvConfig {
 }
 
 impl PagedKvConfig {
-    fn validate(&self) -> Result<(), KvCacheError> {
+    pub(crate) fn validate(&self) -> Result<(), KvCacheError> {
         if self.page_size == 0 || self.num_kv_heads == 0 || self.head_dim == 0 {
             return Err(KvCacheError::InvalidConfig(
                 "page_size, num_kv_heads and head_dim must be positive".into(),
@@ -42,12 +60,6 @@ impl PagedKvConfig {
     pub fn row_width(&self) -> usize {
         self.num_kv_heads * self.head_dim
     }
-}
-
-#[derive(Debug, Clone)]
-struct RequestState {
-    pages: Vec<usize>,
-    len: usize,
 }
 
 /// A paged KV-cache over element type `T` (f16 or fp8 in the paper's setups).
@@ -65,18 +77,26 @@ struct RequestState {
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PagedKvCache<T> {
     cfg: PagedKvConfig,
-    allocator: PageAllocator,
-    k_pool: Tensor<T>,
-    v_pool: Tensor<T>,
-    requests: HashMap<u64, RequestState>,
-    /// Per-page reference counts: a live request holds one reference to
-    /// each of its pages; prefix caches and forked branches hold more.
-    /// Pages return to the allocator when the count reaches zero, and
-    /// writes to shared pages (count > 1) copy-on-write.
-    ref_counts: Vec<u32>,
+    map: PageMap,
+    alloc: ShardedPageAllocator,
+    cache: PageCache,
+    writer: KvStoreWriter<T>,
+}
+
+impl<T: Scalar> Clone for PagedKvCache<T> {
+    fn clone(&self) -> PagedKvCache<T> {
+        let (_, writer) = self.writer.store().deep_clone();
+        PagedKvCache {
+            cfg: self.cfg,
+            map: self.map.clone(),
+            alloc: self.alloc.clone(),
+            cache: self.cache.clone(),
+            writer,
+        }
+    }
 }
 
 impl<T: Scalar> PagedKvCache<T> {
@@ -87,14 +107,14 @@ impl<T: Scalar> PagedKvCache<T> {
     /// Returns [`KvCacheError::InvalidConfig`] for degenerate configs.
     pub fn new(cfg: PagedKvConfig) -> Result<PagedKvCache<T>, KvCacheError> {
         cfg.validate()?;
-        let slots = cfg.num_pages * cfg.page_size;
+        let (_, writer) = KvStore::with_writer(cfg.num_pages, cfg.page_size, cfg.row_width());
         Ok(PagedKvCache {
             cfg,
-            allocator: PageAllocator::new(cfg.num_pages),
-            k_pool: Tensor::zeros(vec![slots, cfg.row_width()]),
-            v_pool: Tensor::zeros(vec![slots, cfg.row_width()]),
-            requests: HashMap::new(),
-            ref_counts: vec![0; cfg.num_pages],
+            map: PageMap::new(cfg.page_size, cfg.num_pages),
+            alloc: ShardedPageAllocator::with_default_shards(cfg.num_pages),
+            // Zero capacity: exact free counts, no pages parked.
+            cache: PageCache::new(0, 0),
+            writer,
         })
     }
 
@@ -103,23 +123,18 @@ impl<T: Scalar> PagedKvCache<T> {
         self.cfg
     }
 
+    /// The shared storage arena (lock-free read handle).
+    pub fn store(&self) -> &Arc<KvStore<T>> {
+        self.writer.store()
+    }
+
     /// Register a new, empty request.
     ///
     /// # Errors
     ///
     /// Returns [`KvCacheError::DuplicateRequest`] if the id is live.
     pub fn add_request(&mut self, id: u64) -> Result<(), KvCacheError> {
-        if self.requests.contains_key(&id) {
-            return Err(KvCacheError::DuplicateRequest(id));
-        }
-        self.requests.insert(
-            id,
-            RequestState {
-                pages: Vec::new(),
-                len: 0,
-            },
-        );
-        Ok(())
+        self.map.add_request(id)
     }
 
     /// Register a request that adopts existing pages (prefix-cache hit):
@@ -139,24 +154,7 @@ impl<T: Scalar> PagedKvCache<T> {
         pages: Vec<usize>,
         shared_len: usize,
     ) -> Result<(), KvCacheError> {
-        if self.requests.contains_key(&id) {
-            return Err(KvCacheError::DuplicateRequest(id));
-        }
-        if shared_len > pages.len() * self.cfg.page_size {
-            return Err(KvCacheError::InvalidConfig(format!(
-                "shared_len {shared_len} exceeds {} pages capacity",
-                pages.len()
-            )));
-        }
-        self.retain_pages(&pages);
-        self.requests.insert(
-            id,
-            RequestState {
-                pages,
-                len: shared_len,
-            },
-        );
-        Ok(())
+        self.map.add_request_with_prefix(id, pages, shared_len)
     }
 
     /// Fork a request (parallel generation): the new branch shares every
@@ -167,30 +165,17 @@ impl<T: Scalar> PagedKvCache<T> {
     ///
     /// Returns [`KvCacheError::UnknownRequest`] / [`KvCacheError::DuplicateRequest`].
     pub fn fork_request(&mut self, src: u64, new_id: u64) -> Result<(), KvCacheError> {
-        if self.requests.contains_key(&new_id) {
-            return Err(KvCacheError::DuplicateRequest(new_id));
-        }
-        let state = self
-            .requests
-            .get(&src)
-            .ok_or(KvCacheError::UnknownRequest(src))?;
-        let pages = state.pages.clone();
-        let len = state.len;
-        self.retain_pages(&pages);
-        self.requests.insert(new_id, RequestState { pages, len });
-        Ok(())
+        self.map.fork_request(src, new_id)
     }
 
     /// Take an extra reference on pages (prefix-cache registration).
     pub fn retain_pages(&mut self, pages: &[usize]) {
-        for &p in pages {
-            self.ref_counts[p] += 1;
-        }
+        self.map.retain_pages(pages);
     }
 
     /// Current reference count of a page (0 = free).
     pub fn page_ref_count(&self, page: usize) -> u32 {
-        self.ref_counts[page]
+        self.map.page_ref_count(page)
     }
 
     /// Current sequence length of a request.
@@ -199,11 +184,7 @@ impl<T: Scalar> PagedKvCache<T> {
     ///
     /// Returns [`KvCacheError::UnknownRequest`] for unregistered ids.
     pub fn seq_len(&self, id: u64) -> Result<usize, KvCacheError> {
-        Ok(self
-            .requests
-            .get(&id)
-            .ok_or(KvCacheError::UnknownRequest(id))?
-            .len)
+        self.map.seq_len(id)
     }
 
     /// Append one token's K and V rows (`num_kv_heads * head_dim` each),
@@ -227,42 +208,12 @@ impl<T: Scalar> PagedKvCache<T> {
                 actual: v_row.len(),
             });
         }
-        let page_size = self.cfg.page_size;
-        let state = self
-            .requests
-            .get_mut(&id)
-            .ok_or(KvCacheError::UnknownRequest(id))?;
-        if state.len == state.pages.len() * page_size {
-            let new = self.allocator.alloc(1)?;
-            for &p in &new {
-                self.ref_counts[p] = 1;
-            }
-            state.pages.extend(new);
+        let site = self.map.prepare_append(id, &self.alloc, &mut self.cache)?;
+        if let Some(cow) = site.cow {
+            self.writer
+                .copy_page_prefix(cow.src_page, cow.dst_page, cow.valid_slots);
         }
-        let pos = state.len;
-        let page_idx = pos / page_size;
-        let page = state.pages[page_idx];
-        // Copy-on-write: never mutate a page other holders can see.
-        if self.ref_counts[page] > 1 {
-            let fresh = self.allocator.alloc(1)?[0];
-            self.ref_counts[fresh] = 1;
-            let valid = pos % page_size; // slots of this page filled so far
-            for s in 0..valid {
-                let (src, dst) = (page * page_size + s, fresh * page_size + s);
-                let row = self.k_pool.row(src).to_vec();
-                self.k_pool.row_mut(dst).copy_from_slice(&row);
-                let row = self.v_pool.row(src).to_vec();
-                self.v_pool.row_mut(dst).copy_from_slice(&row);
-            }
-            let state = self.requests.get_mut(&id).expect("checked above");
-            state.pages[page_idx] = fresh;
-            self.ref_counts[page] -= 1;
-        }
-        let state = self.requests.get_mut(&id).expect("checked above");
-        let slot = state.pages[page_idx] * page_size + pos % page_size;
-        state.len += 1;
-        self.k_pool.row_mut(slot).copy_from_slice(k_row);
-        self.v_pool.row_mut(slot).copy_from_slice(v_row);
+        self.writer.write_slot(site.slot, k_row, v_row);
         Ok(())
     }
 
@@ -295,27 +246,16 @@ impl<T: Scalar> PagedKvCache<T> {
     ///
     /// Returns [`KvCacheError::UnknownRequest`] for unregistered ids.
     pub fn remove_request(&mut self, id: u64) -> Result<(), KvCacheError> {
-        let state = self
-            .requests
-            .remove(&id)
-            .ok_or(KvCacheError::UnknownRequest(id))?;
-        let pages = state.pages;
-        self.release_pages(&pages);
+        let freed = self.map.remove_request(id)?;
+        self.cache.free(&self.alloc, &freed);
         Ok(())
     }
 
     /// Drop one reference on each page (radix-tree eviction path); pages
     /// reaching zero references return to the allocator.
     pub fn release_pages(&mut self, pages: &[usize]) {
-        let mut to_free = Vec::new();
-        for &p in pages {
-            debug_assert!(self.ref_counts[p] > 0, "release of unreferenced page {p}");
-            self.ref_counts[p] = self.ref_counts[p].saturating_sub(1);
-            if self.ref_counts[p] == 0 {
-                to_free.push(p);
-            }
-        }
-        self.allocator.free(&to_free);
+        let freed = self.map.release_pages(pages);
+        self.cache.free(&self.alloc, &freed);
     }
 
     /// Allocate pages directly (each with one reference, owned by the
@@ -325,10 +265,8 @@ impl<T: Scalar> PagedKvCache<T> {
     ///
     /// Returns [`KvCacheError::OutOfPages`] without allocating anything.
     pub fn alloc_pages(&mut self, n: usize) -> Result<Vec<usize>, KvCacheError> {
-        let pages = self.allocator.alloc(n)?;
-        for &p in &pages {
-            self.ref_counts[p] = 1;
-        }
+        let pages = self.cache.alloc(&self.alloc, n)?;
+        self.map.adopt_pages(&pages);
         Ok(pages)
     }
 
@@ -338,7 +276,7 @@ impl<T: Scalar> PagedKvCache<T> {
     ///
     /// Panics if `slot` exceeds the pool.
     pub fn k_slot(&self, slot: usize) -> &[T] {
-        self.k_pool.row(slot)
+        self.store().k_slot(slot)
     }
 
     /// The V pool row for a global slot.
@@ -347,17 +285,17 @@ impl<T: Scalar> PagedKvCache<T> {
     ///
     /// Panics if `slot` exceeds the pool.
     pub fn v_slot(&self, slot: usize) -> &[T] {
-        self.v_pool.row(slot)
+        self.store().v_slot(slot)
     }
 
     /// Full K pool tensor (`[num_pages * page_size, row_width]`).
     pub fn k_pool(&self) -> &Tensor<T> {
-        &self.k_pool
+        self.store().k_pool()
     }
 
     /// Full V pool tensor.
     pub fn v_pool(&self) -> &Tensor<T> {
-        &self.v_pool
+        self.store().v_pool()
     }
 
     /// Build the [`PageTable`] descriptor for a batch of live requests, in
@@ -367,35 +305,7 @@ impl<T: Scalar> PagedKvCache<T> {
     ///
     /// Returns [`KvCacheError::UnknownRequest`] if any id is unknown.
     pub fn page_table(&self, ids: &[u64]) -> Result<PageTable, KvCacheError> {
-        let mut pages = Vec::with_capacity(ids.len());
-        let mut last_lens = Vec::with_capacity(ids.len());
-        for &id in ids {
-            let st = self
-                .requests
-                .get(&id)
-                .ok_or(KvCacheError::UnknownRequest(id))?;
-            pages.push(st.pages.clone());
-            last_lens.push(if st.pages.is_empty() {
-                0
-            } else {
-                let rem = st.len % self.cfg.page_size;
-                // A full tail page reports page_size, not 0. An
-                // adopted-prefix request whose shared pages extend past
-                // `len` still reports its true tail fill.
-                let full_pages_cap = st.pages.len() * self.cfg.page_size;
-                if st.len == 0 {
-                    // Pages adopted but nothing valid yet: caller should not
-                    // schedule attention over it; report minimal fill.
-                    1
-                } else if rem == 0 && st.len <= full_pages_cap {
-                    self.cfg.page_size
-                } else {
-                    rem
-                }
-            });
-        }
-        PageTable::new(self.cfg.page_size, self.cfg.num_pages, pages, last_lens)
-            .map_err(|e| KvCacheError::InvalidConfig(e.to_string()))
+        self.map.page_table(ids)
     }
 
     /// Pages of a live request (for prefix-cache registration).
@@ -404,32 +314,28 @@ impl<T: Scalar> PagedKvCache<T> {
     ///
     /// Returns [`KvCacheError::UnknownRequest`] for unregistered ids.
     pub fn request_pages(&self, id: u64) -> Result<&[usize], KvCacheError> {
-        Ok(&self
-            .requests
-            .get(&id)
-            .ok_or(KvCacheError::UnknownRequest(id))?
-            .pages)
+        self.map.request_pages(id)
     }
 
     /// Number of live requests.
     pub fn num_requests(&self) -> usize {
-        self.requests.len()
+        self.map.num_requests()
     }
 
     /// Pool utilization: valid slots / allocated slots. 1.0 when nothing is
     /// allocated. The complement of internal fragmentation.
     pub fn utilization(&self) -> f64 {
-        let allocated_slots = self.allocator.used_pages() * self.cfg.page_size;
+        let allocated_pages = self.alloc.used_pages() - self.cache.cached_pages();
+        let allocated_slots = allocated_pages * self.cfg.page_size;
         if allocated_slots == 0 {
             return 1.0;
         }
-        let valid: usize = self.requests.values().map(|s| s.len).sum();
-        valid as f64 / allocated_slots as f64
+        self.map.valid_tokens() as f64 / allocated_slots as f64
     }
 
     /// Free pages remaining in the pool.
     pub fn free_page_count(&self) -> usize {
-        self.allocator.free_pages()
+        self.alloc.free_pages() + self.cache.cached_pages()
     }
 }
 
@@ -682,5 +588,20 @@ mod tests {
         assert_eq!(c.seq_len(1).unwrap(), 6);
         let pt = c.page_table(&[1]).unwrap();
         assert_eq!(c.k_slot(pt.slot_of(0, 5))[0], (5 * w) as f32);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut c = PagedKvCache::<f32>::new(cfg()).unwrap();
+        c.add_request(1).unwrap();
+        let w = c.config().row_width();
+        c.append(1, &row(3.0, w), &row(4.0, w)).unwrap();
+        let mut d = c.clone();
+        d.append(1, &row(9.0, w), &row(9.0, w)).unwrap();
+        assert_eq!(c.seq_len(1).unwrap(), 1);
+        assert_eq!(d.seq_len(1).unwrap(), 2);
+        let pt = d.page_table(&[1]).unwrap();
+        assert!(d.k_slot(pt.slot_of(0, 0)).iter().all(|&x| x == 3.0));
+        assert!(c.k_slot(0).iter().all(|&x| x == 3.0));
     }
 }

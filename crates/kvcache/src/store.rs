@@ -1,0 +1,336 @@
+//! Append-only KV slot storage: the *arena* half of the storage/allocation
+//! split (DESIGN.md §10).
+//!
+//! [`KvStore`] owns the dense K/V slabs (`[num_pages * page_size,
+//! row_width]`) and nothing else — no request map, no free lists. Its read
+//! API (`k_slot`/`v_slot`/`k_pool`/`v_pool`) takes `&self` and **no lock**:
+//! published slots are immutable, so any reader that learned about a slot
+//! through a happens-before edge (a channel send, a thread join, a mutex
+//! release) can read it forever without synchronisation.
+//!
+//! Writes go through the sole [`KvStoreWriter`], an owned capability handle
+//! whose mutating methods take `&mut self`. The single-writer discipline is
+//! therefore enforced at compile time: there is exactly one writer per
+//! store (created together with it), and `&mut` makes concurrent writes a
+//! type error rather than a data race.
+//!
+//! # Safety contract
+//!
+//! The writer may only mutate slots that no concurrent reader is
+//! *currently* reading. The serving stack upholds this with a phase
+//! discipline: the scheduler (which owns the writer) appends KV rows only
+//! between batch steps, after collecting every worker result for the
+//! previous step and before dispatching the next one. The mpsc result
+//! channel provides the happens-before edge that publishes the new slots.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::sync::Arc;
+
+use fi_tensor::{Scalar, Tensor};
+
+/// Slab-backed K/V slot storage with lock-free reads.
+///
+/// Created in a pair with its unique writer via [`KvStore::with_writer`]:
+///
+/// ```
+/// use fi_kvcache::store::KvStore;
+///
+/// let (store, mut writer) = KvStore::<f32>::with_writer(8, 4, 6);
+/// writer.write_slot(3, &[1.0; 6], &[2.0; 6]);
+/// assert_eq!(store.k_slot(3), &[1.0; 6]);
+/// assert_eq!(store.v_slot(3), &[2.0; 6]);
+/// ```
+pub struct KvStore<T> {
+    num_pages: usize,
+    page_size: usize,
+    row_width: usize,
+    k: UnsafeCell<Tensor<T>>,
+    v: UnsafeCell<Tensor<T>>,
+}
+
+// SAFETY: shared references only ever read slots that were published
+// through a happens-before edge before the reference was created, and the
+// unique `KvStoreWriter` only mutates unpublished slots (see module docs).
+// `Scalar` types are plain `Copy` data with no interior mutability.
+unsafe impl<T: Scalar> Sync for KvStore<T> {}
+unsafe impl<T: Scalar> Send for KvStore<T> {}
+
+impl<T: Scalar> KvStore<T> {
+    /// Create a zero-filled store and its unique writer.
+    pub fn with_writer(
+        num_pages: usize,
+        page_size: usize,
+        row_width: usize,
+    ) -> (Arc<KvStore<T>>, KvStoreWriter<T>) {
+        let slots = num_pages * page_size;
+        let store = Arc::new(KvStore {
+            num_pages,
+            page_size,
+            row_width,
+            k: UnsafeCell::new(Tensor::zeros(vec![slots, row_width])),
+            v: UnsafeCell::new(Tensor::zeros(vec![slots, row_width])),
+        });
+        let writer = KvStoreWriter {
+            store: Arc::clone(&store),
+        };
+        (store, writer)
+    }
+
+    /// Total pages backing the store.
+    pub fn num_pages(&self) -> usize {
+        self.num_pages
+    }
+
+    /// Slots per page.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Elements per slot row (`num_kv_heads * head_dim`).
+    pub fn row_width(&self) -> usize {
+        self.row_width
+    }
+
+    /// Total slots (`num_pages * page_size`).
+    pub fn num_slots(&self) -> usize {
+        self.num_pages * self.page_size
+    }
+
+    /// The K row of a published slot. Lock-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` exceeds the pool.
+    pub fn k_slot(&self, slot: usize) -> &[T] {
+        // SAFETY: see module docs — published slots are immutable.
+        unsafe { (*self.k.get()).row(slot) }
+    }
+
+    /// The V row of a published slot. Lock-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` exceeds the pool.
+    pub fn v_slot(&self, slot: usize) -> &[T] {
+        // SAFETY: see module docs.
+        unsafe { (*self.v.get()).row(slot) }
+    }
+
+    /// `count` consecutive K rows starting at `start_slot` as one flat
+    /// slice (`count * row_width` elements). Slots of a page are contiguous
+    /// in the slab, so swap-out reads a whole page in one memcpy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the pool.
+    pub fn k_rows(&self, start_slot: usize, count: usize) -> &[T] {
+        let w = self.row_width;
+        // SAFETY: see module docs.
+        unsafe { &(*self.k.get()).as_slice()[start_slot * w..(start_slot + count) * w] }
+    }
+
+    /// `count` consecutive V rows starting at `start_slot`, flat.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the pool.
+    pub fn v_rows(&self, start_slot: usize, count: usize) -> &[T] {
+        let w = self.row_width;
+        // SAFETY: see module docs.
+        unsafe { &(*self.v.get()).as_slice()[start_slot * w..(start_slot + count) * w] }
+    }
+
+    /// Full K slab (`[num_pages * page_size, row_width]`). Lock-free.
+    pub fn k_pool(&self) -> &Tensor<T> {
+        // SAFETY: see module docs.
+        unsafe { &*self.k.get() }
+    }
+
+    /// Full V slab. Lock-free.
+    pub fn v_pool(&self) -> &Tensor<T> {
+        // SAFETY: see module docs.
+        unsafe { &*self.v.get() }
+    }
+
+    /// Deep-copy the slabs into a fresh store/writer pair (facade `Clone`).
+    pub fn deep_clone(&self) -> (Arc<KvStore<T>>, KvStoreWriter<T>) {
+        let (store, mut writer) =
+            KvStore::with_writer(self.num_pages, self.page_size, self.row_width);
+        if self.num_slots() > 0 {
+            writer.copy_all_from(self);
+        }
+        (store, writer)
+    }
+}
+
+impl<T> fmt::Debug for KvStore<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KvStore")
+            .field("num_pages", &self.num_pages)
+            .field("page_size", &self.page_size)
+            .field("row_width", &self.row_width)
+            .finish()
+    }
+}
+
+/// The unique write capability of a [`KvStore`].
+///
+/// All mutating methods take `&mut self`; since exactly one writer exists
+/// per store, the type system rules out concurrent writes.
+pub struct KvStoreWriter<T> {
+    store: Arc<KvStore<T>>,
+}
+
+impl<T: Scalar> KvStoreWriter<T> {
+    /// The store this writer feeds (for handing read handles to workers).
+    pub fn store(&self) -> &Arc<KvStore<T>> {
+        &self.store
+    }
+
+    fn k_mut(&mut self) -> &mut Tensor<T> {
+        // SAFETY: `&mut self` on the unique writer + the module's phase
+        // discipline (no reader holds a borrow while the writer runs).
+        unsafe { &mut *self.store.k.get() }
+    }
+
+    fn v_mut(&mut self) -> &mut Tensor<T> {
+        // SAFETY: as `k_mut`.
+        unsafe { &mut *self.store.v.get() }
+    }
+
+    /// Write one slot's K and V rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` exceeds the pool or the rows have the wrong width.
+    pub fn write_slot(&mut self, slot: usize, k_row: &[T], v_row: &[T]) {
+        self.k_mut().row_mut(slot).copy_from_slice(k_row);
+        self.v_mut().row_mut(slot).copy_from_slice(v_row);
+    }
+
+    /// Write `n` consecutive slots starting at `start_slot` from flat
+    /// `[n, row_width]` buffers — the one-memcpy-per-page swap-in path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the pool or the buffers disagree.
+    pub fn write_rows(&mut self, start_slot: usize, k: &[T], v: &[T]) {
+        assert_eq!(k.len(), v.len(), "K/V buffers must match");
+        let w = self.store.row_width;
+        let start = start_slot * w;
+        self.k_mut().as_mut_slice()[start..start + k.len()].copy_from_slice(k);
+        self.v_mut().as_mut_slice()[start..start + v.len()].copy_from_slice(v);
+    }
+
+    /// Copy the first `valid_slots` slots of `src_page` into `dst_page`
+    /// (copy-on-write page duplication). One memcpy per slab.
+    pub fn copy_page_prefix(&mut self, src_page: usize, dst_page: usize, valid_slots: usize) {
+        if valid_slots == 0 {
+            return;
+        }
+        let ps = self.store.page_size;
+        let w = self.store.row_width;
+        debug_assert!(valid_slots <= ps);
+        let src = src_page * ps * w..(src_page * ps + valid_slots) * w;
+        let dst = dst_page * ps * w;
+        self.k_mut().as_mut_slice().copy_within(src.clone(), dst);
+        self.v_mut().as_mut_slice().copy_within(src, dst);
+    }
+
+    fn copy_all_from(&mut self, src: &KvStore<T>) {
+        self.k_mut()
+            .as_mut_slice()
+            .copy_from_slice(src.k_pool().as_slice());
+        self.v_mut()
+            .as_mut_slice()
+            .copy_from_slice(src.v_pool().as_slice());
+    }
+}
+
+impl<T> fmt::Debug for KvStoreWriter<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("KvStoreWriter")
+            .field("store", &*self.store)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_are_visible_through_reads() {
+        let (store, mut w) = KvStore::<f32>::with_writer(4, 2, 3);
+        w.write_slot(5, &[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]);
+        assert_eq!(store.k_slot(5), &[1.0, 2.0, 3.0]);
+        assert_eq!(store.v_slot(5), &[4.0, 5.0, 6.0]);
+        assert_eq!(store.k_pool().row(5), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn contiguous_rows_span_a_page() {
+        let (store, mut w) = KvStore::<f32>::with_writer(4, 2, 2);
+        // Page 1 = slots 2 and 3.
+        w.write_slot(2, &[1.0, 2.0], &[9.0, 9.0]);
+        w.write_slot(3, &[3.0, 4.0], &[8.0, 8.0]);
+        assert_eq!(store.k_rows(2, 2), &[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(store.v_rows(2, 2), &[9.0, 9.0, 8.0, 8.0]);
+    }
+
+    #[test]
+    fn flat_write_round_trips() {
+        let (store, mut w) = KvStore::<f32>::with_writer(4, 2, 2);
+        let k = [1.0, 2.0, 3.0, 4.0];
+        let v = [5.0, 6.0, 7.0, 8.0];
+        w.write_rows(4, &k, &v);
+        assert_eq!(store.k_rows(4, 2), &k);
+        assert_eq!(store.v_rows(4, 2), &v);
+    }
+
+    #[test]
+    fn cow_page_copy() {
+        let (store, mut w) = KvStore::<f32>::with_writer(4, 4, 1);
+        for s in 0..3 {
+            w.write_slot(s, &[s as f32], &[-(s as f32)]);
+        }
+        w.copy_page_prefix(0, 2, 3);
+        assert_eq!(store.k_rows(8, 3), &[0.0, 1.0, 2.0]);
+        assert_eq!(store.v_rows(8, 3), &[0.0, -1.0, -2.0]);
+        // Slot 3 of the destination page untouched.
+        assert_eq!(store.k_slot(11), &[0.0]);
+    }
+
+    #[test]
+    fn deep_clone_is_independent() {
+        let (store, mut w) = KvStore::<f32>::with_writer(2, 2, 1);
+        w.write_slot(0, &[7.0], &[8.0]);
+        let (copy, mut w2) = store.deep_clone();
+        assert_eq!(copy.k_slot(0), &[7.0]);
+        w2.write_slot(0, &[1.0], &[1.0]);
+        assert_eq!(store.k_slot(0), &[7.0]);
+    }
+
+    #[test]
+    fn concurrent_readers_see_published_slots() {
+        let (store, mut w) = KvStore::<f32>::with_writer(8, 4, 4);
+        for s in 0..16 {
+            w.write_slot(s, &[s as f32; 4], &[s as f32 + 0.5; 4]);
+        }
+        // Publication edge: thread spawn.
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                std::thread::spawn(move || {
+                    for s in 0..16 {
+                        assert_eq!(store.k_slot(s), &[s as f32; 4], "thread {t}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+}

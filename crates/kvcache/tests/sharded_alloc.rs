@@ -1,0 +1,251 @@
+//! Concurrency stress and facade-compatibility tests for the KV
+//! storage/allocation split (DESIGN.md §10).
+//!
+//! * The stress tests hammer one [`ShardedPageAllocator`] from a *forced*
+//!   number of threads (8 and 16 — independent of the machine's core
+//!   count, this is what `scripts/ci.sh` gates on) through per-thread
+//!   [`PageCache`]s, then reconcile allocated/free page counts *exactly*:
+//!   no page may be lost, duplicated, or double-freed under contention.
+//! * The facade tests drive radix-tree fork/split prefix reuse and a
+//!   host-swap round trip through [`PagedKvCache`] — the single-owner
+//!   compatibility facade over the split layers — checking bit-exact data
+//!   and exact page conservation.
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
+use fi_kvcache::paged::{PagedKvCache, PagedKvConfig};
+use fi_kvcache::swap::{swap_in, swap_out};
+use fi_kvcache::{PageCache, RadixTree, ShardedPageAllocator};
+
+/// Deterministic per-thread pseudo-random stream (splitmix64) — no rand
+/// dependency, identical schedule pressure on every run.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// `threads` workers alloc/free in bursts through per-thread caches;
+/// every page observed is checked unique across live holdings, and the
+/// final ledger must reconcile to the page: held + free == total.
+fn stress_allocator(threads: usize) {
+    const PAGES: usize = 1024;
+    const ITERS: usize = 400;
+    let alloc = Arc::new(ShardedPageAllocator::new(PAGES, 8));
+    let barrier = Arc::new(Barrier::new(threads));
+    let failed_allocs = Arc::new(AtomicUsize::new(0));
+
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let alloc = Arc::clone(&alloc);
+            let barrier = Arc::clone(&barrier);
+            let failed_allocs = Arc::clone(&failed_allocs);
+            std::thread::spawn(move || {
+                let mut cache = PageCache::new(t % alloc.num_shards(), 8);
+                let mut held: Vec<usize> = Vec::new();
+                let mut rng = 0x5eed_0000 + t as u64;
+                barrier.wait();
+                for _ in 0..ITERS {
+                    let r = splitmix(&mut rng);
+                    if !r.is_multiple_of(3) || held.is_empty() {
+                        let n = (r >> 8) as usize % 4 + 1;
+                        match cache.alloc(&alloc, n) {
+                            Ok(pages) => {
+                                assert_eq!(pages.len(), n, "all-or-nothing alloc");
+                                held.extend(pages);
+                            }
+                            Err(_) => {
+                                failed_allocs.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    } else {
+                        let n = ((r >> 16) as usize % held.len()).max(1);
+                        let at = held.len() - n;
+                        let freed: Vec<usize> = held.split_off(at);
+                        cache.free(&alloc, &freed);
+                    }
+                }
+                cache.flush(&alloc);
+                held
+            })
+        })
+        .collect();
+
+    let per_thread: Vec<Vec<usize>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+    // Exact reconciliation: pages still held across all threads are
+    // pairwise distinct, and held + free == total — nothing leaked,
+    // nothing double-allocated, nothing double-freed.
+    let mut seen = HashSet::new();
+    let mut held_total = 0usize;
+    for pages in &per_thread {
+        for &p in pages {
+            assert!(p < PAGES, "page id {p} out of range");
+            assert!(seen.insert(p), "page {p} held by two threads at once");
+            held_total += 1;
+        }
+    }
+    assert_eq!(alloc.used_pages(), held_total);
+    assert_eq!(alloc.free_pages(), PAGES - held_total);
+    assert!(alloc.peak_in_use() <= PAGES);
+
+    // Returning the stragglers drains the pool back to empty.
+    for pages in &per_thread {
+        alloc.free(pages);
+    }
+    assert_eq!(alloc.free_pages(), PAGES);
+    assert_eq!(alloc.used_pages(), 0);
+}
+
+#[test]
+fn stress_8_threads_reconciles_exactly() {
+    stress_allocator(8);
+}
+
+#[test]
+fn stress_16_threads_reconciles_exactly() {
+    stress_allocator(16);
+}
+
+/// Thundering herd on an exactly-sized pool: every page is contended,
+/// stealing is constant, and the ledger must still balance.
+#[test]
+fn stress_exhaustion_under_contention() {
+    const THREADS: usize = 16;
+    const PAGES: usize = 64; // 4 per thread on average — constant stealing
+    let alloc = Arc::new(ShardedPageAllocator::new(PAGES, 4));
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let alloc = Arc::clone(&alloc);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let mut cache = PageCache::new(t % alloc.num_shards(), 4);
+                let mut rng = 0xc0ff_ee00 + t as u64;
+                barrier.wait();
+                for _ in 0..600 {
+                    let n = splitmix(&mut rng) as usize % 6 + 1;
+                    if let Ok(pages) = cache.alloc(&alloc, n) {
+                        // Hold briefly, then return — maximizes turnover.
+                        std::hint::black_box(&pages);
+                        cache.free(&alloc, &pages);
+                    }
+                }
+                cache.flush(&alloc);
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(alloc.free_pages(), PAGES);
+    assert_eq!(alloc.used_pages(), 0);
+    assert!(alloc.peak_in_use() <= PAGES);
+}
+
+fn facade() -> PagedKvCache<f32> {
+    PagedKvCache::new(PagedKvConfig {
+        page_size: 4,
+        num_pages: 32,
+        num_kv_heads: 2,
+        head_dim: 4,
+    })
+    .unwrap()
+}
+
+fn row(tag: f32, w: usize) -> Vec<f32> {
+    (0..w).map(|i| tag + i as f32 / 100.0).collect()
+}
+
+/// Radix-tree prefix reuse against the facade: a cached prefix is
+/// adopted page-by-page by a new request, a partial re-match splits the
+/// tree edge, and divergence copies-on-write without touching the donor.
+#[test]
+fn radix_fork_split_round_trip() {
+    let mut c = facade();
+    let w = c.config().row_width();
+    let mut tree = RadixTree::new();
+
+    // Request 1 prefills 8 tokens (2 full pages) and registers them.
+    c.add_request(1).unwrap();
+    for p in 0..8 {
+        c.append(1, &row(p as f32, w), &row(-(p as f32), w)).unwrap();
+    }
+    let tokens: Vec<u32> = (100..108).collect();
+    let pt = c.page_table(&[1]).unwrap();
+    let slots: Vec<usize> = (0..8).map(|p| pt.slot_of(0, p)).collect();
+    tree.insert(&tokens, &slots).unwrap();
+    let pages = c.request_pages(1).unwrap().to_vec();
+    c.retain_pages(&pages); // the tree's reference
+    assert_eq!(c.page_ref_count(pages[0]), 2);
+
+    // A new request shares only the first 6 tokens: the radix edge must
+    // split, and the match covers one full page (4 tokens) it can adopt.
+    let m = tree.match_prefix(&tokens[..6]);
+    assert_eq!(m.matched_tokens, 6);
+    assert_eq!(m.slots, slots[..6]);
+    let full_pages = m.matched_tokens / c.config().page_size; // 1
+    let shared_len = full_pages * c.config().page_size;
+    c.add_request_with_prefix(2, pages[..full_pages].to_vec(), shared_len)
+        .unwrap();
+    assert_eq!(c.seq_len(2).unwrap(), 4);
+    assert_eq!(c.page_ref_count(pages[0]), 3);
+
+    // Divergent append lands in a fresh page; donor data is untouched.
+    c.append(2, &row(500.0, w), &row(0.0, w)).unwrap();
+    let pt = c.page_table(&[1, 2]).unwrap();
+    assert_eq!(pt.slot_of(1, 0), pt.slot_of(0, 0), "shared prefix slot");
+    assert_eq!(c.k_slot(pt.slot_of(1, 4)), row(500.0, w).as_slice());
+    assert_eq!(c.k_slot(pt.slot_of(0, 4)), row(4.0, w).as_slice());
+
+    // Tear everything down in dependency order; pages conserve exactly.
+    c.remove_request(1).unwrap();
+    c.remove_request(2).unwrap();
+    assert_eq!(c.page_ref_count(pages[0]), 1, "tree still pins page 0");
+    let evicted = tree.evict_lru(1);
+    assert!(!evicted.is_empty());
+    c.release_pages(&pages);
+    assert_eq!(c.free_page_count(), c.config().num_pages);
+}
+
+/// Host-swap round trip against the facade: swap-out frees the pages,
+/// swap-in restores bit-exact rows into fresh pages.
+#[test]
+fn swap_round_trip_is_bit_exact() {
+    let mut c = facade();
+    let w = c.config().row_width();
+    c.add_request(7).unwrap();
+    for p in 0..10 {
+        c.append(7, &row(p as f32, w), &row(1000.0 + p as f32, w))
+            .unwrap();
+    }
+    let before: Vec<Vec<f32>> = {
+        let pt = c.page_table(&[7]).unwrap();
+        (0..10).map(|p| c.k_slot(pt.slot_of(0, p)).to_vec()).collect()
+    };
+    let free_before = c.free_page_count();
+
+    let blob = swap_out(&mut c, 7).unwrap();
+    assert_eq!(blob.len, 10);
+    assert_eq!(c.free_page_count(), c.config().num_pages, "pages freed");
+    assert!(c.seq_len(7).is_err(), "request gone while swapped");
+
+    swap_in(&mut c, 7, &blob).unwrap();
+    assert_eq!(c.seq_len(7).unwrap(), 10);
+    assert_eq!(c.free_page_count(), free_before, "same page cost");
+    let pt = c.page_table(&[7]).unwrap();
+    for (p, row_before) in before.iter().enumerate() {
+        assert_eq!(
+            c.k_slot(pt.slot_of(0, p)),
+            row_before.as_slice(),
+            "K row {p} must round-trip bit-exactly"
+        );
+        assert_eq!(c.v_slot(pt.slot_of(0, p)), row(1000.0 + p as f32, w));
+    }
+    c.remove_request(7).unwrap();
+    assert_eq!(c.free_page_count(), c.config().num_pages);
+}

@@ -18,11 +18,14 @@
 //!   and observes cancellation and deadlines between steps.
 //! * **Workers** execute the step's units concurrently through
 //!   [`fi_sched::pipeline::AttentionPipeline`] (plan cache, load-balanced
-//!   schedule, real FA2 kernels) against the shared
-//!   [`fi_kvcache::paged::PagedKvCache`] under a read lock.
+//!   schedule, real FA2 kernels) against the shared append-only
+//!   [`fi_kvcache::KvStore`] arena — lock-free: each unit carries a page
+//!   table prebuilt by the scheduler, and the unit channel is the
+//!   happens-before edge publishing the scheduler's writes.
 //! * **Tensor-parallel mode** (`tensor_parallel > 1`): the KV pool is
-//!   sharded by KV head ([`fi_dist::ShardedKvPool`], shards in allocator
-//!   lockstep) and each logical worker becomes a tp-group
+//!   sharded by KV head ([`fi_dist::ShardedKvPool`], one storage arena
+//!   per rank over shared bookkeeping) and each logical worker becomes a
+//!   tp-group
 //!   ([`fi_dist::ShardedExecutor`]) whose rank threads run shard-local
 //!   attention and reassemble full-width outputs with deterministic
 //!   collectives — outputs stay bit-identical to the unsharded run, and

@@ -1,75 +1,176 @@
-//! The scheduler's KV-storage backend: either the single shared
-//! [`PagedKvCache`] (tensor_parallel = 1, the exact pre-sharding code
-//! path) or a [`ShardedKvPool`] whose per-rank shards stay in allocator
-//! lockstep. The scheduler is width-agnostic — it writes and reads
-//! full-width rows; the sharded backend slices columns per rank.
+//! The scheduler's KV-storage backend: either a single-shard stack of the
+//! split kvcache layers (tensor_parallel = 1) or a [`ShardedKvPool`] with
+//! one storage arena per tensor-parallel rank. The scheduler is
+//! width-agnostic — it writes and reads full-width rows; the sharded
+//! backend slices columns per rank.
+//!
+//! Since the storage/allocation split (DESIGN.md §10) the backend is
+//! *owned* by the scheduler thread — there is no `RwLock` around the
+//! pool anywhere in this crate. Workers hold lock-free [`KvStore`] read
+//! handles and prebuilt page tables; the scheduler mutates bookkeeping
+//! through `&mut self` strictly between steps, and the worker channels
+//! provide the happens-before edge that publishes its writes.
 
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 use fi_dist::ShardedKvPool;
-use fi_kvcache::paged::PagedKvCache;
-use fi_kvcache::KvCacheError;
+use fi_kvcache::{
+    KvCacheError, KvStore, KvStoreWriter, PageCache, PageMap, ShardedPageAllocator,
+};
+use fi_sparse::page::PageTable;
 
-/// Full-width KV rows of one request, in position order (swap-out
-/// buffers).
-pub(crate) type KvRows = (Vec<Vec<f32>>, Vec<Vec<f32>>);
+/// Pages the single-shard scheduler parks in its allocator-shard cache
+/// between alloc/free bursts (refilled by stealing when its home shard
+/// runs dry; see `fi_kvcache::shard_alloc`).
+const SCHEDULER_PAGE_CACHE: usize = 8;
 
-#[derive(Clone)]
+/// Full-width KV rows of one request, flattened in position order
+/// (swap-out buffers): `rows * kv_width` elements each.
+pub(crate) struct KvRows {
+    pub k: Vec<f32>,
+    pub v: Vec<f32>,
+    pub rows: usize,
+}
+
+/// The single-shard backend: the split kvcache layers, owned directly.
+pub(crate) struct SingleKv {
+    map: PageMap,
+    alloc: ShardedPageAllocator,
+    cache: PageCache,
+    writer: KvStoreWriter<f32>,
+    page_size: usize,
+    width: usize,
+}
+
+impl SingleKv {
+    pub fn new(page_size: usize, num_pages: usize, width: usize) -> SingleKv {
+        let (_, writer) = KvStore::with_writer(num_pages, page_size, width);
+        SingleKv {
+            map: PageMap::new(page_size, num_pages),
+            alloc: ShardedPageAllocator::with_default_shards(num_pages),
+            cache: PageCache::new(0, SCHEDULER_PAGE_CACHE),
+            writer,
+            page_size,
+            width,
+        }
+    }
+
+    fn append(&mut self, id: u64, k: &[f32], v: &[f32]) -> Result<(), KvCacheError> {
+        if k.len() != self.width || v.len() != self.width {
+            return Err(KvCacheError::ShapeMismatch {
+                expected: self.width,
+                actual: k.len(),
+            });
+        }
+        let site = self.map.prepare_append(id, &self.alloc, &mut self.cache)?;
+        if let Some(cow) = site.cow {
+            self.writer
+                .copy_page_prefix(cow.src_page, cow.dst_page, cow.valid_slots);
+        }
+        self.writer.write_slot(site.slot, k, v);
+        Ok(())
+    }
+
+    /// One contiguous slab read per page (the rows of a page are adjacent
+    /// in the arena), one memcpy per page into the flat buffer.
+    fn request_rows(&self, id: u64) -> Result<KvRows, KvCacheError> {
+        let rows = self.map.seq_len(id)?;
+        let pages = self.map.request_pages(id)?;
+        let store = self.writer.store();
+        let mut k = Vec::with_capacity(rows * self.width);
+        let mut v = Vec::with_capacity(rows * self.width);
+        for (i, &page) in pages.iter().enumerate() {
+            let count = (rows - i * self.page_size).min(self.page_size);
+            if count == 0 {
+                break;
+            }
+            k.extend_from_slice(store.k_rows(page * self.page_size, count));
+            v.extend_from_slice(store.v_rows(page * self.page_size, count));
+        }
+        Ok(KvRows { k, v, rows })
+    }
+}
+
+// Exactly one KvBackend exists per runtime (owned by the scheduler), so
+// the size imbalance between variants never multiplies.
+#[allow(clippy::large_enum_variant)]
 pub(crate) enum KvBackend {
-    /// One pool holding all KV heads.
-    Single(Arc<RwLock<PagedKvCache<f32>>>),
-    /// One pool shard per tensor-parallel rank.
+    /// One storage arena holding all KV heads.
+    Single(SingleKv),
+    /// One storage arena per tensor-parallel rank, shared bookkeeping.
     Sharded(Arc<ShardedKvPool>),
 }
 
 impl KvBackend {
-    pub fn add_request(&self, id: u64) -> Result<(), KvCacheError> {
+    pub fn add_request(&mut self, id: u64) -> Result<(), KvCacheError> {
         match self {
-            KvBackend::Single(p) => p.write().expect("pool lock").add_request(id),
+            KvBackend::Single(p) => p.map.add_request(id),
             KvBackend::Sharded(p) => p.add_request(id),
         }
     }
 
-    pub fn remove_request(&self, id: u64) -> Result<(), KvCacheError> {
+    pub fn remove_request(&mut self, id: u64) -> Result<(), KvCacheError> {
         match self {
-            KvBackend::Single(p) => p.write().expect("pool lock").remove_request(id),
+            KvBackend::Single(p) => {
+                let freed = p.map.remove_request(id)?;
+                p.cache.free(&p.alloc, &freed);
+                Ok(())
+            }
             KvBackend::Sharded(p) => p.remove_request(id),
         }
     }
 
     /// Append one full-width KV row (the sharded backend slices columns
     /// per rank; on failure no rank is mutated).
-    pub fn append(&self, id: u64, k: &[f32], v: &[f32]) -> Result<(), KvCacheError> {
+    pub fn append(&mut self, id: u64, k: &[f32], v: &[f32]) -> Result<(), KvCacheError> {
         match self {
-            KvBackend::Single(p) => p.write().expect("pool lock").append(id, k, v),
+            KvBackend::Single(p) => p.append(id, k, v),
             KvBackend::Sharded(p) => p.append(id, k, v),
         }
     }
 
     pub fn free_page_count(&self) -> usize {
         match self {
-            KvBackend::Single(p) => p.read().expect("pool lock").free_page_count(),
+            KvBackend::Single(p) => p.alloc.free_pages() + p.cache.cached_pages(),
             KvBackend::Sharded(p) => p.free_page_count(),
         }
     }
 
-    /// Read a request's KV rows back at full width (swap-out).
+    /// Build the page table of one live request (shipped to workers with
+    /// each unit so their execute path takes no lock).
+    pub fn page_table(&self, id: u64) -> Result<PageTable, KvCacheError> {
+        match self {
+            KvBackend::Single(p) => p.map.page_table(&[id]),
+            KvBackend::Sharded(p) => p.page_table(&[id]),
+        }
+    }
+
+    /// Read a request's KV rows back at full width (swap-out), flattened.
     pub fn request_rows(&self, id: u64) -> Result<KvRows, KvCacheError> {
         match self {
-            KvBackend::Single(p) => {
-                let g = p.read().expect("pool lock");
-                let len = g.seq_len(id)?;
-                let pt = g.page_table(&[id])?;
-                let mut k = Vec::with_capacity(len);
-                let mut v = Vec::with_capacity(len);
-                for pos in 0..len {
-                    let s = pt.slot_of(0, pos);
-                    k.push(g.k_slot(s).to_vec());
-                    v.push(g.v_slot(s).to_vec());
-                }
-                Ok((k, v))
+            KvBackend::Single(p) => p.request_rows(id),
+            KvBackend::Sharded(p) => {
+                let (k, v, rows) = p.request_rows(id)?;
+                Ok(KvRows { k, v, rows })
             }
-            KvBackend::Sharded(p) => p.request_rows(id),
+        }
+    }
+
+    /// Return any pages parked in the scheduler's allocator-shard cache
+    /// (drain-time accounting; the sharded pool's internal cache has zero
+    /// capacity).
+    pub fn flush(&mut self) {
+        if let KvBackend::Single(p) = self {
+            p.cache.flush(&p.alloc);
+        }
+    }
+
+    /// The single-shard storage arena workers read lock-free. Sharded
+    /// workers get per-rank arenas from the [`ShardedKvPool`] instead.
+    pub fn store(&self) -> Option<Arc<KvStore<f32>>> {
+        match self {
+            KvBackend::Single(p) => Some(Arc::clone(p.writer.store())),
+            KvBackend::Sharded(_) => None,
         }
     }
 }

@@ -16,21 +16,20 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use fi_core::config::HeadConfig;
 use fi_core::tiles::TileConfig;
 use fi_dist::ShardedKvPool;
-use fi_kvcache::paged::{PagedKvCache, PagedKvConfig};
 use fi_kvcache::KvCacheError;
 use fi_serving::engine::{EngineConfig, PreemptionPolicy};
 use fi_serving::policy::{self, AdmissionCost, AdmissionVerdict};
 use fi_serving::workload::RequestSpec;
 
 use crate::metrics::RuntimeMetrics;
-use crate::pool::KvBackend;
+use crate::pool::{KvBackend, SingleKv};
 use crate::request::{
     kv_row, q_row, CancelReason, CompletedRequest, RejectReason, RequestHandle, RequestOutcome,
     RuntimeRequest,
@@ -180,15 +179,13 @@ impl Runtime {
     pub fn start(cfg: RuntimeConfig) -> Result<Runtime, RuntimeError> {
         cfg.validate()?;
         let pool = if cfg.tensor_parallel == 1 {
-            // The exact single-shard code path: one pool, plain workers.
-            let pool = PagedKvCache::<f32>::new(PagedKvConfig {
-                page_size: cfg.page_size,
-                num_pages: cfg.num_pages,
-                num_kv_heads: cfg.heads.num_kv_heads,
-                head_dim: cfg.heads.head_dim,
-            })
-            .map_err(|e| RuntimeError::InvalidConfig(format!("kv pool: {e:?}")))?;
-            KvBackend::Single(Arc::new(RwLock::new(pool)))
+            // The single-shard code path: the split kvcache layers, owned
+            // by the scheduler thread — no lock anywhere.
+            KvBackend::Single(SingleKv::new(
+                cfg.page_size,
+                cfg.num_pages,
+                cfg.heads.kv_width(),
+            ))
         } else {
             let pool =
                 ShardedKvPool::new(cfg.heads, cfg.tensor_parallel, cfg.page_size, cfg.num_pages)
@@ -286,10 +283,12 @@ enum Phase {
     Decode,
 }
 
-/// Swapped-out KV rows of a preempted request.
+/// Swapped-out KV rows of a preempted request, flattened
+/// `rows * kv_width` in position order.
 struct SwapBuf {
-    k: Vec<Vec<f32>>,
-    v: Vec<Vec<f32>>,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    rows: usize,
 }
 
 struct Active {
@@ -388,6 +387,9 @@ impl Scheduler {
         self.metrics.serving.duration = start.elapsed().as_secs_f64();
         self.metrics.tensor_parallel = self.cfg.tensor_parallel;
         self.metrics.kv_pages_total = self.cfg.num_pages;
+        // Return cached pages to the shards so drain-time accounting sees
+        // the allocator's true free count.
+        self.pool.flush();
         self.metrics.kv_pages_free_at_drain = self.pool.free_page_count();
         self.metrics
     }
@@ -403,11 +405,11 @@ impl Scheduler {
             let (unit_tx, unit_rx) = mpsc::channel();
             let res_tx = res_tx.clone();
             let handle = match &self.pool {
-                KvBackend::Single(p) => {
-                    let pool = Arc::clone(p);
+                KvBackend::Single(_) => {
+                    let store = self.pool.store().expect("single backend has a store");
                     std::thread::Builder::new()
                         .name(format!("fi-runtime-worker-{w}"))
-                        .spawn(move || worker_loop(wcfg, pool, unit_rx, res_tx))
+                        .spawn(move || worker_loop(wcfg, store, unit_rx, res_tx))
                         .expect("spawn worker")
                 }
                 KvBackend::Sharded(p) => {
@@ -588,13 +590,18 @@ impl Scheduler {
     /// caller via `remove_request`.
     fn try_swap_in(&mut self, a: &Active, buf: &SwapBuf, need: usize) -> bool {
         let id = a.sub.id;
-        for i in 0..buf.k.len() {
-            if !self.append_kv_no_evict(id, &buf.k[i], &buf.v[i]) {
+        let width = self.cfg.heads.kv_width();
+        for (kr, vr) in buf
+            .k
+            .chunks_exact(width)
+            .zip(buf.v.chunks_exact(width))
+            .take(buf.rows)
+        {
+            if !self.append_kv_no_evict(id, kr, vr) {
                 return false;
             }
         }
-        let width = self.cfg.heads.kv_width();
-        for pos in buf.k.len()..need {
+        for pos in buf.rows..need {
             let k = kv_row(a.sub.spec.seed, pos, width, false);
             let v = kv_row(a.sub.spec.seed, pos, width, true);
             if !self.append_kv_no_evict(id, &k, &v) {
@@ -707,8 +714,12 @@ impl Scheduler {
     /// vLLM's Swap policy; `fi_kvcache::swap` models its cost). Rows come
     /// back at full width regardless of sharding.
     fn swap_out(&self, id: u64) -> SwapBuf {
-        let (k, v) = self.pool.request_rows(id).expect("victim in pool");
-        SwapBuf { k, v }
+        let rows = self.pool.request_rows(id).expect("victim in pool");
+        SwapBuf {
+            k: rows.k,
+            v: rows.v,
+            rows: rows.rows,
+        }
     }
 
     /// Evict somebody other than `for_id` to free pages. False if no one
@@ -771,7 +782,10 @@ impl Scheduler {
             return;
         }
         self.stage_prefill_appends();
-        let units = self.build_units();
+        let (units, failures) = self.build_units();
+        for (id, msg) in failures {
+            self.fail(id, msg);
+        }
         if units.is_empty() {
             return;
         }
@@ -844,44 +858,50 @@ impl Scheduler {
         }
     }
 
-    fn build_units(&self) -> Vec<WorkUnit> {
+    /// Build this step's work units, each carrying its page table so the
+    /// worker's execute path takes no lock. The tables snapshot the exact
+    /// pool state the step runs against: all of this step's appends are
+    /// staged before any unit is dispatched, and the scheduler does not
+    /// mutate the pool again until every result is back.
+    fn build_units(&self) -> (Vec<WorkUnit>, Vec<(u64, String)>) {
         let qo_w = self.cfg.heads.qo_width();
-        self.active
-            .iter()
-            .filter_map(|a| match a.phase {
+        let mut units = Vec::new();
+        let mut failures = Vec::new();
+        for a in &self.active {
+            let (token_index, qo_len, kv_len, q) = match a.phase {
                 Phase::Prefill { done, .. } => {
                     if a.staged == 0 {
-                        return None;
+                        continue;
                     }
                     let q: Vec<f32> = (done..done + a.staged)
                         .flat_map(|p| q_row(a.sub.spec.seed, p, qo_w))
                         .collect();
-                    Some(WorkUnit {
-                        req_id: a.sub.id,
-                        token_index: None,
-                        qo_len: a.staged,
-                        kv_len: done + a.staged,
-                        q,
-                    })
+                    (None, a.staged, done + a.staged, q)
                 }
                 Phase::Decode => {
                     let t = a.outputs.len();
                     let pos = a.sub.spec.prompt_len + t;
-                    Some(WorkUnit {
-                        req_id: a.sub.id,
-                        token_index: Some(t),
-                        qo_len: 1,
-                        kv_len: pos,
-                        q: q_row(a.sub.spec.seed, pos, qo_w),
-                    })
+                    (Some(t), 1, pos, q_row(a.sub.spec.seed, pos, qo_w))
                 }
-            })
-            .collect()
+            };
+            match self.pool.page_table(a.sub.id) {
+                Ok(pt) => units.push(WorkUnit {
+                    req_id: a.sub.id,
+                    token_index,
+                    qo_len,
+                    kv_len,
+                    q,
+                    pt,
+                }),
+                Err(e) => failures.push((a.sub.id, format!("page table: {e}"))),
+            }
+        }
+        (units, failures)
     }
 
     fn process_result(&mut self, r: WorkResult) {
         if let Some(err) = r.err {
-            self.fail(r.req_id, err);
+            self.fail(r.req_id, err.to_string());
             return;
         }
         let Some(i) = self.index_of(r.req_id) else {

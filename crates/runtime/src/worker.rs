@@ -1,27 +1,33 @@
 //! Worker pool: each worker owns an [`AttentionPipeline`] (plan cache,
 //! workspace, kernel-stat accounting) and executes work units against the
-//! shared paged KV pool under a read lock.
+//! shared append-only KV storage arena — with **zero locks** on the hot
+//! path.
 //!
-//! Workers only *read* the pool — the scheduler is the single writer and
-//! appends between steps — so a step's units run concurrently without
-//! aliasing. Every unit is a batch-of-one problem: the scheduler keeps
-//! per-request work units separate so outputs are bit-identical to a
-//! sequential replay regardless of how requests were batched, preempted,
-//! or spread across workers (the plan's KV-split decisions are global per
-//! plan, so multi-request batches would change the floating-point
-//! association).
+//! Workers only *read* the arena — the scheduler is the single writer and
+//! appends between steps (it blocks on every in-flight result before
+//! mutating), so a step's units run concurrently without aliasing. Each
+//! unit carries its page table, prebuilt by the scheduler from the same
+//! pool state the worker observes; the unit channel's send/recv is the
+//! happens-before edge that publishes the scheduler's slot writes. Every
+//! unit is a batch-of-one problem: the scheduler keeps per-request work
+//! units separate so outputs are bit-identical to a sequential replay
+//! regardless of how requests were batched, preempted, or spread across
+//! workers (the plan's KV-split decisions are global per plan, so
+//! multi-request batches would change the floating-point association).
 
+use std::fmt;
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 use fi_core::config::HeadConfig;
 use fi_core::kernel::{AttentionProblem, FlashKernel};
 use fi_core::tiles::TileConfig;
 use fi_core::variant::{VanillaAttention, VariantParams};
-use fi_dist::{BatchUnit, CommStats, ReduceMode, ShardedExecutor, ShardedKvPool};
-use fi_kvcache::paged::PagedKvCache;
+use fi_dist::{BatchUnit, CommStats, DistError, ReduceMode, ShardedExecutor, ShardedKvPool};
+use fi_kvcache::{KvCacheError, KvStore};
 use fi_sched::pipeline::AttentionPipeline;
 use fi_serving::PipelineObservables;
+use fi_sparse::page::PageTable;
 use fi_tensor::RaggedTensor;
 
 /// One attention launch for one request.
@@ -38,6 +44,29 @@ pub(crate) struct WorkUnit {
     pub kv_len: usize,
     /// Flattened query rows, `qo_len * qo_width`.
     pub q: Vec<f32>,
+    /// The request's page table, built by the scheduler after this step's
+    /// appends — workers never touch pool bookkeeping.
+    pub pt: PageTable,
+}
+
+/// Why a unit failed, typed through the result channel so the scheduler
+/// can distinguish KV-cache faults (e.g. [`KvCacheError::Poisoned`]) from
+/// kernel-execution faults.
+#[derive(Debug, Clone)]
+pub(crate) enum WorkerError {
+    /// A KV-cache operation failed under the worker.
+    Kv(KvCacheError),
+    /// Layout, planning, or kernel execution failed.
+    Exec(String),
+}
+
+impl fmt::Display for WorkerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkerError::Kv(e) => write!(f, "kv cache: {e}"),
+            WorkerError::Exec(m) => write!(f, "{m}"),
+        }
+    }
 }
 
 /// A completed unit.
@@ -47,7 +76,7 @@ pub(crate) struct WorkResult {
     pub token_index: Option<usize>,
     /// Output rows, `qo_len * qo_width` (empty on error).
     pub out: Vec<f32>,
-    pub err: Option<String>,
+    pub err: Option<WorkerError>,
 }
 
 /// Shared immutable kernel configuration for the pool of workers.
@@ -70,7 +99,7 @@ pub(crate) struct WorkerReport {
 /// return the pipeline's accumulated observables for the final report.
 pub(crate) fn worker_loop(
     cfg: WorkerConfig,
-    pool: Arc<RwLock<PagedKvCache<f32>>>,
+    store: Arc<KvStore<f32>>,
     rx: Receiver<WorkUnit>,
     tx: Sender<WorkResult>,
 ) -> WorkerReport {
@@ -89,7 +118,7 @@ pub(crate) fn worker_loop(
     let variant = VanillaAttention { causal: true };
 
     while let Ok(unit) = rx.recv() {
-        let result = execute(&pool, &mut pipeline, cfg, &variant, &params, &unit);
+        let result = execute(&store, &mut pipeline, cfg, &variant, &params, &unit);
         let msg = match result {
             Ok(out) => WorkResult {
                 req_id: unit.req_id,
@@ -101,7 +130,7 @@ pub(crate) fn worker_loop(
                 req_id: unit.req_id,
                 token_index: unit.token_index,
                 out: Vec::new(),
-                err: Some(e),
+                err: Some(WorkerError::Exec(e)),
             },
         };
         if tx.send(msg).is_err() {
@@ -121,8 +150,9 @@ pub(crate) fn worker_loop(
 /// [`ShardedExecutor`] whose rank threads run shard-local attention over
 /// the shared [`ShardedKvPool`] and reassemble full-width outputs with a
 /// deterministic `all_gather`. Unit handling is otherwise identical to
-/// [`worker_loop`]: batch-of-one units in, full-width rows out, so the
-/// scheduler cannot tell the modes apart (and the outputs are
+/// [`worker_loop`]: batch-of-one units in (page table prebuilt by the
+/// scheduler, so the rank threads stay lock-free), full-width rows out,
+/// so the scheduler cannot tell the modes apart (and the outputs are
 /// bit-identical — see `fi_dist::exec`'s module docs).
 pub(crate) fn sharded_worker_loop(
     cfg: WorkerConfig,
@@ -139,7 +169,8 @@ pub(crate) fn sharded_worker_loop(
             kv_len: unit.kv_len,
             q: unit.q.clone(),
         }];
-        let msg = match exec.run(&batch, ReduceMode::AllGather) {
+        let tables = Arc::new(vec![unit.pt.clone()]);
+        let msg = match exec.run_prebuilt(&batch, tables, ReduceMode::AllGather) {
             Ok(mut outs) => WorkResult {
                 req_id: unit.req_id,
                 token_index: unit.token_index,
@@ -150,7 +181,10 @@ pub(crate) fn sharded_worker_loop(
                 req_id: unit.req_id,
                 token_index: unit.token_index,
                 out: Vec::new(),
-                err: Some(e.to_string()),
+                err: Some(match e {
+                    DistError::Kv(kv) => WorkerError::Kv(kv),
+                    other => WorkerError::Exec(other.to_string()),
+                }),
             },
         };
         if tx.send(msg).is_err() {
@@ -164,30 +198,26 @@ pub(crate) fn sharded_worker_loop(
     }
 }
 
-/// Page table → BSR layout → plan → run, for one request's unit.
+/// Prebuilt page table → BSR layout → plan → run, for one request's unit.
+/// No locks: pool tensors come straight from the append-only store.
 fn execute(
-    pool: &Arc<RwLock<PagedKvCache<f32>>>,
+    store: &Arc<KvStore<f32>>,
     pipeline: &mut AttentionPipeline,
     cfg: WorkerConfig,
     variant: &VanillaAttention,
     params: &VariantParams,
     unit: &WorkUnit,
 ) -> Result<Vec<f32>, String> {
-    let guard = pool
-        .read()
-        .map_err(|_| "kv pool lock poisoned".to_string())?;
-    let pt = guard
-        .page_table(&[unit.req_id])
-        .map_err(|e| format!("page table: {e:?}"))?;
-    let layout = pt
+    let layout = unit
+        .pt
         .to_bsr(&[unit.qo_len], cfg.tile.tq)
         .map_err(|e| format!("bsr layout: {e:?}"))?;
     let mut q = RaggedTensor::<f32>::from_seq_lens(&[unit.qo_len], cfg.heads.qo_width());
     q.as_tensor_mut().as_mut_slice().copy_from_slice(&unit.q);
     let problem = AttentionProblem::standard_batch(
         &q,
-        guard.k_pool(),
-        guard.v_pool(),
+        store.k_pool(),
+        store.v_pool(),
         &layout,
         cfg.heads,
         &[unit.kv_len],

@@ -11,16 +11,38 @@
 # the same shapes with std::time::Instant and writes the same schema —
 # for environments where the crates.io mirror cannot resolve criterion.
 #
-# Usage: scripts/bench_snapshot.sh [--offline] [output.json]
-#        (default output: BENCH_kernel.json)
+# With --runtime, snapshots KV-pool contention scaling instead: the
+# registry-free runtime_contention binary measures serving tokens/s at
+# worker counts {1,2,4,8,16} on the lock-free split-pool path, plus the
+# legacy global-read-lock worker body measured honestly in the same run,
+# into BENCH_runtime.json. Needs no criterion, so it runs the same with
+# or without --offline.
+#
+# Usage: scripts/bench_snapshot.sh [--offline] [--runtime] [output.json]
+#        (default output: BENCH_kernel.json, or BENCH_runtime.json
+#        with --runtime)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OFFLINE=0
-if [[ "${1:-}" == "--offline" ]]; then
-  OFFLINE=1
+RUNTIME=0
+while [[ "${1:-}" == --* ]]; do
+  case "$1" in
+    --offline) OFFLINE=1 ;;
+    --runtime) RUNTIME=1 ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
   shift
+done
+
+if [[ "$RUNTIME" == 1 ]]; then
+  OUT="${1:-BENCH_runtime.json}"
+  echo "==> runtime contention sweep (workers 1/2/4/8/16, lock-free vs locked)"
+  cargo run --release -q -p fi-bench --bin runtime_contention > "$OUT"
+  echo "wrote ${OUT}"
+  exit 0
 fi
+
 OUT="${1:-BENCH_kernel.json}"
 
 if [[ "$OFFLINE" == 1 ]]; then

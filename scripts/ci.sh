@@ -24,6 +24,17 @@ for _ in 1 2 3; do
   cargo test -q --test runtime_serving "${PROFILE_FLAGS[@]}" repeated_seed
 done
 
+echo "==> fi-kvcache allocator stress gate (forced 8/16-thread reconciliation)"
+cargo test -q -p fi-kvcache --test sharded_alloc "${PROFILE_FLAGS[@]}"
+
+echo "==> no global KV pool lock outside crates/kvcache"
+if grep -rn 'RwLock<PagedKvCache' --include='*.rs' crates src examples tests \
+    | grep -v '^crates/kvcache/'; then
+  echo "error: RwLock<PagedKvCache> found outside crates/kvcache — the" >&2
+  echo "runtime hot path must stay lock-free (DESIGN.md §10)" >&2
+  exit 1
+fi
+
 echo "==> fi-dist gate (forced parallelism + repeated tp=4 bit-exactness smoke)"
 cargo test -q -p fi-dist "${PROFILE_FLAGS[@]}" -- --test-threads=8
 for _ in 1 2 3; do
