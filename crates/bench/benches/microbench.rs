@@ -117,6 +117,84 @@ fn bench_flash_kernel(c: &mut Criterion) {
     g.finish();
 }
 
+/// Decode at each KV storage dtype: the f32 arena stages by copy, f16
+/// and fp8 arenas widen on stage (fp8 with per-KV-head dequantization
+/// scales). Same shapes as `flash_kernel_decode`; keys are
+/// `<dtype>_<kv_len>` so `scripts/bench_snapshot.sh` can collect them.
+fn bench_flash_kernel_dtype(c: &mut Criterion) {
+    use fi_tensor::{F16, F8E4M3};
+    let mut g = c.benchmark_group("flash_kernel_dtype");
+    let heads = HeadConfig::new(8, 2, 64).unwrap();
+    let kern = FlashKernel {
+        tile: TileConfig { tq: 1, tkv: 64 },
+        head_fusion: true,
+    };
+    let variant = VanillaAttention { causal: true };
+    let params = VariantParams::for_head_dim(64);
+    for kv in [256usize, 1024, 4096] {
+        let mut q = RaggedTensor::<f32>::from_seq_lens(&[1], heads.qo_width());
+        for (i, x) in q.as_tensor_mut().as_mut_slice().iter_mut().enumerate() {
+            *x = (i as f32 * 0.01).sin();
+        }
+        let k = Tensor::<f32>::from_fn(vec![kv, heads.kv_width()], |i| (i as f32 * 0.001).cos());
+        let v = Tensor::<f32>::from_fn(vec![kv, heads.kv_width()], |i| (i as f32 * 0.002).sin());
+        let layout = BlockSparseMatrix::new(
+            1,
+            kv,
+            16,
+            vec![(
+                0,
+                1,
+                (0..kv / 16)
+                    .map(|b| BlockEntry {
+                        col_block: b,
+                        len: 16,
+                    })
+                    .collect(),
+            )],
+        )
+        .unwrap();
+        g.throughput(Throughput::Elements(
+            (kv * heads.num_qo_heads * heads.head_dim) as u64,
+        ));
+
+        let p32 = AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[kv]).unwrap();
+        g.bench_function(BenchmarkId::from_parameter(format!("f32_{kv}")), |b| {
+            b.iter(|| std::hint::black_box(kern.run(&p32, &variant, &params).unwrap()))
+        });
+
+        let k16 = Tensor::<F16>::from_fn(vec![kv, heads.kv_width()], |i| {
+            F16::from_f32(k.as_slice()[i])
+        });
+        let v16 = Tensor::<F16>::from_fn(vec![kv, heads.kv_width()], |i| {
+            F16::from_f32(v.as_slice()[i])
+        });
+        let p16 = AttentionProblem::standard_batch(&q, &k16, &v16, &layout, heads, &[kv]).unwrap();
+        g.bench_function(BenchmarkId::from_parameter(format!("f16_{kv}")), |b| {
+            b.iter(|| std::hint::black_box(kern.run(&p16, &variant, &params).unwrap()))
+        });
+
+        let scale = 0.5f32;
+        let k8 = Tensor::<F8E4M3>::from_fn(vec![kv, heads.kv_width()], |i| {
+            F8E4M3::from_f32(k.as_slice()[i] / scale)
+        });
+        let v8 = Tensor::<F8E4M3>::from_fn(vec![kv, heads.kv_width()], |i| {
+            F8E4M3::from_f32(v.as_slice()[i] / scale)
+        });
+        let p8 = AttentionProblem::standard_batch(&q, &k8, &v8, &layout, heads, &[kv])
+            .unwrap()
+            .with_kv_dequant(
+                vec![scale; heads.num_kv_heads],
+                vec![scale; heads.num_kv_heads],
+            )
+            .unwrap();
+        g.bench_function(BenchmarkId::from_parameter(format!("f8e4m3_{kv}")), |b| {
+            b.iter(|| std::hint::black_box(kern.run(&p8, &variant, &params).unwrap()))
+        });
+    }
+    g.finish();
+}
+
 /// Isolates the scratch arena's contribution on the standard decode shape
 /// (8:2 heads, d=64, 1024 KV): `fresh_scratch_per_call` pays the seed's
 /// per-call allocation pattern, `reused_scratch` is the engine's steady
@@ -274,6 +352,7 @@ criterion_group!(
     bench_state_merge,
     bench_plan,
     bench_flash_kernel,
+    bench_flash_kernel_dtype,
     bench_flash_kernel_scratch,
     bench_variant_dispatch,
     bench_paged_append,

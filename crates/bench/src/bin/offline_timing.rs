@@ -1,7 +1,17 @@
 //! Registry-free fallback for `scripts/bench_snapshot.sh --offline`:
-//! times the same `flash_kernel_decode` and `flash_kernel_scratch`
-//! shapes as `benches/microbench.rs` with `std::time::Instant` and
-//! prints the `BENCH_kernel.json` snapshot to stdout.
+//! times the same `flash_kernel_decode` / `flash_kernel_scratch` /
+//! `flash_kernel_dtype` shapes as `benches/microbench.rs` with
+//! `std::time::Instant` and prints the `BENCH_kernel.json` snapshot to
+//! stdout.
+//!
+//! Extra provenance this binary records (and `--simd-info` emits alone,
+//! for the criterion path to merge):
+//! - the detected CPU feature set and the dispatch arm the run used;
+//! - per-KV-length speedup of the dispatched SIMD microkernels over the
+//!   portable scalar path, measured by re-timing the decode shapes with
+//!   the dispatcher forced to scalar in the same process;
+//! - staged KV bytes per decode call for each storage dtype, plus
+//!   end-to-end runtime tokens/s per dtype on a prompt-heavy workload.
 //!
 //! Methodology: warm up, then repeat timed batches and keep the *best*
 //! batch mean — the minimum is the standard low-noise estimator for a
@@ -17,8 +27,10 @@ use fi_core::kernel::{AttentionProblem, FlashKernel};
 use fi_core::scratch::KernelScratch;
 use fi_core::tiles::TileConfig;
 use fi_core::variant::{VanillaAttention, VariantParams};
+use fi_runtime::{KvPrecision, Runtime, RuntimeConfig, RuntimeRequest};
+use fi_serving::engine::{EngineConfig, PreemptionPolicy};
 use fi_sparse::bsr::{BlockEntry, BlockSparseMatrix};
-use fi_tensor::{RaggedTensor, Tensor};
+use fi_tensor::{KvDtype, RaggedTensor, Scalar, Tensor, F16, F8E4M3};
 
 /// Best-batch-mean ns/iter of `f`, auto-scaling the batch size so one
 /// batch runs ≥ ~5 ms.
@@ -85,7 +97,102 @@ fn decode_fixture(
     (q, k, v, layout, heads)
 }
 
+/// Narrow an f32 pool tensor to storage dtype `T`, storing `x / scale`
+/// (the runtime's `write_slot_narrowed` convention).
+fn narrowed<T: Scalar>(src: &Tensor<f32>, scale: f32) -> Tensor<T> {
+    let data = src.as_slice();
+    Tensor::<T>::from_fn(src.shape().to_vec(), |i| T::from_f32(data[i] / scale))
+}
+
+/// Time one decode call per storage dtype at this KV length. Returns
+/// `(dtype name, ns/iter, staged KV bytes per call)`.
+fn time_dtypes(kern: &FlashKernel, kv: usize) -> Vec<(&'static str, f64, usize)> {
+    let variant = VanillaAttention { causal: true };
+    let params = VariantParams::for_head_dim(64);
+    let (q, k, v, layout, heads) = decode_fixture(kv);
+    let num_kv_heads = heads.num_kv_heads;
+    let mut out = Vec::new();
+
+    let p32 = AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[kv]).unwrap();
+    out.push((
+        "f32",
+        time_ns(|| kern.run(&p32, &variant, &params).unwrap()),
+        2 * kv * heads.kv_width() * KvDtype::F32.size_bytes(),
+    ));
+
+    let (k16, v16) = (narrowed::<F16>(&k, 1.0), narrowed::<F16>(&v, 1.0));
+    let p16 = AttentionProblem::standard_batch(&q, &k16, &v16, &layout, heads, &[kv]).unwrap();
+    out.push((
+        "f16",
+        time_ns(|| kern.run(&p16, &variant, &params).unwrap()),
+        2 * kv * heads.kv_width() * KvDtype::F16.size_bytes(),
+    ));
+
+    let fp8_scale = 0.5f32;
+    let (k8, v8) = (
+        narrowed::<F8E4M3>(&k, fp8_scale),
+        narrowed::<F8E4M3>(&v, fp8_scale),
+    );
+    let p8 = AttentionProblem::standard_batch(&q, &k8, &v8, &layout, heads, &[kv])
+        .unwrap()
+        .with_kv_dequant(vec![fp8_scale; num_kv_heads], vec![fp8_scale; num_kv_heads])
+        .unwrap();
+    out.push((
+        "f8e4m3",
+        time_ns(|| kern.run(&p8, &variant, &params).unwrap()),
+        2 * kv * heads.kv_width() * KvDtype::Fp8E4M3.size_bytes(),
+    ));
+    out
+}
+
+/// End-to-end serving tokens/s at one KV storage precision: a small
+/// prompt-heavy workload through the real runtime, so staging cost and
+/// arena footprint both participate.
+fn runtime_tokens_per_s(precision: KvPrecision) -> f64 {
+    let cfg = RuntimeConfig {
+        engine: EngineConfig {
+            kv_capacity_tokens: 8192,
+            max_batch: 8,
+            prefix_caching: false,
+            chunked_prefill_budget: Some(128),
+            optimistic_admission: true,
+            preemption: PreemptionPolicy::Recompute,
+        },
+        queue_capacity: 16,
+        num_workers: 1,
+        tensor_parallel: 1,
+        num_ctas: 8,
+        heads: HeadConfig::new(8, 2, 64).unwrap(),
+        tile: TileConfig { tq: 1, tkv: 64 },
+        page_size: 16,
+        num_pages: 512,
+    };
+    let rt = Runtime::start_with(cfg, precision).unwrap();
+    let handles: Vec<_> = (0..4)
+        .map(|i| rt.submit(RuntimeRequest::new(1024, 16, 0xB00 + i)))
+        .collect();
+    for h in handles {
+        h.wait().completed().expect("bench workload completes");
+    }
+    let m = rt.finish();
+    m.serving.tokens_generated as f64 / m.serving.duration.max(1e-9)
+}
+
+fn simd_info_json() -> String {
+    format!(
+        "    \"cpu_features\": \"{}\",\n    \"dispatch_arm\": \"{}\"",
+        fi_tensor::simd::feature_summary(),
+        fi_tensor::simd::active_arm().name()
+    )
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--simd-info") {
+        // Provenance block alone, for the criterion collector to merge.
+        println!("{{\n{}\n}}", simd_info_json());
+        return;
+    }
+
     let kern = FlashKernel {
         tile: TileConfig { tq: 1, tkv: 64 },
         head_fusion: true,
@@ -93,13 +200,21 @@ fn main() {
     let variant = VanillaAttention { causal: true };
     let params = VariantParams::for_head_dim(64);
 
+    // Decode shapes, native dispatch, then the same shapes with the
+    // dispatcher forced to scalar — the pre-PR portable hot path.
     let mut decode = Vec::new();
+    let mut portable = Vec::new();
     for kv in [256usize, 1024, 4096] {
         let (q, k, v, layout, heads) = decode_fixture(kv);
         let problem = AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[kv]).unwrap();
         let ns = time_ns(|| kern.run(&problem, &variant, &params).unwrap());
         decode.push((kv, ns));
         eprintln!("flash_kernel_decode/{kv}: {ns:.1} ns/iter");
+        fi_tensor::simd::force_scalar(true);
+        let ns_scalar = time_ns(|| kern.run(&problem, &variant, &params).unwrap());
+        fi_tensor::simd::force_scalar(false);
+        portable.push((kv, ns_scalar));
+        eprintln!("flash_kernel_decode_portable/{kv}: {ns_scalar:.1} ns/iter");
     }
 
     let (q, k, v, layout, heads) = decode_fixture(1024);
@@ -119,10 +234,39 @@ fn main() {
     });
     eprintln!("flash_kernel_scratch/reused_scratch: {reused:.1} ns/iter");
 
-    let dec: Vec<String> = decode
-        .iter()
-        .map(|(kv, ns)| format!("      \"{kv}\": {ns:.1}"))
-        .collect();
+    // Storage-dtype sweep: decode at each KV length with the arena held
+    // at f32/f16/fp8, widen-on-stage (and dequantize for fp8) included.
+    let mut dtype_rows = Vec::new();
+    for kv in [256usize, 1024, 4096] {
+        for (name, ns, bytes) in time_dtypes(&kern, kv) {
+            eprintln!("flash_kernel_dtype/{name}_{kv}: {ns:.1} ns/iter ({bytes} staged bytes)");
+            dtype_rows.push((name, kv, ns, bytes));
+        }
+    }
+
+    let mut tps = Vec::new();
+    for (name, p) in [
+        ("f32", KvPrecision::of(KvDtype::F32)),
+        ("f16", KvPrecision::of(KvDtype::F16)),
+        (
+            "f8e4m3",
+            KvPrecision {
+                dtype: KvDtype::Fp8E4M3,
+                fp8_kv_scale: 0.5,
+            },
+        ),
+    ] {
+        let t = runtime_tokens_per_s(p);
+        eprintln!("runtime_tokens_per_s/{name}: {t:.1}");
+        tps.push((name, t));
+    }
+
+    let fmt_group = |rows: &[(usize, f64)]| -> String {
+        rows.iter()
+            .map(|(kv, ns)| format!("      \"{kv}\": {ns:.1}"))
+            .collect::<Vec<_>>()
+            .join(",\n")
+    };
     println!("{{");
     println!("  \"unit\": \"ns_per_iter_mean\",");
     println!(
@@ -130,16 +274,49 @@ fn main() {
     );
     println!("  \"groups\": {{");
     println!("    \"flash_kernel_decode\": {{");
-    println!("{}", dec.join(",\n"));
+    println!("{}", fmt_group(&decode));
+    println!("    }},");
+    println!("    \"flash_kernel_decode_portable\": {{");
+    println!("{}", fmt_group(&portable));
     println!("    }},");
     println!("    \"flash_kernel_scratch\": {{");
     println!("      \"fresh_scratch_per_call\": {fresh:.1},");
     println!("      \"reused_scratch\": {reused:.1}");
+    println!("    }},");
+    println!("    \"flash_kernel_dtype\": {{");
+    let dt: Vec<String> = dtype_rows
+        .iter()
+        .map(|(name, kv, ns, _)| format!("      \"{name}_{kv}\": {ns:.1}"))
+        .collect();
+    println!("{}", dt.join(",\n"));
     println!("    }}");
     println!("  }},");
-    println!(
-        "  \"scratch_speedup_fresh_over_reused\": {:.3}",
-        fresh / reused
-    );
+    println!("  \"simd\": {{");
+    println!("{},", simd_info_json());
+    let sp: Vec<String> = decode
+        .iter()
+        .zip(portable.iter())
+        .map(|((kv, ns), (_, slow))| format!("      \"{kv}\": {:.3}", slow / ns))
+        .collect();
+    println!("    \"simd_f32_speedup_vs_portable\": {{");
+    println!("{}", sp.join(",\n"));
+    println!("    }}");
+    println!("  }},");
+    println!("  \"staged_kv_bytes_per_decode_call\": {{");
+    let sb: Vec<String> = dtype_rows
+        .iter()
+        .map(|(name, kv, _, bytes)| format!("    \"{name}_{kv}\": {bytes}"))
+        .collect();
+    println!("{}", sb.join(",\n"));
+    println!("  }},");
+    println!("  \"runtime_tokens_per_s\": {{");
+    let tp: Vec<String> = tps
+        .iter()
+        .map(|(name, t)| format!("    \"{name}\": {t:.1}"))
+        .collect();
+    println!("{}", tp.join(",\n"));
+    println!("  }},");
+    // > 1.0 means reusing the scratch arena beats re-allocating it.
+    println!("  \"scratch_reuse_speedup\": {:.3}", fresh / reused);
     println!("}}");
 }

@@ -35,13 +35,56 @@ impl GatherStats {
     }
 }
 
-/// Widen a run of storage-precision elements into f32. For `T = f32` this
-/// compiles to a plain memcpy, so a contiguous slot run staged through it is
-/// one bulk copy (the software analog of a TMA transfer).
+/// Per-KV-head dequantization scales applied *during* staging: element
+/// `j` of a pool row belongs to head `j / head_dim` and is widened as
+/// `f32::from(elem) * k[head]` (resp. `v[head]`). Widening then
+/// multiplying is exactly what a post-stage per-head rescale pass would
+/// compute, so fusing the scale into the widen kernel changes no bits —
+/// it just avoids a second pass over the tile.
+#[derive(Debug, Clone, Copy)]
+pub struct DequantScales<'a> {
+    /// One scale per KV head for the K pool.
+    pub k: &'a [f32],
+    /// One scale per KV head for the V pool.
+    pub v: &'a [f32],
+    /// Elements per head within a pool row.
+    pub head_dim: usize,
+}
+
+/// Widen a run of storage-precision elements into f32 through the
+/// runtime-dispatched conversion kernels. For `T = f32` this compiles to
+/// a plain memcpy, so a contiguous slot run staged through it is one
+/// bulk copy (the software analog of a TMA transfer).
 #[inline]
 fn widen_into<T: Scalar>(dst: &mut [f32], src: &[T]) {
-    for (d, &s) in dst.iter_mut().zip(src) {
-        *d = s.to_f32();
+    T::widen_scaled_into(dst, src, 1.0);
+}
+
+/// Widen `rows` full-width rows, applying the per-head scale to each
+/// `head_dim`-wide slice (the fp8 dequantize-on-stage path). When every
+/// head shares one scale (per-tensor quantization, the common case) the
+/// whole run widens in a single bulk call — same bits, since each
+/// element sees the same `to_f32() * scale` either way, but without the
+/// per-head chunking overhead on the hot path.
+#[inline]
+fn widen_rows_scaled<T: Scalar>(
+    dst: &mut [f32],
+    src: &[T],
+    width: usize,
+    scales: &[f32],
+    head_dim: usize,
+) {
+    if let Some((&first, rest)) = scales.split_first() {
+        if rest.iter().all(|&s| s == first) {
+            T::widen_scaled_into(dst, src, first);
+            return;
+        }
+    }
+    for (drow, srow) in dst.chunks_exact_mut(width).zip(src.chunks_exact(width)) {
+        for (h, &s) in scales.iter().enumerate() {
+            let cols = h * head_dim..(h + 1) * head_dim;
+            T::widen_scaled_into(&mut drow[cols.clone()], &srow[cols], s);
+        }
     }
 }
 
@@ -126,10 +169,16 @@ impl Stager {
     /// scattered slots degrade to single-row copies (Figure 4 left vs
     /// right).
     ///
+    /// With `dequant` set, each staged element is additionally multiplied
+    /// by its KV head's scale during the widen — the fp8
+    /// dequantize-on-stage path of Appendix F. `None` keeps the unscaled
+    /// bulk-copy fast path.
+    ///
     /// # Panics
     ///
-    /// Panics if a slot is out of range or `width` is not the pools' row
-    /// width.
+    /// Panics if a slot is out of range, `width` is not the pools' row
+    /// width, or `dequant` scales don't tile the row width exactly.
+    #[allow(clippy::too_many_arguments)]
     pub fn stage_rows_into<T: Scalar>(
         &mut self,
         k_pool: &Tensor<T>,
@@ -138,9 +187,14 @@ impl Stager {
         width: usize,
         k_out: &mut Vec<f32>,
         v_out: &mut Vec<f32>,
+        dequant: Option<DequantScales<'_>>,
     ) {
         assert_eq!(k_pool.row_len(), width, "k pool width mismatch");
         assert_eq!(v_pool.row_len(), width, "v pool width mismatch");
+        if let Some(dq) = &dequant {
+            assert_eq!(dq.k.len() * dq.head_dim, width, "k dequant scale shape");
+            assert_eq!(dq.v.len() * dq.head_dim, width, "v dequant scale shape");
+        }
         let n = slots.len();
         k_out.clear();
         v_out.clear();
@@ -161,8 +215,28 @@ impl Stager {
                 contiguous += 1;
             }
             let src = slots[i] * width..(slots[i] + (j - i)) * width;
-            widen_into(&mut k_out[i * width..j * width], &ks[src.clone()]);
-            widen_into(&mut v_out[i * width..j * width], &vs[src]);
+            match &dequant {
+                None => {
+                    widen_into(&mut k_out[i * width..j * width], &ks[src.clone()]);
+                    widen_into(&mut v_out[i * width..j * width], &vs[src]);
+                }
+                Some(dq) => {
+                    widen_rows_scaled(
+                        &mut k_out[i * width..j * width],
+                        &ks[src.clone()],
+                        width,
+                        dq.k,
+                        dq.head_dim,
+                    );
+                    widen_rows_scaled(
+                        &mut v_out[i * width..j * width],
+                        &vs[src],
+                        width,
+                        dq.v,
+                        dq.head_dim,
+                    );
+                }
+            }
             i = j;
         }
         self.stats.rows += n;
@@ -249,14 +323,14 @@ mod tests {
         let (k, v) = pools();
         let mut s = Stager::new();
         let (mut bk, mut bv) = (Vec::new(), Vec::new());
-        s.stage_rows_into(&k, &v, &[3, 1], 4, &mut bk, &mut bv);
+        s.stage_rows_into(&k, &v, &[3, 1], 4, &mut bk, &mut bv, None);
         assert_eq!(bk, vec![12.0, 13.0, 14.0, 15.0, 4.0, 5.0, 6.0, 7.0]);
         assert_eq!(bv[0], -12.0);
         assert_eq!(s.stats().rows, 2);
         // Full-width rows counted once: 2 tensors * 2 rows * 4 cols * 4 B.
         assert_eq!(s.stats().global_bytes, 2 * 2 * 4 * 4);
         // Buffers are overwritten on reuse, never appended.
-        s.stage_rows_into(&k, &v, &[0], 4, &mut bk, &mut bv);
+        s.stage_rows_into(&k, &v, &[0], 4, &mut bk, &mut bv, None);
         assert_eq!(bk, vec![0.0, 1.0, 2.0, 3.0]);
         assert_eq!(bv.len(), 4);
     }
@@ -269,7 +343,7 @@ mod tests {
         let (k, v) = pools();
         let mut s = Stager::new();
         let (mut bk, mut bv) = (Vec::new(), Vec::new());
-        s.stage_rows_into(&k, &v, &[2, 3, 4, 5], 4, &mut bk, &mut bv);
+        s.stage_rows_into(&k, &v, &[2, 3, 4, 5], 4, &mut bk, &mut bv, None);
         assert_eq!(s.stats().contiguous_runs, 1);
         assert_eq!(s.stats().scattered_runs, 0);
         assert_eq!(bk, (8..24).map(|i| i as f32).collect::<Vec<_>>());
@@ -283,9 +357,43 @@ mod tests {
         let v16 = v32.cast::<F16>();
         let mut s = Stager::new();
         let (mut bk, mut bv) = (Vec::new(), Vec::new());
-        s.stage_rows_into(&k16, &v16, &[0, 1], 4, &mut bk, &mut bv);
+        s.stage_rows_into(&k16, &v16, &[0, 1], 4, &mut bk, &mut bv, None);
         assert_eq!(s.stats().global_bytes, 2 * 2 * 4 * 2);
         assert_eq!(bk[5], 5.0, "f16 rows widen exactly for small ints");
+    }
+
+    #[test]
+    fn dequant_staging_matches_widen_then_rescale_bitwise() {
+        use fi_tensor::F8E4M3;
+        // 2 KV heads of d=2 per row; per-head scales applied on stage.
+        let k8 = Tensor::<F8E4M3>::from_fn(vec![6, 4], |i| F8E4M3::from_f32(0.11 * i as f32));
+        let v8 = Tensor::<F8E4M3>::from_fn(vec![6, 4], |i| F8E4M3::from_f32(-0.07 * i as f32));
+        let k_scales = [1.5f32, 0.5];
+        let v_scales = [2.0f32, 0.25];
+        let dq = DequantScales {
+            k: &k_scales,
+            v: &v_scales,
+            head_dim: 2,
+        };
+        let mut s = Stager::new();
+        let (mut bk, mut bv) = (Vec::new(), Vec::new());
+        s.stage_rows_into(&k8, &v8, &[4, 1, 2], 4, &mut bk, &mut bv, Some(dq));
+        // Reference: widen first, then rescale per head — must be the
+        // same bits as the fused widen-with-scale.
+        let (mut rk, mut rv) = (Vec::new(), Vec::new());
+        let mut s2 = Stager::new();
+        s2.stage_rows_into(&k8, &v8, &[4, 1, 2], 4, &mut rk, &mut rv, None);
+        for row in 0..3 {
+            for col in 0..4 {
+                let h = col / 2;
+                rk[row * 4 + col] *= k_scales[h];
+                rv[row * 4 + col] *= v_scales[h];
+            }
+        }
+        assert_eq!(bk, rk);
+        assert_eq!(bv, rv);
+        // Byte accounting still reflects fp8 storage width.
+        assert_eq!(s.stats().global_bytes, 2 * 3 * 4);
     }
 
     #[test]

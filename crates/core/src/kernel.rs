@@ -34,7 +34,7 @@ use fi_tensor::{RaggedTensor, Scalar, Tensor};
 
 use crate::config::HeadConfig;
 use crate::error::AttentionError;
-use crate::gather::{GatherStats, Stager};
+use crate::gather::{DequantScales, GatherStats, Stager};
 use crate::scratch::KernelScratch;
 use crate::state::AttentionState;
 use crate::tiles::TileConfig;
@@ -77,6 +77,9 @@ pub struct AttentionProblem<'a, TQ, TKV> {
     heads: HeadConfig,
     row_meta: Vec<RowMeta>,
     kv_pos_offsets: Vec<usize>,
+    /// Per-KV-head `(k_scales, v_scales)` applied during staging — the
+    /// dequantize-on-stage path of the quantized KV modes (Appendix F).
+    kv_dequant: Option<(Vec<f32>, Vec<f32>)>,
 }
 
 impl<'a, TQ: Scalar, TKV: Scalar> AttentionProblem<'a, TQ, TKV> {
@@ -145,7 +148,37 @@ impl<'a, TQ: Scalar, TKV: Scalar> AttentionProblem<'a, TQ, TKV> {
             heads,
             row_meta,
             kv_pos_offsets,
+            kv_dequant: None,
         })
+    }
+
+    /// Attach per-KV-head dequantization scales, applied to K and V rows
+    /// *while they are staged* (fused into the widen kernel, so no extra
+    /// pass over the tile). Staging element `e` of head `h` yields
+    /// `f32::from(e) * scales[h]` — arithmetically identical to widening
+    /// first and rescaling after, which is what the `DequantScale`
+    /// variant wrapper in `fi_core::quant` computes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AttentionError::InvalidProblem`] when either scale
+    /// vector's length differs from the head config's KV head count.
+    pub fn with_kv_dequant(
+        mut self,
+        k_scales: Vec<f32>,
+        v_scales: Vec<f32>,
+    ) -> Result<Self, AttentionError> {
+        for (name, s) in [("k", &k_scales), ("v", &v_scales)] {
+            if s.len() != self.heads.num_kv_heads {
+                return Err(AttentionError::InvalidProblem(format!(
+                    "{name} dequant scales length {} != num_kv_heads {}",
+                    s.len(),
+                    self.heads.num_kv_heads
+                )));
+            }
+        }
+        self.kv_dequant = Some((k_scales, v_scales));
+        Ok(self)
     }
 
     /// Convenience constructor for the common single-format batch: request
@@ -623,6 +656,11 @@ impl FlashKernel {
                 kw,
                 &mut scratch.k_tile,
                 &mut scratch.v_tile,
+                problem.kv_dequant.as_ref().map(|(ks, vs)| DequantScales {
+                    k: ks,
+                    v: vs,
+                    head_dim: d,
+                }),
             );
             // Key/value transforms once per (slot, kv_head) — never repeated
             // across the query heads of a group.
@@ -681,37 +719,27 @@ impl FlashKernel {
                         if new_m == f32::NEG_INFINITY {
                             continue; // fully masked chunk
                         }
-                        // Rescale of the old accumulator is fused into the
-                        // first accumulate below (bit-identical to a
-                        // separate scale pass; new_m finite guarantees at
-                        // least one unmasked position consumes it).
+                        // The fused exp/rescale/accumulate pass: the old
+                        // accumulator's rescale folds into its first touch
+                        // (bit-identical to a separate scale pass; new_m
+                        // finite guarantees at least one unmasked position
+                        // consumes it).
                         let rescale = if scratch.m[si] == f32::NEG_INFINITY {
                             0.0
                         } else {
                             (scratch.m[si] - new_m).exp()
                         };
-                        scratch.l[si] *= rescale;
                         scratch.m[si] = new_m;
-                        let mut pending_rescale = Some(rescale);
-                        for (j, &t) in scratch.logits.iter().enumerate() {
-                            if t == f32::NEG_INFINITY {
-                                continue;
-                            }
-                            let p = (t - new_m).exp();
-                            scratch.l[si] += p;
-                            let vv = &scratch.v_tile[j * kw + kv_head * d..][..d];
-                            let a = &mut scratch.acc[si * d..(si + 1) * d];
-                            match pending_rescale.take() {
-                                Some(s) => fi_tensor::numerics::scale_add(s, p, vv, a),
-                                None => fi_tensor::numerics::axpy(p, vv, a),
-                            }
-                        }
-                        if let Some(s) = pending_rescale {
-                            // Every position masked after the max update
-                            // cannot happen (new_m finite), but keep the
-                            // accumulator consistent regardless.
-                            fi_tensor::numerics::scale(&mut scratch.acc[si * d..(si + 1) * d], s);
-                        }
+                        scratch.l[si] = fi_tensor::numerics::exp_scale_accumulate(
+                            &scratch.logits,
+                            new_m,
+                            rescale,
+                            scratch.l[si],
+                            &scratch.v_tile,
+                            kw,
+                            kv_head * d,
+                            &mut scratch.acc[si * d..(si + 1) * d],
+                        );
                     } else {
                         for (j, &w) in scratch.logits.iter().enumerate() {
                             if w == f32::NEG_INFINITY || w == 0.0 {

@@ -285,6 +285,86 @@ mod tests {
     }
 
     #[test]
+    fn stage_dequant_bit_identical_to_variant_wrapper() {
+        // The fused dequantize-on-stage path (AttentionProblem::
+        // with_kv_dequant) must produce the exact bits of the
+        // DequantScale variant wrapper: both compute
+        // widen(e) * scales[h] per element, one during staging, one in
+        // the key/value transforms.
+        let heads = HeadConfig::new(4, 2, 8).unwrap();
+        let params = VariantParams::for_head_dim(8);
+        let l_kv = 32usize;
+        let mut q = RaggedTensor::<f32>::from_seq_lens(&[3], heads.qo_width());
+        for (i, x) in q.as_tensor_mut().as_mut_slice().iter_mut().enumerate() {
+            *x = mix(i, 7);
+        }
+        let k = Tensor::<f32>::from_fn(vec![l_kv, heads.kv_width()], |i| mix(i, 8) * 30.0);
+        let v = Tensor::<f32>::from_fn(vec![l_kv, heads.kv_width()], |i| mix(i, 9) * 1.5);
+        let layout = BlockSparseMatrix::new(
+            3,
+            l_kv,
+            8,
+            vec![(
+                0,
+                3,
+                (0..4)
+                    .map(|c| BlockEntry {
+                        col_block: c,
+                        len: 8,
+                    })
+                    .collect(),
+            )],
+        )
+        .unwrap();
+        let kern = FlashKernel {
+            tile: TileConfig { tq: 2, tkv: 8 },
+            head_fusion: true,
+        };
+        let inner = VanillaAttention { causal: true };
+        let quant = quantize_kv(&k, &v, heads.num_kv_heads, heads.head_dim).unwrap();
+
+        let wrapper = DequantScale::new(inner, &quant);
+        let p_wrap =
+            AttentionProblem::standard_batch(&q, &quant.k, &quant.v, &layout, heads, &[l_kv])
+                .unwrap();
+        let out_wrap = kern.run(&p_wrap, &wrapper, &params).unwrap();
+
+        let p_stage =
+            AttentionProblem::standard_batch(&q, &quant.k, &quant.v, &layout, heads, &[l_kv])
+                .unwrap()
+                .with_kv_dequant(quant.k_scales.clone(), quant.v_scales.clone())
+                .unwrap();
+        let out_stage = kern.run(&p_stage, &inner, &params).unwrap();
+
+        assert_eq!(out_wrap.o.seq(0), out_stage.o.seq(0), "outputs");
+        assert_eq!(out_wrap.lse, out_stage.lse, "lse");
+    }
+
+    #[test]
+    fn dequant_scale_length_validated() {
+        let heads = HeadConfig::new(2, 2, 4).unwrap();
+        let q = RaggedTensor::<f32>::from_seq_lens(&[1], heads.qo_width());
+        let k = Tensor::<F8E4M3>::zeros(vec![8, heads.kv_width()]);
+        let v = k.clone();
+        let layout = BlockSparseMatrix::new(
+            1,
+            8,
+            8,
+            vec![(
+                0,
+                1,
+                vec![BlockEntry {
+                    col_block: 0,
+                    len: 8,
+                }],
+            )],
+        )
+        .unwrap();
+        let p = AttentionProblem::standard_batch(&q, &k, &v, &layout, heads, &[8]).unwrap();
+        assert!(p.with_kv_dequant(vec![1.0], vec![1.0, 1.0]).is_err());
+    }
+
+    #[test]
     fn shape_validation() {
         let k = Tensor::<f32>::zeros(vec![4, 8]);
         let v = Tensor::<f32>::zeros(vec![4, 6]);

@@ -128,6 +128,19 @@ impl<T: Scalar> PagedKvCache<T> {
         self.writer.store()
     }
 
+    /// The arena's element dtype (what the reduced-precision KV modes
+    /// actually store).
+    pub fn storage_dtype(&self) -> fi_tensor::DType {
+        T::DTYPE
+    }
+
+    /// Bytes of arena storage per cached token (one K row + one V row at
+    /// storage precision) — the quantity the f16/fp8 KV modes halve or
+    /// quarter relative to f32.
+    pub fn bytes_per_token(&self) -> usize {
+        2 * self.cfg.row_width() * T::DTYPE.size_bytes()
+    }
+
     /// Register a new, empty request.
     ///
     /// # Errors
@@ -354,6 +367,21 @@ mod tests {
 
     fn row(tag: f32, w: usize) -> Vec<f32> {
         vec![tag; w]
+    }
+
+    #[test]
+    fn bytes_per_token_scales_with_storage_dtype() {
+        use fi_tensor::{DType, F16, F8E4M3};
+        let c32 = PagedKvCache::<f32>::new(cfg()).unwrap();
+        let c16 = PagedKvCache::<F16>::new(cfg()).unwrap();
+        let c8 = PagedKvCache::<F8E4M3>::new(cfg()).unwrap();
+        assert_eq!(c32.storage_dtype(), DType::F32);
+        assert_eq!(c16.storage_dtype(), DType::F16);
+        assert_eq!(c8.storage_dtype(), DType::F8E4M3);
+        // 2 pools * width 6 * element bytes.
+        assert_eq!(c32.bytes_per_token(), 48);
+        assert_eq!(c16.bytes_per_token(), 24);
+        assert_eq!(c8.bytes_per_token(), 12);
     }
 
     #[test]

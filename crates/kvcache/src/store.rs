@@ -209,6 +209,45 @@ impl<T: Scalar> KvStoreWriter<T> {
         self.v_mut().row_mut(slot).copy_from_slice(v_row);
     }
 
+    /// Write one slot from full-precision f32 rows, narrowing each
+    /// element to the arena dtype with a per-KV-head quantization scale:
+    /// stored value = `T::from_f32(x / scales[head])`. The kernel's
+    /// dequantize-on-stage path multiplies the widened value back by
+    /// `scales[head]`. A scale of exactly 1.0 skips the division, so the
+    /// f32 arena round-trips bits untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row lengths differ from the arena width or the scales
+    /// don't tile the width exactly.
+    pub fn write_slot_narrowed(
+        &mut self,
+        slot: usize,
+        k_row: &[f32],
+        v_row: &[f32],
+        k_scales: &[f32],
+        v_scales: &[f32],
+    ) {
+        let w = self.store.row_width;
+        assert_eq!(k_row.len(), w, "k row width mismatch");
+        assert_eq!(v_row.len(), w, "v row width mismatch");
+        assert_eq!(w % k_scales.len(), 0, "k scales must tile the row");
+        assert_eq!(w % v_scales.len(), 0, "v scales must tile the row");
+        let narrow = |dst: &mut [T], src: &[f32], scales: &[f32]| {
+            let head_dim = dst.len() / scales.len();
+            for (e, (d, &x)) in dst.iter_mut().zip(src).enumerate() {
+                let s = scales[e / head_dim];
+                *d = if s == 1.0 {
+                    T::from_f32(x)
+                } else {
+                    T::from_f32(x / s)
+                };
+            }
+        };
+        narrow(self.k_mut().row_mut(slot), k_row, k_scales);
+        narrow(self.v_mut().row_mut(slot), v_row, v_scales);
+    }
+
     /// Write `n` consecutive slots starting at `start_slot` from flat
     /// `[n, row_width]` buffers — the one-memcpy-per-page swap-in path.
     ///
@@ -267,6 +306,45 @@ mod tests {
         assert_eq!(store.k_slot(5), &[1.0, 2.0, 3.0]);
         assert_eq!(store.v_slot(5), &[4.0, 5.0, 6.0]);
         assert_eq!(store.k_pool().row(5), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn narrowed_writes_round_trip_at_storage_precision() {
+        use fi_tensor::{F16, F8E4M3};
+        // f32 arena with unit scales: bits untouched.
+        let (store, mut w) = KvStore::<f32>::with_writer(2, 2, 4);
+        let k = [0.1f32, -2.5, 3.75, 0.0];
+        let v = [1.5f32, 0.25, -0.125, 7.0];
+        w.write_slot_narrowed(0, &k, &v, &[1.0, 1.0], &[1.0, 1.0]);
+        assert_eq!(store.k_slot(0), &k);
+        assert_eq!(store.v_slot(0), &v);
+
+        // f16 arena: stored value is from_f32(x), idempotent when the
+        // widened value is written back (grid points re-narrow to
+        // themselves).
+        let (store, mut w) = KvStore::<F16>::with_writer(2, 2, 4);
+        w.write_slot_narrowed(0, &k, &v, &[1.0, 1.0], &[1.0, 1.0]);
+        let widened: Vec<f32> = store.k_slot(0).iter().map(|x| x.to_f32()).collect();
+        w.write_slot_narrowed(1, &widened, &widened, &[1.0, 1.0], &[1.0, 1.0]);
+        assert_eq!(store.k_slot(0), store.k_slot(1), "f16 re-narrow stable");
+
+        // fp8 arena with per-head scales: stored = from_f32(x / s[h]),
+        // and the widen-plus-rescale round-trip is idempotent too.
+        let (store, mut w) = KvStore::<F8E4M3>::with_writer(2, 2, 4);
+        let scales = [0.5f32, 2.0];
+        w.write_slot_narrowed(0, &k, &v, &scales, &scales);
+        for (i, q) in store.k_slot(0).iter().enumerate() {
+            let expect = F8E4M3::from_f32(k[i] / scales[i / 2]);
+            assert_eq!(q.0, expect.0, "col {i}");
+        }
+        let rescaled: Vec<f32> = store
+            .k_slot(0)
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x.to_f32() * scales[i / 2])
+            .collect();
+        w.write_slot_narrowed(1, &rescaled, &rescaled, &scales, &scales);
+        assert_eq!(store.k_slot(0), store.k_slot(1), "fp8 re-narrow stable");
     }
 
     #[test]

@@ -56,4 +56,4 @@ pub use request::{
     kv_row, q_row, CancelReason, CompletedRequest, RejectReason, RequestHandle, RequestOutcome,
     RuntimeRequest,
 };
-pub use scheduler::{Runtime, RuntimeConfig, RuntimeError};
+pub use scheduler::{KvPrecision, Runtime, RuntimeConfig, RuntimeError};

@@ -39,6 +39,9 @@ pub struct RuntimeMetrics {
     pub kv_pages_free_at_drain: usize,
     /// Tensor-parallel degree the run executed at (1 = unsharded).
     pub tensor_parallel: usize,
+    /// Storage dtype of the KV arena the run executed with ("f32",
+    /// "f16", or "f8e4m3"); empty only on a default-constructed report.
+    pub kv_dtype: String,
     /// Collective calls and bytes moved by the workers' tensor-parallel
     /// groups, summed over workers. All-zero at `tensor_parallel == 1`
     /// (the unsharded path issues no collectives).

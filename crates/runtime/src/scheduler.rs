@@ -27,6 +27,7 @@ use fi_kvcache::KvCacheError;
 use fi_serving::engine::{EngineConfig, PreemptionPolicy};
 use fi_serving::policy::{self, AdmissionCost, AdmissionVerdict};
 use fi_serving::workload::RequestSpec;
+use fi_tensor::KvDtype;
 
 use crate::metrics::RuntimeMetrics;
 use crate::pool::{KvBackend, SingleKv};
@@ -121,6 +122,45 @@ impl RuntimeConfig {
     }
 }
 
+/// Storage precision of the runtime's KV arena, orthogonal to
+/// [`RuntimeConfig`] (companion options passed to [`Runtime::start_with`]
+/// so the config struct's literal surface stays stable).
+///
+/// `F32` is the exact mode: rows round-trip bit-identically and kernel
+/// outputs match the sequential oracle exactly. `F16` halves stored and
+/// staged KV bytes (widened on stage); `Fp8E4M3` quarters them, dividing
+/// by `fp8_kv_scale` per element on write and multiplying it back during
+/// staging.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KvPrecision {
+    /// Element type KV rows are stored at in the arena.
+    pub dtype: KvDtype,
+    /// Per-head dequantization scale used by the `Fp8E4M3` mode (ignored
+    /// otherwise). Values are stored as `x / scale` and dequantized as
+    /// `x * scale` on stage, so it should roughly match the magnitude of
+    /// the KV activations; must be finite and positive.
+    pub fp8_kv_scale: f32,
+}
+
+impl Default for KvPrecision {
+    fn default() -> KvPrecision {
+        KvPrecision {
+            dtype: KvDtype::F32,
+            fp8_kv_scale: 1.0,
+        }
+    }
+}
+
+impl KvPrecision {
+    /// Shorthand for a given dtype with the default fp8 scale.
+    pub fn of(dtype: KvDtype) -> KvPrecision {
+        KvPrecision {
+            dtype,
+            ..KvPrecision::default()
+        }
+    }
+}
+
 /// Runtime construction / configuration errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RuntimeError {
@@ -175,17 +215,49 @@ pub struct Runtime {
 }
 
 impl Runtime {
-    /// Spawn the scheduler and worker threads.
+    /// Spawn the scheduler and worker threads with full-precision (f32)
+    /// KV storage.
     pub fn start(cfg: RuntimeConfig) -> Result<Runtime, RuntimeError> {
+        Runtime::start_with(cfg, KvPrecision::default())
+    }
+
+    /// Spawn the scheduler and worker threads with the given KV storage
+    /// precision. Reduced-precision arenas require `tensor_parallel == 1`
+    /// (the sharded pool stores f32).
+    pub fn start_with(cfg: RuntimeConfig, precision: KvPrecision) -> Result<Runtime, RuntimeError> {
         cfg.validate()?;
+        if cfg.tensor_parallel > 1 && precision.dtype != KvDtype::F32 {
+            return Err(RuntimeError::InvalidConfig(
+                "reduced-precision KV requires tensor_parallel == 1".into(),
+            ));
+        }
+        if precision.dtype == KvDtype::Fp8E4M3
+            && !(precision.fp8_kv_scale.is_finite() && precision.fp8_kv_scale > 0.0)
+        {
+            return Err(RuntimeError::InvalidConfig(
+                "fp8_kv_scale must be finite and positive".into(),
+            ));
+        }
         let pool = if cfg.tensor_parallel == 1 {
             // The single-shard code path: the split kvcache layers, owned
             // by the scheduler thread — no lock anywhere.
-            KvBackend::Single(SingleKv::new(
+            let (ps, np, w, d) = (
                 cfg.page_size,
                 cfg.num_pages,
                 cfg.heads.kv_width(),
-            ))
+                cfg.heads.head_dim,
+            );
+            let unit = vec![1.0f32; cfg.heads.num_kv_heads];
+            match precision.dtype {
+                KvDtype::F32 => KvBackend::Single(SingleKv::new(ps, np, w, d, unit.clone(), unit)),
+                KvDtype::F16 => {
+                    KvBackend::SingleF16(SingleKv::new(ps, np, w, d, unit.clone(), unit))
+                }
+                KvDtype::Fp8E4M3 => {
+                    let s = vec![precision.fp8_kv_scale; cfg.heads.num_kv_heads];
+                    KvBackend::SingleFp8(SingleKv::new(ps, np, w, d, s.clone(), s))
+                }
+            }
         } else {
             let pool =
                 ShardedKvPool::new(cfg.heads, cfg.tensor_parallel, cfg.page_size, cfg.num_pages)
@@ -386,6 +458,7 @@ impl Scheduler {
         }
         self.metrics.serving.duration = start.elapsed().as_secs_f64();
         self.metrics.tensor_parallel = self.cfg.tensor_parallel;
+        self.metrics.kv_dtype = self.pool.kv_dtype().to_string();
         self.metrics.kv_pages_total = self.cfg.num_pages;
         // Return cached pages to the shards so drain-time accounting sees
         // the allocator's true free count.
@@ -405,19 +478,22 @@ impl Scheduler {
             let (unit_tx, unit_rx) = mpsc::channel();
             let res_tx = res_tx.clone();
             let handle = match &self.pool {
-                KvBackend::Single(_) => {
-                    let store = self.pool.store().expect("single backend has a store");
-                    std::thread::Builder::new()
-                        .name(format!("fi-runtime-worker-{w}"))
-                        .spawn(move || worker_loop(wcfg, store, unit_rx, res_tx))
-                        .expect("spawn worker")
-                }
                 KvBackend::Sharded(p) => {
                     let pool = Arc::clone(p);
                     std::thread::Builder::new()
                         .name(format!("fi-runtime-tp-worker-{w}"))
                         .spawn(move || sharded_worker_loop(wcfg, pool, unit_rx, res_tx))
                         .expect("spawn tp worker")
+                }
+                _ => {
+                    let store = self
+                        .pool
+                        .store_handle()
+                        .expect("single backend has a store");
+                    std::thread::Builder::new()
+                        .name(format!("fi-runtime-worker-{w}"))
+                        .spawn(move || worker_loop(wcfg, store, unit_rx, res_tx))
+                        .expect("spawn worker")
                 }
             };
             self.worker_tx.push(unit_tx);
@@ -1099,6 +1175,59 @@ mod tests {
             Ok(_) => panic!("1 KV head cannot shard 2 ways"),
         };
         assert!(err.to_string().contains("KV head"), "{err}");
+    }
+
+    #[test]
+    fn reduced_precision_kv_serves_requests() {
+        for (precision, dtype_name) in [
+            (KvPrecision::of(KvDtype::F16), "f16"),
+            (
+                KvPrecision {
+                    dtype: KvDtype::Fp8E4M3,
+                    fp8_kv_scale: 0.5,
+                },
+                "f8e4m3",
+            ),
+        ] {
+            let rt = Runtime::start_with(tiny_cfg(), precision).unwrap();
+            let h = rt.submit(RuntimeRequest::new(12, 5, 7));
+            let out = h.wait().completed().expect("completes");
+            assert_eq!(out.outputs.len(), 5);
+            let m = rt.finish();
+            assert_eq!(m.completed(), 1);
+            assert!(m.reconciles());
+            assert!(m.kv_pool_drained());
+            assert_eq!(m.kv_dtype, dtype_name);
+        }
+    }
+
+    #[test]
+    fn full_precision_reports_f32_dtype() {
+        let rt = Runtime::start(tiny_cfg()).unwrap();
+        let h = rt.submit(RuntimeRequest::new(4, 2, 3));
+        h.wait().completed().expect("completes");
+        assert_eq!(rt.finish().kv_dtype, "f32");
+    }
+
+    #[test]
+    fn reduced_precision_rejected_under_tensor_parallel() {
+        let cfg = RuntimeConfig {
+            tensor_parallel: 2,
+            heads: HeadConfig::new(4, 2, 16).unwrap(),
+            ..RuntimeConfig::default()
+        };
+        assert!(Runtime::start_with(cfg, KvPrecision::of(KvDtype::F16)).is_err());
+    }
+
+    #[test]
+    fn fp8_scale_must_be_finite_and_positive() {
+        for bad in [0.0, -1.0, f32::NAN, f32::INFINITY] {
+            let p = KvPrecision {
+                dtype: KvDtype::Fp8E4M3,
+                fp8_kv_scale: bad,
+            };
+            assert!(Runtime::start_with(tiny_cfg(), p).is_err(), "scale {bad}");
+        }
     }
 
     #[test]

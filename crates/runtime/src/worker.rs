@@ -28,7 +28,9 @@ use fi_kvcache::{KvCacheError, KvStore};
 use fi_sched::pipeline::AttentionPipeline;
 use fi_serving::PipelineObservables;
 use fi_sparse::page::PageTable;
-use fi_tensor::RaggedTensor;
+use fi_tensor::{RaggedTensor, Scalar};
+
+use crate::pool::StoreHandle;
 
 /// One attention launch for one request.
 #[derive(Debug, Clone)]
@@ -97,9 +99,14 @@ pub(crate) struct WorkerReport {
 
 /// Worker body: drain units until the scheduler drops the sender, then
 /// return the pipeline's accumulated observables for the final report.
+///
+/// The handle fixes the arena's storage dtype for the life of the worker:
+/// f32 arenas run the exact path, f16/fp8 arenas stage through the same
+/// generic kernel with widen-on-stage (and, for fp8, per-KV-head
+/// dequantization scales applied during staging).
 pub(crate) fn worker_loop(
     cfg: WorkerConfig,
-    store: Arc<KvStore<f32>>,
+    handle: StoreHandle,
     rx: Receiver<WorkUnit>,
     tx: Sender<WorkResult>,
 ) -> WorkerReport {
@@ -118,7 +125,27 @@ pub(crate) fn worker_loop(
     let variant = VanillaAttention { causal: true };
 
     while let Ok(unit) = rx.recv() {
-        let result = execute(&store, &mut pipeline, cfg, &variant, &params, &unit);
+        let result = match &handle {
+            StoreHandle::F32(store) => {
+                execute(store, None, &mut pipeline, cfg, &variant, &params, &unit)
+            }
+            StoreHandle::F16(store) => {
+                execute(store, None, &mut pipeline, cfg, &variant, &params, &unit)
+            }
+            StoreHandle::Fp8 {
+                store,
+                k_scales,
+                v_scales,
+            } => execute(
+                store,
+                Some((k_scales, v_scales)),
+                &mut pipeline,
+                cfg,
+                &variant,
+                &params,
+                &unit,
+            ),
+        };
         let msg = match result {
             Ok(out) => WorkResult {
                 req_id: unit.req_id,
@@ -200,8 +227,13 @@ pub(crate) fn sharded_worker_loop(
 
 /// Prebuilt page table → BSR layout → plan → run, for one request's unit.
 /// No locks: pool tensors come straight from the append-only store.
-fn execute(
-    store: &Arc<KvStore<f32>>,
+///
+/// Generic over the arena dtype: the kernel widens `TKV` rows into its
+/// f32 staging tiles (applying `dequant` scales when given), so the same
+/// plan/run path serves every storage precision.
+fn execute<TKV: Scalar>(
+    store: &Arc<KvStore<TKV>>,
+    dequant: Option<(&[f32], &[f32])>,
     pipeline: &mut AttentionPipeline,
     cfg: WorkerConfig,
     variant: &VanillaAttention,
@@ -214,7 +246,7 @@ fn execute(
         .map_err(|e| format!("bsr layout: {e:?}"))?;
     let mut q = RaggedTensor::<f32>::from_seq_lens(&[unit.qo_len], cfg.heads.qo_width());
     q.as_tensor_mut().as_mut_slice().copy_from_slice(&unit.q);
-    let problem = AttentionProblem::standard_batch(
+    let mut problem = AttentionProblem::standard_batch(
         &q,
         store.k_pool(),
         store.v_pool(),
@@ -223,6 +255,11 @@ fn execute(
         &[unit.kv_len],
     )
     .map_err(|e| format!("problem: {e:?}"))?;
+    if let Some((ks, vs)) = dequant {
+        problem = problem
+            .with_kv_dequant(ks.to_vec(), vs.to_vec())
+            .map_err(|e| format!("dequant scales: {e:?}"))?;
+    }
     pipeline
         .plan(&layout, cfg.heads.num_qo_heads, cfg.heads.head_dim)
         .map_err(|e| format!("plan: {e:?}"))?;

@@ -65,13 +65,25 @@ impl EngineConfig {
     /// head), so the aggregate pool is each GPU's free KV bytes summed
     /// over the group.
     pub fn for_gpu(spec: &GpuSpec, model: &ModelConfig) -> EngineConfig {
+        EngineConfig::for_gpu_with_kv_dtype(spec, model, fi_tensor::KvDtype::F16)
+    }
+
+    /// Like [`EngineConfig::for_gpu`], with the KV cache stored at
+    /// `kv_dtype` instead of the default f16: fp8 storage doubles the
+    /// token capacity of the same HBM, f32 halves it.
+    pub fn for_gpu_with_kv_dtype(
+        spec: &GpuSpec,
+        model: &ModelConfig,
+        kv_dtype: fi_tensor::KvDtype,
+    ) -> EngineConfig {
         let tp = model.tensor_parallel.max(1);
         let weights_per_gpu = model.weight_bytes().div_ceil(tp);
         let free_per_gpu = spec.hbm_capacity.saturating_sub(weights_per_gpu);
         // Reserve 10% for activations and workspace.
         let kv_bytes = free_per_gpu * 9 / 10 * tp;
+        let per_token = model.kv_bytes_per_token_with(kv_dtype.size_bytes());
         EngineConfig {
-            kv_capacity_tokens: kv_bytes / model.kv_bytes_per_token().max(1),
+            kv_capacity_tokens: kv_bytes / per_token.max(1),
             max_batch: 256,
             prefix_caching: true,
             chunked_prefill_budget: None,
@@ -739,6 +751,27 @@ mod tests {
         // ~ (80-16)*0.9 GB / 128KiB ~ 450k tokens.
         assert!(c.kv_capacity_tokens > 200_000, "{}", c.kv_capacity_tokens);
         assert!(c.kv_capacity_tokens < 1_000_000);
+    }
+
+    #[test]
+    fn kv_dtype_scales_gpu_token_capacity() {
+        use fi_tensor::KvDtype;
+        let spec = GpuSpec::H100_80G;
+        let m = ModelConfig::LLAMA3_8B;
+        let f16 = EngineConfig::for_gpu_with_kv_dtype(&spec, &m, KvDtype::F16);
+        let fp8 = EngineConfig::for_gpu_with_kv_dtype(&spec, &m, KvDtype::Fp8E4M3);
+        let f32_ = EngineConfig::for_gpu_with_kv_dtype(&spec, &m, KvDtype::F32);
+        // Same HBM budget, half the bytes per token: double the pool
+        // (up to integer-division truncation of one token).
+        assert!(fp8.kv_capacity_tokens >= 2 * f16.kv_capacity_tokens);
+        assert!(fp8.kv_capacity_tokens <= 2 * f16.kv_capacity_tokens + 1);
+        assert!(f16.kv_capacity_tokens >= 2 * f32_.kv_capacity_tokens);
+        assert!(f16.kv_capacity_tokens <= 2 * f32_.kv_capacity_tokens + 1);
+        // The default stays the f16 sizing.
+        assert_eq!(
+            EngineConfig::for_gpu(&spec, &m).kv_capacity_tokens,
+            f16.kv_capacity_tokens
+        );
     }
 
     #[test]

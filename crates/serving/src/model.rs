@@ -73,9 +73,16 @@ impl ModelConfig {
             .expect("presets are valid")
     }
 
-    /// KV-cache bytes per token (all layers, both K and V, f16).
+    /// KV-cache bytes per token (all layers, both K and V) at the
+    /// default f16 storage precision.
     pub fn kv_bytes_per_token(&self) -> usize {
-        2 * self.num_layers * self.num_kv_heads * self.head_dim * 2
+        self.kv_bytes_per_token_with(2)
+    }
+
+    /// KV-cache bytes per token at `bytes_per_element` storage precision
+    /// (4 = f32, 2 = f16, 1 = fp8) — all layers, both K and V.
+    pub fn kv_bytes_per_token_with(&self, bytes_per_element: usize) -> usize {
+        2 * self.num_layers * self.num_kv_heads * self.head_dim * bytes_per_element
     }
 
     /// Weight bytes at f16 (approximate; attention + MLP + embeddings).

@@ -57,6 +57,46 @@ impl std::fmt::Display for DType {
     }
 }
 
+/// Storage precision of the runtime KV arena — the subset of [`DType`]
+/// the serving path supports as an end-to-end execution mode (f32
+/// reference, f16 halving staged bytes, e4m3 quartering them; Appendix F
+/// of the paper). Queries, outputs, and all accumulation stay f32
+/// regardless.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum KvDtype {
+    /// Full-precision KV rows (the bit-exact reference mode).
+    #[default]
+    F32,
+    /// binary16 KV rows, widened on stage.
+    F16,
+    /// OCP e4m3 KV rows with per-KV-head dequant scales, widened on stage.
+    Fp8E4M3,
+}
+
+impl KvDtype {
+    /// The element-level dtype tag.
+    pub fn as_dtype(self) -> DType {
+        match self {
+            KvDtype::F32 => DType::F32,
+            KvDtype::F16 => DType::F16,
+            KvDtype::Fp8E4M3 => DType::F8E4M3,
+        }
+    }
+
+    /// Storage size of one KV element in bytes.
+    pub fn size_bytes(self) -> usize {
+        self.as_dtype().size_bytes()
+    }
+}
+
+impl std::fmt::Display for KvDtype {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.as_dtype().fmt(f)
+    }
+}
+
 /// An element type usable as tensor storage.
 ///
 /// The contract is lossy-narrowing on [`Scalar::from_f32`] (round to nearest
@@ -77,6 +117,21 @@ pub trait Scalar:
 
     /// Narrow from f32, rounding to the nearest representable value.
     fn from_f32(x: f32) -> Self;
+
+    /// Bulk widen-on-stage: `dst[i] = f32::from(src[i]) * scale`, routed
+    /// through the runtime-dispatched conversion kernels where the type
+    /// has one. Exact widening followed by one multiply (no rounding at
+    /// all for `f32` with `scale == 1.0`, which is a straight copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    fn widen_scaled_into(dst: &mut [f32], src: &[Self], scale: f32) {
+        assert_eq!(dst.len(), src.len(), "length mismatch in widen_scaled_into");
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = s.to_f32() * scale;
+        }
+    }
 }
 
 impl Scalar for f32 {
@@ -90,6 +145,19 @@ impl Scalar for f32 {
     #[inline]
     fn from_f32(x: f32) -> Self {
         x
+    }
+
+    #[inline]
+    fn widen_scaled_into(dst: &mut [f32], src: &[Self], scale: f32) {
+        assert_eq!(dst.len(), src.len(), "length mismatch in widen_scaled_into");
+        if scale == 1.0 {
+            // The f32 staging fast path is a straight memcpy.
+            dst.copy_from_slice(src);
+        } else {
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = s * scale;
+            }
+        }
     }
 }
 
@@ -105,6 +173,11 @@ impl Scalar for F16 {
     fn from_f32(x: f32) -> Self {
         F16::from_f32(x)
     }
+
+    #[inline]
+    fn widen_scaled_into(dst: &mut [f32], src: &[Self], scale: f32) {
+        crate::numerics::widen_f16_into(dst, src, scale);
+    }
 }
 
 impl Scalar for F8E4M3 {
@@ -118,6 +191,11 @@ impl Scalar for F8E4M3 {
     #[inline]
     fn from_f32(x: f32) -> Self {
         F8E4M3::from_f32(x)
+    }
+
+    #[inline]
+    fn widen_scaled_into(dst: &mut [f32], src: &[Self], scale: f32) {
+        crate::numerics::widen_e4m3_into(dst, src, scale);
     }
 }
 
@@ -164,5 +242,41 @@ mod tests {
     fn display_tags() {
         assert_eq!(DType::F8E5M2.to_string(), "f8e5m2");
         assert_eq!(DType::F32.to_string(), "f32");
+    }
+
+    #[test]
+    fn kv_dtype_maps_to_dtype_and_bytes() {
+        assert_eq!(KvDtype::default(), KvDtype::F32);
+        assert_eq!(KvDtype::F32.size_bytes(), 4);
+        assert_eq!(KvDtype::F16.size_bytes(), 2);
+        assert_eq!(KvDtype::Fp8E4M3.size_bytes(), 1);
+        assert_eq!(KvDtype::F16.as_dtype(), DType::F16);
+        assert_eq!(KvDtype::Fp8E4M3.to_string(), "f8e4m3");
+    }
+
+    #[test]
+    fn widen_scaled_into_matches_per_element_conversion() {
+        let xs: Vec<f32> = (0..13).map(|i| 0.21 * i as f32 - 1.1).collect();
+        // f32: straight copy at scale 1.0, one multiply otherwise.
+        let mut dst = vec![0.0f32; xs.len()];
+        f32::widen_scaled_into(&mut dst, &xs, 1.0);
+        assert_eq!(dst, xs);
+        f32::widen_scaled_into(&mut dst, &xs, 0.5);
+        for (d, x) in dst.iter().zip(&xs) {
+            assert_eq!(d.to_bits(), (x * 0.5).to_bits());
+        }
+        // f16 and e4m3 route through the dispatched widen kernels.
+        let h: Vec<F16> = xs.iter().map(|&x| F16::from_f32(x)).collect();
+        let mut dst = vec![0.0f32; h.len()];
+        F16::widen_scaled_into(&mut dst, &h, 2.0);
+        for (d, x) in dst.iter().zip(&h) {
+            assert_eq!(d.to_bits(), (x.to_f32() * 2.0).to_bits());
+        }
+        let q: Vec<F8E4M3> = xs.iter().map(|&x| F8E4M3::from_f32(x)).collect();
+        let mut dst = vec![0.0f32; q.len()];
+        F8E4M3::widen_scaled_into(&mut dst, &q, 3.0);
+        for (d, x) in dst.iter().zip(&q) {
+            assert_eq!(d.to_bits(), (x.to_f32() * 3.0).to_bits());
+        }
     }
 }

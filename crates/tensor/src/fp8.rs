@@ -129,9 +129,13 @@ fn widen(b: u8, exp_bits: u32, man_bits: u32, bias: i32, has_inf: bool) -> f32 {
 }
 
 /// OCP FP8 E4M3 value (bias 7, max ±448, no infinities).
+///
+/// `repr(transparent)` is a load-bearing guarantee: the SIMD widen kernel
+/// reinterprets `&[F8E4M3]` as raw bytes to index the dequant table.
 #[derive(
     Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
 )]
+#[repr(transparent)]
 pub struct F8E4M3(pub u8);
 
 impl F8E4M3 {
@@ -178,6 +182,15 @@ impl F8E5M2 {
     pub fn is_nan(self) -> bool {
         (self.0 & 0x7C) == 0x7C && (self.0 & 0x03) != 0
     }
+}
+
+/// The 256-entry e4m3 → f32 dequantization table: entry `b` is exactly
+/// `F8E4M3(b).to_f32()`, so table lookups introduce no rounding. Both
+/// the scalar and the gathered SIMD widen paths index this one table,
+/// which is how they stay bit-identical.
+pub fn e4m3_to_f32_lut() -> &'static [f32; 256] {
+    static LUT: std::sync::OnceLock<[f32; 256]> = std::sync::OnceLock::new();
+    LUT.get_or_init(|| std::array::from_fn(|b| F8E4M3(b as u8).to_f32()))
 }
 
 impl From<f32> for F8E4M3 {
@@ -295,6 +308,20 @@ mod tests {
                 continue;
             } else {
                 assert_eq!(F8E5M2::from_f32(f), v, "bits={b:#04x} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn e4m3_lut_matches_widen_for_all_patterns() {
+        let lut = e4m3_to_f32_lut();
+        for b in 0..=u8::MAX {
+            let want = F8E4M3(b).to_f32();
+            let got = lut[b as usize];
+            if want.is_nan() {
+                assert!(got.is_nan(), "bits={b:#04x}");
+            } else {
+                assert_eq!(got.to_bits(), want.to_bits(), "bits={b:#04x}");
             }
         }
     }

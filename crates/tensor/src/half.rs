@@ -7,9 +7,13 @@
 //! Conversion uses round-to-nearest-even, matching hardware `cvt` semantics.
 
 /// An IEEE 754 binary16 value stored as its raw bit pattern.
+///
+/// `repr(transparent)` is a load-bearing guarantee: the SIMD widen kernel
+/// reinterprets `&[F16]` as raw `u16` bit patterns for hardware conversion.
 #[derive(
     Debug, Clone, Copy, Default, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize,
 )]
+#[repr(transparent)]
 pub struct F16(pub u16);
 
 const F16_MAN_BITS: u32 = 10;

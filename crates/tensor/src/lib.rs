@@ -41,9 +41,14 @@ pub mod fp8;
 pub mod half;
 pub mod numerics;
 pub mod ragged;
+pub mod simd;
+#[cfg(target_arch = "aarch64")]
+pub mod simd_neon;
+#[cfg(target_arch = "x86_64")]
+pub mod simd_x86;
 
 pub use dense::Tensor;
-pub use dtype::{DType, Scalar};
+pub use dtype::{DType, KvDtype, Scalar};
 pub use error::TensorError;
 pub use fp8::{F8E4M3, F8E5M2};
 pub use half::F16;

@@ -1,4 +1,106 @@
 //! Numerically-stable helpers shared by kernels and tests.
+//!
+//! The hot microkernels (`dot`, `axpy`, `scale`, `scale_add`, the fused
+//! [`exp_scale_accumulate`] softmax pass, and the f16/e4m3 widen
+//! conversions) dispatch at runtime between the portable 4-lane blocked
+//! code in [`portable`] and the explicit SIMD arms in `simd_x86` /
+//! `simd_neon` (see [`crate::simd`] for the detection rules and
+//! `FI_FORCE_SCALAR`). Every consumer — the flash kernel, the reference
+//! oracle, and the parallel executor — must route through these
+//! dispatched functions: kernel-vs-reference and sequential-vs-parallel
+//! comparisons then see identical arithmetic at whatever feature level
+//! the process detected.
+
+use crate::fp8::F8E4M3;
+use crate::half::F16;
+use crate::simd::{active_arm, SimdArm};
+
+/// The portable 4-lane blocked implementations — the fallback arm of the
+/// runtime dispatch, and the rounding reference the SIMD arms are tested
+/// against. Public so arm-vs-arm tests and benches can call it directly.
+pub mod portable {
+    /// Dot product in f32, blocked over four independent accumulator
+    /// lanes.
+    ///
+    /// The naive scalar loop carries a dependence on its single
+    /// accumulator, so the compiler must serialize the adds; four lanes
+    /// let it keep partial sums in SIMD registers. The lane split changes
+    /// rounding relative to a strictly sequential sum.
+    #[inline]
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        let mut lanes = [0.0f32; 4];
+        let mut ca = a.chunks_exact(4);
+        let mut cb = b.chunks_exact(4);
+        for (xa, xb) in (&mut ca).zip(&mut cb) {
+            lanes[0] += xa[0] * xb[0];
+            lanes[1] += xa[1] * xb[1];
+            lanes[2] += xa[2] * xb[2];
+            lanes[3] += xa[3] * xb[3];
+        }
+        let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+            acc += x * y;
+        }
+        acc
+    }
+
+    /// `y[i] += a * x[i]`, blocked 4-wide.
+    ///
+    /// Elementwise with no loop-carried dependence, so blocking does not
+    /// change rounding — results are bit-identical to the scalar loop.
+    #[inline]
+    pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+        let n4 = x.len() & !3;
+        let (x4, xt) = x.split_at(n4);
+        let (y4, yt) = y.split_at_mut(n4);
+        for (xc, yc) in x4.chunks_exact(4).zip(y4.chunks_exact_mut(4)) {
+            yc[0] += a * xc[0];
+            yc[1] += a * xc[1];
+            yc[2] += a * xc[2];
+            yc[3] += a * xc[3];
+        }
+        for (yy, &xx) in yt.iter_mut().zip(xt) {
+            *yy += a * xx;
+        }
+    }
+
+    /// `y[i] *= s`, blocked 4-wide. Bit-identical to the scalar loop.
+    #[inline]
+    pub fn scale(y: &mut [f32], s: f32) {
+        let n4 = y.len() & !3;
+        let (y4, yt) = y.split_at_mut(n4);
+        for yc in y4.chunks_exact_mut(4) {
+            yc[0] *= s;
+            yc[1] *= s;
+            yc[2] *= s;
+            yc[3] *= s;
+        }
+        for yy in yt {
+            *yy *= s;
+        }
+    }
+
+    /// `y[i] = s * y[i] + a * x[i]`, blocked 4-wide.
+    ///
+    /// Each element performs the same three roundings (`s*y`, `a*x`,
+    /// their sum) as a [`scale`] pass followed by an [`axpy`] pass, so
+    /// the fusion is bit-identical to the two-pass form.
+    #[inline]
+    pub fn scale_add(s: f32, a: f32, x: &[f32], y: &mut [f32]) {
+        let n4 = x.len() & !3;
+        let (x4, xt) = x.split_at(n4);
+        let (y4, yt) = y.split_at_mut(n4);
+        for (xc, yc) in x4.chunks_exact(4).zip(y4.chunks_exact_mut(4)) {
+            yc[0] = s * yc[0] + a * xc[0];
+            yc[1] = s * yc[1] + a * xc[1];
+            yc[2] = s * yc[2] + a * xc[2];
+            yc[3] = s * yc[3] + a * xc[3];
+        }
+        for (yy, &xx) in yt.iter_mut().zip(xt) {
+            *yy = s * *yy + a * xx;
+        }
+    }
+}
 
 /// Numerically stable `log(sum(exp(x)))` over a slice.
 ///
@@ -45,15 +147,12 @@ pub fn allclose(a: &[f32], b: &[f32], rtol: f32, atol: f32) -> bool {
     })
 }
 
-/// Dot product in f32, blocked over four independent accumulator lanes.
+/// Dot product in f32, dispatched across the runtime SIMD arms.
 ///
-/// The naive scalar loop carries a dependence on its single accumulator, so
-/// the compiler must serialize the adds; four lanes let it keep partial sums
-/// in SIMD registers. The lane split changes rounding relative to a strictly
-/// sequential sum, which is why every consumer — the flash kernel, the
-/// reference oracle, and the parallel executor — must route through this one
-/// implementation: kernel-vs-reference and sequential-vs-parallel
-/// comparisons then see identical arithmetic.
+/// The AVX2/NEON arms use FMA with wider accumulators, so the result can
+/// differ from [`portable::dot`] by normal rounding slop — but *within*
+/// a process every consumer sees the same arm, so kernel-vs-oracle and
+/// sequential-vs-parallel comparisons stay bit-identical to each other.
 ///
 /// # Panics
 ///
@@ -61,26 +160,20 @@ pub fn allclose(a: &[f32], b: &[f32], rtol: f32, atol: f32) -> bool {
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "length mismatch in dot");
-    let mut lanes = [0.0f32; 4];
-    let mut ca = a.chunks_exact(4);
-    let mut cb = b.chunks_exact(4);
-    for (xa, xb) in (&mut ca).zip(&mut cb) {
-        lanes[0] += xa[0] * xb[0];
-        lanes[1] += xa[1] * xb[1];
-        lanes[2] += xa[2] * xb[2];
-        lanes[3] += xa[3] * xb[3];
+    match active_arm() {
+        #[cfg(target_arch = "x86_64")]
+        SimdArm::Avx2Fma => crate::simd_x86::dot(a, b),
+        #[cfg(target_arch = "aarch64")]
+        SimdArm::Neon => crate::simd_neon::dot(a, b),
+        _ => portable::dot(a, b),
     }
-    let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
-    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
-        acc += x * y;
-    }
-    acc
 }
 
-/// `y[i] += a * x[i]`, blocked 4-wide.
+/// `y[i] += a * x[i]`, dispatched across the runtime SIMD arms.
 ///
-/// Elementwise with no loop-carried dependence, so blocking does not change
-/// rounding — results are bit-identical to the scalar loop.
+/// Elementwise with no loop-carried dependence; every arm uses separate
+/// multiply and add instructions, so the result is bit-identical across
+/// arms and to the scalar loop.
 ///
 /// # Panics
 ///
@@ -88,42 +181,35 @@ pub fn dot(a: &[f32], b: &[f32]) -> f32 {
 #[inline]
 pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "length mismatch in axpy");
-    let n4 = x.len() & !3;
-    let (x4, xt) = x.split_at(n4);
-    let (y4, yt) = y.split_at_mut(n4);
-    for (xc, yc) in x4.chunks_exact(4).zip(y4.chunks_exact_mut(4)) {
-        yc[0] += a * xc[0];
-        yc[1] += a * xc[1];
-        yc[2] += a * xc[2];
-        yc[3] += a * xc[3];
-    }
-    for (yy, &xx) in yt.iter_mut().zip(xt) {
-        *yy += a * xx;
+    match active_arm() {
+        #[cfg(target_arch = "x86_64")]
+        SimdArm::Avx2Fma => crate::simd_x86::axpy(a, x, y),
+        #[cfg(target_arch = "aarch64")]
+        SimdArm::Neon => crate::simd_neon::axpy(a, x, y),
+        _ => portable::axpy(a, x, y),
     }
 }
 
-/// `y[i] *= s`, blocked 4-wide. Bit-identical to the scalar loop.
+/// `y[i] *= s`, dispatched across the runtime SIMD arms. Bit-identical
+/// across arms and to the scalar loop.
 #[inline]
 pub fn scale(y: &mut [f32], s: f32) {
-    let n4 = y.len() & !3;
-    let (y4, yt) = y.split_at_mut(n4);
-    for yc in y4.chunks_exact_mut(4) {
-        yc[0] *= s;
-        yc[1] *= s;
-        yc[2] *= s;
-        yc[3] *= s;
-    }
-    for yy in yt {
-        *yy *= s;
+    match active_arm() {
+        #[cfg(target_arch = "x86_64")]
+        SimdArm::Avx2Fma => crate::simd_x86::scale(y, s),
+        #[cfg(target_arch = "aarch64")]
+        SimdArm::Neon => crate::simd_neon::scale(y, s),
+        _ => portable::scale(y, s),
     }
 }
 
-/// `y[i] = s * y[i] + a * x[i]`, blocked 4-wide: the fused
-/// rescale-and-accumulate step of the online-softmax update, one pass over
-/// `y` instead of a [`scale`] pass followed by an [`axpy`] pass.
+/// `y[i] = s * y[i] + a * x[i]`: the fused rescale-and-accumulate step
+/// of the online-softmax update, one pass over `y` instead of a
+/// [`scale`] pass followed by an [`axpy`] pass.
 ///
-/// Each element performs the same three roundings (`s*y`, `a*x`, their sum)
-/// as the two-pass form, so the fusion is bit-identical.
+/// Each element performs the same three roundings (`s*y`, `a*x`, their
+/// sum) on every arm, so the fusion is bit-identical to the two-pass
+/// form and across arms.
 ///
 /// # Panics
 ///
@@ -131,17 +217,111 @@ pub fn scale(y: &mut [f32], s: f32) {
 #[inline]
 pub fn scale_add(s: f32, a: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "length mismatch in scale_add");
-    let n4 = x.len() & !3;
-    let (x4, xt) = x.split_at(n4);
-    let (y4, yt) = y.split_at_mut(n4);
-    for (xc, yc) in x4.chunks_exact(4).zip(y4.chunks_exact_mut(4)) {
-        yc[0] = s * yc[0] + a * xc[0];
-        yc[1] = s * yc[1] + a * xc[1];
-        yc[2] = s * yc[2] + a * xc[2];
-        yc[3] = s * yc[3] + a * xc[3];
+    match active_arm() {
+        #[cfg(target_arch = "x86_64")]
+        SimdArm::Avx2Fma => crate::simd_x86::scale_add(s, a, x, y),
+        #[cfg(target_arch = "aarch64")]
+        SimdArm::Neon => crate::simd_neon::scale_add(s, a, x, y),
+        _ => portable::scale_add(s, a, x, y),
     }
-    for (yy, &xx) in yt.iter_mut().zip(xt) {
-        *yy = s * *yy + a * xx;
+}
+
+/// The fused online-softmax inner pass over one KV tile for one query
+/// row: exponentiate masked logits against the running max, accumulate
+/// the softmax denominator, and fold `p[j] * v[j]` into the accumulator
+/// — deferring the `exp(m_old - m_new)` rescale of `acc` into the first
+/// [`scale_add`] so every element of `acc` is touched exactly once.
+///
+/// Inputs: `logits[j]` are the tile's masked scores (`NEG_INFINITY` =
+/// masked out, contributes nothing), `max` the *new* running row max,
+/// `rescale = exp(m_old - max)` (0.0 when there was no previous max),
+/// `l` the previous denominator, and `v_tile` the staged f32 V tile with
+/// `row_stride` elements per KV row of which the `acc.len()` columns at
+/// `col_offset` belong to this head. Returns the updated denominator
+/// `l * rescale + Σ p[j]`.
+///
+/// `exp` stays scalar libm on every arm — a vectorized polynomial would
+/// round differently per arm and break the cross-arm bit-identity of the
+/// elementwise kernels this pass composes.
+///
+/// # Panics
+///
+/// Panics if a row slice `[j * row_stride + col_offset ..][.. acc.len()]`
+/// falls outside `v_tile`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub fn exp_scale_accumulate(
+    logits: &[f32],
+    max: f32,
+    rescale: f32,
+    l: f32,
+    v_tile: &[f32],
+    row_stride: usize,
+    col_offset: usize,
+    acc: &mut [f32],
+) -> f32 {
+    let d = acc.len();
+    let mut l = l * rescale;
+    let mut pending = Some(rescale);
+    for (j, &t) in logits.iter().enumerate() {
+        if t == f32::NEG_INFINITY {
+            continue;
+        }
+        let p = (t - max).exp();
+        l += p;
+        let vv = &v_tile[j * row_stride + col_offset..][..d];
+        match pending.take() {
+            Some(s) => scale_add(s, p, vv, acc),
+            None => axpy(p, vv, acc),
+        }
+    }
+    if let Some(s) = pending {
+        scale(acc, s);
+    }
+    l
+}
+
+/// `dst[i] = f32::from(src[i]) * scale` for half-precision rows — the
+/// widen-on-stage conversion of the f16 KV path. Exact conversion
+/// followed by one multiply, so the only rounding is the scale multiply
+/// (none at all when `scale == 1.0`). Bit-identical across arms for all
+/// non-NaN inputs; hardware F16C may quiet a signaling-NaN payload.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn widen_f16_into(dst: &mut [f32], src: &[F16], scale_by: f32) {
+    assert_eq!(dst.len(), src.len(), "length mismatch in widen_f16_into");
+    #[cfg(target_arch = "x86_64")]
+    if active_arm() == SimdArm::Avx2Fma {
+        crate::simd_x86::widen_f16(dst, src, scale_by);
+        return;
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = s.to_f32() * scale_by;
+    }
+}
+
+/// `dst[i] = f32::from(src[i]) * scale` for e4m3 rows — the
+/// widen-on-stage conversion of the fp8 KV path, via a 256-entry exact
+/// lookup table. The only rounding is the scale multiply, so results are
+/// bit-identical across arms.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[inline]
+pub fn widen_e4m3_into(dst: &mut [f32], src: &[F8E4M3], scale_by: f32) {
+    assert_eq!(dst.len(), src.len(), "length mismatch in widen_e4m3_into");
+    #[cfg(target_arch = "x86_64")]
+    if active_arm() == SimdArm::Avx2Fma {
+        crate::simd_x86::widen_e4m3(dst, src, scale_by);
+        return;
+    }
+    let lut = crate::fp8::e4m3_to_f32_lut();
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = lut[s.0 as usize] * scale_by;
     }
 }
 
@@ -236,11 +416,13 @@ mod tests {
     #[test]
     fn dot_blocked_covers_lanes_and_tail() {
         // Length 7 exercises one full 4-lane block plus a 3-element tail;
-        // small integers make the blocked sum exact.
+        // small integers make the sum exact on every dispatch arm (FMA on
+        // integer-valued products introduces no rounding).
         let a: Vec<f32> = (1..=7).map(|i| i as f32).collect();
         let b: Vec<f32> = (1..=7).map(|i| (i * i) as f32).collect();
         let expect: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
         assert_eq!(dot(&a, &b), expect);
+        assert_eq!(portable::dot(&a, &b), expect);
         // Exact multiple of the block width (no tail).
         let c = [2.0f32; 8];
         assert_eq!(dot(&c, &c), 32.0);
@@ -280,6 +462,115 @@ mod tests {
         scale(&mut y, 2.0);
         scale_add(2.0, 3.0, &[], &mut y);
         assert!(y.is_empty());
+    }
+
+    /// The unfused form of the online-softmax inner pass, written exactly
+    /// as the kernel's pre-fusion loop: rescale folded into the first
+    /// touch of `acc` via scale_add, axpy thereafter.
+    #[allow(clippy::too_many_arguments)]
+    fn unfused_reference(
+        logits: &[f32],
+        max: f32,
+        rescale: f32,
+        mut l: f32,
+        v_tile: &[f32],
+        row_stride: usize,
+        col_offset: usize,
+        acc: &mut [f32],
+    ) -> f32 {
+        let d = acc.len();
+        l *= rescale;
+        let mut pending = Some(rescale);
+        for (j, &t) in logits.iter().enumerate() {
+            if t == f32::NEG_INFINITY {
+                continue;
+            }
+            let p = (t - max).exp();
+            l += p;
+            let vv = &v_tile[j * row_stride + col_offset..][..d];
+            match pending.take() {
+                Some(s) => scale_add(s, p, vv, acc),
+                None => axpy(p, vv, acc),
+            }
+        }
+        if let Some(s) = pending {
+            scale(acc, s);
+        }
+        l
+    }
+
+    #[test]
+    fn exp_scale_accumulate_matches_unfused_bitwise() {
+        let d = 7;
+        let rows = 5;
+        let stride = d + 3;
+        let v_tile: Vec<f32> = (0..rows * stride)
+            .map(|i| ((i as f32) * 0.7).sin() * 2.0)
+            .collect();
+        for masked in [vec![], vec![1usize], vec![0, 1, 2, 3, 4]] {
+            let mut logits: Vec<f32> = (0..rows).map(|j| (j as f32) * 0.4 - 1.0).collect();
+            for &j in &masked {
+                logits[j] = f32::NEG_INFINITY;
+            }
+            let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let max = if max == f32::NEG_INFINITY { 0.0 } else { max };
+            for rescale in [0.0f32, 0.62] {
+                let acc0: Vec<f32> = (0..d).map(|i| (i as f32) * 0.3 - 0.8).collect();
+
+                let mut a1 = acc0.clone();
+                let l1 =
+                    exp_scale_accumulate(&logits, max, rescale, 1.9, &v_tile, stride, 2, &mut a1);
+
+                let mut a2 = acc0.clone();
+                let l2 = unfused_reference(&logits, max, rescale, 1.9, &v_tile, stride, 2, &mut a2);
+
+                assert_eq!(l1.to_bits(), l2.to_bits());
+                assert_eq!(a1, a2);
+            }
+        }
+    }
+
+    #[test]
+    fn exp_scale_accumulate_all_masked_scales_acc() {
+        // Every logit masked: acc must still be rescaled and l multiplied.
+        let logits = [f32::NEG_INFINITY; 4];
+        let v_tile = [1.0f32; 8];
+        let mut acc = vec![2.0f32, -4.0];
+        let l = exp_scale_accumulate(&logits, 0.0, 0.5, 3.0, &v_tile, 2, 0, &mut acc);
+        assert_eq!(l, 1.5);
+        assert_eq!(acc, vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn widen_f16_into_matches_scalar_conversion() {
+        for n in 0..20 {
+            let src: Vec<F16> = (0..n)
+                .map(|i| F16::from_f32(0.31 * i as f32 - 2.0))
+                .collect();
+            for s in [1.0f32, 0.25, 2.5] {
+                let mut dst = vec![0.0f32; n];
+                widen_f16_into(&mut dst, &src, s);
+                for (got, x) in dst.iter().zip(&src) {
+                    assert_eq!(got.to_bits(), (x.to_f32() * s).to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn widen_e4m3_into_matches_scalar_conversion() {
+        for n in 0..20 {
+            let src: Vec<F8E4M3> = (0..n)
+                .map(|i| F8E4M3::from_f32(0.17 * i as f32 - 1.0))
+                .collect();
+            for s in [1.0f32, 0.5, 3.0] {
+                let mut dst = vec![0.0f32; n];
+                widen_e4m3_into(&mut dst, &src, s);
+                for (got, x) in dst.iter().zip(&src) {
+                    assert_eq!(got.to_bits(), (x.to_f32() * s).to_bits());
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Runtime CPU-feature dispatch for the numeric microkernels.
+//!
+//! One process-wide dispatch arm is detected lazily on first use and
+//! cached in an atomic: AVX2+FMA on x86-64, NEON on aarch64, otherwise
+//! the portable 4-lane blocked code in [`crate::numerics::portable`].
+//! Setting the `FI_FORCE_SCALAR` environment variable (to anything but
+//! `0` or empty) before first use pins the portable arm — CI runs the
+//! whole tier-1 suite under it, and [`force_scalar`] flips the same
+//! switch programmatically for same-process A/B timing.
+//!
+//! The dispatch arm decides *performance*, not *semantics*, for the
+//! elementwise kernels (`axpy`, `scale`, `scale_add`, the widen-on-stage
+//! conversions): every arm uses the same per-element rounding sequence,
+//! so results are bit-identical across arms. `dot` is the one exception
+//! — the AVX2/NEON arms use FMA and a different summation order, so dot
+//! products agree across arms only to tolerance (see DESIGN.md §11).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// Which microkernel implementation the process dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdArm {
+    /// `std::arch::x86_64` AVX2 + FMA (8-wide f32).
+    Avx2Fma,
+    /// `std::arch::aarch64` NEON (4-wide f32).
+    Neon,
+    /// The portable 4-lane blocked fallback.
+    Scalar,
+}
+
+impl SimdArm {
+    /// Stable lowercase name for logs and bench JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdArm::Avx2Fma => "avx2_fma",
+            SimdArm::Neon => "neon",
+            SimdArm::Scalar => "scalar",
+        }
+    }
+}
+
+const UNINIT: u8 = 0;
+const SCALAR: u8 = 1;
+const AVX2_FMA: u8 = 2;
+const NEON: u8 = 3;
+
+static ARM: AtomicU8 = AtomicU8::new(UNINIT);
+
+/// F16C availability on x86-64 (separate from the AVX2+FMA arm: a core
+/// could in principle have one without the other). 0 = unknown,
+/// 1 = absent, 2 = present.
+#[cfg(target_arch = "x86_64")]
+static F16C: AtomicU8 = AtomicU8::new(UNINIT);
+
+fn force_scalar_env() -> bool {
+    std::env::var_os("FI_FORCE_SCALAR").is_some_and(|v| !v.is_empty() && v != "0")
+}
+
+fn detect() -> u8 {
+    if force_scalar_env() {
+        return SCALAR;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return AVX2_FMA;
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return NEON;
+        }
+    }
+    SCALAR
+}
+
+#[cold]
+fn init_arm() -> u8 {
+    let code = detect();
+    ARM.store(code, Ordering::Relaxed);
+    code
+}
+
+/// The dispatch arm every `fi_tensor::numerics` call routes through.
+#[inline]
+pub fn active_arm() -> SimdArm {
+    let code = ARM.load(Ordering::Relaxed);
+    let code = if code == UNINIT { init_arm() } else { code };
+    match code {
+        AVX2_FMA => SimdArm::Avx2Fma,
+        NEON => SimdArm::Neon,
+        _ => SimdArm::Scalar,
+    }
+}
+
+/// Pin (or unpin) the portable arm process-wide. `force_scalar(false)`
+/// re-runs detection, which still honors `FI_FORCE_SCALAR`. Intended for
+/// benches and tests that A/B the arms in one process; racing threads
+/// see either arm, both of which compute correct results.
+pub fn force_scalar(on: bool) {
+    if on {
+        ARM.store(SCALAR, Ordering::Relaxed);
+    } else {
+        ARM.store(detect(), Ordering::Relaxed);
+    }
+}
+
+/// Whether x86-64 F16C (hardware f16→f32 conversion) is available.
+#[cfg(target_arch = "x86_64")]
+pub(crate) fn has_f16c() -> bool {
+    match F16C.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => {
+            let present = std::arch::is_x86_feature_detected!("f16c");
+            F16C.store(if present { 2 } else { 1 }, Ordering::Relaxed);
+            present
+        }
+    }
+}
+
+/// `+`-joined list of the relevant CPU features this machine actually
+/// has, independent of any forced arm — for bench provenance.
+pub fn feature_summary() -> String {
+    let mut features: Vec<&str> = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2") {
+            features.push("avx2");
+        }
+        if std::arch::is_x86_feature_detected!("fma") {
+            features.push("fma");
+        }
+        if std::arch::is_x86_feature_detected!("f16c") {
+            features.push("f16c");
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            features.push("neon");
+        }
+    }
+    if features.is_empty() {
+        features.push("baseline");
+    }
+    features.join("+")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn force_scalar_round_trip() {
+        let native = active_arm();
+        force_scalar(true);
+        assert_eq!(active_arm(), SimdArm::Scalar);
+        force_scalar(false);
+        assert_eq!(active_arm(), native);
+    }
+
+    #[test]
+    fn arm_names_are_stable() {
+        assert_eq!(SimdArm::Avx2Fma.name(), "avx2_fma");
+        assert_eq!(SimdArm::Neon.name(), "neon");
+        assert_eq!(SimdArm::Scalar.name(), "scalar");
+    }
+
+    #[test]
+    fn feature_summary_is_nonempty() {
+        assert!(!feature_summary().is_empty());
+    }
+}

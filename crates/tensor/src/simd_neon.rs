@@ -1,0 +1,142 @@
+//! NEON microkernels (aarch64 arm of the runtime dispatch).
+//!
+//! Same rounding contract as `simd_x86.rs`: `dot` may fuse (vfmaq) and
+//! reassociate, the elementwise kernels use separate multiply and add so
+//! they stay bit-identical to the portable fallback. The f16/e4m3 widen
+//! conversions are *not* vectorized on this arm (the fp16 conversion
+//! intrinsics sit behind a non-baseline target feature); the dispatchers
+//! in `numerics` fall back to the scalar conversion loops instead.
+
+#![cfg(target_arch = "aarch64")]
+
+use std::arch::aarch64::*;
+
+/// FMA'd dot product. Agrees with `numerics::portable::dot` to
+/// tolerance, not bitwise.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // SAFETY: dispatch only routes here after runtime NEON detection.
+    unsafe { dot_neon(a, b) }
+}
+
+#[target_feature(enable = "neon")]
+fn dot_neon(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut acc0 = vdupq_n_f32(0.0);
+    let mut acc1 = vdupq_n_f32(0.0);
+    let mut i = 0usize;
+    while i + 8 <= n {
+        // SAFETY: i + 8 <= n keeps both 4-lane loads in bounds.
+        unsafe {
+            acc0 = vfmaq_f32(acc0, vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+            acc1 = vfmaq_f32(acc1, vld1q_f32(pa.add(i + 4)), vld1q_f32(pb.add(i + 4)));
+        }
+        i += 8;
+    }
+    if i + 4 <= n {
+        // SAFETY: i + 4 <= n keeps the load in bounds.
+        unsafe {
+            acc0 = vfmaq_f32(acc0, vld1q_f32(pa.add(i)), vld1q_f32(pb.add(i)));
+        }
+        i += 4;
+    }
+    let mut total = vaddvq_f32(vaddq_f32(acc0, acc1));
+    while i < n {
+        total = a[i].mul_add(b[i], total);
+        i += 1;
+    }
+    total
+}
+
+/// `y[i] += a * x[i]`, bit-identical to the portable fallback.
+#[inline]
+pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    // SAFETY: dispatch only routes here after runtime NEON detection.
+    unsafe { axpy_neon(a, x, y) }
+}
+
+#[target_feature(enable = "neon")]
+fn axpy_neon(a: f32, x: &[f32], y: &mut [f32]) {
+    let n = x.len();
+    let av = vdupq_n_f32(a);
+    let px = x.as_ptr();
+    let py = y.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 4 <= n {
+        // SAFETY: i + 4 <= n keeps loads and store in bounds; x and y are
+        // distinct slices.
+        unsafe {
+            let r = vaddq_f32(vld1q_f32(py.add(i)), vmulq_f32(av, vld1q_f32(px.add(i))));
+            vst1q_f32(py.add(i), r);
+        }
+        i += 4;
+    }
+    while i < n {
+        y[i] += a * x[i];
+        i += 1;
+    }
+}
+
+/// `y[i] *= s`, bit-identical to the portable fallback.
+#[inline]
+pub fn scale(y: &mut [f32], s: f32) {
+    // SAFETY: dispatch only routes here after runtime NEON detection.
+    unsafe { scale_neon(y, s) }
+}
+
+#[target_feature(enable = "neon")]
+fn scale_neon(y: &mut [f32], s: f32) {
+    let n = y.len();
+    let sv = vdupq_n_f32(s);
+    let py = y.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 4 <= n {
+        // SAFETY: i + 4 <= n keeps the load and store in bounds.
+        unsafe {
+            vst1q_f32(py.add(i), vmulq_f32(vld1q_f32(py.add(i)), sv));
+        }
+        i += 4;
+    }
+    while i < n {
+        y[i] *= s;
+        i += 1;
+    }
+}
+
+/// `y[i] = s * y[i] + a * x[i]`, bit-identical to the portable fallback.
+#[inline]
+pub fn scale_add(s: f32, a: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    // SAFETY: dispatch only routes here after runtime NEON detection.
+    unsafe { scale_add_neon(s, a, x, y) }
+}
+
+#[target_feature(enable = "neon")]
+fn scale_add_neon(s: f32, a: f32, x: &[f32], y: &mut [f32]) {
+    let n = x.len();
+    let sv = vdupq_n_f32(s);
+    let av = vdupq_n_f32(a);
+    let px = x.as_ptr();
+    let py = y.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 4 <= n {
+        // SAFETY: i + 4 <= n keeps loads and store in bounds; x and y are
+        // distinct slices.
+        unsafe {
+            let r = vaddq_f32(
+                vmulq_f32(sv, vld1q_f32(py.add(i))),
+                vmulq_f32(av, vld1q_f32(px.add(i))),
+            );
+            vst1q_f32(py.add(i), r);
+        }
+        i += 4;
+    }
+    while i < n {
+        y[i] = s * y[i] + a * x[i];
+        i += 1;
+    }
+}

@@ -1,0 +1,432 @@
+//! AVX2+FMA microkernels (x86-64 arm of the runtime dispatch).
+//!
+//! This file and `simd_neon.rs` are the only places in the tensor crate
+//! allowed to use `unsafe` (CI greps for it): the public functions here
+//! are safe wrappers whose callers — the dispatchers in
+//! [`crate::numerics`] — only route here after runtime feature
+//! detection, and the pointer arithmetic is bounds-checked by the loop
+//! structure.
+//!
+//! Rounding contract (DESIGN.md §11):
+//! - `dot` uses FMA and 8-wide accumulators — *more* accurate than the
+//!   portable 4-lane sum, but not bit-identical to it.
+//! - `axpy` / `scale` / `scale_add` use separate multiply and add
+//!   instructions (never `fmadd`), with scalar tails written as the same
+//!   per-element expression, so every length produces bits identical to
+//!   the portable fallback.
+//! - The f16/e4m3 widen kernels are exact conversions (F16C hardware
+//!   convert, in-register e4m3 bit-field expansion) followed by one
+//!   multiply by the dequant scale — the same single rounding as the
+//!   scalar path.
+
+#![cfg(target_arch = "x86_64")]
+
+use std::arch::x86_64::*;
+
+use crate::fp8::{e4m3_to_f32_lut, F8E4M3};
+use crate::half::F16;
+
+/// FMA'd dot product. Agrees with `numerics::portable::dot` to
+/// tolerance, not bitwise.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    // SAFETY: dispatch only routes here after runtime AVX2+FMA detection.
+    unsafe { dot_avx2(a, b) }
+}
+
+#[target_feature(enable = "avx2,fma")]
+fn dot_avx2(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len();
+    let pa = a.as_ptr();
+    let pb = b.as_ptr();
+    let mut acc0 = _mm256_setzero_ps();
+    let mut acc1 = _mm256_setzero_ps();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        // SAFETY: i + 16 <= n keeps both unaligned 8-lane loads in bounds.
+        unsafe {
+            let x0 = _mm256_loadu_ps(pa.add(i));
+            let y0 = _mm256_loadu_ps(pb.add(i));
+            acc0 = _mm256_fmadd_ps(x0, y0, acc0);
+            let x1 = _mm256_loadu_ps(pa.add(i + 8));
+            let y1 = _mm256_loadu_ps(pb.add(i + 8));
+            acc1 = _mm256_fmadd_ps(x1, y1, acc1);
+        }
+        i += 16;
+    }
+    if i + 8 <= n {
+        // SAFETY: i + 8 <= n keeps the load in bounds.
+        unsafe {
+            let x = _mm256_loadu_ps(pa.add(i));
+            let y = _mm256_loadu_ps(pb.add(i));
+            acc0 = _mm256_fmadd_ps(x, y, acc0);
+        }
+        i += 8;
+    }
+    let mut total = hsum256(_mm256_add_ps(acc0, acc1));
+    while i < n {
+        total = a[i].mul_add(b[i], total);
+        i += 1;
+    }
+    total
+}
+
+/// Horizontal sum of an 8-lane register: pairwise halving, so the
+/// reduction order is fixed regardless of input length.
+#[target_feature(enable = "avx2")]
+fn hsum256(v: __m256) -> f32 {
+    let lo = _mm256_castps256_ps128(v);
+    let hi = _mm256_extractf128_ps::<1>(v);
+    let quad = _mm_add_ps(lo, hi);
+    let pair = _mm_add_ps(quad, _mm_movehl_ps(quad, quad));
+    let single = _mm_add_ss(pair, _mm_movehdup_ps(pair));
+    _mm_cvtss_f32(single)
+}
+
+/// `y[i] += a * x[i]`, bit-identical to the portable fallback.
+#[inline]
+pub fn axpy(a: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    // SAFETY: dispatch only routes here after runtime AVX2+FMA detection.
+    unsafe { axpy_avx2(a, x, y) }
+}
+
+#[target_feature(enable = "avx2")]
+fn axpy_avx2(a: f32, x: &[f32], y: &mut [f32]) {
+    let n = x.len();
+    let av = _mm256_set1_ps(a);
+    let px = x.as_ptr();
+    let py = y.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        // SAFETY: i + 8 <= n keeps the loads and store in bounds; x and y
+        // are distinct slices so the store cannot alias the loads.
+        unsafe {
+            let xv = _mm256_loadu_ps(px.add(i));
+            let yv = _mm256_loadu_ps(py.add(i));
+            // mul + add, not fmadd: keeps rounding identical to portable.
+            let r = _mm256_add_ps(yv, _mm256_mul_ps(av, xv));
+            _mm256_storeu_ps(py.add(i), r);
+        }
+        i += 8;
+    }
+    while i < n {
+        y[i] += a * x[i];
+        i += 1;
+    }
+}
+
+/// `y[i] *= s`, bit-identical to the portable fallback.
+#[inline]
+pub fn scale(y: &mut [f32], s: f32) {
+    // SAFETY: dispatch only routes here after runtime AVX2+FMA detection.
+    unsafe { scale_avx2(y, s) }
+}
+
+#[target_feature(enable = "avx2")]
+fn scale_avx2(y: &mut [f32], s: f32) {
+    let n = y.len();
+    let sv = _mm256_set1_ps(s);
+    let py = y.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        // SAFETY: i + 8 <= n keeps the load and store in bounds.
+        unsafe {
+            let yv = _mm256_loadu_ps(py.add(i));
+            _mm256_storeu_ps(py.add(i), _mm256_mul_ps(yv, sv));
+        }
+        i += 8;
+    }
+    while i < n {
+        y[i] *= s;
+        i += 1;
+    }
+}
+
+/// `y[i] = s * y[i] + a * x[i]`, bit-identical to the portable fallback
+/// (two multiplies and one add per element, in that order).
+#[inline]
+pub fn scale_add(s: f32, a: f32, x: &[f32], y: &mut [f32]) {
+    debug_assert_eq!(x.len(), y.len());
+    // SAFETY: dispatch only routes here after runtime AVX2+FMA detection.
+    unsafe { scale_add_avx2(s, a, x, y) }
+}
+
+#[target_feature(enable = "avx2")]
+fn scale_add_avx2(s: f32, a: f32, x: &[f32], y: &mut [f32]) {
+    let n = x.len();
+    let sv = _mm256_set1_ps(s);
+    let av = _mm256_set1_ps(a);
+    let px = x.as_ptr();
+    let py = y.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        // SAFETY: i + 8 <= n keeps the loads and store in bounds; x and y
+        // are distinct slices so the store cannot alias the loads.
+        unsafe {
+            let xv = _mm256_loadu_ps(px.add(i));
+            let yv = _mm256_loadu_ps(py.add(i));
+            let r = _mm256_add_ps(_mm256_mul_ps(sv, yv), _mm256_mul_ps(av, xv));
+            _mm256_storeu_ps(py.add(i), r);
+        }
+        i += 8;
+    }
+    while i < n {
+        y[i] = s * y[i] + a * x[i];
+        i += 1;
+    }
+}
+
+/// `dst[i] = f32::from(src[i]) * scale` via F16C hardware conversion.
+/// Falls back to the scalar loop when F16C is absent. Bit-identical to
+/// the software [`F16::to_f32`] for every non-NaN input; NaNs widen to
+/// NaN but the hardware may quiet the payload.
+#[inline]
+pub fn widen_f16(dst: &mut [f32], src: &[F16], scale: f32) {
+    debug_assert_eq!(dst.len(), src.len());
+    if crate::simd::has_f16c() {
+        // SAFETY: guarded by the runtime F16C check above.
+        unsafe { widen_f16_f16c(dst, src, scale) }
+    } else {
+        for (d, s) in dst.iter_mut().zip(src) {
+            *d = s.to_f32() * scale;
+        }
+    }
+}
+
+#[target_feature(enable = "avx,f16c")]
+fn widen_f16_f16c(dst: &mut [f32], src: &[F16], scale: f32) {
+    let n = dst.len();
+    let sv = _mm256_set1_ps(scale);
+    // F16 is repr(transparent) over u16, so the element pointer reads as
+    // raw half-precision bit patterns.
+    let ps = src.as_ptr() as *const u16;
+    let pd = dst.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        // SAFETY: i + 8 <= n keeps the 8-lane u16 load and f32 store in
+        // bounds; the pointer cast is sound because F16 is
+        // repr(transparent) over u16.
+        unsafe {
+            let h = _mm_loadu_si128(ps.add(i) as *const __m128i);
+            let w = _mm256_cvtph_ps(h);
+            _mm256_storeu_ps(pd.add(i), _mm256_mul_ps(w, sv));
+        }
+        i += 8;
+    }
+    while i < n {
+        dst[i] = src[i].to_f32() * scale;
+        i += 1;
+    }
+}
+
+/// `dst[i] = f32::from(src[i]) * scale` via in-register bit-field
+/// expansion (no table gather — `vgatherdps` costs ~10 cycles per 8
+/// lanes on most cores, an order of magnitude more than the shifts and
+/// blends below). With F16C, 16 lanes at a time: `mag << 7` reinterprets
+/// an e4m3 as an f16 whose magnitude is exactly 2^-8 of the true value —
+/// for normals ((exp-15) vs (exp-7)) and subnormals (man·2^-17 vs
+/// man·2^-9, both exactly representable) alike — so a hardware
+/// `vcvtph2ps` and one multiply by the exact constant `256·scale`
+/// recover `f32::from(src[i]) * scale` with the same single rounding as
+/// the scalar path. Only `S.1111.111` (NaN; e4m3 has no infinities)
+/// needs patching before the convert. Without F16C, an 8-lane f32-domain
+/// expansion does the same thing with 32-bit shifts and blends.
+#[inline]
+pub fn widen_e4m3(dst: &mut [f32], src: &[F8E4M3], scale: f32) {
+    debug_assert_eq!(dst.len(), src.len());
+    if crate::simd::has_f16c() {
+        // SAFETY: dispatch guarantees AVX2; F16C is checked just above.
+        unsafe { widen_e4m3_avx2_f16c(dst, src, scale) }
+    } else {
+        // SAFETY: dispatch only routes here after runtime AVX2+FMA detection.
+        unsafe { widen_e4m3_avx2(dst, src, scale) }
+    }
+}
+
+#[target_feature(enable = "avx2,f16c")]
+fn widen_e4m3_avx2_f16c(dst: &mut [f32], src: &[F8E4M3], scale: f32) {
+    let n = dst.len();
+    let lut = e4m3_to_f32_lut();
+    // 256·scale is exact (power-of-two multiply), so the one rounding
+    // below matches the scalar `lut[x] * scale`.
+    let sv = _mm256_set1_ps(256.0 * scale);
+    let sign_mask = _mm256_set1_epi16(0x80);
+    let mag_mask = _mm256_set1_epi16(0x7F);
+    let qnan16 = _mm256_set1_epi16(0x7E00);
+    // F8E4M3 is repr(transparent) over u8.
+    let ps = src.as_ptr() as *const u8;
+    let pd = dst.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 16 <= n {
+        // SAFETY: i + 16 <= n keeps the 16-byte load and both 8-lane f32
+        // stores in bounds; everything in between is register arithmetic.
+        unsafe {
+            let bytes = _mm_loadu_si128(ps.add(i) as *const __m128i);
+            let v = _mm256_cvtepu8_epi16(bytes);
+            let mag = _mm256_and_si256(v, mag_mask);
+            // mag << 7 is the true magnitude : 256 read as f16 bits.
+            let h = _mm256_slli_epi16::<7>(mag);
+            let is_nan = _mm256_cmpeq_epi16(mag, mag_mask);
+            let h = _mm256_blendv_epi8(h, qnan16, is_nan);
+            let h = _mm256_or_si256(h, _mm256_slli_epi16::<8>(_mm256_and_si256(v, sign_mask)));
+            let lo = _mm256_castsi256_si128(h);
+            let hi = _mm256_extracti128_si256::<1>(h);
+            _mm256_storeu_ps(pd.add(i), _mm256_mul_ps(_mm256_cvtph_ps(lo), sv));
+            _mm256_storeu_ps(pd.add(i + 8), _mm256_mul_ps(_mm256_cvtph_ps(hi), sv));
+        }
+        i += 16;
+    }
+    while i < n {
+        dst[i] = lut[src[i].0 as usize] * scale;
+        i += 1;
+    }
+}
+
+#[target_feature(enable = "avx2")]
+fn widen_e4m3_avx2(dst: &mut [f32], src: &[F8E4M3], scale: f32) {
+    let n = dst.len();
+    let lut = e4m3_to_f32_lut();
+    let sv = _mm256_set1_ps(scale);
+    let mag_mask = _mm256_set1_epi32(0x7F);
+    let rebias = _mm256_set1_epi32(120 << 23);
+    let seven = _mm256_set1_epi32(7);
+    let qnan = _mm256_set1_epi32(0x7FC0_0000);
+    let two_pow_m9 = _mm256_set1_ps(1.0 / 512.0);
+    // F8E4M3 is repr(transparent) over u8.
+    let ps = src.as_ptr() as *const u8;
+    let pd = dst.as_mut_ptr();
+    let mut i = 0usize;
+    while i + 8 <= n {
+        // SAFETY: i + 8 <= n keeps the 8-byte load and f32 store in
+        // bounds; everything in between is register arithmetic.
+        unsafe {
+            let bytes = _mm_loadl_epi64(ps.add(i) as *const __m128i);
+            let v = _mm256_cvtepu8_epi32(bytes);
+            // v & 0x80, shifted up to the f32 sign bit.
+            let sign = _mm256_slli_epi32::<24>(_mm256_andnot_si256(mag_mask, v));
+            let mag = _mm256_and_si256(v, mag_mask);
+            // Normal (mag >= 8): exponent and mantissa land in the f32
+            // fields after a 20-bit shift; adding 120<<23 rebias-es the
+            // exponent from 7 to 127 without carrying into the sign.
+            let norm = _mm256_add_epi32(_mm256_slli_epi32::<20>(mag), rebias);
+            // Subnormal or zero (mag < 8): value is man * 2^-9, exact.
+            let sub = _mm256_castps_si256(_mm256_mul_ps(_mm256_cvtepi32_ps(mag), two_pow_m9));
+            let is_norm = _mm256_cmpgt_epi32(mag, seven);
+            let mut bits = _mm256_blendv_epi8(sub, norm, is_norm);
+            // mag == 0x7F is the sole NaN encoding in e4m3 (no infinities).
+            let is_nan = _mm256_cmpeq_epi32(mag, mag_mask);
+            bits = _mm256_blendv_epi8(bits, qnan, is_nan);
+            let w = _mm256_castsi256_ps(_mm256_or_si256(bits, sign));
+            _mm256_storeu_ps(pd.add(i), _mm256_mul_ps(w, sv));
+        }
+        i += 8;
+    }
+    while i < n {
+        dst[i] = lut[src[i].0 as usize] * scale;
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::numerics::portable;
+
+    fn avx2_available() -> bool {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+
+    #[test]
+    fn elementwise_bit_identical_to_portable_all_tail_lengths() {
+        if !avx2_available() {
+            return;
+        }
+        for n in 0..40 {
+            let x: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).sin() * 3.0).collect();
+            let base: Vec<f32> = (0..n).map(|i| (i as f32 * 0.61).cos() * 2.0).collect();
+
+            let mut y0 = base.clone();
+            let mut y1 = base.clone();
+            axpy(1.7, &x, &mut y0);
+            portable::axpy(1.7, &x, &mut y1);
+            assert_eq!(bits(&y0), bits(&y1), "axpy n={n}");
+
+            let mut y0 = base.clone();
+            let mut y1 = base.clone();
+            scale(&mut y0, 0.731);
+            portable::scale(&mut y1, 0.731);
+            assert_eq!(bits(&y0), bits(&y1), "scale n={n}");
+
+            let mut y0 = base.clone();
+            let mut y1 = base.clone();
+            scale_add(0.41, 2.3, &x, &mut y0);
+            portable::scale_add(0.41, 2.3, &x, &mut y1);
+            assert_eq!(bits(&y0), bits(&y1), "scale_add n={n}");
+        }
+    }
+
+    #[test]
+    fn dot_close_to_portable() {
+        if !avx2_available() {
+            return;
+        }
+        for n in [0, 1, 7, 8, 15, 16, 17, 63, 64, 257] {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.13).sin()).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 0.29).cos()).collect();
+            let fast = dot(&a, &b);
+            let slow = portable::dot(&a, &b);
+            assert!(
+                (fast - slow).abs() <= 1e-5 * (1.0 + slow.abs()),
+                "n={n}: {fast} vs {slow}"
+            );
+        }
+    }
+
+    #[test]
+    fn widen_f16_matches_software_for_all_65536_patterns() {
+        if !std::arch::is_x86_feature_detected!("f16c") {
+            return;
+        }
+        let src: Vec<F16> = (0..=u16::MAX).map(F16).collect();
+        let mut dst = vec![0.0f32; src.len()];
+        widen_f16(&mut dst, &src, 1.0);
+        for (i, (&got, s)) in dst.iter().zip(&src).enumerate() {
+            let want = s.to_f32();
+            if want.is_nan() {
+                assert!(got.is_nan(), "pattern {i:#06x}: NaN widened to {got}");
+            } else {
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "pattern {i:#06x}: {got} vs {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn widen_e4m3_matches_software_for_all_256_patterns_and_scales() {
+        if !avx2_available() {
+            return;
+        }
+        for scale_v in [1.0f32, 0.125, 3.5] {
+            let src: Vec<F8E4M3> = (0..=u8::MAX).map(F8E4M3).collect();
+            let mut dst = vec![0.0f32; src.len()];
+            widen_e4m3(&mut dst, &src, scale_v);
+            for (i, (&got, s)) in dst.iter().zip(&src).enumerate() {
+                let want = s.to_f32() * scale_v;
+                if want.is_nan() {
+                    assert!(got.is_nan(), "pattern {i:#04x}");
+                } else {
+                    assert_eq!(got.to_bits(), want.to_bits(), "pattern {i:#04x}");
+                }
+            }
+        }
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|x| x.to_bits()).collect()
+    }
+}

@@ -1,0 +1,183 @@
+//! Property tests pinning every SIMD arm to the portable microkernels:
+//! remainder lengths 0..16 (and beyond one full vector), subnormals,
+//! ±inf/NaN propagation, exact equality for the elementwise ops
+//! (axpy/scale/scale_add never use FMA, by contract), and a summation
+//! tolerance for the FMA'd dot.
+//!
+//! Two layers are exercised: the dispatched `numerics::*` entry points
+//! against `numerics::portable::*` (holds at whatever arm is active,
+//! including a forced-scalar run), and — on x86 hardware with AVX2 —
+//! the `simd_x86` kernels called directly, so real vector coverage
+//! survives an `FI_FORCE_SCALAR=1` test pass.
+
+use fi_tensor::numerics::{self, portable};
+use fi_tensor::{F16, F8E4M3};
+use proptest::prelude::*;
+
+/// f32s with teeth: ordinary magnitudes, tiny/huge values, subnormals,
+/// signed zeros, infinities, and NaN. Magnitudes stay below 2^63 so
+/// products never overflow-round to infinity (which would let FMA and
+/// mul+add legitimately disagree on NaN-ness in `dot`).
+fn spicy_f32() -> impl Strategy<Value = f32> {
+    prop_oneof![
+        -1e3f32..1e3f32,
+        -1.0f32..1.0f32,
+        -1e18f32..1e18f32,
+        Just(0.0f32),
+        Just(-0.0f32),
+        Just(1.0e-41f32),  // subnormal
+        Just(-7.5e-42f32), // subnormal
+        Just(f32::MIN_POSITIVE),
+        Just(f32::INFINITY),
+        Just(f32::NEG_INFINITY),
+        Just(f32::NAN),
+    ]
+}
+
+/// Bitwise equality with NaNs compared by class (payloads may differ
+/// across instruction sets; quietness and everything else must not).
+fn bits_eq(a: f32, b: f32) -> bool {
+    (a.is_nan() && b.is_nan()) || a.to_bits() == b.to_bits()
+}
+
+fn assert_rows_bits_eq(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what} length");
+    for (i, (&g, &w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            bits_eq(g, w),
+            "{what}[{i}]: {g:?} ({:#x}) vs {w:?} ({:#x})",
+            g.to_bits(),
+            w.to_bits()
+        );
+    }
+}
+
+/// |slow - fast| for two summation orders of the same products is
+/// bounded by a few ulps of the total *magnitude* sum, not of the
+/// (possibly cancelled) result.
+fn assert_dot_close(slow: f32, fast: f32, a: &[f32], b: &[f32]) {
+    if slow.is_nan() || fast.is_nan() {
+        assert_eq!(
+            slow.is_nan(),
+            fast.is_nan(),
+            "NaN-ness must agree: {slow} vs {fast}"
+        );
+        return;
+    }
+    if slow.is_infinite() || fast.is_infinite() {
+        assert_eq!(slow, fast, "infinities must agree exactly");
+        return;
+    }
+    let mag: f64 = a
+        .iter()
+        .zip(b)
+        .map(|(&x, &y)| (x as f64 * y as f64).abs())
+        .sum();
+    let tol = 1e-5 * (1.0 + mag);
+    assert!(
+        ((slow as f64) - (fast as f64)).abs() <= tol,
+        "dot {slow} vs {fast}, tol {tol}"
+    );
+}
+
+/// Pairs of equal-length vectors covering every remainder 0..16 and a
+/// couple of full 8-lane blocks beyond.
+fn vec_pair() -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    (0usize..=40).prop_flat_map(|n| {
+        (
+            prop::collection::vec(spicy_f32(), n..=n),
+            prop::collection::vec(spicy_f32(), n..=n),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The dispatched entry points agree with portable at whatever arm
+    /// is active — bitwise for the elementwise ops, bounded for dot.
+    #[test]
+    fn dispatch_matches_portable((xs, ys) in vec_pair(), a in spicy_f32(), s in spicy_f32()) {
+        assert_dot_close(portable::dot(&xs, &ys), numerics::dot(&xs, &ys), &xs, &ys);
+
+        let mut got = ys.clone();
+        let mut want = ys.clone();
+        numerics::axpy(a, &xs, &mut got);
+        portable::axpy(a, &xs, &mut want);
+        assert_rows_bits_eq(&got, &want, "axpy");
+
+        let mut got = ys.clone();
+        let mut want = ys.clone();
+        numerics::scale(&mut got, s);
+        portable::scale(&mut want, s);
+        assert_rows_bits_eq(&got, &want, "scale");
+
+        let mut got = ys.clone();
+        let mut want = ys;
+        numerics::scale_add(s, a, &xs, &mut got);
+        portable::scale_add(s, a, &xs, &mut want);
+        assert_rows_bits_eq(&got, &want, "scale_add");
+    }
+
+    /// The AVX2 kernels themselves (not the dispatcher) — real vector
+    /// coverage even when the dispatcher is forced to scalar.
+    #[test]
+    fn avx2_matches_portable((xs, ys) in vec_pair(), a in spicy_f32(), s in spicy_f32()) {
+        #[cfg(target_arch = "x86_64")]
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma") {
+            use fi_tensor::simd_x86;
+
+            assert_dot_close(portable::dot(&xs, &ys), simd_x86::dot(&xs, &ys), &xs, &ys);
+
+            let mut got = ys.clone();
+            let mut want = ys.clone();
+            simd_x86::axpy(a, &xs, &mut got);
+            portable::axpy(a, &xs, &mut want);
+            assert_rows_bits_eq(&got, &want, "axpy");
+
+            let mut got = ys.clone();
+            let mut want = ys.clone();
+            simd_x86::scale(&mut got, s);
+            portable::scale(&mut want, s);
+            assert_rows_bits_eq(&got, &want, "scale");
+
+            let mut got = ys.clone();
+            let mut want = ys.clone();
+            simd_x86::scale_add(s, a, &xs, &mut got);
+            portable::scale_add(s, a, &xs, &mut want);
+            assert_rows_bits_eq(&got, &want, "scale_add");
+        }
+        let _ = (&xs, &ys, a, s);
+    }
+
+    /// Vectorized f16 widening agrees bitwise with the software
+    /// conversion for arbitrary bit patterns (subnormals, infs, NaNs)
+    /// at every remainder length and scale.
+    #[test]
+    fn widen_f16_matches_software(
+        bits in prop::collection::vec(0u16..=u16::MAX, 0..17),
+        pick in 0usize..3,
+    ) {
+        let scale = [1.0f32, 0.5, 3.0][pick];
+        let src: Vec<F16> = bits.iter().map(|&b| F16(b)).collect();
+        let mut got = vec![0.0f32; src.len()];
+        numerics::widen_f16_into(&mut got, &src, scale);
+        let want: Vec<f32> = src.iter().map(|h| h.to_f32() * scale).collect();
+        assert_rows_bits_eq(&got, &want, "widen_f16");
+    }
+
+    /// Vectorized e4m3 widening agrees bitwise with the per-element
+    /// conversion for all byte patterns, remainders, and scales.
+    #[test]
+    fn widen_e4m3_matches_software(
+        bytes in prop::collection::vec(0u8..=u8::MAX, 0..17),
+        pick in 0usize..3,
+    ) {
+        let scale = [1.0f32, 0.125, 3.5][pick];
+        let src: Vec<F8E4M3> = bytes.iter().map(|&b| F8E4M3(b)).collect();
+        let mut got = vec![0.0f32; src.len()];
+        numerics::widen_e4m3_into(&mut got, &src, scale);
+        let want: Vec<f32> = src.iter().map(|q| q.to_f32() * scale).collect();
+        assert_rows_bits_eq(&got, &want, "widen_e4m3");
+    }
+}

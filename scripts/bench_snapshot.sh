@@ -2,9 +2,12 @@
 # Snapshot the flash-kernel microbenchmarks into BENCH_kernel.json.
 #
 # Runs the criterion groups `flash_kernel_decode` (per-KV-length decode
-# shapes) and `flash_kernel_scratch` (fresh vs reused scratch arena on the
-# standard decode shape), then collects criterion's mean point estimates
-# (ns/iter) from target/criterion/*/new/estimates.json.
+# shapes), `flash_kernel_dtype` (decode with the KV arena stored at
+# f32/f16/fp8, widen-on-stage included), and `flash_kernel_scratch`
+# (fresh vs reused scratch arena on the standard decode shape), then
+# collects criterion's mean point estimates (ns/iter) from
+# target/criterion/*/new/estimates.json, tagging the snapshot with the
+# detected CPU features and dispatch arm (offline_timing --simd-info).
 #
 # With --offline, skips criterion entirely and runs the registry-free
 # timing binary (crates/bench/src/bin/offline_timing.rs), which measures
@@ -56,13 +59,15 @@ echo "==> cargo bench (flash_kernel groups)"
 cargo bench -p fi-bench --bench microbench -- 'flash_kernel'
 
 echo "==> collecting criterion estimates into ${OUT}"
+SIMD_INFO="$(cargo run --release -q -p fi-bench --bin offline_timing -- --simd-info)"
+export SIMD_INFO
 python3 - "$OUT" <<'PY'
 import json, os, sys
 
 out_path = sys.argv[1]
 root = os.path.join("target", "criterion")
 results = {}
-for group in ("flash_kernel_decode", "flash_kernel_scratch"):
+for group in ("flash_kernel_decode", "flash_kernel_dtype", "flash_kernel_scratch"):
     gdir = os.path.join(root, group)
     if not os.path.isdir(gdir):
         continue
@@ -82,13 +87,17 @@ speedup = None
 if "fresh_scratch_per_call" in scratch and "reused_scratch" in scratch:
     speedup = round(scratch["fresh_scratch_per_call"] / scratch["reused_scratch"], 3)
 
+simd = json.loads(os.environ.get("SIMD_INFO") or "{}")
+
 with open(out_path, "w") as f:
     json.dump(
         {
             "unit": "ns_per_iter_mean",
             "source": "scripts/bench_snapshot.sh (criterion mean point estimates)",
             "groups": results,
-            "scratch_speedup_fresh_over_reused": speedup,
+            "simd": simd,
+            # > 1.0 means reusing the scratch arena beats re-allocating it.
+            "scratch_reuse_speedup": speedup,
         },
         f,
         indent=2,

@@ -18,6 +18,22 @@ cargo clippy --workspace --all-targets "${PROFILE_FLAGS[@]}" -- -D warnings
 echo "==> cargo test"
 cargo test -q --workspace "${PROFILE_FLAGS[@]}"
 
+echo "==> cargo test (FI_FORCE_SCALAR=1, portable SIMD arm)"
+FI_FORCE_SCALAR=1 cargo test -q --workspace "${PROFILE_FLAGS[@]}"
+
+echo "==> unsafe stays confined to the SIMD arms and the KV store"
+# Product code only: tests may implement unsafe traits for
+# instrumentation (e.g. the counting GlobalAlloc in fi-core's
+# alloc_free test), but library and binary sources must not grow new
+# unsafe outside the two sanctioned spots.
+if grep -rln 'unsafe' --include='*.rs' crates/*/src src examples 2>/dev/null \
+    | grep -v '^crates/tensor/src/simd' \
+    | grep -v '^crates/kvcache/src/store.rs'; then
+  echo "error: unsafe code found outside crates/tensor/src/simd* and" >&2
+  echo "crates/kvcache/src/store.rs (DESIGN.md §11)" >&2
+  exit 1
+fi
+
 echo "==> fi-runtime concurrency gate (forced parallelism + repeated-seed smoke)"
 cargo test -q -p fi-runtime "${PROFILE_FLAGS[@]}" -- --test-threads=8
 for _ in 1 2 3; do
