@@ -98,6 +98,32 @@ impl ExecContext {
         let compute_time = flops / flop_rate;
         mem_time.max(compute_time) + self.item_overhead
     }
+
+    /// Cost-model gate for shared-prefix decode groups: is staging the
+    /// prefix once for the whole group (one `group_rows`-row prefix item
+    /// plus one suffix item per member) cheaper than the flat path (one
+    /// full-length item per member)?
+    ///
+    /// Cascade trades `(group_rows - 1) * prefix_kv` rows of repeated KV
+    /// traffic for one extra work item per member — so large prefixes and
+    /// wide groups cascade, while tiny prefixes (where the saved bytes
+    /// cannot buy back the added per-item overhead) stay flat.
+    pub fn cascade_beats_flat(&self, prefix_kv: usize, suffix_kvs: &[usize]) -> bool {
+        let group_rows = suffix_kvs.len();
+        if group_rows < 2 || prefix_kv == 0 {
+            return false;
+        }
+        let flat: f64 = suffix_kvs
+            .iter()
+            .map(|&s| self.item_time(1, prefix_kv + s))
+            .sum();
+        let cascade = self.item_time(group_rows, prefix_kv)
+            + suffix_kvs
+                .iter()
+                .map(|&s| self.item_time(1, s))
+                .sum::<f64>();
+        cascade < flat
+    }
 }
 
 /// Result of simulating one plan.
@@ -277,6 +303,22 @@ mod tests {
     fn ctx() -> ExecContext {
         let heads = HeadConfig::new(32, 8, 128).unwrap();
         ExecContext::new(GpuSpec::A100_40G, heads, TileConfig { tq: 16, tkv: 64 })
+    }
+
+    #[test]
+    fn cascade_gate_follows_prefix_size_and_group_width() {
+        let c = ctx();
+        // A long shared prefix across a wide group: staging it once saves
+        // far more bandwidth than the extra per-member suffix item costs.
+        assert!(c.cascade_beats_flat(4096, &[32; 64]));
+        assert!(c.cascade_beats_flat(1024, &[16; 8]));
+        // A page-sized prefix saves a few hundred bytes per member — less
+        // than one item_overhead buys — so the gate keeps the group flat.
+        assert!(!c.cascade_beats_flat(4, &[64; 4]));
+        // Degenerate groups never cascade.
+        assert!(!c.cascade_beats_flat(4096, &[32]));
+        assert!(!c.cascade_beats_flat(4096, &[]));
+        assert!(!c.cascade_beats_flat(0, &[32; 8]));
     }
 
     #[test]

@@ -36,6 +36,6 @@ pub use compat::LockedPagedKvCache;
 pub use error::KvCacheError;
 pub use map::PageMap;
 pub use paged::PagedKvCache;
-pub use radix::RadixTree;
+pub use radix::{PrefixMatch, RadixTree};
 pub use shard_alloc::{PageCache, ShardedPageAllocator};
 pub use store::{KvStore, KvStoreWriter};

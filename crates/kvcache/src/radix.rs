@@ -52,6 +52,16 @@ pub struct PrefixMatch {
     edge_offset: usize,
 }
 
+impl PrefixMatch {
+    /// The tree node this match ends on — a stable identity for the
+    /// matched prefix (node ids survive edge splits and evictions), so
+    /// schedulers can group requests that share a prefix by comparing
+    /// node ids instead of token sequences.
+    pub fn node_id(&self) -> usize {
+        self.node
+    }
+}
+
 /// A compressed prefix trie over token sequences.
 ///
 /// ```

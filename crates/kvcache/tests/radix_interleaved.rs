@@ -147,3 +147,94 @@ fn interleaved_insert_match_evict_conserves_slots() {
         assert_eq!(tree.evictable_tokens(), 0);
     }
 }
+
+/// Formed-batch lifecycle: a serving scheduler locks every prefix its
+/// step batch references at batch *formation*, then executes, then
+/// unlocks at request retirement. Between formation and execution other
+/// traffic keeps inserting and forcing capacity eviction — `evict_lru`
+/// must never free a slot belonging to a formed-but-not-yet-executed
+/// batch, and after the batch retires those prefixes must become
+/// evictable again (no stranded pins).
+#[test]
+fn formed_batch_prefixes_survive_eviction_until_release() {
+    for seed in 0..4u64 {
+        let mut rng = Rng(0xBA7C4 ^ seed);
+        let mut tree = RadixTree::new();
+        let mut cache = pool();
+
+        for round in 0..60 {
+            // Form a batch: 3 prefix groups, locked once per "member".
+            let mut batch: Vec<(Vec<u32>, Vec<fi_kvcache::radix::PrefixMatch>)> = Vec::new();
+            for _ in 0..3 {
+                let toks = gen_tokens(&mut rng);
+                if cache.free_page_count() < toks.len() {
+                    let freed = tree.evict_lru(toks.len() - cache.free_page_count());
+                    cache.release_pages(&freed);
+                }
+                let m = tree.match_prefix(&toks);
+                let novel = toks.len() - m.matched_tokens;
+                if cache.free_page_count() < novel {
+                    continue;
+                }
+                let mut slots = m.slots.clone();
+                slots.extend(cache.alloc_pages(novel).unwrap());
+                tree.insert(&toks, &slots).unwrap();
+                let members = 1 + rng.below(4);
+                let mut locks = Vec::new();
+                for _ in 0..members {
+                    let m = tree.match_prefix(&toks);
+                    assert_eq!(m.matched_tokens, toks.len());
+                    tree.lock_prefix(&m);
+                    locks.push(m);
+                }
+                batch.push((toks, locks));
+            }
+
+            // Interleaved traffic while the batch is formed but not yet
+            // executed: inserts + aggressive eviction.
+            for _ in 0..8 {
+                let toks = gen_tokens(&mut rng);
+                let m = tree.match_prefix(&toks);
+                let novel = toks.len() - m.matched_tokens;
+                if cache.free_page_count() >= novel {
+                    let mut slots = m.slots.clone();
+                    slots.extend(cache.alloc_pages(novel).unwrap());
+                    tree.insert(&toks, &slots).unwrap();
+                }
+                let freed = tree.evict_lru(1 + rng.below(64));
+                // Eviction must not have touched any batch-referenced slot.
+                for (toks, locks) in &batch {
+                    for s in &locks[0].slots[..toks.len()] {
+                        assert!(
+                            !freed.contains(s),
+                            "evict_lru freed a slot of a formed batch \
+                             (seed {seed}, round {round})"
+                        );
+                    }
+                }
+                cache.release_pages(&freed);
+            }
+
+            // "Execute": every member's slots must still match what batch
+            // formation recorded.
+            for (toks, locks) in &batch {
+                let again = tree.match_prefix(toks);
+                assert!(again.matched_tokens >= toks.len());
+                assert_eq!(&again.slots[..toks.len()], &locks[0].slots[..toks.len()]);
+            }
+
+            // Retire the batch: one unlock per member lock.
+            for (_, locks) in batch {
+                for m in locks {
+                    tree.unlock_prefix(&m);
+                }
+            }
+        }
+
+        // With every batch retired the tree must drain completely.
+        let freed = tree.evict_lru(usize::MAX);
+        cache.release_pages(&freed);
+        assert_eq!(tree.cached_tokens(), 0, "stranded pins (seed {seed})");
+        assert_eq!(cache.free_page_count(), NUM_PAGES);
+    }
+}

@@ -173,7 +173,8 @@ fn radix_fork_split_round_trip() {
     // Request 1 prefills 8 tokens (2 full pages) and registers them.
     c.add_request(1).unwrap();
     for p in 0..8 {
-        c.append(1, &row(p as f32, w), &row(-(p as f32), w)).unwrap();
+        c.append(1, &row(p as f32, w), &row(-(p as f32), w))
+            .unwrap();
     }
     let tokens: Vec<u32> = (100..108).collect();
     let pt = c.page_table(&[1]).unwrap();
@@ -225,7 +226,9 @@ fn swap_round_trip_is_bit_exact() {
     }
     let before: Vec<Vec<f32>> = {
         let pt = c.page_table(&[7]).unwrap();
-        (0..10).map(|p| c.k_slot(pt.slot_of(0, p)).to_vec()).collect()
+        (0..10)
+            .map(|p| c.k_slot(pt.slot_of(0, p)).to_vec())
+            .collect()
     };
     let free_before = c.free_page_count();
 

@@ -31,14 +31,22 @@
 //!   collectives — outputs stay bit-identical to the unsharded run, and
 //!   collective byte counts surface in [`RuntimeMetrics`]' `comm` field.
 //!
-//! Every work unit is a batch-of-one problem on purpose: a plan's
-//! KV-split decisions are global per plan, so per-request units make the
-//! decoded outputs bit-identical to a sequential replay of the same
-//! request regardless of batch composition, worker count, preemption, or
-//! arrival order — the property the integration tests check against a
-//! fresh-pool oracle. Token embeddings are deterministic functions of
-//! `(seed, position)` ([`kv_row`], [`q_row`]), which is also what makes
-//! preempt-and-recompute exact.
+//! Work units preserve bit-exactness by construction: a plan's KV-split
+//! decisions are global per layout, so ordinary requests run as
+//! batch-of-one problems, making their decoded outputs bit-identical to
+//! a sequential replay regardless of batch composition, worker count,
+//! preemption, or arrival order — the property the integration tests
+//! check against a fresh-pool oracle. Requests declaring a
+//! [`request::SharedPrefix`] additionally decode through the two-level
+//! cascade ([`fi_sched::CascadeDecodeGroup`]): the scheduler stores the
+//! prefix KV once, tracks it in a [`fi_kvcache::RadixTree`], groups
+//! co-resident sharers per step, and stages the shared prefix once per
+//! *group* instead of once per request — with layouts shaped so grouping
+//! changes staging traffic but never bits (the prefix level is one block
+//! row whose planner chunking is independent of group width, and each
+//! suffix is planned alone). Token embeddings are deterministic functions
+//! of `(seed, position)` ([`kv_row`], [`q_row`], [`request_kv_row`]),
+//! which is also what makes preempt-and-recompute exact.
 //!
 //! The final [`RuntimeMetrics`] embeds the simulator's `ServingMetrics`
 //! so a simulated and a real run of one workload can be compared
@@ -53,7 +61,7 @@ mod worker;
 
 pub use metrics::RuntimeMetrics;
 pub use request::{
-    kv_row, q_row, CancelReason, CompletedRequest, RejectReason, RequestHandle, RequestOutcome,
-    RuntimeRequest,
+    effective_prefix_len, kv_row, prefix_token, q_row, request_kv_row, CancelReason,
+    CompletedRequest, RejectReason, RequestHandle, RequestOutcome, RuntimeRequest, SharedPrefix,
 };
-pub use scheduler::{KvPrecision, Runtime, RuntimeConfig, RuntimeError};
+pub use scheduler::{CascadeMode, KvPrecision, Runtime, RuntimeConfig, RuntimeError};

@@ -14,6 +14,24 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
+/// A shared-prefix declaration: the request's first `len` prompt tokens
+/// come from `seed`'s token stream instead of the request's own.
+///
+/// Requests declaring the same `(seed, len)` share those KV rows
+/// physically — the scheduler stores the prefix once in the pool, tracks
+/// it in the radix tree, and executes decode steps of co-resident sharers
+/// as one cascade group (the prefix staged once per group). The declared
+/// length is a *maximum*: the scheduler may use a shorter effective
+/// prefix (page-aligned, and leaving the request at least one own row) —
+/// see [`effective_prefix_len`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SharedPrefix {
+    /// Seed of the shared prefix's synthetic token stream.
+    pub seed: u64,
+    /// Prompt positions `0..len` drawn from the prefix stream.
+    pub len: usize,
+}
+
 /// What a client asks the runtime to serve: a prompt of `prompt_len`
 /// synthetic tokens followed by `output_len` decode steps.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,6 +45,8 @@ pub struct RuntimeRequest {
     /// Relative deadline from submission; the scheduler cancels the
     /// request (freeing its KV pages) once it passes.
     pub deadline: Option<Duration>,
+    /// Optional shared prefix covering the head of the prompt.
+    pub prefix: Option<SharedPrefix>,
 }
 
 impl RuntimeRequest {
@@ -37,12 +57,21 @@ impl RuntimeRequest {
             output_len,
             seed,
             deadline: None,
+            prefix: None,
         }
     }
 
     /// Attach a relative deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> RuntimeRequest {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Declare that prompt positions `0..len` come from `seed`'s shared
+    /// token stream (clamped to the prompt by the scheduler; see
+    /// [`effective_prefix_len`]).
+    pub fn with_shared_prefix(mut self, seed: u64, len: usize) -> RuntimeRequest {
+        self.prefix = Some(SharedPrefix { seed, len });
         self
     }
 
@@ -56,6 +85,16 @@ impl RuntimeRequest {
     }
 }
 
+/// The prefix length the scheduler actually shares for a request:
+/// the declared length, capped so the request keeps at least one own
+/// prompt row, then rounded **down** to a whole number of pages (owner
+/// pages must all be full for the composable layout; a zero result means
+/// the request runs without a shared prefix).
+pub fn effective_prefix_len(declared: usize, prompt_len: usize, page_size: usize) -> usize {
+    let capped = declared.min(prompt_len.saturating_sub(1));
+    capped - capped % page_size.max(1)
+}
+
 /// Why admission refused a request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RejectReason {
@@ -63,6 +102,9 @@ pub enum RejectReason {
     QueueFull,
     /// The request can never fit the KV pool, even running alone.
     Oversize,
+    /// Shared-prefix requests are not supported on the tensor-parallel
+    /// backend (prefix grouping assumes the single-shard executor).
+    PrefixUnsupported,
 }
 
 /// Why a request was terminated before completing.
@@ -162,17 +204,20 @@ impl RequestHandle {
 // Deterministic synthetic token streams.
 // ---------------------------------------------------------------------------
 
-/// SplitMix64-style finalizer over a (seed, stream, index) triple, mapped
-/// to roughly uniform `[-0.5, 0.5)`.
-fn mix3(seed: u64, stream: u64, i: u64) -> f32 {
+/// SplitMix64-style finalizer over a (seed, stream, index) triple.
+fn mix3_bits(seed: u64, stream: u64, i: u64) -> u64 {
     let mut z = seed
         .wrapping_mul(0x9E37_79B9_7F4A_7C15)
         .wrapping_add(stream.wrapping_mul(0xD1B5_4A32_D192_ED03))
         .wrapping_add(i.wrapping_mul(0x2545_F491_4F6C_DD1D));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^= z >> 31;
-    ((z >> 40) as f32 / (1u64 << 24) as f32) - 0.5
+    z ^ (z >> 31)
+}
+
+/// [`mix3_bits`] mapped to roughly uniform `[-0.5, 0.5)`.
+fn mix3(seed: u64, stream: u64, i: u64) -> f32 {
+    ((mix3_bits(seed, stream, i) >> 40) as f32 / (1u64 << 24) as f32) - 0.5
 }
 
 /// The K (or V) row for absolute position `pos` of a request's sequence.
@@ -197,6 +242,31 @@ pub fn q_row(seed: u64, pos: usize, width: usize) -> Vec<f32> {
         .collect()
 }
 
+/// [`kv_row`] for a request with an *effective* shared prefix: positions
+/// under `prefix.len` draw from the prefix stream, the rest from the
+/// request's own. Query rows are always the request's own ([`q_row`]) —
+/// sharing covers stored KV, not the live query.
+pub fn request_kv_row(
+    seed: u64,
+    prefix: Option<SharedPrefix>,
+    pos: usize,
+    width: usize,
+    value: bool,
+) -> Vec<f32> {
+    match prefix {
+        Some(p) if pos < p.len => kv_row(p.seed, pos, width, value),
+        _ => kv_row(seed, pos, width, value),
+    }
+}
+
+/// Token id at position `i` of a shared prefix's stream — the key
+/// sequence the radix tree indexes for `(seed, len)` prefixes. Drawn
+/// from the same mixer as the embeddings, so distinct `(seed, i)` pairs
+/// collide only with negligible probability.
+pub fn prefix_token(seed: u64, i: usize) -> u32 {
+    (mix3_bits(seed, 4, i as u64) >> 32) as u32
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +286,53 @@ mod tests {
     fn normalization_floors_lengths() {
         let r = RuntimeRequest::new(0, 0, 1).normalized();
         assert_eq!((r.prompt_len, r.output_len), (1, 1));
+    }
+
+    #[test]
+    fn effective_prefix_is_page_aligned_with_an_own_row() {
+        // Declared 8, prompt 12, pages of 4: the full 8 fit.
+        assert_eq!(effective_prefix_len(8, 12, 4), 8);
+        // Prompt 9 must keep one own row: cap at 8, already aligned.
+        assert_eq!(effective_prefix_len(9, 9, 4), 8);
+        // Prompt exactly the prefix: cap at 7, round down to 4.
+        assert_eq!(effective_prefix_len(8, 8, 4), 4);
+        // Unaligned declarations round down.
+        assert_eq!(effective_prefix_len(7, 100, 4), 4);
+        assert_eq!(effective_prefix_len(3, 100, 4), 0);
+        // Degenerate prompt / page size never underflow or divide by zero.
+        assert_eq!(effective_prefix_len(8, 1, 4), 0);
+        assert_eq!(effective_prefix_len(8, 0, 4), 0);
+        assert_eq!(effective_prefix_len(8, 12, 0), 8);
+    }
+
+    #[test]
+    fn prefix_rows_dispatch_by_position() {
+        let p = SharedPrefix { seed: 42, len: 4 };
+        for pos in 0..4 {
+            assert_eq!(
+                request_kv_row(7, Some(p), pos, 8, false),
+                kv_row(42, pos, 8, false)
+            );
+        }
+        for pos in 4..8 {
+            assert_eq!(
+                request_kv_row(7, Some(p), pos, 8, true),
+                kv_row(7, pos, 8, true)
+            );
+        }
+        assert_eq!(request_kv_row(7, None, 2, 8, false), kv_row(7, 2, 8, false));
+    }
+
+    #[test]
+    fn prefix_tokens_are_deterministic_and_distinct() {
+        let a: Vec<u32> = (0..64).map(|i| prefix_token(5, i)).collect();
+        let b: Vec<u32> = (0..64).map(|i| prefix_token(5, i)).collect();
+        assert_eq!(a, b);
+        let c: Vec<u32> = (0..64).map(|i| prefix_token(6, i)).collect();
+        assert_ne!(a, c);
+        let mut uniq = a.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), 64, "token stream has collisions");
     }
 }

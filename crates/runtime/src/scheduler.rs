@@ -12,8 +12,18 @@
 //! the token-level accounting), cancellation and deadlines observed
 //! mid-flight, swap buffers that actually hold the evicted rows, and real
 //! kernels producing bit-exact attention outputs.
+//!
+//! Requests declaring a [`SharedPrefix`] add one more concern: the prefix
+//! KV is stored **once** under an owner pseudo-request, indexed in a
+//! [`RadixTree`], and credited at admission instead of re-charged per
+//! request. Each step, co-resident sharers' decodes group by radix node
+//! and run as a two-level cascade — the prefix staged once per group —
+//! whenever the [`fi_gpusim::ExecContext`] cost gate says grouping beats
+//! the flat path. The radix lock held per admitted user pins the prefix
+//! against LRU eviction for as long as any formed-but-unexecuted batch
+//! might reference it.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
@@ -23,20 +33,23 @@ use std::time::Instant;
 use fi_core::config::HeadConfig;
 use fi_core::tiles::TileConfig;
 use fi_dist::ShardedKvPool;
-use fi_kvcache::KvCacheError;
+use fi_gpusim::{ExecContext, GpuSpec};
+use fi_kvcache::{KvCacheError, PrefixMatch, RadixTree};
 use fi_serving::engine::{EngineConfig, PreemptionPolicy};
 use fi_serving::policy::{self, AdmissionCost, AdmissionVerdict};
 use fi_serving::workload::RequestSpec;
+use fi_sparse::page::PageTable;
 use fi_tensor::KvDtype;
 
 use crate::metrics::RuntimeMetrics;
 use crate::pool::{KvBackend, SingleKv};
 use crate::request::{
-    kv_row, q_row, CancelReason, CompletedRequest, RejectReason, RequestHandle, RequestOutcome,
-    RuntimeRequest,
+    effective_prefix_len, kv_row, prefix_token, q_row, CancelReason, CompletedRequest,
+    RejectReason, RequestHandle, RequestOutcome, RuntimeRequest, SharedPrefix,
 };
 use crate::worker::{
-    sharded_worker_loop, worker_loop, WorkResult, WorkUnit, WorkerConfig, WorkerReport,
+    sharded_worker_loop, worker_loop, GroupMember, GroupUnit, SingleUnit, WorkResult, WorkUnit,
+    WorkerConfig, WorkerReport,
 };
 
 /// Configuration of a [`Runtime`].
@@ -161,6 +174,26 @@ impl KvPrecision {
     }
 }
 
+/// Whether shared-prefix decode groups may fuse into multi-member
+/// cascade launches (companion option to
+/// [`Runtime::start_with_cascade`]).
+///
+/// Grouping never changes any request's output bits — the cascade level
+/// layouts are shaped so planner chunking is independent of group
+/// composition (see [`fi_sched::CascadeDecodeGroup`]) — so this switch
+/// trades staging traffic only: `Auto` fuses whenever the cost model
+/// says staging the prefix once beats re-gathering it per member, `Off`
+/// runs every sharer as its own single-member cascade (the flat baseline
+/// the benchmarks compare against).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CascadeMode {
+    /// Fuse co-resident sharers when the cost model favors it.
+    #[default]
+    Auto,
+    /// Never fuse (per-member prefix staging, bit-identical outputs).
+    Off,
+}
+
 /// Runtime construction / configuration errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RuntimeError {
@@ -212,6 +245,9 @@ pub struct Runtime {
     scheduler: Option<JoinHandle<RuntimeMetrics>>,
     gate: Arc<Gate>,
     next_id: AtomicU64,
+    /// Mirrored from the config so `submit` can reject shared-prefix
+    /// requests on the sharded backend without a scheduler round-trip.
+    tensor_parallel: usize,
 }
 
 impl Runtime {
@@ -223,8 +259,20 @@ impl Runtime {
 
     /// Spawn the scheduler and worker threads with the given KV storage
     /// precision. Reduced-precision arenas require `tensor_parallel == 1`
-    /// (the sharded pool stores f32).
+    /// (the sharded pool stores f32). Shared-prefix grouping runs in
+    /// [`CascadeMode::Auto`].
     pub fn start_with(cfg: RuntimeConfig, precision: KvPrecision) -> Result<Runtime, RuntimeError> {
+        Runtime::start_with_cascade(cfg, precision, CascadeMode::Auto)
+    }
+
+    /// [`Runtime::start_with`] plus an explicit [`CascadeMode`], so
+    /// benchmarks can pin the flat path and compare staged bytes against
+    /// an otherwise identical `Auto` run.
+    pub fn start_with_cascade(
+        cfg: RuntimeConfig,
+        precision: KvPrecision,
+        cascade: CascadeMode,
+    ) -> Result<Runtime, RuntimeError> {
         cfg.validate()?;
         if cfg.tensor_parallel > 1 && precision.dtype != KvDtype::F32 {
             return Err(RuntimeError::InvalidConfig(
@@ -267,15 +315,17 @@ impl Runtime {
         let (tx, rx) = mpsc::sync_channel(cfg.queue_capacity);
         let gate = Arc::new(Gate::default());
         let sched_gate = Arc::clone(&gate);
+        let tensor_parallel = cfg.tensor_parallel;
         let scheduler = std::thread::Builder::new()
             .name("fi-runtime-scheduler".into())
-            .spawn(move || Scheduler::new(cfg, pool, rx, sched_gate).run())
+            .spawn(move || Scheduler::new(cfg, pool, rx, sched_gate, cascade).run())
             .map_err(|e| RuntimeError::InvalidConfig(format!("spawn scheduler: {e}")))?;
         Ok(Runtime {
             tx: Some(tx),
             scheduler: Some(scheduler),
             gate,
             next_id: AtomicU64::new(1),
+            tensor_parallel,
         })
     }
 
@@ -293,6 +343,21 @@ impl Runtime {
             outcome: otx,
             submitted_at: Instant::now(),
         };
+        if sub.spec.prefix.is_some() && self.tensor_parallel > 1 {
+            // Prefix grouping assumes the single-shard executor; reject
+            // here (like QueueFull, the depth was never incremented) so
+            // the tp scheduler never sees a request it cannot serve.
+            self.gate.gate_rejected.fetch_add(1, Ordering::Relaxed);
+            deliver(
+                &sub,
+                RequestOutcome::Rejected(RejectReason::PrefixUnsupported),
+            );
+            return RequestHandle {
+                id,
+                cancel_flag,
+                outcome: orx,
+            };
+        }
         let tx = self.tx.as_ref().expect("live until finish()");
         // Count the submission in the depth *before* it becomes visible
         // to the scheduler — the scheduler's decrement-on-drain must
@@ -373,6 +438,12 @@ struct Active {
     charged: usize,
     /// Prefill chunk staged for the current step.
     staged: usize,
+    /// The *effective* shared prefix (page-aligned, non-empty), if the
+    /// request declared one. The request's own pool rows cover global
+    /// positions `prefix.len..`; the prefix rows live under the owner
+    /// pseudo-request. Survives preemption — the radix lock and user
+    /// count are held until the request reaches a terminal state.
+    prefix: Option<SharedPrefix>,
     swap: Option<SwapBuf>,
     first_token_at: Option<Instant>,
     last_token_at: Option<Instant>,
@@ -380,10 +451,42 @@ struct Active {
     preemptions: usize,
 }
 
+impl Active {
+    /// Global positions `0..prefix_len()` are shared-prefix rows; the
+    /// request's own pool rows start there.
+    fn prefix_len(&self) -> usize {
+        self.prefix.map(|p| p.len).unwrap_or(0)
+    }
+}
+
 enum AppendOutcome {
     Done,
     /// The row can never fit (pool too small for this request alone).
     Failed(String),
+}
+
+/// Pool ids above this bound are prefix owners, never client requests
+/// (client ids count up from 1), so the two can share the pool's id
+/// space without collision.
+const PREFIX_OWNER_BASE: u64 = 1 << 63;
+
+/// A shared prefix resident in the pool: its KV rows stored once under
+/// an owner pseudo-request (appended directly — the skip-prefill win),
+/// its token sequence indexed by the radix tree, its admission charge
+/// (`len` tokens) taken once at creation rather than per user.
+struct PrefixEntry {
+    /// Owner pseudo-request holding the prefix's pool pages.
+    owner_id: u64,
+    /// Live requests (active *or* preempted) referencing this prefix.
+    /// Each holds one radix lock for its whole lifetime, so `users > 0`
+    /// pins the path against [`RadixTree::evict_lru`].
+    users: usize,
+    /// The match the users' locks went through (lock/unlock take the
+    /// match, and its node id is the per-step grouping key).
+    pmatch: PrefixMatch,
+    /// The prefix's token sequence, kept to re-probe the tree when
+    /// deciding whether the LRU sweep released this entry.
+    tokens: Vec<u32>,
 }
 
 struct Scheduler {
@@ -402,6 +505,14 @@ struct Scheduler {
     workers: Vec<JoinHandle<WorkerReport>>,
     disconnected: bool,
     rr: usize,
+    /// Prefix index: token sequences of every resident shared prefix.
+    radix: RadixTree,
+    /// Resident prefixes by `(seed, effective_len)`.
+    prefix_entries: HashMap<(u64, usize), PrefixEntry>,
+    next_owner_id: u64,
+    cascade: CascadeMode,
+    /// Cost model deciding cascade-vs-flat per group per step.
+    exec_ctx: ExecContext,
 }
 
 impl Scheduler {
@@ -410,7 +521,17 @@ impl Scheduler {
         pool: KvBackend,
         rx: Receiver<Submission>,
         gate: Arc<Gate>,
+        cascade: CascadeMode,
     ) -> Scheduler {
+        // The gate costs relative traffic, so any spec works; what must
+        // match the runtime is the geometry and the stored KV width.
+        let mut exec_ctx = ExecContext::new(GpuSpec::H100_80G, cfg.heads, cfg.tile);
+        exec_ctx.kv_elem_bytes = match pool.kv_dtype() {
+            KvDtype::F32 => 4,
+            KvDtype::F16 => 2,
+            KvDtype::Fp8E4M3 => 1,
+        };
+        exec_ctx.q_elem_bytes = 4;
         Scheduler {
             cfg,
             pool,
@@ -426,6 +547,11 @@ impl Scheduler {
             workers: Vec::new(),
             disconnected: false,
             rr: 0,
+            radix: RadixTree::new(),
+            prefix_entries: HashMap::new(),
+            next_owner_id: 0,
+            cascade,
+            exec_ctx,
         }
     }
 
@@ -460,6 +586,12 @@ impl Scheduler {
         self.metrics.tensor_parallel = self.cfg.tensor_parallel;
         self.metrics.kv_dtype = self.pool.kv_dtype().to_string();
         self.metrics.kv_pages_total = self.cfg.num_pages;
+        // Prefix owners outlive their users by design; with every user
+        // drained they are all idle now, so drop them before drain-time
+        // accounting (which expects an empty pool).
+        for (_, e) in self.prefix_entries.drain() {
+            let _ = self.pool.remove_request(e.owner_id);
+        }
         // Return cached pages to the shards so drain-time accounting sees
         // the allocator's true free count.
         self.pool.flush();
@@ -561,14 +693,20 @@ impl Scheduler {
             }
             None => true,
         });
-        self.preempted.retain(|a| match Self::cancel_state(&a.sub) {
-            Some(r) => {
-                deliver(&a.sub, RequestOutcome::Cancelled(r));
-                metrics.cancelled += 1;
-                false
+        // Preempted requests hold no pool pages or charge, but they do
+        // hold their prefix user count and radix lock — release it.
+        let mut i = 0;
+        while i < self.preempted.len() {
+            match Self::cancel_state(&self.preempted[i].sub) {
+                Some(r) => {
+                    let a = self.preempted.remove(i).expect("index in bounds");
+                    self.release_prefix(&a);
+                    deliver(&a.sub, RequestOutcome::Cancelled(r));
+                    self.metrics.cancelled += 1;
+                }
+                None => i += 1,
             }
-            None => true,
-        });
+        }
         let mut i = 0;
         while i < self.active.len() {
             match Self::cancel_state(&self.active[i].sub) {
@@ -583,10 +721,25 @@ impl Scheduler {
         }
     }
 
-    /// Free a request's policy reservation and its pool pages.
+    /// Free a request's policy reservation, its pool pages, and its
+    /// prefix reference (terminal states only — preemption keeps the
+    /// prefix pinned).
     fn release(&mut self, a: &Active) {
         self.kv_used = self.kv_used.saturating_sub(a.charged);
         let _ = self.pool.remove_request(a.sub.id);
+        self.release_prefix(a);
+    }
+
+    /// Drop one user reference on `a`'s shared prefix and release its
+    /// radix lock. The entry itself stays resident (and re-creditable)
+    /// until page pressure evicts it via [`Scheduler::try_evict_idle_prefix`].
+    fn release_prefix(&mut self, a: &Active) {
+        let Some(p) = a.prefix else { return };
+        if let Some(e) = self.prefix_entries.get_mut(&(p.seed, p.len)) {
+            e.users = e.users.saturating_sub(1);
+            let m = e.pmatch.clone();
+            self.radix.unlock_prefix(&m);
+        }
     }
 
     // -- admission ---------------------------------------------------------
@@ -600,7 +753,9 @@ impl Scheduler {
 
     fn resume_preempted(&mut self) {
         while let Some(front) = self.preempted.front() {
-            let need = front.sub.spec.prompt_len + front.outputs.len();
+            // Own rows to restore: the prompt minus the still-resident
+            // shared prefix, plus every token decoded so far.
+            let need = front.sub.spec.prompt_len - front.prefix_len() + front.outputs.len();
             let rem_out = front.sub.spec.output_len - front.outputs.len();
             let reserve = if self.cfg.engine.optimistic_admission {
                 need
@@ -677,9 +832,12 @@ impl Scheduler {
                 return false;
             }
         }
+        // Own-row index i holds global position prefix_len + i, always
+        // past the shared prefix, so the request's own stream is right.
+        let base = a.prefix_len();
         for pos in buf.rows..need {
-            let k = kv_row(a.sub.spec.seed, pos, width, false);
-            let v = kv_row(a.sub.spec.seed, pos, width, true);
+            let k = kv_row(a.sub.spec.seed, base + pos, width, false);
+            let v = kv_row(a.sub.spec.seed, base + pos, width, true);
             if !self.append_kv_no_evict(id, &k, &v) {
                 return false;
             }
@@ -694,13 +852,33 @@ impl Scheduler {
 
     fn admit_pending(&mut self) {
         while let Some(front) = self.pending.front() {
+            // A declared prefix shrinks to its page-aligned effective
+            // length; zero means the request runs plain.
+            let prefix = front.spec.prefix.and_then(|p| {
+                let len = effective_prefix_len(p.len, front.spec.prompt_len, self.cfg.page_size);
+                (len > 0).then_some(SharedPrefix { seed: p.seed, len })
+            });
             let spec = RequestSpec {
                 prompt_len: front.spec.prompt_len,
                 output_len: front.spec.output_len,
                 arrival: 0.0,
                 n_parallel: 1,
             };
-            let cost = AdmissionCost::compute(&self.cfg.engine, &spec);
+            // Radix-resident prefix tokens are credited (charged once at
+            // entry creation, never per user); a request whose prefix is
+            // not yet resident carries the entry's charge through the
+            // verdict so admission cannot overshoot capacity.
+            let cached = prefix.map(|p| p.len).unwrap_or(0);
+            let base = AdmissionCost::compute_with_cached(&self.cfg.engine, &spec, cached);
+            let entry_charge = match prefix {
+                Some(p) if !self.prefix_entries.contains_key(&(p.seed, p.len)) => p.len,
+                _ => 0,
+            };
+            let cost = AdmissionCost {
+                full: base.full + entry_charge,
+                reserve: base.reserve + entry_charge,
+                branches: base.branches,
+            };
             match policy::admission_verdict(
                 &self.cfg.engine,
                 &cost,
@@ -709,16 +887,31 @@ impl Scheduler {
             ) {
                 AdmissionVerdict::Admit => {
                     let sub = self.pending.pop_front().expect("front exists");
+                    if let Some(p) = prefix {
+                        if let Err(msg) = self.ensure_prefix_entry(p) {
+                            deliver(&sub, RequestOutcome::Cancelled(CancelReason::Failed(msg)));
+                            self.metrics.cancelled += 1;
+                            continue;
+                        }
+                        let e = self
+                            .prefix_entries
+                            .get_mut(&(p.seed, p.len))
+                            .expect("entry just ensured");
+                        e.users += 1;
+                        let m = e.pmatch.clone();
+                        self.radix.lock_prefix(&m);
+                    }
                     self.pool.add_request(sub.id).expect("fresh request id");
-                    self.kv_used += cost.reserve;
+                    self.kv_used += base.reserve;
                     self.metrics.admitted += 1;
-                    let target = sub.spec.prompt_len;
+                    let target = sub.spec.prompt_len - cached;
                     self.active.push(Active {
                         sub,
                         phase: Phase::Prefill { done: 0, target },
                         outputs: Vec::new(),
-                        charged: cost.reserve,
+                        charged: base.reserve,
                         staged: 0,
+                        prefix,
                         swap: None,
                         first_token_at: None,
                         last_token_at: None,
@@ -734,6 +927,87 @@ impl Scheduler {
                 AdmissionVerdict::Defer => break,
             }
         }
+    }
+
+    /// Make `(p.seed, p.len)` resident: allocate its owner
+    /// pseudo-request, append the prefix's KV rows directly (no prefill
+    /// pass — the skip-prefill half of the radix win), and index its
+    /// token sequence in the radix tree. Charges `p.len` tokens to
+    /// `kv_used` exactly once, at creation. No-op when already resident.
+    fn ensure_prefix_entry(&mut self, p: SharedPrefix) -> Result<(), String> {
+        let key = (p.seed, p.len);
+        if self.prefix_entries.contains_key(&key) {
+            return Ok(());
+        }
+        let owner_id = PREFIX_OWNER_BASE + self.next_owner_id;
+        self.next_owner_id += 1;
+        self.pool
+            .add_request(owner_id)
+            .map_err(|e| format!("prefix owner: {e:?}"))?;
+        let width = self.cfg.heads.kv_width();
+        for pos in 0..p.len {
+            let k = kv_row(p.seed, pos, width, false);
+            let v = kv_row(p.seed, pos, width, true);
+            match self.append_kv(owner_id, &k, &v) {
+                AppendOutcome::Done => {}
+                AppendOutcome::Failed(msg) => {
+                    let _ = self.pool.remove_request(owner_id);
+                    return Err(format!("prefix kv: {msg}"));
+                }
+            }
+        }
+        let pt = self
+            .pool
+            .page_table(owner_id)
+            .map_err(|e| format!("prefix page table: {e}"))?;
+        let tokens: Vec<u32> = (0..p.len).map(|i| prefix_token(p.seed, i)).collect();
+        let slots: Vec<usize> = (0..p.len).map(|i| pt.slot_of(0, i)).collect();
+        if let Err(e) = self.radix.insert(&tokens, &slots) {
+            let _ = self.pool.remove_request(owner_id);
+            return Err(format!("radix insert: {e:?}"));
+        }
+        let pmatch = self.radix.match_prefix(&tokens);
+        debug_assert_eq!(pmatch.matched_tokens, p.len, "fresh insert must match");
+        self.kv_used += p.len;
+        self.prefix_entries.insert(
+            key,
+            PrefixEntry {
+                owner_id,
+                users: 0,
+                pmatch,
+                tokens,
+            },
+        );
+        Ok(())
+    }
+
+    /// Under page pressure, drop idle (user-less) prefixes whose radix
+    /// paths the LRU sweep reclaims, freeing their owners' pool pages.
+    /// Locked paths — prefixes referenced by any admitted request,
+    /// including members of a formed-but-unexecuted batch — survive by
+    /// construction. True if any owner was freed.
+    fn try_evict_idle_prefix(&mut self) -> bool {
+        if self.prefix_entries.is_empty() {
+            return false;
+        }
+        self.radix.evict_lru(self.cfg.page_size);
+        let idle: Vec<(u64, usize)> = self
+            .prefix_entries
+            .iter()
+            .filter(|(_, e)| e.users == 0)
+            .map(|(k, _)| *k)
+            .collect();
+        let mut freed = false;
+        for key in idle {
+            let tokens = self.prefix_entries[&key].tokens.clone();
+            if self.radix.match_prefix(&tokens).matched_tokens < key.1 {
+                let e = self.prefix_entries.remove(&key).expect("key just listed");
+                let _ = self.pool.remove_request(e.owner_id);
+                self.kv_used = self.kv_used.saturating_sub(key.1);
+                freed = true;
+            }
+        }
+        freed
     }
 
     // -- preemption --------------------------------------------------------
@@ -778,7 +1052,9 @@ impl Scheduler {
             // not be cheaper than regenerating them.
             a.swap = None;
         }
-        let target = a.sub.spec.prompt_len + a.outputs.len();
+        // Recompute target counts *own* rows only — the shared prefix
+        // stays resident under its owner (still locked by this request).
+        let target = a.sub.spec.prompt_len - a.prefix_len() + a.outputs.len();
         a.phase = Phase::Prefill { done: 0, target };
         self.pool
             .remove_request(a.sub.id)
@@ -820,7 +1096,9 @@ impl Scheduler {
             match res {
                 Ok(()) => return AppendOutcome::Done,
                 Err(KvCacheError::OutOfPages { .. }) => {
-                    if !self.evict_for(id) {
+                    // Idle prefixes go first — dropping dead cache beats
+                    // preempting live work.
+                    if !self.try_evict_idle_prefix() && !self.evict_for(id) {
                         return AppendOutcome::Failed(
                             "kv pool too small for this request alone".into(),
                         );
@@ -865,7 +1143,7 @@ impl Scheduler {
         if units.is_empty() {
             return;
         }
-        let n = units.len();
+        let n: usize = units.iter().map(|u| u.result_count()).sum();
         for u in units {
             let w = self.rr % self.worker_tx.len();
             self.rr += 1;
@@ -905,10 +1183,13 @@ impl Scheduler {
             }
             // An earlier append this step may have preempted this request.
             let Some(i) = self.index_of(id) else { continue };
-            let (seed, done) = {
+            let (seed, done, base) = {
                 let a = &self.active[i];
                 match a.phase {
-                    Phase::Prefill { done, .. } => (a.sub.spec.seed, done),
+                    // Own-row index `done + j` holds global position
+                    // `base + done + j` — past the shared prefix, so the
+                    // request's own stream applies.
+                    Phase::Prefill { done, .. } => (a.sub.spec.seed, done, a.prefix_len()),
                     Phase::Decode => continue,
                 }
             };
@@ -917,7 +1198,7 @@ impl Scheduler {
                 // The request may also preempt *itself* only via evict_for
                 // exclusion rules — it cannot; a Failed outcome means it
                 // can never fit.
-                match self.append_row(id, seed, pos) {
+                match self.append_row(id, seed, base + pos) {
                     AppendOutcome::Done => {}
                     AppendOutcome::Failed(msg) => {
                         self.fail(id, msg);
@@ -939,40 +1220,156 @@ impl Scheduler {
     /// pool state the step runs against: all of this step's appends are
     /// staged before any unit is dispatched, and the scheduler does not
     /// mutate the pool again until every result is back.
-    fn build_units(&self) -> (Vec<WorkUnit>, Vec<(u64, String)>) {
+    ///
+    /// Shared-prefix decodes never run as plain batch-of-one units: they
+    /// group by radix node (first-appearance order) and lower through
+    /// [`Scheduler::lower_group`] into cascade launches — fused when the
+    /// cost gate approves, single-member otherwise, bit-identical either
+    /// way.
+    fn build_units(&mut self) -> (Vec<WorkUnit>, Vec<(u64, String)>) {
         let qo_w = self.cfg.heads.qo_width();
         let mut units = Vec::new();
         let mut failures = Vec::new();
+        let mut groups: Vec<(usize, SharedPrefix, Vec<GroupMember>)> = Vec::new();
         for a in &self.active {
-            let (token_index, qo_len, kv_len, q) = match a.phase {
+            match a.phase {
                 Phase::Prefill { done, .. } => {
                     if a.staged == 0 {
                         continue;
                     }
-                    let q: Vec<f32> = (done..done + a.staged)
+                    let base = a.prefix_len();
+                    let q: Vec<f32> = (base + done..base + done + a.staged)
                         .flat_map(|p| q_row(a.sub.spec.seed, p, qo_w))
                         .collect();
-                    (None, a.staged, done + a.staged, q)
+                    match self.prefill_table(a) {
+                        Ok(pt) => units.push(WorkUnit::Single(SingleUnit {
+                            req_id: a.sub.id,
+                            token_index: None,
+                            qo_len: a.staged,
+                            kv_len: base + done + a.staged,
+                            q,
+                            pt,
+                        })),
+                        Err(e) => failures.push((a.sub.id, e)),
+                    }
                 }
                 Phase::Decode => {
                     let t = a.outputs.len();
                     let pos = a.sub.spec.prompt_len + t;
-                    (Some(t), 1, pos, q_row(a.sub.spec.seed, pos, qo_w))
+                    let q = q_row(a.sub.spec.seed, pos, qo_w);
+                    let pt = match self.pool.page_table(a.sub.id) {
+                        Ok(pt) => pt,
+                        Err(e) => {
+                            failures.push((a.sub.id, format!("page table: {e}")));
+                            continue;
+                        }
+                    };
+                    match a.prefix {
+                        None => units.push(WorkUnit::Single(SingleUnit {
+                            req_id: a.sub.id,
+                            token_index: Some(t),
+                            qo_len: 1,
+                            kv_len: pos,
+                            q,
+                            pt,
+                        })),
+                        Some(p) => {
+                            let member = GroupMember {
+                                req_id: a.sub.id,
+                                token_index: t,
+                                kv_len: pos,
+                                q,
+                                pt,
+                            };
+                            let node = self.prefix_entries[&(p.seed, p.len)].pmatch.node_id();
+                            match groups.iter_mut().find(|(n, _, _)| *n == node) {
+                                Some((_, _, ms)) => ms.push(member),
+                                None => groups.push((node, p, vec![member])),
+                            }
+                        }
+                    }
                 }
-            };
-            match self.pool.page_table(a.sub.id) {
-                Ok(pt) => units.push(WorkUnit {
-                    req_id: a.sub.id,
-                    token_index,
-                    qo_len,
-                    kv_len,
-                    q,
-                    pt,
-                }),
-                Err(e) => failures.push((a.sub.id, format!("page table: {e}"))),
             }
         }
+        for (_, p, members) in groups {
+            self.lower_group(p, members, &mut units, &mut failures);
+        }
         (units, failures)
+    }
+
+    /// Page table a prefix request's prefill unit runs against: the
+    /// owner's prefix pages (all full — the effective length is
+    /// page-aligned) followed by the request's own pages. Plain requests
+    /// use their own table unchanged.
+    fn prefill_table(&self, a: &Active) -> Result<PageTable, String> {
+        let own = self
+            .pool
+            .page_table(a.sub.id)
+            .map_err(|e| format!("page table: {e}"))?;
+        let Some(p) = a.prefix else { return Ok(own) };
+        let entry = &self.prefix_entries[&(p.seed, p.len)];
+        let owner = self
+            .pool
+            .page_table(entry.owner_id)
+            .map_err(|e| format!("prefix page table: {e}"))?;
+        let ps = self.cfg.page_size;
+        let mut pages = owner.request_pages(0).to_vec();
+        pages.extend_from_slice(own.request_pages(0));
+        let last = own.kv_len(0) - (own.request_pages(0).len() - 1) * ps;
+        PageTable::new(ps, self.cfg.num_pages, vec![pages], vec![last])
+            .map_err(|e| format!("prefill table: {e:?}"))
+    }
+
+    /// Lower one shared-prefix decode group: a fused multi-member
+    /// cascade when the mode is `Auto` and the cost model says staging
+    /// the prefix once beats the flat path, single-member cascades
+    /// otherwise. Either lowering produces bit-identical outputs — the
+    /// gate decides staging traffic, not results.
+    fn lower_group(
+        &mut self,
+        p: SharedPrefix,
+        members: Vec<GroupMember>,
+        units: &mut Vec<WorkUnit>,
+        failures: &mut Vec<(u64, String)>,
+    ) {
+        let owner_id = self.prefix_entries[&(p.seed, p.len)].owner_id;
+        let owner_pt = match self.pool.page_table(owner_id) {
+            Ok(pt) => pt,
+            Err(e) => {
+                let msg = format!("prefix page table: {e}");
+                for m in members {
+                    failures.push((m.req_id, msg.clone()));
+                }
+                return;
+            }
+        };
+        let g = members.len();
+        let suffix_kvs: Vec<usize> = members.iter().map(|m| m.kv_len - p.len).collect();
+        let auto = self.cascade == CascadeMode::Auto;
+        if auto && self.exec_ctx.cascade_beats_flat(p.len, &suffix_kvs) {
+            let pipe = &mut self.metrics.serving.pipeline;
+            pipe.cascade_groups += 1;
+            pipe.cascade_levels += 2;
+            // The fused launch gathers the prefix once instead of once
+            // per member.
+            pipe.cascade_gather_rows_saved += ((g - 1) * p.len) as u64;
+            units.push(WorkUnit::Group(GroupUnit {
+                members,
+                owner_pt,
+                prefix_len: p.len,
+            }));
+        } else {
+            if auto && g >= 2 {
+                self.metrics.serving.pipeline.cascade_flat_fallbacks += 1;
+            }
+            for m in members {
+                units.push(WorkUnit::Group(GroupUnit {
+                    members: vec![m],
+                    owner_pt: owner_pt.clone(),
+                    prefix_len: p.len,
+                }));
+            }
+        }
     }
 
     fn process_result(&mut self, r: WorkResult) {
@@ -1228,6 +1625,99 @@ mod tests {
             };
             assert!(Runtime::start_with(tiny_cfg(), p).is_err(), "scale {bad}");
         }
+    }
+
+    #[test]
+    fn shared_prefix_requests_complete_and_group() {
+        // Eight sessions over one 64-token (page-aligned) shared prompt:
+        // the prefix is stored once, decodes fuse into cascade groups
+        // whenever several sessions are co-resident, and every session
+        // still completes with full-width outputs.
+        let cfg = RuntimeConfig {
+            num_workers: 2,
+            heads: HeadConfig::new(4, 2, 8).unwrap(),
+            ..RuntimeConfig::default()
+        };
+        let qo_w = cfg.heads.qo_width();
+        let rt = Runtime::start(cfg).unwrap();
+        let handles: Vec<_> = (0..8)
+            .map(|i| rt.submit(RuntimeRequest::new(72, 24, 100 + i).with_shared_prefix(9, 64)))
+            .collect();
+        for h in handles {
+            let out = h.wait().completed().expect("completes");
+            assert_eq!(out.outputs.len(), 24);
+            assert!(out.outputs.iter().all(|row| row.len() == qo_w));
+        }
+        let m = rt.finish();
+        assert_eq!(m.completed(), 8);
+        assert!(m.reconciles());
+        assert!(m.kv_pool_drained(), "prefix owners must drain");
+        assert!(
+            m.serving.pipeline.cascade_groups > 0,
+            "co-resident sharers should fuse at least once"
+        );
+        assert_eq!(
+            m.serving.pipeline.cascade_levels,
+            2 * m.serving.pipeline.cascade_groups
+        );
+        assert!(m.serving.pipeline.cascade_gather_rows_saved > 0);
+    }
+
+    #[test]
+    fn cascade_off_serves_prefix_requests_without_fusing() {
+        let cfg = RuntimeConfig {
+            num_workers: 2,
+            heads: HeadConfig::new(4, 2, 8).unwrap(),
+            ..RuntimeConfig::default()
+        };
+        let rt =
+            Runtime::start_with_cascade(cfg, KvPrecision::default(), CascadeMode::Off).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|i| rt.submit(RuntimeRequest::new(40, 8, 200 + i).with_shared_prefix(9, 32)))
+            .collect();
+        for h in handles {
+            assert_eq!(h.wait().completed().expect("completes").outputs.len(), 8);
+        }
+        let m = rt.finish();
+        assert_eq!(m.completed(), 4);
+        assert!(m.kv_pool_drained());
+        assert_eq!(m.serving.pipeline.cascade_groups, 0, "Off must never fuse");
+        assert_eq!(m.serving.pipeline.cascade_flat_fallbacks, 0);
+    }
+
+    #[test]
+    fn prefix_rejected_under_tensor_parallel() {
+        let cfg = RuntimeConfig {
+            tensor_parallel: 2,
+            heads: HeadConfig::new(4, 2, 16).unwrap(),
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::start(cfg).unwrap();
+        let h = rt.submit(RuntimeRequest::new(24, 4, 7).with_shared_prefix(9, 16));
+        assert_eq!(
+            h.wait(),
+            RequestOutcome::Rejected(RejectReason::PrefixUnsupported)
+        );
+        // Plain requests still serve.
+        let ok = rt.submit(RuntimeRequest::new(12, 3, 8));
+        assert_eq!(ok.wait().completed().expect("completes").outputs.len(), 3);
+        let m = rt.finish();
+        assert_eq!(m.completed(), 1);
+        assert_eq!(m.rejected, 1);
+        assert!(m.reconciles());
+    }
+
+    #[test]
+    fn tiny_prefix_with_unaligned_tail_runs_plain() {
+        // Declared prefix 3 with page size 4 rounds to zero: the request
+        // must fall back to the plain path and still complete.
+        let rt = Runtime::start(tiny_cfg()).unwrap();
+        let h = rt.submit(RuntimeRequest::new(10, 4, 5).with_shared_prefix(9, 3));
+        assert_eq!(h.wait().completed().expect("completes").outputs.len(), 4);
+        let m = rt.finish();
+        assert_eq!(m.completed(), 1);
+        assert!(m.kv_pool_drained());
+        assert_eq!(m.serving.pipeline.cascade_groups, 0);
     }
 
     #[test]

@@ -8,24 +8,29 @@
 //! mutating), so a step's units run concurrently without aliasing. Each
 //! unit carries its page table, prebuilt by the scheduler from the same
 //! pool state the worker observes; the unit channel's send/recv is the
-//! happens-before edge that publishes the scheduler's slot writes. Every
-//! unit is a batch-of-one problem: the scheduler keeps per-request work
-//! units separate so outputs are bit-identical to a sequential replay
-//! regardless of how requests were batched, preempted, or spread across
-//! workers (the plan's KV-split decisions are global per plan, so
-//! multi-request batches would change the floating-point association).
+//! happens-before edge that publishes the scheduler's slot writes.
+//! Ordinary units are batch-of-one problems: the scheduler keeps
+//! per-request work units separate so outputs are bit-identical to a
+//! sequential replay regardless of how requests were batched, preempted,
+//! or spread across workers (the plan's KV-split decisions are global per
+//! plan, so multi-request batches would change the floating-point
+//! association). Shared-prefix decode groups ([`GroupUnit`]) are the one
+//! deliberate exception — and they keep the same property, because the
+//! cascade's level layouts are shaped so planner chunking is independent
+//! of group composition (see [`fi_sched::CascadeDecodeGroup`]).
 
 use std::fmt;
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 
 use fi_core::config::HeadConfig;
-use fi_core::kernel::{AttentionProblem, FlashKernel};
+use fi_core::kernel::{AttentionProblem, FlashKernel, RowMeta};
 use fi_core::tiles::TileConfig;
 use fi_core::variant::{VanillaAttention, VariantParams};
 use fi_dist::{BatchUnit, CommStats, DistError, ReduceMode, ShardedExecutor, ShardedKvPool};
 use fi_kvcache::{KvCacheError, KvStore};
 use fi_sched::pipeline::AttentionPipeline;
+use fi_sched::CascadeDecodeGroup;
 use fi_serving::PipelineObservables;
 use fi_sparse::page::PageTable;
 use fi_tensor::{RaggedTensor, Scalar};
@@ -34,7 +39,7 @@ use crate::pool::StoreHandle;
 
 /// One attention launch for one request.
 #[derive(Debug, Clone)]
-pub(crate) struct WorkUnit {
+pub(crate) struct SingleUnit {
     /// Pool request id.
     pub req_id: u64,
     /// `Some(t)`: decode step `t` (the output row is recorded);
@@ -49,6 +54,51 @@ pub(crate) struct WorkUnit {
     /// The request's page table, built by the scheduler after this step's
     /// appends — workers never touch pool bookkeeping.
     pub pt: PageTable,
+}
+
+/// One member of a shared-prefix decode group.
+#[derive(Debug, Clone)]
+pub(crate) struct GroupMember {
+    /// Pool request id.
+    pub req_id: u64,
+    /// Decode step (groups carry decodes only).
+    pub token_index: usize,
+    /// Full timeline KV length: prefix + suffix.
+    pub kv_len: usize,
+    /// The member's single query row, `qo_width` floats.
+    pub q: Vec<f32>,
+    /// Page table over the member's *suffix* pages only.
+    pub pt: PageTable,
+}
+
+/// A shared-prefix decode group: one cascade launch covering every
+/// member, the prefix staged once. Page tables — the owner's and each
+/// member's — are prebuilt by the scheduler, same as [`SingleUnit`].
+#[derive(Debug, Clone)]
+pub(crate) struct GroupUnit {
+    pub members: Vec<GroupMember>,
+    /// Page table over the shared prefix's pages (owner pseudo-request).
+    pub owner_pt: PageTable,
+    /// Shared-prefix KV length (page-aligned).
+    pub prefix_len: usize,
+}
+
+/// What the scheduler hands a worker: a batch-of-one problem, or a
+/// shared-prefix decode group executed as a two-level cascade.
+#[derive(Debug, Clone)]
+pub(crate) enum WorkUnit {
+    Single(SingleUnit),
+    Group(GroupUnit),
+}
+
+impl WorkUnit {
+    /// Results the scheduler must collect for this unit (one per member).
+    pub fn result_count(&self) -> usize {
+        match self {
+            WorkUnit::Single(_) => 1,
+            WorkUnit::Group(g) => g.members.len(),
+        }
+    }
 }
 
 /// Why a unit failed, typed through the result channel so the scheduler
@@ -124,44 +174,101 @@ pub(crate) fn worker_loop(
     let params = VariantParams::for_head_dim(cfg.heads.head_dim);
     let variant = VanillaAttention { causal: true };
 
-    while let Ok(unit) = rx.recv() {
-        let result = match &handle {
-            StoreHandle::F32(store) => {
-                execute(store, None, &mut pipeline, cfg, &variant, &params, &unit)
+    'units: while let Ok(unit) = rx.recv() {
+        match &unit {
+            WorkUnit::Single(u) => {
+                let result = match &handle {
+                    StoreHandle::F32(store) => {
+                        execute(store, None, &mut pipeline, cfg, &variant, &params, u)
+                    }
+                    StoreHandle::F16(store) => {
+                        execute(store, None, &mut pipeline, cfg, &variant, &params, u)
+                    }
+                    StoreHandle::Fp8 {
+                        store,
+                        k_scales,
+                        v_scales,
+                    } => execute(
+                        store,
+                        Some((k_scales, v_scales)),
+                        &mut pipeline,
+                        cfg,
+                        &variant,
+                        &params,
+                        u,
+                    ),
+                };
+                let msg = match result {
+                    Ok(out) => WorkResult {
+                        req_id: u.req_id,
+                        token_index: u.token_index,
+                        out,
+                        err: None,
+                    },
+                    Err(e) => WorkResult {
+                        req_id: u.req_id,
+                        token_index: u.token_index,
+                        out: Vec::new(),
+                        err: Some(WorkerError::Exec(e)),
+                    },
+                };
+                if tx.send(msg).is_err() {
+                    break; // scheduler gone; shut down
+                }
             }
-            StoreHandle::F16(store) => {
-                execute(store, None, &mut pipeline, cfg, &variant, &params, &unit)
+            WorkUnit::Group(g) => {
+                let result = match &handle {
+                    StoreHandle::F32(store) => {
+                        execute_group(store, None, &mut pipeline, cfg, &variant, &params, g)
+                    }
+                    StoreHandle::F16(store) => {
+                        execute_group(store, None, &mut pipeline, cfg, &variant, &params, g)
+                    }
+                    StoreHandle::Fp8 {
+                        store,
+                        k_scales,
+                        v_scales,
+                    } => execute_group(
+                        store,
+                        Some((k_scales, v_scales)),
+                        &mut pipeline,
+                        cfg,
+                        &variant,
+                        &params,
+                        g,
+                    ),
+                };
+                // One result per member, success or failure — the
+                // scheduler counts `result_count()` messages per unit.
+                match result {
+                    Ok(outs) => {
+                        for (m, out) in g.members.iter().zip(outs) {
+                            let msg = WorkResult {
+                                req_id: m.req_id,
+                                token_index: Some(m.token_index),
+                                out,
+                                err: None,
+                            };
+                            if tx.send(msg).is_err() {
+                                break 'units;
+                            }
+                        }
+                    }
+                    Err(e) => {
+                        for m in &g.members {
+                            let msg = WorkResult {
+                                req_id: m.req_id,
+                                token_index: Some(m.token_index),
+                                out: Vec::new(),
+                                err: Some(WorkerError::Exec(e.clone())),
+                            };
+                            if tx.send(msg).is_err() {
+                                break 'units;
+                            }
+                        }
+                    }
+                }
             }
-            StoreHandle::Fp8 {
-                store,
-                k_scales,
-                v_scales,
-            } => execute(
-                store,
-                Some((k_scales, v_scales)),
-                &mut pipeline,
-                cfg,
-                &variant,
-                &params,
-                &unit,
-            ),
-        };
-        let msg = match result {
-            Ok(out) => WorkResult {
-                req_id: unit.req_id,
-                token_index: unit.token_index,
-                out,
-                err: None,
-            },
-            Err(e) => WorkResult {
-                req_id: unit.req_id,
-                token_index: unit.token_index,
-                out: Vec::new(),
-                err: Some(WorkerError::Exec(e)),
-            },
-        };
-        if tx.send(msg).is_err() {
-            break; // scheduler gone; shut down
         }
     }
 
@@ -189,7 +296,30 @@ pub(crate) fn sharded_worker_loop(
 ) -> WorkerReport {
     let exec = ShardedExecutor::new(&pool, cfg.tile, cfg.num_ctas)
         .expect("sharded config validated at runtime start");
-    while let Ok(unit) = rx.recv() {
+    'units: while let Ok(unit) = rx.recv() {
+        let unit = match unit {
+            WorkUnit::Single(u) => u,
+            WorkUnit::Group(g) => {
+                // The scheduler rejects shared-prefix requests at submit
+                // time on the tensor-parallel backend, so groups cannot
+                // reach this loop; answer defensively rather than wedge
+                // the scheduler's result count.
+                for m in &g.members {
+                    let msg = WorkResult {
+                        req_id: m.req_id,
+                        token_index: Some(m.token_index),
+                        out: Vec::new(),
+                        err: Some(WorkerError::Exec(
+                            "cascade groups are unsupported on the tensor-parallel backend".into(),
+                        )),
+                    };
+                    if tx.send(msg).is_err() {
+                        break 'units;
+                    }
+                }
+                continue;
+            }
+        };
         let batch = [BatchUnit {
             req_id: unit.req_id,
             qo_len: unit.qo_len,
@@ -238,7 +368,7 @@ fn execute<TKV: Scalar>(
     cfg: WorkerConfig,
     variant: &VanillaAttention,
     params: &VariantParams,
-    unit: &WorkUnit,
+    unit: &SingleUnit,
 ) -> Result<Vec<f32>, String> {
     let layout = unit
         .pt
@@ -267,4 +397,60 @@ fn execute<TKV: Scalar>(
         .run(&problem, variant, params)
         .map_err(|e| format!("run: {e:?}"))?;
     Ok(out.o.seq(0).to_vec())
+}
+
+/// Shared-prefix group → [`CascadeDecodeGroup`] → one output row per
+/// member. The group's bits equal a per-member replay of single-member
+/// groups by construction (see `fi_sched::cascade`), so the scheduler may
+/// group or split freely without changing any request's output stream.
+fn execute_group<TKV: Scalar>(
+    store: &Arc<KvStore<TKV>>,
+    dequant: Option<(&[f32], &[f32])>,
+    pipeline: &mut AttentionPipeline,
+    cfg: WorkerConfig,
+    variant: &VanillaAttention,
+    params: &VariantParams,
+    group: &GroupUnit,
+) -> Result<Vec<Vec<f32>>, String> {
+    let tables: Vec<PageTable> = group.members.iter().map(|m| m.pt.clone()).collect();
+    let cascade = CascadeDecodeGroup::from_page_tables(&group.owner_pt, &tables, group.prefix_len)
+        .map_err(|e| format!("cascade group: {e:?}"))?;
+    let rows = group.members.len();
+    let width = cfg.heads.qo_width();
+    let mut q = RaggedTensor::<f32>::from_seq_lens(&vec![1; rows], width);
+    let mut row_meta = Vec::with_capacity(rows);
+    for (r, m) in group.members.iter().enumerate() {
+        if m.q.len() != width {
+            return Err(format!("member {r} query width {} != {width}", m.q.len()));
+        }
+        if m.kv_len != group.prefix_len + m.pt.kv_len(0) {
+            return Err(format!(
+                "member {r} kv_len {} != prefix {} + suffix {}",
+                m.kv_len,
+                group.prefix_len,
+                m.pt.kv_len(0)
+            ));
+        }
+        q.as_tensor_mut().as_mut_slice()[r * width..(r + 1) * width].copy_from_slice(&m.q);
+        row_meta.push(RowMeta {
+            batch_idx: r,
+            qo_pos: 0,
+            qo_len: 1,
+            kv_len: m.kv_len,
+        });
+    }
+    let out = cascade
+        .run(
+            pipeline,
+            &q,
+            store.k_pool(),
+            store.v_pool(),
+            cfg.heads,
+            &row_meta,
+            variant,
+            params,
+            dequant,
+        )
+        .map_err(|e| format!("cascade run: {e:?}"))?;
+    Ok((0..rows).map(|r| out.o.seq(r).to_vec()).collect())
 }

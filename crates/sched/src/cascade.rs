@@ -290,6 +290,322 @@ impl CascadeAttention {
     }
 }
 
+/// A two-level cascade over one shared-prefix decode group, built from
+/// prebuilt page tables: the prefix owner's table (staged once for every
+/// member) and one suffix table per member.
+///
+/// This is the runtime-facing bridge between the radix prefix cache and
+/// [`CascadeAttention`]: the scheduler resolves `match_prefix` hits into
+/// page tables, and this type lowers them through
+/// [`CascadeAttention::from_prefix_tree`] for validation (tree geometry +
+/// cross-level disjointness) while keeping an execution shape with a
+/// stronger property than the generic cascade: **grouping never changes
+/// bits**. A group of G members produces, row for row, exactly the bits of
+/// G single-member groups, because
+///
+/// - the prefix level is one block row whose planner chunk bound
+///   `L_kv = ceil(prefix_kv / num_ctas)` depends only on the prefix length,
+///   not on how many query rows the block row covers, and the kernel's
+///   online-softmax state per (row, head) is independent of the other rows
+///   in the tile;
+/// - each suffix is its *own* single-block-row level, planned
+///   independently, so one member's suffix length can never move another
+///   member's chunk boundaries (a joint suffix layout would couple them
+///   through the shared `L_kv`).
+///
+/// Execution folds levels with ⊕ in a fixed order — prefix first, then the
+/// member's own suffix — which is the same left-fold a single-member group
+/// performs. The flat path gathers `prefix + suffix` KV rows per member;
+/// the group gathers the prefix once ([`CascadeDecodeGroup::gather_slots`]
+/// vs [`CascadeDecodeGroup::flat_gather_slots`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CascadeDecodeGroup {
+    prefix_level: CascadeLevel,
+    suffix_levels: Vec<CascadeLevel>,
+    rows: usize,
+    prefix_len: usize,
+    suffix_lens: Vec<usize>,
+}
+
+/// Full-page-then-partial block entries for request `i` of a page table.
+fn table_entries(pt: &fi_sparse::PageTable, i: usize) -> Vec<BlockEntry> {
+    let ps = pt.page_size();
+    let pages = pt.request_pages(i);
+    let kv = pt.kv_len(i);
+    pages
+        .iter()
+        .enumerate()
+        .map(|(j, &p)| BlockEntry {
+            col_block: p,
+            len: if j + 1 == pages.len() {
+                kv - (pages.len() - 1) * ps
+            } else {
+                ps
+            },
+        })
+        .collect()
+}
+
+impl CascadeDecodeGroup {
+    /// Build the group's levels from prebuilt page tables.
+    ///
+    /// `owner` holds the shared prefix (batch size 1, exactly
+    /// `prefix_len` KV slots, which must be a whole number of pages so
+    /// every owner page is full); `members[r]` holds member `r`'s suffix
+    /// (batch size 1, at least one slot — a decode always attends to at
+    /// least its own prompt tail). All tables must address the same pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SchedError::InvalidConfig`] on shape violations, and
+    /// propagates [`CascadeAttention::from_prefix_tree`] errors — in
+    /// particular the cross-level disjointness check, which catches any
+    /// physical page shared between the owner and a suffix.
+    pub fn from_page_tables(
+        owner: &fi_sparse::PageTable,
+        members: &[fi_sparse::PageTable],
+        prefix_len: usize,
+    ) -> Result<CascadeDecodeGroup, SchedError> {
+        if members.is_empty() {
+            return Err(SchedError::InvalidConfig("empty cascade group".into()));
+        }
+        let ps = owner.page_size();
+        let cols = owner.num_pages() * ps;
+        if owner.batch_size() != 1 {
+            return Err(SchedError::InvalidConfig(format!(
+                "prefix owner table has batch size {}, want 1",
+                owner.batch_size()
+            )));
+        }
+        if prefix_len == 0 || !prefix_len.is_multiple_of(ps) {
+            return Err(SchedError::InvalidConfig(format!(
+                "prefix length {prefix_len} is not a positive multiple of page size {ps}"
+            )));
+        }
+        if owner.kv_len(0) != prefix_len {
+            return Err(SchedError::InvalidConfig(format!(
+                "prefix owner holds {} KV slots, want {prefix_len}",
+                owner.kv_len(0)
+            )));
+        }
+        let rows = members.len();
+        let mut suffix_lens = Vec::with_capacity(rows);
+        for (r, m) in members.iter().enumerate() {
+            if m.batch_size() != 1 {
+                return Err(SchedError::InvalidConfig(format!(
+                    "member {r} table has batch size {}, want 1",
+                    m.batch_size()
+                )));
+            }
+            if m.page_size() != ps || m.num_pages() != owner.num_pages() {
+                return Err(SchedError::InvalidConfig(format!(
+                    "member {r} pool geometry ({}, {}) != owner ({ps}, {})",
+                    m.page_size(),
+                    m.num_pages(),
+                    owner.num_pages()
+                )));
+            }
+            if m.kv_len(0) == 0 {
+                return Err(SchedError::InvalidConfig(format!(
+                    "member {r} has no suffix KV"
+                )));
+            }
+            suffix_lens.push(m.kv_len(0));
+        }
+
+        // Validate through the generic lowering: one root (the prefix,
+        // covering all rows) with one child per member (its suffix). This
+        // checks tree geometry, BSR construction, and that no (row, slot)
+        // is covered twice across levels.
+        let owner_blocks = table_entries(owner, 0);
+        let tree = PrefixTree {
+            roots: vec![PrefixNode {
+                row_start: 0,
+                row_end: rows,
+                kv_blocks: owner_blocks.clone(),
+                kv_offset: 0,
+                children: members
+                    .iter()
+                    .enumerate()
+                    .map(|(r, m)| PrefixNode {
+                        row_start: r,
+                        row_end: r + 1,
+                        kv_blocks: table_entries(m, 0),
+                        kv_offset: prefix_len,
+                        children: vec![],
+                    })
+                    .collect(),
+            }],
+            rows,
+            cols,
+            bc: ps,
+        };
+        let validated = CascadeAttention::from_prefix_tree(&tree)?;
+        let prefix_level = validated.levels()[0].clone();
+
+        // Per-member suffix levels: each is its own layout so the planner
+        // chunks it independently of the rest of the group.
+        let suffix_levels = members
+            .iter()
+            .enumerate()
+            .map(|(r, m)| {
+                let layout =
+                    BlockSparseMatrix::new(rows, cols, ps, vec![(r, r + 1, table_entries(m, 0))])
+                        .map_err(|e| SchedError::InvalidConfig(e.to_string()))?;
+                Ok(CascadeLevel {
+                    layout,
+                    kv_pos_offsets: vec![prefix_len],
+                })
+            })
+            .collect::<Result<Vec<_>, SchedError>>()?;
+
+        Ok(CascadeDecodeGroup {
+            prefix_level,
+            suffix_levels,
+            rows,
+            prefix_len,
+            suffix_lens,
+        })
+    }
+
+    /// Number of members (query rows).
+    pub fn group_size(&self) -> usize {
+        self.rows
+    }
+
+    /// Shared-prefix KV length.
+    pub fn prefix_len(&self) -> usize {
+        self.prefix_len
+    }
+
+    /// Per-member suffix KV lengths.
+    pub fn suffix_lens(&self) -> &[usize] {
+        &self.suffix_lens
+    }
+
+    /// KV slots this group gathers: the prefix once plus every suffix.
+    pub fn gather_slots(&self) -> usize {
+        self.prefix_len + self.suffix_lens.iter().sum::<usize>()
+    }
+
+    /// KV slots the flat path would gather: the prefix *per member*.
+    pub fn flat_gather_slots(&self) -> usize {
+        self.rows * self.prefix_len + self.suffix_lens.iter().sum::<usize>()
+    }
+
+    /// Execute the group. Mirrors [`CascadeAttention::run`] — each level
+    /// planned through the shared pipeline (the prefix level and every
+    /// suffix level hit the shape-keyed plan cache independently), work
+    /// items executed in ascending `(tile, chunk)` order, states ⊕-folded
+    /// out of the scratch arena, outputs finalized per row with the
+    /// variant's output transform. `row_meta[r].kv_len` must be the full
+    /// timeline length `prefix_len + suffix_lens[r]`.
+    ///
+    /// `dequant` optionally attaches per-KV-head dequantization scales
+    /// (the reduced-precision KV path), applied during staging at every
+    /// level exactly as the flat paged path applies them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates planning, problem-construction, and kernel errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn run<TQ: Scalar, TKV: Scalar>(
+        &self,
+        pipeline: &mut AttentionPipeline,
+        q: &RaggedTensor<TQ>,
+        k: &Tensor<TKV>,
+        v: &Tensor<TKV>,
+        heads: HeadConfig,
+        row_meta: &[RowMeta],
+        variant: &dyn AttentionVariant,
+        params: &VariantParams,
+        dequant: Option<(&[f32], &[f32])>,
+    ) -> Result<KernelOutput, SchedError> {
+        let kernel = pipeline.kernel();
+        let d = heads.head_dim;
+        let n_states = self.rows * heads.num_qo_heads;
+        let mut acc: Vec<AttentionState> = vec![AttentionState::identity(d); n_states];
+        let use_softmax = variant.use_softmax();
+        let mut stats = fi_core::kernel::KernelStats::default();
+        let mut items_executed = 0u64;
+        let mut scratch = fi_core::scratch::KernelScratch::new();
+
+        for level in std::iter::once(&self.prefix_level).chain(self.suffix_levels.iter()) {
+            let mut items: Vec<crate::plan::WorkItem> = pipeline
+                .plan(&level.layout, heads.num_qo_heads, heads.head_dim)?
+                .iter_items()
+                .map(|(_, w)| w.clone())
+                .collect();
+            items.sort_by_key(|w| (w.block_row, w.chunk_index));
+            let mut problem = AttentionProblem::new(
+                q,
+                k,
+                v,
+                &level.layout,
+                heads,
+                row_meta.to_vec(),
+                level.kv_pos_offsets.clone(),
+            )?;
+            if let Some((ks, vs)) = dequant {
+                problem = problem.with_kv_dequant(ks.to_vec(), vs.to_vec())?;
+            }
+            for item in &items {
+                let meta = kernel.run_block_row_chunk_scratch(
+                    &problem,
+                    variant,
+                    params,
+                    item.block_row,
+                    item.kv_block_start..item.kv_block_end,
+                    &mut scratch,
+                )?;
+                stats.absorb(&meta.stats);
+                items_executed += 1;
+                for i in 0..meta.n_states {
+                    let row = meta.row_start + i / heads.num_qo_heads;
+                    let head = i % heads.num_qo_heads;
+                    let si = row * heads.num_qo_heads + head;
+                    let st_o = &scratch.out_o()[i * d..(i + 1) * d];
+                    acc[si] = if use_softmax {
+                        acc[si].merge_flat(st_o, scratch.out_lse()[i])
+                    } else {
+                        acc[si].merge_sum_flat(st_o)
+                    };
+                }
+            }
+        }
+        pipeline.record_execution(items_executed, 0);
+        pipeline.record_kernel_stats(&stats);
+
+        let mut o = RaggedTensor::<f32>::zeros(q.indptr().to_vec(), heads.qo_width())
+            .map_err(fi_core::AttentionError::from)?;
+        let mut lse = vec![f32::NEG_INFINITY; n_states];
+        #[allow(clippy::needless_range_loop)]
+        for row in 0..self.rows {
+            let meta = row_meta[row];
+            for head in 0..heads.num_qo_heads {
+                let si = row * heads.num_qo_heads + head;
+                if use_softmax {
+                    lse[si] = acc[si].lse;
+                }
+                let mut orow = acc[si].o.clone();
+                variant.output_transform(
+                    params,
+                    &mut orow,
+                    QueryCtx {
+                        batch_idx: meta.batch_idx,
+                        qo_pos: meta.qo_pos,
+                        qo_head_idx: head,
+                        qo_len: meta.qo_len,
+                        kv_len: meta.kv_len,
+                    },
+                );
+                o.global_row_mut(row)[head * d..(head + 1) * d].copy_from_slice(&orow);
+            }
+        }
+        Ok(KernelOutput { o, lse, stats })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -532,5 +848,227 @@ mod tests {
         let c = CascadeAttention::from_prefix_tree(&tree).unwrap();
         assert_eq!(c.num_levels(), 0);
         assert_eq!(c.gather_slots(), 0);
+    }
+
+    use fi_sparse::PageTable;
+
+    /// ps=4 pool, owner prefix of 8 slots (pages 0-1), three members with
+    /// suffix lengths 3, 5, 1 on disjoint pages.
+    fn group_case() -> (PageTable, Vec<PageTable>, usize) {
+        let ps = 4;
+        let np = 16;
+        let owner = PageTable::new(ps, np, vec![vec![0, 1]], vec![4]).unwrap();
+        let members = vec![
+            PageTable::new(ps, np, vec![vec![2]], vec![3]).unwrap(),
+            PageTable::new(ps, np, vec![vec![3, 4]], vec![1]).unwrap(),
+            PageTable::new(ps, np, vec![vec![5]], vec![1]).unwrap(),
+        ];
+        (owner, members, 8)
+    }
+
+    fn mixd(i: usize, s: u64) -> f32 {
+        let x = (i as u64).wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(s);
+        ((x >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+    }
+
+    fn test_pipeline(tkv: usize) -> AttentionPipeline {
+        AttentionPipeline::new(
+            FlashKernel {
+                tile: TileConfig { tq: 4, tkv },
+                head_fusion: true,
+            },
+            8,
+            crate::plan::CostModel::default(),
+            crate::pipeline::SchedulePolicy::Balanced,
+            fi_core::arch::Arch::Hopper,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn decode_group_matches_singletons_bitwise() {
+        let (owner, members, prefix) = group_case();
+        let heads = HeadConfig::new(4, 2, 8).unwrap();
+        let params = VariantParams::for_head_dim(8);
+        let variant = VanillaAttention { causal: true };
+        let cols = owner.num_pages() * owner.page_size();
+        let k = Tensor::<f32>::from_fn(vec![cols, heads.kv_width()], |i| mixd(i, 2));
+        let v = Tensor::<f32>::from_fn(vec![cols, heads.kv_width()], |i| mixd(i, 3));
+        let rows = members.len();
+        let mut q = RaggedTensor::<f32>::from_seq_lens(&vec![1; rows], heads.qo_width());
+        for (i, x) in q.as_tensor_mut().as_mut_slice().iter_mut().enumerate() {
+            *x = mixd(i, 1);
+        }
+        let row_meta: Vec<RowMeta> = members
+            .iter()
+            .enumerate()
+            .map(|(r, m)| RowMeta {
+                batch_idx: r,
+                qo_pos: 0,
+                qo_len: 1,
+                kv_len: prefix + m.kv_len(0),
+            })
+            .collect();
+
+        let group = CascadeDecodeGroup::from_page_tables(&owner, &members, prefix).unwrap();
+        assert_eq!(group.group_size(), 3);
+        assert_eq!(group.gather_slots(), 8 + 3 + 5 + 1);
+        assert_eq!(group.flat_gather_slots(), 3 * 8 + 3 + 5 + 1);
+        let mut pipeline = test_pipeline(4);
+        let out = group
+            .run(
+                &mut pipeline,
+                &q,
+                &k,
+                &v,
+                heads,
+                &row_meta,
+                &variant,
+                &params,
+                None,
+            )
+            .unwrap();
+
+        // Grouping is staging-only: each member's row must be bit-for-bit
+        // the output of a single-member group over the same tables.
+        for (r, m) in members.iter().enumerate() {
+            let single =
+                CascadeDecodeGroup::from_page_tables(&owner, std::slice::from_ref(m), prefix)
+                    .unwrap();
+            let mut q1 = RaggedTensor::<f32>::from_seq_lens(&[1], heads.qo_width());
+            q1.as_tensor_mut()
+                .as_mut_slice()
+                .copy_from_slice(q.global_row(r));
+            let meta1 = vec![RowMeta {
+                batch_idx: 0,
+                qo_pos: 0,
+                qo_len: 1,
+                kv_len: prefix + m.kv_len(0),
+            }];
+            let mut p1 = test_pipeline(4);
+            let o1 = single
+                .run(&mut p1, &q1, &k, &v, heads, &meta1, &variant, &params, None)
+                .unwrap();
+            for (a, b) in out.o.seq(r).iter().zip(o1.o.seq(0)) {
+                assert_eq!(a.to_bits(), b.to_bits(), "row {r}: group != singleton");
+            }
+            for h in 0..heads.num_qo_heads {
+                assert_eq!(
+                    out.lse[r * heads.num_qo_heads + h].to_bits(),
+                    o1.lse[h].to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn decode_group_matches_flat_reference() {
+        let (owner, members, prefix) = group_case();
+        let heads = HeadConfig::new(4, 2, 8).unwrap();
+        let params = VariantParams::for_head_dim(8);
+        let variant = VanillaAttention { causal: true };
+        let cols = owner.num_pages() * owner.page_size();
+        let ps = owner.page_size();
+        let k = Tensor::<f32>::from_fn(vec![cols, heads.kv_width()], |i| mixd(i, 2));
+        let v = Tensor::<f32>::from_fn(vec![cols, heads.kv_width()], |i| mixd(i, 3));
+        let rows = members.len();
+        let mut q = RaggedTensor::<f32>::from_seq_lens(&vec![1; rows], heads.qo_width());
+        for (i, x) in q.as_tensor_mut().as_mut_slice().iter_mut().enumerate() {
+            *x = mixd(i, 1);
+        }
+        let kv_lens: Vec<usize> = members.iter().map(|m| prefix + m.kv_len(0)).collect();
+        let row_meta: Vec<RowMeta> = (0..rows)
+            .map(|r| RowMeta {
+                batch_idx: r,
+                qo_pos: 0,
+                qo_len: 1,
+                kv_len: kv_lens[r],
+            })
+            .collect();
+
+        let group = CascadeDecodeGroup::from_page_tables(&owner, &members, prefix).unwrap();
+        let mut pipeline = test_pipeline(4);
+        let out = group
+            .run(
+                &mut pipeline,
+                &q,
+                &k,
+                &v,
+                heads,
+                &row_meta,
+                &variant,
+                &params,
+                None,
+            )
+            .unwrap();
+        // Two distinct suffix shapes among three members: prefix level +
+        // the 3-slot, 5-slot, and 1-slot suffixes → 4 computed plans, and
+        // no accidental coupling between members' plans.
+        assert_eq!(pipeline.stats().plans_computed, 4);
+
+        // Flat reference: each row sees owner pages + its own pages in one
+        // single-format layout.
+        let flat_rows: Vec<(usize, usize, Vec<BlockEntry>)> = members
+            .iter()
+            .enumerate()
+            .map(|(r, m)| {
+                let mut blocks: Vec<BlockEntry> = owner
+                    .request_pages(0)
+                    .iter()
+                    .map(|&p| BlockEntry {
+                        col_block: p,
+                        len: ps,
+                    })
+                    .collect();
+                let mp = m.request_pages(0);
+                blocks.extend(mp.iter().enumerate().map(|(j, &p)| BlockEntry {
+                    col_block: p,
+                    len: if j + 1 == mp.len() {
+                        m.kv_len(0) - (mp.len() - 1) * ps
+                    } else {
+                        ps
+                    },
+                }));
+                (r, r + 1, blocks)
+            })
+            .collect();
+        let flat = BlockSparseMatrix::new(rows, cols, ps, flat_rows).unwrap();
+        let problem = AttentionProblem::standard_batch(&q, &k, &v, &flat, heads, &kv_lens).unwrap();
+        let kernel = FlashKernel {
+            tile: TileConfig { tq: 4, tkv: 4 },
+            head_fusion: true,
+        };
+        let direct = kernel.run(&problem, &variant, &params).unwrap();
+        for r in 0..rows {
+            assert!(
+                allclose(out.o.seq(r), direct.o.seq(r), 1e-5, 1e-6),
+                "row {r}: cascade group != flat"
+            );
+        }
+        for (a, b) in out.lse.iter().zip(&direct.lse) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn decode_group_rejects_bad_shapes() {
+        let (owner, members, prefix) = group_case();
+        // No members.
+        assert!(CascadeDecodeGroup::from_page_tables(&owner, &[], prefix).is_err());
+        // Prefix length not a page multiple / not matching the owner.
+        assert!(CascadeDecodeGroup::from_page_tables(&owner, &members, 6).is_err());
+        assert!(CascadeDecodeGroup::from_page_tables(&owner, &members, 4).is_err());
+        assert!(CascadeDecodeGroup::from_page_tables(&owner, &members, 0).is_err());
+        // Pool geometry mismatch.
+        let alien = PageTable::new(4, 8, vec![vec![2]], vec![3]).unwrap();
+        assert!(CascadeDecodeGroup::from_page_tables(&owner, &[alien], prefix).is_err());
+        // A member squatting on an owner page trips the cross-level
+        // disjointness check.
+        let squatter = PageTable::new(4, 16, vec![vec![1]], vec![2]).unwrap();
+        assert!(CascadeDecodeGroup::from_page_tables(&owner, &[squatter], prefix).is_err());
+        // Empty suffix.
+        let owner2 = PageTable::new(4, 16, vec![vec![0]], vec![4]).unwrap();
+        let m = PageTable::new(4, 16, vec![vec![2]], vec![1]).unwrap();
+        assert!(CascadeDecodeGroup::from_page_tables(&owner2, &[m], 4).is_ok());
     }
 }

@@ -38,7 +38,7 @@ pub mod plan;
 pub mod workspace;
 pub mod wrapper;
 
-pub use cascade::{CascadeAttention, PrefixNode, PrefixTree};
+pub use cascade::{CascadeAttention, CascadeDecodeGroup, PrefixNode, PrefixTree};
 pub use error::SchedError;
 pub use pipeline::{AttentionPipeline, ExecMode, PipelineStats, PlanCache, WorkspaceMode};
 pub use plan::{CostModel, Plan, WorkItem};

@@ -40,6 +40,17 @@ pub struct PipelineObservables {
     pub gather_contiguous_runs: u64,
     /// Gather: scattered runs needing per-run address computation.
     pub gather_scattered_runs: u64,
+    /// Shared-prefix decode groups executed as cascades (≥2 members
+    /// whose prefix KV was staged once for the whole group).
+    pub cascade_groups: u64,
+    /// Cascade levels executed across all grouped steps (two per group
+    /// in the runtime's two-level prefix/suffix split).
+    pub cascade_levels: u64,
+    /// Prefix KV rows the cascade did *not* re-gather vs the flat path
+    /// (`(group_size - 1) * prefix_len` per grouped execution).
+    pub cascade_gather_rows_saved: u64,
+    /// Prefix groups the cost model sent down the flat per-request path.
+    pub cascade_flat_fallbacks: u64,
 }
 
 impl PipelineObservables {
@@ -80,6 +91,10 @@ impl PipelineObservables {
         self.gather_rows += other.gather_rows;
         self.gather_contiguous_runs += other.gather_contiguous_runs;
         self.gather_scattered_runs += other.gather_scattered_runs;
+        self.cascade_groups += other.cascade_groups;
+        self.cascade_levels += other.cascade_levels;
+        self.cascade_gather_rows_saved += other.cascade_gather_rows_saved;
+        self.cascade_flat_fallbacks += other.cascade_flat_fallbacks;
     }
 
     /// Fraction of plan requests served from the cache.

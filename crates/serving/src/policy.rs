@@ -19,11 +19,26 @@ use crate::workload::RequestSpec;
 /// shared by all `n` branches; without it every branch holds its own
 /// copy.
 pub fn kv_cost(prefix_caching: bool, r: &RequestSpec) -> usize {
+    kv_cost_cached(prefix_caching, r, 0)
+}
+
+/// [`kv_cost`] with credit for prompt tokens the radix prefix cache
+/// already holds.
+///
+/// A radix hit means `cached_prefix` leading prompt tokens are resident
+/// in the pool under the cache's own accounting (charged once, when the
+/// prefix was first stored) — charging them to every request that
+/// matches the prefix double-counts KV the pool will never allocate
+/// twice. The credit applies per stored prompt: with prefix caching the
+/// prompt is stored once, so the credit is taken once; without it each
+/// of the `n` branches would re-store the uncached remainder.
+pub fn kv_cost_cached(prefix_caching: bool, r: &RequestSpec, cached_prefix: usize) -> usize {
     let n = r.n_parallel.max(1);
+    let own_prompt = r.prompt_len.saturating_sub(cached_prefix);
     if prefix_caching {
-        r.prompt_len + n * r.output_len
+        own_prompt + n * r.output_len
     } else {
-        n * (r.prompt_len + r.output_len)
+        n * (own_prompt + r.output_len)
     }
 }
 
@@ -44,9 +59,22 @@ pub struct AdmissionCost {
 impl AdmissionCost {
     /// Compute the footprint of `spec` under `cfg`'s admission mode.
     pub fn compute(cfg: &EngineConfig, spec: &RequestSpec) -> AdmissionCost {
-        let full = kv_cost(cfg.prefix_caching, spec);
+        AdmissionCost::compute_with_cached(cfg, spec, 0)
+    }
+
+    /// [`AdmissionCost::compute`] with `cached_prefix` leading prompt
+    /// tokens credited as already cache-resident (see
+    /// [`kv_cost_cached`]): both the full footprint and the admission
+    /// reserve shrink by the cached span, since only the uncached
+    /// remainder of the prompt will ever be appended for this request.
+    pub fn compute_with_cached(
+        cfg: &EngineConfig,
+        spec: &RequestSpec,
+        cached_prefix: usize,
+    ) -> AdmissionCost {
+        let full = kv_cost_cached(cfg.prefix_caching, spec, cached_prefix);
         let reserve = if cfg.optimistic_admission {
-            spec.prompt_len.max(1)
+            spec.prompt_len.saturating_sub(cached_prefix).max(1)
         } else {
             full
         };
@@ -152,6 +180,41 @@ mod tests {
         let s = spec(1000, 10, 8);
         assert_eq!(kv_cost(true, &s), 1000 + 80);
         assert_eq!(kv_cost(false, &s), 8 * 1010);
+    }
+
+    #[test]
+    fn cached_prefix_is_not_double_counted() {
+        // Regression: a cached 2k-token system prompt used to be charged
+        // to every request matching it. With the radix credit, only the
+        // uncached remainder of the prompt counts against the request.
+        let s = spec(2048 + 100, 50, 1);
+        assert_eq!(kv_cost_cached(true, &s, 2048), 100 + 50);
+        assert_eq!(kv_cost_cached(true, &s, 0), 2148 + 50);
+        // Without prefix caching each branch re-stores its own remainder.
+        let s8 = spec(2048 + 100, 50, 8);
+        assert_eq!(kv_cost_cached(false, &s8, 2048), 8 * 150);
+        // Credit larger than the prompt saturates rather than underflows.
+        assert_eq!(kv_cost_cached(true, &spec(10, 5, 1), 64), 5);
+
+        let c = cfg(4096, true);
+        let cost = AdmissionCost::compute_with_cached(&c, &s, 2048);
+        assert_eq!(cost.full, 150);
+        assert_eq!(cost.reserve, 100, "optimistic reserve covers own rows only");
+        let pess = AdmissionCost::compute_with_cached(&cfg(4096, false), &s, 2048);
+        assert_eq!(pess.reserve, 150);
+        // Two prefix-sharing requests now fit a pool a single uncredited
+        // one would have been deferred from.
+        let half = cfg(2048 + 512, true);
+        let credited = AdmissionCost::compute_with_cached(&half, &s, 2048);
+        assert_eq!(
+            admission_verdict(&half, &credited, 2048 + 150, 1),
+            AdmissionVerdict::Admit
+        );
+        let uncredited = AdmissionCost::compute(&half, &s);
+        assert_eq!(
+            admission_verdict(&half, &uncredited, 2048 + 150, 1),
+            AdmissionVerdict::Defer
+        );
     }
 
     #[test]

@@ -21,22 +21,39 @@
 # into BENCH_runtime.json. Needs no criterion, so it runs the same with
 # or without --offline.
 #
-# Usage: scripts/bench_snapshot.sh [--offline] [--runtime] [output.json]
-#        (default output: BENCH_kernel.json, or BENCH_runtime.json
-#        with --runtime)
+# With --cascade, snapshots shared-prefix decode scaling instead: the
+# registry-free cascade_timing binary serves {8,64,256} sessions over one
+# shared system prompt with cascade grouping on (CascadeMode::Auto) vs
+# off (flat per-request decode), reporting tokens/s and gathered KV bytes
+# per mode, into BENCH_cascade.json. Also criterion-free.
+#
+# Usage: scripts/bench_snapshot.sh [--offline] [--runtime] [--cascade]
+#        [output.json]
+#        (default output: BENCH_kernel.json, BENCH_runtime.json with
+#        --runtime, or BENCH_cascade.json with --cascade)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OFFLINE=0
 RUNTIME=0
+CASCADE=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --offline) OFFLINE=1 ;;
     --runtime) RUNTIME=1 ;;
+    --cascade) CASCADE=1 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
   shift
 done
+
+if [[ "$CASCADE" == 1 ]]; then
+  OUT="${1:-BENCH_cascade.json}"
+  echo "==> auto-cascade sweep (sessions 8/64/256, cascade vs flat decode)"
+  cargo run --release -q -p fi-bench --bin cascade_timing > "$OUT"
+  echo "wrote ${OUT}"
+  exit 0
+fi
 
 if [[ "$RUNTIME" == 1 ]]; then
   OUT="${1:-BENCH_runtime.json}"

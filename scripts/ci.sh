@@ -40,6 +40,12 @@ for _ in 1 2 3; do
   cargo test -q --test runtime_serving "${PROFILE_FLAGS[@]}" repeated_seed
 done
 
+echo "==> auto-cascade bit-exactness gate (8-thread, repeated smoke)"
+cargo test -q --test runtime_cascade "${PROFILE_FLAGS[@]}" -- --test-threads=8
+for _ in 1 2 3; do
+  cargo test -q --test runtime_cascade "${PROFILE_FLAGS[@]}" auto_cascade_poisson
+done
+
 echo "==> fi-kvcache allocator stress gate (forced 8/16-thread reconciliation)"
 cargo test -q -p fi-kvcache --test sharded_alloc "${PROFILE_FLAGS[@]}"
 
