@@ -1,0 +1,152 @@
+//! Router serving benchmark for `scripts/bench_snapshot.sh --router`:
+//! measures end-to-end routed throughput and TTFT/ITL percentiles as the
+//! `waiting_served_ratio` batch-growth knob sweeps from eager to
+//! conservative. Prints the `BENCH_router.json` snapshot to stdout.
+//!
+//! One run per ratio: the same Poisson-arriving three-tenant trace is
+//! replayed through a fresh [`fi_router::Router`] configured with that
+//! ratio; everything else (runtime, workload, seed) is held fixed, so
+//! the delta is purely the dispatch policy. A low ratio grows the batch
+//! on any backlog (prefill disturbance spread over the whole run, lower
+//! TTFT for early arrivals); a high ratio batches admissions (fewer,
+//! larger prefill bursts — better decode locality, later first tokens
+//! for whoever waits).
+
+use std::time::{Duration, Instant};
+
+use fi_router::{Router, RouterConfig, TenantConfig};
+use fi_runtime::{RequestOutcome, RuntimeConfig, RuntimeRequest};
+use fi_serving::policy::GrowthPolicy;
+use fi_serving::workload::poisson_arrivals;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const RATIOS: [f64; 3] = [0.3, 1.2, 4.0];
+const REQUESTS: usize = 96;
+const TENANTS: [&str; 3] = ["alpha", "beta", "gamma"];
+/// Arrival rate (req/s): well past the runtime's service rate for this
+/// workload (~700 req/s), so a real backlog forms and the growth gate
+/// has waiting/served tradeoffs to make.
+const ARRIVAL_RATE: f64 = 3000.0;
+
+fn workload() -> Vec<RuntimeRequest> {
+    (0..REQUESTS)
+        .map(|i| {
+            let h = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let prompt = 8 + (h % 17) as usize; // 8..=24
+            let output = 16 + ((h >> 8) % 17) as usize; // 16..=32
+            RuntimeRequest::new(prompt, output, 5000 + i as u64)
+        })
+        .collect()
+}
+
+struct RatioRow {
+    ratio: f64,
+    tokens_per_s: f64,
+    ttft_p50_ms: f64,
+    ttft_p99_ms: f64,
+    itl_p50_ms: f64,
+    itl_p99_ms: f64,
+    steps: usize,
+}
+
+fn run_ratio(ratio: f64, reqs: &[RuntimeRequest], arrivals: &[f64]) -> RatioRow {
+    let cfg = RouterConfig {
+        tenants: TENANTS.iter().map(|n| TenantConfig::new(*n)).collect(),
+        growth: GrowthPolicy {
+            waiting_served_ratio: ratio,
+            ..GrowthPolicy::default()
+        },
+        max_in_flight: 16,
+        // Larger than any output + the Done event, so an uncollected
+        // stream never stalls its request and the sweep measures the
+        // dispatch policy, not client backpressure.
+        stream_capacity: 64,
+        tick: Duration::from_micros(200),
+        ..RouterConfig::default()
+    };
+    let rcfg = RuntimeConfig {
+        queue_capacity: 2 * REQUESTS,
+        ..RuntimeConfig::default()
+    };
+    let router = Router::start(cfg, rcfg).expect("router starts");
+    let t0 = Instant::now();
+    let streams: Vec<_> = reqs
+        .iter()
+        .zip(arrivals)
+        .enumerate()
+        .map(|(i, (req, &at))| {
+            if let Some(wait) = Duration::from_secs_f64(at).checked_sub(t0.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            router
+                .submit(TENANTS[i % TENANTS.len()], *req)
+                .expect("trace request accepted")
+        })
+        .collect();
+    for s in streams {
+        let (_, outcome) = s.collect_all();
+        assert!(matches!(outcome, Some(RequestOutcome::Completed(_))));
+    }
+    let report = router.shutdown();
+    assert!(report.reconciles(), "bench run must reconcile");
+    assert_eq!(report.runtime.completed() as usize, REQUESTS);
+    let lat = &report.runtime.latency;
+    RatioRow {
+        ratio,
+        tokens_per_s: report.runtime.serving.tokens_generated as f64
+            / report.runtime.serving.duration,
+        ttft_p50_ms: lat.ttft.p50 * 1e3,
+        ttft_p99_ms: lat.ttft.p99 * 1e3,
+        itl_p50_ms: lat.itl.p50 * 1e3,
+        itl_p99_ms: lat.itl.p99 * 1e3,
+        steps: report.runtime.serving.steps,
+    }
+}
+
+fn main() {
+    let reqs = workload();
+    let mut rng = StdRng::seed_from_u64(2026);
+    let arrivals = poisson_arrivals(&mut rng, REQUESTS, ARRIVAL_RATE);
+    let mut rows = Vec::new();
+    for &ratio in &RATIOS {
+        let r = run_ratio(ratio, &reqs, &arrivals);
+        eprintln!(
+            "ratio={ratio:4.1}  {:8.1} tok/s  ttft p50/p99 = {:6.2}/{:6.2} ms  \
+             itl p50/p99 = {:5.2}/{:5.2} ms  steps={}",
+            r.tokens_per_s, r.ttft_p50_ms, r.ttft_p99_ms, r.itl_p50_ms, r.itl_p99_ms, r.steps
+        );
+        rows.push(r);
+    }
+    println!("{{");
+    println!("  \"schema\": \"fi-bench/router-growth/v1\",");
+    println!(
+        "  \"workload\": {{\"requests\": {REQUESTS}, \"tenants\": {}, \
+         \"arrival_rate_per_s\": {ARRIVAL_RATE}, \"prompt_len\": \"8..=24\", \
+         \"output_len\": \"16..=32\"}},",
+        TENANTS.len()
+    );
+    println!("  \"sweep\": [");
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"waiting_served_ratio\": {}, \"tokens_per_s\": {:.1}, ",
+                    "\"ttft_p50_ms\": {:.3}, \"ttft_p99_ms\": {:.3}, ",
+                    "\"itl_p50_ms\": {:.3}, \"itl_p99_ms\": {:.3}, \"steps\": {}}}"
+                ),
+                r.ratio,
+                r.tokens_per_s,
+                r.ttft_p50_ms,
+                r.ttft_p99_ms,
+                r.itl_p50_ms,
+                r.itl_p99_ms,
+                r.steps
+            )
+        })
+        .collect();
+    println!("{}", body.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

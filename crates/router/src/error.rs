@@ -1,0 +1,152 @@
+//! Typed request-gate errors.
+//!
+//! Every way the router can refuse a request has its own variant with
+//! the numbers that triggered it — a rate-limited or oversize request is
+//! *told* so synchronously, never silently dropped into a queue it will
+//! never leave.
+
+use std::time::Duration;
+
+/// Why the router refused a submission at the gate (before the request
+/// ever touched `fi-runtime`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// No tenant with this name is configured.
+    UnknownTenant(String),
+    /// Prompt length exceeds [`crate::RequestLimits::max_prompt_len`].
+    PromptTooLong {
+        /// Submitted prompt length.
+        len: usize,
+        /// Configured bound.
+        max: usize,
+    },
+    /// Output length exceeds [`crate::RequestLimits::max_output_len`].
+    OutputTooLong {
+        /// Submitted output length.
+        len: usize,
+        /// Configured bound.
+        max: usize,
+    },
+    /// `prompt_len + output_len` exceeds
+    /// [`crate::RequestLimits::max_total_tokens`].
+    TotalTooLong {
+        /// Submitted prompt + output length.
+        len: usize,
+        /// Configured bound.
+        max: usize,
+    },
+    /// A zero-length prompt or output has no serving meaning.
+    EmptyRequest,
+    /// The declared shared prefix cannot cover the prompt it claims to.
+    InvalidPrefix {
+        /// Declared prefix length.
+        declared: usize,
+        /// The request's prompt length.
+        prompt_len: usize,
+    },
+    /// The tenant's queue is at `max_queued` (per-tenant backpressure).
+    QueueFull {
+        /// Tenant whose queue is full.
+        tenant: String,
+        /// Its configured queue bound.
+        depth: usize,
+    },
+    /// The request costs more tokens than the tenant's bucket can ever
+    /// hold: no amount of waiting would serve it. (A request that merely
+    /// has to wait for refill is *delayed* in its queue, not rejected.)
+    RateLimited {
+        /// Tenant whose limit applies.
+        tenant: String,
+        /// The request's token cost (`prompt_len + output_len`).
+        cost: u64,
+        /// The bucket's burst capacity.
+        burst: u64,
+    },
+    /// The router is draining or stopped; intake is closed.
+    ShuttingDown,
+    /// The dispatcher could not accept the request within the deadline
+    /// (dispatcher thread wedged or gone).
+    Timeout(Duration),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::UnknownTenant(t) => write!(f, "unknown tenant {t:?}"),
+            SubmitError::PromptTooLong { len, max } => {
+                write!(f, "prompt of {len} tokens exceeds the {max}-token bound")
+            }
+            SubmitError::OutputTooLong { len, max } => {
+                write!(f, "output of {len} tokens exceeds the {max}-token bound")
+            }
+            SubmitError::TotalTooLong { len, max } => {
+                write!(
+                    f,
+                    "request of {len} total tokens exceeds the {max}-token bound"
+                )
+            }
+            SubmitError::EmptyRequest => write!(f, "prompt and output must be non-empty"),
+            SubmitError::InvalidPrefix {
+                declared,
+                prompt_len,
+            } => write!(
+                f,
+                "declared prefix of {declared} tokens does not fit a {prompt_len}-token prompt"
+            ),
+            SubmitError::QueueFull { tenant, depth } => {
+                write!(f, "tenant {tenant:?} queue is full at {depth} requests")
+            }
+            SubmitError::RateLimited {
+                tenant,
+                cost,
+                burst,
+            } => write!(
+                f,
+                "request of {cost} tokens can never pass tenant {tenant:?}'s burst of {burst}"
+            ),
+            SubmitError::ShuttingDown => write!(f, "router is shutting down"),
+            SubmitError::Timeout(d) => write!(f, "router did not accept within {d:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Router construction / configuration errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouterError {
+    /// The configuration is unusable.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for RouterError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RouterError::InvalidConfig(m) => write!(f, "invalid router config: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_their_numbers() {
+        let e = SubmitError::RateLimited {
+            tenant: "burst".into(),
+            cost: 900,
+            burst: 512,
+        };
+        let s = e.to_string();
+        assert!(s.contains("900") && s.contains("512") && s.contains("burst"));
+        assert!(SubmitError::PromptTooLong { len: 9, max: 8 }
+            .to_string()
+            .contains("9"));
+        assert!(RouterError::InvalidConfig("x".into())
+            .to_string()
+            .contains("x"));
+    }
+}

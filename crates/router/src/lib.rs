@@ -1,0 +1,53 @@
+//! # fi-router
+//!
+//! A request-facing serving front-door above `fi-runtime` — the layer a
+//! production engine puts between clients and the continuous-batching
+//! scheduler (text-generation-inference's `router`, vLLM's
+//! `AsyncLLMEngine` front): everything is plain threads and bounded
+//! channels, no async runtime.
+//!
+//! * **Validation** ([`error`]) — every request is checked synchronously
+//!   at [`Router::submit`] (prompt/output/total bounds, tenant quota and
+//!   rate, shared-prefix sanity) and refused with a typed
+//!   [`SubmitError`] before it can touch the runtime. Nothing is ever
+//!   silently dropped: a refusal is an error the client holds, an
+//!   acceptance always ends in a terminal stream event.
+//! * **Streaming** ([`stream`]) — each accepted request gets a bounded
+//!   token channel fed by the runtime's decode loop. A slow client
+//!   stalls only its own request (backpressure reaches the scheduler as
+//!   a skipped decode, not a blocked thread); a dropped [`TokenStream`]
+//!   cancels the request in the runtime and frees its KV pages.
+//! * **Fairness** ([`tenant`]) — per-tenant FIFO queues drained by
+//!   smooth weighted round-robin under token-bucket rate limits.
+//!   Rate-limited tenants are *delayed* (visible in
+//!   [`TenantReport::rate_delayed_ticks`]) or, when a request could
+//!   never fit the bucket, rejected with [`SubmitError::RateLimited`].
+//! * **SLO-aware batch growth** ([`router`]) — dequeue is gated by the
+//!   `waiting_served_ratio` policy
+//!   ([`fi_serving::policy::batch_growth_quota`], the same seam the
+//!   simulator and runtime share): the running batch is left undisturbed
+//!   until the backlog justifies the added prefill latency, with a
+//!   max-waiting escape hatch so a thin backlog still drains.
+//! * **Health & shutdown** — [`Router::health`] reports
+//!   accepting/draining/stopped plus queue and in-flight depth;
+//!   [`Router::shutdown`] stops intake, serves out every queued and
+//!   in-flight request, drains the runtime, and returns a
+//!   [`RouterReport`] whose lifecycle accounting reconciles exactly.
+//!
+//! Routing never changes results: the runtime's outputs are bit-exact
+//! functions of each request's `(seed, position)` stream regardless of
+//! batch composition, so a routed run and direct `Runtime` submissions
+//! produce identical rows — the property `tests/router_serving.rs`
+//! checks under Poisson and bursty multi-tenant load.
+
+pub mod error;
+pub mod router;
+pub mod stream;
+pub mod tenant;
+
+pub use error::{RouterError, SubmitError};
+pub use router::{
+    RequestLimits, Router, RouterConfig, RouterHealth, RouterReport, RouterState, TenantReport,
+};
+pub use stream::{StreamClosed, TokenStream};
+pub use tenant::{RateLimit, TenantConfig, TokenBucket, WrrPicker};

@@ -1,0 +1,88 @@
+//! The client's end of a routed request: a bounded token stream.
+
+use std::sync::mpsc::{Receiver, RecvTimeoutError, TryRecvError};
+use std::time::Duration;
+
+use fi_runtime::{RequestOutcome, StreamItem};
+
+/// The stream's sender is gone and every buffered item has been read:
+/// no further items will ever arrive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamClosed;
+
+impl std::fmt::Display for StreamClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "token stream closed")
+    }
+}
+
+impl std::error::Error for StreamClosed {}
+
+/// The receiving end of one routed request's token stream.
+///
+/// Tokens arrive in decode order as [`StreamItem::Token`]; the stream
+/// ends with [`StreamItem::Done`] carrying the terminal
+/// [`RequestOutcome`] (also for requests that never produced a token —
+/// runtime rejections and cancellations surface here too). The channel
+/// is bounded: a client that stops reading stalls *its own* request's
+/// decode, nobody else's. Dropping the stream mid-generation cancels the
+/// request in the runtime and frees its KV pages.
+#[derive(Debug)]
+pub struct TokenStream {
+    rx: Receiver<StreamItem>,
+    tenant: String,
+}
+
+impl TokenStream {
+    pub(crate) fn new(rx: Receiver<StreamItem>, tenant: String) -> TokenStream {
+        TokenStream { rx, tenant }
+    }
+
+    /// The tenant this request was submitted under.
+    pub fn tenant(&self) -> &str {
+        &self.tenant
+    }
+
+    /// Block for the next item; `None` when the stream is exhausted.
+    pub fn recv(&self) -> Option<StreamItem> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking poll; `Ok(None)` means no item *yet*, `Err` means
+    /// the stream is exhausted.
+    pub fn try_recv(&self) -> Result<Option<StreamItem>, StreamClosed> {
+        match self.rx.try_recv() {
+            Ok(item) => Ok(Some(item)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(StreamClosed),
+        }
+    }
+
+    /// Block for the next item up to `timeout`; `Ok(None)` means the
+    /// timeout elapsed, `Err` means the stream is exhausted.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Option<StreamItem>, StreamClosed> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(item) => Ok(Some(item)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(StreamClosed),
+        }
+    }
+
+    /// Drain the stream to completion: every token row in decode order,
+    /// plus the terminal outcome (when `Done` arrived before the channel
+    /// closed, which is the normal case).
+    pub fn collect_all(self) -> (Vec<Vec<f32>>, Option<RequestOutcome>) {
+        let mut rows = Vec::new();
+        let mut outcome = None;
+        for item in self.rx.iter() {
+            match item {
+                StreamItem::Token { index, row } => {
+                    debug_assert_eq!(index, rows.len(), "tokens arrive in order");
+                    rows.push(row);
+                }
+                StreamItem::Done(o) => outcome = Some(o),
+            }
+        }
+        (rows, outcome)
+    }
+}

@@ -1,0 +1,194 @@
+//! Tenant configuration, token-bucket rate limiting, and the smooth
+//! weighted round-robin picker the dispatcher dequeues with.
+
+use std::time::Duration;
+
+/// A token-bucket rate limit: sustained `tokens_per_sec` with bursts up
+/// to `burst` tokens. A request's cost is its total token footprint
+/// (`prompt_len + output_len`) — the same unit the KV pool is sized in.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RateLimit {
+    /// Sustained refill rate, tokens per second.
+    pub tokens_per_sec: f64,
+    /// Bucket capacity: the largest burst (and the largest single
+    /// request) the tenant can ever spend.
+    pub burst: f64,
+}
+
+/// One tenant's slice of the router.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TenantConfig {
+    /// Name clients submit under.
+    pub name: String,
+    /// Weighted-round-robin share (relative to the other tenants' weights).
+    pub weight: u32,
+    /// Optional rate limit; `None` = unlimited.
+    pub rate: Option<RateLimit>,
+    /// Bound of the tenant's waiting queue; a full queue rejects with
+    /// [`crate::SubmitError::QueueFull`].
+    pub max_queued: usize,
+}
+
+impl TenantConfig {
+    /// An unlimited tenant with weight 1 and a 64-deep queue.
+    pub fn new(name: impl Into<String>) -> TenantConfig {
+        TenantConfig {
+            name: name.into(),
+            weight: 1,
+            rate: None,
+            max_queued: 64,
+        }
+    }
+
+    /// Set the WRR weight.
+    pub fn with_weight(mut self, weight: u32) -> TenantConfig {
+        self.weight = weight;
+        self
+    }
+
+    /// Attach a token-bucket rate limit.
+    pub fn with_rate(mut self, tokens_per_sec: f64, burst: f64) -> TenantConfig {
+        self.rate = Some(RateLimit {
+            tokens_per_sec,
+            burst,
+        });
+        self
+    }
+
+    /// Set the queue bound.
+    pub fn with_max_queued(mut self, max_queued: usize) -> TenantConfig {
+        self.max_queued = max_queued;
+        self
+    }
+}
+
+/// A token bucket, refilled by elapsed wall-clock time at dispatch. The
+/// bucket starts full so a tenant's first burst is served immediately.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    level: f64,
+    limit: RateLimit,
+}
+
+impl TokenBucket {
+    /// A full bucket for `limit`.
+    pub fn new(limit: RateLimit) -> TokenBucket {
+        TokenBucket {
+            level: limit.burst,
+            limit,
+        }
+    }
+
+    /// Credit `elapsed` of refill, capped at the burst capacity.
+    pub fn refill(&mut self, elapsed: Duration) {
+        self.level =
+            (self.level + elapsed.as_secs_f64() * self.limit.tokens_per_sec).min(self.limit.burst);
+    }
+
+    /// Spend `cost` tokens if the bucket holds them.
+    pub fn try_charge(&mut self, cost: f64) -> bool {
+        if cost <= self.level {
+            self.level -= cost;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current level, tokens.
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+}
+
+/// Smooth weighted round-robin (the nginx algorithm): each pick raises
+/// every candidate's current weight by its configured weight, takes the
+/// largest, and debits the winner by the weight total — interleaving
+/// picks proportionally instead of serving each weight as a contiguous
+/// run.
+#[derive(Debug, Clone)]
+pub struct WrrPicker {
+    weights: Vec<u32>,
+    current: Vec<i64>,
+}
+
+impl WrrPicker {
+    /// A picker over tenants with the given weights (index-aligned with
+    /// the router's tenant list).
+    pub fn new(weights: Vec<u32>) -> WrrPicker {
+        let n = weights.len();
+        WrrPicker {
+            weights,
+            current: vec![0; n],
+        }
+    }
+
+    /// Pick among the tenants for which `eligible(i)` holds. Ineligible
+    /// tenants neither gain nor lose credit, so a tenant idle through a
+    /// busy spell does not bank an unbounded claim on the future.
+    pub fn pick(&mut self, eligible: impl Fn(usize) -> bool) -> Option<usize> {
+        let mut total = 0i64;
+        let mut best: Option<usize> = None;
+        for i in 0..self.weights.len() {
+            if !eligible(i) {
+                continue;
+            }
+            self.current[i] += self.weights[i] as i64;
+            total += self.weights[i] as i64;
+            match best {
+                Some(b) if self.current[b] >= self.current[i] => {}
+                _ => best = Some(i),
+            }
+        }
+        if let Some(b) = best {
+            self.current[b] -= total;
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_charges_and_refills() {
+        let mut b = TokenBucket::new(RateLimit {
+            tokens_per_sec: 100.0,
+            burst: 50.0,
+        });
+        assert!(b.try_charge(50.0), "starts full");
+        assert!(!b.try_charge(1.0), "empty now");
+        b.refill(Duration::from_millis(100)); // +10 tokens
+        assert!(b.try_charge(10.0));
+        assert!(!b.try_charge(0.5));
+        // Refill never exceeds burst.
+        b.refill(Duration::from_secs(60));
+        assert!((b.level() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wrr_interleaves_proportionally() {
+        // Weights 5:1:1 over 7 picks must yield 5,1,1 — and not serve
+        // the heavy tenant as one contiguous run of five.
+        let mut p = WrrPicker::new(vec![5, 1, 1]);
+        let picks: Vec<usize> = (0..7).map(|_| p.pick(|_| true).unwrap()).collect();
+        let count = |t| picks.iter().filter(|&&x| x == t).count();
+        assert_eq!((count(0), count(1), count(2)), (5, 1, 1));
+        assert_ne!(&picks[..5], &[0, 0, 0, 0, 0], "smooth, not bursty");
+    }
+
+    #[test]
+    fn wrr_skips_ineligible_without_banking_credit() {
+        let mut p = WrrPicker::new(vec![1, 1]);
+        // Tenant 1 ineligible for many rounds...
+        for _ in 0..10 {
+            assert_eq!(p.pick(|i| i == 0), Some(0));
+        }
+        // ...then eligible again: it gets its fair share, not a 10-pick
+        // makeup run.
+        let picks: Vec<usize> = (0..4).map(|_| p.pick(|_| true).unwrap()).collect();
+        assert_eq!(picks.iter().filter(|&&x| x == 1).count(), 2);
+        assert!(p.pick(|_| false).is_none());
+    }
+}

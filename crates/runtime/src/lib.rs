@@ -59,9 +59,10 @@ pub mod request;
 pub mod scheduler;
 mod worker;
 
-pub use metrics::RuntimeMetrics;
+pub use metrics::{RequestLatency, RuntimeMetrics, TenantLatency};
 pub use request::{
     effective_prefix_len, kv_row, prefix_token, q_row, request_kv_row, CancelReason,
     CompletedRequest, RejectReason, RequestHandle, RequestOutcome, RuntimeRequest, SharedPrefix,
+    StreamItem,
 };
 pub use scheduler::{CascadeMode, KvPrecision, Runtime, RuntimeConfig, RuntimeError};

@@ -2,7 +2,42 @@
 //! latency and planner/kernel metrics shared with the simulator.
 
 use fi_dist::CommStats;
-use fi_serving::ServingMetrics;
+use fi_serving::{LatencySummary, ServingMetrics};
+
+/// TTFT/ITL digests for one run (or one tenant's slice of it): the
+/// sorted-once [`LatencySummary`] pair that replaces raw sample dumps as
+/// the runtime's latency reporting surface.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RequestLatency {
+    /// Time-to-first-token digest.
+    pub ttft: LatencySummary,
+    /// Inter-token-latency digest.
+    pub itl: LatencySummary,
+}
+
+impl RequestLatency {
+    /// Digest raw TTFT and ITL sample sets (one sort each).
+    pub fn from_samples(ttft: &[f64], itl: &[f64]) -> RequestLatency {
+        RequestLatency {
+            ttft: LatencySummary::from_samples(ttft),
+            itl: LatencySummary::from_samples(itl),
+        }
+    }
+}
+
+/// One tenant's slice of a run: lifecycle counts plus latency digests,
+/// keyed by the [`crate::RuntimeRequest::tenant`] tag. This is what makes
+/// SLO-aware admission testable — a router experiment can assert tenant
+/// A's p99 ITL stayed flat while tenant B's burst was absorbed.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct TenantLatency {
+    /// The tenant tag requests carried.
+    pub tenant: u32,
+    /// Requests of this tenant that ran to completion.
+    pub completed: u64,
+    /// TTFT/ITL digests over this tenant's samples.
+    pub latency: RequestLatency,
+}
 
 /// Snapshot of a runtime run, returned by `Runtime::finish`.
 ///
@@ -46,6 +81,19 @@ pub struct RuntimeMetrics {
     /// groups, summed over workers. All-zero at `tensor_parallel == 1`
     /// (the unsharded path issues no collectives).
     pub comm: CommStats,
+    /// Whole-run TTFT/ITL digests (sorted once at drain) — the reporting
+    /// surface for latency; the raw sample vectors inside `serving` stay
+    /// only for the field-for-field simulator cross-check.
+    pub latency: RequestLatency,
+    /// Per-tenant latency digests, ascending by tenant tag. Only tenants
+    /// that produced at least one first token appear.
+    pub tenants: Vec<TenantLatency>,
+    /// Decode steps a request sat out because its bounded stream channel
+    /// was full (client-side backpressure reached the scheduler).
+    pub stream_stalls: u64,
+    /// Requests cancelled because the client dropped its stream receiver
+    /// mid-generation (included in `cancelled`).
+    pub stream_dropped: u64,
 }
 
 impl RuntimeMetrics {
@@ -63,6 +111,11 @@ impl RuntimeMetrics {
     /// True iff the pool drained back to fully free.
     pub fn kv_pool_drained(&self) -> bool {
         self.kv_pages_free_at_drain == self.kv_pages_total
+    }
+
+    /// The latency digest of one tenant, if it surfaced any samples.
+    pub fn tenant(&self, tenant: u32) -> Option<&TenantLatency> {
+        self.tenants.iter().find(|t| t.tenant == tenant)
     }
 }
 

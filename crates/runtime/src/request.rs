@@ -47,6 +47,11 @@ pub struct RuntimeRequest {
     pub deadline: Option<Duration>,
     /// Optional shared prefix covering the head of the prompt.
     pub prefix: Option<SharedPrefix>,
+    /// Tenant tag for per-tenant latency accounting (0 = untagged). The
+    /// runtime treats it as an opaque label; `fi-router` assigns one per
+    /// configured tenant so `RuntimeMetrics` can break TTFT/ITL down by
+    /// tenant.
+    pub tenant: u32,
 }
 
 impl RuntimeRequest {
@@ -58,7 +63,14 @@ impl RuntimeRequest {
             seed,
             deadline: None,
             prefix: None,
+            tenant: 0,
         }
+    }
+
+    /// Tag the request with a tenant id for per-tenant latency metrics.
+    pub fn with_tenant(mut self, tenant: u32) -> RuntimeRequest {
+        self.tenant = tenant;
+        self
     }
 
     /// Attach a relative deadline.
@@ -114,8 +126,37 @@ pub enum CancelReason {
     User,
     /// The request's deadline passed.
     Deadline,
+    /// The client dropped its token-stream receiver mid-generation; the
+    /// scheduler noticed the disconnect, stopped decoding, and freed the
+    /// request's KV pages.
+    StreamDropped,
     /// The runtime could not serve it (kernel error, un-fittable KV).
     Failed(String),
+}
+
+/// One item of a request's token-by-token stream (see
+/// [`crate::Runtime::submit_with_stream`]).
+///
+/// Tokens arrive in decode order through the request's bounded channel;
+/// the terminal [`StreamItem::Done`] (or the channel closing) ends the
+/// stream. The streamed rows are the same bits the terminal
+/// [`CompletedRequest::outputs`] carries — streaming changes delivery,
+/// never results.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamItem {
+    /// Decoded token `index`'s attention output row
+    /// (`num_qo_heads * head_dim` floats).
+    Token {
+        /// Zero-based decode index of this token.
+        index: usize,
+        /// The token's attention output row.
+        row: Vec<f32>,
+    },
+    /// Terminal event: the request's final outcome. Best-effort under a
+    /// full channel — the authoritative end-of-stream signal is the
+    /// channel closing, and the authoritative outcome is the
+    /// [`RequestHandle`].
+    Done(RequestOutcome),
 }
 
 /// A finished request: every decoded attention output row, plus the

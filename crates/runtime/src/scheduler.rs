@@ -25,10 +25,10 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use fi_core::config::HeadConfig;
 use fi_core::tiles::TileConfig;
@@ -41,11 +41,11 @@ use fi_serving::workload::RequestSpec;
 use fi_sparse::page::PageTable;
 use fi_tensor::KvDtype;
 
-use crate::metrics::RuntimeMetrics;
+use crate::metrics::{RequestLatency, RuntimeMetrics, TenantLatency};
 use crate::pool::{KvBackend, SingleKv};
 use crate::request::{
     effective_prefix_len, kv_row, prefix_token, q_row, CancelReason, CompletedRequest,
-    RejectReason, RequestHandle, RequestOutcome, RuntimeRequest, SharedPrefix,
+    RejectReason, RequestHandle, RequestOutcome, RuntimeRequest, SharedPrefix, StreamItem,
 };
 use crate::worker::{
     sharded_worker_loop, worker_loop, GroupMember, GroupUnit, SingleUnit, WorkResult, WorkUnit,
@@ -226,12 +226,84 @@ struct Submission {
     spec: RuntimeRequest,
     cancel: Arc<AtomicBool>,
     outcome: Sender<RequestOutcome>,
+    /// Bounded token channel for streaming submissions. Taken into an
+    /// [`StreamOut`] at admission; still present here only while the
+    /// request is queued (so a pre-admission terminal outcome can close
+    /// the stream with a `Done`).
+    stream: Option<SyncSender<StreamItem>>,
     submitted_at: Instant,
 }
 
 fn deliver(sub: &Submission, outcome: RequestOutcome) {
+    // A queued (never-admitted) streaming submission has sent no tokens,
+    // so the bounded channel has room for the terminal event unless the
+    // client already walked away — best-effort either way.
+    if let Some(tx) = &sub.stream {
+        let _ = tx.try_send(StreamItem::Done(outcome.clone()));
+    }
     // The client may have dropped its handle; that's its prerogative.
     let _ = sub.outcome.send(outcome);
+}
+
+/// The scheduler's end of one request's bounded token stream: tokens are
+/// pushed as decode results arrive and forwarded with `try_send`, never a
+/// blocking send — a slow client backs the *request* up (its decode is
+/// skipped while `stalled`), not the scheduler. A disconnected receiver
+/// marks the stream dead, which the cancellation sweep turns into
+/// [`CancelReason::StreamDropped`].
+struct StreamOut {
+    tx: SyncSender<StreamItem>,
+    backlog: VecDeque<StreamItem>,
+    dead: bool,
+}
+
+impl StreamOut {
+    fn new(tx: SyncSender<StreamItem>) -> StreamOut {
+        StreamOut {
+            tx,
+            backlog: VecDeque::new(),
+            dead: false,
+        }
+    }
+
+    fn push(&mut self, item: StreamItem) {
+        if self.dead {
+            return;
+        }
+        self.backlog.push_back(item);
+        self.flush();
+    }
+
+    fn flush(&mut self) {
+        if self.dead {
+            self.backlog.clear();
+            return;
+        }
+        while let Some(item) = self.backlog.pop_front() {
+            match self.tx.try_send(item) {
+                Ok(()) => {}
+                Err(TrySendError::Full(item)) => {
+                    self.backlog.push_front(item);
+                    break;
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    self.dead = true;
+                    self.backlog.clear();
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Undelivered items pending behind a full (but live) channel.
+    fn stalled(&self) -> bool {
+        !self.dead && !self.backlog.is_empty()
+    }
+
+    /// Nothing left to deliver (or nobody left to deliver to).
+    fn drained(&self) -> bool {
+        self.dead || self.backlog.is_empty()
+    }
 }
 
 /// A concurrent continuous-batching serving runtime.
@@ -332,6 +404,41 @@ impl Runtime {
     /// Submit a request. Always returns a handle; exactly one outcome is
     /// delivered per submission, including queue-full rejections.
     pub fn submit(&self, req: RuntimeRequest) -> RequestHandle {
+        self.submit_inner(req, None)
+    }
+
+    /// Submit with a caller-provided bounded token channel: each decoded
+    /// row is delivered as [`StreamItem::Token`] as soon as its step
+    /// retires, followed by a best-effort [`StreamItem::Done`]; the
+    /// channel closing is the authoritative end-of-stream. A full channel
+    /// stalls that request's decode (backpressure, counted in
+    /// [`RuntimeMetrics::stream_stalls`]); a dropped receiver cancels the
+    /// request with [`CancelReason::StreamDropped`].
+    pub fn submit_with_stream(
+        &self,
+        req: RuntimeRequest,
+        stream: SyncSender<StreamItem>,
+    ) -> RequestHandle {
+        self.submit_inner(req, Some(stream))
+    }
+
+    /// [`Runtime::submit_with_stream`] with the channel created here:
+    /// returns the handle and the receiving end of a bounded channel of
+    /// `capacity` items (minimum 1).
+    pub fn submit_streaming(
+        &self,
+        req: RuntimeRequest,
+        capacity: usize,
+    ) -> (RequestHandle, Receiver<StreamItem>) {
+        let (tx, rx) = mpsc::sync_channel(capacity.max(1));
+        (self.submit_inner(req, Some(tx)), rx)
+    }
+
+    fn submit_inner(
+        &self,
+        req: RuntimeRequest,
+        stream: Option<SyncSender<StreamItem>>,
+    ) -> RequestHandle {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let cancel_flag = Arc::new(AtomicBool::new(false));
         let (otx, orx) = mpsc::channel();
@@ -341,6 +448,7 @@ impl Runtime {
             spec: req.normalized(),
             cancel: Arc::clone(&cancel_flag),
             outcome: otx,
+            stream,
             submitted_at: Instant::now(),
         };
         if sub.spec.prefix.is_some() && self.tensor_parallel > 1 {
@@ -431,6 +539,11 @@ struct SwapBuf {
 struct Active {
     sub: Submission,
     phase: Phase,
+    /// The scheduler's end of the request's token stream, if the client
+    /// asked for one. Taken from the submission at admission; survives
+    /// preemption (tokens already streamed are never re-sent — only KV is
+    /// recomputed, results are kept).
+    stream: Option<StreamOut>,
     /// Decoded output rows, in token order. Survives preemption — only
     /// KV is evicted, not results.
     outputs: Vec<Vec<f32>>,
@@ -513,6 +626,15 @@ struct Scheduler {
     cascade: CascadeMode,
     /// Cost model deciding cascade-vs-flat per group per step.
     exec_ctx: ExecContext,
+    /// Streams of finished requests still holding undelivered items (the
+    /// terminal `Done` and any backlogged tokens); flushed opportunistically
+    /// each loop iteration and bounded-flushed at shutdown.
+    flushing: Vec<StreamOut>,
+    /// Per-tenant latency samples, digested into
+    /// [`RuntimeMetrics::tenants`] at drain.
+    tenant_ttft: HashMap<u32, Vec<f64>>,
+    tenant_itl: HashMap<u32, Vec<f64>>,
+    tenant_completed: HashMap<u32, u64>,
 }
 
 impl Scheduler {
@@ -552,6 +674,10 @@ impl Scheduler {
             next_owner_id: 0,
             cascade,
             exec_ctx,
+            flushing: Vec::new(),
+            tenant_ttft: HashMap::new(),
+            tenant_itl: HashMap::new(),
+            tenant_completed: HashMap::new(),
         }
     }
 
@@ -570,8 +696,27 @@ impl Scheduler {
             self.sweep_cancellations();
             self.resume_preempted();
             self.admit_pending();
-            self.step();
+            let worked = self.step();
+            self.flush_streams();
+            if !worked && !self.active.is_empty() {
+                // Every runnable request is stalled on its full stream
+                // channel: yield briefly instead of spinning until the
+                // client reads (or drops) its receiver.
+                std::thread::sleep(Duration::from_micros(200));
+            }
         }
+        // Flush remaining stream tails (terminal `Done`s and backlogged
+        // tokens of already-finished requests), bounded — a client that
+        // stopped reading forfeits its tail.
+        let flush_deadline = Instant::now() + Duration::from_millis(200);
+        while !self.flushing.is_empty() && Instant::now() < flush_deadline {
+            self.flush_streams();
+            if self.flushing.is_empty() {
+                break;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        self.flushing.clear();
         // Graceful shutdown: close the unit channels, collect each
         // worker's pipeline observables and collective counters.
         self.worker_tx.clear();
@@ -596,7 +741,53 @@ impl Scheduler {
         // the allocator's true free count.
         self.pool.flush();
         self.metrics.kv_pages_free_at_drain = self.pool.free_page_count();
+        // Digest latency samples once, whole-run and per tenant.
+        self.metrics.latency =
+            RequestLatency::from_samples(&self.metrics.serving.ttft, &self.metrics.serving.itl);
+        let mut ids: Vec<u32> = self.tenant_ttft.keys().copied().collect();
+        ids.sort_unstable();
+        self.metrics.tenants = ids
+            .into_iter()
+            .map(|t| TenantLatency {
+                tenant: t,
+                completed: self.tenant_completed.get(&t).copied().unwrap_or(0),
+                latency: RequestLatency::from_samples(
+                    self.tenant_ttft.get(&t).map_or(&[][..], |v| v),
+                    self.tenant_itl.get(&t).map_or(&[][..], |v| v),
+                ),
+            })
+            .collect();
         self.metrics
+    }
+
+    /// Advance every live stream: active requests' channels (so stalls
+    /// clear and receiver drops are noticed even between that request's
+    /// decode steps) and the tails of finished requests.
+    fn flush_streams(&mut self) {
+        for a in self.active.iter_mut().chain(self.preempted.iter_mut()) {
+            if let Some(s) = &mut a.stream {
+                s.flush();
+            }
+        }
+        self.flushing.retain_mut(|s| {
+            s.flush();
+            !s.drained()
+        });
+    }
+
+    /// Terminal delivery for a request that was admitted: push the
+    /// outcome into its stream (salvaging any undelivered tail into the
+    /// flush list) and resolve its handle.
+    fn finish_active(&mut self, mut a: Active, outcome: RequestOutcome) {
+        if let Some(mut s) = a.stream.take() {
+            s.push(StreamItem::Done(outcome.clone()));
+            if !s.drained() {
+                self.flushing.push(s);
+            }
+        }
+        // `a.sub.stream` was taken at admission, so this only resolves
+        // the handle.
+        deliver(&a.sub, outcome);
     }
 
     fn spawn_workers(&mut self) {
@@ -643,16 +834,32 @@ impl Scheduler {
         if self.disconnected {
             return;
         }
-        // Idle: block for work instead of spinning.
+        // Idle: block for work instead of spinning — unless finished
+        // requests still have stream tails to deliver, in which case keep
+        // the loop turning so `flush_streams` runs.
         if self.pending.is_empty() && self.active.is_empty() && self.preempted.is_empty() {
-            match self.rx.recv() {
-                Ok(s) => {
-                    self.gate.depth.fetch_sub(1, Ordering::Relaxed);
-                    self.pending.push_back(s);
+            if self.flushing.is_empty() {
+                match self.rx.recv() {
+                    Ok(s) => {
+                        self.gate.depth.fetch_sub(1, Ordering::Relaxed);
+                        self.pending.push_back(s);
+                    }
+                    Err(_) => {
+                        self.disconnected = true;
+                        return;
+                    }
                 }
-                Err(_) => {
-                    self.disconnected = true;
-                    return;
+            } else {
+                match self.rx.recv_timeout(Duration::from_millis(1)) {
+                    Ok(s) => {
+                        self.gate.depth.fetch_sub(1, Ordering::Relaxed);
+                        self.pending.push_back(s);
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => {
+                        self.disconnected = true;
+                        return;
+                    }
                 }
             }
         }
@@ -697,11 +904,14 @@ impl Scheduler {
         // hold their prefix user count and radix lock — release it.
         let mut i = 0;
         while i < self.preempted.len() {
-            match Self::cancel_state(&self.preempted[i].sub) {
+            match Self::cancel_or_dropped(&self.preempted[i]) {
                 Some(r) => {
                     let a = self.preempted.remove(i).expect("index in bounds");
                     self.release_prefix(&a);
-                    deliver(&a.sub, RequestOutcome::Cancelled(r));
+                    if matches!(r, CancelReason::StreamDropped) {
+                        self.metrics.stream_dropped += 1;
+                    }
+                    self.finish_active(a, RequestOutcome::Cancelled(r));
                     self.metrics.cancelled += 1;
                 }
                 None => i += 1,
@@ -709,16 +919,30 @@ impl Scheduler {
         }
         let mut i = 0;
         while i < self.active.len() {
-            match Self::cancel_state(&self.active[i].sub) {
+            match Self::cancel_or_dropped(&self.active[i]) {
                 Some(r) => {
                     let a = self.active.remove(i);
                     self.release(&a);
-                    deliver(&a.sub, RequestOutcome::Cancelled(r));
+                    if matches!(r, CancelReason::StreamDropped) {
+                        self.metrics.stream_dropped += 1;
+                    }
+                    self.finish_active(a, RequestOutcome::Cancelled(r));
                     self.metrics.cancelled += 1;
                 }
                 None => i += 1,
             }
         }
+    }
+
+    /// [`Scheduler::cancel_state`] plus the streaming runtime's third
+    /// cancellation source: the client dropped its token receiver, so the
+    /// remaining generation would be thrown away anyway.
+    fn cancel_or_dropped(a: &Active) -> Option<CancelReason> {
+        Self::cancel_state(&a.sub).or_else(|| {
+            a.stream
+                .as_ref()
+                .and_then(|s| s.dead.then_some(CancelReason::StreamDropped))
+        })
     }
 
     /// Free a request's policy reservation, its pool pages, and its
@@ -886,7 +1110,7 @@ impl Scheduler {
                 self.decode_branches(),
             ) {
                 AdmissionVerdict::Admit => {
-                    let sub = self.pending.pop_front().expect("front exists");
+                    let mut sub = self.pending.pop_front().expect("front exists");
                     if let Some(p) = prefix {
                         if let Err(msg) = self.ensure_prefix_entry(p) {
                             deliver(&sub, RequestOutcome::Cancelled(CancelReason::Failed(msg)));
@@ -905,9 +1129,11 @@ impl Scheduler {
                     self.kv_used += base.reserve;
                     self.metrics.admitted += 1;
                     let target = sub.spec.prompt_len - cached;
+                    let stream = sub.stream.take().map(StreamOut::new);
                     self.active.push(Active {
                         sub,
                         phase: Phase::Prefill { done: 0, target },
+                        stream,
                         outputs: Vec::new(),
                         charged: base.reserve,
                         staged: 0,
@@ -1126,14 +1352,17 @@ impl Scheduler {
         if let Some(i) = self.index_of(id) {
             let a = self.active.remove(i);
             self.release(&a);
-            deliver(&a.sub, RequestOutcome::Cancelled(CancelReason::Failed(msg)));
+            self.finish_active(a, RequestOutcome::Cancelled(CancelReason::Failed(msg)));
             self.metrics.cancelled += 1;
         }
     }
 
-    fn step(&mut self) {
+    /// Run one iteration batch. False when no unit could be formed (all
+    /// runnable work is stalled on stream backpressure) — the caller
+    /// yields instead of spinning.
+    fn step(&mut self) -> bool {
         if self.active.is_empty() {
-            return;
+            return true;
         }
         self.stage_prefill_appends();
         let (units, failures) = self.build_units();
@@ -1141,7 +1370,7 @@ impl Scheduler {
             self.fail(id, msg);
         }
         if units.is_empty() {
-            return;
+            return false;
         }
         let n: usize = units.iter().map(|u| u.result_count()).sum();
         for u in units {
@@ -1160,6 +1389,7 @@ impl Scheduler {
             self.process_result(r);
         }
         self.enforce_optimistic_capacity();
+        true
     }
 
     /// Write this step's prefill chunks into the pool, under the shared
@@ -1230,8 +1460,17 @@ impl Scheduler {
         let qo_w = self.cfg.heads.qo_width();
         let mut units = Vec::new();
         let mut failures = Vec::new();
+        let mut stalls = 0u64;
         let mut groups: Vec<(usize, SharedPrefix, Vec<GroupMember>)> = Vec::new();
         for a in &self.active {
+            // Client-side backpressure: a decode whose stream channel is
+            // full would only deepen the backlog — sit this step out. The
+            // request stays admitted (its KV stays resident), so it
+            // resumes the moment the client reads.
+            if matches!(a.phase, Phase::Decode) && a.stream.as_ref().is_some_and(|s| s.stalled()) {
+                stalls += 1;
+                continue;
+            }
             match a.phase {
                 Phase::Prefill { done, .. } => {
                     if a.staged == 0 {
@@ -1294,6 +1533,7 @@ impl Scheduler {
         for (_, p, members) in groups {
             self.lower_group(p, members, &mut units, &mut failures);
         }
+        self.metrics.stream_stalls += stalls;
         (units, failures)
     }
 
@@ -1398,17 +1638,24 @@ impl Scheduler {
                 let now = Instant::now();
                 let a = &mut self.active[i];
                 debug_assert_eq!(t, a.outputs.len(), "decode results must arrive in order");
+                let tenant = a.sub.spec.tenant;
+                if let Some(s) = a.stream.as_mut() {
+                    s.push(StreamItem::Token {
+                        index: t,
+                        row: r.out.clone(),
+                    });
+                }
                 a.outputs.push(r.out);
                 if a.first_token_at.is_none() {
                     a.first_token_at = Some(now);
-                    self.metrics
-                        .serving
-                        .ttft
-                        .push(now.duration_since(a.sub.submitted_at).as_secs_f64());
+                    let ttft = now.duration_since(a.sub.submitted_at).as_secs_f64();
+                    self.metrics.serving.ttft.push(ttft);
+                    self.tenant_ttft.entry(tenant).or_default().push(ttft);
                 } else if let Some(last) = a.last_token_at {
                     let d = now.duration_since(last).as_secs_f64();
                     a.itl.push(d);
                     self.metrics.serving.itl.push(d);
+                    self.tenant_itl.entry(tenant).or_default().push(d);
                 }
                 a.last_token_at = Some(now);
                 self.metrics.serving.tokens_generated += 1;
@@ -1416,22 +1663,21 @@ impl Scheduler {
                 let pos = a.sub.spec.prompt_len + t;
                 let finished = a.outputs.len() >= a.sub.spec.output_len;
                 if finished {
-                    let a = self.active.remove(i);
+                    let mut a = self.active.remove(i);
                     self.release(&a);
                     let ttft = a
                         .first_token_at
                         .map(|f| f.duration_since(a.sub.submitted_at).as_secs_f64())
                         .unwrap_or(0.0);
-                    deliver(
-                        &a.sub,
-                        RequestOutcome::Completed(CompletedRequest {
-                            outputs: a.outputs,
-                            ttft,
-                            itl: a.itl,
-                            preemptions: a.preemptions,
-                        }),
-                    );
+                    let outcome = RequestOutcome::Completed(CompletedRequest {
+                        outputs: std::mem::take(&mut a.outputs),
+                        ttft,
+                        itl: std::mem::take(&mut a.itl),
+                        preemptions: a.preemptions,
+                    });
+                    self.finish_active(a, outcome);
                     self.metrics.serving.completed += 1;
+                    *self.tenant_completed.entry(tenant).or_default() += 1;
                 } else {
                     // Append the generated token's KV row so the next
                     // decode step sees it.
@@ -1718,6 +1964,92 @@ mod tests {
         assert_eq!(m.completed(), 1);
         assert!(m.kv_pool_drained());
         assert_eq!(m.serving.pipeline.cascade_groups, 0);
+    }
+
+    #[test]
+    fn streaming_delivers_the_same_rows_as_the_handle() {
+        let rt = Runtime::start(tiny_cfg()).unwrap();
+        let (h, rx) = rt.submit_streaming(RuntimeRequest::new(12, 6, 7), 2);
+        let mut streamed: Vec<Vec<f32>> = Vec::new();
+        let mut done = None;
+        for item in rx {
+            match item {
+                StreamItem::Token { index, row } => {
+                    assert_eq!(index, streamed.len(), "tokens arrive in order");
+                    streamed.push(row);
+                }
+                StreamItem::Done(o) => done = Some(o),
+            }
+        }
+        let out = h.wait().completed().expect("completes");
+        assert_eq!(streamed, out.outputs, "streamed rows match the handle's");
+        assert!(matches!(done, Some(RequestOutcome::Completed(_))));
+        let m = rt.finish();
+        assert_eq!(m.completed(), 1);
+        assert!(m.reconciles());
+        assert!(m.kv_pool_drained());
+    }
+
+    #[test]
+    fn full_stream_channel_stalls_but_never_drops_tokens() {
+        // Capacity 1 with a slow reader: the scheduler must pause that
+        // request's decode instead of dropping or blocking, and every
+        // token must still arrive.
+        let rt = Runtime::start(tiny_cfg()).unwrap();
+        let (h, rx) = rt.submit_streaming(RuntimeRequest::new(8, 12, 3), 1);
+        let mut n = 0;
+        for item in rx {
+            if matches!(item, StreamItem::Token { .. }) {
+                n += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+        assert_eq!(n, 12);
+        assert!(h.wait().is_completed());
+        let m = rt.finish();
+        assert!(m.stream_stalls > 0, "a capacity-1 channel must stall");
+        assert!(m.reconciles());
+        assert!(m.kv_pool_drained());
+    }
+
+    #[test]
+    fn dropped_stream_receiver_cancels_and_frees_pages() {
+        let rt = Runtime::start(tiny_cfg()).unwrap();
+        let (h, rx) = rt.submit_streaming(RuntimeRequest::new(8, 1500, 5), 1);
+        // Read one token so the request is mid-generation, then walk away.
+        let first = rx.recv().expect("first token");
+        assert!(matches!(first, StreamItem::Token { index: 0, .. }));
+        drop(rx);
+        assert_eq!(
+            h.wait(),
+            RequestOutcome::Cancelled(CancelReason::StreamDropped)
+        );
+        let m = rt.finish();
+        assert_eq!(m.cancelled, 1);
+        assert_eq!(m.stream_dropped, 1);
+        assert!(m.reconciles());
+        assert!(m.kv_pool_drained(), "dropped stream must free its pages");
+    }
+
+    #[test]
+    fn tenant_tags_surface_per_tenant_latency() {
+        let rt = Runtime::start(tiny_cfg()).unwrap();
+        let handles: Vec<_> = (0..6)
+            .map(|i| rt.submit(RuntimeRequest::new(8, 4, 50 + i).with_tenant(1 + (i % 2) as u32)))
+            .collect();
+        for h in handles {
+            assert!(h.wait().is_completed());
+        }
+        let m = rt.finish();
+        assert_eq!(m.tenants.len(), 2);
+        for t in [1u32, 2] {
+            let tl = m.tenant(t).expect("tenant present");
+            assert_eq!(tl.completed, 3);
+            assert_eq!(tl.latency.ttft.count, 3);
+            assert!(tl.latency.ttft.p99 >= tl.latency.ttft.p50);
+        }
+        assert!(m.tenant(9).is_none());
+        assert_eq!(m.latency.ttft.count, 6, "whole-run digest covers all");
     }
 
     #[test]

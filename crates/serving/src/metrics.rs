@@ -170,6 +170,50 @@ impl PercentileSummary {
     }
 }
 
+/// A serializable latency digest: the percentiles a serving report
+/// actually quotes, computed from one [`PercentileSummary`] sort instead
+/// of shipping the raw sample vector around.
+///
+/// This is the reporting surface for TTFT/ITL in `fi-runtime`'s metrics
+/// (overall and per tenant): consumers read `p50`/`p99` straight off the
+/// struct rather than re-sorting a `Vec<f64>` dump per query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct LatencySummary {
+    /// Samples summarized.
+    pub count: usize,
+    /// Arithmetic mean, seconds. Zero when empty.
+    pub mean: f64,
+    /// Median, seconds.
+    pub p50: f64,
+    /// 90th percentile, seconds.
+    pub p90: f64,
+    /// 99th percentile, seconds.
+    pub p99: f64,
+    /// Largest sample, seconds.
+    pub max: f64,
+}
+
+impl LatencySummary {
+    /// Digest a sample set: one sort (via [`PercentileSummary`]), every
+    /// quoted percentile read from it.
+    pub fn from_samples(samples: &[f64]) -> LatencySummary {
+        let sorted = PercentileSummary::new(samples);
+        let mean = if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().sum::<f64>() / samples.len() as f64
+        };
+        LatencySummary {
+            count: sorted.len(),
+            mean,
+            p50: sorted.percentile(50.0),
+            p90: sorted.percentile(90.0),
+            p99: sorted.percentile(99.0),
+            max: sorted.percentile(100.0),
+        }
+    }
+}
+
 /// Percentile of a sample set (linear interpolation). Returns 0 for empty.
 ///
 /// Sorts per call — fine for one-off queries; build a
@@ -272,6 +316,22 @@ mod tests {
     fn percentile_unsorted_input() {
         let s = [5.0, 1.0, 3.0];
         assert_eq!(percentile(&s, 50.0), 3.0);
+    }
+
+    #[test]
+    fn latency_summary_digests_once() {
+        let s = [0.1, 0.2, 0.3, 0.4];
+        let d = LatencySummary::from_samples(&s);
+        assert_eq!(d.count, 4);
+        assert!((d.mean - 0.25).abs() < 1e-12);
+        assert_eq!(d.p50, percentile(&s, 50.0));
+        assert_eq!(d.p90, percentile(&s, 90.0));
+        assert_eq!(d.p99, percentile(&s, 99.0));
+        assert_eq!(d.max, 0.4);
+        let empty = LatencySummary::from_samples(&[]);
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.mean, 0.0);
+        assert_eq!(empty.p99, 0.0);
     }
 
     #[test]

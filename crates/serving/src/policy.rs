@@ -120,6 +120,66 @@ pub fn admission_verdict(
     AdmissionVerdict::Admit
 }
 
+/// TGI-style batch-growth gate: when may a serving loop inject waiting
+/// prefills into an in-flight batch?
+///
+/// Growing the batch runs new prefills alongside running decodes, which
+/// spikes the decodes' inter-token latency; refusing to grow starves the
+/// waiting queue and inflates TTFT. TGI's router arbitrates with a
+/// `waiting_served_ratio`: only concatenate a new batch when the waiting
+/// queue is at least `ratio × served` deep (so the prefill disruption is
+/// amortized over enough new work), with a step-count escape hatch that
+/// bounds how long a short queue can be starved. The router consumes this
+/// through [`batch_growth_quota`] each dispatch tick — the same seam the
+/// admission/chunking/preemption decisions already flow through.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct GrowthPolicy {
+    /// Minimum waiting/served ratio before the batch may grow. Below 1.0
+    /// the loop grows eagerly (TTFT-leaning); above it the loop protects
+    /// decode ITL by batching admissions.
+    pub waiting_served_ratio: f64,
+    /// Force growth after this many consecutive gated steps, so a queue
+    /// shorter than the ratio demands is never starved indefinitely.
+    pub max_waiting_steps: usize,
+}
+
+impl Default for GrowthPolicy {
+    fn default() -> GrowthPolicy {
+        GrowthPolicy {
+            waiting_served_ratio: 1.2,
+            max_waiting_steps: 20,
+        }
+    }
+}
+
+/// How many waiting requests the loop may admit this step: all of them
+/// when the growth gate opens, zero while it holds.
+///
+/// The gate opens when nothing is being served (there is no decode ITL to
+/// protect), when the waiting queue reaches `waiting_served_ratio ×
+/// served`, or when `steps_since_growth` exhausts the starvation bound.
+/// All-or-nothing mirrors TGI's `min_size` contract: a batch grown by a
+/// trickle of single prefills pays the disruption repeatedly for no
+/// amortization.
+pub fn batch_growth_quota(
+    policy: &GrowthPolicy,
+    waiting: usize,
+    served: usize,
+    steps_since_growth: usize,
+) -> usize {
+    if waiting == 0 {
+        return 0;
+    }
+    if served == 0 || steps_since_growth >= policy.max_waiting_steps {
+        return waiting;
+    }
+    if waiting as f64 >= policy.waiting_served_ratio * served as f64 {
+        waiting
+    } else {
+        0
+    }
+}
+
 /// FCFS chunked prefill: split this step's prefill work under the
 /// per-step token budget.
 ///
@@ -252,6 +312,43 @@ mod tests {
         assert_eq!(prefill_chunks(None, &[80, 50]), vec![80, 50]);
         assert_eq!(prefill_chunks(Some(0), &[5]), vec![0]);
         assert!(prefill_chunks(Some(7), &[]).is_empty());
+    }
+
+    #[test]
+    fn growth_gate_protects_decode_until_ratio() {
+        let p = GrowthPolicy {
+            waiting_served_ratio: 1.5,
+            max_waiting_steps: 10,
+        };
+        // Nothing waiting: nothing to admit, whatever the batch looks like.
+        assert_eq!(batch_growth_quota(&p, 0, 4, 100), 0);
+        // Idle loop: admit everything immediately.
+        assert_eq!(batch_growth_quota(&p, 3, 0, 0), 3);
+        // Below the ratio the gate holds (5 < 1.5 * 4).
+        assert_eq!(batch_growth_quota(&p, 5, 4, 0), 0);
+        // At the ratio it opens, all-or-nothing (6 == 1.5 * 4).
+        assert_eq!(batch_growth_quota(&p, 6, 4, 0), 6);
+        // The starvation bound forces a short queue through.
+        assert_eq!(batch_growth_quota(&p, 1, 8, 9), 0);
+        assert_eq!(batch_growth_quota(&p, 1, 8, 10), 1);
+    }
+
+    #[test]
+    fn growth_ratio_extremes() {
+        // ratio 0: grow whenever anything waits (pure TTFT).
+        let eager = GrowthPolicy {
+            waiting_served_ratio: 0.0,
+            max_waiting_steps: usize::MAX,
+        };
+        assert_eq!(batch_growth_quota(&eager, 1, 100, 0), 1);
+        // Huge ratio with no escape: gate effectively never opens while
+        // serving.
+        let strict = GrowthPolicy {
+            waiting_served_ratio: 1e9,
+            max_waiting_steps: usize::MAX,
+        };
+        assert_eq!(batch_growth_quota(&strict, 50, 1, 1_000_000), 0);
+        assert_eq!(batch_growth_quota(&strict, 50, 0, 0), 50);
     }
 
     #[test]

@@ -84,6 +84,52 @@ pub fn poisson_arrivals(rng: &mut impl Rng, n: usize, rate: f64) -> Vec<f64> {
         .collect()
 }
 
+/// Bursty arrivals: a compound-Poisson (batch-arrival) process standing
+/// in for the flash crowds real request routers absorb — bursts arrive as
+/// a Poisson process at `burst_rate` bursts/second, each burst carrying
+/// `1 + Poisson(mean_burst_size - 1)` requests spaced at the much faster
+/// `within_rate`. The inter-arrival coefficient of variation exceeds the
+/// plain Poisson process's 1.0, which is what stresses a router's
+/// batch-growth and fairness policies.
+pub fn bursty_arrivals(
+    rng: &mut impl Rng,
+    n: usize,
+    burst_rate: f64,
+    mean_burst_size: f64,
+    within_rate: f64,
+) -> Vec<f64> {
+    assert!(burst_rate > 0.0, "burst_rate must be positive");
+    assert!(mean_burst_size >= 1.0, "bursts carry at least one request");
+    assert!(within_rate > 0.0, "within_rate must be positive");
+    let size_dist = (mean_burst_size > 1.0)
+        .then(|| Poisson::new(mean_burst_size - 1.0).expect("valid poisson"));
+    let mut arrivals = Vec::with_capacity(n);
+    let mut t = 0.0f64;
+    while arrivals.len() < n {
+        // Next burst head: exponential inter-burst gap.
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        t += -u.ln() / burst_rate;
+        let extra = size_dist.as_ref().map_or(0.0, |d| d.sample(rng)) as usize;
+        let mut at = t;
+        for i in 0..1 + extra {
+            if arrivals.len() >= n {
+                break;
+            }
+            if i > 0 {
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                at += -u.ln() / within_rate;
+            }
+            arrivals.push(at);
+        }
+        // The next burst head continues from the burst's start, so bursts
+        // may overlap under heavy load — like real traffic.
+    }
+    // Overlapping bursts can interleave; the serving loops expect a
+    // time-ordered trace.
+    arrivals.sort_by(|a, b| a.partial_cmp(b).expect("finite arrival times"));
+    arrivals
+}
+
 /// Assemble full request specs from lengths + arrivals.
 pub fn assemble(
     lengths: &[(usize, usize)],
@@ -152,6 +198,32 @@ mod tests {
         let duration = arr.last().unwrap();
         let rate = 2000.0 / duration;
         assert!((rate - 8.0).abs() < 1.0, "rate {rate}");
+    }
+
+    #[test]
+    fn bursty_arrivals_are_monotone_and_overdispersed() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let arr = bursty_arrivals(&mut rng, 4000, 2.0, 8.0, 500.0);
+        assert_eq!(arr.len(), 4000);
+        assert!(arr.windows(2).all(|w| w[1] >= w[0]));
+        // Inter-arrival coefficient of variation: Poisson gives ~1.0;
+        // batched arrivals must be clearly burstier.
+        let gaps: Vec<f64> = arr.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+        let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+        let cv = var.sqrt() / mean;
+        assert!(cv > 1.3, "cv {cv} should exceed a Poisson process's 1.0");
+        // Determinism under seed.
+        let again = bursty_arrivals(&mut StdRng::seed_from_u64(11), 100, 2.0, 8.0, 500.0);
+        assert_eq!(&arr[..100], &again[..]);
+    }
+
+    #[test]
+    fn bursty_single_request_bursts_degenerate_to_poisson() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let arr = bursty_arrivals(&mut rng, 500, 10.0, 1.0, 1e6);
+        assert_eq!(arr.len(), 500);
+        assert!(arr.windows(2).all(|w| w[1] >= w[0]));
     }
 
     #[test]

@@ -27,25 +27,42 @@
 # off (flat per-request decode), reporting tokens/s and gathered KV bytes
 # per mode, into BENCH_cascade.json. Also criterion-free.
 #
+# With --router, snapshots routed serving instead: the registry-free
+# router_timing binary replays one Poisson three-tenant trace through the
+# fi-router front-door at waiting_served_ratio {0.3, 1.2, 4.0}, reporting
+# end-to-end tokens/s and TTFT/ITL p50/p99 per ratio, into
+# BENCH_router.json. Also criterion-free.
+#
 # Usage: scripts/bench_snapshot.sh [--offline] [--runtime] [--cascade]
-#        [output.json]
+#        [--router] [output.json]
 #        (default output: BENCH_kernel.json, BENCH_runtime.json with
-#        --runtime, or BENCH_cascade.json with --cascade)
+#        --runtime, BENCH_cascade.json with --cascade, or
+#        BENCH_router.json with --router)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OFFLINE=0
 RUNTIME=0
 CASCADE=0
+ROUTER=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --offline) OFFLINE=1 ;;
     --runtime) RUNTIME=1 ;;
     --cascade) CASCADE=1 ;;
+    --router) ROUTER=1 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
   shift
 done
+
+if [[ "$ROUTER" == 1 ]]; then
+  OUT="${1:-BENCH_router.json}"
+  echo "==> router growth-policy sweep (waiting_served_ratio 0.3/1.2/4.0)"
+  cargo run --release -q -p fi-bench --bin router_timing > "$OUT"
+  echo "wrote ${OUT}"
+  exit 0
+fi
 
 if [[ "$CASCADE" == 1 ]]; then
   OUT="${1:-BENCH_cascade.json}"

@@ -64,6 +64,13 @@ for _ in 1 2 3; do
   cargo test -q --test runtime_serving "${PROFILE_FLAGS[@]}" tensor_parallel_serving
 done
 
+echo "==> fi-router gate (8-thread bursty smoke x3 + drain-under-load)"
+cargo test -q -p fi-router "${PROFILE_FLAGS[@]}" -- --test-threads=8
+for _ in 1 2 3; do
+  cargo test -q --test router_serving "${PROFILE_FLAGS[@]}" bursty_arrivals
+done
+cargo test -q --test router_serving "${PROFILE_FLAGS[@]}" drain_under_load
+
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --workspace --no-run
 

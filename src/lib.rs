@@ -25,6 +25,11 @@
 //!   the real kernels (scheduler thread + worker pool over the shared
 //!   paged KV pool), sharing batch-formation policy with [`serving`];
 //!   optionally tensor-parallel via [`dist`].
+//! * [`router`] — the request-facing front-door above [`runtime`]:
+//!   synchronous validation with typed errors, per-tenant weighted
+//!   round-robin under token-bucket rate limits, bounded token-by-token
+//!   streaming, `waiting_served_ratio` batch growth, and health-gated
+//!   graceful shutdown.
 //!
 //! See `examples/quickstart.rs` for the canonical end-to-end usage.
 
@@ -33,6 +38,7 @@ pub use fi_dist as dist;
 pub use fi_gpusim as gpusim;
 pub use fi_kvcache as kvcache;
 pub use fi_model as model;
+pub use fi_router as router;
 pub use fi_runtime as runtime;
 pub use fi_sched as sched;
 pub use fi_serving as serving;
