@@ -1,0 +1,177 @@
+//! Cluster scaling benchmark for `scripts/bench_snapshot.sh --cluster`:
+//! measures end-to-end serving throughput and TTFT percentiles as the
+//! same trace is spread over more replicas at a **matched total worker
+//! count**, plus a disaggregated prefill/decode pair. Prints the
+//! `BENCH_cluster.json` snapshot to stdout.
+//!
+//! Four topologies, all with four worker threads total:
+//!
+//! * `1x4` — one unified replica with 4 workers (the single-runtime
+//!   baseline every other row is scaled against),
+//! * `2x2` — two unified replicas with 2 workers each,
+//! * `4x1` — four unified replicas with 1 worker each,
+//! * `disagg_2+2` — one prefill replica and one decode replica, 2
+//!   workers each, every request migrating its KV pages over the
+//!   simulated link.
+//!
+//! The trace (arrival seed, request shapes from the shared
+//! `fi_serving::workload::deterministic_mix`) is identical across rows;
+//! outputs are bit-identical by construction, so the delta is purely
+//! placement and the per-replica pools. Throughput is wall-clock
+//! (submit-to-last-outcome); TTFT percentiles come from the merged
+//! replica rollup, re-digested from the raw samples.
+
+use std::time::{Duration, Instant};
+
+use fi_cluster::{ClusterConfig, ClusterRouter, ReplicaConfig, ReplicaRole};
+use fi_runtime::{RequestOutcome, RuntimeConfig, RuntimeRequest};
+use fi_serving::workload::{deterministic_mix, poisson_arrivals};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const REQUESTS: usize = 96;
+/// Arrival rate (req/s): far past the service rate, so the whole trace
+/// lands as a backlog and every topology runs saturated — the measured
+/// delta is batch capacity and scheduler contention, not arrival pacing.
+const ARRIVAL_RATE: f64 = 50_000.0;
+const TOTAL_WORKERS: usize = 4;
+
+fn workload() -> Vec<RuntimeRequest> {
+    deterministic_mix(REQUESTS, 2026)
+        .into_iter()
+        .map(|s| RuntimeRequest::new(s.prompt_len, s.output_len, s.seed))
+        .collect()
+}
+
+fn rt_cfg(workers: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        num_workers: workers,
+        queue_capacity: 2 * REQUESTS,
+        ..RuntimeConfig::default()
+    }
+}
+
+fn topology(name: &str) -> ClusterConfig {
+    let mut cfg = match name {
+        "1x4" => ClusterConfig::homogeneous(1, rt_cfg(TOTAL_WORKERS)),
+        "2x2" => ClusterConfig::homogeneous(2, rt_cfg(TOTAL_WORKERS / 2)),
+        "4x1" => ClusterConfig::homogeneous(4, rt_cfg(1)),
+        "disagg_2+2" => ClusterConfig {
+            replicas: vec![
+                ReplicaConfig::with_role(rt_cfg(TOTAL_WORKERS / 2), ReplicaRole::Prefill),
+                ReplicaConfig::with_role(rt_cfg(TOTAL_WORKERS / 2), ReplicaRole::Decode),
+            ],
+            ..ClusterConfig::homogeneous(1, rt_cfg(1))
+        },
+        other => panic!("unknown topology {other}"),
+    };
+    // One shared in-flight budget per replica across rows, below every
+    // replica's queue_capacity.
+    cfg.max_in_flight = 16;
+    cfg
+}
+
+struct Row {
+    name: &'static str,
+    replicas: usize,
+    tokens_per_s: f64,
+    ttft_p50_ms: f64,
+    ttft_p99_ms: f64,
+    migrations: u64,
+    migrated_bytes: u64,
+    transfer_us: f64,
+}
+
+fn run(name: &'static str, reqs: &[RuntimeRequest], arrivals: &[f64]) -> Row {
+    let cfg = topology(name);
+    let replicas = cfg.replicas.len();
+    let cluster = ClusterRouter::start(cfg).expect("cluster starts");
+    let t0 = Instant::now();
+    let handles: Vec<_> = reqs
+        .iter()
+        .zip(arrivals)
+        .map(|(req, &at)| {
+            if let Some(wait) = Duration::from_secs_f64(at).checked_sub(t0.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            cluster.submit(*req)
+        })
+        .collect();
+    let mut tokens = 0usize;
+    for h in handles {
+        match h.wait() {
+            RequestOutcome::Completed(c) => tokens += c.outputs.len(),
+            other => panic!("bench request failed: {other:?}"),
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let m = cluster.finish();
+    assert!(m.reconciles(), "bench run must reconcile");
+    assert_eq!(m.completed as usize, REQUESTS);
+    Row {
+        name,
+        replicas,
+        tokens_per_s: tokens as f64 / elapsed,
+        ttft_p50_ms: m.total.latency.ttft.p50 * 1e3,
+        ttft_p99_ms: m.total.latency.ttft.p99 * 1e3,
+        migrations: m.migrations,
+        migrated_bytes: m.migrated_bytes,
+        transfer_us: m.transfer_seconds * 1e6,
+    }
+}
+
+fn main() {
+    let reqs = workload();
+    let mut rng = StdRng::seed_from_u64(2026);
+    let arrivals = poisson_arrivals(&mut rng, REQUESTS, ARRIVAL_RATE);
+    let names = ["1x4", "2x2", "4x1", "disagg_2+2"];
+    let mut rows = Vec::new();
+    for name in names {
+        let r = run(name, &reqs, &arrivals);
+        eprintln!(
+            "{:>10}  {:8.1} tok/s  ttft p50/p99 = {:6.2}/{:6.2} ms  \
+             migrations={} ({} B, {:.2} us on the link)",
+            r.name,
+            r.tokens_per_s,
+            r.ttft_p50_ms,
+            r.ttft_p99_ms,
+            r.migrations,
+            r.migrated_bytes,
+            r.transfer_us
+        );
+        rows.push(r);
+    }
+    let base = rows[0].tokens_per_s;
+    println!("{{");
+    println!("  \"schema\": \"fi-bench/cluster/v1\",");
+    println!(
+        "  \"workload\": {{\"requests\": {REQUESTS}, \"arrival_rate_per_s\": {ARRIVAL_RATE}, \
+         \"total_workers\": {TOTAL_WORKERS}, \"mix\": \"deterministic_mix(96, 2026)\"}},"
+    );
+    println!("  \"rows\": [");
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                concat!(
+                    "    {{\"topology\": \"{}\", \"replicas\": {}, ",
+                    "\"tokens_per_s\": {:.1}, \"speedup_vs_1x4\": {:.3}, ",
+                    "\"ttft_p50_ms\": {:.3}, \"ttft_p99_ms\": {:.3}, ",
+                    "\"migrations\": {}, \"migrated_bytes\": {}, \"transfer_us\": {:.2}}}"
+                ),
+                r.name,
+                r.replicas,
+                r.tokens_per_s,
+                r.tokens_per_s / base,
+                r.ttft_p50_ms,
+                r.ttft_p99_ms,
+                r.migrations,
+                r.migrated_bytes,
+                r.transfer_us
+            )
+        })
+        .collect();
+    println!("{}", body.join(",\n"));
+    println!("  ]");
+    println!("}}");
+}

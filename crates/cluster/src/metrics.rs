@@ -1,0 +1,129 @@
+//! Cluster-level accounting: per-replica reports, the merged runtime
+//! rollup, placement counters, and migration traffic — reconciling
+//! exactly, like `RuntimeMetrics` and `RouterReport` do.
+
+use fi_runtime::RuntimeMetrics;
+
+use crate::config::ReplicaRole;
+
+/// One replica's slice of a cluster run.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ReplicaReport {
+    /// Replica index in the cluster configuration.
+    pub replica: usize,
+    /// The role it served.
+    pub role: ReplicaRole,
+    /// Requests (or request legs) the placement loop dispatched here.
+    pub placed: u64,
+    /// Highest concurrent in-flight count observed.
+    pub peak_in_flight: usize,
+    /// Highest outstanding-token load observed (the balancing signal).
+    pub peak_outstanding_tokens: usize,
+    /// True if the replica was drained before the run ended.
+    pub drained_early: bool,
+    /// The replica runtime's own report.
+    pub runtime: RuntimeMetrics,
+}
+
+/// Snapshot of a cluster run, returned by `ClusterRouter::finish`.
+///
+/// Two layers of accounting coexist:
+///
+/// * **Cluster-level** counters see *requests*: every submission resolves
+///   to exactly one client outcome, so
+///   `submitted == completed + rejected + cancelled`.
+/// * **Runtime-level** counters (in `total` and per replica) see request
+///   *legs*: a migrated request submits twice — once as the prefill leg,
+///   once as the resumed decode leg — so
+///   `total.submitted == placements_affinity + placements_balanced +
+///   placements_disaggregated + migrations`, and `total.serving.completed`
+///   counts legs, not requests.
+///
+/// [`ClusterMetrics::reconciles`] checks both identities plus every
+/// replica's own reconciliation.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ClusterMetrics {
+    /// Per-replica reports, in configuration order.
+    pub replicas: Vec<ReplicaReport>,
+    /// All replica runtime reports merged ([`RuntimeMetrics::merge`]).
+    pub total: RuntimeMetrics,
+    /// Requests submitted to the cluster.
+    pub submitted: u64,
+    /// Requests whose clients received a completed outcome.
+    pub completed: u64,
+    /// Requests whose clients received a rejection.
+    pub rejected: u64,
+    /// Requests whose clients received a cancellation.
+    pub cancelled: u64,
+    /// Placements that followed radix affinity (the request's declared
+    /// prefix already lives on that replica).
+    pub placements_affinity: u64,
+    /// Placements by least-outstanding-tokens balancing.
+    pub placements_balanced: u64,
+    /// Prefill-leg placements on disaggregated prefill replicas.
+    pub placements_disaggregated: u64,
+    /// KV migrations completed (resumed decode legs placed).
+    pub migrations: u64,
+    /// KV pages moved across the simulated link.
+    pub migrated_pages: u64,
+    /// Bytes moved across the simulated link (priced at the pools'
+    /// storage dtype, not the f32 carrier).
+    pub migrated_bytes: u64,
+    /// Simulated transfer time charged by the `CommCost` ring model.
+    pub transfer_seconds: f64,
+    /// Affinity entries dropped because their home replica drained
+    /// (subsequent prefix sessions re-prefill elsewhere).
+    pub affinity_dropped_on_drain: u64,
+    /// Highest cluster-level pending-queue depth observed.
+    pub peak_pending: usize,
+}
+
+impl ClusterMetrics {
+    /// Both accounting identities hold, on every layer:
+    /// request-level `submitted == completed + rejected + cancelled`,
+    /// leg-level `total.submitted == placements + migrations`, each
+    /// replica's runtime reconciles, and the merged total reconciles.
+    pub fn reconciles(&self) -> bool {
+        self.submitted == self.completed + self.rejected + self.cancelled
+            && self.total.submitted
+                == self.placements_affinity
+                    + self.placements_balanced
+                    + self.placements_disaggregated
+                    + self.migrations
+            && self.replicas.iter().all(|r| r.runtime.reconciles())
+            && self.total.reconciles()
+    }
+
+    /// True iff every replica's KV pool drained back to fully free.
+    pub fn kv_pools_drained(&self) -> bool {
+        self.replicas.iter().all(|r| r.runtime.kv_pool_drained())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconciliation_covers_both_layers() {
+        let mut m = ClusterMetrics {
+            submitted: 10,
+            completed: 7,
+            rejected: 2,
+            cancelled: 1,
+            placements_affinity: 2,
+            placements_balanced: 5,
+            placements_disaggregated: 2,
+            migrations: 2,
+            ..ClusterMetrics::default()
+        };
+        m.total.submitted = 11;
+        m.total.rejected = 2;
+        m.total.cancelled = 1;
+        m.total.serving.completed = 8;
+        assert!(m.reconciles());
+        // Losing a leg breaks the placement identity.
+        m.placements_balanced = 4;
+        assert!(!m.reconciles());
+    }
+}

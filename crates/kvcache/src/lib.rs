@@ -35,7 +35,7 @@ pub use alloc::PageAllocator;
 pub use compat::LockedPagedKvCache;
 pub use error::KvCacheError;
 pub use map::PageMap;
-pub use paged::PagedKvCache;
+pub use paged::{PageExport, PagedKvCache};
 pub use radix::{PrefixMatch, RadixTree};
 pub use shard_alloc::{PageCache, ShardedPageAllocator};
 pub use store::{KvStore, KvStoreWriter};

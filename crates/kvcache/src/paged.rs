@@ -350,6 +350,60 @@ impl<T: Scalar> PagedKvCache<T> {
     pub fn free_page_count(&self) -> usize {
         self.alloc.free_pages() + self.cache.cached_pages()
     }
+
+    /// Lift a live request's KV rows out of the pool in logical order
+    /// (the migration read side: disaggregated prefill/decode moves
+    /// requests between pools through this seam). The export carries the
+    /// storage elements verbatim, so a same-dtype
+    /// [`PagedKvCache::import_request`] reproduces the source pool's
+    /// bytes bit-exactly regardless of how either pool's pages are laid
+    /// out physically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KvCacheError::UnknownRequest`] for unregistered ids.
+    pub fn export_request(&self, id: u64) -> Result<PageExport<T>, KvCacheError> {
+        let rows = self.seq_len(id)?;
+        let pages = self.map.request_pages(id)?;
+        let (w, ps) = (self.cfg.row_width(), self.cfg.page_size);
+        let mut k = Vec::with_capacity(rows * w);
+        let mut v = Vec::with_capacity(rows * w);
+        for pos in 0..rows {
+            let slot = pages[pos / ps] * ps + pos % ps;
+            k.extend_from_slice(self.store().k_slot(slot));
+            v.extend_from_slice(self.store().v_slot(slot));
+        }
+        Ok(PageExport { rows, k, v })
+    }
+
+    /// Register `id` and append an exported request's rows (the
+    /// migration write side). On any failure the request is rolled back
+    /// and the pool is left as if the call never happened.
+    ///
+    /// # Errors
+    ///
+    /// As [`PagedKvCache::add_request`] and [`PagedKvCache::append_many`].
+    pub fn import_request(&mut self, id: u64, export: &PageExport<T>) -> Result<(), KvCacheError> {
+        self.add_request(id)?;
+        if let Err(e) = self.append_many(id, &export.k, &export.v) {
+            let _ = self.remove_request(id);
+            return Err(e);
+        }
+        Ok(())
+    }
+}
+
+/// A request's KV rows lifted out of a pool by
+/// [`PagedKvCache::export_request`], in logical token order and the
+/// pool's storage dtype.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PageExport<T> {
+    /// Logical rows exported (the request's sequence length).
+    pub rows: usize,
+    /// Key rows, `[rows, row_width]` flattened.
+    pub k: Vec<T>,
+    /// Value rows, `[rows, row_width]` flattened.
+    pub v: Vec<T>,
 }
 
 #[cfg(test)]
@@ -414,6 +468,53 @@ mod tests {
             assert!(c.k_slot(slot).iter().all(|&x| x == pos as f32));
             assert!(c.v_slot(slot).iter().all(|&x| x == 10.0 + pos as f32));
         }
+    }
+
+    #[test]
+    fn export_import_round_trips_across_pools() {
+        let mut src = PagedKvCache::<f32>::new(cfg()).unwrap();
+        src.add_request(1).unwrap();
+        let w = src.config().row_width();
+        // 6 rows spans two pages (page_size 4), with a partial tail page.
+        for i in 0..6 {
+            src.append(1, &row(i as f32, w), &row(10.0 + i as f32, w))
+                .unwrap();
+        }
+        let export = src.export_request(1).unwrap();
+        assert_eq!(export.rows, 6);
+        assert_eq!(export.k.len(), 6 * w);
+
+        // Import into a pool whose page layout differs (another request
+        // claimed pages first), then verify slot-for-slot equality.
+        let mut dst = PagedKvCache::<f32>::new(cfg()).unwrap();
+        dst.add_request(9).unwrap();
+        dst.append(9, &row(99.0, w), &row(99.0, w)).unwrap();
+        dst.import_request(2, &export).unwrap();
+        assert_eq!(dst.seq_len(2).unwrap(), 6);
+        let spt = src.page_table(&[1]).unwrap();
+        let dpt = dst.page_table(&[2]).unwrap();
+        for pos in 0..6 {
+            assert_eq!(
+                src.k_slot(spt.slot_of(0, pos)),
+                dst.k_slot(dpt.slot_of(0, pos))
+            );
+            assert_eq!(
+                src.v_slot(spt.slot_of(0, pos)),
+                dst.v_slot(dpt.slot_of(0, pos))
+            );
+        }
+        // Round-trip export equality too.
+        assert_eq!(dst.export_request(2).unwrap(), export);
+
+        // Failed import rolls back: pool too small for the export.
+        let tiny = PagedKvConfig {
+            num_pages: 1,
+            ..cfg()
+        };
+        let mut small = PagedKvCache::<f32>::new(tiny).unwrap();
+        assert!(small.import_request(3, &export).is_err());
+        assert_eq!(small.num_requests(), 0);
+        assert_eq!(small.free_page_count(), 1);
     }
 
     #[test]

@@ -33,6 +33,11 @@
 //!   [`Router::shutdown`] stops intake, serves out every queued and
 //!   in-flight request, drains the runtime, and returns a
 //!   [`RouterReport`] whose lifecycle accounting reconciles exactly.
+//! * **Cluster backend** — [`Router::start_cluster`] dispatches into an
+//!   `fi_cluster::ClusterRouter` (N replica runtimes with radix-aware
+//!   placement and optional disaggregated prefill/decode) instead of a
+//!   single runtime; [`RouterReport::cluster`] carries the placement and
+//!   migration accounting and the same reconciliation discipline.
 //!
 //! Routing never changes results: the runtime's outputs are bit-exact
 //! functions of each request's `(seed, position)` stream regardless of

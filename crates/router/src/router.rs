@@ -1,5 +1,7 @@
 //! The router proper: a validating front gate, per-tenant queues, and a
-//! dispatcher thread that owns the [`fi_runtime::Runtime`].
+//! dispatcher thread that owns the backend — a single
+//! [`fi_runtime::Runtime`], or a whole [`fi_cluster::ClusterRouter`]
+//! when started with [`Router::start_cluster`].
 
 use std::collections::VecDeque;
 use std::sync::mpsc::{self, SyncSender};
@@ -7,9 +9,10 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use fi_cluster::{ClusterConfig, ClusterMetrics, ClusterRouter};
 use fi_runtime::{
-    RequestLatency, Runtime, RuntimeConfig, RuntimeError, RuntimeMetrics, RuntimeRequest,
-    StreamItem,
+    RequestLatency, RequestOutcome, Runtime, RuntimeConfig, RuntimeError, RuntimeMetrics,
+    RuntimeRequest, StreamItem,
 };
 use fi_serving::policy::{batch_growth_quota, GrowthPolicy};
 
@@ -75,7 +78,11 @@ impl Default for RouterConfig {
 }
 
 impl RouterConfig {
-    fn validate(&self, runtime: &RuntimeConfig) -> Result<(), RouterError> {
+    /// `dispatch_bound` is the backend gate's capacity when the backend
+    /// has a bounded gate (a single runtime's `queue_capacity`); the
+    /// cluster backend's gate is unbounded — its backpressure is the
+    /// per-replica in-flight cap — so cluster mode passes `None`.
+    fn validate(&self, dispatch_bound: Option<usize>) -> Result<(), RouterError> {
         let bad = |m: String| Err(RouterError::InvalidConfig(m));
         if self.tenants.is_empty() {
             return bad("at least one tenant required".into());
@@ -111,12 +118,14 @@ impl RouterConfig {
         if self.max_in_flight == 0 {
             return bad("max_in_flight must be positive".into());
         }
-        if self.max_in_flight > runtime.queue_capacity {
-            return bad(format!(
-                "max_in_flight ({}) exceeds the runtime queue_capacity ({}): dispatches could \
-                 bounce off the runtime's own gate",
-                self.max_in_flight, runtime.queue_capacity
-            ));
+        if let Some(bound) = dispatch_bound {
+            if self.max_in_flight > bound {
+                return bad(format!(
+                    "max_in_flight ({}) exceeds the runtime queue_capacity ({bound}): dispatches \
+                     could bounce off the runtime's own gate",
+                    self.max_in_flight
+                ));
+            }
         }
         if self.stream_capacity == 0 {
             return bad("stream_capacity must be positive".into());
@@ -190,13 +199,18 @@ pub struct TenantReport {
 /// The router's final report, returned by [`Router::shutdown`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RouterReport {
-    /// The drained runtime's own report.
+    /// The drained backend's runtime report: the single runtime's own
+    /// report, or (in cluster mode) all replica reports merged.
     pub runtime: RuntimeMetrics,
+    /// Cluster placement/migration accounting when the router was
+    /// started with [`Router::start_cluster`]; `None` in single-runtime
+    /// mode.
+    pub cluster: Option<ClusterMetrics>,
     /// Every [`Router::submit`] call, accepted or not.
     pub submitted: u64,
     /// Submissions refused at the gate with a typed [`SubmitError`].
     pub gate_rejected: u64,
-    /// Requests dispatched into the runtime.
+    /// Requests dispatched into the backend.
     pub dispatched: u64,
     /// Per-tenant accounting, in configuration order.
     pub tenants: Vec<TenantReport>,
@@ -204,16 +218,29 @@ pub struct RouterReport {
 
 impl RouterReport {
     /// Every submission accounted for exactly once:
-    /// `submitted == gate_rejected + completed + runtime_rejected +
-    /// cancelled`, with the runtime's own identity holding underneath.
+    /// `submitted == gate_rejected + completed + rejected + cancelled`,
+    /// with the backend's own identities holding underneath. In cluster
+    /// mode the request-level identity runs through the cluster's
+    /// counters (a migrated request is two runtime legs but one
+    /// dispatch), and the cluster's two-layer reconciliation must hold
+    /// too.
     pub fn reconciles(&self) -> bool {
-        self.runtime.reconciles()
-            && self.dispatched == self.runtime.submitted
-            && self.submitted
-                == self.gate_rejected
-                    + self.runtime.completed()
-                    + self.runtime.rejected
-                    + self.runtime.cancelled
+        match &self.cluster {
+            Some(c) => {
+                c.reconciles()
+                    && self.dispatched == c.submitted
+                    && self.submitted == self.gate_rejected + c.completed + c.rejected + c.cancelled
+            }
+            None => {
+                self.runtime.reconciles()
+                    && self.dispatched == self.runtime.submitted
+                    && self.submitted
+                        == self.gate_rejected
+                            + self.runtime.completed()
+                            + self.runtime.rejected
+                            + self.runtime.cancelled
+            }
+        }
     }
 
     /// One tenant's slice, by name.
@@ -239,12 +266,85 @@ pub struct Router {
     dispatcher: Option<JoinHandle<RouterReport>>,
 }
 
+/// The dispatcher's backend: one runtime, or a replica cluster.
+enum Backend {
+    Single(Runtime),
+    Cluster(ClusterRouter),
+}
+
+enum BackendHandle {
+    Single(fi_runtime::RequestHandle),
+    Cluster(fi_cluster::ClusterHandle),
+}
+
+impl Backend {
+    fn submit_with_stream(&self, req: RuntimeRequest, tx: SyncSender<StreamItem>) -> BackendHandle {
+        match self {
+            Backend::Single(rt) => BackendHandle::Single(rt.submit_with_stream(req, tx)),
+            Backend::Cluster(c) => BackendHandle::Cluster(c.submit_with_stream(req, tx)),
+        }
+    }
+
+    /// Drain and report: the runtime rollup plus, in cluster mode, the
+    /// cluster's placement/migration accounting.
+    fn finish(self) -> (RuntimeMetrics, Option<ClusterMetrics>) {
+        match self {
+            Backend::Single(rt) => (rt.finish(), None),
+            Backend::Cluster(c) => {
+                let m = c.finish();
+                (m.total.clone(), Some(m))
+            }
+        }
+    }
+}
+
+impl BackendHandle {
+    fn try_wait(&self) -> Option<RequestOutcome> {
+        match self {
+            BackendHandle::Single(h) => h.try_wait(),
+            BackendHandle::Cluster(h) => h.try_wait(),
+        }
+    }
+}
+
 impl Router {
     /// Spawn the dispatcher (which starts the runtime) and open intake.
     pub fn start(cfg: RouterConfig, runtime_cfg: RuntimeConfig) -> Result<Router, RouterError> {
-        cfg.validate(&runtime_cfg)?;
+        cfg.validate(Some(runtime_cfg.queue_capacity))?;
         let runtime = Runtime::start(runtime_cfg)
             .map_err(|e: RuntimeError| RouterError::InvalidConfig(e.to_string()))?;
+        Router::start_inner(cfg, Backend::Single(runtime))
+    }
+
+    /// Like [`Router::start`], but dispatch into a multi-replica
+    /// [`fi_cluster::ClusterRouter`] instead of a single runtime: the
+    /// same gate, tenant fairness, and growth policy, with placement
+    /// (radix affinity, balancing, disaggregated prefill/decode) handled
+    /// by the cluster. [`RouterReport::cluster`] carries the placement
+    /// and migration accounting.
+    pub fn start_cluster(
+        cfg: RouterConfig,
+        cluster_cfg: ClusterConfig,
+    ) -> Result<Router, RouterError> {
+        cfg.validate(None)?;
+        if let Some(small) = cluster_cfg
+            .replicas
+            .iter()
+            .map(|r| r.runtime.queue_capacity)
+            .find(|&q| q < cluster_cfg.max_in_flight)
+        {
+            return Err(RouterError::InvalidConfig(format!(
+                "cluster max_in_flight ({}) exceeds a replica queue_capacity ({small}): \
+                 placements could bounce off the replica's own gate",
+                cluster_cfg.max_in_flight
+            )));
+        }
+        let cluster = ClusterRouter::start(cluster_cfg)
+            .map_err(|e| RouterError::InvalidConfig(e.to_string()))?;
+        Router::start_inner(cfg, Backend::Cluster(cluster))
+    }
+
+    fn start_inner(cfg: RouterConfig, backend: Backend) -> Result<Router, RouterError> {
         let shared = Arc::new((
             Mutex::new(Shared {
                 queues: cfg.tenants.iter().map(|_| VecDeque::new()).collect(),
@@ -261,7 +361,7 @@ impl Router {
         let disp_shared = Arc::clone(&shared);
         let dispatcher = std::thread::Builder::new()
             .name("fi-router-dispatcher".into())
-            .spawn(move || Dispatcher::new(cfg, runtime, disp_shared).run())
+            .spawn(move || Dispatcher::new(cfg, backend, disp_shared).run())
             .map_err(|e| RouterError::InvalidConfig(format!("spawn dispatcher: {e}")))?;
         Ok(Router {
             shared,
@@ -405,11 +505,11 @@ impl Drop for Router {
 
 struct Dispatcher {
     cfg: RouterConfig,
-    runtime: Runtime,
+    backend: Backend,
     shared: Arc<(Mutex<Shared>, Condvar)>,
     buckets: Vec<Option<TokenBucket>>,
     wrr: WrrPicker,
-    in_flight: Vec<(usize, fi_runtime::RequestHandle)>,
+    in_flight: Vec<(usize, BackendHandle)>,
     /// Ticks the backlog has waited without the growth gate opening
     /// (resets on every dispatch) — drives the policy's escape hatch.
     steps_waiting: usize,
@@ -422,7 +522,7 @@ struct Dispatcher {
 impl Dispatcher {
     fn new(
         cfg: RouterConfig,
-        runtime: Runtime,
+        backend: Backend,
         shared: Arc<(Mutex<Shared>, Condvar)>,
     ) -> Dispatcher {
         let n = cfg.tenants.len();
@@ -440,7 +540,7 @@ impl Dispatcher {
             tenant_delayed: vec![0; n],
             last_refill: Instant::now(),
             cfg,
-            runtime,
+            backend,
             shared,
         }
     }
@@ -463,8 +563,8 @@ impl Dispatcher {
                 std::thread::sleep(self.cfg.tick);
             }
         }
-        // Everything dispatched has finished; drain the runtime itself.
-        let runtime = self.runtime.finish();
+        // Everything dispatched has finished; drain the backend itself.
+        let (runtime, cluster) = self.backend.finish();
         let (submitted, gate_rejected) = {
             let s = self.shared.0.lock().expect("router state poisoned");
             (s.submitted, s.gate_rejected)
@@ -487,6 +587,7 @@ impl Dispatcher {
             .collect();
         RouterReport {
             runtime,
+            cluster,
             submitted,
             gate_rejected,
             dispatched: self.dispatched,
@@ -557,7 +658,7 @@ impl Dispatcher {
                 }
             }
             let h = self
-                .runtime
+                .backend
                 .submit_with_stream(q.req.with_tenant(i as u32 + 1), q.tx);
             self.in_flight.push((i, h));
             self.dispatched += 1;
@@ -776,6 +877,42 @@ mod tests {
         ] {
             assert!(Router::start(cfg, ok_rt.clone()).is_err());
         }
+    }
+
+    #[test]
+    fn cluster_backend_serves_and_reconciles() {
+        let cluster_cfg = ClusterConfig::homogeneous(2, small_runtime());
+        let r = Router::start_cluster(two_tenants(), cluster_cfg).unwrap();
+        let mut streams = Vec::new();
+        for i in 0..10 {
+            let tenant = if i % 2 == 0 { "alpha" } else { "beta" };
+            streams.push(
+                r.submit(tenant, RuntimeRequest::new(10, 5, 50 + i))
+                    .unwrap(),
+            );
+        }
+        for s in streams {
+            let (rows, outcome) = s.collect_all();
+            assert_eq!(rows.len(), 5);
+            assert!(matches!(outcome, Some(RequestOutcome::Completed(_))));
+        }
+        let report = r.shutdown();
+        assert!(report.reconciles(), "cluster-mode report must reconcile");
+        let c = report
+            .cluster
+            .as_ref()
+            .expect("cluster mode sets the field");
+        assert_eq!(c.completed, 10);
+        assert_eq!(c.replicas.len(), 2);
+        assert_eq!(report.tenant("alpha").unwrap().completed, 5);
+        assert_eq!(report.tenant("beta").unwrap().completed, 5);
+
+        // A replica gate smaller than the cluster's in-flight cap is a
+        // config error, same as the single-runtime bound.
+        let mut bad = ClusterConfig::homogeneous(2, small_runtime());
+        bad.max_in_flight = 9;
+        bad.replicas[1].runtime.queue_capacity = 4;
+        assert!(Router::start_cluster(two_tenants(), bad).is_err());
     }
 
     #[test]

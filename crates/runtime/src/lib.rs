@@ -62,7 +62,7 @@ mod worker;
 pub use metrics::{RequestLatency, RuntimeMetrics, TenantLatency};
 pub use request::{
     effective_prefix_len, kv_row, prefix_token, q_row, request_kv_row, CancelReason,
-    CompletedRequest, RejectReason, RequestHandle, RequestOutcome, RuntimeRequest, SharedPrefix,
-    StreamItem,
+    CompletedRequest, KvSnapshot, PrefillHandle, PrefillOutcome, RejectReason, RequestHandle,
+    RequestOutcome, RuntimeRequest, SharedPrefix, StreamItem,
 };
 pub use scheduler::{CascadeMode, KvPrecision, Runtime, RuntimeConfig, RuntimeError};

@@ -94,6 +94,15 @@ pub struct RuntimeMetrics {
     /// Requests cancelled because the client dropped its stream receiver
     /// mid-generation (included in `cancelled`).
     pub stream_dropped: u64,
+    /// Prefill-only requests whose finished KV pages were exported for
+    /// migration (disaggregated prefill/decode).
+    pub kv_exports: u64,
+    /// KV rows exported across all `kv_exports`.
+    pub kv_export_rows: u64,
+    /// Resumed requests whose KV pages were imported from a snapshot.
+    pub kv_imports: u64,
+    /// KV rows imported across all `kv_imports`.
+    pub kv_import_rows: u64,
 }
 
 impl RuntimeMetrics {
@@ -117,6 +126,53 @@ impl RuntimeMetrics {
     pub fn tenant(&self, tenant: u32) -> Option<&TenantLatency> {
         self.tenants.iter().find(|t| t.tenant == tenant)
     }
+
+    /// Fold another runtime's report into this one (cluster rollup).
+    ///
+    /// Lifecycle counters, KV pages, comm stats, and raw latency samples
+    /// sum; `peak_queue_depth` and `tensor_parallel` take the max
+    /// (replicas run in parallel, not in sequence). The whole-run
+    /// `latency` digest is **re-digested from the merged raw samples**,
+    /// so it is exact, not a percentile-of-percentiles approximation;
+    /// per-tenant digests have no raw samples to re-sort and use the
+    /// count-weighted [`LatencySummary::merge`] approximation instead.
+    /// Merging preserves [`RuntimeMetrics::reconciles`]: if both sides
+    /// reconcile, the merged report does too.
+    pub fn merge(&mut self, other: &RuntimeMetrics) {
+        self.serving.merge(&other.serving);
+        self.submitted += other.submitted;
+        self.admitted += other.admitted;
+        self.rejected += other.rejected;
+        self.cancelled += other.cancelled;
+        self.swap_outs += other.swap_outs;
+        self.swap_ins += other.swap_ins;
+        self.peak_queue_depth = self.peak_queue_depth.max(other.peak_queue_depth);
+        self.kv_pages_total += other.kv_pages_total;
+        self.kv_pages_free_at_drain += other.kv_pages_free_at_drain;
+        self.tensor_parallel = self.tensor_parallel.max(other.tensor_parallel);
+        if self.kv_dtype.is_empty() {
+            self.kv_dtype = other.kv_dtype.clone();
+        }
+        self.comm.merge(&other.comm);
+        self.latency = RequestLatency::from_samples(&self.serving.ttft, &self.serving.itl);
+        for t in &other.tenants {
+            match self.tenants.iter_mut().find(|x| x.tenant == t.tenant) {
+                Some(mine) => {
+                    mine.completed += t.completed;
+                    mine.latency.ttft = mine.latency.ttft.merge(&t.latency.ttft);
+                    mine.latency.itl = mine.latency.itl.merge(&t.latency.itl);
+                }
+                None => self.tenants.push(t.clone()),
+            }
+        }
+        self.tenants.sort_by_key(|t| t.tenant);
+        self.stream_stalls += other.stream_stalls;
+        self.stream_dropped += other.stream_dropped;
+        self.kv_exports += other.kv_exports;
+        self.kv_export_rows += other.kv_export_rows;
+        self.kv_imports += other.kv_imports;
+        self.kv_import_rows += other.kv_import_rows;
+    }
 }
 
 #[cfg(test)]
@@ -135,6 +191,105 @@ mod tests {
         assert!(m.reconciles());
         m.cancelled = 2;
         assert!(!m.reconciles());
+    }
+
+    #[test]
+    fn merge_sums_counters_and_redigests_latency() {
+        let mut a = RuntimeMetrics {
+            submitted: 4,
+            admitted: 3,
+            rejected: 1,
+            cancelled: 1,
+            peak_queue_depth: 3,
+            kv_pages_total: 64,
+            kv_pages_free_at_drain: 64,
+            tensor_parallel: 1,
+            kv_dtype: "f32".into(),
+            kv_exports: 2,
+            kv_export_rows: 20,
+            ..RuntimeMetrics::default()
+        };
+        a.serving.completed = 2;
+        a.serving.ttft = vec![1.0, 3.0];
+        a.serving.itl = vec![0.5];
+        a.serving.tokens_generated = 10;
+        a.latency = RequestLatency::from_samples(&a.serving.ttft, &a.serving.itl);
+        a.tenants = vec![TenantLatency {
+            tenant: 1,
+            completed: 2,
+            latency: a.latency,
+        }];
+
+        let mut b = RuntimeMetrics {
+            submitted: 3,
+            admitted: 3,
+            rejected: 0,
+            cancelled: 0,
+            peak_queue_depth: 5,
+            kv_pages_total: 64,
+            kv_pages_free_at_drain: 64,
+            tensor_parallel: 1,
+            kv_dtype: "f32".into(),
+            kv_imports: 1,
+            kv_import_rows: 7,
+            ..RuntimeMetrics::default()
+        };
+        b.serving.completed = 3;
+        b.serving.ttft = vec![2.0, 4.0, 6.0];
+        b.serving.itl = vec![0.25, 0.75];
+        b.serving.tokens_generated = 8;
+        b.latency = RequestLatency::from_samples(&b.serving.ttft, &b.serving.itl);
+        b.tenants = vec![
+            TenantLatency {
+                tenant: 0,
+                completed: 1,
+                latency: b.latency,
+            },
+            TenantLatency {
+                tenant: 1,
+                completed: 2,
+                latency: b.latency,
+            },
+        ];
+
+        assert!(a.reconciles() && b.reconciles());
+        a.merge(&b);
+        assert_eq!(a.submitted, 7);
+        assert_eq!(a.completed(), 5);
+        assert!(a.reconciles());
+        assert_eq!(a.peak_queue_depth, 5);
+        assert_eq!(a.kv_pages_total, 128);
+        assert!(a.kv_pool_drained());
+        assert_eq!(a.serving.tokens_generated, 18);
+        assert_eq!(a.kv_exports, 2);
+        assert_eq!(a.kv_export_rows, 20);
+        assert_eq!(a.kv_imports, 1);
+        assert_eq!(a.kv_import_rows, 7);
+
+        // The whole-run digest is exact: identical to digesting the
+        // concatenated raw samples directly.
+        let exact = RequestLatency::from_samples(&[1.0, 3.0, 2.0, 4.0, 6.0], &[0.5, 0.25, 0.75]);
+        assert_eq!(a.latency, exact);
+
+        // Tenants merged by tag, ascending.
+        let tags: Vec<u32> = a.tenants.iter().map(|t| t.tenant).collect();
+        assert_eq!(tags, vec![0, 1]);
+        assert_eq!(a.tenant(1).unwrap().completed, 4);
+        assert_eq!(a.tenant(1).unwrap().latency.ttft.count, 5);
+        assert_eq!(a.tenant(0).unwrap().completed, 1);
+    }
+
+    #[test]
+    fn merge_into_default_adopts_dtype() {
+        let mut total = RuntimeMetrics::default();
+        let part = RuntimeMetrics {
+            kv_dtype: "f16".into(),
+            tensor_parallel: 2,
+            ..RuntimeMetrics::default()
+        };
+        total.merge(&part);
+        assert_eq!(total.kv_dtype, "f16");
+        assert_eq!(total.tensor_parallel, 2);
     }
 
     #[test]

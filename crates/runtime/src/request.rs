@@ -14,6 +14,8 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
+use fi_tensor::KvDtype;
+
 /// A shared-prefix declaration: the request's first `len` prompt tokens
 /// come from `seed`'s token stream instead of the request's own.
 ///
@@ -115,8 +117,14 @@ pub enum RejectReason {
     /// The request can never fit the KV pool, even running alone.
     Oversize,
     /// Shared-prefix requests are not supported on the tensor-parallel
-    /// backend (prefix grouping assumes the single-shard executor).
+    /// backend (prefix grouping assumes the single-shard executor), nor
+    /// on the prefill-only / resumed migration legs (the exported
+    /// snapshot would omit the owner-held prefix rows).
     PrefixUnsupported,
+    /// A resumed request's [`KvSnapshot`] does not match this runtime's
+    /// geometry (row count ≠ prompt length, KV width or storage dtype
+    /// differs, or the payload length is inconsistent).
+    SnapshotMismatch,
 }
 
 /// Why a request was terminated before completing.
@@ -238,6 +246,110 @@ impl RequestHandle {
     /// Non-blocking poll for the outcome.
     pub fn try_wait(&self) -> Option<RequestOutcome> {
         self.outcome.try_recv().ok()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// KV migration: exported snapshots and the prefill-only handle.
+// ---------------------------------------------------------------------------
+
+/// A request's finished prefill KV state, exported from one runtime's
+/// pool for re-import into another (disaggregated prefill/decode).
+///
+/// Rows are carried as full-width **f32** — exactly what the pool's
+/// reader returns after dequantizing its storage dtype. Because the
+/// reduced-precision codecs round-trip (`narrow(widen(x)) == x` for f16;
+/// fp8's decoded values re-quantize to the same byte), importing these
+/// rows into a pool of the same `kv_dtype` reproduces the source pool's
+/// bytes bit-exactly, which is what keeps disaggregated decode
+/// bit-identical to single-runtime execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KvSnapshot {
+    /// The request's token-stream seed (identifies the KV contents).
+    pub seed: u64,
+    /// Number of KV rows (== the request's normalized prompt length).
+    pub rows: usize,
+    /// Row width in elements (`num_kv_heads * head_dim`).
+    pub kv_width: usize,
+    /// Storage dtype of the source pool — transfer cost is priced at
+    /// this dtype, not at the f32 carrier width.
+    pub kv_dtype: KvDtype,
+    /// Key rows, row-major, `rows * kv_width` f32 values.
+    pub k: Vec<f32>,
+    /// Value rows, row-major, `rows * kv_width` f32 values.
+    pub v: Vec<f32>,
+}
+
+impl KvSnapshot {
+    /// KV pages this snapshot occupies under `page_size` rows per page.
+    pub fn pages(&self, page_size: usize) -> usize {
+        self.rows.div_ceil(page_size.max(1))
+    }
+
+    /// Bytes that actually cross the inter-replica link: both K and V
+    /// planes at the *storage* dtype's element width (an fp8 pool
+    /// migrates 4x fewer bytes than an f32 pool for the same rows).
+    pub fn transfer_bytes(&self) -> usize {
+        2 * self.rows * self.kv_width * self.kv_dtype.size_bytes()
+    }
+}
+
+/// Terminal state of a prefill-only submission.
+#[derive(Debug)]
+pub enum PrefillOutcome {
+    /// Prefill ran to completion; here are the request's KV pages.
+    Prefilled(KvSnapshot),
+    /// The prefill leg ended without KV (rejected or cancelled); the
+    /// inner outcome says why.
+    Failed(RequestOutcome),
+}
+
+/// Client-side handle to a prefill-only submission (see
+/// [`crate::Runtime::submit_prefill_only`]).
+///
+/// Wraps the usual [`RequestHandle`] plus the side channel the
+/// scheduler sends the exported [`KvSnapshot`] on. The snapshot is sent
+/// *before* the terminal outcome, so once the outcome reads
+/// `Completed` the snapshot is already receivable.
+#[derive(Debug)]
+pub struct PrefillHandle {
+    pub(crate) handle: RequestHandle,
+    pub(crate) kv: mpsc::Receiver<KvSnapshot>,
+}
+
+impl PrefillHandle {
+    /// The runtime-assigned request id.
+    pub fn id(&self) -> u64 {
+        self.handle.id()
+    }
+
+    /// Ask the scheduler to cancel the prefill leg.
+    pub fn cancel(&self) {
+        self.handle.cancel()
+    }
+
+    /// Block until the prefill leg finishes.
+    pub fn wait(self) -> PrefillOutcome {
+        let PrefillHandle { handle, kv } = self;
+        resolve_prefill(handle.wait(), &kv)
+    }
+
+    /// Non-blocking poll for the prefill outcome.
+    pub fn try_wait(&self) -> Option<PrefillOutcome> {
+        let outcome = self.handle.try_wait()?;
+        Some(resolve_prefill(outcome, &self.kv))
+    }
+}
+
+fn resolve_prefill(outcome: RequestOutcome, kv: &mpsc::Receiver<KvSnapshot>) -> PrefillOutcome {
+    match outcome {
+        RequestOutcome::Completed(_) => match kv.try_recv() {
+            Ok(snap) => PrefillOutcome::Prefilled(snap),
+            Err(_) => PrefillOutcome::Failed(RequestOutcome::Cancelled(CancelReason::Failed(
+                "prefill completed but its KV snapshot was lost".into(),
+            ))),
+        },
+        other => PrefillOutcome::Failed(other),
     }
 }
 

@@ -44,8 +44,9 @@ use fi_tensor::KvDtype;
 use crate::metrics::{RequestLatency, RuntimeMetrics, TenantLatency};
 use crate::pool::{KvBackend, SingleKv};
 use crate::request::{
-    effective_prefix_len, kv_row, prefix_token, q_row, CancelReason, CompletedRequest,
-    RejectReason, RequestHandle, RequestOutcome, RuntimeRequest, SharedPrefix, StreamItem,
+    effective_prefix_len, kv_row, prefix_token, q_row, CancelReason, CompletedRequest, KvSnapshot,
+    PrefillHandle, RejectReason, RequestHandle, RequestOutcome, RuntimeRequest, SharedPrefix,
+    StreamItem,
 };
 use crate::worker::{
     sharded_worker_loop, worker_loop, GroupMember, GroupUnit, SingleUnit, WorkResult, WorkUnit,
@@ -220,6 +221,21 @@ struct Gate {
     peak_depth: AtomicUsize,
 }
 
+/// How a submission traverses the request lifecycle: the normal full
+/// prefill+decode run, the exported-prefill leg of a disaggregated pair,
+/// or the resumed-decode leg fed by a migrated [`KvSnapshot`].
+enum SubmitMode {
+    /// Prefill then decode `output_len` tokens (the default).
+    Full,
+    /// Run chunked prefill only; at the prefill/decode boundary, export
+    /// the request's KV rows onto `kv` and complete with zero outputs.
+    PrefillOnly { kv: Sender<KvSnapshot> },
+    /// Skip prefill: import the snapshot's KV rows at admission and go
+    /// straight to decode. `Option` so admission can take the payload
+    /// without cloning (`None` after import).
+    Resume { kv: Option<Box<KvSnapshot>> },
+}
+
 /// An accepted submission travelling to the scheduler.
 struct Submission {
     id: u64,
@@ -232,6 +248,7 @@ struct Submission {
     /// the stream with a `Done`).
     stream: Option<SyncSender<StreamItem>>,
     submitted_at: Instant,
+    mode: SubmitMode,
 }
 
 fn deliver(sub: &Submission, outcome: RequestOutcome) {
@@ -320,6 +337,12 @@ pub struct Runtime {
     /// Mirrored from the config so `submit` can reject shared-prefix
     /// requests on the sharded backend without a scheduler round-trip.
     tensor_parallel: usize,
+    /// Mirrored KV row width (`num_kv_heads * head_dim`) for gate-side
+    /// snapshot validation on [`Runtime::submit_resumed`].
+    kv_width: usize,
+    /// Mirrored KV storage dtype — resumed snapshots must match it for
+    /// the bit-exactness guarantee to hold.
+    kv_dtype: KvDtype,
 }
 
 impl Runtime {
@@ -388,6 +411,8 @@ impl Runtime {
         let gate = Arc::new(Gate::default());
         let sched_gate = Arc::clone(&gate);
         let tensor_parallel = cfg.tensor_parallel;
+        let kv_width = cfg.heads.kv_width();
+        let kv_dtype = precision.dtype;
         let scheduler = std::thread::Builder::new()
             .name("fi-runtime-scheduler".into())
             .spawn(move || Scheduler::new(cfg, pool, rx, sched_gate, cascade).run())
@@ -398,13 +423,15 @@ impl Runtime {
             gate,
             next_id: AtomicU64::new(1),
             tensor_parallel,
+            kv_width,
+            kv_dtype,
         })
     }
 
     /// Submit a request. Always returns a handle; exactly one outcome is
     /// delivered per submission, including queue-full rejections.
     pub fn submit(&self, req: RuntimeRequest) -> RequestHandle {
-        self.submit_inner(req, None)
+        self.submit_inner(req, None, SubmitMode::Full)
     }
 
     /// Submit with a caller-provided bounded token channel: each decoded
@@ -419,7 +446,7 @@ impl Runtime {
         req: RuntimeRequest,
         stream: SyncSender<StreamItem>,
     ) -> RequestHandle {
-        self.submit_inner(req, Some(stream))
+        self.submit_inner(req, Some(stream), SubmitMode::Full)
     }
 
     /// [`Runtime::submit_with_stream`] with the channel created here:
@@ -431,13 +458,64 @@ impl Runtime {
         capacity: usize,
     ) -> (RequestHandle, Receiver<StreamItem>) {
         let (tx, rx) = mpsc::sync_channel(capacity.max(1));
-        (self.submit_inner(req, Some(tx)), rx)
+        (self.submit_inner(req, Some(tx), SubmitMode::Full), rx)
+    }
+
+    /// Submit the prefill leg of a disaggregated request: the scheduler
+    /// runs chunked prefill as usual, then — instead of decoding —
+    /// exports the request's KV rows as a [`KvSnapshot`], frees its
+    /// pages, and completes the request with zero outputs. The snapshot
+    /// is sent on the handle's side channel *before* the terminal
+    /// outcome. Shared-prefix requests are rejected
+    /// ([`RejectReason::PrefixUnsupported`]): their prefix rows live
+    /// under the radix owner and would be missing from the export.
+    pub fn submit_prefill_only(&self, req: RuntimeRequest) -> PrefillHandle {
+        let (ktx, krx) = mpsc::channel();
+        let handle = self.submit_inner(req, None, SubmitMode::PrefillOnly { kv: ktx });
+        PrefillHandle { handle, kv: krx }
+    }
+
+    /// Submit the decode leg of a disaggregated request: the snapshot's
+    /// rows are imported into the KV pool at admission (no prefill
+    /// compute) and the request decodes `output_len` tokens exactly as
+    /// if it had prefilled here — bit-identical, because the snapshot
+    /// carries the pool reader's dequantized rows and re-quantization
+    /// round-trips. The snapshot must match this runtime's geometry
+    /// (rows == normalized prompt length, same KV width and storage
+    /// dtype) or the request is rejected with
+    /// [`RejectReason::SnapshotMismatch`].
+    pub fn submit_resumed(&self, req: RuntimeRequest, kv: KvSnapshot) -> RequestHandle {
+        self.submit_inner(
+            req,
+            None,
+            SubmitMode::Resume {
+                kv: Some(Box::new(kv)),
+            },
+        )
+    }
+
+    /// [`Runtime::submit_resumed`] with a streaming token channel (same
+    /// semantics as [`Runtime::submit_with_stream`]).
+    pub fn submit_resumed_with_stream(
+        &self,
+        req: RuntimeRequest,
+        kv: KvSnapshot,
+        stream: SyncSender<StreamItem>,
+    ) -> RequestHandle {
+        self.submit_inner(
+            req,
+            Some(stream),
+            SubmitMode::Resume {
+                kv: Some(Box::new(kv)),
+            },
+        )
     }
 
     fn submit_inner(
         &self,
         req: RuntimeRequest,
         stream: Option<SyncSender<StreamItem>>,
+        mode: SubmitMode,
     ) -> RequestHandle {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let cancel_flag = Arc::new(AtomicBool::new(false));
@@ -450,16 +528,31 @@ impl Runtime {
             outcome: otx,
             stream,
             submitted_at: Instant::now(),
+            mode,
         };
-        if sub.spec.prefix.is_some() && self.tensor_parallel > 1 {
-            // Prefix grouping assumes the single-shard executor; reject
-            // here (like QueueFull, the depth was never incremented) so
-            // the tp scheduler never sees a request it cannot serve.
+        let reject = if sub.spec.prefix.is_some()
+            && (self.tensor_parallel > 1 || !matches!(sub.mode, SubmitMode::Full))
+        {
+            // Prefix grouping assumes the single-shard executor and the
+            // full lifecycle (migration legs would lose the owner-held
+            // prefix rows); reject here — like QueueFull, the depth was
+            // never incremented — so the scheduler never sees a request
+            // it cannot serve.
+            Some(RejectReason::PrefixUnsupported)
+        } else if let SubmitMode::Resume { kv: Some(snap) } = &sub.mode {
+            let n = snap.rows * self.kv_width;
+            let geometry_ok = snap.kv_width == self.kv_width
+                && snap.rows == sub.spec.prompt_len
+                && snap.kv_dtype == self.kv_dtype
+                && snap.k.len() == n
+                && snap.v.len() == n;
+            (!geometry_ok).then_some(RejectReason::SnapshotMismatch)
+        } else {
+            None
+        };
+        if let Some(reason) = reject {
             self.gate.gate_rejected.fetch_add(1, Ordering::Relaxed);
-            deliver(
-                &sub,
-                RequestOutcome::Rejected(RejectReason::PrefixUnsupported),
-            );
+            deliver(&sub, RequestOutcome::Rejected(reason));
             return RequestHandle {
                 id,
                 cancel_flag,
@@ -1084,7 +1177,13 @@ impl Scheduler {
             });
             let spec = RequestSpec {
                 prompt_len: front.spec.prompt_len,
-                output_len: front.spec.output_len,
+                // A prefill-only leg never decodes here: its pages are
+                // exported and freed at the prefill boundary, so no
+                // decode-token headroom is costed.
+                output_len: match front.mode {
+                    SubmitMode::PrefillOnly { .. } => 0,
+                    _ => front.spec.output_len,
+                },
                 arrival: 0.0,
                 n_parallel: 1,
             };
@@ -1130,9 +1229,22 @@ impl Scheduler {
                     self.metrics.admitted += 1;
                     let target = sub.spec.prompt_len - cached;
                     let stream = sub.stream.take().map(StreamOut::new);
+                    // A resumed request's KV arrives in its snapshot, not
+                    // from prefill compute: take the payload now, import
+                    // after the Active exists, and start in Decode.
+                    let resume_kv = match &mut sub.mode {
+                        SubmitMode::Resume { kv } => kv.take(),
+                        _ => None,
+                    };
+                    let id = sub.id;
+                    let phase = if resume_kv.is_some() {
+                        Phase::Decode
+                    } else {
+                        Phase::Prefill { done: 0, target }
+                    };
                     self.active.push(Active {
                         sub,
-                        phase: Phase::Prefill { done: 0, target },
+                        phase,
                         stream,
                         outputs: Vec::new(),
                         charged: base.reserve,
@@ -1144,6 +1256,14 @@ impl Scheduler {
                         itl: Vec::new(),
                         preemptions: 0,
                     });
+                    if let Some(snap) = resume_kv {
+                        if let Err(msg) = self.import_snapshot(id, &snap) {
+                            self.fail(id, msg);
+                            continue;
+                        }
+                        self.metrics.kv_imports += 1;
+                        self.metrics.kv_import_rows += snap.rows as u64;
+                    }
                 }
                 AdmissionVerdict::RejectOversize => {
                     let sub = self.pending.pop_front().expect("front exists");
@@ -1342,6 +1462,26 @@ impl Scheduler {
         self.append_kv(id, &k, &v)
     }
 
+    /// Import a migrated snapshot's rows into `id`'s pages (the resumed
+    /// leg of a disaggregated request). Row-by-row through the normal
+    /// append path so narrowing to the storage dtype and page allocation
+    /// behave exactly as a local prefill's appends would.
+    fn import_snapshot(&mut self, id: u64, snap: &KvSnapshot) -> Result<(), String> {
+        let width = self.cfg.heads.kv_width();
+        for (k, v) in snap
+            .k
+            .chunks_exact(width)
+            .zip(snap.v.chunks_exact(width))
+            .take(snap.rows)
+        {
+            match self.append_kv(id, k, v) {
+                AppendOutcome::Done => {}
+                AppendOutcome::Failed(msg) => return Err(format!("kv import: {msg}")),
+            }
+        }
+        Ok(())
+    }
+
     // -- the step ----------------------------------------------------------
 
     fn index_of(&self, id: u64) -> Option<usize> {
@@ -1354,6 +1494,58 @@ impl Scheduler {
             self.release(&a);
             self.finish_active(a, RequestOutcome::Cancelled(CancelReason::Failed(msg)));
             self.metrics.cancelled += 1;
+        }
+    }
+
+    /// Retire a prefill-only request at the prefill/decode boundary:
+    /// read its rows out of the pool (before releasing the pages), send
+    /// the [`KvSnapshot`] on the side channel, then complete the request
+    /// with zero outputs. The snapshot send happens-before the outcome
+    /// delivery, which is what lets [`PrefillHandle`] resolve a
+    /// `Completed` outcome into a snapshot non-blockingly. Counts toward
+    /// `serving.completed` (so reconciliation holds) but contributes no
+    /// TTFT sample and no tenant completion — the decode replica owns
+    /// the request's latency story.
+    fn export_prefill_only(&mut self, i: usize) {
+        let a = self.active.remove(i);
+        match self.pool.request_rows(a.sub.id) {
+            Ok(rows) => {
+                let snap = KvSnapshot {
+                    seed: a.sub.spec.seed,
+                    rows: rows.rows,
+                    kv_width: self.cfg.heads.kv_width(),
+                    kv_dtype: self.pool.kv_dtype(),
+                    k: rows.k,
+                    v: rows.v,
+                };
+                self.metrics.kv_exports += 1;
+                self.metrics.kv_export_rows += snap.rows as u64;
+                if let SubmitMode::PrefillOnly { kv } = &a.sub.mode {
+                    // The receiver may already be gone; the outcome still
+                    // tells the client what happened.
+                    let _ = kv.send(snap);
+                }
+                self.release(&a);
+                let preemptions = a.preemptions;
+                self.finish_active(
+                    a,
+                    RequestOutcome::Completed(CompletedRequest {
+                        outputs: Vec::new(),
+                        ttft: 0.0,
+                        itl: Vec::new(),
+                        preemptions,
+                    }),
+                );
+                self.metrics.serving.completed += 1;
+            }
+            Err(e) => {
+                self.release(&a);
+                self.finish_active(
+                    a,
+                    RequestOutcome::Cancelled(CancelReason::Failed(format!("kv export: {e:?}"))),
+                );
+                self.metrics.cancelled += 1;
+            }
         }
     }
 
@@ -1627,11 +1819,17 @@ impl Scheduler {
                 if let Phase::Prefill { done, target } = a.phase {
                     let nd = done + a.staged;
                     a.staged = 0;
-                    a.phase = if nd >= target {
-                        Phase::Decode
+                    if nd >= target {
+                        if matches!(a.sub.mode, SubmitMode::PrefillOnly { .. }) {
+                            // Disaggregated prefill leg: export at the
+                            // prefill/decode boundary instead of decoding.
+                            self.export_prefill_only(i);
+                            return;
+                        }
+                        a.phase = Phase::Decode;
                     } else {
-                        Phase::Prefill { done: nd, target }
-                    };
+                        a.phase = Phase::Prefill { done: nd, target };
+                    }
                 }
             }
             Some(t) => {
@@ -1715,6 +1913,7 @@ impl Scheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::PrefillOutcome;
     use std::time::Duration;
 
     fn tiny_cfg() -> RuntimeConfig {
@@ -1950,6 +2149,105 @@ mod tests {
         let m = rt.finish();
         assert_eq!(m.completed(), 1);
         assert_eq!(m.rejected, 1);
+        assert!(m.reconciles());
+    }
+
+    #[test]
+    fn prefill_only_exports_snapshot_and_frees_pages() {
+        let rt = Runtime::start(tiny_cfg()).unwrap();
+        let h = rt.submit_prefill_only(RuntimeRequest::new(13, 6, 7));
+        let snap = match h.wait() {
+            PrefillOutcome::Prefilled(s) => s,
+            PrefillOutcome::Failed(o) => panic!("prefill leg failed: {o:?}"),
+        };
+        assert_eq!(snap.rows, 13);
+        assert_eq!(snap.seed, 7);
+        let w = RuntimeConfig::default().heads.kv_width();
+        assert_eq!(snap.kv_width, w);
+        assert_eq!(snap.k.len(), 13 * w);
+        assert_eq!(snap.v.len(), 13 * w);
+        // The exported rows are exactly the deterministic prompt rows.
+        for pos in 0..13 {
+            assert_eq!(snap.k[pos * w..(pos + 1) * w], kv_row(7, pos, w, false));
+            assert_eq!(snap.v[pos * w..(pos + 1) * w], kv_row(7, pos, w, true));
+        }
+        assert_eq!(snap.kv_dtype, KvDtype::F32);
+        assert_eq!(snap.transfer_bytes(), 2 * 13 * w * 4);
+        let m = rt.finish();
+        assert_eq!(m.completed(), 1);
+        assert_eq!(m.kv_exports, 1);
+        assert_eq!(m.kv_export_rows, 13);
+        assert!(m.reconciles());
+        assert!(m.kv_pool_drained(), "exported pages must be freed");
+        assert!(m.serving.ttft.is_empty(), "prefill leg emits no TTFT");
+    }
+
+    #[test]
+    fn resumed_decode_is_bit_identical_to_full_run() {
+        let (prompt, out_len, seed) = (13usize, 6usize, 7u64);
+        // Reference: the full lifecycle on one runtime.
+        let rt = Runtime::start(tiny_cfg()).unwrap();
+        let reference = rt
+            .submit(RuntimeRequest::new(prompt, out_len, seed))
+            .wait()
+            .completed()
+            .expect("completes");
+        rt.finish();
+
+        // Disaggregated: prefill on one runtime, decode on another.
+        let pre = Runtime::start(tiny_cfg()).unwrap();
+        let snap = match pre
+            .submit_prefill_only(RuntimeRequest::new(prompt, out_len, seed))
+            .wait()
+        {
+            PrefillOutcome::Prefilled(s) => s,
+            PrefillOutcome::Failed(o) => panic!("prefill leg failed: {o:?}"),
+        };
+        let pm = pre.finish();
+        assert!(pm.reconciles() && pm.kv_pool_drained());
+
+        let dec = Runtime::start(tiny_cfg()).unwrap();
+        let resumed = dec
+            .submit_resumed(RuntimeRequest::new(prompt, out_len, seed), snap)
+            .wait()
+            .completed()
+            .expect("resumed leg completes");
+        assert_eq!(
+            resumed.outputs, reference.outputs,
+            "migration must not change bits"
+        );
+        let dm = dec.finish();
+        assert_eq!(dm.kv_imports, 1);
+        assert_eq!(dm.kv_import_rows, prompt as u64);
+        assert!(dm.reconciles() && dm.kv_pool_drained());
+    }
+
+    #[test]
+    fn mismatched_snapshot_rejected() {
+        let rt = Runtime::start(tiny_cfg()).unwrap();
+        let w = RuntimeConfig::default().heads.kv_width();
+        // Wrong row count for the declared prompt.
+        let snap = KvSnapshot {
+            seed: 7,
+            rows: 4,
+            kv_width: w,
+            kv_dtype: KvDtype::F32,
+            k: vec![0.0; 4 * w],
+            v: vec![0.0; 4 * w],
+        };
+        let h = rt.submit_resumed(RuntimeRequest::new(9, 3, 7), snap);
+        assert_eq!(
+            h.wait(),
+            RequestOutcome::Rejected(RejectReason::SnapshotMismatch)
+        );
+        // Prefix requests cannot ride the migration legs.
+        let ph = rt.submit_prefill_only(RuntimeRequest::new(24, 4, 7).with_shared_prefix(9, 16));
+        match ph.wait() {
+            PrefillOutcome::Failed(RequestOutcome::Rejected(RejectReason::PrefixUnsupported)) => {}
+            other => panic!("expected PrefixUnsupported, got {other:?}"),
+        }
+        let m = rt.finish();
+        assert_eq!(m.rejected, 2);
         assert!(m.reconciles());
     }
 

@@ -212,6 +212,34 @@ impl LatencySummary {
             max: sorted.percentile(100.0),
         }
     }
+
+    /// Combine two digests whose raw samples are gone (e.g. per-tenant
+    /// digests from different replicas of a cluster).
+    ///
+    /// `count`, `mean`, and `max` are exact; the percentiles are
+    /// *count-weighted averages* of the inputs' percentiles — an
+    /// approximation, since the true quantiles of the union cannot be
+    /// recovered from two digests. Consumers that need exact merged
+    /// percentiles must merge the raw sample vectors instead (that is
+    /// what `RuntimeMetrics::merge` does for the run-wide digest).
+    pub fn merge(&self, other: &LatencySummary) -> LatencySummary {
+        if self.count == 0 {
+            return *other;
+        }
+        if other.count == 0 {
+            return *self;
+        }
+        let (wa, wb) = (self.count as f64, other.count as f64);
+        let weighted = |a: f64, b: f64| (a * wa + b * wb) / (wa + wb);
+        LatencySummary {
+            count: self.count + other.count,
+            mean: weighted(self.mean, other.mean),
+            p50: weighted(self.p50, other.p50),
+            p90: weighted(self.p90, other.p90),
+            p99: weighted(self.p99, other.p99),
+            max: self.max.max(other.max),
+        }
+    }
 }
 
 /// Percentile of a sample set (linear interpolation). Returns 0 for empty.
@@ -259,6 +287,24 @@ impl ServingMetrics {
             return 0.0;
         }
         self.tokens_generated as f64 / self.duration
+    }
+
+    /// Fold another run's samples and counters into this one.
+    ///
+    /// Raw TTFT/ITL sample vectors are concatenated, so any digest
+    /// recomputed from the merged metrics is *exact* (unlike
+    /// [`LatencySummary::merge`], which only has digests to work with).
+    /// Counters add; `duration` takes the max because merged runs are
+    /// replicas executing in parallel wall-clock, not back to back.
+    pub fn merge(&mut self, other: &ServingMetrics) {
+        self.ttft.extend_from_slice(&other.ttft);
+        self.itl.extend_from_slice(&other.itl);
+        self.completed += other.completed;
+        self.duration = self.duration.max(other.duration);
+        self.tokens_generated += other.tokens_generated;
+        self.preemptions += other.preemptions;
+        self.steps += other.steps;
+        self.pipeline.absorb(&other.pipeline);
     }
 }
 
@@ -332,6 +378,61 @@ mod tests {
         assert_eq!(empty.count, 0);
         assert_eq!(empty.mean, 0.0);
         assert_eq!(empty.p99, 0.0);
+    }
+
+    #[test]
+    fn latency_summary_merge_is_count_weighted() {
+        let a = LatencySummary::from_samples(&[0.1, 0.2, 0.3]);
+        let b = LatencySummary::from_samples(&[0.4, 0.5, 0.6, 0.7, 0.8, 0.9]);
+        let m = a.merge(&b);
+        assert_eq!(m.count, 9);
+        // Mean and max are exact.
+        let exact = LatencySummary::from_samples(&[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9]);
+        assert!((m.mean - exact.mean).abs() < 1e-12);
+        assert_eq!(m.max, 0.9);
+        // Percentiles are count-weighted: between the two inputs' values.
+        assert!(m.p50 > a.p50 && m.p50 < b.p50);
+        assert!((m.p50 - (a.p50 * 3.0 + b.p50 * 6.0) / 9.0).abs() < 1e-12);
+        // Empty digests are identity elements.
+        let empty = LatencySummary::default();
+        assert_eq!(a.merge(&empty), a);
+        assert_eq!(empty.merge(&b), b);
+        assert_eq!(empty.merge(&empty), empty);
+    }
+
+    #[test]
+    fn serving_metrics_merge_concatenates_samples() {
+        let mut a = ServingMetrics {
+            ttft: vec![0.1, 0.2],
+            itl: vec![0.01],
+            completed: 2,
+            duration: 5.0,
+            tokens_generated: 10,
+            preemptions: 1,
+            steps: 4,
+            ..ServingMetrics::default()
+        };
+        let b = ServingMetrics {
+            ttft: vec![0.3],
+            itl: vec![0.02, 0.03],
+            completed: 1,
+            duration: 7.0,
+            tokens_generated: 5,
+            steps: 3,
+            ..ServingMetrics::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.ttft, vec![0.1, 0.2, 0.3]);
+        assert_eq!(a.itl, vec![0.01, 0.02, 0.03]);
+        assert_eq!(a.completed, 3);
+        assert_eq!(a.duration, 7.0); // parallel replicas: max, not sum
+        assert_eq!(a.tokens_generated, 15);
+        assert_eq!(a.preemptions, 1);
+        assert_eq!(a.steps, 7);
+        // Re-digesting the merged samples is exact.
+        let d = LatencySummary::from_samples(&a.ttft);
+        assert_eq!(d.count, 3);
+        assert_eq!(d.max, 0.3);
     }
 
     #[test]

@@ -199,6 +199,69 @@ pub fn prefill_chunks(budget: Option<usize>, remaining: &[usize]) -> Vec<usize> 
         .collect()
 }
 
+/// One replica's load as seen by a cluster placement decision.
+///
+/// The cluster router snapshots these from its own bookkeeping (it is
+/// the only writer of placements, so no atomics are involved) and asks
+/// [`place_replica`] where the next request should go. Keeping the
+/// decision here — next to admission, growth, and preemption — preserves
+/// the policy-seam discipline: the simulator, the runtime, and the
+/// cluster all make batch/placement choices through pure functions of
+/// explicit state in this one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplicaLoad {
+    /// KV tokens (prompt + expected output) of requests placed on this
+    /// replica that have not yet reached a terminal outcome.
+    pub outstanding_tokens: usize,
+    /// Requests currently in flight on this replica.
+    pub in_flight: usize,
+    /// Per-replica admission backpressure cap on `in_flight`.
+    pub max_in_flight: usize,
+    /// False while the replica is draining: it finishes what it has but
+    /// must not receive new placements.
+    pub accepting: bool,
+}
+
+impl ReplicaLoad {
+    /// True when the replica may take one more request right now.
+    pub fn has_room(&self) -> bool {
+        self.accepting && self.in_flight < self.max_in_flight
+    }
+}
+
+/// Place a request on a replica: session affinity first, then
+/// least-outstanding-tokens balancing, with per-replica backpressure as
+/// the fallback.
+///
+/// `affinity` is the replica already holding the request's shared
+/// prefix, if any — honoring it keeps radix cascade grouping working.
+/// An affine request *waits* for its replica when it is merely at
+/// capacity (spilling elsewhere would silently duplicate the prefix and
+/// break cascade grouping), and is re-placed by balancing only when the
+/// replica stopped accepting (drain/failover). Non-affine requests go
+/// to the accepting replica with the fewest outstanding tokens, ties to
+/// the lowest index, keeping placement deterministic. `None` means no
+/// eligible replica can take the request right now: the caller must
+/// hold it in its own queue rather than overflow a replica's admission
+/// gate.
+pub fn place_replica(loads: &[ReplicaLoad], affinity: Option<usize>) -> Option<usize> {
+    if let Some(i) = affinity {
+        match loads.get(i) {
+            Some(l) if l.has_room() => return Some(i),
+            // Busy but alive: wait for the prefix's home replica.
+            Some(l) if l.accepting => return None,
+            // Draining or gone: fall through and re-place by balance.
+            _ => {}
+        }
+    }
+    loads
+        .iter()
+        .enumerate()
+        .filter(|(_, l)| l.has_room())
+        .min_by_key(|(i, l)| (l.outstanding_tokens, *i))
+        .map(|(i, _)| i)
+}
+
 /// Pick the preemption victim when the KV pool over-commits: the most
 /// recently admitted single-branch sequence (vLLM's policy — evicting the
 /// newest work loses the least progress, and parallel-generation groups
@@ -349,6 +412,42 @@ mod tests {
         };
         assert_eq!(batch_growth_quota(&strict, 50, 1, 1_000_000), 0);
         assert_eq!(batch_growth_quota(&strict, 50, 0, 0), 50);
+    }
+
+    #[test]
+    fn placement_prefers_affinity_then_balance() {
+        let load = |tok: usize, inf: usize, cap: usize, acc: bool| ReplicaLoad {
+            outstanding_tokens: tok,
+            in_flight: inf,
+            max_in_flight: cap,
+            accepting: acc,
+        };
+        let replicas = [
+            load(500, 2, 4, true),
+            load(100, 1, 4, true),
+            load(300, 1, 4, true),
+        ];
+        // Balanced: least outstanding tokens wins.
+        assert_eq!(place_replica(&replicas, None), Some(1));
+        // Affinity wins over balance while the replica has room.
+        assert_eq!(place_replica(&replicas, Some(0)), Some(0));
+        // Ties break to the lowest index.
+        let tied = [load(7, 0, 4, true), load(7, 0, 4, true)];
+        assert_eq!(place_replica(&tied, None), Some(0));
+        // An affine replica at capacity makes the request wait, never
+        // spill (spilling would duplicate the prefix elsewhere).
+        let full0 = [load(0, 4, 4, true), load(0, 0, 4, true)];
+        assert_eq!(place_replica(&full0, Some(0)), None);
+        assert_eq!(place_replica(&full0, None), Some(1));
+        // A draining affine replica falls back to balancing.
+        let drain0 = [load(0, 0, 4, false), load(9, 0, 4, true)];
+        assert_eq!(place_replica(&drain0, Some(0)), Some(1));
+        // Out-of-range affinity (stale map entry) also re-places.
+        assert_eq!(place_replica(&drain0, Some(9)), Some(1));
+        // Everyone full or draining: hold the request at the caller.
+        let none = [load(0, 4, 4, true), load(0, 0, 4, false)];
+        assert_eq!(place_replica(&none, None), None);
+        assert!(place_replica(&[], None).is_none());
     }
 
     #[test]

@@ -130,6 +130,39 @@ pub fn bursty_arrivals(
     arrivals
 }
 
+/// One request of the deterministic integration trace: a pure function
+/// of `(index, seed0)`, so tests, examples, and benches can rebuild the
+/// exact same mix independently (the bit-exactness oracles depend on
+/// request `i` having the same shape and seed on both sides).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TraceShape {
+    /// Prompt (prefill) length in tokens.
+    pub prompt_len: usize,
+    /// Output (decode) length in tokens.
+    pub output_len: usize,
+    /// Per-request token-stream seed.
+    pub seed: u64,
+}
+
+/// Deterministic request mix shared by the integration suites and the
+/// serving examples: prompts 4..=35, outputs 3..=10, seeds
+/// `seed0 + 1000 + i`. SplitMix-style index hashing keeps neighbouring
+/// requests decorrelated without an RNG dependency.
+pub fn deterministic_mix(n: usize, seed0: u64) -> Vec<TraceShape> {
+    (0..n)
+        .map(|i| {
+            let h = (i as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(seed0);
+            TraceShape {
+                prompt_len: 4 + (h % 32) as usize,
+                output_len: 3 + ((h >> 8) % 8) as usize,
+                seed: seed0.wrapping_add(1000 + i as u64),
+            }
+        })
+        .collect()
+}
+
 /// Assemble full request specs from lengths + arrivals.
 pub fn assemble(
     lengths: &[(usize, usize)],
@@ -233,6 +266,20 @@ mod tests {
         assert_eq!(specs[1].prompt_len, 20);
         assert_eq!(specs[1].arrival, 1.0);
         assert_eq!(specs[0].n_parallel, 4);
+    }
+
+    #[test]
+    fn deterministic_mix_is_pure_and_bounded() {
+        let a = deterministic_mix(64, 42);
+        let b = deterministic_mix(64, 42);
+        assert_eq!(a, b);
+        for (i, s) in a.iter().enumerate() {
+            assert!((4..=35).contains(&s.prompt_len));
+            assert!((3..=10).contains(&s.output_len));
+            assert_eq!(s.seed, 42 + 1000 + i as u64);
+        }
+        // Different base seeds give different mixes.
+        assert_ne!(deterministic_mix(8, 1), deterministic_mix(8, 2));
     }
 
     #[test]

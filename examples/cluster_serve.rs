@@ -1,0 +1,103 @@
+//! Multi-replica serving with `fi-cluster`: the same deterministic trace
+//! (from `fi_serving::workload::deterministic_mix`, shared with
+//! `router_serve` and `dist_serve`) is served three ways —
+//!
+//! 1. one `fi-runtime` instance (the oracle),
+//! 2. a 2-replica cluster with least-outstanding-tokens balancing and a
+//!    radix-affine prefix session pinned to one replica,
+//! 3. a disaggregated prefill/decode pair that migrates every finished
+//!    prefill's KV pages over a simulated PCIe-class link —
+//!
+//! and every run produces bit-identical token streams, because the
+//! pages migrate exactly and the token streams are position-deterministic.
+//!
+//! Run with: `cargo run --release --example cluster_serve`
+
+use flashinfer::cluster::{ClusterConfig, ClusterMetrics, ClusterRouter};
+use flashinfer::runtime::{RequestOutcome, Runtime, RuntimeConfig, RuntimeRequest};
+use flashinfer::serving::workload::deterministic_mix;
+
+fn trace() -> Vec<RuntimeRequest> {
+    let mut reqs: Vec<RuntimeRequest> = deterministic_mix(24, 7)
+        .into_iter()
+        .map(|s| RuntimeRequest::new(s.prompt_len, s.output_len, s.seed))
+        .collect();
+    // A shared-prefix session rides along: six requests over one radix
+    // prefix. The cluster must keep them on a single replica so the
+    // runtime's cascade grouping still sees the shared pages.
+    for j in 0..6 {
+        reqs.push(RuntimeRequest::new(24, 4, 900 + j).with_shared_prefix(33, 16));
+    }
+    reqs
+}
+
+fn serve_cluster(
+    cfg: ClusterConfig,
+    reqs: &[RuntimeRequest],
+) -> (Vec<Vec<Vec<f32>>>, ClusterMetrics) {
+    let cluster = ClusterRouter::start(cfg).expect("cluster starts");
+    let handles: Vec<_> = reqs.iter().map(|r| cluster.submit(*r)).collect();
+    let outputs = handles
+        .into_iter()
+        .map(|h| match h.wait() {
+            RequestOutcome::Completed(c) => c.outputs,
+            other => panic!("request failed: {other:?}"),
+        })
+        .collect();
+    (outputs, cluster.finish())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let rt_cfg = RuntimeConfig {
+        num_workers: 2,
+        ..RuntimeConfig::default()
+    };
+    let reqs = trace();
+
+    // 1. The single-runtime oracle.
+    let rt = Runtime::start(rt_cfg.clone())?;
+    let handles: Vec<_> = reqs.iter().map(|r| rt.submit(*r)).collect();
+    let oracle: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.wait().completed().expect("oracle completes").outputs)
+        .collect();
+    rt.finish();
+
+    // 2. Two unified replicas: balancing + radix affinity.
+    let (balanced, m) = serve_cluster(ClusterConfig::homogeneous(2, rt_cfg.clone()), &reqs);
+    assert_eq!(balanced, oracle, "2-replica run must be bit-identical");
+    println!("2 unified replicas ({} requests):", m.submitted);
+    println!(
+        "  placements: {} balanced, {} radix-affine; per replica: {:?}",
+        m.placements_balanced,
+        m.placements_affinity,
+        m.replicas.iter().map(|r| r.placed).collect::<Vec<_>>()
+    );
+    assert!(m.reconciles());
+
+    // 3. A disaggregated prefill/decode pair: plain requests prefill on
+    // one replica, migrate their KV pages, and decode on the other; the
+    // prefix session stays aggregated on the decode replica.
+    let (disagg, m) = serve_cluster(ClusterConfig::disaggregated_pair(rt_cfg), &reqs);
+    assert_eq!(disagg, oracle, "disaggregated run must be bit-identical");
+    println!("\n1 prefill + 1 decode replica:");
+    println!(
+        "  {} prefill legs, {} migrations: {} pages / {} B over the link, {:.2} us simulated",
+        m.placements_disaggregated,
+        m.migrations,
+        m.migrated_pages,
+        m.migrated_bytes,
+        m.transfer_seconds * 1e6
+    );
+    println!(
+        "  prefix session stayed aggregated: {} affine + {} balanced placements",
+        m.placements_affinity, m.placements_balanced
+    );
+    assert!(m.reconciles());
+
+    println!(
+        "\nall {} token streams bit-identical across the three runs",
+        oracle.len()
+    );
+    Ok(())
+}

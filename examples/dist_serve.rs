@@ -13,6 +13,7 @@ use flashinfer::core::config::HeadConfig;
 use flashinfer::core::tiles::TileConfig;
 use flashinfer::dist::{BatchUnit, GpuSimCommCost, ReduceMode, ShardedExecutor, ShardedKvPool};
 use flashinfer::runtime::{kv_row, q_row};
+use flashinfer::serving::workload::deterministic_mix;
 
 const TP: usize = 4;
 const NVLINK_BW: f64 = 450e9; // H100 NVLink, bytes/s per direction
@@ -32,8 +33,12 @@ fn run_workload(
         None => ShardedExecutor::new(&pool, TileConfig { tq: 4, tkv: 8 }, 4)?,
     };
 
-    // Three requests: prefill their prompts, then decode 4 tokens each.
-    let prompts = [24usize, 13, 31];
+    // Three requests with prompt lengths from the shared deterministic
+    // trace mix (`fi_serving::workload`): prefill, then decode 4 each.
+    let prompts: Vec<usize> = deterministic_mix(3, 5)
+        .iter()
+        .map(|s| s.prompt_len)
+        .collect();
     let mut outputs = Vec::new();
     let mut prefill = Vec::new();
     for (i, &len) in prompts.iter().enumerate() {

@@ -14,6 +14,7 @@ use std::time::Duration;
 
 use flashinfer::router::{Router, RouterConfig, RouterState, SubmitError, TenantConfig};
 use flashinfer::runtime::{RequestOutcome, RuntimeConfig, RuntimeRequest, StreamItem};
+use flashinfer::serving::workload::deterministic_mix;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cfg = RouterConfig {
@@ -38,13 +39,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         other => panic!("expected a rate-limit refusal, got {other:?}"),
     }
 
-    // Both tenants submit a burst; each request gets its own bounded
-    // token stream. The metered tenant's burst exceeds its bucket, so
-    // its tail is delayed until the bucket refills.
+    // Both tenants submit a burst drawn from the shared deterministic
+    // trace mix (`fi_serving::workload::deterministic_mix` — the same
+    // shapes the integration tests and `cluster_serve` use); each
+    // request gets its own bounded token stream. The metered tenant's
+    // burst exceeds its bucket, so its tail is delayed until it refills.
     let mut streams = Vec::new();
-    for i in 0..6 {
-        streams.push(router.submit("free", RuntimeRequest::new(24, 16, 100 + i))?);
-        streams.push(router.submit("metered", RuntimeRequest::new(16, 12, 200 + i))?);
+    for (i, s) in deterministic_mix(12, 100).into_iter().enumerate() {
+        let tenant = if i % 2 == 0 { "free" } else { "metered" };
+        streams.push(router.submit(
+            tenant,
+            RuntimeRequest::new(s.prompt_len, s.output_len, s.seed),
+        )?);
     }
 
     // Consume the streams concurrently, token by token, like SSE

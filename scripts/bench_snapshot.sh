@@ -33,11 +33,19 @@
 # end-to-end tokens/s and TTFT/ITL p50/p99 per ratio, into
 # BENCH_router.json. Also criterion-free.
 #
+# With --cluster, snapshots multi-replica scaling instead: the
+# registry-free cluster_timing binary replays one Poisson trace through
+# fi-cluster at matched total workers — 1 replica x4 workers, 2x2, 4x1,
+# and a 1+1 disaggregated prefill/decode pair — reporting end-to-end
+# tokens/s (and speedup over the single replica), TTFT p50/p99 from the
+# merged replica rollup, and the disaggregated row's migrated bytes and
+# simulated link time, into BENCH_cluster.json. Also criterion-free.
+#
 # Usage: scripts/bench_snapshot.sh [--offline] [--runtime] [--cascade]
-#        [--router] [output.json]
+#        [--router] [--cluster] [output.json]
 #        (default output: BENCH_kernel.json, BENCH_runtime.json with
-#        --runtime, BENCH_cascade.json with --cascade, or
-#        BENCH_router.json with --router)
+#        --runtime, BENCH_cascade.json with --cascade, BENCH_router.json
+#        with --router, or BENCH_cluster.json with --cluster)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -45,16 +53,26 @@ OFFLINE=0
 RUNTIME=0
 CASCADE=0
 ROUTER=0
+CLUSTER=0
 while [[ "${1:-}" == --* ]]; do
   case "$1" in
     --offline) OFFLINE=1 ;;
     --runtime) RUNTIME=1 ;;
     --cascade) CASCADE=1 ;;
     --router) ROUTER=1 ;;
+    --cluster) CLUSTER=1 ;;
     *) echo "unknown flag: $1" >&2; exit 2 ;;
   esac
   shift
 done
+
+if [[ "$CLUSTER" == 1 ]]; then
+  OUT="${1:-BENCH_cluster.json}"
+  echo "==> cluster scaling sweep (1x4 / 2x2 / 4x1 / disaggregated 2+2)"
+  cargo run --release -q -p fi-bench --bin cluster_timing > "$OUT"
+  echo "wrote ${OUT}"
+  exit 0
+fi
 
 if [[ "$ROUTER" == 1 ]]; then
   OUT="${1:-BENCH_router.json}"

@@ -71,6 +71,14 @@ for _ in 1 2 3; do
 done
 cargo test -q --test router_serving "${PROFILE_FLAGS[@]}" drain_under_load
 
+echo "==> fi-cluster gate (8-thread, 3-replica bursty smoke x3 + disaggregation)"
+cargo test -q -p fi-cluster "${PROFILE_FLAGS[@]}" -- --test-threads=8
+for _ in 1 2 3; do
+  cargo test -q --test cluster_serving "${PROFILE_FLAGS[@]}" three_replicas_smoke
+done
+cargo test -q --test cluster_serving "${PROFILE_FLAGS[@]}" disaggregated_prefill_decode
+cargo test -q --test cluster_serving "${PROFILE_FLAGS[@]}" draining_a_replica
+
 echo "==> cargo bench --no-run (benches must keep compiling)"
 cargo bench --workspace --no-run
 

@@ -30,9 +30,15 @@
 //!   round-robin under token-bucket rate limits, bounded token-by-token
 //!   streaming, `waiting_served_ratio` batch growth, and health-gated
 //!   graceful shutdown.
+//! * [`cluster`] — multi-replica serving over N independent [`runtime`]
+//!   instances: radix-aware session affinity, least-outstanding-tokens
+//!   balancing, drain/failover, and disaggregated prefill/decode with KV
+//!   page migration over a simulated link — bit-identical to
+//!   single-runtime execution.
 //!
 //! See `examples/quickstart.rs` for the canonical end-to-end usage.
 
+pub use fi_cluster as cluster;
 pub use fi_core as core;
 pub use fi_dist as dist;
 pub use fi_gpusim as gpusim;

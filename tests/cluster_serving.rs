@@ -1,0 +1,395 @@
+//! fi-cluster integration: an N-replica routed trace — Poisson and
+//! bursty multi-tenant arrivals, radix-affine prefix sessions,
+//! disaggregated prefill/decode with KV page migration, and mid-trace
+//! replica drain — must produce per-request token streams *bit-identical*
+//! to single-runtime execution, while the cluster's two-layer accounting
+//! (requests at the gate, request legs inside the replicas) reconciles
+//! exactly and every KV pool drains.
+
+use std::time::{Duration, Instant};
+
+use flashinfer::cluster::{ClusterConfig, ClusterRouter, ReplicaRole};
+use flashinfer::runtime::{RequestOutcome, Runtime, RuntimeConfig, RuntimeRequest};
+use flashinfer::serving::workload::{bursty_arrivals, deterministic_mix, poisson_arrivals};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn runtime_cfg() -> RuntimeConfig {
+    RuntimeConfig {
+        queue_capacity: 128,
+        num_workers: 2,
+        ..RuntimeConfig::default()
+    }
+}
+
+/// Deterministic request mix from the shared workload helper, tagged
+/// round-robin across three tenants.
+fn request_mix(n: usize, seed0: u64) -> Vec<RuntimeRequest> {
+    deterministic_mix(n, seed0)
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            RuntimeRequest::new(s.prompt_len, s.output_len, s.seed).with_tenant(1 + (i % 3) as u32)
+        })
+        .collect()
+}
+
+/// Single-runtime oracle: one replica, no routing, no pacing.
+fn direct_outputs(reqs: &[RuntimeRequest]) -> Vec<Vec<Vec<f32>>> {
+    let rt = Runtime::start(runtime_cfg()).unwrap();
+    let handles: Vec<_> = reqs.iter().map(|r| rt.submit(*r)).collect();
+    let outs = handles
+        .into_iter()
+        .map(|h| h.wait().completed().expect("direct run completes").outputs)
+        .collect();
+    let m = rt.finish();
+    assert!(m.reconciles() && m.kv_pool_drained());
+    outs
+}
+
+/// Submit the trace at its arrival times and collect every outcome.
+fn routed_outputs(
+    cluster: &ClusterRouter,
+    reqs: &[RuntimeRequest],
+    arrivals: &[f64],
+) -> Vec<Vec<Vec<f32>>> {
+    let t0 = Instant::now();
+    let mut handles = Vec::with_capacity(reqs.len());
+    for (req, &at) in reqs.iter().zip(arrivals) {
+        let due = Duration::from_secs_f64(at);
+        if let Some(wait) = due.checked_sub(t0.elapsed()) {
+            std::thread::sleep(wait);
+        }
+        handles.push(cluster.submit(*req));
+    }
+    handles
+        .into_iter()
+        .enumerate()
+        .map(|(i, h)| match h.wait() {
+            RequestOutcome::Completed(c) => c.outputs,
+            other => panic!("clustered request {i} must complete, got {other:?}"),
+        })
+        .collect()
+}
+
+fn assert_bit_identical(routed: &[Vec<Vec<f32>>], direct: &[Vec<Vec<f32>>]) {
+    assert_eq!(routed.len(), direct.len());
+    for (i, (a, b)) in routed.iter().zip(direct).enumerate() {
+        assert_eq!(a.len(), b.len(), "token count, request {i}");
+        for (t, (ra, rb)) in a.iter().zip(b.iter()).enumerate() {
+            assert_eq!(ra, rb, "row bits, request {i} token {t}");
+        }
+    }
+}
+
+#[test]
+fn poisson_trace_on_two_replicas_is_bit_identical_to_one_runtime() {
+    let n = 72;
+    let reqs = request_mix(n, 42);
+    let direct = direct_outputs(&reqs);
+    let mut rng = StdRng::seed_from_u64(7);
+    let arrivals = poisson_arrivals(&mut rng, n, 400.0);
+
+    let cluster = ClusterRouter::start(ClusterConfig::homogeneous(2, runtime_cfg())).unwrap();
+    let routed = routed_outputs(&cluster, &reqs, &arrivals);
+    let m = cluster.finish();
+
+    assert_bit_identical(&routed, &direct);
+    assert!(m.reconciles(), "cluster accounting reconciles: {m:?}");
+    assert_eq!(m.submitted, n as u64);
+    assert_eq!(m.completed, n as u64);
+    assert_eq!(m.migrations, 0, "unified replicas never migrate");
+    assert!(m.kv_pools_drained());
+    assert_eq!(m.replicas.len(), 2);
+    assert!(
+        m.replicas.iter().all(|r| r.placed > 0),
+        "balancing must use both replicas: {:?}",
+        m.replicas.iter().map(|r| r.placed).collect::<Vec<_>>()
+    );
+    // The rollup sees every leg the replicas saw.
+    assert_eq!(
+        m.total.submitted,
+        m.replicas.iter().map(|r| r.runtime.submitted).sum::<u64>()
+    );
+}
+
+#[test]
+fn bursty_multi_tenant_trace_on_four_replicas_is_bit_identical() {
+    let n = 64;
+    let reqs = request_mix(n, 99);
+    let direct = direct_outputs(&reqs);
+    let mut rng = StdRng::seed_from_u64(11);
+    let arrivals = bursty_arrivals(&mut rng, n, 40.0, 6.0, 5000.0);
+
+    let cluster = ClusterRouter::start(ClusterConfig::homogeneous(4, runtime_cfg())).unwrap();
+    let routed = routed_outputs(&cluster, &reqs, &arrivals);
+    let m = cluster.finish();
+
+    assert_bit_identical(&routed, &direct);
+    assert!(m.reconciles());
+    assert_eq!(m.completed, n as u64);
+    assert!(m.kv_pools_drained());
+    assert_eq!(m.replicas.len(), 4);
+    // Per-tenant latency rolls up across replicas: all three tenants'
+    // samples survive the merge.
+    for tenant in 1..=3u32 {
+        let t = m.total.tenant(tenant).expect("tenant rollup present");
+        assert!(t.completed > 0, "tenant {tenant} completed on some replica");
+    }
+}
+
+#[test]
+fn bursty_trace_on_three_replicas_smoke() {
+    // The CI cluster gate runs this repeatedly under forced 8-thread
+    // parallelism: a 3-replica bursty trace with a prefix session mixed
+    // in, checked against the single-runtime oracle.
+    let n = 48;
+    let mut reqs = request_mix(n, 2718);
+    for j in 0..6u64 {
+        reqs.push(RuntimeRequest::new(20, 4, 8800 + j).with_shared_prefix(61, 12));
+    }
+    let direct = direct_outputs(&reqs);
+    let mut rng = StdRng::seed_from_u64(31);
+    let arrivals = bursty_arrivals(&mut rng, reqs.len(), 40.0, 6.0, 5000.0);
+
+    let cluster = ClusterRouter::start(ClusterConfig::homogeneous(3, runtime_cfg())).unwrap();
+    let routed = routed_outputs(&cluster, &reqs, &arrivals);
+    let m = cluster.finish();
+
+    assert_bit_identical(&routed, &direct);
+    assert!(m.reconciles());
+    assert_eq!(m.completed, reqs.len() as u64);
+    assert_eq!(m.replicas.len(), 3);
+    assert!(m.kv_pools_drained());
+}
+
+#[test]
+fn prefix_sessions_stay_affine_to_one_replica() {
+    // Three sessions, each declaring the same shared prefix per session;
+    // affinity must pin every request of a session to one replica so the
+    // runtime's cascade grouping sees all of them.
+    let mut reqs = Vec::new();
+    for session in 0..3u64 {
+        for j in 0..6u64 {
+            reqs.push(
+                RuntimeRequest::new(24, 4, 5000 + session * 100 + j)
+                    .with_shared_prefix(40 + session, 16),
+            );
+        }
+    }
+    let direct = direct_outputs(&reqs);
+
+    let cluster = ClusterRouter::start(ClusterConfig::homogeneous(2, runtime_cfg())).unwrap();
+    let handles: Vec<_> = reqs.iter().map(|r| cluster.submit(*r)).collect();
+    let routed: Vec<_> = handles
+        .into_iter()
+        .map(|h| {
+            h.wait()
+                .completed()
+                .expect("prefix request completes")
+                .outputs
+        })
+        .collect();
+
+    // Every session has a single home replica while the cluster runs.
+    let homes: Vec<_> = (0..3u64)
+        .map(|s| {
+            cluster
+                .affinity_of(40 + s, 16)
+                .expect("session claimed a home")
+        })
+        .collect();
+    let m = cluster.finish();
+
+    assert_bit_identical(&routed, &direct);
+    assert!(m.reconciles());
+    assert_eq!(m.completed, 18);
+    assert!(homes.iter().all(|&h| h < 2));
+    // First request of each session balances; the rest follow affinity.
+    assert_eq!(
+        m.placements_balanced, 3,
+        "one claiming placement per session"
+    );
+    assert_eq!(m.placements_affinity, 15, "followers stick to the home");
+    assert!(m.kv_pools_drained());
+}
+
+#[test]
+fn disaggregated_prefill_decode_is_bit_identical_and_prices_migration() {
+    let n = 64;
+    let reqs = request_mix(n, 1234);
+    let direct = direct_outputs(&reqs);
+    let mut rng = StdRng::seed_from_u64(21);
+    let arrivals = poisson_arrivals(&mut rng, n, 600.0);
+
+    let cluster = ClusterRouter::start(ClusterConfig::disaggregated_pair(runtime_cfg())).unwrap();
+    let routed = routed_outputs(&cluster, &reqs, &arrivals);
+    let m = cluster.finish();
+
+    assert_bit_identical(&routed, &direct);
+    assert!(m.reconciles(), "disaggregated accounting reconciles: {m:?}");
+    assert_eq!(m.completed, n as u64);
+    assert_eq!(m.placements_disaggregated, n as u64);
+    assert_eq!(m.migrations, n as u64, "every plain request migrates");
+    assert!(m.migrated_pages >= n as u64, "at least a page per request");
+    // Bytes = 2 (K+V) * rows * width * dtype size; all prompts are >= 4
+    // tokens so the total is comfortably positive.
+    assert!(m.migrated_bytes > 0);
+    assert!(m.transfer_seconds > 0.0, "the link model charged time");
+    assert!(m.kv_pools_drained(), "both pools drain after migration");
+    // The prefill replica saw exactly the prefill legs, the decode
+    // replica the resumed legs.
+    let prefill = &m.replicas[0];
+    let decode = &m.replicas[1];
+    assert_eq!(prefill.role, ReplicaRole::Prefill);
+    assert_eq!(prefill.runtime.kv_exports, n as u64);
+    assert_eq!(decode.role, ReplicaRole::Decode);
+    assert_eq!(decode.runtime.kv_imports, n as u64);
+}
+
+#[test]
+fn disaggregated_cluster_keeps_prefix_sessions_aggregated() {
+    // In a disaggregated cluster a shared-prefix session cannot migrate
+    // (the prefix pages are shared, not per-request): it must run its
+    // whole lifecycle on the decode replica, bit-identically.
+    let reqs: Vec<_> = (0..6u64)
+        .map(|j| RuntimeRequest::new(20, 5, 9000 + j).with_shared_prefix(77, 8))
+        .collect();
+    let direct = direct_outputs(&reqs);
+
+    let cluster = ClusterRouter::start(ClusterConfig::disaggregated_pair(runtime_cfg())).unwrap();
+    let handles: Vec<_> = reqs.iter().map(|r| cluster.submit(*r)).collect();
+    let routed: Vec<_> = handles
+        .into_iter()
+        .map(|h| {
+            h.wait()
+                .completed()
+                .expect("prefix request completes")
+                .outputs
+        })
+        .collect();
+    let m = cluster.finish();
+
+    assert_bit_identical(&routed, &direct);
+    assert!(m.reconciles());
+    assert_eq!(m.migrations, 0, "prefix sessions never disaggregate");
+    assert_eq!(m.placements_disaggregated, 0);
+    assert_eq!(m.placements_affinity + m.placements_balanced, 6);
+    let decode = m
+        .replicas
+        .iter()
+        .find(|r| r.role == ReplicaRole::Decode)
+        .unwrap();
+    assert_eq!(
+        decode.runtime.serving.completed, 6,
+        "all on the decode replica"
+    );
+    assert!(m.kv_pools_drained());
+}
+
+#[test]
+fn draining_a_replica_mid_trace_re_places_queued_requests() {
+    // Occupy the affine replica with a prefix session, drain it
+    // mid-trace, and keep submitting to the same session: the drained
+    // replica must finish its in-flight work, the affinity entry must
+    // drop, and the follow-up requests must re-prefill on the surviving
+    // replica — all bit-identical, with exact cluster reconciliation.
+    let session: Vec<_> = (0..4u64)
+        .map(|j| RuntimeRequest::new(24, 6, 7000 + j).with_shared_prefix(55, 12))
+        .collect();
+    let follow_up: Vec<_> = (4..10u64)
+        .map(|j| RuntimeRequest::new(24, 6, 7000 + j).with_shared_prefix(55, 12))
+        .collect();
+    let plain = request_mix(16, 4242);
+
+    let mut all = session.clone();
+    all.extend(follow_up.iter().copied());
+    all.extend(plain.iter().copied());
+    let direct = direct_outputs(&all);
+
+    let cluster = ClusterRouter::start(ClusterConfig::homogeneous(2, runtime_cfg())).unwrap();
+    let mut handles = Vec::new();
+    for r in &session {
+        handles.push(cluster.submit(*r));
+    }
+    // Wait until the session has claimed its home replica.
+    let home = loop {
+        if let Some(h) = cluster.affinity_of(55, 12) {
+            break h;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    };
+    cluster.drain(home);
+    // The drain is observable and one-way.
+    loop {
+        let h = cluster.health();
+        if h[home].draining {
+            break;
+        }
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    for r in follow_up.iter().chain(plain.iter()) {
+        handles.push(cluster.submit(*r));
+    }
+    let routed: Vec<_> = handles
+        .into_iter()
+        .enumerate()
+        .map(|(i, h)| match h.wait() {
+            RequestOutcome::Completed(c) => c.outputs,
+            other => panic!("request {i} must survive the drain, got {other:?}"),
+        })
+        .collect();
+    let m = cluster.finish();
+
+    assert_bit_identical(&routed, &direct);
+    assert!(m.reconciles(), "drain accounting reconciles: {m:?}");
+    assert_eq!(m.submitted, 26);
+    assert_eq!(m.completed, 26, "nothing is lost to the drain");
+    assert_eq!(m.rejected, 0);
+    assert_eq!(m.cancelled, 0);
+    assert!(
+        m.affinity_dropped_on_drain >= 1,
+        "the session lost its home"
+    );
+    assert!(m.replicas[home].drained_early);
+    // Everything after the drain landed on the survivor.
+    let survivor = 1 - home;
+    assert!(
+        m.replicas[survivor].placed >= 22,
+        "survivor took the re-placed load: {:?}",
+        m.replicas.iter().map(|r| r.placed).collect::<Vec<_>>()
+    );
+    assert!(m.kv_pools_drained());
+}
+
+#[test]
+fn cancel_reaches_requests_wherever_they_are() {
+    // Saturate a tiny 1-deep cluster so requests pile up in the pending
+    // queue, then cancel some while queued and some while serving.
+    let mut cfg = ClusterConfig::homogeneous(2, runtime_cfg());
+    cfg.max_in_flight = 1;
+    let cluster = ClusterRouter::start(cfg).unwrap();
+    let handles: Vec<_> = (0..8u64)
+        .map(|i| cluster.submit(RuntimeRequest::new(16, 24, 300 + i)))
+        .collect();
+    // Cancel the tail half immediately — most are still queued.
+    for h in &handles[4..] {
+        h.cancel();
+    }
+    let mut completed = 0u64;
+    let mut cancelled = 0u64;
+    for h in handles {
+        match h.wait() {
+            RequestOutcome::Completed(_) => completed += 1,
+            RequestOutcome::Cancelled(_) => cancelled += 1,
+            RequestOutcome::Rejected(r) => panic!("nothing should be rejected: {r:?}"),
+        }
+    }
+    let m = cluster.finish();
+    assert!(m.reconciles());
+    assert_eq!(m.completed, completed);
+    assert_eq!(m.cancelled, cancelled);
+    assert_eq!(completed + cancelled, 8);
+    assert_eq!(cancelled, 4, "the cancelled tail resolves as cancelled");
+    assert!(m.kv_pools_drained());
+}

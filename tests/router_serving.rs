@@ -12,7 +12,7 @@ use flashinfer::router::{
 };
 use flashinfer::runtime::{RequestOutcome, Runtime, RuntimeConfig, RuntimeRequest, StreamItem};
 use flashinfer::serving::policy::GrowthPolicy;
-use flashinfer::serving::workload::{bursty_arrivals, poisson_arrivals};
+use flashinfer::serving::workload::{bursty_arrivals, deterministic_mix, poisson_arrivals};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -40,17 +40,12 @@ fn router_cfg() -> RouterConfig {
     }
 }
 
-/// Deterministic request mix: prompts 4..=35, outputs 3..=10.
+/// Deterministic request mix: prompts 4..=35, outputs 3..=10 (the shared
+/// `fi_serving::workload::deterministic_mix` trace).
 fn request_mix(n: usize, seed0: u64) -> Vec<RuntimeRequest> {
-    (0..n)
-        .map(|i| {
-            let h = (i as u64)
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(seed0);
-            let prompt = 4 + (h % 32) as usize;
-            let output = 3 + ((h >> 8) % 8) as usize;
-            RuntimeRequest::new(prompt, output, seed0.wrapping_add(1000 + i as u64))
-        })
+    deterministic_mix(n, seed0)
+        .into_iter()
+        .map(|s| RuntimeRequest::new(s.prompt_len, s.output_len, s.seed))
         .collect()
 }
 

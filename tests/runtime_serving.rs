@@ -18,7 +18,7 @@ use flashinfer::sched::pipeline::AttentionPipeline;
 use flashinfer::sched::plan::CostModel;
 use flashinfer::sched::wrapper::SchedulePolicy;
 use flashinfer::serving::engine::{EngineConfig, PreemptionPolicy};
-use flashinfer::serving::workload::poisson_arrivals;
+use flashinfer::serving::workload::{deterministic_mix, poisson_arrivals};
 use flashinfer::tensor::RaggedTensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -95,17 +95,12 @@ fn oracle_decode(cfg: &RuntimeConfig, prompt: usize, output: usize, seed: u64) -
     outs
 }
 
-/// Deterministic request mix: prompts 4..=35, outputs 3..=10.
+/// Deterministic request mix: prompts 4..=35, outputs 3..=10 (the shared
+/// `fi_serving::workload::deterministic_mix` trace).
 fn request_mix(n: usize, seed0: u64) -> Vec<RuntimeRequest> {
-    (0..n)
-        .map(|i| {
-            let h = (i as u64)
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(seed0);
-            let prompt = 4 + (h % 32) as usize;
-            let output = 3 + ((h >> 8) % 8) as usize;
-            RuntimeRequest::new(prompt, output, seed0.wrapping_add(1000 + i as u64))
-        })
+    deterministic_mix(n, seed0)
+        .into_iter()
+        .map(|s| RuntimeRequest::new(s.prompt_len, s.output_len, s.seed))
         .collect()
 }
 
